@@ -1,0 +1,137 @@
+//! Baseline accelerator models for the Canon evaluation (§5).
+//!
+//! The paper compares Canon against four architectures, each provisioned
+//! with the *same number of MAC units* (256 INT8 MACs) and the same average
+//! on-chip memory per MAC (1 KB), so that differences come from
+//! orchestration, not peak compute:
+//!
+//! | Baseline | Specialisation | Module |
+//! |---|---|---|
+//! | Systolic array (TPU-like, 16×16) | dense tensor | [`systolic`] |
+//! | 2:4 sparse systolic (tensor-core-like) | 2:4 structured sparsity | [`systolic_nm`] |
+//! | ZeD-like accelerator (row scheduling + work stealing + crossbars) | variably sparse tensor | [`zed`] |
+//! | CGRA (HyCUBE-like, compile-time mapped) | general reconfigurable | [`cgra`] |
+//!
+//! Each model is a from-scratch cycle model at the fidelity the comparison
+//! needs: the systolic models walk the exact tile loops; the ZeD model runs
+//! a discrete work-stealing schedule over the real non-zero distribution;
+//! the CGRA model charges configuration and per-PE instruction-fetch
+//! overheads on top of the systolic dataflow it must emulate for tensor
+//! kernels (its PolyBench side lives in `canon-loopir`, which feeds both
+//! Canon and the CGRA from the same loop IR).
+//!
+//! A baseline returns `None` for workloads it cannot execute at all (the
+//! `X` marks in Figs 12/13) — e.g. arbitrary loop nests on the systolic
+//! array.
+
+pub mod cgra;
+pub mod systolic;
+pub mod systolic_nm;
+pub mod zed;
+
+pub use cgra::Cgra;
+pub use systolic::SystolicArray;
+pub use systolic_nm::SparseSystolic24;
+pub use zed::ZedAccelerator;
+
+use canon_sparse::{CsrMatrix, Mask};
+
+/// Activity counters common to the baseline models, consumed by
+/// `canon-energy`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Activity {
+    /// Scalar MAC operations executed (including padding/zero work the
+    /// architecture cannot skip).
+    pub macs: u64,
+    /// On-chip SRAM word (4 B) reads.
+    pub sram_reads: u64,
+    /// On-chip SRAM word writes.
+    pub sram_writes: u64,
+    /// Inter-PE / array-internal transfers.
+    pub noc_hops: u64,
+    /// Control events (per-cycle sequencing, scheduler decisions).
+    pub control_events: u64,
+    /// Specialised-unit events: crossbar traversals (ZeD), sparsity-decoder
+    /// lookups (ZeD / 2:4 systolic).
+    pub special_events: u64,
+    /// Per-PE instruction fetches (CGRA).
+    pub instr_fetches: u64,
+    /// Off-chip bytes read.
+    pub offchip_read_bytes: u64,
+    /// Off-chip bytes written.
+    pub offchip_write_bytes: u64,
+}
+
+/// The outcome of running one kernel on a baseline model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineRun {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Activity counters.
+    pub activity: Activity,
+    /// Scalar MACs that were *useful* (contributed to the mathematical
+    /// result) — the numerator of effective utilization.
+    pub useful_macs: u64,
+    /// Peak scalar MACs per cycle (256 for all evaluated designs).
+    pub peak_macs_per_cycle: u64,
+}
+
+impl BaselineRun {
+    /// Effective compute utilization: useful MACs over peak MAC-cycles.
+    pub fn utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.useful_macs as f64 / (self.cycles as f64 * self.peak_macs_per_cycle as f64)
+    }
+}
+
+/// The common interface of the four baseline models.
+///
+/// `None` means the architecture cannot run the workload at all (rendered as
+/// `X` in the paper's figures). Implementations that *can* run a workload
+/// but only by padding it to a denser form (e.g. a systolic array executing
+/// sparse SpMM densely) return the padded cost.
+pub trait Accelerator {
+    /// Short display name used by the harness tables.
+    fn name(&self) -> &'static str;
+
+    /// Dense GEMM `C[m×n] = A[m×k] × B[k×n]`.
+    fn gemm(&self, m: usize, k: usize, n: usize) -> Option<BaselineRun>;
+
+    /// SpMM with a concrete sparse operand (`C = A × B`, `B` is `a.cols()×n`).
+    fn spmm(&self, a: &CsrMatrix, n: usize) -> Option<BaselineRun>;
+
+    /// SpMM with N:M structured sparsity (the model may exploit the
+    /// structure; `a` satisfies `n_of:m_of`).
+    fn spmm_nm(&self, a: &CsrMatrix, n: usize, n_of: usize, m_of: usize) -> Option<BaselineRun>;
+
+    /// SDDMM with output mask `mask` and contraction length `k`.
+    fn sddmm(&self, mask: &Mask, k: usize) -> Option<BaselineRun>;
+
+    /// Sliding-window attention scores (seq×seq output, banded mask).
+    fn window_attention(&self, seq: usize, window: usize, head_dim: usize)
+        -> Option<BaselineRun>;
+}
+
+/// Peak scalar MACs per cycle shared by every evaluated architecture
+/// (Table 1 parity requirement).
+pub const PEAK_MACS: u64 = 256;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_bounds() {
+        let r = BaselineRun {
+            cycles: 10,
+            activity: Activity::default(),
+            useful_macs: 2560,
+            peak_macs_per_cycle: 256,
+        };
+        assert!((r.utilization() - 1.0).abs() < 1e-12);
+        let z = BaselineRun { cycles: 0, ..r };
+        assert_eq!(z.utilization(), 0.0);
+    }
+}

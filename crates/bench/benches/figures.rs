@@ -1,0 +1,44 @@
+//! Criterion benches: one group per reproduced table/figure, exercising the
+//! exact harness code paths on smoke-scale inputs. `cargo bench --workspace`
+//! therefore regenerates (a reduced form of) every experiment and reports the
+//! wall-clock cost of each simulator path.
+
+use canon_bench::{ablations, figures, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("repro");
+    g.sample_size(10);
+    g.bench_function("tab01_config", |b| b.iter(figures::table1));
+    g.bench_function("fig09_area_ablation", |b| b.iter(figures::fig09));
+    g.bench_function("fig10_area_breakdown", |b| b.iter(figures::fig10));
+    g.bench_function("fig11_power_breakdown", |b| {
+        b.iter(|| figures::fig11(Scale::Smoke))
+    });
+    g.bench_function("fig12_performance", |b| {
+        b.iter(|| figures::fig12(Scale::Smoke))
+    });
+    g.bench_function("fig13_perf_per_watt", |b| {
+        b.iter(|| figures::fig13(Scale::Smoke))
+    });
+    g.bench_function("fig14_edp_models", |b| {
+        b.iter(|| figures::fig14(Scale::Smoke))
+    });
+    g.bench_function("fig15_scaling_sensitivity", |b| {
+        b.iter(|| figures::fig15(Scale::Smoke))
+    });
+    g.bench_function("fig16_bandwidth_roofline", |b| b.iter(figures::fig16));
+    g.bench_function("fig17_scratchpad_depth", |b| {
+        b.iter(|| figures::fig17(Scale::Smoke))
+    });
+    g.bench_function("ablation_async_reduction", |b| {
+        b.iter(|| ablations::ablation_async(Scale::Smoke))
+    });
+    g.bench_function("ablation_lut_orchestrator", |b| {
+        b.iter(|| ablations::ablation_lut(Scale::Smoke))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

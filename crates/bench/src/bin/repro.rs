@@ -1,0 +1,65 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```sh
+//! cargo run -p canon-bench --release --bin repro -- all
+//! cargo run -p canon-bench --release --bin repro -- fig12 fig13
+//! cargo run -p canon-bench --release --bin repro -- --smoke fig17
+//! ```
+
+use canon_bench::{ablations, figures, Scale};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--smoke] <targets...>\n\
+         targets: table1 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17\n\
+                  ablation-async ablation-buffer-sizing ablation-lut all"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if let Some(pos) = args.iter().position(|a| a == "--smoke") {
+        args.remove(pos);
+        Scale::Smoke
+    } else {
+        Scale::Full
+    };
+    if args.is_empty() {
+        usage();
+    }
+    let targets: Vec<String> = if args.iter().any(|a| a == "all") {
+        [
+            "table1", "fig9", "fig10", "fig11", "fig12+13", "fig14", "fig15", "fig16", "fig17",
+            "ablation-async", "ablation-buffer-sizing", "ablation-lut",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+    } else {
+        args
+    };
+    for t in targets {
+        let text = match t.as_str() {
+            "table1" => figures::table1(),
+            "fig9" => figures::fig09(),
+            "fig10" => figures::fig10(),
+            "fig11" => figures::fig11(scale),
+            "fig12" => figures::fig12(scale),
+            "fig13" => figures::fig13(scale),
+            "fig12+13" => figures::fig1213(scale),
+            "fig14" => figures::fig14(scale),
+            "fig15" => figures::fig15(scale),
+            "fig16" => figures::fig16(),
+            "fig17" => figures::fig17(scale),
+            "ablation-async" => ablations::ablation_async(scale),
+            "ablation-buffer-sizing" => ablations::ablation_buffer_sizing(scale),
+            "ablation-lut" => ablations::ablation_lut(scale),
+            other => {
+                eprintln!("unknown target: {other}");
+                usage();
+            }
+        };
+        println!("{text}");
+    }
+}

@@ -1,0 +1,95 @@
+//! The Canon reproduction harness: one entry point per table/figure of the
+//! paper's evaluation (§6), each regenerating the corresponding rows/series
+//! from the workspace's simulators and models.
+//!
+//! Run via the `repro` binary:
+//!
+//! ```sh
+//! cargo run -p canon-bench --release --bin repro -- all
+//! cargo run -p canon-bench --release --bin repro -- fig12
+//! ```
+//!
+//! Every function takes a [`Scale`] so the criterion benches can exercise the
+//! same code paths on reduced sizes, and returns the formatted report it
+//! prints, so tests can assert on structure.
+
+pub mod ablations;
+pub mod figures;
+pub mod workloads12;
+
+pub use figures::*;
+
+/// Problem-size preset for the harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny sizes for CI / criterion benches.
+    Smoke,
+    /// The sizes used for EXPERIMENTS.md (laptop-scale, minutes).
+    Full,
+}
+
+impl Scale {
+    /// Multiplies a full-scale dimension down for smoke runs, keeping
+    /// mapping-friendly granularity.
+    pub fn dim(self, full: usize) -> usize {
+        match self {
+            Scale::Full => full,
+            Scale::Smoke => (full / 4).max(32),
+        }
+    }
+}
+
+/// Formats a normalized-metric table: rows = architectures, columns =
+/// workloads; `None` renders as `X` (unsupported), as in Figs 12/13.
+pub fn format_matrix(
+    title: &str,
+    columns: &[String],
+    rows: &[(&'static str, Vec<Option<f64>>)],
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let _ = write!(out, "{:<14}", "arch");
+    for c in columns {
+        let _ = write!(out, "{c:>13}");
+    }
+    let _ = writeln!(out);
+    for (name, vals) in rows {
+        let _ = write!(out, "{name:<14}");
+        for v in vals {
+            match v {
+                Some(x) => {
+                    let _ = write!(out, "{x:>13.3}");
+                }
+                None => {
+                    let _ = write!(out, "{:>13}", "X");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_dims() {
+        assert_eq!(Scale::Full.dim(256), 256);
+        assert_eq!(Scale::Smoke.dim(256), 64);
+        assert_eq!(Scale::Smoke.dim(64), 32);
+    }
+
+    #[test]
+    fn matrix_formatting_renders_x() {
+        let s = format_matrix(
+            "t",
+            &["a".into(), "b".into()],
+            &[("canon", vec![Some(1.0), None])],
+        );
+        assert!(s.contains("X"));
+        assert!(s.contains("1.000"));
+    }
+}

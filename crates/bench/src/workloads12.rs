@@ -1,0 +1,321 @@
+//! The Fig 12/13 workload grid: 12 kernel columns × 5 architectures,
+//! producing normalized performance and normalized perf/W in one pass.
+
+use crate::Scale;
+use canon_baselines::{Accelerator, BaselineRun, Cgra, SparseSystolic24, SystolicArray, ZedAccelerator};
+use canon_core::kernels::nm::run_spmm_nm;
+use canon_core::kernels::sddmm::{run_sddmm, ColPartition, SddmmMapping};
+use canon_core::kernels::spmm::{run_spmm, SpmmMapping};
+use canon_core::kernels::window::run_window_attention;
+use canon_core::kernels::window::WindowAttention;
+use canon_core::kernels::gemm::run_gemm;
+use canon_core::stats::RunReport;
+use canon_core::CanonConfig;
+use canon_energy::{baseline_energy, canon_energy, canon_loop_energy, perf_per_watt, Arch};
+use canon_loopir::mapping::{map_canon, map_cgra};
+use canon_loopir::{polybench, Category};
+use canon_sparse::{gen, Dense};
+
+/// One architecture's absolute numbers on one workload.
+#[derive(Debug, Clone, Copy)]
+pub struct ArchRun {
+    /// Cycles to complete the workload.
+    pub cycles: u64,
+    /// Total energy in pJ.
+    pub energy_pj: f64,
+}
+
+/// One workload column: the common useful work plus per-architecture runs
+/// (`None` = unsupported, the `X` of Figs 12/13).
+#[derive(Debug, Clone)]
+pub struct Column {
+    /// Column label as in the figures.
+    pub name: String,
+    /// Useful scalar MACs/ops of the workload (identical across archs).
+    pub useful_macs: u64,
+    /// Runs in [`Arch::all`] order.
+    pub runs: Vec<Option<ArchRun>>,
+}
+
+impl Column {
+    fn canon(&self) -> ArchRun {
+        self.runs[4].expect("Canon always runs its own workloads")
+    }
+
+    /// Performance of each architecture normalized to Canon.
+    pub fn norm_perf(&self) -> Vec<Option<f64>> {
+        let canon = self.canon();
+        self.runs
+            .iter()
+            .map(|r| r.map(|r| canon.cycles as f64 / r.cycles.max(1) as f64))
+            .collect()
+    }
+
+    /// Perf/W of each architecture normalized to Canon.
+    pub fn norm_perf_watt(&self) -> Vec<Option<f64>> {
+        let canon = self.canon();
+        let base = perf_per_watt(self.useful_macs, canon.cycles, canon.energy_pj, 1e9);
+        self.runs
+            .iter()
+            .map(|r| {
+                r.map(|r| {
+                    perf_per_watt(self.useful_macs, r.cycles, r.energy_pj, 1e9) / base
+                })
+            })
+            .collect()
+    }
+}
+
+fn canon_run(report: &RunReport) -> ArchRun {
+    ArchRun {
+        cycles: report.cycles,
+        energy_pj: canon_energy(report).total_pj(),
+    }
+}
+
+fn baseline(arch: Arch, run: Option<BaselineRun>) -> Option<ArchRun> {
+    run.map(|r| ArchRun {
+        cycles: r.cycles,
+        energy_pj: baseline_energy(arch, &r).total_pj(),
+    })
+}
+
+struct Baselines {
+    sys: SystolicArray,
+    s24: SparseSystolic24,
+    zed: ZedAccelerator,
+    cgra: Cgra,
+}
+
+impl Baselines {
+    fn new() -> Baselines {
+        Baselines {
+            sys: SystolicArray::default(),
+            s24: SparseSystolic24::default(),
+            zed: ZedAccelerator::default(),
+            cgra: Cgra::default(),
+        }
+    }
+}
+
+/// Builds the nine tensor-kernel columns of Figs 12/13 (everything except
+/// the three PolyBench columns).
+pub fn tensor_columns(scale: Scale) -> Vec<Column> {
+    let cfg = CanonConfig::default();
+    let b = Baselines::new();
+    let mut columns = Vec::new();
+
+    let m = scale.dim(256);
+    let k = scale.dim(256);
+    let n = scale.dim(128);
+
+    // --- GEMM ---------------------------------------------------------
+    {
+        let mut rng = gen::seeded_rng(101);
+        let a = Dense::random(m, k, &mut rng);
+        let bm = Dense::random(k, n, &mut rng);
+        let canon = run_gemm(&cfg, &a, &bm).expect("gemm maps");
+        columns.push(Column {
+            name: "GEMM".into(),
+            useful_macs: (m * k * n) as u64,
+            runs: vec![
+                baseline(Arch::Systolic, b.sys.gemm(m, k, n)),
+                baseline(Arch::Systolic24, b.s24.gemm(m, k, n)),
+                baseline(Arch::Zed, b.zed.gemm(m, k, n)),
+                baseline(Arch::Cgra, b.cgra.gemm(m, k, n)),
+                Some(canon_run(&canon.report)),
+            ],
+        });
+    }
+
+    // --- SpMM-S1/S2/S3 ---------------------------------------------------
+    for (band, sparsity, seed) in [("S1", 0.15, 102u64), ("S2", 0.45, 103), ("S3", 0.80, 104)] {
+        let mut rng = gen::seeded_rng(seed);
+        let a = gen::skewed_sparse(m, k, sparsity, 1.5, &mut rng);
+        let bm = Dense::random(k, n, &mut rng);
+        let canon = run_spmm(&cfg, &SpmmMapping::default(), &a, &bm).expect("spmm maps");
+        columns.push(Column {
+            name: format!("SpMM-{band}"),
+            useful_macs: a.nnz() as u64 * n as u64,
+            runs: vec![
+                baseline(Arch::Systolic, b.sys.spmm(&a, n)),
+                baseline(Arch::Systolic24, b.s24.spmm(&a, n)),
+                baseline(Arch::Zed, b.zed.spmm(&a, n)),
+                baseline(Arch::Cgra, b.cgra.spmm(&a, n)),
+                Some(canon_run(&canon.report)),
+            ],
+        });
+    }
+
+    // --- SpMM-2:4 and SpMM-2:8 -------------------------------------------
+    for (label, n_of, m_of, seed) in [("2:4", 2usize, 4usize, 105u64), ("2:8", 2, 8, 106)] {
+        let mut rng = gen::seeded_rng(seed);
+        let a = gen::nm_sparse(m, k, n_of, m_of, &mut rng);
+        let bm = Dense::random(k, n, &mut rng);
+        let canon = run_spmm_nm(&cfg, &a, &bm, n_of, m_of).expect("nm maps");
+        columns.push(Column {
+            name: format!("SpMM-{label}"),
+            useful_macs: a.nnz() as u64 * n as u64,
+            runs: vec![
+                baseline(Arch::Systolic, b.sys.spmm_nm(&a, n, n_of, m_of)),
+                baseline(Arch::Systolic24, b.s24.spmm_nm(&a, n, n_of, m_of)),
+                baseline(Arch::Zed, b.zed.spmm_nm(&a, n, n_of, m_of)),
+                baseline(Arch::Cgra, b.cgra.spmm_nm(&a, n, n_of, m_of)),
+                Some(canon_run(&canon.report)),
+            ],
+        });
+    }
+
+    // --- SDDMM (unstructured) ---------------------------------------------
+    {
+        let seq = scale.dim(128);
+        let head = 64;
+        let mut rng = gen::seeded_rng(107);
+        let q = Dense::random(seq, head, &mut rng);
+        let kv = Dense::random(seq, head, &mut rng);
+        let mask = gen::random_mask(seq, seq, 0.7, &mut rng);
+        let canon = run_sddmm(&cfg, &SddmmMapping::default(), &mask, &q, &kv).expect("sddmm");
+        columns.push(Column {
+            name: "SDDMM".into(),
+            useful_macs: mask.nnz() as u64 * head as u64,
+            runs: vec![
+                baseline(Arch::Systolic, b.sys.sddmm(&mask, head)),
+                baseline(Arch::Systolic24, b.s24.sddmm(&mask, head)),
+                baseline(Arch::Zed, b.zed.sddmm(&mask, head)),
+                baseline(Arch::Cgra, b.cgra.sddmm(&mask, head)),
+                Some(canon_run(&canon.report)),
+            ],
+        });
+    }
+
+    // --- SDDMM-Win1 / Win2 -------------------------------------------------
+    // Win1 = Longformer ratios (window = seq/8, head 64);
+    // Win2 = Mistral ratios (window = seq/4, head 128, longer context).
+    let win_cfgs = [
+        ("SDDMM-Win1", WindowAttention {
+            seq: scale.dim(256),
+            window: scale.dim(256) / 8,
+            head_dim: 64,
+        }),
+        ("SDDMM-Win2", WindowAttention {
+            seq: scale.dim(512),
+            window: scale.dim(512) / 4,
+            head_dim: 128,
+        }),
+    ];
+    for (label, wa) in win_cfgs {
+        let canon =
+            run_window_attention(&cfg, &SddmmMapping::default(), &wa, 108).expect("window");
+        let band = gen::window_mask(wa.seq, wa.window).nnz() as u64 * wa.head_dim as u64;
+        columns.push(Column {
+            name: label.into(),
+            useful_macs: band,
+            runs: vec![
+                baseline(
+                    Arch::Systolic,
+                    b.sys.window_attention(wa.seq, wa.window, wa.head_dim),
+                ),
+                baseline(
+                    Arch::Systolic24,
+                    b.s24.window_attention(wa.seq, wa.window, wa.head_dim),
+                ),
+                baseline(
+                    Arch::Zed,
+                    b.zed.window_attention(wa.seq, wa.window, wa.head_dim),
+                ),
+                baseline(
+                    Arch::Cgra,
+                    b.cgra.window_attention(wa.seq, wa.window, wa.head_dim),
+                ),
+                Some(canon_run(&canon.report)),
+            ],
+        });
+    }
+    let _ = ColPartition::Cyclic; // window runs select cyclic internally
+    columns
+}
+
+/// The three PolyBench columns: geometric means over each category, Canon vs
+/// CGRA (the other baselines cannot run arbitrary loop nests → `X`).
+pub fn polybench_columns(scale: Scale) -> Vec<Column> {
+    let n = scale.dim(64);
+    let kernels = polybench::suite(n);
+    let cgra = Cgra::default();
+    let mut columns = Vec::new();
+    for cat in [Category::Blas, Category::Kernel, Category::Stencil] {
+        // Geometric means of cycles and energy across the category, so the
+        // normalized column behaves like the figures' per-category bars.
+        let mut log_canon_cyc = 0.0;
+        let mut log_cgra_cyc = 0.0;
+        let mut log_canon_e = 0.0;
+        let mut log_cgra_e = 0.0;
+        let mut log_useful = 0.0;
+        let mut count = 0usize;
+        for k in kernels.iter().filter(|k| k.category == cat) {
+            let c = map_canon(k, 8, 8, 4);
+            let g = map_cgra(k, &cgra);
+            log_canon_cyc += (c.cycles.max(1) as f64).ln();
+            log_cgra_cyc += (g.cycles.max(1) as f64).ln();
+            log_canon_e +=
+                canon_loop_energy(c.cycles, c.lane_instrs, c.useful_ops).total_pj().max(1.0).ln();
+            log_cgra_e += baseline_energy(Arch::Cgra, &g).total_pj().max(1.0).ln();
+            log_useful += (c.useful_ops.max(1) as f64).ln();
+            count += 1;
+        }
+        let nf = count.max(1) as f64;
+        let canon = ArchRun {
+            cycles: (log_canon_cyc / nf).exp() as u64,
+            energy_pj: (log_canon_e / nf).exp(),
+        };
+        let cgra_run = ArchRun {
+            cycles: (log_cgra_cyc / nf).exp() as u64,
+            energy_pj: (log_cgra_e / nf).exp(),
+        };
+        columns.push(Column {
+            name: format!("PolyB-{cat}"),
+            useful_macs: (log_useful / nf).exp() as u64,
+            runs: vec![None, None, None, Some(cgra_run), Some(canon)],
+        });
+    }
+    columns
+}
+
+/// All 12 columns of Figs 12/13.
+pub fn all_columns(scale: Scale) -> Vec<Column> {
+    let mut cols = tensor_columns(scale);
+    cols.extend(polybench_columns(scale));
+    cols
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_columns_have_expected_shape() {
+        let cols = all_columns(Scale::Smoke);
+        assert_eq!(cols.len(), 12);
+        for c in &cols {
+            assert_eq!(c.runs.len(), 5);
+            // Canon always present and normalized to exactly 1.
+            let perf = c.norm_perf();
+            assert_eq!(perf[4], Some(1.0), "{}", c.name);
+            let pw = c.norm_perf_watt();
+            assert!((pw[4].unwrap() - 1.0).abs() < 1e-9);
+        }
+        // PolyBench columns mark tensor accelerators unsupported.
+        let polyb = &cols[9];
+        assert!(polyb.runs[0].is_none() && polyb.runs[2].is_none());
+    }
+
+    #[test]
+    fn fragility_shape_on_smoke() {
+        let cols = tensor_columns(Scale::Smoke);
+        let s3 = cols.iter().find(|c| c.name == "SpMM-S3").unwrap();
+        let perf = s3.norm_perf();
+        // Systolic clearly below Canon at high sparsity even at smoke sizes
+        // (the gap widens to >3x at full scale); ZeD comparable.
+        assert!(perf[0].unwrap() < 0.8, "systolic {:?}", perf[0]);
+        assert!(perf[2].unwrap() > 0.5, "zed {:?}", perf[2]);
+    }
+}

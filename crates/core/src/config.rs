@@ -1,0 +1,164 @@
+//! Architecture configuration (Table 1).
+
+use crate::isa::LANES;
+
+/// Configuration of a Canon fabric instance.
+///
+/// The default reproduces Table 1 of the paper: an 8×8 array of 4-SIMD INT8
+/// PEs, 4 KB data memory per PE (288 KB overall including edge buffers), a
+/// dual-port scratchpad, one orchestrator per PE row, and LPDDR5X-class
+/// off-chip bandwidth.
+///
+/// # Examples
+///
+/// ```
+/// use canon_core::CanonConfig;
+/// let cfg = CanonConfig::default();
+/// assert_eq!((cfg.rows, cfg.cols), (8, 8));
+/// assert_eq!(cfg.mac_units(), 256);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CanonConfig {
+    /// Number of PE rows (one orchestrator each).
+    pub rows: usize,
+    /// Number of PE columns.
+    pub cols: usize,
+    /// Data-memory words per PE (one 4-wide vector per word). 1024 words of
+    /// 4×INT8 = 4 KB (Table 1).
+    pub dmem_words: usize,
+    /// Scratchpad entries per PE (one vector each). §6.5 evaluates depths
+    /// 1–64 and uses 16 by default.
+    pub spad_entries: usize,
+    /// PE pipeline depth; also the per-hop latency of the staggered
+    /// instruction network ("a fixed pipeline latency of 3 cycles", §2.1).
+    pub pipe_depth: usize,
+    /// Capacity, in entries, of each inter-PE NoC FIFO (credit window of the
+    /// dynamically-managed circuit switching). The default is sized so the
+    /// credit round-trip (2-cycle message latency each way) sustains one
+    /// transfer per cycle per link, the circuit-switched NoC's line rate.
+    pub link_fifo_depth: usize,
+    /// Orchestrator-to-orchestrator message latency in cycles.
+    pub orch_msg_latency: u64,
+    /// Capacity of each orchestrator-to-orchestrator message channel.
+    pub orch_msg_capacity: usize,
+    /// Off-chip bandwidth in bytes per cycle (17 GB/s at 1 GHz = 17 B/cycle
+    /// for the single-die LPDDR5X ×16 configuration).
+    pub offchip_bytes_per_cycle: f64,
+    /// Watchdog: the simulation aborts with a deadlock error after
+    /// `watchdog_factor × (expected work) + watchdog_slack` cycles.
+    pub watchdog_factor: u64,
+    /// Additive slack for the watchdog.
+    pub watchdog_slack: u64,
+}
+
+impl Default for CanonConfig {
+    fn default() -> Self {
+        CanonConfig {
+            rows: 8,
+            cols: 8,
+            dmem_words: 1024,
+            spad_entries: 16,
+            pipe_depth: 3,
+            link_fifo_depth: 8,
+            orch_msg_latency: 2,
+            orch_msg_capacity: 4,
+            offchip_bytes_per_cycle: 17.0,
+            watchdog_factor: 64,
+            watchdog_slack: 10_000,
+        }
+    }
+}
+
+impl CanonConfig {
+    /// A configuration scaled by an integer factor in both dimensions
+    /// (used by the Fig 15 scalability experiment).
+    pub fn scaled(&self, factor: usize) -> CanonConfig {
+        CanonConfig {
+            rows: self.rows * factor,
+            cols: self.cols * factor,
+            ..self.clone()
+        }
+    }
+
+    /// Total number of PEs.
+    pub fn pe_count(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Total INT8 MAC units (each PE has a [`LANES`]-wide lane).
+    pub fn mac_units(&self) -> usize {
+        self.pe_count() * LANES
+    }
+
+    /// Total data-memory capacity in bytes (INT8 elements, [`LANES`] per
+    /// word).
+    pub fn dmem_bytes_total(&self) -> usize {
+        self.pe_count() * self.dmem_words * LANES
+    }
+
+    /// Scratchpad bytes per PE (INT8 elements).
+    pub fn spad_bytes_per_pe(&self) -> usize {
+        self.spad_entries * LANES
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.rows == 0 || self.cols == 0 {
+            return Err("array must have at least one row and column".into());
+        }
+        if self.dmem_words == 0 {
+            return Err("data memory must be non-empty".into());
+        }
+        if self.spad_entries == 0 {
+            return Err("scratchpad must have at least one entry".into());
+        }
+        if self.pipe_depth == 0 {
+            return Err("pipeline depth must be at least 1".into());
+        }
+        if self.link_fifo_depth < 2 {
+            return Err("link FIFOs need capacity >= 2 for staggered transfers".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table1() {
+        let c = CanonConfig::default();
+        assert_eq!(c.pe_count(), 64);
+        assert_eq!(c.mac_units(), 256);
+        // 4 KB per PE => 256 KB across the array (Table 1's 288 KB includes
+        // edge stream buffers which are modelled separately).
+        assert_eq!(c.dmem_bytes_total(), 256 * 1024);
+        assert_eq!(c.spad_bytes_per_pe(), 64);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn scaled_multiplies_dimensions() {
+        let c = CanonConfig::default().scaled(2);
+        assert_eq!((c.rows, c.cols), (16, 16));
+        assert_eq!(c.mac_units(), 1024);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate() {
+        let mut c = CanonConfig::default();
+        c.rows = 0;
+        assert!(c.validate().is_err());
+        let mut c = CanonConfig::default();
+        c.spad_entries = 0;
+        assert!(c.validate().is_err());
+        let mut c = CanonConfig::default();
+        c.link_fifo_depth = 1;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,689 @@
+//! The Canon fabric: PE array + orchestrators + NoC + edge movers, advanced
+//! one cycle at a time.
+//!
+//! ## Cycle structure
+//!
+//! Each [`Fabric::step`] performs, in order:
+//!
+//! 1. **edge feed** — the north-edge stream movers push at most one token per
+//!    column into the north edge FIFOs (SDDMM's `A` stream);
+//! 2. **credit delivery** — south-channel credits returned by downstream pops
+//!    become visible after [`CanonConfig::orch_msg_latency`] cycles;
+//! 3. **orchestrator phase** — every row's FSM observes its meta stream head,
+//!    delivered message, credits, and north-FIFO occupancy, and issues one
+//!    instruction into column 0 (possibly NOP);
+//! 4. **COMMIT** for all PEs (NoC pushes happen here), collecting retiring
+//!    instructions for eastward forwarding;
+//! 5. **EXECUTE** for all PEs;
+//! 6. **LOAD** for all PEs — column 0 receives this cycle's orchestrator
+//!    instruction, column `c > 0` receives the instruction that retired from
+//!    column `c-1` **last** cycle, reproducing the 3-cycle stagger of §2.1
+//!    (issue at cycle *n* reaches column *c* at cycle *n + 3c*);
+//! 7. pipeline advance and edge-sink draining into the collectors.
+//!
+//! ## Flow control
+//!
+//! The paper's "dynamically managed circuit-switching" avoids in-array
+//! backpressure: orchestrators, knowing the array's deterministic timing,
+//! make all congestion decisions at the periphery. The simulator realises
+//! this as an orchestrator-level credit protocol on each row's southbound
+//! channel plus a bounded message channel between vertically adjacent
+//! orchestrators; the per-column FIFOs are then provably bounded, and the
+//! simulator verifies (rather than provides) that bound — an overflow or
+//! underflow aborts the run as a protocol error.
+
+use crate::config::CanonConfig;
+use crate::isa::{Addr, Direction, Instruction, Vector, LANES};
+use crate::noc::{LinkGrid, TaggedVector};
+use crate::orchestrator::{MetaToken, OrchIo, OrchMessage, OrchProgram};
+use crate::pe::Pe;
+use crate::stats::{RunReport, Stats};
+use crate::SimError;
+use std::collections::VecDeque;
+
+/// A value delivered to a south/east edge collector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollectedEntry {
+    /// Producer-attached tag (output row id or linear output index).
+    pub tag: u32,
+    /// The array lane it exited from (column index for the south edge, row
+    /// index for the east edge).
+    pub lane: usize,
+    /// Payload.
+    pub value: Vector,
+    /// Cycle at which it exited the array.
+    pub cycle: u64,
+}
+
+struct RowState {
+    program: Option<Box<dyn OrchProgram>>,
+    meta: VecDeque<MetaToken>,
+    south_credits: usize,
+    inbox: VecDeque<(u64, OrchMessage)>,
+    credit_returns: VecDeque<u64>,
+    last_state: Option<u8>,
+    orch_steps: u64,
+    transitions: u64,
+    messages_sent: u64,
+    stalls: u64,
+    meta_consumed: u64,
+}
+
+impl RowState {
+    fn new(initial_credits: usize) -> RowState {
+        RowState {
+            program: None,
+            meta: VecDeque::new(),
+            south_credits: initial_credits,
+            inbox: VecDeque::new(),
+            credit_returns: VecDeque::new(),
+            last_state: None,
+            orch_steps: 0,
+            transitions: 0,
+            messages_sent: 0,
+            stalls: 0,
+            meta_consumed: 0,
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.program.as_ref().map_or(true, |p| p.done())
+    }
+}
+
+/// The simulated Canon fabric.
+pub struct Fabric {
+    cfg: CanonConfig,
+    pes: Vec<Pe>,
+    grid: LinkGrid,
+    rows: Vec<RowState>,
+    /// Instruction to inject into each PE this cycle (column > 0 slots are
+    /// written by the previous cycle's commits).
+    inject_now: Vec<Option<Instruction>>,
+    /// Instructions retiring this cycle, to inject next cycle one column east.
+    inject_next: Vec<Option<Instruction>>,
+    feeders: Vec<VecDeque<TaggedVector>>,
+    feeder_bytes_per_token: u64,
+    south_collected: Vec<CollectedEntry>,
+    east_collected: Vec<CollectedEntry>,
+    cycle: u64,
+    extra_offchip_read: u64,
+    extra_offchip_write: u64,
+}
+
+impl Fabric {
+    /// Builds a fabric for the given configuration. `north_edge_feeder`
+    /// selects whether the north edge is a token stream (SDDMM) or reads as
+    /// zero (SpMM-family kernels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or `pipe_depth != 3` (the
+    /// paper's fixed PE pipeline latency; see §2.1).
+    pub fn new(cfg: &CanonConfig, north_edge_feeder: bool) -> Fabric {
+        cfg.validate().expect("invalid CanonConfig");
+        assert_eq!(
+            cfg.pipe_depth, 3,
+            "the PE pipeline is 3 stages (LOAD/EXECUTE/COMMIT)"
+        );
+        let n = cfg.pe_count();
+        let initial_credits = cfg.link_fifo_depth - 2;
+        let mut rows = Vec::with_capacity(cfg.rows);
+        for r in 0..cfg.rows {
+            let credits = if r + 1 == cfg.rows {
+                usize::MAX / 2 // bottom row flushes into the edge sink
+            } else {
+                initial_credits
+            };
+            rows.push(RowState::new(credits));
+        }
+        Fabric {
+            pes: (0..n)
+                .map(|_| Pe::new(cfg.dmem_words, cfg.spad_entries))
+                .collect(),
+            grid: LinkGrid::new(cfg.rows, cfg.cols, cfg.link_fifo_depth, north_edge_feeder),
+            rows,
+            inject_now: vec![None; n],
+            inject_next: vec![None; n],
+            feeders: vec![VecDeque::new(); cfg.cols],
+            feeder_bytes_per_token: LANES as u64,
+            south_collected: Vec::new(),
+            east_collected: Vec::new(),
+            cycle: 0,
+            extra_offchip_read: 0,
+            extra_offchip_write: 0,
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// The configuration this fabric was built with.
+    pub fn config(&self) -> &CanonConfig {
+        &self.cfg
+    }
+
+    /// Mutable access to a PE (kernel mappers preload data memories).
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn pe_mut(&mut self, r: usize, c: usize) -> &mut Pe {
+        assert!(r < self.cfg.rows && c < self.cfg.cols, "PE index out of bounds");
+        &mut self.pes[r * self.cfg.cols + c]
+    }
+
+    /// Shared access to a PE.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn pe(&self, r: usize, c: usize) -> &Pe {
+        assert!(r < self.cfg.rows && c < self.cfg.cols, "PE index out of bounds");
+        &self.pes[r * self.cfg.cols + c]
+    }
+
+    /// Installs an orchestrator program on row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r` is out of bounds.
+    pub fn set_program(&mut self, r: usize, program: Box<dyn OrchProgram>) {
+        self.rows[r].program = Some(program);
+    }
+
+    /// Sets row `r`'s input meta-data stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r` is out of bounds.
+    pub fn set_meta_stream(&mut self, r: usize, stream: Vec<MetaToken>) {
+        self.rows[r].meta = stream.into();
+    }
+
+    /// Queues north-edge stream tokens for column `c` (one token enters the
+    /// array per column per cycle at most).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `c` is out of bounds.
+    pub fn set_feeder(&mut self, c: usize, tokens: Vec<TaggedVector>) {
+        self.feeders[c] = tokens.into();
+    }
+
+    /// Accounts additional off-chip read traffic (operand streams / preload)
+    /// known to the kernel mapper.
+    pub fn add_offchip_read_bytes(&mut self, bytes: u64) {
+        self.extra_offchip_read += bytes;
+    }
+
+    /// Accounts additional off-chip write traffic.
+    pub fn add_offchip_write_bytes(&mut self, bytes: u64) {
+        self.extra_offchip_write += bytes;
+    }
+
+    /// Values that exited the south edge so far.
+    pub fn south_collected(&self) -> &[CollectedEntry] {
+        &self.south_collected
+    }
+
+    /// Values that exited the east edge so far.
+    pub fn east_collected(&self) -> &[CollectedEntry] {
+        &self.east_collected
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn instr_pushes_south(i: &Instruction) -> bool {
+        matches!(i.res, Addr::Port(Direction::South))
+            || i.route.is_some_and(|r| r.to == Direction::South)
+    }
+
+    fn instr_pops_north(i: &Instruction) -> bool {
+        matches!(i.op1, Addr::Port(Direction::North))
+            || matches!(i.op2, Addr::Port(Direction::North))
+            || i.route.is_some_and(|r| r.from == Direction::North)
+    }
+
+    /// Advances the fabric by one cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns protocol errors (router conflicts, FIFO over/underflow,
+    /// address violations) detected during the cycle.
+    pub fn step(&mut self) -> Result<(), SimError> {
+        let now = self.cycle;
+        let cols = self.cfg.cols;
+        let nrows = self.cfg.rows;
+
+        // 1. North-edge feeders: at most one token per column per cycle.
+        for c in 0..cols {
+            if let Some(&tok) = self.feeders[c].front() {
+                let link = self.grid.vertical(0, c);
+                if link.len() < self.cfg.link_fifo_depth {
+                    link.push(tok, now, "north feeder")?;
+                    self.feeders[c].pop_front();
+                    self.extra_offchip_read += self.feeder_bytes_per_token;
+                }
+            }
+        }
+
+        // 2. Credit delivery.
+        for row in &mut self.rows {
+            while row
+                .credit_returns
+                .front()
+                .is_some_and(|&deliver| deliver <= now)
+            {
+                row.credit_returns.pop_front();
+                row.south_credits += 1;
+            }
+        }
+
+        // 3. Orchestrator phase. A finished orchestrator is still stepped
+        // while messages are pending: its FSM keeps the bypass transitions of
+        // the DONE state so upstream rows can drain through it.
+        for r in 0..nrows {
+            self.inject_now[r * cols] = None;
+            let has_deliverable_msg = self.rows[r]
+                .inbox
+                .front()
+                .is_some_and(|&(deliver, _)| deliver <= now);
+            if self.rows[r].program.is_none() || (self.rows[r].done() && !has_deliverable_msg) {
+                continue;
+            }
+            let io = OrchIo {
+                cycle: now,
+                input: self.rows[r].meta.front().copied(),
+                msg: self.rows[r]
+                    .inbox
+                    .front()
+                    .filter(|&&(deliver, _)| deliver <= now)
+                    .map(|&(_, m)| m),
+                south_credits: self.rows[r].south_credits,
+                msg_slot_free: r + 1 >= nrows
+                    || self.rows[r + 1].inbox.len() < self.cfg.orch_msg_capacity,
+                north_tokens: self.grid.vertical_ref(r, 0).len(),
+            };
+            let action = {
+                let program = self.rows[r]
+                    .program
+                    .as_mut()
+                    .expect("checked present above");
+                program.step(&io)
+            };
+            let row = &mut self.rows[r];
+            row.orch_steps += 1;
+            if row.last_state != Some(action.state_id) {
+                if row.last_state.is_some() {
+                    row.transitions += 1;
+                }
+                row.last_state = Some(action.state_id);
+            }
+            if action.stalled {
+                row.stalls += 1;
+            }
+            if action.consume_input {
+                row.meta.pop_front();
+                row.meta_consumed += 1;
+            }
+            if action.consume_msg {
+                row.inbox.pop_front();
+            }
+            let instr = action.instr;
+            if Self::instr_pushes_south(&instr) && r + 1 < nrows {
+                if self.rows[r].south_credits == 0 {
+                    return Err(SimError::Deadlock {
+                        cycle: now,
+                        waiting_on: format!(
+                            "row {r} issued a south push without credit (FSM bug)"
+                        ),
+                    });
+                }
+                self.rows[r].south_credits -= 1;
+            }
+            if Self::instr_pops_north(&instr) && r > 0 {
+                let deliver = now + self.cfg.orch_msg_latency;
+                self.rows[r - 1].credit_returns.push_back(deliver);
+            }
+            if let Some(m) = action.msg_out {
+                self.rows[r].messages_sent += 1;
+                if r + 1 < nrows {
+                    if self.rows[r + 1].inbox.len() >= self.cfg.orch_msg_capacity {
+                        return Err(SimError::Deadlock {
+                            cycle: now,
+                            waiting_on: format!("row {r} overflowed the message channel"),
+                        });
+                    }
+                    let deliver = now + self.cfg.orch_msg_latency;
+                    self.rows[r + 1].inbox.push_back((deliver, m));
+                }
+            }
+            self.inject_now[r * cols] = Some(instr);
+        }
+
+        // 4. COMMIT phase (NoC pushes), recording eastward forwards.
+        for r in 0..nrows {
+            for c in 0..cols {
+                let idx = r * cols + c;
+                let retired = self.pes[idx].commit(&mut self.grid, r, c, now)?;
+                if c + 1 < cols {
+                    self.inject_next[idx + 1] = retired;
+                }
+            }
+        }
+
+        // 5. EXECUTE phase.
+        for pe in &mut self.pes {
+            pe.execute();
+        }
+
+        // 6. LOAD phase.
+        for r in 0..nrows {
+            for c in 0..cols {
+                let idx = r * cols + c;
+                let incoming = self.inject_now[idx].take();
+                self.pes[idx].load(incoming, &mut self.grid, r, c, now)?;
+            }
+        }
+
+        // 7. Advance pipelines; next cycle's column >0 injections become
+        // current.
+        for pe in &mut self.pes {
+            pe.advance();
+        }
+        std::mem::swap(&mut self.inject_now, &mut self.inject_next);
+        for (i, slot) in self.inject_next.iter_mut().enumerate() {
+            if i % cols == 0 {
+                *slot = None;
+            } else {
+                *slot = None;
+            }
+        }
+
+        // 8. Drain edge sinks into the collectors.
+        for c in 0..cols {
+            let drained: Vec<TaggedVector> =
+                self.grid.vertical(nrows, c).drain_all().collect();
+            for e in drained {
+                self.south_collected.push(CollectedEntry {
+                    tag: e.tag,
+                    lane: c,
+                    value: e.value,
+                    cycle: now,
+                });
+            }
+        }
+        for r in 0..nrows {
+            let drained: Vec<TaggedVector> =
+                self.grid.horizontal(r, cols).drain_all().collect();
+            for e in drained {
+                self.east_collected.push(CollectedEntry {
+                    tag: e.tag,
+                    lane: r,
+                    value: e.value,
+                    cycle: now,
+                });
+            }
+        }
+
+        self.cycle += 1;
+        Ok(())
+    }
+
+    /// True when all orchestrators are done, all pipelines and links are
+    /// empty, and no messages or feeder tokens are pending.
+    pub fn quiescent(&self) -> bool {
+        self.rows.iter().all(RowState::done)
+            && self.rows.iter().all(|r| r.inbox.is_empty())
+            && self.pes.iter().all(Pe::pipeline_empty)
+            && self.grid.internal_quiescent()
+            && !self.grid.north_edge_pending()
+            && self.feeders.iter().all(VecDeque::is_empty)
+            && self.inject_now.iter().all(Option::is_none)
+            && self.inject_next.iter().all(Option::is_none)
+    }
+
+    /// Runs until quiescent, returning the run report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol errors and reports a [`SimError::Deadlock`] if the
+    /// watchdog budget is exhausted before the fabric drains.
+    pub fn run(&mut self) -> Result<RunReport, SimError> {
+        let work: u64 = self.rows.iter().map(|r| r.meta.len() as u64).sum::<u64>()
+            + self.feeders.iter().map(|f| f.len() as u64).sum::<u64>();
+        let budget = self
+            .cfg
+            .watchdog_factor
+            .saturating_mul(work + (self.cfg.rows + self.cfg.cols) as u64)
+            .saturating_add(self.cfg.watchdog_slack);
+        let start = self.cycle;
+        while !self.quiescent() {
+            if self.cycle - start > budget {
+                let waiting: Vec<String> = self
+                    .rows
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| !r.done())
+                    .map(|(i, r)| format!("row {i} ({} meta left)", r.meta.len()))
+                    .collect();
+                return Err(SimError::Deadlock {
+                    cycle: self.cycle,
+                    waiting_on: if waiting.is_empty() {
+                        "pipeline/NoC drain".into()
+                    } else {
+                        waiting.join(", ")
+                    },
+                });
+            }
+            self.step()?;
+        }
+        Ok(self.report())
+    }
+
+    /// Builds the report for the cycles simulated so far.
+    pub fn report(&self) -> RunReport {
+        let mut stats = Stats::new();
+        for pe in &self.pes {
+            let c = pe.counters();
+            stats.instrs_executed += c.instrs;
+            stats.compute_instrs += c.compute_instrs;
+            stats.mac_instrs += c.mac_instrs;
+            stats.dmem_reads += pe.dmem.read_count();
+            stats.dmem_writes += pe.dmem.write_count();
+            stats.spad_reads += pe.spad.read_count();
+            stats.spad_writes += pe.spad.write_count();
+        }
+        stats.noc_hops = self.grid.total_pushes();
+        for row in &self.rows {
+            stats.orch_steps += row.orch_steps;
+            stats.orch_transitions += row.transitions;
+            stats.orch_messages += row.messages_sent;
+            stats.stall_cycles += row.stalls;
+            stats.meta_tokens += row.meta_consumed;
+        }
+        stats.offchip_read_bytes = self.extra_offchip_read;
+        stats.offchip_write_bytes = self.extra_offchip_write;
+        RunReport {
+            cycles: self.cycle,
+            pes: self.cfg.pe_count(),
+            stats,
+        }
+    }
+}
+
+impl std::fmt::Debug for Fabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fabric")
+            .field("rows", &self.cfg.rows)
+            .field("cols", &self.cfg.cols)
+            .field("cycle", &self.cycle)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Opcode;
+    use crate::orchestrator::OrchAction;
+
+    /// A scripted orchestrator that plays back a fixed instruction sequence.
+    struct Script {
+        instrs: VecDeque<Instruction>,
+    }
+
+    impl OrchProgram for Script {
+        fn step(&mut self, _io: &OrchIo) -> OrchAction {
+            match self.instrs.pop_front() {
+                Some(i) => OrchAction {
+                    instr: i,
+                    ..OrchAction::nop(0)
+                },
+                None => OrchAction::nop(0),
+            }
+        }
+        fn done(&self) -> bool {
+            self.instrs.is_empty()
+        }
+    }
+
+    fn small_cfg() -> CanonConfig {
+        CanonConfig {
+            rows: 2,
+            cols: 3,
+            dmem_words: 16,
+            spad_entries: 4,
+            ..CanonConfig::default()
+        }
+    }
+
+    #[test]
+    fn staggered_issue_reaches_column_c_at_3c() {
+        // One instruction that pushes its dmem word south; dmem preloaded
+        // with distinct values per column. The south-edge collector records
+        // the exit cycle per column: issue at cycle 0 → commit at column c at
+        // cycle 3c + 2.
+        let cfg = small_cfg();
+        let mut f = Fabric::new(&cfg, false);
+        for c in 0..3 {
+            f.pe_mut(1, c).dmem.preload(0, &[Vector::splat(c as i32)]);
+        }
+        let flush = Instruction::new(
+            Opcode::Mov,
+            Addr::DataMem(0),
+            Addr::Null,
+            Addr::Port(Direction::South),
+        )
+        .with_tag(7);
+        f.set_program(
+            1,
+            Box::new(Script {
+                instrs: vec![flush].into(),
+            }),
+        );
+        f.run().unwrap();
+        let got = f.south_collected();
+        assert_eq!(got.len(), 3);
+        for e in got {
+            assert_eq!(e.tag, 7);
+            assert_eq!(e.value, Vector::splat(e.lane as i32));
+            // LOAD at 3c, COMMIT at 3c + 2.
+            assert_eq!(e.cycle, 3 * e.lane as u64 + 2);
+        }
+    }
+
+    #[test]
+    fn pipelined_throughput_one_instruction_per_cycle() {
+        // N flushes issued back-to-back: last exit cycle = (N-1) + 3(C-1) + 2.
+        let cfg = small_cfg();
+        let mut f = Fabric::new(&cfg, false);
+        let n = 5;
+        let instrs: Vec<Instruction> = (0..n)
+            .map(|i| {
+                Instruction::new(Opcode::Mov, Addr::Imm, Addr::Null, Addr::Port(Direction::South))
+                    .with_imm(Vector::splat(i as i32))
+                    .with_tag(i as u32)
+            })
+            .collect();
+        f.set_program(1, Box::new(Script { instrs: instrs.into() }));
+        f.run().unwrap();
+        let got = f.south_collected();
+        assert_eq!(got.len(), n * 3);
+        let last = got.iter().map(|e| e.cycle).max().unwrap();
+        assert_eq!(last, (n as u64 - 1) + 3 * 2 + 2);
+    }
+
+    #[test]
+    fn quiescent_initially_and_after_run() {
+        let cfg = small_cfg();
+        let mut f = Fabric::new(&cfg, false);
+        assert!(f.quiescent());
+        f.set_program(0, Box::new(Script { instrs: VecDeque::new() }));
+        let r = f.run().unwrap();
+        assert_eq!(r.cycles, 0);
+    }
+
+    #[test]
+    fn watchdog_fires_on_stuck_program() {
+        struct Stuck;
+        impl OrchProgram for Stuck {
+            fn step(&mut self, _io: &OrchIo) -> OrchAction {
+                OrchAction::stall(0)
+            }
+            fn done(&self) -> bool {
+                false
+            }
+        }
+        let mut cfg = small_cfg();
+        cfg.watchdog_factor = 1;
+        cfg.watchdog_slack = 50;
+        let mut f = Fabric::new(&cfg, false);
+        f.set_program(0, Box::new(Stuck));
+        assert!(matches!(f.run(), Err(SimError::Deadlock { .. })));
+    }
+
+    #[test]
+    fn report_counts_instructions_and_stalls() {
+        let cfg = small_cfg();
+        let mut f = Fabric::new(&cfg, false);
+        let instrs: Vec<Instruction> = vec![Instruction::NOP; 4];
+        f.set_program(0, Box::new(Script { instrs: instrs.into() }));
+        let r = f.run().unwrap();
+        // 4 NOPs each traverse 3 PEs.
+        assert_eq!(r.stats.instrs_executed, 12);
+        assert_eq!(r.stats.compute_instrs, 0);
+        assert_eq!(r.stats.orch_steps, 4);
+    }
+
+    #[test]
+    fn feeder_rate_is_one_token_per_cycle_per_column() {
+        let cfg = small_cfg();
+        let mut f = Fabric::new(&cfg, true);
+        // The popping instruction traverses all three columns, so every
+        // column needs a feeder stream.
+        for c in 0..3 {
+            let tokens: Vec<TaggedVector> = (0..3)
+                .map(|i| TaggedVector {
+                    value: Vector::splat(i),
+                    tag: i as u32,
+                })
+                .collect();
+            f.set_feeder(c, tokens);
+        }
+        // A scripted program that pops north three times on row 0.
+        let pop = Instruction::new(Opcode::Mov, Addr::Port(Direction::North), Addr::Null, Addr::Spad(0));
+        f.set_program(
+            0,
+            Box::new(Script {
+                instrs: vec![pop, pop, pop].into(),
+            }),
+        );
+        let r = f.run().unwrap();
+        assert!(r.cycles >= 3);
+        // 3 tokens × 3 columns × LANES bytes accounted as off-chip reads.
+        assert_eq!(r.stats.offchip_read_bytes, 9 * LANES as u64);
+    }
+}

@@ -1,0 +1,482 @@
+//! Canon ISA: instruction format and unified address space (§3.1).
+//!
+//! The paper's instruction format is
+//!
+//! ```text
+//! <inst> ::= <op> <op1_addr> <op2_addr> <res_addr>
+//! ```
+//!
+//! with the scratchpad, data memory, router ports and SIMD registers sharing
+//! a unified address space: which structure an access touches is inferred
+//! from the address ([`Addr`]). Two additional fields model aspects the paper
+//! describes but does not put into the four-field format:
+//!
+//! * [`Instruction::imm`] — the operand streamed from the west edge alongside
+//!   the instruction (the `From WEST` input in Fig 4; e.g. the non-zero value
+//!   of `A` in SpMM). It travels with the staggered instruction, which is
+//!   timing-equivalent to a west-to-east data stream.
+//! * [`Instruction::route`] — the router pass-through configuration
+//!   (`ROUTER_CONF` in Fig 4), e.g. `NORTH_TO_SOUTH` for the psum bypass of
+//!   the SpMM FSM (Listing 1). A pass-through moves a NoC entry without
+//!   involving the vector lane and may ride along any instruction.
+//! * [`Instruction::tag`] — the row-id tag the orchestrator attaches for the
+//!   edge memory movers (EDDO I/O control, §4): fabric-edge collectors use it
+//!   to attribute flushed partial sums to output rows.
+
+use canon_sparse::Value;
+
+/// Number of lanes in the PE vector unit (Table 1: 4-SIMD).
+pub const LANES: usize = 4;
+
+/// A 4-wide SIMD value: the unit of every datapath transfer in the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Vector(pub [Value; LANES]);
+
+impl Vector {
+    /// The all-zero vector.
+    pub const ZERO: Vector = Vector([0; LANES]);
+
+    /// Builds a vector broadcasting one scalar to all lanes.
+    pub fn splat(v: Value) -> Vector {
+        Vector([v; LANES])
+    }
+
+    /// Builds a vector from a slice, zero-padding to [`LANES`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s.len() > LANES`.
+    pub fn from_slice(s: &[Value]) -> Vector {
+        assert!(s.len() <= LANES, "slice longer than {LANES} lanes");
+        let mut v = [0; LANES];
+        v[..s.len()].copy_from_slice(s);
+        Vector(v)
+    }
+
+    /// Elementwise sum.
+    pub fn add(self, rhs: Vector) -> Vector {
+        let mut out = [0; LANES];
+        for i in 0..LANES {
+            out[i] = self.0[i].wrapping_add(rhs.0[i]);
+        }
+        Vector(out)
+    }
+
+    /// Elementwise product.
+    pub fn mul(self, rhs: Vector) -> Vector {
+        let mut out = [0; LANES];
+        for i in 0..LANES {
+            out[i] = self.0[i].wrapping_mul(rhs.0[i]);
+        }
+        Vector(out)
+    }
+
+    /// `self + a * b` elementwise (the 4-wide MAC).
+    pub fn mac(self, a: Vector, b: Vector) -> Vector {
+        self.add(a.mul(b))
+    }
+
+    /// Horizontal sum of all lanes (used by the final SDDMM reduction).
+    pub fn reduce_sum(self) -> Value {
+        self.0.iter().copied().fold(0, Value::wrapping_add)
+    }
+
+    /// Scalar in lane 0 (scalar operands occupy lane 0 by convention).
+    pub fn lane0(self) -> Value {
+        self.0[0]
+    }
+
+    /// True if every lane is zero.
+    pub fn is_zero(self) -> bool {
+        self.0.iter().all(|&v| v == 0)
+    }
+}
+
+impl From<[Value; LANES]> for Vector {
+    fn from(v: [Value; LANES]) -> Self {
+        Vector(v)
+    }
+}
+
+/// Mesh directions for the circuit-switched NoC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Towards row 0.
+    North,
+    /// Towards the last row.
+    South,
+    /// Towards column 0.
+    West,
+    /// Towards the last column.
+    East,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::North => Direction::South,
+            Direction::South => Direction::North,
+            Direction::West => Direction::East,
+            Direction::East => Direction::West,
+        }
+    }
+
+    /// All four directions.
+    pub fn all() -> [Direction; 4] {
+        [
+            Direction::North,
+            Direction::South,
+            Direction::West,
+            Direction::East,
+        ]
+    }
+}
+
+impl std::fmt::Display for Direction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Direction::North => "North",
+            Direction::South => "South",
+            Direction::West => "West",
+            Direction::East => "East",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Unified address space (§3.1): "the scratchpad, data memory, router, and
+/// SIMD registers share a unified address space. The specific memory accessed
+/// or NoC switching action is inferred from the address."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Addr {
+    /// No operand / discard result. Reads as the zero vector.
+    #[default]
+    Null,
+    /// Data-memory word (one [`Vector`] per word).
+    DataMem(u16),
+    /// Scratchpad entry (one [`Vector`] per entry).
+    Spad(u16),
+    /// SIMD register.
+    Reg(u8),
+    /// Router port in the given direction. Reading pops the incoming FIFO
+    /// (array edges read as zero); writing pushes to the outgoing link.
+    Port(Direction),
+    /// The instruction's immediate ([`Instruction::imm`]) — the west-edge
+    /// streamed operand. Write-invalid.
+    Imm,
+}
+
+impl std::fmt::Display for Addr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Addr::Null => write!(f, "null"),
+            Addr::DataMem(a) => write!(f, "dmem[{a:#x}]"),
+            Addr::Spad(a) => write!(f, "spad[{a:#x}]"),
+            Addr::Reg(r) => write!(f, "r{r}"),
+            Addr::Port(d) => write!(f, "port.{d}"),
+            Addr::Imm => write!(f, "imm"),
+        }
+    }
+}
+
+/// Operation codes of the PE vector lane.
+///
+/// Semantics (all element-wise over [`LANES`] lanes; `res` denotes the value
+/// committed to `res_addr`):
+///
+/// | Op | Result |
+/// |---|---|
+/// | `Nop` | nothing |
+/// | `Mov` | `res = op1` |
+/// | `MovFlush` | `res = op1`, and `op1` (scratchpad/register) is cleared to zero — the psum-flush primitive of Listing 1 / App C case 2 |
+/// | `Add` | `res = op1 + op2` |
+/// | `AddFlush` | `res = op1 + op2`, and `op1` is cleared — the east-going psum chain step of SDDMM |
+/// | `Sub` | `res = op1 - op2` |
+/// | `Mul` | `res = op1 * op2` |
+/// | `MacV` | `res = res + op1 * op2` (read-modify-write vector MAC) |
+/// | `MacS` | `res = res + broadcast(op1.lane0) * op2` (scalar×vector MAC: SpMM) |
+/// | `Acc` | `res = res + op1` (psum accumulation) |
+/// | `RedSum` | `res.lane0 = Σ lanes(op1)`, other lanes zero |
+/// | `Max` / `Min` | elementwise max/min (general kernels) |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Opcode {
+    /// No operation.
+    #[default]
+    Nop,
+    /// Copy.
+    Mov,
+    /// Copy and clear source.
+    MovFlush,
+    /// Elementwise add.
+    Add,
+    /// Elementwise add and clear `op1`.
+    AddFlush,
+    /// Elementwise subtract.
+    Sub,
+    /// Elementwise multiply.
+    Mul,
+    /// Vector multiply-accumulate into `res`.
+    MacV,
+    /// Scalar-broadcast multiply-accumulate into `res`.
+    MacS,
+    /// Accumulate `op1` into `res`.
+    Acc,
+    /// Horizontal sum of `op1` into lane 0 of `res`.
+    RedSum,
+    /// Elementwise maximum.
+    Max,
+    /// Elementwise minimum.
+    Min,
+}
+
+impl Opcode {
+    /// True for opcodes that perform useful arithmetic on the vector lane
+    /// (used for the compute-utilization metric).
+    pub fn is_compute(self) -> bool {
+        matches!(
+            self,
+            Opcode::Add
+                | Opcode::AddFlush
+                | Opcode::Sub
+                | Opcode::Mul
+                | Opcode::MacV
+                | Opcode::MacS
+                | Opcode::Acc
+                | Opcode::RedSum
+                | Opcode::Max
+                | Opcode::Min
+        )
+    }
+
+    /// True for the multiply-accumulate opcodes (the "useful MACs" the
+    /// paper's utilization figures count).
+    pub fn is_mac(self) -> bool {
+        matches!(self, Opcode::MacV | Opcode::MacS | Opcode::Mul)
+    }
+}
+
+/// A router pass-through: moves one NoC entry from the incoming FIFO of
+/// `from` to the outgoing link towards `to`, preserving the entry's tag,
+/// without involving the vector lane. May ride along any instruction
+/// (`ROUTER_CONF`), subject to the one-transfer-per-direction-per-cycle rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Route {
+    /// Input side (FIFO that is popped).
+    pub from: Direction,
+    /// Output side (link that is pushed).
+    pub to: Direction,
+}
+
+/// One Canon instruction, as generated by an orchestrator (§3.1, §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Instruction {
+    /// Vector-lane operation.
+    pub op: Opcode,
+    /// First operand address.
+    pub op1: Addr,
+    /// Second operand address.
+    pub op2: Addr,
+    /// Result address.
+    pub res: Addr,
+    /// West-edge streamed operand, if any.
+    pub imm: Option<Vector>,
+    /// Router pass-through riding along this instruction, if any.
+    pub route: Option<Route>,
+    /// Output-row tag attached to any NoC push made by `res` (used by the
+    /// edge collectors; pass-through routes keep the original entry's tag).
+    pub tag: u32,
+}
+
+impl Instruction {
+    /// The canonical no-op.
+    pub const NOP: Instruction = Instruction {
+        op: Opcode::Nop,
+        op1: Addr::Null,
+        op2: Addr::Null,
+        res: Addr::Null,
+        imm: None,
+        route: None,
+        tag: 0,
+    };
+
+    /// Convenience constructor for a plain 4-field instruction.
+    pub fn new(op: Opcode, op1: Addr, op2: Addr, res: Addr) -> Instruction {
+        Instruction {
+            op,
+            op1,
+            op2,
+            res,
+            ..Instruction::NOP
+        }
+    }
+
+    /// Sets the immediate (builder style).
+    pub fn with_imm(mut self, imm: Vector) -> Instruction {
+        self.imm = Some(imm);
+        self
+    }
+
+    /// Sets the route pass-through (builder style).
+    pub fn with_route(mut self, from: Direction, to: Direction) -> Instruction {
+        self.route = Some(Route { from, to });
+        self
+    }
+
+    /// Sets the collector tag (builder style).
+    pub fn with_tag(mut self, tag: u32) -> Instruction {
+        self.tag = tag;
+        self
+    }
+
+    /// Validates the §3.1 compile-time restriction: an instruction must not
+    /// read from and write to the same NoC direction (including its route).
+    ///
+    /// Returns the offending direction on violation.
+    pub fn noc_conflict(&self) -> Option<Direction> {
+        let mut op_reads = Vec::new();
+        let mut writes = Vec::new();
+        for a in [self.op1, self.op2] {
+            if let Addr::Port(d) = a {
+                op_reads.push(d);
+            }
+        }
+        if let Addr::Port(d) = self.res {
+            writes.push(d);
+        }
+        if let Some(r) = self.route {
+            writes.push(r.to);
+            // A route input shared with an operand port is a single pop
+            // feeding both (legal); an *additional* distinct pop is a read.
+            if !op_reads.contains(&r.from) {
+                op_reads.push(r.from);
+            }
+        }
+        for &r in &op_reads {
+            if writes.contains(&r) {
+                return Some(r);
+            }
+        }
+        // Forbid double-driving one direction (two operand pops or two
+        // pushes).
+        for (i, &a) in op_reads.iter().enumerate() {
+            if op_reads[i + 1..].contains(&a) {
+                return Some(a);
+            }
+        }
+        for (i, &a) in writes.iter().enumerate() {
+            if writes[i + 1..].contains(&a) {
+                return Some(a);
+            }
+        }
+        None
+    }
+}
+
+impl std::fmt::Display for Instruction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:?} {} {} {}",
+            self.op, self.op1, self.op2, self.res
+        )?;
+        if let Some(r) = self.route {
+            write!(f, " route({}→{})", r.from, r.to)?;
+        }
+        if self.imm.is_some() {
+            write!(f, " imm")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_arithmetic() {
+        let a = Vector([1, 2, 3, 4]);
+        let b = Vector([10, 20, 30, 40]);
+        assert_eq!(a.add(b), Vector([11, 22, 33, 44]));
+        assert_eq!(a.mul(b), Vector([10, 40, 90, 160]));
+        assert_eq!(Vector::ZERO.mac(a, b), a.mul(b));
+        assert_eq!(a.reduce_sum(), 10);
+        assert_eq!(Vector::splat(5).0, [5; LANES]);
+        assert!(Vector::ZERO.is_zero());
+        assert!(!a.is_zero());
+    }
+
+    #[test]
+    fn vector_from_slice_pads() {
+        let v = Vector::from_slice(&[7, 8]);
+        assert_eq!(v, Vector([7, 8, 0, 0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "longer than")]
+    fn vector_from_slice_rejects_long() {
+        let _ = Vector::from_slice(&[0; 5]);
+    }
+
+    #[test]
+    fn direction_opposites() {
+        for d in Direction::all() {
+            assert_eq!(d.opposite().opposite(), d);
+        }
+        assert_eq!(Direction::North.opposite(), Direction::South);
+    }
+
+    #[test]
+    fn opcode_classes() {
+        assert!(Opcode::MacS.is_mac());
+        assert!(Opcode::MacS.is_compute());
+        assert!(!Opcode::Mov.is_compute());
+        assert!(!Opcode::Nop.is_compute());
+        assert!(Opcode::Acc.is_compute());
+        assert!(!Opcode::Acc.is_mac());
+    }
+
+    #[test]
+    fn noc_conflict_same_direction_read_write() {
+        // Read and write South in one instruction: illegal (§3.1).
+        let i = Instruction::new(
+            Opcode::Mov,
+            Addr::Port(Direction::South),
+            Addr::Null,
+            Addr::Port(Direction::South),
+        );
+        assert_eq!(i.noc_conflict(), Some(Direction::South));
+    }
+
+    #[test]
+    fn noc_conflict_route_vs_res() {
+        // res pushes South while route also pushes South: double drive.
+        let i = Instruction::new(Opcode::Mov, Addr::Spad(0), Addr::Null, Addr::Port(Direction::South))
+            .with_route(Direction::North, Direction::South);
+        assert_eq!(i.noc_conflict(), Some(Direction::South));
+    }
+
+    #[test]
+    fn noc_bypass_is_legal() {
+        // North→South pass-through riding a MAC that reads dmem: legal.
+        let i = Instruction::new(Opcode::MacS, Addr::Imm, Addr::DataMem(3), Addr::Spad(1))
+            .with_route(Direction::North, Direction::South);
+        assert_eq!(i.noc_conflict(), None);
+    }
+
+    #[test]
+    fn instruction_display_mentions_route() {
+        let i = Instruction::new(Opcode::Add, Addr::Reg(0), Addr::Port(Direction::West), Addr::Port(Direction::East));
+        assert!(i.to_string().contains("Add"));
+        let i = i.with_route(Direction::North, Direction::South);
+        assert!(i.to_string().contains("route"));
+    }
+
+    #[test]
+    fn nop_constant() {
+        assert_eq!(Instruction::NOP.op, Opcode::Nop);
+        assert_eq!(Instruction::NOP.noc_conflict(), None);
+        assert_eq!(Instruction::default().op, Opcode::Nop);
+    }
+}

@@ -1,0 +1,23 @@
+//! Kernel mappings (§4, Appendices A–D).
+//!
+//! Each submodule maps one kernel family onto the Canon fabric: it lays out
+//! the stationary operand across PE data memories, builds the per-row
+//! meta-data streams the compiler would generate, installs the orchestrator
+//! FSM ("microcode"), runs the fabric, and reassembles the output from the
+//! edge collectors.
+//!
+//! | Kernel | Paper section | Module |
+//! |---|---|---|
+//! | SpMM (unstructured, Gustavson dataflow, Listing 1 FSM) | §4.1.1, App A/C | [`spmm`] |
+//! | Dense GEMM (systolic-style emulation, register accumulation) | §6.2 | [`gemm`] |
+//! | N:M structured SpMM (2:4, 2:8, any N:M) | §4.1.3 | [`nm`] |
+//! | SDDMM (unstructured mask) | §4.1.2, App B | [`sddmm`] |
+//! | Sliding-window SDDMM (Longformer/Mistral attention) | §4.1.3 | [`window`] |
+//! | Static spatial (place-and-route) execution | App D | [`spatial`] |
+
+pub mod gemm;
+pub mod nm;
+pub mod sddmm;
+pub mod spatial;
+pub mod spmm;
+pub mod window;

@@ -1,0 +1,215 @@
+//! Per-PE memories: data memory and dual-port scratchpad (§2.2).
+//!
+//! Canon partitions each PE's local storage into a larger single-cycle
+//! *data memory* for static data (e.g. the stationary tile of the dense
+//! operand) and a small dual-ported *scratchpad* used as a FIFO-managed
+//! buffer for partial sums / streamed-operand reuse. Both are word-addressed
+//! with one [`Vector`] per word and support single-cycle random access.
+
+use crate::isa::Vector;
+use crate::SimError;
+
+/// A word-addressed single-port SRAM holding [`Vector`] words.
+#[derive(Debug, Clone)]
+pub struct DataMemory {
+    words: Vec<Vector>,
+    reads: u64,
+    writes: u64,
+}
+
+impl DataMemory {
+    /// Creates a zero-initialised memory with `words` vector words.
+    pub fn new(words: usize) -> Self {
+        DataMemory {
+            words: vec![Vector::ZERO; words],
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Capacity in words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when the memory has zero capacity.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Reads a word, counting the access.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::AddressOutOfRange`] for addresses past the end.
+    pub fn read(&mut self, addr: usize) -> Result<Vector, SimError> {
+        let v = self
+            .words
+            .get(addr)
+            .copied()
+            .ok_or_else(|| SimError::AddressOutOfRange {
+                context: format!("dmem read {addr} of {}", self.words.len()),
+            })?;
+        self.reads += 1;
+        Ok(v)
+    }
+
+    /// Writes a word, counting the access.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::AddressOutOfRange`] for addresses past the end.
+    pub fn write(&mut self, addr: usize, v: Vector) -> Result<(), SimError> {
+        let len = self.words.len();
+        let slot = self
+            .words
+            .get_mut(addr)
+            .ok_or_else(|| SimError::AddressOutOfRange {
+                context: format!("dmem write {addr} of {len}"),
+            })?;
+        *slot = v;
+        self.writes += 1;
+        Ok(())
+    }
+
+    /// Preloads contents without counting accesses (models the asynchronous
+    /// EDDO memory movers filling the array before kernel execution; the
+    /// off-chip traffic is accounted separately by the kernel mappers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base + data.len()` exceeds the capacity.
+    pub fn preload(&mut self, base: usize, data: &[Vector]) {
+        assert!(
+            base + data.len() <= self.words.len(),
+            "preload of {} words at {base} exceeds capacity {}",
+            data.len(),
+            self.words.len()
+        );
+        self.words[base..base + data.len()].copy_from_slice(data);
+    }
+
+    /// Number of counted reads.
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of counted writes.
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+}
+
+/// The dual-port scratchpad: same interface as [`DataMemory`] but tracked
+/// separately because its per-access energy differs and the paper's Fig 11
+/// splits scratchpad read/write power out of the data-memory power.
+#[derive(Debug, Clone)]
+pub struct Scratchpad {
+    mem: DataMemory,
+}
+
+impl Scratchpad {
+    /// Creates a scratchpad with `entries` vector entries.
+    pub fn new(entries: usize) -> Self {
+        Scratchpad {
+            mem: DataMemory::new(entries),
+        }
+    }
+
+    /// Capacity in entries.
+    pub fn len(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// True when the scratchpad has zero capacity.
+    pub fn is_empty(&self) -> bool {
+        self.mem.is_empty()
+    }
+
+    /// Reads an entry (counted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::AddressOutOfRange`] for addresses past the end.
+    pub fn read(&mut self, addr: usize) -> Result<Vector, SimError> {
+        self.mem.read(addr).map_err(|_| SimError::AddressOutOfRange {
+            context: format!("spad read {addr} of {}", self.mem.len()),
+        })
+    }
+
+    /// Writes an entry (counted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::AddressOutOfRange`] for addresses past the end.
+    pub fn write(&mut self, addr: usize, v: Vector) -> Result<(), SimError> {
+        let len = self.mem.len();
+        self.mem.write(addr, v).map_err(|_| SimError::AddressOutOfRange {
+            context: format!("spad write {addr} of {len}"),
+        })
+    }
+
+    /// Number of counted reads.
+    pub fn read_count(&self) -> u64 {
+        self.mem.read_count()
+    }
+
+    /// Number of counted writes.
+    pub fn write_count(&self) -> u64 {
+        self.mem.write_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip_and_counts() {
+        let mut m = DataMemory::new(4);
+        m.write(2, Vector([1, 2, 3, 4])).unwrap();
+        assert_eq!(m.read(2).unwrap(), Vector([1, 2, 3, 4]));
+        assert_eq!(m.read(0).unwrap(), Vector::ZERO);
+        assert_eq!(m.read_count(), 2);
+        assert_eq!(m.write_count(), 1);
+    }
+
+    #[test]
+    fn out_of_range_errors() {
+        let mut m = DataMemory::new(2);
+        assert!(matches!(
+            m.read(2),
+            Err(SimError::AddressOutOfRange { .. })
+        ));
+        assert!(m.write(5, Vector::ZERO).is_err());
+        // Failed accesses are not counted.
+        assert_eq!(m.read_count(), 0);
+        assert_eq!(m.write_count(), 0);
+    }
+
+    #[test]
+    fn preload_does_not_count() {
+        let mut m = DataMemory::new(8);
+        m.preload(4, &[Vector::splat(9); 2]);
+        assert_eq!(m.write_count(), 0);
+        assert_eq!(m.read(5).unwrap(), Vector::splat(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn preload_bounds_checked() {
+        let mut m = DataMemory::new(2);
+        m.preload(1, &[Vector::ZERO; 2]);
+    }
+
+    #[test]
+    fn scratchpad_separate_counting() {
+        let mut s = Scratchpad::new(4);
+        s.write(0, Vector::splat(1)).unwrap();
+        s.read(0).unwrap();
+        assert_eq!(s.read_count(), 1);
+        assert_eq!(s.write_count(), 1);
+        assert_eq!(s.len(), 4);
+        assert!(s.read(10).is_err());
+    }
+}

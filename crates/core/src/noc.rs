@@ -1,0 +1,408 @@
+//! The dynamically-managed circuit-switched NoC (§2.1–§2.2).
+//!
+//! Canon's inter-PE links are circuit-switched and carry no runtime flow
+//! control *inside* the array: thanks to the deterministic staggered timing,
+//! the orchestrators manage congestion externally via credits and embed the
+//! switching decisions in the instruction stream. The simulator models each
+//! link as a small tagged FIFO; the orchestrator-level credit protocol (see
+//! [`crate::fabric`]) guarantees the FIFOs never overflow, and the simulator
+//! *checks* that guarantee instead of silently providing elastic buffering.
+
+use crate::isa::{Vector, LANES};
+use crate::SimError;
+use std::collections::VecDeque;
+
+/// A NoC payload: one [`Vector`] plus the output-row tag attached by the
+/// producing instruction (used by the edge collectors, preserved by
+/// pass-through routes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaggedVector {
+    /// Payload.
+    pub value: Vector,
+    /// Producer-attached tag (output row id / linear output index).
+    pub tag: u32,
+}
+
+impl TaggedVector {
+    /// The zero payload with tag 0 (what array-edge reads return).
+    pub const ZERO: TaggedVector = TaggedVector {
+        value: Vector([0; LANES]),
+        tag: 0,
+    };
+}
+
+/// One directed inter-PE link: a bounded FIFO of [`TaggedVector`]s.
+///
+/// Three flavours exist:
+/// * internal links (bounded; overflow and underflow are protocol errors),
+/// * zero-source edges (reads at the array boundary return zero — e.g. the
+///   west input of column 0 in the SDDMM psum chain),
+/// * sinks (south/east array edges; drained by the fabric's collectors every
+///   cycle).
+#[derive(Debug, Clone)]
+pub struct Link {
+    queue: VecDeque<TaggedVector>,
+    capacity: usize,
+    zero_source: bool,
+    relaxed: bool,
+    pushes: u64,
+}
+
+impl Link {
+    /// Creates an internal bounded link.
+    pub fn bounded(capacity: usize) -> Link {
+        Link {
+            queue: VecDeque::with_capacity(capacity),
+            capacity,
+            zero_source: false,
+            relaxed: false,
+            pushes: 0,
+        }
+    }
+
+    /// Creates a zero-source edge link: pops always yield zero.
+    pub fn zero_source() -> Link {
+        Link {
+            queue: VecDeque::new(),
+            capacity: 0,
+            zero_source: true,
+            relaxed: false,
+            pushes: 0,
+        }
+    }
+
+    /// Creates a sink link (drained externally; effectively unbounded, sized
+    /// generously so collector latency never back-pressures).
+    pub fn sink() -> Link {
+        Link {
+            queue: VecDeque::new(),
+            capacity: usize::MAX,
+            zero_source: false,
+            relaxed: false,
+            pushes: 0,
+        }
+    }
+
+    /// Creates an elastic link for the static spatial execution mode
+    /// (Appendix D): pops of an empty queue return zero instead of erroring
+    /// (the compiler schedules warm-up cycles), and capacity is unbounded.
+    pub fn elastic() -> Link {
+        Link {
+            queue: VecDeque::new(),
+            capacity: usize::MAX,
+            zero_source: false,
+            relaxed: true,
+            pushes: 0,
+        }
+    }
+
+    /// Pops the oldest entry, yielding zero when empty (spatial-mode
+    /// semantics).
+    pub fn pop_or_zero(&mut self) -> TaggedVector {
+        if self.zero_source {
+            return TaggedVector::ZERO;
+        }
+        self.queue.pop_front().unwrap_or(TaggedVector::ZERO)
+    }
+
+    /// Pushes an entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::RouterConflict`]-style protocol errors when the
+    /// credit discipline failed: pushing to a zero-source or over capacity.
+    pub fn push(
+        &mut self,
+        entry: TaggedVector,
+        cycle: u64,
+        context: &str,
+    ) -> Result<(), SimError> {
+        if self.zero_source {
+            return Err(SimError::AddressOutOfRange {
+                context: format!("push to zero-source edge link at cycle {cycle} ({context})"),
+            });
+        }
+        if self.queue.len() >= self.capacity {
+            return Err(SimError::Deadlock {
+                cycle,
+                waiting_on: format!("link overflow ({context}): credit protocol violated"),
+            });
+        }
+        self.queue.push_back(entry);
+        self.pushes += 1;
+        Ok(())
+    }
+
+    /// Pops the oldest entry.
+    ///
+    /// # Errors
+    ///
+    /// Popping an empty internal link is a protocol error (the FSM issued a
+    /// consuming instruction before the producer delivered).
+    pub fn pop(&mut self, cycle: u64, context: &str) -> Result<TaggedVector, SimError> {
+        if self.zero_source {
+            return Ok(TaggedVector::ZERO);
+        }
+        if self.relaxed {
+            return Ok(self.queue.pop_front().unwrap_or(TaggedVector::ZERO));
+        }
+        self.queue.pop_front().ok_or_else(|| SimError::Deadlock {
+            cycle,
+            waiting_on: format!("pop of empty link ({context}): producer/consumer desynchronised"),
+        })
+    }
+
+    /// Current occupancy (always 0 for zero sources).
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when no entries are queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Total pushes observed (a NoC-hop counter).
+    pub fn push_count(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Drains all queued entries (used by the fabric's edge collectors).
+    pub fn drain_all(&mut self) -> impl Iterator<Item = TaggedVector> + '_ {
+        self.queue.drain(..)
+    }
+}
+
+/// The full link fabric for a `rows`×`cols` array.
+///
+/// Indexing convention:
+/// * `vertical(r, c)` for `r in 0..=rows` is the southbound link whose
+///   consumer is PE `(r, c)`'s North port; `r == 0` is the north array edge
+///   (feeder or zero source) and `r == rows` is the south edge sink.
+/// * `horizontal(r, c)` for `c in 0..=cols` is the eastbound link whose
+///   consumer is PE `(r, c)`'s West port; `c == 0` is the west edge (zero
+///   source — west-edge operands travel as instruction immediates) and
+///   `c == cols` is the east edge sink.
+///
+/// Only south/east-bound links are instantiated because every mapping in the
+/// paper moves data south (psum reduction, A streaming) or east (SDDMM psum
+/// chain); north/west movement would be a straightforward extension.
+#[derive(Debug)]
+pub struct LinkGrid {
+    rows: usize,
+    cols: usize,
+    vertical: Vec<Link>,
+    horizontal: Vec<Link>,
+}
+
+impl LinkGrid {
+    /// Builds a grid for spatial mode (Appendix D): every internal link is
+    /// elastic (pop-empty yields zero during warm-up), the north edge feeds,
+    /// and the south/east edges sink.
+    pub fn new_elastic(rows: usize, cols: usize) -> LinkGrid {
+        let mut g = LinkGrid::new(rows, cols, 2, true);
+        for r in 0..=rows {
+            for c in 0..cols {
+                let link = g.vertical(r, c);
+                *link = if r == rows { Link::sink() } else { Link::elastic() };
+            }
+        }
+        for r in 0..rows {
+            for c in 0..=cols {
+                let link = g.horizontal(r, c);
+                *link = if c == cols {
+                    Link::sink()
+                } else if c == 0 {
+                    Link::zero_source()
+                } else {
+                    Link::elastic()
+                };
+            }
+        }
+        g
+    }
+
+    /// Builds the grid. `north_edge_feeder` selects whether the north edge
+    /// links are real FIFOs (fed by the fabric's stream movers, as in SDDMM)
+    /// or zero sources (as in SpMM, where nothing enters from the north).
+    pub fn new(rows: usize, cols: usize, capacity: usize, north_edge_feeder: bool) -> LinkGrid {
+        let mut vertical = Vec::with_capacity((rows + 1) * cols);
+        for r in 0..=rows {
+            for _c in 0..cols {
+                vertical.push(if r == 0 {
+                    if north_edge_feeder {
+                        Link::bounded(capacity)
+                    } else {
+                        Link::zero_source()
+                    }
+                } else if r == rows {
+                    Link::sink()
+                } else {
+                    Link::bounded(capacity)
+                });
+            }
+        }
+        let mut horizontal = Vec::with_capacity(rows * (cols + 1));
+        for _r in 0..rows {
+            for c in 0..=cols {
+                horizontal.push(if c == 0 {
+                    Link::zero_source()
+                } else if c == cols {
+                    Link::sink()
+                } else {
+                    Link::bounded(capacity)
+                });
+            }
+        }
+        LinkGrid {
+            rows,
+            cols,
+            vertical,
+            horizontal,
+        }
+    }
+
+    /// Southbound link consumed by PE `(r, c)`'s North port.
+    pub fn vertical(&mut self, r: usize, c: usize) -> &mut Link {
+        debug_assert!(r <= self.rows && c < self.cols);
+        &mut self.vertical[r * self.cols + c]
+    }
+
+    /// Immutable access to a vertical link.
+    pub fn vertical_ref(&self, r: usize, c: usize) -> &Link {
+        &self.vertical[r * self.cols + c]
+    }
+
+    /// Eastbound link consumed by PE `(r, c)`'s West port.
+    pub fn horizontal(&mut self, r: usize, c: usize) -> &mut Link {
+        debug_assert!(r < self.rows && c <= self.cols);
+        &mut self.horizontal[r * (self.cols + 1) + c]
+    }
+
+    /// Immutable access to a horizontal link.
+    pub fn horizontal_ref(&self, r: usize, c: usize) -> &Link {
+        &self.horizontal[r * (self.cols + 1) + c]
+    }
+
+    /// Total pushes across all links (NoC hop count).
+    pub fn total_pushes(&self) -> u64 {
+        self.vertical.iter().map(Link::push_count).sum::<u64>()
+            + self.horizontal.iter().map(Link::push_count).sum::<u64>()
+    }
+
+    /// True when every internal (non-edge) link is empty.
+    pub fn internal_quiescent(&self) -> bool {
+        for r in 1..self.rows {
+            for c in 0..self.cols {
+                if !self.vertical_ref(r, c).is_empty() {
+                    return false;
+                }
+            }
+        }
+        for r in 0..self.rows {
+            for c in 1..self.cols {
+                if !self.horizontal_ref(r, c).is_empty() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// True when north-edge feeder links still hold tokens.
+    pub fn north_edge_pending(&self) -> bool {
+        (0..self.cols).any(|c| !self.vertical_ref(0, c).is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Vector;
+
+    fn tv(tag: u32, v: i32) -> TaggedVector {
+        TaggedVector {
+            value: Vector::splat(v),
+            tag,
+        }
+    }
+
+    #[test]
+    fn fifo_order_and_counts() {
+        let mut l = Link::bounded(2);
+        l.push(tv(1, 10), 0, "t").unwrap();
+        l.push(tv(2, 20), 0, "t").unwrap();
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.pop(1, "t").unwrap().tag, 1);
+        assert_eq!(l.pop(1, "t").unwrap().tag, 2);
+        assert_eq!(l.push_count(), 2);
+    }
+
+    #[test]
+    fn overflow_and_underflow_are_errors() {
+        let mut l = Link::bounded(1);
+        l.push(tv(0, 0), 0, "t").unwrap();
+        assert!(l.push(tv(0, 0), 0, "t").is_err());
+        let mut l2 = Link::bounded(1);
+        assert!(l2.pop(5, "t").is_err());
+    }
+
+    #[test]
+    fn zero_source_semantics() {
+        let mut l = Link::zero_source();
+        assert_eq!(l.pop(0, "t").unwrap(), TaggedVector::ZERO);
+        assert_eq!(l.pop(9, "t").unwrap(), TaggedVector::ZERO);
+        assert!(l.push(tv(0, 1), 0, "t").is_err());
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn sink_accepts_many_and_drains() {
+        let mut l = Link::sink();
+        for i in 0..100 {
+            l.push(tv(i, i as i32), 0, "t").unwrap();
+        }
+        let drained: Vec<_> = l.drain_all().collect();
+        assert_eq!(drained.len(), 100);
+        assert_eq!(drained[99].tag, 99);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn grid_edges_have_expected_kinds() {
+        let mut g = LinkGrid::new(2, 3, 4, false);
+        // North edge without feeder: zero source.
+        assert_eq!(g.vertical(0, 1).pop(0, "t").unwrap(), TaggedVector::ZERO);
+        // South edge: sink.
+        for _ in 0..10 {
+            g.vertical(2, 0).push(tv(0, 1), 0, "t").unwrap();
+        }
+        // West edge: zero source.
+        assert_eq!(g.horizontal(1, 0).pop(0, "t").unwrap(), TaggedVector::ZERO);
+        // East edge: sink.
+        g.horizontal(1, 3).push(tv(7, 7), 0, "t").unwrap();
+        assert_eq!(g.total_pushes(), 11);
+    }
+
+    #[test]
+    fn grid_with_feeder_north_edge_is_bounded() {
+        let mut g = LinkGrid::new(2, 2, 4, true);
+        g.vertical(0, 0).push(tv(1, 1), 0, "feed").unwrap();
+        assert!(g.north_edge_pending());
+        assert_eq!(g.vertical(0, 0).pop(0, "t").unwrap().tag, 1);
+        assert!(!g.north_edge_pending());
+    }
+
+    #[test]
+    fn quiescence_tracks_internal_links_only() {
+        let mut g = LinkGrid::new(3, 3, 4, false);
+        assert!(g.internal_quiescent());
+        g.vertical(1, 1).push(tv(0, 5), 0, "t").unwrap();
+        assert!(!g.internal_quiescent());
+        g.vertical(1, 1).pop(0, "t").unwrap();
+        assert!(g.internal_quiescent());
+        // Sink contents do not affect quiescence.
+        g.vertical(3, 0).push(tv(0, 5), 0, "t").unwrap();
+        assert!(g.internal_quiescent());
+    }
+}

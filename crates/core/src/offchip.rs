@@ -1,0 +1,146 @@
+//! Off-chip bandwidth model (§6.4, Fig 16).
+//!
+//! §6.4 asks: how much LPDDR5X bandwidth does Canon need to stay at its
+//! compute roofline, as a function of arithmetic intensity (sparsity) and
+//! on-chip SRAM capacity? The evaluation adopts a *dense-stationary* tiling:
+//! the dense operand `B` stays on chip; when it does not fit, it is split
+//! into column tiles and the sparse operand `A` is re-streamed once per
+//! tile.
+
+/// LPDDR5X single-die ×16 sustained bandwidth, GB/s (Table 1).
+pub const LPDDR5X_X16_GBPS: f64 = 17.0;
+/// LPDDR5X dual-die ×32 sustained bandwidth, GB/s.
+pub const LPDDR5X_X32_GBPS: f64 = 34.0;
+
+/// One point of the Fig 16 curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandwidthPoint {
+    /// Theoretical arithmetic intensity in ops per byte of off-chip traffic
+    /// (a MAC counts as two ops).
+    pub ops_per_byte: f64,
+    /// Bandwidth (GB/s at 1 GHz) required to keep the MAC array at its
+    /// compute roofline.
+    pub required_gbps: f64,
+    /// Total off-chip traffic in bytes.
+    pub traffic_bytes: f64,
+    /// Roofline execution time in cycles.
+    pub roofline_cycles: f64,
+    /// Number of column tiles the dense operand was split into.
+    pub tiles: usize,
+}
+
+/// Computes the off-chip bandwidth an SpMM of the given shape needs to hit
+/// the compute roofline, with `sram_bytes` of on-chip memory and
+/// `peak_macs_per_cycle` MAC units (Table 1: 256), under dense-stationary
+/// tiling. One byte per element (INT8); each non-zero of `A` costs one value
+/// byte plus one coordinate byte.
+///
+/// # Panics
+///
+/// Panics if any dimension or the peak rate is zero, or `nnz > m·k`.
+pub fn spmm_bandwidth_requirement(
+    m: usize,
+    k: usize,
+    n: usize,
+    nnz: usize,
+    sram_bytes: usize,
+    peak_macs_per_cycle: usize,
+) -> BandwidthPoint {
+    assert!(m > 0 && k > 0 && n > 0, "dimensions must be positive");
+    assert!(peak_macs_per_cycle > 0, "peak rate must be positive");
+    assert!(nnz <= m * k, "nnz exceeds matrix size");
+    // Dense-stationary: columns of B per tile that fit on chip.
+    let cols_per_tile = (sram_bytes / k).max(1).min(n);
+    let tiles = n.div_ceil(cols_per_tile);
+    let b_bytes = (k * n) as f64;
+    let a_bytes_per_pass = (2 * nnz + m) as f64; // values + coordinates + row markers
+    let c_bytes = (m * n) as f64;
+    let traffic = b_bytes + a_bytes_per_pass * tiles as f64 + c_bytes;
+    let macs = (nnz * n) as f64;
+    let roofline_cycles = (macs / peak_macs_per_cycle as f64).max(1.0);
+    // At 1 GHz, bytes/cycle == GB/s.
+    let required_gbps = traffic / roofline_cycles;
+    let min_traffic = b_bytes + a_bytes_per_pass + c_bytes;
+    let ops_per_byte = 2.0 * macs / min_traffic;
+    BandwidthPoint {
+        ops_per_byte,
+        required_gbps,
+        traffic_bytes: traffic,
+        roofline_cycles,
+        tiles,
+    }
+}
+
+/// The design points discussed in §6.4: given a set of candidate SRAM sizes,
+/// returns `(sram_kb, required_gbps)` for a fixed workload.
+pub fn sram_sweep(
+    m: usize,
+    k: usize,
+    n: usize,
+    nnz: usize,
+    sram_kb_options: &[usize],
+    peak_macs_per_cycle: usize,
+) -> Vec<(usize, BandwidthPoint)> {
+    sram_kb_options
+        .iter()
+        .map(|&kb| {
+            (
+                kb,
+                spmm_bandwidth_requirement(m, k, n, nnz, kb * 1024, peak_macs_per_cycle),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const M: usize = 1024;
+    const K: usize = 1024;
+    const N: usize = 1024;
+
+    #[test]
+    fn bandwidth_decreases_with_sram() {
+        let nnz = M * K / 2;
+        let small = spmm_bandwidth_requirement(M, K, N, nnz, 72 * 1024, 256);
+        let large = spmm_bandwidth_requirement(M, K, N, nnz, 1152 * 1024, 256);
+        assert!(small.required_gbps > large.required_gbps);
+        assert!(small.tiles > large.tiles);
+    }
+
+    #[test]
+    fn bandwidth_flattens_when_b_fits() {
+        // Once SRAM >= K*N, extra capacity changes nothing.
+        let nnz = M * K / 4;
+        let fit = spmm_bandwidth_requirement(M, K, N, nnz, K * N, 256);
+        let bigger = spmm_bandwidth_requirement(M, K, N, nnz, 2 * K * N, 256);
+        assert_eq!(fit.tiles, 1);
+        assert!((fit.required_gbps - bigger.required_gbps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_sparsity_needs_more_bandwidth() {
+        // Fewer MACs per byte touched → more GB/s to stay on the roofline.
+        let dense = spmm_bandwidth_requirement(M, K, N, M * K, 288 * 1024, 256);
+        let sparse = spmm_bandwidth_requirement(M, K, N, M * K / 20, 288 * 1024, 256);
+        assert!(sparse.required_gbps > dense.required_gbps);
+        assert!(sparse.ops_per_byte < dense.ops_per_byte);
+    }
+
+    #[test]
+    fn sweep_covers_options() {
+        let pts = sram_sweep(M, K, N, M * K / 10, &[72, 144, 288, 576, 1152], 256);
+        assert_eq!(pts.len(), 5);
+        // Monotone non-increasing bandwidth along the sweep.
+        for w in pts.windows(2) {
+            assert!(w[0].1.required_gbps >= w[1].1.required_gbps - 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions")]
+    fn rejects_zero_dims() {
+        let _ = spmm_bandwidth_requirement(0, 1, 1, 0, 1024, 256);
+    }
+}

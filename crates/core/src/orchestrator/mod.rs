@@ -1,0 +1,204 @@
+//! The programmable orchestrator (§3.2, Fig 5).
+//!
+//! One orchestrator drives each PE row. Every cycle it examines (a) the head
+//! of its input meta-data stream (sparse coordinates, row-end tokens), (b)
+//! the message register fed by its northern neighbour orchestrator, and (c)
+//! flow-control state (south-channel credits, message-slot availability), and
+//! produces one instruction for its row plus optional state updates and an
+//! optional message to the southern neighbour.
+//!
+//! Two implementations of the data-to-instruction translation are provided:
+//!
+//! * **native FSMs** — Rust state machines in [`crate::kernels`] implementing
+//!   the paper's per-kernel microcode (e.g. Listing 1 for SpMM) directly;
+//! * **the LUT bitstream path** ([`lut`], [`assembler`]) — a faithful model of
+//!   the hardware's programmable-logic lookup table (2¹⁰ entries × 48 bits,
+//!   6 KB SRAM) driven by a fixed datapath of condition ALUs and
+//!   address-generation units. Kernel FSMs can be *assembled* into a
+//!   bitstream and executed by [`lut::LutProgram`]; differential tests check
+//!   the two paths are cycle-identical.
+
+pub mod assembler;
+pub mod lut;
+
+use crate::isa::Instruction;
+use canon_sparse::Value;
+
+/// A token of the input meta-data stream (`INPUT_META_IN` in Fig 5).
+///
+/// The semantics of tokens "are not fixed by the hardware but defined by the
+/// compiler" (§3.2); these variants cover the kernels mapped in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetaToken {
+    /// A non-zero of the streamed sparse operand: `A[row][col]` where `col`
+    /// is local to this row's K-segment. Carries the value, which the
+    /// orchestrator places in the instruction immediate (west-edge stream).
+    Nnz {
+        /// Output-row id (RID).
+        row: u32,
+        /// Column index local to this PE row's segment (CID).
+        col: u32,
+        /// The non-zero value.
+        value: Value,
+    },
+    /// End of output row `row` in the streamed operand.
+    RowEnd {
+        /// Output-row id that just ended.
+        row: u32,
+    },
+    /// A masked output position for SDDMM: compute output `(row, col)` where
+    /// `col` is local to this PE row's N-segment.
+    MaskPos {
+        /// Output-row id (`m`).
+        row: u32,
+        /// Local output column (`h`).
+        col: u32,
+    },
+    /// End of SDDMM output row `row`.
+    MRowEnd {
+        /// Output-row id that just ended.
+        row: u32,
+    },
+    /// End of the whole stream.
+    End,
+}
+
+/// Message identifiers on the inter-orchestrator channel.
+pub mod msg_id {
+    /// A partial sum for output row `rid` was flushed south (Listing 1's
+    /// `PSUM[RID]`).
+    pub const PSUM: u8 = 1;
+}
+
+/// A message between vertically adjacent orchestrators
+/// (`ORCH_MSG_OUT`/`ORCH_MSG_IN` + `MSG_ID` in Fig 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrchMessage {
+    /// Message type (see [`msg_id`]).
+    pub id: u8,
+    /// Message payload: the row id it refers to.
+    pub rid: u32,
+}
+
+/// Everything an orchestrator can observe in one cycle.
+#[derive(Debug, Clone, Copy)]
+pub struct OrchIo {
+    /// Current cycle (for diagnostics).
+    pub cycle: u64,
+    /// Head of the input meta-data stream, if any.
+    pub input: Option<MetaToken>,
+    /// Delivered message from the northern orchestrator, if any.
+    pub msg: Option<OrchMessage>,
+    /// Remaining credits on this row's southbound data channel. An
+    /// instruction that pushes South (result or route) consumes one credit;
+    /// the fabric returns it when the southern row pops.
+    pub south_credits: usize,
+    /// Whether a message can be sent south this cycle.
+    pub msg_slot_free: bool,
+    /// Number of tokens currently waiting in this row's column-0 North FIFO
+    /// (uniform across columns by the staggered-timing invariant). Non-zero
+    /// means an instruction reading `Port(North)` can be issued.
+    pub north_tokens: usize,
+}
+
+/// The orchestrator's decision for one cycle.
+#[derive(Debug, Clone)]
+pub struct OrchAction {
+    /// Instruction issued to the first PE of the row (possibly NOP).
+    pub instr: Instruction,
+    /// Whether the head input token was consumed.
+    pub consume_input: bool,
+    /// Whether the delivered message was consumed.
+    pub consume_msg: bool,
+    /// Message to send south, if any.
+    pub msg_out: Option<OrchMessage>,
+    /// FSM main-state identifier after this cycle (3-bit State Register in
+    /// Fig 5); the fabric counts changes as data-driven state transitions.
+    pub state_id: u8,
+    /// True when the orchestrator wanted to act but was back-pressured
+    /// (credit/message-slot unavailable); counted as a stall cycle.
+    pub stalled: bool,
+}
+
+impl OrchAction {
+    /// A plain NOP action in the given state.
+    pub fn nop(state_id: u8) -> OrchAction {
+        OrchAction {
+            instr: Instruction::NOP,
+            consume_input: false,
+            consume_msg: false,
+            msg_out: None,
+            state_id,
+            stalled: false,
+        }
+    }
+
+    /// A NOP action that records back-pressure.
+    pub fn stall(state_id: u8) -> OrchAction {
+        OrchAction {
+            stalled: true,
+            ..OrchAction::nop(state_id)
+        }
+    }
+}
+
+/// The data-to-instruction translation function executed by an orchestrator.
+///
+/// Implementations are per-kernel "microcode": native Rust FSMs in
+/// [`crate::kernels`], or assembled LUT bitstreams via [`lut::LutProgram`].
+pub trait OrchProgram {
+    /// Computes this cycle's action from the observable inputs. Called once
+    /// per cycle until [`OrchProgram::done`] returns true.
+    fn step(&mut self, io: &OrchIo) -> OrchAction;
+
+    /// True once the orchestrator has finished its stream and drained all
+    /// buffered state (the fabric stops invoking it and lets the row's
+    /// pipeline drain).
+    fn done(&self) -> bool;
+}
+
+/// A trivial program that issues nothing and is immediately done (rows not
+/// participating in a kernel).
+#[derive(Debug, Default, Clone)]
+pub struct IdleProgram;
+
+impl OrchProgram for IdleProgram {
+    fn step(&mut self, _io: &OrchIo) -> OrchAction {
+        OrchAction::nop(0)
+    }
+    fn done(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nop_action_defaults() {
+        let a = OrchAction::nop(3);
+        assert_eq!(a.state_id, 3);
+        assert!(!a.stalled && !a.consume_input && !a.consume_msg);
+        assert!(a.msg_out.is_none());
+        let s = OrchAction::stall(1);
+        assert!(s.stalled);
+    }
+
+    #[test]
+    fn idle_program_is_done() {
+        let p = IdleProgram;
+        assert!(p.done());
+    }
+
+    #[test]
+    fn meta_token_variants_compare() {
+        let a = MetaToken::Nnz {
+            row: 1,
+            col: 2,
+            value: 3,
+        };
+        assert_ne!(a, MetaToken::RowEnd { row: 1 });
+        assert_eq!(MetaToken::End, MetaToken::End);
+    }
+}

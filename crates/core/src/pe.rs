@@ -1,0 +1,607 @@
+//! The Canon processing element: a 3-stage LOAD / EXECUTE / COMMIT pipeline
+//! around a 4-wide SIMD lane (Fig 4).
+//!
+//! PEs contain no control logic: they execute whatever instruction streams in
+//! from the west (orchestrator or upstream PE), at a fixed pipeline latency,
+//! and forward the instruction east when it retires — producing the
+//! time-lapsed SIMD stagger of §2.1.
+//!
+//! The pipeline implements store-to-load forwarding between in-flight
+//! instructions: a LOAD that reads an address written by an instruction in
+//! the EXECUTE or COMMIT stage observes the in-flight value. This models the
+//! accumulator forwarding a real MAC pipeline needs for back-to-back
+//! accumulation into the same scratchpad entry (consecutive non-zeros of one
+//! output row in SpMM).
+
+use crate::isa::{Addr, Direction, Instruction, Opcode, Vector};
+use crate::memory::{DataMemory, Scratchpad};
+use crate::noc::{LinkGrid, TaggedVector};
+use crate::SimError;
+
+/// Number of SIMD registers per PE.
+pub const NUM_REGS: usize = 4;
+
+/// An instruction in flight through the PE pipeline, with its resolved
+/// operands and (after EXECUTE) its result.
+#[derive(Debug, Clone)]
+struct InFlight {
+    instr: Instruction,
+    op1: Vector,
+    op2: Vector,
+    /// Old value of the result address, for read-modify-write opcodes.
+    res_in: Vector,
+    /// Pass-through payload popped at LOAD, pushed at COMMIT.
+    routed: Option<TaggedVector>,
+    /// Lane output, valid after EXECUTE.
+    result: Vector,
+}
+
+/// Per-PE activity counters (memory counters live in the memories).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PeCounters {
+    /// Instructions that entered the pipeline (including NOPs).
+    pub instrs: u64,
+    /// Compute instructions executed.
+    pub compute_instrs: u64,
+    /// MAC instructions executed.
+    pub mac_instrs: u64,
+}
+
+/// One processing element.
+#[derive(Debug)]
+pub struct Pe {
+    /// Static-data memory (holds the stationary operand tile).
+    pub dmem: DataMemory,
+    /// Dual-port scratchpad (psum / stream-reuse buffer).
+    pub spad: Scratchpad,
+    regs: [Vector; NUM_REGS],
+    s_load: Option<InFlight>,
+    s_exec: Option<InFlight>,
+    s_commit: Option<InFlight>,
+    counters: PeCounters,
+}
+
+impl Pe {
+    /// Creates a PE with the given memory capacities (in vector words).
+    pub fn new(dmem_words: usize, spad_entries: usize) -> Pe {
+        Pe {
+            dmem: DataMemory::new(dmem_words),
+            spad: Scratchpad::new(spad_entries),
+            regs: [Vector::ZERO; NUM_REGS],
+            s_load: None,
+            s_exec: None,
+            s_commit: None,
+            counters: PeCounters::default(),
+        }
+    }
+
+    /// Activity counters.
+    pub fn counters(&self) -> PeCounters {
+        self.counters
+    }
+
+    /// Register file access (tests / debugging).
+    pub fn reg(&self, i: usize) -> Vector {
+        self.regs[i]
+    }
+
+    /// True when no instruction is in flight.
+    pub fn pipeline_empty(&self) -> bool {
+        self.s_load.is_none() && self.s_exec.is_none() && self.s_commit.is_none()
+    }
+
+    /// Checks whether an in-flight younger instruction (EXECUTE or COMMIT
+    /// stage) will write `addr`, returning the forwarded value if so.
+    /// EXECUTE-stage values take priority (younger instruction).
+    fn forwarded(&self, addr: Addr) -> Option<Vector> {
+        if addr == Addr::Null {
+            return None;
+        }
+        // Younger first: the EXECUTE-stage instruction is the most recent
+        // writer still in flight.
+        for stage in [&self.s_exec, &self.s_commit] {
+            if let Some(f) = stage {
+                if f.instr.res == addr {
+                    return Some(f.result);
+                }
+                // Flush opcodes clear their op1 source at COMMIT.
+                if matches!(f.instr.op, Opcode::MovFlush | Opcode::AddFlush)
+                    && f.instr.op1 == addr
+                {
+                    return Some(Vector::ZERO);
+                }
+            }
+        }
+        None
+    }
+
+    fn read_operand(
+        &mut self,
+        addr: Addr,
+        instr: &Instruction,
+        grid: &mut LinkGrid,
+        r: usize,
+        c: usize,
+        cycle: u64,
+        shared_route_pop: &mut Option<TaggedVector>,
+    ) -> Result<Vector, SimError> {
+        match addr {
+            Addr::Null => Ok(Vector::ZERO),
+            Addr::Imm => Ok(instr.imm.unwrap_or(Vector::ZERO)),
+            Addr::Reg(i) => {
+                let base = self
+                    .regs
+                    .get(i as usize)
+                    .copied()
+                    .ok_or_else(|| SimError::AddressOutOfRange {
+                        context: format!("register r{i} (of {NUM_REGS})"),
+                    })?;
+                Ok(self.forwarded(addr).unwrap_or(base))
+            }
+            Addr::DataMem(a) => {
+                let v = self.dmem.read(a as usize)?;
+                Ok(self.forwarded(addr).unwrap_or(v))
+            }
+            Addr::Spad(a) => {
+                let v = self.spad.read(a as usize)?;
+                Ok(self.forwarded(addr).unwrap_or(v))
+            }
+            Addr::Port(d) => {
+                // If a route pass-through pops the same direction, the single
+                // popped entry feeds both the operand and the pass-through.
+                let entry = self.pop_port(d, grid, r, c, cycle)?;
+                if let Some(route) = instr.route {
+                    if route.from == d {
+                        *shared_route_pop = Some(entry);
+                    }
+                }
+                Ok(entry.value)
+            }
+        }
+    }
+
+    fn pop_port(
+        &mut self,
+        d: Direction,
+        grid: &mut LinkGrid,
+        r: usize,
+        c: usize,
+        cycle: u64,
+    ) -> Result<TaggedVector, SimError> {
+        match d {
+            Direction::North => grid
+                .vertical(r, c)
+                .pop(cycle, &format!("north pop at PE ({r},{c})")),
+            Direction::West => grid
+                .horizontal(r, c)
+                .pop(cycle, &format!("west pop at PE ({r},{c})")),
+            Direction::South | Direction::East => Err(SimError::AddressOutOfRange {
+                context: format!(
+                    "PE ({r},{c}) reads {d}: only south/east-bound dataflow is instantiated"
+                ),
+            }),
+        }
+    }
+
+    fn push_port(
+        &mut self,
+        d: Direction,
+        entry: TaggedVector,
+        grid: &mut LinkGrid,
+        r: usize,
+        c: usize,
+        cycle: u64,
+    ) -> Result<(), SimError> {
+        match d {
+            Direction::South => grid
+                .vertical(r + 1, c)
+                .push(entry, cycle, &format!("south push at PE ({r},{c})")),
+            Direction::East => grid
+                .horizontal(r, c + 1)
+                .push(entry, cycle, &format!("east push at PE ({r},{c})")),
+            Direction::North | Direction::West => Err(SimError::AddressOutOfRange {
+                context: format!(
+                    "PE ({r},{c}) writes {d}: only south/east-bound dataflow is instantiated"
+                ),
+            }),
+        }
+    }
+
+    /// LOAD stage: accepts `incoming` (if any) and resolves its operands,
+    /// popping NoC ports as needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates address and NoC protocol errors.
+    pub fn load(
+        &mut self,
+        incoming: Option<Instruction>,
+        grid: &mut LinkGrid,
+        r: usize,
+        c: usize,
+        cycle: u64,
+    ) -> Result<(), SimError> {
+        debug_assert!(self.s_load.is_none(), "LOAD slot occupied at shift time");
+        let Some(instr) = incoming else {
+            return Ok(());
+        };
+        if let Some(d) = instr.noc_conflict() {
+            return Err(SimError::RouterConflict {
+                cycle,
+                pe: (r, c),
+                direction: d.to_string(),
+            });
+        }
+        self.counters.instrs += 1;
+        if instr.op.is_compute() {
+            self.counters.compute_instrs += 1;
+        }
+        if instr.op.is_mac() {
+            self.counters.mac_instrs += 1;
+        }
+        let mut shared_pop = None;
+        let op1 = self.read_operand(instr.op1, &instr, grid, r, c, cycle, &mut shared_pop)?;
+        let op2 = self.read_operand(instr.op2, &instr, grid, r, c, cycle, &mut shared_pop)?;
+        // Read-modify-write opcodes read the old result value here.
+        let res_in = match instr.op {
+            Opcode::MacV | Opcode::MacS | Opcode::Acc => match instr.res {
+                Addr::Port(_) | Addr::Null | Addr::Imm => Vector::ZERO,
+                a => {
+                    let mut none = None;
+                    self.read_operand(a, &instr, grid, r, c, cycle, &mut none)?
+                }
+            },
+            _ => Vector::ZERO,
+        };
+        // Route pass-through pop (if not shared with an operand pop).
+        let routed = match instr.route {
+            Some(route) => match shared_pop {
+                Some(e) => Some(e),
+                None => Some(self.pop_port(route.from, grid, r, c, cycle)?),
+            },
+            None => None,
+        };
+        self.s_load = Some(InFlight {
+            instr,
+            op1,
+            op2,
+            res_in,
+            routed,
+            result: Vector::ZERO,
+        });
+        Ok(())
+    }
+
+    /// EXECUTE stage: computes the lane result of the instruction loaded in
+    /// the previous cycle.
+    pub fn execute(&mut self) {
+        let Some(f) = self.s_exec.as_mut() else {
+            return;
+        };
+        f.result = match f.instr.op {
+            Opcode::Nop => Vector::ZERO,
+            Opcode::Mov | Opcode::MovFlush => f.op1,
+            Opcode::Add | Opcode::AddFlush => f.op1.add(f.op2),
+            Opcode::Sub => {
+                let mut out = [0; crate::isa::LANES];
+                for (i, o) in out.iter_mut().enumerate() {
+                    *o = f.op1.0[i].wrapping_sub(f.op2.0[i]);
+                }
+                Vector(out)
+            }
+            Opcode::Mul => f.op1.mul(f.op2),
+            Opcode::MacV => f.res_in.mac(f.op1, f.op2),
+            Opcode::MacS => f.res_in.mac(Vector::splat(f.op1.lane0()), f.op2),
+            Opcode::Acc => f.res_in.add(f.op1),
+            Opcode::RedSum => {
+                let mut out = Vector::ZERO;
+                out.0[0] = f.op1.reduce_sum();
+                out
+            }
+            Opcode::Max => {
+                let mut out = [0; crate::isa::LANES];
+                for (i, o) in out.iter_mut().enumerate() {
+                    *o = f.op1.0[i].max(f.op2.0[i]);
+                }
+                Vector(out)
+            }
+            Opcode::Min => {
+                let mut out = [0; crate::isa::LANES];
+                for (i, o) in out.iter_mut().enumerate() {
+                    *o = f.op1.0[i].min(f.op2.0[i]);
+                }
+                Vector(out)
+            }
+        };
+    }
+
+    /// COMMIT stage: writes the result (memory / register / NoC push),
+    /// performs the flush-clear of `MovFlush`/`AddFlush`, and pushes the
+    /// pass-through payload. Returns the retiring instruction so the fabric
+    /// can forward it to the eastern neighbour.
+    ///
+    /// # Errors
+    ///
+    /// Propagates address and NoC protocol errors.
+    pub fn commit(
+        &mut self,
+        grid: &mut LinkGrid,
+        r: usize,
+        c: usize,
+        cycle: u64,
+    ) -> Result<Option<Instruction>, SimError> {
+        let Some(f) = self.s_commit.take() else {
+            return Ok(None);
+        };
+        // Result write-back.
+        if f.instr.op != Opcode::Nop {
+            match f.instr.res {
+                Addr::Null => {}
+                Addr::Imm => {
+                    return Err(SimError::AddressOutOfRange {
+                        context: "write to immediate".into(),
+                    })
+                }
+                Addr::Reg(i) => {
+                    let slot = self.regs.get_mut(i as usize).ok_or_else(|| {
+                        SimError::AddressOutOfRange {
+                            context: format!("register r{i}"),
+                        }
+                    })?;
+                    *slot = f.result;
+                }
+                Addr::DataMem(a) => self.dmem.write(a as usize, f.result)?,
+                Addr::Spad(a) => self.spad.write(a as usize, f.result)?,
+                Addr::Port(d) => {
+                    self.push_port(
+                        d,
+                        TaggedVector {
+                            value: f.result,
+                            tag: f.instr.tag,
+                        },
+                        grid,
+                        r,
+                        c,
+                        cycle,
+                    )?;
+                }
+            }
+        }
+        // Flush-clear of the op1 source.
+        if matches!(f.instr.op, Opcode::MovFlush | Opcode::AddFlush) {
+            match f.instr.op1 {
+                Addr::Spad(a) => self.spad.write(a as usize, Vector::ZERO)?,
+                Addr::Reg(i) => {
+                    let slot = self.regs.get_mut(i as usize).ok_or_else(|| {
+                        SimError::AddressOutOfRange {
+                            context: format!("register r{i}"),
+                        }
+                    })?;
+                    *slot = Vector::ZERO;
+                }
+                a => {
+                    return Err(SimError::AddressOutOfRange {
+                        context: format!("flush-clear of non-storage operand {a}"),
+                    })
+                }
+            }
+        }
+        // Pass-through push.
+        if let (Some(route), Some(entry)) = (f.instr.route, f.routed) {
+            self.push_port(route.to, entry, grid, r, c, cycle)?;
+        }
+        Ok(Some(f.instr))
+    }
+
+    /// Advances the pipeline by one stage (end of cycle).
+    pub fn advance(&mut self) {
+        debug_assert!(self.s_commit.is_none(), "commit slot not consumed");
+        self.s_commit = self.s_exec.take();
+        self.s_exec = self.s_load.take();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid1x1() -> LinkGrid {
+        LinkGrid::new(1, 1, 4, false)
+    }
+
+    /// Runs a single instruction through a 1×1 fabric's PE.
+    fn run_one(pe: &mut Pe, grid: &mut LinkGrid, i: Instruction) {
+        pe.load(Some(i), grid, 0, 0, 0).unwrap();
+        pe.advance();
+        pe.execute();
+        pe.advance();
+        pe.commit(grid, 0, 0, 2).unwrap();
+    }
+
+    #[test]
+    fn mov_imm_to_reg() {
+        let mut pe = Pe::new(4, 4);
+        let mut g = grid1x1();
+        let i = Instruction::new(Opcode::Mov, Addr::Imm, Addr::Null, Addr::Reg(1))
+            .with_imm(Vector::splat(9));
+        run_one(&mut pe, &mut g, i);
+        assert_eq!(pe.reg(1), Vector::splat(9));
+        assert_eq!(pe.counters().instrs, 1);
+        assert_eq!(pe.counters().compute_instrs, 0);
+    }
+
+    #[test]
+    fn macs_accumulates_into_spad() {
+        let mut pe = Pe::new(4, 4);
+        let mut g = grid1x1();
+        pe.dmem.preload(0, &[Vector([1, 2, 3, 4])]);
+        let mac = Instruction::new(Opcode::MacS, Addr::Imm, Addr::DataMem(0), Addr::Spad(2))
+            .with_imm(Vector::splat(3));
+        run_one(&mut pe, &mut g, mac);
+        run_one(&mut pe, &mut g, mac);
+        assert_eq!(pe.spad.read(2).unwrap(), Vector([6, 12, 18, 24]));
+        assert_eq!(pe.counters().mac_instrs, 2);
+    }
+
+    #[test]
+    fn back_to_back_mac_forwarding() {
+        // Two MACs to the same spad slot in consecutive cycles must see each
+        // other's in-flight values (RAW across the pipeline).
+        let mut pe = Pe::new(4, 4);
+        let mut g = grid1x1();
+        pe.dmem.preload(0, &[Vector::splat(1)]);
+        let mac = Instruction::new(Opcode::MacS, Addr::Imm, Addr::DataMem(0), Addr::Spad(0))
+            .with_imm(Vector::splat(1));
+        // Pipelined: issue 3 MACs back-to-back.
+        pe.load(Some(mac), &mut g, 0, 0, 0).unwrap();
+        pe.advance();
+        pe.execute();
+        pe.load(Some(mac), &mut g, 0, 0, 1).unwrap();
+        pe.advance();
+        pe.commit(&mut g, 0, 0, 2).unwrap();
+        pe.execute();
+        pe.load(Some(mac), &mut g, 0, 0, 2).unwrap();
+        pe.advance();
+        pe.commit(&mut g, 0, 0, 3).unwrap();
+        pe.execute();
+        pe.advance();
+        pe.commit(&mut g, 0, 0, 4).unwrap();
+        assert_eq!(pe.spad.read(0).unwrap(), Vector::splat(3));
+    }
+
+    #[test]
+    fn movflush_clears_source() {
+        let mut pe = Pe::new(4, 4);
+        let mut g = LinkGrid::new(1, 1, 4, false);
+        pe.spad.write(1, Vector::splat(7)).unwrap();
+        let i = Instruction::new(
+            Opcode::MovFlush,
+            Addr::Spad(1),
+            Addr::Null,
+            Addr::Port(Direction::South),
+        )
+        .with_tag(42);
+        run_one(&mut pe, &mut g, i);
+        assert_eq!(pe.spad.read(1).unwrap(), Vector::ZERO);
+        let out = g.vertical(1, 0).pop(3, "sink").unwrap();
+        assert_eq!(out.tag, 42);
+        assert_eq!(out.value, Vector::splat(7));
+    }
+
+    #[test]
+    fn route_pass_through_preserves_tag() {
+        let mut pe = Pe::new(4, 4);
+        // 2-row grid so PE (0,0) has a real south link; feed its north edge.
+        let mut g = LinkGrid::new(2, 1, 4, true);
+        g.vertical(0, 0)
+            .push(
+                TaggedVector {
+                    value: Vector::splat(5),
+                    tag: 11,
+                },
+                0,
+                "feed",
+            )
+            .unwrap();
+        let i = Instruction::NOP;
+        let i = Instruction {
+            op: Opcode::Nop,
+            ..i
+        }
+        .with_route(Direction::North, Direction::South);
+        run_one(&mut pe, &mut g, i);
+        let out = g.vertical(1, 0).pop(3, "t").unwrap();
+        assert_eq!(out.tag, 11);
+        assert_eq!(out.value, Vector::splat(5));
+    }
+
+    #[test]
+    fn shared_pop_feeds_operand_and_route() {
+        // Mov op1=North res=Spad with route North→South: one pop serves both.
+        let mut pe = Pe::new(4, 4);
+        let mut g = LinkGrid::new(2, 1, 4, true);
+        g.vertical(0, 0)
+            .push(
+                TaggedVector {
+                    value: Vector([1, 2, 3, 4]),
+                    tag: 3,
+                },
+                0,
+                "feed",
+            )
+            .unwrap();
+        let i = Instruction::new(Opcode::Mov, Addr::Port(Direction::North), Addr::Null, Addr::Spad(0))
+            .with_route(Direction::North, Direction::South);
+        run_one(&mut pe, &mut g, i);
+        assert_eq!(pe.spad.read(0).unwrap(), Vector([1, 2, 3, 4]));
+        let fwd = g.vertical(1, 0).pop(3, "t").unwrap();
+        assert_eq!(fwd.tag, 3);
+        assert_eq!(fwd.value, Vector([1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn pop_empty_link_is_protocol_error() {
+        let mut pe = Pe::new(4, 4);
+        let mut g = LinkGrid::new(2, 1, 4, true);
+        let i = Instruction::new(Opcode::Mov, Addr::Port(Direction::North), Addr::Null, Addr::Reg(0));
+        assert!(matches!(
+            pe.load(Some(i), &mut g, 0, 0, 0),
+            Err(SimError::Deadlock { .. })
+        ));
+    }
+
+    #[test]
+    fn router_conflict_detected_at_load() {
+        let mut pe = Pe::new(4, 4);
+        let mut g = grid1x1();
+        let i = Instruction::new(
+            Opcode::Mov,
+            Addr::Port(Direction::North),
+            Addr::Port(Direction::North),
+            Addr::Reg(0),
+        );
+        assert!(matches!(
+            pe.load(Some(i), &mut g, 0, 0, 0),
+            Err(SimError::RouterConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn redsum_and_addflush() {
+        let mut pe = Pe::new(4, 4);
+        let mut g = grid1x1();
+        // reg0 = [1,2,3,4]
+        run_one(
+            &mut pe,
+            &mut g,
+            Instruction::new(Opcode::Mov, Addr::Imm, Addr::Null, Addr::Reg(0))
+                .with_imm(Vector([1, 2, 3, 4])),
+        );
+        // reg1 = redsum(reg0) = 10 in lane 0
+        run_one(
+            &mut pe,
+            &mut g,
+            Instruction::new(Opcode::RedSum, Addr::Reg(0), Addr::Null, Addr::Reg(1)),
+        );
+        assert_eq!(pe.reg(1), Vector([10, 0, 0, 0]));
+        // AddFlush: reg2 = reg0 + reg1; reg0 cleared.
+        run_one(
+            &mut pe,
+            &mut g,
+            Instruction::new(Opcode::AddFlush, Addr::Reg(0), Addr::Reg(1), Addr::Reg(2)),
+        );
+        assert_eq!(pe.reg(2), Vector([11, 2, 3, 4]));
+        assert_eq!(pe.reg(0), Vector::ZERO);
+    }
+
+    #[test]
+    fn nop_produces_no_activity() {
+        let mut pe = Pe::new(4, 4);
+        let mut g = grid1x1();
+        run_one(&mut pe, &mut g, Instruction::NOP);
+        assert_eq!(pe.counters().instrs, 1);
+        assert_eq!(pe.counters().compute_instrs, 0);
+        assert_eq!(pe.dmem.read_count(), 0);
+        assert!(pe.pipeline_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! Activity counters and run reports.
+//!
+//! The simulator counts every architecturally-visible event (MACs, memory
+//! port accesses, NoC transfers, orchestrator steps and state transitions).
+//! `canon-energy` converts these counts into power/energy; the harness uses
+//! them for the utilization figures (Figs 15, 17) and the power breakdown
+//! (Fig 11).
+
+use crate::isa::LANES;
+
+/// Aggregated activity counters for one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Instructions entering PE pipelines (including NOPs), summed over PEs.
+    pub instrs_executed: u64,
+    /// Vector-lane compute instructions executed (op.is_compute()).
+    pub compute_instrs: u64,
+    /// Vector MAC instructions executed (op.is_mac()); each is `LANES` MACs.
+    pub mac_instrs: u64,
+    /// Data-memory word reads.
+    pub dmem_reads: u64,
+    /// Data-memory word writes.
+    pub dmem_writes: u64,
+    /// Scratchpad word reads.
+    pub spad_reads: u64,
+    /// Scratchpad word writes.
+    pub spad_writes: u64,
+    /// NoC link traversals (pushes onto inter-PE links and edge links).
+    pub noc_hops: u64,
+    /// Orchestrator active steps (cycles an orchestrator was not finished).
+    pub orch_steps: u64,
+    /// Data-driven FSM state transitions (Fig 11's transition counts).
+    pub orch_transitions: u64,
+    /// Orchestrator-to-orchestrator messages sent.
+    pub orch_messages: u64,
+    /// Cycles in which an orchestrator wanted to act but was back-pressured
+    /// (no credit / message slot) — the load-imbalance stall metric.
+    pub stall_cycles: u64,
+    /// Meta tokens consumed from the input streams.
+    pub meta_tokens: u64,
+    /// Bytes streamed in from off-chip (operand streams + preload).
+    pub offchip_read_bytes: u64,
+    /// Bytes streamed out to off-chip (collected results).
+    pub offchip_write_bytes: u64,
+}
+
+impl Stats {
+    /// Creates zeroed counters.
+    pub fn new() -> Stats {
+        Stats::default()
+    }
+
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, other: &Stats) {
+        self.instrs_executed += other.instrs_executed;
+        self.compute_instrs += other.compute_instrs;
+        self.mac_instrs += other.mac_instrs;
+        self.dmem_reads += other.dmem_reads;
+        self.dmem_writes += other.dmem_writes;
+        self.spad_reads += other.spad_reads;
+        self.spad_writes += other.spad_writes;
+        self.noc_hops += other.noc_hops;
+        self.orch_steps += other.orch_steps;
+        self.orch_transitions += other.orch_transitions;
+        self.orch_messages += other.orch_messages;
+        self.stall_cycles += other.stall_cycles;
+        self.meta_tokens += other.meta_tokens;
+        self.offchip_read_bytes += other.offchip_read_bytes;
+        self.offchip_write_bytes += other.offchip_write_bytes;
+    }
+
+    /// Total scalar MAC operations performed (vector MACs × lanes).
+    pub fn scalar_macs(&self) -> u64 {
+        self.mac_instrs * LANES as u64
+    }
+}
+
+/// The result of running a kernel on the fabric: cycle count, geometry, and
+/// activity counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Total cycles simulated until the fabric drained.
+    pub cycles: u64,
+    /// Number of PEs in the fabric.
+    pub pes: usize,
+    /// Activity counters.
+    pub stats: Stats,
+}
+
+impl RunReport {
+    /// Compute utilization: fraction of PE-cycles spent on vector MAC
+    /// instructions — the metric of Figs 15 and 17 ("compute utilization").
+    pub fn compute_utilization(&self) -> f64 {
+        if self.cycles == 0 || self.pes == 0 {
+            return 0.0;
+        }
+        self.stats.mac_instrs as f64 / (self.cycles as f64 * self.pes as f64)
+    }
+
+    /// Scalar MAC throughput per cycle.
+    pub fn macs_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.stats.scalar_macs() as f64 / self.cycles as f64
+    }
+
+    /// Execution time in seconds at the given clock (the paper targets 1 GHz).
+    pub fn seconds_at(&self, hz: f64) -> f64 {
+        self.cycles as f64 / hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Stats::new();
+        a.mac_instrs = 3;
+        a.noc_hops = 5;
+        let mut b = Stats::new();
+        b.mac_instrs = 7;
+        b.stall_cycles = 2;
+        a.merge(&b);
+        assert_eq!(a.mac_instrs, 10);
+        assert_eq!(a.noc_hops, 5);
+        assert_eq!(a.stall_cycles, 2);
+        assert_eq!(a.scalar_macs(), 40);
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let mut stats = Stats::new();
+        stats.mac_instrs = 640;
+        let r = RunReport {
+            cycles: 10,
+            pes: 64,
+            stats,
+        };
+        assert!((r.compute_utilization() - 1.0).abs() < 1e-12);
+        assert_eq!(r.macs_per_cycle(), 256.0);
+        assert!((r.seconds_at(1e9) - 1e-8).abs() < 1e-20);
+    }
+
+    #[test]
+    fn utilization_zero_cycles() {
+        let r = RunReport {
+            cycles: 0,
+            pes: 64,
+            stats: Stats::new(),
+        };
+        assert_eq!(r.compute_utilization(), 0.0);
+        assert_eq!(r.macs_per_cycle(), 0.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Area model: per-architecture component breakdowns (Figs 9, 10).
+
+use crate::tech::{area_units as au, CANON_ORCHS, CANON_PES};
+use crate::Arch;
+
+/// A component-wise area breakdown (normalised units, Canon ≡ 1.0).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchArea {
+    /// Architecture.
+    pub arch: Arch,
+    /// `(component name, area)` pairs.
+    pub components: Vec<(&'static str, f64)>,
+}
+
+impl ArchArea {
+    /// Total area.
+    pub fn total(&self) -> f64 {
+        self.components.iter().map(|(_, a)| a).sum()
+    }
+
+    /// Fraction of total occupied by `name` (0 when absent).
+    pub fn fraction(&self, name: &str) -> f64 {
+        let total = self.total();
+        self.components
+            .iter()
+            .filter(|(n, _)| *n == name)
+            .map(|(_, a)| a / total)
+            .sum()
+    }
+}
+
+/// The area breakdown of one architecture at Table 1 provisioning
+/// (256 MACs, 1 KB memory per MAC).
+pub fn arch_area(arch: Arch) -> ArchArea {
+    let components = match arch {
+        Arch::Canon => vec![
+            ("data memory", au::CANON_DMEM_PE * CANON_PES),
+            ("scratchpad", au::CANON_SPAD_PE * CANON_PES),
+            ("compute", au::CANON_COMPUTE_PE * CANON_PES),
+            ("routing", au::CANON_ROUTER_PE * CANON_PES),
+            ("control", au::CANON_ORCH * CANON_ORCHS),
+        ],
+        Arch::Systolic => vec![
+            ("data memory", au::SYSTOLIC_SHARED_MEM),
+            ("compute", au::SYSTOLIC_COMPUTE),
+            ("control", au::SYSTOLIC_CONTROL),
+        ],
+        Arch::Systolic24 => vec![
+            ("data memory", au::SYSTOLIC_SHARED_MEM),
+            ("compute", au::SYSTOLIC_COMPUTE),
+            ("control", au::SYSTOLIC_CONTROL),
+            ("sparsity decode", au::SYSTOLIC24_DECODE),
+        ],
+        Arch::Zed => vec![
+            ("data memory", au::ZED_MEM_BANKS),
+            ("compute", au::ZED_COMPUTE),
+            ("crossbar", au::ZED_CROSSBAR),
+            ("sparsity decode", au::ZED_DECODER),
+            ("control", au::ZED_CONTROL),
+        ],
+        Arch::Cgra => vec![
+            ("data memory", au::CGRA_EDGE_MEM),
+            ("compute", au::CGRA_COMPUTE),
+            ("instruction memory", au::CGRA_INSTR_MEM),
+            ("routing", au::CGRA_ROUTING),
+            ("control", au::CGRA_CONTROL),
+        ],
+    };
+    ArchArea { arch, components }
+}
+
+/// Fig 9's headline ratios: `(vs systolic, vs ZeD, vs CGRA)` area of Canon
+/// relative to each baseline (positive = Canon larger).
+pub fn canon_area_deltas() -> (f64, f64, f64) {
+    let canon = arch_area(Arch::Canon).total();
+    let sys = arch_area(Arch::Systolic).total();
+    let zed = arch_area(Arch::Zed).total();
+    let cgra = arch_area(Arch::Cgra).total();
+    (canon / sys - 1.0, canon / zed - 1.0, canon / cgra - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canon_breakdown_matches_fig10() {
+        let a = arch_area(Arch::Canon);
+        assert!((a.total() - 1.0).abs() < 1e-9);
+        assert!((a.fraction("data memory") - 0.58).abs() < 0.01);
+        assert!((a.fraction("scratchpad") - 0.13).abs() < 0.01);
+        assert!((a.fraction("compute") - 0.16).abs() < 0.01);
+        assert!((a.fraction("routing") - 0.05).abs() < 0.01);
+        assert!((a.fraction("control") - 0.08).abs() < 0.01);
+    }
+
+    #[test]
+    fn deltas_match_paper_shape() {
+        let (vs_sys, vs_zed, vs_cgra) = canon_area_deltas();
+        // ~+30% vs systolic (§6.1), ~+9–12% vs ZeD, ~−7% vs CGRA.
+        assert!((0.2..=0.4).contains(&vs_sys), "vs systolic: {vs_sys}");
+        assert!((0.05..=0.15).contains(&vs_zed), "vs ZeD: {vs_zed}");
+        assert!((-0.12..=-0.03).contains(&vs_cgra), "vs CGRA: {vs_cgra}");
+    }
+
+    #[test]
+    fn specialised_units_present_where_expected() {
+        assert!(arch_area(Arch::Zed).fraction("crossbar") > 0.0);
+        assert_eq!(arch_area(Arch::Systolic).fraction("crossbar"), 0.0);
+        assert!(arch_area(Arch::Cgra).fraction("instruction memory") > 0.0);
+        assert_eq!(arch_area(Arch::Canon).fraction("instruction memory"), 0.0);
+    }
+
+    #[test]
+    fn systolic24_slightly_larger_than_systolic() {
+        let s = arch_area(Arch::Systolic).total();
+        let s24 = arch_area(Arch::Systolic24).total();
+        assert!(s24 > s && s24 < s * 1.1);
+    }
+}

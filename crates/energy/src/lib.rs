@@ -1,0 +1,102 @@
+//! Area / power / energy models (§6.1, Figs 9–11, 13, 14).
+//!
+//! The paper synthesises every architecture at the same 22 nm node and
+//! reports *relative* area and power. This crate substitutes synthesis with
+//! component-level tables ([`tech`]): per-component areas calibrated so that
+//! the relative breakdowns match the paper's Figs 9/10, and per-event
+//! energies at 22 nm-plausible magnitudes applied to the *measured* activity
+//! counts from the cycle simulators. Absolute numbers are therefore
+//! indicative; ratios (area overheads, perf/W, EDP) are the reproduced
+//! quantities — see DESIGN.md's substitution table.
+
+pub mod area;
+pub mod power;
+pub mod tech;
+
+pub use area::{arch_area, ArchArea};
+pub use power::{baseline_energy, canon_energy, canon_loop_energy, EnergyBreakdown};
+
+/// The architectures compared throughout the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arch {
+    /// Canon (this paper).
+    Canon,
+    /// Dense systolic array (TPU-like).
+    Systolic,
+    /// 2:4 sparse systolic (tensor-core-like).
+    Systolic24,
+    /// ZeD-like variably-sparse accelerator.
+    Zed,
+    /// HyCUBE-like CGRA.
+    Cgra,
+}
+
+impl Arch {
+    /// All architectures in the figures' order.
+    pub fn all() -> [Arch; 5] {
+        [
+            Arch::Systolic,
+            Arch::Systolic24,
+            Arch::Zed,
+            Arch::Cgra,
+            Arch::Canon,
+        ]
+    }
+
+    /// Display name used in harness tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Arch::Canon => "Canon",
+            Arch::Systolic => "Systolic",
+            Arch::Systolic24 => "Systolic-2:4",
+            Arch::Zed => "ZeD",
+            Arch::Cgra => "CGRA",
+        }
+    }
+}
+
+/// Energy-delay product in pJ·s for a run at the given clock.
+pub fn edp(energy_pj: f64, cycles: u64, hz: f64) -> f64 {
+    energy_pj * cycles as f64 / hz
+}
+
+/// Performance (useful ops per second) per watt.
+///
+/// `useful_ops` over `cycles` at `hz`, against average power
+/// `energy_pj / time`.
+pub fn perf_per_watt(useful_ops: u64, cycles: u64, energy_pj: f64, hz: f64) -> f64 {
+    if cycles == 0 || energy_pj <= 0.0 {
+        return 0.0;
+    }
+    let time_s = cycles as f64 / hz;
+    let ops_per_s = useful_ops as f64 / time_s;
+    let watts = energy_pj * 1e-12 / time_s;
+    ops_per_s / watts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edp_scales_linearly() {
+        let a = edp(100.0, 10, 1e9);
+        let b = edp(100.0, 20, 1e9);
+        assert!((b / a - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perf_per_watt_zero_guards() {
+        assert_eq!(perf_per_watt(100, 0, 10.0, 1e9), 0.0);
+        assert_eq!(perf_per_watt(100, 10, 0.0, 1e9), 0.0);
+        assert!(perf_per_watt(100, 10, 10.0, 1e9) > 0.0);
+    }
+
+    #[test]
+    fn arch_labels_unique() {
+        let mut labels: Vec<_> = Arch::all().iter().map(|a| a.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 5);
+    }
+}

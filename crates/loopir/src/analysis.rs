@@ -1,0 +1,351 @@
+//! Semantic analyses (stage 1 of the compilation flow, Fig 6): memory access
+//! patterns, data dependences, conditional execution, and the §4.2 spatial
+//! legality rule.
+
+use crate::expr::Access;
+use crate::nest::LoopNest;
+
+/// Classification of one loop dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DimKind {
+    /// No loop-carried dependence: iterations can run spatially in parallel.
+    Parallel,
+    /// Accumulation into a location independent of this dimension
+    /// (reorderable by associativity; Canon's asynchronous reduction applies).
+    Reduction,
+    /// Genuine loop-carried dependence: must run temporally.
+    Sequential,
+}
+
+/// Analysis result for one loop nest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NestAnalysis {
+    /// Per-dimension classification (outer → inner).
+    pub dims: Vec<DimKind>,
+    /// Arithmetic operations per iteration point (all statements).
+    pub ops_per_point: u64,
+    /// Critical arithmetic path of the loop-carried recurrence, in ops
+    /// (lower-bounds the CGRA's recurrence MII; 0 when no recurrence).
+    pub recurrence_depth: u64,
+    /// Fraction of iteration points whose guards are satisfied, in `[0, 1]`.
+    pub active_fraction: f64,
+    /// Total iteration points.
+    pub points: u64,
+}
+
+impl NestAnalysis {
+    /// Trip-count product of dimensions with the given kind.
+    pub fn trips_of(&self, nest: &LoopNest, kind: DimKind) -> u64 {
+        self.dims
+            .iter()
+            .zip(&nest.loops)
+            .filter(|(k, _)| **k == kind)
+            .map(|(_, l)| l.trip as u64)
+            .product()
+    }
+
+    /// Degree of exploitable data-level parallelism (parallel-dim product).
+    pub fn parallel_points(&self, nest: &LoopNest) -> u64 {
+        self.trips_of(nest, DimKind::Parallel)
+    }
+
+    /// Useful arithmetic operations (guards applied).
+    pub fn useful_ops(&self) -> u64 {
+        (self.points as f64 * self.active_fraction * self.ops_per_point as f64).round() as u64
+    }
+}
+
+/// Analyses one nest.
+///
+/// Dependence testing is deliberately conservative (the paper's flow also
+/// combines static analyses "with a human in the loop"): a dimension is
+/// *sequential* if some statement writes an array that any statement also
+/// reads through a different index function involving that dimension;
+/// *reduction* if the only write–read coupling is the accumulation pattern
+/// `X[f(..)] = X[f(..)] ⊕ …` with the destination independent of the
+/// dimension; *parallel* otherwise.
+pub fn analyze_nest(nest: &LoopNest) -> NestAnalysis {
+    let ndims = nest.loops.len();
+    let mut dims = vec![DimKind::Parallel; ndims];
+    let ops_per_point: u64 = nest.stmts.iter().map(|s| s.expr.op_count()).sum();
+
+    // Collect all reads per statement.
+    let mut recurrence_depth = 0u64;
+    for d in 0..ndims {
+        let mut kind = DimKind::Parallel;
+        for w_stmt in &nest.stmts {
+            let w = &w_stmt.dst;
+            for r_stmt in &nest.stmts {
+                let mut reads: Vec<&Access> = Vec::new();
+                r_stmt.expr.accesses(&mut reads);
+                for r in reads {
+                    if r.array != w.array {
+                        continue;
+                    }
+                    if r == w {
+                        // Accumulation pattern: X[f] = X[f] ⊕ …; a reduction
+                        // over d when the destination ignores d.
+                        if w.indices.iter().all(|f| f.independent_of(d)) {
+                            if kind == DimKind::Parallel {
+                                kind = DimKind::Reduction;
+                            }
+                            recurrence_depth = recurrence_depth.max(r_stmt.expr.depth());
+                        }
+                        continue;
+                    }
+                    // Different index function to the written array: a
+                    // potential loop-carried dependence. It involves d when
+                    // either side's index functions use d, or when the write
+                    // ignores d entirely (all iterations of d touch it).
+                    let involves_d = w.indices.iter().any(|f| !f.independent_of(d))
+                        || r.indices.iter().any(|f| !f.independent_of(d))
+                        || w.indices.iter().all(|f| f.independent_of(d));
+                    if involves_d {
+                        kind = DimKind::Sequential;
+                        recurrence_depth = recurrence_depth.max(r_stmt.expr.depth());
+                    }
+                }
+            }
+        }
+        dims[d] = kind;
+    }
+
+    let points = nest.points();
+    let active_fraction = guard_fraction(nest);
+    NestAnalysis {
+        dims,
+        ops_per_point,
+        recurrence_depth,
+        active_fraction,
+        points,
+    }
+}
+
+/// Fraction of (statement, point) executions whose guard holds. Exact when
+/// the iteration space is small; a triangular-space estimate otherwise.
+fn guard_fraction(nest: &LoopNest) -> f64 {
+    if nest.stmts.is_empty() || nest.stmts.iter().all(|s| s.guards.is_empty()) {
+        return 1.0;
+    }
+    let points = nest.points();
+    if points == 0 {
+        return 1.0;
+    }
+    if points <= 1 << 20 {
+        let mut active = 0u64;
+        let mut total = 0u64;
+        let mut point = vec![0usize; nest.loops.len()];
+        loop {
+            for s in &nest.stmts {
+                total += 1;
+                if s.active_at(&point) {
+                    active += 1;
+                }
+            }
+            let mut d = nest.loops.len();
+            loop {
+                if d == 0 {
+                    break;
+                }
+                d -= 1;
+                point[d] += 1;
+                if point[d] < nest.loops[d].trip {
+                    break;
+                }
+                point[d] = 0;
+                if d == 0 {
+                    d = usize::MAX;
+                    break;
+                }
+            }
+            if d == usize::MAX || nest.loops.is_empty() {
+                break;
+            }
+        }
+        active as f64 / total as f64
+    } else {
+        // Large triangular spaces: guards of the `i − j` form keep half.
+        0.5
+    }
+}
+
+/// The §4.2 spatial legality rule, applied per index expression: every array
+/// dimension's affine function may involve at most one spatial iterator, and
+/// only with coefficient in `{−1, 0, 1}`.
+///
+/// (The paper states the rule per access function; a stationary operand like
+/// `C[i][j]` tiled along two spatial dims is mappable — each spatial
+/// iterator selects along its own array dimension — so the constraint that
+/// actually gates mesh-neighbourhood sharing is that no *single* index
+/// expression mixes spatial iterators or strides them.)
+pub fn spatial_legal(nest: &LoopNest, spatial_dims: &[usize]) -> bool {
+    let mut accesses: Vec<&Access> = Vec::new();
+    for s in &nest.stmts {
+        accesses.push(&s.dst);
+        s.expr.accesses(&mut accesses);
+    }
+    for a in accesses {
+        for f in &a.indices {
+            let mut nonzero = 0;
+            for &d in spatial_dims {
+                let c = f.coeff(d);
+                if c != 0 {
+                    nonzero += 1;
+                    if c.abs() > 1 {
+                        return false;
+                    }
+                }
+            }
+            if nonzero > 1 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Access, AffineExpr, Expr};
+    use crate::nest::{LoopDim, Stmt};
+
+    fn gemm_nest(n: usize) -> LoopNest {
+        let c = Access::new(2, vec![AffineExpr::iter(0), AffineExpr::iter(1)]);
+        LoopNest {
+            loops: vec![
+                LoopDim { name: "i", trip: n },
+                LoopDim { name: "j", trip: n },
+                LoopDim { name: "k", trip: n },
+            ],
+            stmts: vec![Stmt::new(
+                c.clone(),
+                Expr::add(
+                    Expr::Load(c),
+                    Expr::mul(
+                        Expr::load(0, vec![AffineExpr::iter(0), AffineExpr::iter(2)]),
+                        Expr::load(1, vec![AffineExpr::iter(2), AffineExpr::iter(1)]),
+                    ),
+                ),
+            )],
+        }
+    }
+
+    #[test]
+    fn gemm_dims_classified() {
+        let nest = gemm_nest(8);
+        let a = analyze_nest(&nest);
+        assert_eq!(a.dims[0], DimKind::Parallel); // i
+        assert_eq!(a.dims[1], DimKind::Parallel); // j
+        assert_eq!(a.dims[2], DimKind::Reduction); // k
+        assert_eq!(a.ops_per_point, 2);
+        assert_eq!(a.points, 512);
+        assert_eq!(a.parallel_points(&nest), 64);
+        assert_eq!(a.useful_ops(), 1024);
+    }
+
+    #[test]
+    fn seidel_like_is_sequential() {
+        // A[i] = A[i-1] + A[i+1]: same-array read at shifted indices.
+        let nest = LoopNest {
+            loops: vec![LoopDim { name: "i", trip: 8 }],
+            stmts: vec![Stmt::new(
+                Access::new(0, vec![AffineExpr::iter_plus(0, 1)]),
+                Expr::add(
+                    Expr::load(0, vec![AffineExpr::iter(0)]),
+                    Expr::load(0, vec![AffineExpr::iter_plus(0, 2)]),
+                ),
+            )],
+        };
+        let a = analyze_nest(&nest);
+        assert_eq!(a.dims[0], DimKind::Sequential);
+        assert!(a.recurrence_depth >= 1);
+    }
+
+    #[test]
+    fn jacobi_like_is_parallel() {
+        // B[i] = A[i-1] + A[i+1]: different arrays → parallel.
+        let nest = LoopNest {
+            loops: vec![LoopDim { name: "i", trip: 8 }],
+            stmts: vec![Stmt::new(
+                Access::new(1, vec![AffineExpr::iter_plus(0, 1)]),
+                Expr::add(
+                    Expr::load(0, vec![AffineExpr::iter(0)]),
+                    Expr::load(0, vec![AffineExpr::iter_plus(0, 2)]),
+                ),
+            )],
+        };
+        let a = analyze_nest(&nest);
+        assert_eq!(a.dims[0], DimKind::Parallel);
+        assert_eq!(a.recurrence_depth, 0);
+    }
+
+    #[test]
+    fn guard_fraction_triangular() {
+        // Guard j <= i on an n×n space ≈ (n+1)/2n.
+        let nest = LoopNest {
+            loops: vec![
+                LoopDim { name: "i", trip: 16 },
+                LoopDim { name: "j", trip: 16 },
+            ],
+            stmts: vec![Stmt::guarded(
+                Access::new(0, vec![AffineExpr::iter(0), AffineExpr::iter(1)]),
+                Expr::Const(1),
+                AffineExpr {
+                    offset: 0,
+                    coeffs: vec![1, -1],
+                },
+            )],
+        };
+        let a = analyze_nest(&nest);
+        assert!((a.active_fraction - 17.0 / 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spatial_legality_rule() {
+        let nest = gemm_nest(8);
+        // i and j touch different arrays with unit coefficients → legal.
+        assert!(spatial_legal(&nest, &[0]));
+        assert!(spatial_legal(&nest, &[1]));
+        assert!(spatial_legal(&nest, &[0, 1]));
+        // A nest with a 2-strided access is illegal on that dim.
+        let strided = LoopNest {
+            loops: vec![LoopDim { name: "i", trip: 8 }],
+            stmts: vec![Stmt::new(
+                Access::new(
+                    0,
+                    vec![AffineExpr {
+                        offset: 0,
+                        coeffs: vec![2],
+                    }],
+                ),
+                Expr::Const(0),
+            )],
+        };
+        assert!(!spatial_legal(&strided, &[0]));
+        assert!(spatial_legal(&strided, &[]));
+    }
+
+    #[test]
+    fn two_spatial_dims_in_one_access_illegal() {
+        // X[i + j] with both i, j spatial: two nonzero spatial coefficients.
+        let nest = LoopNest {
+            loops: vec![
+                LoopDim { name: "i", trip: 4 },
+                LoopDim { name: "j", trip: 4 },
+            ],
+            stmts: vec![Stmt::new(
+                Access::new(
+                    0,
+                    vec![AffineExpr {
+                        offset: 0,
+                        coeffs: vec![1, 1],
+                    }],
+                ),
+                Expr::Const(0),
+            )],
+        };
+        assert!(!spatial_legal(&nest, &[0, 1]));
+        assert!(spatial_legal(&nest, &[0]));
+    }
+}

@@ -1,0 +1,205 @@
+//! Expressions and affine access functions.
+
+/// An affine function of the loop iterators:
+/// `c + Σ coeffs[i] · iter[i]` (§4.2's access function, one output
+/// dimension).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AffineExpr {
+    /// Constant offset `c_k`.
+    pub offset: i64,
+    /// Per-iterator coefficients, indexed by loop depth (outer → inner).
+    pub coeffs: Vec<i64>,
+}
+
+impl AffineExpr {
+    /// The constant function.
+    pub fn constant(offset: i64) -> AffineExpr {
+        AffineExpr {
+            offset,
+            coeffs: Vec::new(),
+        }
+    }
+
+    /// The single iterator `iter[dim]` (coefficient 1).
+    pub fn iter(dim: usize) -> AffineExpr {
+        let mut coeffs = vec![0; dim + 1];
+        coeffs[dim] = 1;
+        AffineExpr { offset: 0, coeffs }
+    }
+
+    /// `iter[dim] + offset`.
+    pub fn iter_plus(dim: usize, offset: i64) -> AffineExpr {
+        AffineExpr {
+            offset,
+            ..AffineExpr::iter(dim)
+        }
+    }
+
+    /// Evaluates at an iteration point.
+    pub fn eval(&self, point: &[usize]) -> i64 {
+        let mut v = self.offset;
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            if c != 0 {
+                v += c * point.get(i).copied().unwrap_or(0) as i64;
+            }
+        }
+        v
+    }
+
+    /// Coefficient of iterator `dim` (zero when absent).
+    pub fn coeff(&self, dim: usize) -> i64 {
+        self.coeffs.get(dim).copied().unwrap_or(0)
+    }
+
+    /// True when the function does not depend on iterator `dim`.
+    pub fn independent_of(&self, dim: usize) -> bool {
+        self.coeff(dim) == 0
+    }
+}
+
+/// An array access: array id plus one affine index function per array
+/// dimension.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Access {
+    /// Index into the kernel's array table.
+    pub array: usize,
+    /// One affine function per array dimension.
+    pub indices: Vec<AffineExpr>,
+}
+
+impl Access {
+    /// Convenience constructor.
+    pub fn new(array: usize, indices: Vec<AffineExpr>) -> Access {
+        Access { array, indices }
+    }
+}
+
+/// Statement right-hand sides: integer arithmetic over loads, iterators, and
+/// constants. (PolyBench kernels with transcendental ops are excluded from
+/// the evaluation, so integer `+ − × min max` suffices.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Load from an array.
+    Load(Access),
+    /// Integer constant.
+    Const(i64),
+    /// Current value of a loop iterator.
+    Iter(usize),
+    /// Sum.
+    Add(Box<Expr>, Box<Expr>),
+    /// Difference.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Product.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Minimum.
+    Min(Box<Expr>, Box<Expr>),
+    /// Maximum.
+    Max(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// `a + b` (builder convenience).
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Add(Box::new(a), Box::new(b))
+    }
+    /// `a - b`.
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Sub(Box::new(a), Box::new(b))
+    }
+    /// `a * b`.
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Mul(Box::new(a), Box::new(b))
+    }
+    /// `min(a, b)`.
+    pub fn min(a: Expr, b: Expr) -> Expr {
+        Expr::Min(Box::new(a), Box::new(b))
+    }
+    /// Load shorthand.
+    pub fn load(array: usize, indices: Vec<AffineExpr>) -> Expr {
+        Expr::Load(Access::new(array, indices))
+    }
+
+    /// Number of arithmetic operations in the expression tree.
+    pub fn op_count(&self) -> u64 {
+        match self {
+            Expr::Load(_) | Expr::Const(_) | Expr::Iter(_) => 0,
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Min(a, b)
+            | Expr::Max(a, b) => 1 + a.op_count() + b.op_count(),
+        }
+    }
+
+    /// Depth of the arithmetic DAG (critical path in operations).
+    pub fn depth(&self) -> u64 {
+        match self {
+            Expr::Load(_) | Expr::Const(_) | Expr::Iter(_) => 0,
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Min(a, b)
+            | Expr::Max(a, b) => 1 + a.depth().max(b.depth()),
+        }
+    }
+
+    /// Collects every [`Access`] in the expression.
+    pub fn accesses<'a>(&'a self, out: &mut Vec<&'a Access>) {
+        match self {
+            Expr::Load(a) => out.push(a),
+            Expr::Const(_) | Expr::Iter(_) => {}
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Min(a, b)
+            | Expr::Max(a, b) => {
+                a.accesses(out);
+                b.accesses(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affine_eval() {
+        // 2*i - j + 3 at (i, j) = (5, 4) → 9.
+        let f = AffineExpr {
+            offset: 3,
+            coeffs: vec![2, -1],
+        };
+        assert_eq!(f.eval(&[5, 4]), 9);
+        assert_eq!(f.coeff(0), 2);
+        assert_eq!(f.coeff(7), 0);
+        assert!(f.independent_of(2));
+        assert!(!f.independent_of(1));
+    }
+
+    #[test]
+    fn iter_constructors() {
+        assert_eq!(AffineExpr::iter(1).eval(&[9, 7]), 7);
+        assert_eq!(AffineExpr::iter_plus(0, -1).eval(&[3, 0]), 2);
+        assert_eq!(AffineExpr::constant(5).eval(&[1, 2, 3]), 5);
+    }
+
+    #[test]
+    fn op_count_and_depth() {
+        // (a + b) * (c + d): 3 ops, depth 2.
+        let e = Expr::mul(
+            Expr::add(Expr::Const(1), Expr::Const(2)),
+            Expr::add(Expr::Const(3), Expr::Const(4)),
+        );
+        assert_eq!(e.op_count(), 3);
+        assert_eq!(e.depth(), 2);
+    }
+
+    #[test]
+    fn accesses_collected() {
+        let e = Expr::add(
+            Expr::load(0, vec![AffineExpr::iter(0)]),
+            Expr::mul(
+                Expr::load(1, vec![AffineExpr::iter(1)]),
+                Expr::Const(2),
+            ),
+        );
+        let mut acc = Vec::new();
+        e.accesses(&mut acc);
+        assert_eq!(acc.len(), 2);
+        assert_eq!(acc[0].array, 0);
+        assert_eq!(acc[1].array, 1);
+    }
+}

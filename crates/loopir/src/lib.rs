@@ -1,0 +1,52 @@
+//! Affine loop-nest IR and the PolyBench kernel suite (§4.2).
+//!
+//! Canon maps *affine loop nests*: iteration spaces split into temporal and
+//! spatial iterators, with affine array-access functions
+//! `i_k = c_k + Σ β_ki·t_i + Σ α_kj·s_j`, under the neighbourhood-sharing
+//! legality rule that at most one spatial coefficient is in `{−1, 0, 1}` and
+//! all others are zero. This crate provides:
+//!
+//! * the IR itself ([`expr`], [`nest`]) with a reference **executor** used to
+//!   validate every kernel definition against hand-written Rust;
+//! * the **semantic analyses** of the compilation flow's first stage
+//!   ([`analysis`]): per-dimension parallelism/reduction classification,
+//!   operation counts, recurrence critical paths, and the §4.2 spatial
+//!   legality check;
+//! * **mapping cost models** ([`mapping`]) for Canon's time-lapsed SIMD
+//!   execution and for the modulo-scheduled CGRA baseline — the models
+//!   behind the `PolyB-*` columns of Figs 12/13;
+//! * the **PolyBench kernels** ([`polybench`]), re-expressed in the IR with
+//!   the same loop structures and grouped into the paper's BLAS / Kernel /
+//!   Stencil categories (kernels with square roots or exponentials are
+//!   excluded, as in §5).
+
+pub mod analysis;
+pub mod expr;
+pub mod mapping;
+pub mod nest;
+pub mod polybench;
+
+pub use analysis::{analyze_nest, NestAnalysis};
+pub use expr::{Access, AffineExpr, Expr};
+pub use nest::{Array, Kernel, LoopDim, LoopNest, Stmt};
+
+/// PolyBench categories used in the evaluation figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// `PolyB-BLAS`: BLAS routines and solvers.
+    Blas,
+    /// `PolyB-Kernel`: linear-algebra kernels, data mining, medley.
+    Kernel,
+    /// `PolyB-Stencil`: stencil computations.
+    Stencil,
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Category::Blas => write!(f, "BLAS"),
+            Category::Kernel => write!(f, "Kernel"),
+            Category::Stencil => write!(f, "Stencil"),
+        }
+    }
+}

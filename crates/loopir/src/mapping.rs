@@ -1,0 +1,258 @@
+//! Mapping cost models: Canon's time-lapsed SIMD vs the modulo-scheduled
+//! CGRA (the `PolyB-*` columns of Figs 12/13).
+//!
+//! **Canon** exploits data-level parallelism: parallel iteration dimensions
+//! are spatialised over PE rows and over the column×lane dimension (subject
+//! to the §4.2 legality rule), and each remaining iteration issues
+//! `ops_per_point` instructions from the row orchestrator. Inner loops that
+//! cannot be unrolled by the 4-wide SIMD under-utilise the lanes, and
+//! data-dependent serial loops confine work to single rows (§4.2's DLP
+//! granularity bound).
+//!
+//! **CGRA** exploits instruction-level parallelism: each nest's dataflow
+//! graph is modulo-scheduled; the initiation interval is bounded below by
+//! resources (`ops / PEs`) and by the loop-carried recurrence critical path,
+//! and published mappers achieve `II ≈ 1.2–1.3 × MII` on average for
+//! non-trivial graphs (Morpher/HyCUBE experience), which the model charges
+//! as a routing factor. Independent iterations are replicated spatially
+//! until PEs run out.
+
+use crate::analysis::{analyze_nest, DimKind};
+use crate::nest::Kernel;
+use crate::Category;
+use canon_baselines::cgra::Cgra;
+use canon_baselines::{Activity, BaselineRun, PEAK_MACS};
+
+/// Cost-model output for a kernel on Canon's loop path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CanonLoopRun {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Useful arithmetic operations executed.
+    pub useful_ops: u64,
+    /// Vector-lane instructions issued (energy accounting).
+    pub lane_instrs: u64,
+    /// Effective utilization vs the 256-op/cycle peak.
+    pub utilization: f64,
+}
+
+/// Maps a kernel onto Canon (rows × cols PEs, `lanes`-wide SIMD).
+pub fn map_canon(kernel: &Kernel, rows: usize, cols: usize, lanes: usize) -> CanonLoopRun {
+    let peak = (rows * cols * lanes) as f64;
+    let mut cycles = 0u64;
+    let mut lane_instrs = 0u64;
+    for nest in &kernel.nests {
+        let a = analyze_nest(nest);
+        if a.points == 0 {
+            continue;
+        }
+        // Choose spatial dims among parallel dims, largest trips first,
+        // respecting the legality rule per §4.2.
+        let mut par: Vec<(usize, usize)> = a
+            .dims
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| **k == DimKind::Parallel)
+            .map(|(d, _)| (d, nest.loops[d].trip))
+            .collect();
+        par.sort_by_key(|&(_, t)| std::cmp::Reverse(t));
+        let mut spatial: Vec<usize> = Vec::new();
+        let mut row_par = 1usize;
+        let mut col_par = 1usize;
+        for &(d, trip) in &par {
+            let mut candidate = spatial.clone();
+            candidate.push(d);
+            if !crate::analysis::spatial_legal(nest, &candidate) {
+                continue;
+            }
+            if spatial.is_empty() {
+                col_par = trip.min(cols * lanes);
+                spatial = candidate;
+            } else if spatial.len() == 1 {
+                row_par = trip.min(rows);
+                spatial = candidate;
+                break;
+            }
+        }
+        // Lane efficiency: the column-dim parallelism fills 4-wide lanes;
+        // a trip below the lane width leaves lanes idle (§4.2).
+        let lane_eff = if col_par >= lanes {
+            1.0
+        } else {
+            col_par as f64 / lanes as f64
+        };
+        let groups = (a.points as f64 / (row_par as f64 * col_par as f64)).ceil();
+        // Each group of spatially-mapped points issues `ops_per_point`
+        // instructions; the orchestrator adds ~1 control token per group
+        // (row-end-style bookkeeping), and the staggered pipe drains once.
+        let nest_cycles = groups * (a.ops_per_point.max(1) as f64) * a.active_fraction.max(0.05)
+            + groups * 0.03 * a.ops_per_point as f64
+            + (cols * 3) as f64;
+        cycles += nest_cycles.ceil() as u64;
+        // Lane instructions actually issued across the active rows/cols.
+        lane_instrs += (groups * a.ops_per_point as f64 * row_par as f64 * cols as f64).ceil()
+            as u64;
+        let _ = lane_eff;
+    }
+    // Useful ops: real arithmetic (guard-weighted), independent of mapping.
+    let useful: u64 = kernel
+        .nests
+        .iter()
+        .map(|n| analyze_nest(n).useful_ops())
+        .sum();
+    let utilization = if cycles == 0 {
+        0.0
+    } else {
+        useful as f64 / (cycles as f64 * peak)
+    };
+    CanonLoopRun {
+        cycles,
+        useful_ops: useful,
+        lane_instrs,
+        utilization,
+    }
+}
+
+/// Maps a kernel onto the CGRA baseline via modulo scheduling.
+pub fn map_cgra(kernel: &Kernel, cgra: &Cgra) -> BaselineRun {
+    let mut total = BaselineRun {
+        cycles: cgra.config_cycles, // one configuration per kernel
+        activity: Activity::default(),
+        useful_macs: 0,
+        peak_macs_per_cycle: PEAK_MACS,
+    };
+    for nest in &kernel.nests {
+        let a = analyze_nest(nest);
+        if a.points == 0 {
+            continue;
+        }
+        let ops = a.ops_per_point.max(1);
+        // Spatial replication of independent iterations until PEs run out.
+        let par = a.parallel_points(nest).max(1);
+        let unroll = ((cgra.pes as u64) / ops).clamp(1, par);
+        let res_mii = (ops * unroll).div_ceil(cgra.pes as u64).max(1);
+        let rec_mii = a.recurrence_depth.max(1);
+        let mii = res_mii.max(rec_mii);
+        // Routing factor: achieved II exceeds MII for non-trivial graphs.
+        let ii = if ops * unroll >= 4 {
+            (mii as f64 * 1.25).ceil() as u64
+        } else {
+            mii
+        };
+        let iterations = (a.points as f64 / unroll as f64).ceil() as u64;
+        let prologue = a.recurrence_depth + 4;
+        let r = cgra.loop_kernel(ii, iterations, ops, (ops * unroll) as usize, prologue);
+        // `loop_kernel` already charges config; keep only one global config.
+        total.cycles += r.cycles - cgra.config_cycles;
+        total.useful_macs += a.useful_ops();
+        total.activity.macs += a.useful_ops();
+        total.activity.instr_fetches += r.activity.instr_fetches;
+        total.activity.sram_reads += r.activity.sram_reads;
+        total.activity.sram_writes += r.activity.sram_writes;
+        total.activity.noc_hops += r.activity.noc_hops;
+    }
+    total.activity.control_events += cgra.config_cycles * cgra.pes as u64;
+    total
+}
+
+/// Aggregate comparison for a kernel category (geometric-mean speedup of
+/// Canon over the CGRA, plus the raw runs).
+#[derive(Debug, Clone)]
+pub struct CategoryComparison {
+    /// Category compared.
+    pub category: Category,
+    /// Per-kernel `(name, canon, cgra)` runs.
+    pub kernels: Vec<(&'static str, CanonLoopRun, BaselineRun)>,
+}
+
+impl CategoryComparison {
+    /// Geometric mean of CGRA-cycles / Canon-cycles (>1 means Canon faster).
+    pub fn geomean_speedup(&self) -> f64 {
+        if self.kernels.is_empty() {
+            return 1.0;
+        }
+        let log_sum: f64 = self
+            .kernels
+            .iter()
+            .map(|(_, canon, cgra)| {
+                (cgra.cycles.max(1) as f64 / canon.cycles.max(1) as f64).ln()
+            })
+            .sum();
+        (log_sum / self.kernels.len() as f64).exp()
+    }
+}
+
+/// Runs every kernel of a category through both mappers.
+pub fn compare_category(
+    kernels: &[Kernel],
+    category: Category,
+    rows: usize,
+    cols: usize,
+    lanes: usize,
+) -> CategoryComparison {
+    let cgra = Cgra::default();
+    let runs = kernels
+        .iter()
+        .filter(|k| k.category == category)
+        .map(|k| {
+            (
+                k.name,
+                map_canon(k, rows, cols, lanes),
+                map_cgra(k, &cgra),
+            )
+        })
+        .collect();
+    CategoryComparison {
+        category,
+        kernels: runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polybench;
+
+    #[test]
+    fn gemm_canon_beats_cgra_on_parallel_kernel() {
+        let ks = polybench::suite(64);
+        let gemm = ks.iter().find(|k| k.name == "gemm").unwrap();
+        let canon = map_canon(gemm, 8, 8, 4);
+        let cgra = map_cgra(gemm, &Cgra::default());
+        assert!(canon.cycles > 0 && cgra.cycles > 0);
+        assert!(
+            canon.cycles <= cgra.cycles,
+            "canon {} vs cgra {}",
+            canon.cycles,
+            cgra.cycles
+        );
+        assert!(canon.utilization > 0.3, "utilization {}", canon.utilization);
+    }
+
+    #[test]
+    fn sequential_kernel_favors_cgra() {
+        let ks = polybench::suite(64);
+        let seidel = ks.iter().find(|k| k.name == "seidel-2d").unwrap();
+        let canon = map_canon(seidel, 8, 8, 4);
+        let cgra = map_cgra(seidel, &Cgra::default());
+        // Seidel's space dims are loop-carried: Canon gets no DLP while the
+        // CGRA pipelines the recurrence at II ≈ depth.
+        assert!(
+            cgra.cycles < canon.cycles,
+            "cgra {} should beat canon {}",
+            cgra.cycles,
+            canon.cycles
+        );
+    }
+
+    #[test]
+    fn category_comparison_runs() {
+        let ks = polybench::suite(32);
+        for cat in [Category::Blas, Category::Kernel, Category::Stencil] {
+            let cmp = compare_category(&ks, cat, 8, 8, 4);
+            assert!(!cmp.kernels.is_empty(), "no kernels in {cat}");
+            let g = cmp.geomean_speedup();
+            assert!(g.is_finite() && g > 0.0);
+        }
+    }
+}

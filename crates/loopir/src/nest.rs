@@ -1,0 +1,387 @@
+//! Loop nests, kernels, and the reference executor.
+
+use crate::expr::{Access, AffineExpr, Expr};
+
+/// A loop dimension (rectangular bounds; triangular iteration spaces are
+/// expressed through statement guards, which is also how the Canon frontend
+/// models conditional/predicated execution).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopDim {
+    /// Iterator name (diagnostics).
+    pub name: &'static str,
+    /// Trip count.
+    pub trip: usize,
+}
+
+/// A guarded assignment `dst = expr if ∀g ∈ guards: g >= 0`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stmt {
+    /// Destination access.
+    pub dst: Access,
+    /// Right-hand side.
+    pub expr: Expr,
+    /// Conjunction of affine predicates; the statement executes iff every
+    /// guard evaluates `>= 0` (triangular iteration spaces and the paper's
+    /// conditional/predicated execution are both expressed this way).
+    pub guards: Vec<AffineExpr>,
+}
+
+impl Stmt {
+    /// Unguarded statement.
+    pub fn new(dst: Access, expr: Expr) -> Stmt {
+        Stmt {
+            dst,
+            expr,
+            guards: Vec::new(),
+        }
+    }
+
+    /// Statement with a single guard (`guard >= 0`).
+    pub fn guarded(dst: Access, expr: Expr, guard: AffineExpr) -> Stmt {
+        Stmt {
+            dst,
+            expr,
+            guards: vec![guard],
+        }
+    }
+
+    /// Statement with a conjunction of guards.
+    pub fn guarded_all(dst: Access, expr: Expr, guards: Vec<AffineExpr>) -> Stmt {
+        Stmt { dst, expr, guards }
+    }
+
+    /// True when every guard holds at the point.
+    pub fn active_at(&self, point: &[usize]) -> bool {
+        self.guards.iter().all(|g| g.eval(point) >= 0)
+    }
+}
+
+/// One perfectly-nested loop with a list of statements in its body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopNest {
+    /// Loop dimensions, outermost first.
+    pub loops: Vec<LoopDim>,
+    /// Body statements, executed in order at every iteration point.
+    pub stmts: Vec<Stmt>,
+}
+
+impl LoopNest {
+    /// Total iteration-space size.
+    pub fn points(&self) -> u64 {
+        self.loops.iter().map(|l| l.trip as u64).product()
+    }
+}
+
+/// An array declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Array {
+    /// Name (diagnostics).
+    pub name: &'static str,
+    /// Dimension extents.
+    pub dims: Vec<usize>,
+}
+
+impl Array {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// True for zero-sized arrays.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A kernel: a sequence of loop nests over a shared array table (PolyBench
+/// kernels are typically several nests run back to back).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Kernel {
+    /// Kernel name (PolyBench name).
+    pub name: &'static str,
+    /// Evaluation category.
+    pub category: crate::Category,
+    /// Array table.
+    pub arrays: Vec<Array>,
+    /// Nests, executed in order.
+    pub nests: Vec<LoopNest>,
+}
+
+/// Executor state: one flat buffer per array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayState {
+    dims: Vec<usize>,
+    data: Vec<i64>,
+}
+
+impl ArrayState {
+    fn index(&self, idx: &[i64]) -> usize {
+        debug_assert_eq!(idx.len(), self.dims.len());
+        let mut flat = 0usize;
+        for (d, &i) in idx.iter().enumerate() {
+            assert!(
+                i >= 0 && (i as usize) < self.dims[d],
+                "index {i} out of bounds for dim {d} (extent {})",
+                self.dims[d]
+            );
+            flat = flat * self.dims[d] + i as usize;
+        }
+        flat
+    }
+
+    /// Reads an element.
+    pub fn get(&self, idx: &[i64]) -> i64 {
+        self.data[self.index(idx)]
+    }
+
+    /// Writes an element.
+    pub fn set(&mut self, idx: &[i64], v: i64) {
+        let i = self.index(idx);
+        self.data[i] = v;
+    }
+
+    /// The flat contents.
+    pub fn data(&self) -> &[i64] {
+        &self.data
+    }
+}
+
+/// Deterministic initial value for array `a`, flat element `i` — the analogue
+/// of PolyBench's init functions, kept in small integer range so products
+/// stay exact.
+pub fn init_value(a: usize, i: usize) -> i64 {
+    (((a * 31 + i * 7) % 13) as i64) - 6
+}
+
+/// Executes a kernel and returns the final array states.
+///
+/// This is the semantic ground truth for the IR: PolyBench definitions are
+/// validated against hand-written Rust via this executor. It is purely
+/// functional-level (no timing) — timing comes from the mapping models.
+///
+/// # Panics
+///
+/// Panics on out-of-bounds accesses (a kernel-definition bug).
+pub fn execute(kernel: &Kernel) -> Vec<ArrayState> {
+    let mut arrays: Vec<ArrayState> = kernel
+        .arrays
+        .iter()
+        .enumerate()
+        .map(|(a, arr)| ArrayState {
+            dims: arr.dims.clone(),
+            data: (0..arr.len()).map(|i| init_value(a, i)).collect(),
+        })
+        .collect();
+    for nest in &kernel.nests {
+        let mut point = vec![0usize; nest.loops.len()];
+        loop {
+            for stmt in &nest.stmts {
+                if !stmt.active_at(&point) {
+                    continue;
+                }
+                let v = eval_expr(&stmt.expr, &point, &arrays);
+                let idx: Vec<i64> = stmt.dst.indices.iter().map(|f| f.eval(&point)).collect();
+                arrays[stmt.dst.array].set(&idx, v);
+            }
+            // Advance the iteration point (row-major order).
+            let mut d = nest.loops.len();
+            loop {
+                if d == 0 {
+                    break;
+                }
+                d -= 1;
+                point[d] += 1;
+                if point[d] < nest.loops[d].trip {
+                    break;
+                }
+                point[d] = 0;
+                if d == 0 {
+                    d = usize::MAX;
+                    break;
+                }
+            }
+            if d == usize::MAX || nest.loops.is_empty() {
+                break;
+            }
+        }
+    }
+    arrays
+}
+
+fn eval_expr(e: &Expr, point: &[usize], arrays: &[ArrayState]) -> i64 {
+    match e {
+        Expr::Load(a) => {
+            let idx: Vec<i64> = a.indices.iter().map(|f| f.eval(point)).collect();
+            arrays[a.array].get(&idx)
+        }
+        Expr::Const(c) => *c,
+        Expr::Iter(d) => point[*d] as i64,
+        Expr::Add(a, b) => {
+            eval_expr(a, point, arrays).wrapping_add(eval_expr(b, point, arrays))
+        }
+        Expr::Sub(a, b) => {
+            eval_expr(a, point, arrays).wrapping_sub(eval_expr(b, point, arrays))
+        }
+        Expr::Mul(a, b) => {
+            eval_expr(a, point, arrays).wrapping_mul(eval_expr(b, point, arrays))
+        }
+        Expr::Min(a, b) => eval_expr(a, point, arrays).min(eval_expr(b, point, arrays)),
+        Expr::Max(a, b) => eval_expr(a, point, arrays).max(eval_expr(b, point, arrays)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Category;
+
+    /// A tiny GEMM kernel in the IR.
+    fn gemm_kernel(n: usize) -> Kernel {
+        // C[i][j] += A[i][k] * B[k][j]
+        let c = Access::new(
+            2,
+            vec![AffineExpr::iter(0), AffineExpr::iter(1)],
+        );
+        let body = Expr::add(
+            Expr::Load(c.clone()),
+            Expr::mul(
+                Expr::load(0, vec![AffineExpr::iter(0), AffineExpr::iter(2)]),
+                Expr::load(1, vec![AffineExpr::iter(2), AffineExpr::iter(1)]),
+            ),
+        );
+        Kernel {
+            name: "gemm-test",
+            category: Category::Blas,
+            arrays: vec![
+                Array {
+                    name: "A",
+                    dims: vec![n, n],
+                },
+                Array {
+                    name: "B",
+                    dims: vec![n, n],
+                },
+                Array {
+                    name: "C",
+                    dims: vec![n, n],
+                },
+            ],
+            nests: vec![LoopNest {
+                loops: vec![
+                    LoopDim { name: "i", trip: n },
+                    LoopDim { name: "j", trip: n },
+                    LoopDim { name: "k", trip: n },
+                ],
+                stmts: vec![Stmt::new(c, body)],
+            }],
+        }
+    }
+
+    #[test]
+    fn executor_matches_handwritten_gemm() {
+        let n = 6;
+        let out = execute(&gemm_kernel(n));
+        // Hand-written reference over the same init values.
+        let a = |i: usize, k: usize| init_value(0, i * n + k);
+        let b = |k: usize, j: usize| init_value(1, k * n + j);
+        for i in 0..n {
+            for j in 0..n {
+                let mut c = init_value(2, i * n + j);
+                for k in 0..n {
+                    c += a(i, k) * b(k, j);
+                }
+                assert_eq!(out[2].get(&[i as i64, j as i64]), c, "C[{i}][{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn guard_skips_iterations() {
+        // x[i] = 1 only for i >= 3 (guard i - 3 >= 0).
+        let kernel = Kernel {
+            name: "guard-test",
+            category: Category::Kernel,
+            arrays: vec![Array {
+                name: "x",
+                dims: vec![6],
+            }],
+            nests: vec![LoopNest {
+                loops: vec![LoopDim { name: "i", trip: 6 }],
+                stmts: vec![Stmt::guarded(
+                    Access::new(0, vec![AffineExpr::iter(0)]),
+                    Expr::Const(1),
+                    AffineExpr::iter_plus(0, -3),
+                )],
+            }],
+        };
+        let out = execute(&kernel);
+        for i in 0..6 {
+            let expect = if i >= 3 { 1 } else { init_value(0, i) };
+            assert_eq!(out[0].get(&[i as i64]), expect);
+        }
+    }
+
+    #[test]
+    fn multiple_nests_run_in_order() {
+        // Nest 1: x[i] = 2; Nest 2: x[i] = x[i] * 3.
+        let x = |d| Access::new(0, vec![AffineExpr::iter(d)]);
+        let kernel = Kernel {
+            name: "seq-test",
+            category: Category::Kernel,
+            arrays: vec![Array {
+                name: "x",
+                dims: vec![4],
+            }],
+            nests: vec![
+                LoopNest {
+                    loops: vec![LoopDim { name: "i", trip: 4 }],
+                    stmts: vec![Stmt::new(x(0), Expr::Const(2))],
+                },
+                LoopNest {
+                    loops: vec![LoopDim { name: "i", trip: 4 }],
+                    stmts: vec![Stmt::new(
+                        x(0),
+                        Expr::mul(Expr::Load(x(0)), Expr::Const(3)),
+                    )],
+                },
+            ],
+        };
+        let out = execute(&kernel);
+        assert_eq!(out[0].data(), &[6, 6, 6, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_access_panics() {
+        let kernel = Kernel {
+            name: "oob",
+            category: Category::Kernel,
+            arrays: vec![Array {
+                name: "x",
+                dims: vec![2],
+            }],
+            nests: vec![LoopNest {
+                loops: vec![LoopDim { name: "i", trip: 4 }],
+                stmts: vec![Stmt::new(
+                    Access::new(0, vec![AffineExpr::iter(0)]),
+                    Expr::Const(0),
+                )],
+            }],
+        };
+        let _ = execute(&kernel);
+    }
+
+    #[test]
+    fn zero_loop_nest() {
+        let kernel = Kernel {
+            name: "empty",
+            category: Category::Kernel,
+            arrays: vec![],
+            nests: vec![LoopNest {
+                loops: vec![],
+                stmts: vec![],
+            }],
+        };
+        assert!(execute(&kernel).is_empty());
+    }
+}

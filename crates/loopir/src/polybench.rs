@@ -1,0 +1,823 @@
+//! The PolyBench kernel suite, re-expressed in the loop IR.
+//!
+//! Following §5, kernels containing square roots, exponentials, or divisions
+//! in their loops (cholesky, gramschmidt, correlation, deriche, adi, durbin,
+//! ludcmp) are excluded — neither Canon nor the CGRA baseline supports those
+//! operators. Floating-point scalings that do not change loop structure
+//! (e.g. the `1/N` in covariance means, the `1/3` of Jacobi averaging) are
+//! dropped so the integer executor stays exact; the *loop structure*, the
+//! dependence pattern, and the operation counts — which are what the mapping
+//! cost models consume — are preserved from the PolyBenchC sources.
+//!
+//! Categories follow the benchmark suite's own grouping, matching the
+//! `PolyB-BLAS` / `PolyB-Kernel` / `PolyB-Stencil` columns of Figs 12/13
+//! (solvers are folded into BLAS, as the paper's discussion of "some solvers
+//! in the BLAS set" implies).
+
+use crate::expr::{Access, AffineExpr, Expr};
+use crate::nest::{Array, Kernel, LoopDim, LoopNest, Stmt};
+use crate::Category;
+
+fn it(d: usize) -> AffineExpr {
+    AffineExpr::iter(d)
+}
+fn itp(d: usize, o: i64) -> AffineExpr {
+    AffineExpr::iter_plus(d, o)
+}
+fn a1(arr: usize, i: AffineExpr) -> Access {
+    Access::new(arr, vec![i])
+}
+fn a2(arr: usize, i: AffineExpr, j: AffineExpr) -> Access {
+    Access::new(arr, vec![i, j])
+}
+fn a3(arr: usize, i: AffineExpr, j: AffineExpr, k: AffineExpr) -> Access {
+    Access::new(arr, vec![i, j, k])
+}
+fn ld(a: Access) -> Expr {
+    Expr::Load(a)
+}
+fn dims(names: &[(&'static str, usize)]) -> Vec<LoopDim> {
+    names
+        .iter()
+        .map(|&(name, trip)| LoopDim { name, trip })
+        .collect()
+}
+/// `i − j − 1 >= 0` i.e. `iter(a) > iter(b)`.
+fn gt(a: usize, b: usize) -> AffineExpr {
+    let mut coeffs = vec![0i64; a.max(b) + 1];
+    coeffs[a] = 1;
+    coeffs[b] = -1;
+    AffineExpr { offset: -1, coeffs }
+}
+/// `iter(a) >= iter(b)`.
+fn ge(a: usize, b: usize) -> AffineExpr {
+    let mut coeffs = vec![0i64; a.max(b) + 1];
+    coeffs[a] = 1;
+    coeffs[b] = -1;
+    AffineExpr { offset: 0, coeffs }
+}
+fn sq(name: &'static str, n: usize) -> Array {
+    Array {
+        name,
+        dims: vec![n, n],
+    }
+}
+fn vecn(name: &'static str, n: usize) -> Array {
+    Array {
+        name,
+        dims: vec![n],
+    }
+}
+/// `dst += e`.
+fn acc_stmt(dst: Access, e: Expr) -> Stmt {
+    Stmt::new(dst.clone(), Expr::add(ld(dst), e))
+}
+
+fn gemm(n: usize) -> Kernel {
+    Kernel {
+        name: "gemm",
+        category: Category::Blas,
+        arrays: vec![sq("A", n), sq("B", n), sq("C", n)],
+        nests: vec![LoopNest {
+            loops: dims(&[("i", n), ("j", n), ("k", n)]),
+            stmts: vec![acc_stmt(
+                a2(2, it(0), it(1)),
+                Expr::mul(ld(a2(0, it(0), it(2))), ld(a2(1, it(2), it(1)))),
+            )],
+        }],
+    }
+}
+
+fn gemver(n: usize) -> Kernel {
+    // 0:A 1:u1 2:v1 3:u2 4:v2 5:y 6:z 7:x 8:w
+    Kernel {
+        name: "gemver",
+        category: Category::Blas,
+        arrays: vec![
+            sq("A", n),
+            vecn("u1", n),
+            vecn("v1", n),
+            vecn("u2", n),
+            vecn("v2", n),
+            vecn("y", n),
+            vecn("z", n),
+            vecn("x", n),
+            vecn("w", n),
+        ],
+        nests: vec![
+            LoopNest {
+                loops: dims(&[("i", n), ("j", n)]),
+                stmts: vec![acc_stmt(
+                    a2(0, it(0), it(1)),
+                    Expr::add(
+                        Expr::mul(ld(a1(1, it(0))), ld(a1(2, it(1)))),
+                        Expr::mul(ld(a1(3, it(0))), ld(a1(4, it(1)))),
+                    ),
+                )],
+            },
+            LoopNest {
+                loops: dims(&[("i", n), ("j", n)]),
+                stmts: vec![acc_stmt(
+                    a1(7, it(0)),
+                    Expr::mul(ld(a2(0, it(1), it(0))), ld(a1(5, it(1)))),
+                )],
+            },
+            LoopNest {
+                loops: dims(&[("i", n)]),
+                stmts: vec![acc_stmt(a1(7, it(0)), ld(a1(6, it(0))))],
+            },
+            LoopNest {
+                loops: dims(&[("i", n), ("j", n)]),
+                stmts: vec![acc_stmt(
+                    a1(8, it(0)),
+                    Expr::mul(ld(a2(0, it(0), it(1))), ld(a1(7, it(1)))),
+                )],
+            },
+        ],
+    }
+}
+
+fn gesummv(n: usize) -> Kernel {
+    // 0:A 1:B 2:x 3:tmp 4:y
+    Kernel {
+        name: "gesummv",
+        category: Category::Blas,
+        arrays: vec![sq("A", n), sq("B", n), vecn("x", n), vecn("tmp", n), vecn("y", n)],
+        nests: vec![
+            LoopNest {
+                loops: dims(&[("i", n), ("j", n)]),
+                stmts: vec![
+                    acc_stmt(
+                        a1(3, it(0)),
+                        Expr::mul(ld(a2(0, it(0), it(1))), ld(a1(2, it(1)))),
+                    ),
+                    acc_stmt(
+                        a1(4, it(0)),
+                        Expr::mul(ld(a2(1, it(0), it(1))), ld(a1(2, it(1)))),
+                    ),
+                ],
+            },
+            LoopNest {
+                loops: dims(&[("i", n)]),
+                stmts: vec![Stmt::new(
+                    a1(4, it(0)),
+                    Expr::add(
+                        Expr::mul(ld(a1(3, it(0))), Expr::Const(3)),
+                        Expr::mul(ld(a1(4, it(0))), Expr::Const(2)),
+                    ),
+                )],
+            },
+        ],
+    }
+}
+
+fn syrk(n: usize) -> Kernel {
+    Kernel {
+        name: "syrk",
+        category: Category::Blas,
+        arrays: vec![sq("C", n), sq("A", n)],
+        nests: vec![LoopNest {
+            loops: dims(&[("i", n), ("j", n), ("k", n)]),
+            stmts: vec![Stmt::guarded(
+                a2(0, it(0), it(1)),
+                Expr::add(
+                    ld(a2(0, it(0), it(1))),
+                    Expr::mul(ld(a2(1, it(0), it(2))), ld(a2(1, it(1), it(2)))),
+                ),
+                ge(0, 1), // j <= i
+            )],
+        }],
+    }
+}
+
+fn syr2k(n: usize) -> Kernel {
+    Kernel {
+        name: "syr2k",
+        category: Category::Blas,
+        arrays: vec![sq("C", n), sq("A", n), sq("B", n)],
+        nests: vec![LoopNest {
+            loops: dims(&[("i", n), ("j", n), ("k", n)]),
+            stmts: vec![Stmt::guarded(
+                a2(0, it(0), it(1)),
+                Expr::add(
+                    ld(a2(0, it(0), it(1))),
+                    Expr::add(
+                        Expr::mul(ld(a2(1, it(0), it(2))), ld(a2(2, it(1), it(2)))),
+                        Expr::mul(ld(a2(2, it(0), it(2))), ld(a2(1, it(1), it(2)))),
+                    ),
+                ),
+                ge(0, 1),
+            )],
+        }],
+    }
+}
+
+fn trmm(n: usize) -> Kernel {
+    Kernel {
+        name: "trmm",
+        category: Category::Blas,
+        arrays: vec![sq("A", n), sq("B", n)],
+        nests: vec![LoopNest {
+            loops: dims(&[("i", n), ("j", n), ("k", n)]),
+            stmts: vec![Stmt::guarded(
+                a2(1, it(0), it(1)),
+                Expr::add(
+                    ld(a2(1, it(0), it(1))),
+                    Expr::mul(ld(a2(0, it(2), it(0))), ld(a2(1, it(2), it(1)))),
+                ),
+                gt(2, 0), // k > i
+            )],
+        }],
+    }
+}
+
+fn trisolv(n: usize) -> Kernel {
+    // 0:L 1:x 2:b — unit-diagonal forward substitution.
+    Kernel {
+        name: "trisolv",
+        category: Category::Blas,
+        arrays: vec![sq("L", n), vecn("x", n), vecn("b", n)],
+        nests: vec![
+            LoopNest {
+                loops: dims(&[("i", n)]),
+                stmts: vec![Stmt::new(a1(1, it(0)), ld(a1(2, it(0))))],
+            },
+            LoopNest {
+                loops: dims(&[("i", n), ("j", n)]),
+                stmts: vec![Stmt::guarded(
+                    a1(1, it(0)),
+                    Expr::sub(
+                        ld(a1(1, it(0))),
+                        Expr::mul(ld(a2(0, it(0), it(1))), ld(a1(1, it(1)))),
+                    ),
+                    gt(0, 1), // j < i
+                )],
+            },
+        ],
+    }
+}
+
+fn lu(n: usize) -> Kernel {
+    // Unit-diagonal Doolittle update step.
+    Kernel {
+        name: "lu",
+        category: Category::Blas,
+        arrays: vec![sq("A", n)],
+        nests: vec![LoopNest {
+            loops: dims(&[("k", n), ("i", n), ("j", n)]),
+            stmts: vec![Stmt::guarded_all(
+                a2(0, it(1), it(2)),
+                Expr::sub(
+                    ld(a2(0, it(1), it(2))),
+                    Expr::mul(ld(a2(0, it(1), it(0))), ld(a2(0, it(0), it(2)))),
+                ),
+                vec![gt(1, 0), gt(2, 0)], // i > k, j > k
+            )],
+        }],
+    }
+}
+
+fn two_mm(n: usize) -> Kernel {
+    // 0:A 1:B 2:C 3:D 4:tmp
+    Kernel {
+        name: "2mm",
+        category: Category::Kernel,
+        arrays: vec![sq("A", n), sq("B", n), sq("C", n), sq("D", n), sq("tmp", n)],
+        nests: vec![
+            LoopNest {
+                loops: dims(&[("i", n), ("j", n), ("k", n)]),
+                stmts: vec![acc_stmt(
+                    a2(4, it(0), it(1)),
+                    Expr::mul(ld(a2(0, it(0), it(2))), ld(a2(1, it(2), it(1)))),
+                )],
+            },
+            LoopNest {
+                loops: dims(&[("i", n), ("j", n), ("k", n)]),
+                stmts: vec![acc_stmt(
+                    a2(3, it(0), it(1)),
+                    Expr::mul(ld(a2(4, it(0), it(2))), ld(a2(2, it(2), it(1)))),
+                )],
+            },
+        ],
+    }
+}
+
+fn three_mm(n: usize) -> Kernel {
+    // 0:A 1:B 2:C 3:D 4:E 5:F 6:G
+    let mm = |dst: usize, l: usize, r: usize| LoopNest {
+        loops: dims(&[("i", n), ("j", n), ("k", n)]),
+        stmts: vec![acc_stmt(
+            a2(dst, it(0), it(1)),
+            Expr::mul(ld(a2(l, it(0), it(2))), ld(a2(r, it(2), it(1)))),
+        )],
+    };
+    Kernel {
+        name: "3mm",
+        category: Category::Kernel,
+        arrays: vec![
+            sq("A", n),
+            sq("B", n),
+            sq("C", n),
+            sq("D", n),
+            sq("E", n),
+            sq("F", n),
+            sq("G", n),
+        ],
+        nests: vec![mm(4, 0, 1), mm(5, 2, 3), mm(6, 4, 5)],
+    }
+}
+
+fn atax(n: usize) -> Kernel {
+    // 0:A 1:x 2:y 3:tmp
+    Kernel {
+        name: "atax",
+        category: Category::Kernel,
+        arrays: vec![sq("A", n), vecn("x", n), vecn("y", n), vecn("tmp", n)],
+        nests: vec![
+            LoopNest {
+                loops: dims(&[("i", n), ("j", n)]),
+                stmts: vec![acc_stmt(
+                    a1(3, it(0)),
+                    Expr::mul(ld(a2(0, it(0), it(1))), ld(a1(1, it(1)))),
+                )],
+            },
+            LoopNest {
+                loops: dims(&[("i", n), ("j", n)]),
+                stmts: vec![acc_stmt(
+                    a1(2, it(1)),
+                    Expr::mul(ld(a2(0, it(0), it(1))), ld(a1(3, it(0)))),
+                )],
+            },
+        ],
+    }
+}
+
+fn bicg(n: usize) -> Kernel {
+    // 0:A 1:s 2:q 3:p 4:r
+    Kernel {
+        name: "bicg",
+        category: Category::Kernel,
+        arrays: vec![sq("A", n), vecn("s", n), vecn("q", n), vecn("p", n), vecn("r", n)],
+        nests: vec![LoopNest {
+            loops: dims(&[("i", n), ("j", n)]),
+            stmts: vec![
+                acc_stmt(
+                    a1(1, it(1)),
+                    Expr::mul(ld(a1(4, it(0))), ld(a2(0, it(0), it(1)))),
+                ),
+                acc_stmt(
+                    a1(2, it(0)),
+                    Expr::mul(ld(a2(0, it(0), it(1))), ld(a1(3, it(1)))),
+                ),
+            ],
+        }],
+    }
+}
+
+fn mvt(n: usize) -> Kernel {
+    // 0:A 1:x1 2:x2 3:y1 4:y2
+    Kernel {
+        name: "mvt",
+        category: Category::Kernel,
+        arrays: vec![sq("A", n), vecn("x1", n), vecn("x2", n), vecn("y1", n), vecn("y2", n)],
+        nests: vec![LoopNest {
+            loops: dims(&[("i", n), ("j", n)]),
+            stmts: vec![
+                acc_stmt(
+                    a1(1, it(0)),
+                    Expr::mul(ld(a2(0, it(0), it(1))), ld(a1(3, it(1)))),
+                ),
+                acc_stmt(
+                    a1(2, it(0)),
+                    Expr::mul(ld(a2(0, it(1), it(0))), ld(a1(4, it(1)))),
+                ),
+            ],
+        }],
+    }
+}
+
+fn doitgen(n: usize) -> Kernel {
+    // 0:A[r][q][p] 1:C4[s][p] 2:sum[r][q][p]
+    Kernel {
+        name: "doitgen",
+        category: Category::Kernel,
+        arrays: vec![
+            Array {
+                name: "A",
+                dims: vec![n, n, n],
+            },
+            sq("C4", n),
+            Array {
+                name: "sum",
+                dims: vec![n, n, n],
+            },
+        ],
+        nests: vec![
+            LoopNest {
+                loops: dims(&[("r", n), ("q", n), ("p", n), ("s", n)]),
+                stmts: vec![acc_stmt(
+                    a3(2, it(0), it(1), it(2)),
+                    Expr::mul(ld(a3(0, it(0), it(1), it(3))), ld(a2(1, it(3), it(2)))),
+                )],
+            },
+            LoopNest {
+                loops: dims(&[("r", n), ("q", n), ("p", n)]),
+                stmts: vec![Stmt::new(
+                    a3(0, it(0), it(1), it(2)),
+                    ld(a3(2, it(0), it(1), it(2))),
+                )],
+            },
+        ],
+    }
+}
+
+fn covariance(n: usize) -> Kernel {
+    // 0:data 1:mean 2:cov (1/N scalings dropped; structure preserved).
+    Kernel {
+        name: "covariance",
+        category: Category::Kernel,
+        arrays: vec![sq("data", n), vecn("mean", n), sq("cov", n)],
+        nests: vec![
+            LoopNest {
+                loops: dims(&[("j", n), ("i", n)]),
+                stmts: vec![acc_stmt(a1(1, it(0)), ld(a2(0, it(1), it(0))))],
+            },
+            LoopNest {
+                loops: dims(&[("i", n), ("j", n)]),
+                stmts: vec![Stmt::new(
+                    a2(0, it(0), it(1)),
+                    Expr::sub(ld(a2(0, it(0), it(1))), ld(a1(1, it(1)))),
+                )],
+            },
+            LoopNest {
+                loops: dims(&[("i", n), ("j", n), ("k", n)]),
+                stmts: vec![Stmt::guarded(
+                    a2(2, it(0), it(1)),
+                    Expr::add(
+                        ld(a2(2, it(0), it(1))),
+                        Expr::mul(ld(a2(0, it(2), it(0))), ld(a2(0, it(2), it(1)))),
+                    ),
+                    ge(1, 0), // j >= i
+                )],
+            },
+        ],
+    }
+}
+
+fn floyd_warshall(n: usize) -> Kernel {
+    Kernel {
+        name: "floyd-warshall",
+        category: Category::Kernel,
+        arrays: vec![sq("path", n)],
+        nests: vec![LoopNest {
+            loops: dims(&[("k", n), ("i", n), ("j", n)]),
+            stmts: vec![Stmt::new(
+                a2(0, it(1), it(2)),
+                Expr::min(
+                    ld(a2(0, it(1), it(2))),
+                    Expr::add(ld(a2(0, it(1), it(0))), ld(a2(0, it(0), it(2)))),
+                ),
+            )],
+        }],
+    }
+}
+
+fn jacobi_1d(n: usize) -> Kernel {
+    // One sweep (B from A, A from B); averaging scale dropped.
+    let star = |src: usize, dst: usize| LoopNest {
+        loops: dims(&[("i", n - 2)]),
+        stmts: vec![Stmt::new(
+            a1(dst, itp(0, 1)),
+            Expr::add(
+                Expr::add(ld(a1(src, it(0))), ld(a1(src, itp(0, 1)))),
+                ld(a1(src, itp(0, 2))),
+            ),
+        )],
+    };
+    Kernel {
+        name: "jacobi-1d",
+        category: Category::Stencil,
+        arrays: vec![vecn("A", n), vecn("B", n)],
+        nests: vec![star(0, 1), star(1, 0)],
+    }
+}
+
+fn jacobi_2d(n: usize) -> Kernel {
+    let star = |src: usize, dst: usize| LoopNest {
+        loops: dims(&[("i", n - 2), ("j", n - 2)]),
+        stmts: vec![Stmt::new(
+            a2(dst, itp(0, 1), itp(1, 1)),
+            Expr::add(
+                Expr::add(
+                    Expr::add(
+                        ld(a2(src, itp(0, 1), itp(1, 1))),
+                        ld(a2(src, it(0), itp(1, 1))),
+                    ),
+                    Expr::add(
+                        ld(a2(src, itp(0, 2), itp(1, 1))),
+                        ld(a2(src, itp(0, 1), it(1))),
+                    ),
+                ),
+                ld(a2(src, itp(0, 1), itp(1, 2))),
+            ),
+        )],
+    };
+    Kernel {
+        name: "jacobi-2d",
+        category: Category::Stencil,
+        arrays: vec![sq("A", n), sq("B", n)],
+        nests: vec![star(0, 1), star(1, 0)],
+    }
+}
+
+fn seidel_2d(n: usize) -> Kernel {
+    // In-place 9-point sweep: loop-carried in both space dims.
+    let s = |di: i64, dj: i64| ld(a2(0, itp(0, 1 + di), itp(1, 1 + dj)));
+    let sum9 = Expr::add(
+        Expr::add(
+            Expr::add(Expr::add(s(-1, -1), s(-1, 0)), Expr::add(s(-1, 1), s(0, -1))),
+            Expr::add(Expr::add(s(0, 0), s(0, 1)), Expr::add(s(1, -1), s(1, 0))),
+        ),
+        s(1, 1),
+    );
+    Kernel {
+        name: "seidel-2d",
+        category: Category::Stencil,
+        arrays: vec![sq("A", n)],
+        nests: vec![LoopNest {
+            loops: dims(&[("i", n - 2), ("j", n - 2)]),
+            stmts: vec![Stmt::new(a2(0, itp(0, 1), itp(1, 1)), sum9)],
+        }],
+    }
+}
+
+fn fdtd_2d(n: usize) -> Kernel {
+    // 0:ex 1:ey 2:hz — one time step, coefficient scalings dropped.
+    Kernel {
+        name: "fdtd-2d",
+        category: Category::Stencil,
+        arrays: vec![sq("ex", n), sq("ey", n), sq("hz", n)],
+        nests: vec![
+            LoopNest {
+                loops: dims(&[("i", n - 1), ("j", n)]),
+                stmts: vec![Stmt::new(
+                    a2(1, itp(0, 1), it(1)),
+                    Expr::sub(
+                        ld(a2(1, itp(0, 1), it(1))),
+                        Expr::sub(ld(a2(2, itp(0, 1), it(1))), ld(a2(2, it(0), it(1)))),
+                    ),
+                )],
+            },
+            LoopNest {
+                loops: dims(&[("i", n), ("j", n - 1)]),
+                stmts: vec![Stmt::new(
+                    a2(0, it(0), itp(1, 1)),
+                    Expr::sub(
+                        ld(a2(0, it(0), itp(1, 1))),
+                        Expr::sub(ld(a2(2, it(0), itp(1, 1))), ld(a2(2, it(0), it(1)))),
+                    ),
+                )],
+            },
+            LoopNest {
+                loops: dims(&[("i", n - 1), ("j", n - 1)]),
+                stmts: vec![Stmt::new(
+                    a2(2, it(0), it(1)),
+                    Expr::sub(
+                        ld(a2(2, it(0), it(1))),
+                        Expr::add(
+                            Expr::sub(ld(a2(0, it(0), itp(1, 1))), ld(a2(0, it(0), it(1)))),
+                            Expr::sub(ld(a2(1, itp(0, 1), it(1))), ld(a2(1, it(0), it(1)))),
+                        ),
+                    ),
+                )],
+            },
+        ],
+    }
+}
+
+fn heat_3d(n: usize) -> Kernel {
+    let star = |src: usize, dst: usize| {
+        let c = |di: i64, dj: i64, dk: i64| {
+            ld(a3(src, itp(0, 1 + di), itp(1, 1 + dj), itp(2, 1 + dk)))
+        };
+        LoopNest {
+            loops: dims(&[("i", n - 2), ("j", n - 2), ("k", n - 2)]),
+            stmts: vec![Stmt::new(
+                a3(dst, itp(0, 1), itp(1, 1), itp(2, 1)),
+                Expr::add(
+                    Expr::add(
+                        Expr::add(c(0, 0, 0), c(-1, 0, 0)),
+                        Expr::add(c(1, 0, 0), c(0, -1, 0)),
+                    ),
+                    Expr::add(
+                        Expr::add(c(0, 1, 0), c(0, 0, -1)),
+                        c(0, 0, 1),
+                    ),
+                ),
+            )],
+        }
+    };
+    Kernel {
+        name: "heat-3d",
+        category: Category::Stencil,
+        arrays: vec![
+            Array {
+                name: "A",
+                dims: vec![n, n, n],
+            },
+            Array {
+                name: "B",
+                dims: vec![n, n, n],
+            },
+        ],
+        nests: vec![star(0, 1), star(1, 0)],
+    }
+}
+
+/// The full evaluated suite at problem size `n` (18 kernels).
+///
+/// # Panics
+///
+/// Panics if `n < 4` (stencil kernels need interior points).
+pub fn suite(n: usize) -> Vec<Kernel> {
+    assert!(n >= 4, "PolyBench suite needs n >= 4");
+    vec![
+        gemm(n),
+        gemver(n),
+        gesummv(n),
+        syrk(n),
+        syr2k(n),
+        trmm(n),
+        trisolv(n),
+        lu(n),
+        two_mm(n),
+        three_mm(n),
+        atax(n),
+        bicg(n),
+        mvt(n),
+        doitgen(n),
+        covariance(n),
+        floyd_warshall(n),
+        jacobi_1d(n),
+        jacobi_2d(n),
+        seidel_2d(n),
+        fdtd_2d(n),
+        heat_3d(n),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nest::{execute, init_value};
+
+    #[test]
+    fn suite_has_all_categories() {
+        let ks = suite(8);
+        assert_eq!(ks.len(), 21);
+        for cat in [Category::Blas, Category::Kernel, Category::Stencil] {
+            assert!(ks.iter().any(|k| k.category == cat));
+        }
+        // Names are unique.
+        let mut names: Vec<_> = ks.iter().map(|k| k.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 21);
+    }
+
+    #[test]
+    fn atax_matches_handwritten() {
+        let n = 7;
+        let out = execute(&atax(n));
+        let a = |i: usize, j: usize| init_value(0, i * n + j);
+        let x = |j: usize| init_value(1, j);
+        let mut tmp: Vec<i64> = (0..n).map(|i| init_value(3, i)).collect();
+        let mut y: Vec<i64> = (0..n).map(|j| init_value(2, j)).collect();
+        for i in 0..n {
+            for j in 0..n {
+                tmp[i] += a(i, j) * x(j);
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                y[j] += a(i, j) * tmp[i];
+            }
+        }
+        for j in 0..n {
+            assert_eq!(out[2].get(&[j as i64]), y[j], "y[{j}]");
+        }
+    }
+
+    #[test]
+    fn floyd_warshall_matches_handwritten() {
+        let n = 6;
+        let out = execute(&floyd_warshall(n));
+        let mut p: Vec<Vec<i64>> = (0..n)
+            .map(|i| (0..n).map(|j| init_value(0, i * n + j)).collect())
+            .collect();
+        for k in 0..n {
+            for i in 0..n {
+                for j in 0..n {
+                    p[i][j] = p[i][j].min(p[i][k] + p[k][j]);
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(out[0].get(&[i as i64, j as i64]), p[i][j]);
+            }
+        }
+    }
+
+    #[test]
+    fn trisolv_matches_handwritten() {
+        let n = 8;
+        let out = execute(&trisolv(n));
+        let l = |i: usize, j: usize| init_value(0, i * n + j);
+        let b = |i: usize| init_value(2, i);
+        let mut x = vec![0i64; n];
+        for i in 0..n {
+            x[i] = b(i);
+            for j in 0..i {
+                x[i] -= l(i, j) * x[j];
+            }
+        }
+        for i in 0..n {
+            assert_eq!(out[1].get(&[i as i64]), x[i], "x[{i}]");
+        }
+    }
+
+    #[test]
+    fn jacobi_2d_matches_handwritten() {
+        let n = 8;
+        let out = execute(&jacobi_2d(n));
+        let mut a: Vec<Vec<i64>> = (0..n)
+            .map(|i| (0..n).map(|j| init_value(0, i * n + j)).collect())
+            .collect();
+        let mut b: Vec<Vec<i64>> = (0..n)
+            .map(|i| (0..n).map(|j| init_value(1, i * n + j)).collect())
+            .collect();
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                b[i][j] = a[i][j] + a[i - 1][j] + a[i + 1][j] + a[i][j - 1] + a[i][j + 1];
+            }
+        }
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                a[i][j] = b[i][j] + b[i - 1][j] + b[i + 1][j] + b[i][j - 1] + b[i][j + 1];
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(out[0].get(&[i as i64, j as i64]), a[i][j], "A[{i}][{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_is_lower_triangular_update() {
+        let n = 6;
+        let out = execute(&syrk(n));
+        // Strictly-upper entries keep their initial values.
+        for i in 0..n {
+            for j in i + 1..n {
+                assert_eq!(out[0].get(&[i as i64, j as i64]), init_value(0, i * n + j));
+            }
+        }
+        // Diagonal entries change (accumulate A·Aᵀ).
+        let a = |i: usize, k: usize| init_value(1, i * n + k);
+        let mut c00 = init_value(0, 0);
+        for k in 0..n {
+            c00 += a(0, k) * a(0, k);
+        }
+        assert_eq!(out[0].get(&[0, 0]), c00);
+    }
+
+    #[test]
+    fn lu_matches_handwritten() {
+        let n = 6;
+        let out = execute(&lu(n));
+        let mut a: Vec<Vec<i64>> = (0..n)
+            .map(|i| (0..n).map(|j| init_value(0, i * n + j)).collect())
+            .collect();
+        for k in 0..n {
+            for i in k + 1..n {
+                for j in k + 1..n {
+                    a[i][j] -= a[i][k] * a[k][j];
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(out[0].get(&[i as i64, j as i64]), a[i][j]);
+            }
+        }
+    }
+
+    #[test]
+    fn every_kernel_executes_without_oob() {
+        for k in suite(6) {
+            let _ = execute(&k);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Coordinate-list (COO) sparse matrix.
+
+use crate::{CsrMatrix, Dense, SparseError, Value};
+
+/// A sparse matrix stored as `(row, col, value)` triplets.
+///
+/// COO is convenient for incremental construction (e.g. the bottom-edge psum
+/// collector in the Canon SpMM dataflow accumulates output fragments keyed by
+/// row id before they are merged into the dense result).
+///
+/// # Examples
+///
+/// ```
+/// use canon_sparse::CooMatrix;
+/// let mut m = CooMatrix::new(2, 2);
+/// m.push(0, 1, 5).unwrap();
+/// m.push(0, 1, 2).unwrap(); // duplicates accumulate on conversion
+/// assert_eq!(m.to_dense()[(0, 1)], 7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CooMatrix {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, Value)>,
+}
+
+impl CooMatrix {
+    /// Creates an empty `rows`×`cols` COO matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        CooMatrix {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Appends a triplet. Duplicate coordinates are allowed and are summed by
+    /// [`CooMatrix::to_dense`] / conversion to CSR.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::OutOfBounds`] if the coordinate is outside the
+    /// matrix.
+    pub fn push(&mut self, row: usize, col: usize, value: Value) -> Result<(), SparseError> {
+        if row >= self.rows || col >= self.cols {
+            return Err(SparseError::OutOfBounds {
+                row,
+                col,
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        self.entries.push((row, col, value));
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored triplets (duplicates counted separately).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no triplets are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over stored triplets in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, Value)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Materialises as dense, accumulating duplicate coordinates.
+    pub fn to_dense(&self) -> Dense {
+        let mut d = Dense::zeros(self.rows, self.cols);
+        for &(r, c, v) in &self.entries {
+            d[(r, c)] += v;
+        }
+        d
+    }
+}
+
+impl From<&CsrMatrix> for CooMatrix {
+    fn from(csr: &CsrMatrix) -> Self {
+        CooMatrix {
+            rows: csr.rows(),
+            cols: csr.cols(),
+            entries: csr.iter().collect(),
+        }
+    }
+}
+
+impl From<&Dense> for CooMatrix {
+    fn from(d: &Dense) -> Self {
+        let mut m = CooMatrix::new(d.rows(), d.cols());
+        for r in 0..d.rows() {
+            for (c, &v) in d.row(r).iter().enumerate() {
+                if v != 0 {
+                    m.entries.push((r, c, v));
+                }
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_validates_bounds() {
+        let mut m = CooMatrix::new(2, 2);
+        assert!(m.push(0, 0, 1).is_ok());
+        assert!(m.push(2, 0, 1).is_err());
+        assert!(m.push(0, 2, 1).is_err());
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn duplicates_accumulate() {
+        let mut m = CooMatrix::new(1, 1);
+        m.push(0, 0, 3).unwrap();
+        m.push(0, 0, -1).unwrap();
+        assert_eq!(m.to_dense()[(0, 0)], 2);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let m = CooMatrix::new(3, 3);
+        assert!(m.is_empty());
+        assert_eq!(m.to_dense(), Dense::zeros(3, 3));
+    }
+
+    #[test]
+    fn csr_coo_roundtrip() {
+        let d = Dense::from_rows(&[vec![1, 0], vec![0, 2]]);
+        let csr = CsrMatrix::from_dense(&d);
+        let coo = CooMatrix::from(&csr);
+        assert_eq!(coo.len(), 2);
+        assert_eq!(coo.to_dense(), d);
+    }
+
+    #[test]
+    fn dense_to_coo_skips_zeros() {
+        let d = Dense::from_rows(&[vec![0, 5]]);
+        let coo = CooMatrix::from(&d);
+        assert_eq!(coo.len(), 1);
+        assert_eq!(coo.iter().next(), Some((0, 1, 5)));
+    }
+}

@@ -1,0 +1,366 @@
+//! Compressed sparse row (CSR) matrix.
+
+use crate::{CooMatrix, Dense, SparseError, Value};
+
+/// A sparse matrix in compressed sparse row form.
+///
+/// CSR is the canonical streaming format for Canon's SpMM mapping: the
+/// non-zeros of a row segment are streamed to a row orchestrator in order,
+/// terminated by a row-end token (see `canon-core::kernels::spmm`).
+///
+/// Invariants (checked by [`CsrMatrix::new`]):
+/// * `row_ptr.len() == rows + 1`, `row_ptr[0] == 0`,
+///   `row_ptr[rows] == col_idx.len() == values.len()`;
+/// * `row_ptr` is non-decreasing;
+/// * column indices within each row are strictly increasing and `< cols`.
+///
+/// # Examples
+///
+/// ```
+/// use canon_sparse::{CsrMatrix, Dense};
+/// let d = Dense::from_rows(&[vec![0, 2], vec![3, 0]]);
+/// let m = CsrMatrix::from_dense(&d);
+/// assert_eq!(m.nnz(), 2);
+/// assert_eq!(m.to_dense(), d);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<Value>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from raw arrays, validating the invariants above.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::InvalidStructure`] when any invariant is
+    /// violated, and [`SparseError::OutOfBounds`] when a column index exceeds
+    /// `cols`.
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<Value>,
+    ) -> Result<Self, SparseError> {
+        if row_ptr.len() != rows + 1 {
+            return Err(SparseError::InvalidStructure {
+                reason: format!("row_ptr length {} != rows + 1 = {}", row_ptr.len(), rows + 1),
+            });
+        }
+        if row_ptr[0] != 0 {
+            return Err(SparseError::InvalidStructure {
+                reason: "row_ptr[0] must be 0".into(),
+            });
+        }
+        if col_idx.len() != values.len() {
+            return Err(SparseError::InvalidStructure {
+                reason: format!(
+                    "col_idx length {} != values length {}",
+                    col_idx.len(),
+                    values.len()
+                ),
+            });
+        }
+        if *row_ptr.last().expect("non-empty row_ptr") != col_idx.len() {
+            return Err(SparseError::InvalidStructure {
+                reason: format!(
+                    "row_ptr[rows] = {} != nnz = {}",
+                    row_ptr[rows],
+                    col_idx.len()
+                ),
+            });
+        }
+        for r in 0..rows {
+            if row_ptr[r] > row_ptr[r + 1] {
+                return Err(SparseError::InvalidStructure {
+                    reason: format!("row_ptr not monotone at row {r}"),
+                });
+            }
+            let mut prev: Option<usize> = None;
+            for k in row_ptr[r]..row_ptr[r + 1] {
+                let c = col_idx[k];
+                if c >= cols {
+                    return Err(SparseError::OutOfBounds {
+                        row: r,
+                        col: c,
+                        rows,
+                        cols,
+                    });
+                }
+                if let Some(p) = prev {
+                    if c <= p {
+                        return Err(SparseError::InvalidStructure {
+                            reason: format!(
+                                "column indices not strictly increasing in row {r}: {p} then {c}"
+                            ),
+                        });
+                    }
+                }
+                prev = Some(c);
+            }
+        }
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Converts a dense matrix to CSR, dropping explicit zeros.
+    pub fn from_dense(d: &Dense) -> Self {
+        let mut row_ptr = Vec::with_capacity(d.rows() + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for r in 0..d.rows() {
+            for (c, &v) in d.row(r).iter().enumerate() {
+                if v != 0 {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix {
+            rows: d.rows(),
+            cols: d.cols(),
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Materialises the matrix as dense storage.
+    pub fn to_dense(&self) -> Dense {
+        let mut d = Dense::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row_iter(r) {
+                d[(r, c)] = v;
+            }
+        }
+        d
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of non-zeros in row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_nnz(&self, r: usize) -> usize {
+        assert!(r < self.rows, "row {r} out of bounds");
+        self.row_ptr[r + 1] - self.row_ptr[r]
+    }
+
+    /// Fraction of entries that are zero.
+    pub fn sparsity(&self) -> f64 {
+        let total = self.rows * self.cols;
+        if total == 0 {
+            return 0.0;
+        }
+        1.0 - self.nnz() as f64 / total as f64
+    }
+
+    /// Iterates over `(col, value)` pairs of row `r` in column order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_iter(&self, r: usize) -> impl Iterator<Item = (usize, Value)> + '_ {
+        assert!(r < self.rows, "row {r} out of bounds");
+        let span = self.row_ptr[r]..self.row_ptr[r + 1];
+        span.map(move |k| (self.col_idx[k], self.values[k]))
+    }
+
+    /// Iterates over all `(row, col, value)` triplets in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, Value)> + '_ {
+        (0..self.rows).flat_map(move |r| self.row_iter(r).map(move |(c, v)| (r, c, v)))
+    }
+
+    /// Extracts the sub-matrix of columns `[col_start, col_end)` as a new CSR
+    /// matrix with `col_end - col_start` columns.
+    ///
+    /// Used by the kernel mappers to slice the streamed operand per PE-row
+    /// (the K dimension is spatially partitioned across rows in the SpMM
+    /// dataflow of Fig 7a).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col_start > col_end` or `col_end > self.cols()`.
+    pub fn column_slice(&self, col_start: usize, col_end: usize) -> CsrMatrix {
+        assert!(col_start <= col_end && col_end <= self.cols);
+        let mut row_ptr = Vec::with_capacity(self.rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for r in 0..self.rows {
+            for (c, v) in self.row_iter(r) {
+                if c >= col_start && c < col_end {
+                    col_idx.push(c - col_start);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix {
+            rows: self.rows,
+            cols: col_end - col_start,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Raw row-pointer array (`rows + 1` entries).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Raw column-index array (`nnz` entries).
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// Raw values array (`nnz` entries).
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+}
+
+impl From<&CooMatrix> for CsrMatrix {
+    fn from(coo: &CooMatrix) -> Self {
+        let mut triplets: Vec<(usize, usize, Value)> = coo.iter().collect();
+        triplets.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut row_ptr = Vec::with_capacity(coo.rows() + 1);
+        let mut col_idx = Vec::with_capacity(triplets.len());
+        let mut values = Vec::with_capacity(triplets.len());
+        row_ptr.push(0);
+        let mut next_row = 0;
+        for (r, c, v) in triplets {
+            while next_row <= r {
+                row_ptr.push(col_idx.len());
+                next_row += 1;
+            }
+            // `row_ptr` currently has entries up to row r inclusive; fix up
+            // the last entry after pushing.
+            col_idx.push(c);
+            values.push(v);
+            *row_ptr.last_mut().expect("non-empty") = col_idx.len();
+        }
+        while next_row < coo.rows() {
+            row_ptr.push(col_idx.len());
+            next_row += 1;
+        }
+        if row_ptr.len() < coo.rows() + 1 {
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix {
+            rows: coo.rows(),
+            cols: coo.cols(),
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{random_sparse, seeded_rng};
+
+    #[test]
+    fn dense_roundtrip() {
+        let d = Dense::from_rows(&[vec![0, 1, 0], vec![2, 0, 3], vec![0, 0, 0]]);
+        let m = CsrMatrix::from_dense(&d);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.row_nnz(0), 1);
+        assert_eq!(m.row_nnz(2), 0);
+        assert_eq!(m.to_dense(), d);
+    }
+
+    #[test]
+    fn new_validates_invariants() {
+        // Wrong row_ptr length.
+        assert!(CsrMatrix::new(2, 2, vec![0, 1], vec![0], vec![1]).is_err());
+        // Non-zero start.
+        assert!(CsrMatrix::new(1, 2, vec![1, 1], vec![], vec![]).is_err());
+        // Column out of bounds.
+        assert!(matches!(
+            CsrMatrix::new(1, 2, vec![0, 1], vec![2], vec![1]),
+            Err(SparseError::OutOfBounds { .. })
+        ));
+        // Duplicate column in a row.
+        assert!(CsrMatrix::new(1, 3, vec![0, 2], vec![1, 1], vec![1, 1]).is_err());
+        // Valid.
+        let m = CsrMatrix::new(2, 3, vec![0, 2, 3], vec![0, 2, 1], vec![5, 6, 7]).unwrap();
+        assert_eq!(m.to_dense()[(1, 1)], 7);
+    }
+
+    #[test]
+    fn row_iter_in_column_order() {
+        let d = Dense::from_rows(&[vec![4, 0, 6, 7]]);
+        let m = CsrMatrix::from_dense(&d);
+        let row: Vec<_> = m.row_iter(0).collect();
+        assert_eq!(row, vec![(0, 4), (2, 6), (3, 7)]);
+    }
+
+    #[test]
+    fn column_slice_partitions_nnz() {
+        let mut rng = seeded_rng(11);
+        let m = random_sparse(20, 24, 0.6, &mut rng);
+        let left = m.column_slice(0, 12);
+        let right = m.column_slice(12, 24);
+        assert_eq!(left.nnz() + right.nnz(), m.nnz());
+        assert_eq!(left.cols(), 12);
+        // Reassemble and compare.
+        let mut d = Dense::zeros(20, 24);
+        for (r, c, v) in left.iter() {
+            d[(r, c)] = v;
+        }
+        for (r, c, v) in right.iter() {
+            d[(r, c + 12)] = v;
+        }
+        assert_eq!(d, m.to_dense());
+    }
+
+    #[test]
+    fn from_coo_matches_dense_path() {
+        let mut rng = seeded_rng(5);
+        let m = random_sparse(13, 9, 0.5, &mut rng);
+        let coo = CooMatrix::from(&m);
+        let back = CsrMatrix::from(&coo);
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn sparsity_of_empty_and_full() {
+        let empty = CsrMatrix::from_dense(&Dense::zeros(4, 4));
+        assert_eq!(empty.nnz(), 0);
+        assert!((empty.sparsity() - 1.0).abs() < 1e-12);
+        let mut rng = seeded_rng(2);
+        let full = CsrMatrix::from_dense(&Dense::random(4, 4, &mut rng));
+        assert!((full.sparsity() - 0.0).abs() < 1e-12);
+    }
+}

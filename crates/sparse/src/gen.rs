@@ -1,0 +1,285 @@
+//! Sparsity generators for the evaluation workloads.
+//!
+//! The paper buckets inputs into three sparsity ranges — S1 (0–30%), S2
+//! (30–60%), S3 (60–95%) — and additionally evaluates N:M structured sparsity
+//! and sliding-window masks. These generators produce all of those patterns
+//! deterministically from a seeded RNG so experiments are reproducible.
+
+use crate::{CsrMatrix, Dense, Mask, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Sparsity band used throughout the evaluation (§5 "Workloads").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SparsityBand {
+    /// Relatively dense: 0–30% of entries are zero.
+    S1,
+    /// Moderately sparse: 30–60%.
+    S2,
+    /// Highly sparse: 60–95%.
+    S3,
+}
+
+impl SparsityBand {
+    /// A representative sparsity for the band (its midpoint).
+    pub fn representative(self) -> f64 {
+        match self {
+            SparsityBand::S1 => 0.15,
+            SparsityBand::S2 => 0.45,
+            SparsityBand::S3 => 0.80,
+        }
+    }
+
+    /// The `[low, high)` sparsity interval of the band.
+    pub fn range(self) -> (f64, f64) {
+        match self {
+            SparsityBand::S1 => (0.0, 0.30),
+            SparsityBand::S2 => (0.30, 0.60),
+            SparsityBand::S3 => (0.60, 0.95),
+        }
+    }
+
+    /// All bands in order.
+    pub fn all() -> [SparsityBand; 3] {
+        [SparsityBand::S1, SparsityBand::S2, SparsityBand::S3]
+    }
+}
+
+impl std::fmt::Display for SparsityBand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SparsityBand::S1 => write!(f, "S1"),
+            SparsityBand::S2 => write!(f, "S2"),
+            SparsityBand::S3 => write!(f, "S3"),
+        }
+    }
+}
+
+/// Creates a deterministic RNG from a seed; the single entry point for
+/// randomness in the workspace so experiments replay exactly.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+fn nonzero_value<R: Rng>(rng: &mut R) -> Value {
+    let v: Value = rng.gen_range(-4..4);
+    if v >= 0 {
+        v + 1
+    } else {
+        v
+    }
+}
+
+/// Generates an `rows`×`cols` matrix where each entry is zero with
+/// probability `sparsity` (i.i.d. Bernoulli), returned in CSR form.
+///
+/// # Panics
+///
+/// Panics if `sparsity` is not in `[0, 1]`.
+pub fn random_sparse<R: Rng>(rows: usize, cols: usize, sparsity: f64, rng: &mut R) -> CsrMatrix {
+    assert!(
+        (0.0..=1.0).contains(&sparsity),
+        "sparsity must be in [0,1], got {sparsity}"
+    );
+    let mut d = Dense::zeros(rows, cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if rng.gen_bool(1.0 - sparsity) {
+                d[(r, c)] = nonzero_value(rng);
+            }
+        }
+    }
+    CsrMatrix::from_dense(&d)
+}
+
+/// Generates a sparse matrix whose *row* densities are skewed: row `r` keeps
+/// a fraction of entries drawn from a truncated geometric-like distribution
+/// controlled by `skew` (0 = uniform, larger = more imbalance), with mean
+/// density `1 - sparsity`.
+///
+/// Uneven non-zero distribution across rows is exactly the load-imbalance
+/// condition the Canon scratchpad buffering targets (§4.1.1, Fig 17), so the
+/// Fig 17 experiment uses this generator.
+///
+/// # Panics
+///
+/// Panics if `sparsity` is not in `[0, 1]` or `skew < 0`.
+pub fn skewed_sparse<R: Rng>(
+    rows: usize,
+    cols: usize,
+    sparsity: f64,
+    skew: f64,
+    rng: &mut R,
+) -> CsrMatrix {
+    assert!((0.0..=1.0).contains(&sparsity), "sparsity in [0,1]");
+    assert!(skew >= 0.0, "skew must be non-negative");
+    let mean_density = 1.0 - sparsity;
+    let mut d = Dense::zeros(rows, cols);
+    for r in 0..rows {
+        // Multiplier in [1/(1+skew), 1+skew], log-uniform, then clamped so the
+        // per-row density stays a probability.
+        let lo = (1.0 / (1.0 + skew)).ln();
+        let hi = (1.0 + skew).ln();
+        let mult = if skew == 0.0 {
+            1.0
+        } else {
+            rng.gen_range(lo..=hi).exp()
+        };
+        let density = (mean_density * mult).clamp(0.0, 1.0);
+        for c in 0..cols {
+            if rng.gen_bool(density) {
+                d[(r, c)] = nonzero_value(rng);
+            }
+        }
+    }
+    CsrMatrix::from_dense(&d)
+}
+
+/// Generates an N:M structured sparse matrix: in every aligned group of `m`
+/// consecutive entries of a row, exactly `n` are non-zero (positions chosen
+/// randomly). 2:4 reproduces the NVIDIA sparse-tensor-core pattern; Canon
+/// supports any N:M (§4.1.3).
+///
+/// # Panics
+///
+/// Panics if `n > m`, `m == 0`, or `cols % m != 0`.
+pub fn nm_sparse<R: Rng>(rows: usize, cols: usize, n: usize, m: usize, rng: &mut R) -> CsrMatrix {
+    assert!(m > 0 && n <= m, "need 0 <= n <= m, m > 0");
+    assert!(cols % m == 0, "cols ({cols}) must be a multiple of m ({m})");
+    let mut d = Dense::zeros(rows, cols);
+    let mut positions: Vec<usize> = (0..m).collect();
+    for r in 0..rows {
+        for g in 0..cols / m {
+            positions.shuffle(rng);
+            for &p in positions.iter().take(n) {
+                d[(r, g * m + p)] = nonzero_value(rng);
+            }
+        }
+    }
+    CsrMatrix::from_dense(&d)
+}
+
+/// Generates an unstructured attention-style mask with the given output
+/// sparsity (used for SDDMM-U workloads).
+///
+/// # Panics
+///
+/// Panics if `sparsity` is not in `[0, 1]`.
+pub fn random_mask<R: Rng>(rows: usize, cols: usize, sparsity: f64, rng: &mut R) -> Mask {
+    assert!((0.0..=1.0).contains(&sparsity), "sparsity in [0,1]");
+    let mut m = Mask::empty(rows, cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if rng.gen_bool(1.0 - sparsity) {
+                m.set(r, c, true);
+            }
+        }
+    }
+    m
+}
+
+/// Sliding-window attention mask for a sequence of length `seq` with window
+/// width `window` (total band width, as in Longformer's "window width 512"):
+/// position `(i, j)` is set iff `|i - j| <= window / 2`.
+pub fn window_mask(seq: usize, window: usize) -> Mask {
+    Mask::window(seq, seq, window / 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bands_cover_expected_ranges() {
+        for band in SparsityBand::all() {
+            let (lo, hi) = band.range();
+            let rep = band.representative();
+            assert!(rep >= lo && rep < hi, "{band}: {rep} not in [{lo},{hi})");
+        }
+        assert_eq!(SparsityBand::S2.to_string(), "S2");
+    }
+
+    #[test]
+    fn random_sparse_hits_target_sparsity() {
+        let mut rng = seeded_rng(42);
+        let m = random_sparse(200, 200, 0.7, &mut rng);
+        let actual = m.sparsity();
+        assert!((actual - 0.7).abs() < 0.03, "sparsity {actual} far from 0.7");
+    }
+
+    #[test]
+    fn random_sparse_extremes() {
+        let mut rng = seeded_rng(1);
+        assert_eq!(random_sparse(10, 10, 1.0, &mut rng).nnz(), 0);
+        assert_eq!(random_sparse(10, 10, 0.0, &mut rng).nnz(), 100);
+    }
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let a = random_sparse(16, 16, 0.5, &mut seeded_rng(7));
+        let b = random_sparse(16, 16, 0.5, &mut seeded_rng(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nm_sparse_exact_group_counts() {
+        let mut rng = seeded_rng(3);
+        let m = nm_sparse(32, 64, 2, 4, &mut rng);
+        let d = m.to_dense();
+        for r in 0..32 {
+            for g in 0..64 / 4 {
+                let nnz = (0..4).filter(|&p| d[(r, g * 4 + p)] != 0).count();
+                assert_eq!(nnz, 2, "group ({r},{g}) has {nnz} nnz, want 2");
+            }
+        }
+        // Overall sparsity is exactly 50%.
+        assert!((m.sparsity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nm_sparse_2_of_8() {
+        let mut rng = seeded_rng(4);
+        let m = nm_sparse(8, 32, 2, 8, &mut rng);
+        assert!((m.sparsity() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of m")]
+    fn nm_sparse_requires_divisible_cols() {
+        let mut rng = seeded_rng(5);
+        let _ = nm_sparse(4, 10, 2, 4, &mut rng);
+    }
+
+    #[test]
+    fn skewed_sparse_mean_close_but_rows_vary() {
+        let mut rng = seeded_rng(8);
+        let m = skewed_sparse(128, 128, 0.6, 2.0, &mut rng);
+        let s = m.sparsity();
+        assert!((s - 0.6).abs() < 0.12, "mean sparsity {s} far from 0.6");
+        let nnzs: Vec<usize> = (0..m.rows()).map(|r| m.row_nnz(r)).collect();
+        let min = *nnzs.iter().min().unwrap();
+        let max = *nnzs.iter().max().unwrap();
+        assert!(max > min + 10, "rows should be imbalanced: {min}..{max}");
+    }
+
+    #[test]
+    fn skewed_sparse_zero_skew_like_uniform() {
+        let mut rng = seeded_rng(8);
+        let m = skewed_sparse(64, 64, 0.5, 0.0, &mut rng);
+        assert!((m.sparsity() - 0.5).abs() < 0.07);
+    }
+
+    #[test]
+    fn random_mask_sparsity() {
+        let mut rng = seeded_rng(9);
+        let m = random_mask(100, 100, 0.9, &mut rng);
+        assert!((m.sparsity() - 0.9).abs() < 0.03);
+    }
+
+    #[test]
+    fn window_mask_band() {
+        let m = window_mask(16, 4);
+        assert!(m.get(8, 6) && m.get(8, 10) && !m.get(8, 5) && !m.get(8, 11));
+    }
+}

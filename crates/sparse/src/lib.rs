@@ -1,0 +1,132 @@
+//! Sparse and dense matrix substrate for the Canon reproduction.
+//!
+//! The Canon paper evaluates sparse tensor kernels (SpMM, SDDMM) over inputs
+//! whose sparsity ranges from dense to 95% sparse, in unstructured, N:M
+//! structured, and sliding-window structured forms. This crate provides:
+//!
+//! * matrix containers: [`Dense`], [`CsrMatrix`], [`CooMatrix`] and the
+//!   bit-mask type [`Mask`];
+//! * sparsity generators in [`gen`] (uniform Bernoulli, skewed row
+//!   distributions, N:M structured, sliding-window masks);
+//! * golden reference kernels in [`mod@reference`] (GEMM, SpMM, SDDMM) that every
+//!   accelerator simulator in the workspace is validated against;
+//! * workload statistics in [`stats`] (nnz/row histograms, arithmetic
+//!   intensity) used by the evaluation harness.
+//!
+//! Values are `i32`. The modelled hardware is an INT8 fabric that accumulates
+//! into 32-bit registers; generators draw from small ranges so that integer
+//! arithmetic is exact and results can be compared bit-for-bit with the
+//! simulators.
+//!
+//! # Examples
+//!
+//! ```
+//! use canon_sparse::{Dense, gen, reference};
+//!
+//! let mut rng = gen::seeded_rng(1);
+//! let a = gen::random_sparse(16, 16, 0.7, &mut rng);
+//! let b = Dense::random(16, 8, &mut rng);
+//! let c = reference::spmm(&a, &b);
+//! assert_eq!(c.rows(), 16);
+//! assert_eq!(c.cols(), 8);
+//! ```
+
+pub mod coo;
+pub mod csr;
+pub mod dense;
+pub mod gen;
+pub mod mask;
+pub mod reference;
+pub mod stats;
+
+pub use coo::CooMatrix;
+pub use csr::CsrMatrix;
+pub use dense::Dense;
+pub use mask::Mask;
+
+/// The element type used throughout the workspace.
+///
+/// The modelled fabric is an INT8 datapath with 32-bit accumulation; using
+/// `i32` end-to-end keeps reference results bit-exact while still allowing
+/// generators to restrict magnitudes to the INT8 range.
+pub type Value = i32;
+
+/// Errors produced by matrix constructors and kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// Matrix dimensions do not agree for the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the two shapes involved.
+        context: String,
+    },
+    /// A coordinate lies outside the matrix bounds.
+    OutOfBounds {
+        /// Row index of the offending entry.
+        row: usize,
+        /// Column index of the offending entry.
+        col: usize,
+        /// Number of rows in the matrix.
+        rows: usize,
+        /// Number of columns in the matrix.
+        cols: usize,
+    },
+    /// CSR structural invariant violated (row pointers not monotone, etc.).
+    InvalidStructure {
+        /// Explanation of the violated invariant.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for SparseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SparseError::DimensionMismatch { context } => {
+                write!(f, "dimension mismatch: {context}")
+            }
+            SparseError::OutOfBounds {
+                row,
+                col,
+                rows,
+                cols,
+            } => write!(
+                f,
+                "entry ({row}, {col}) out of bounds for {rows}x{cols} matrix"
+            ),
+            SparseError::InvalidStructure { reason } => {
+                write!(f, "invalid sparse structure: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_nonempty() {
+        let e = SparseError::DimensionMismatch {
+            context: "a.cols (3) vs b.rows (4)".into(),
+        };
+        assert!(e.to_string().contains("dimension mismatch"));
+        let e = SparseError::OutOfBounds {
+            row: 5,
+            col: 6,
+            rows: 2,
+            cols: 2,
+        };
+        assert!(e.to_string().contains("out of bounds"));
+        let e = SparseError::InvalidStructure {
+            reason: "row_ptr not monotone".into(),
+        };
+        assert!(e.to_string().contains("invalid sparse structure"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SparseError>();
+    }
+}

@@ -1,0 +1,222 @@
+//! Binary output masks for SDDMM.
+
+use crate::{Dense, SparseError};
+
+/// A binary mask over an `rows`×`cols` output space.
+///
+/// SDDMM computes `C = M · (A × B)`: the mask `M` restricts which output
+/// positions are computed (§4.1.2). Masks can be unstructured (from attention
+/// sparsification) or structured (sliding-window attention, §4.1.3).
+///
+/// # Examples
+///
+/// ```
+/// use canon_sparse::Mask;
+/// let m = Mask::window(6, 6, 1); // tridiagonal band
+/// assert!(m.get(2, 2) && m.get(2, 3) && !m.get(2, 4));
+/// assert_eq!(m.row_nnz(0), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mask {
+    rows: usize,
+    cols: usize,
+    bits: Vec<bool>,
+}
+
+impl Mask {
+    /// All-zero mask (nothing computed).
+    pub fn empty(rows: usize, cols: usize) -> Self {
+        Mask {
+            rows,
+            cols,
+            bits: vec![false; rows * cols],
+        }
+    }
+
+    /// All-ones mask (dense output).
+    pub fn full(rows: usize, cols: usize) -> Self {
+        Mask {
+            rows,
+            cols,
+            bits: vec![true; rows * cols],
+        }
+    }
+
+    /// Builds a mask from a boolean vector in row-major order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] if the length is wrong.
+    pub fn from_bits(rows: usize, cols: usize, bits: Vec<bool>) -> Result<Self, SparseError> {
+        if bits.len() != rows * cols {
+            return Err(SparseError::DimensionMismatch {
+                context: format!("{} bits for {rows}x{cols} mask", bits.len()),
+            });
+        }
+        Ok(Mask { rows, cols, bits })
+    }
+
+    /// Sliding-window (banded) mask: position `(i, j)` is set iff
+    /// `|i - j| <= half_width`. This is the diagonal window pattern used by
+    /// Longformer/Mistral-style attention (SDDMM-Win1/Win2 in the paper).
+    pub fn window(rows: usize, cols: usize, half_width: usize) -> Self {
+        let mut m = Mask::empty(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                if i.abs_diff(j) <= half_width {
+                    m.set(i, j, true);
+                }
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads bit `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        assert!(r < self.rows && c < self.cols, "mask index out of bounds");
+        self.bits[r * self.cols + c]
+    }
+
+    /// Sets bit `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: bool) {
+        assert!(r < self.rows && c < self.cols, "mask index out of bounds");
+        self.bits[r * self.cols + c] = v;
+    }
+
+    /// Number of set bits.
+    pub fn nnz(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// Number of set bits in row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_nnz(&self, r: usize) -> usize {
+        assert!(r < self.rows, "mask row out of bounds");
+        self.bits[r * self.cols..(r + 1) * self.cols]
+            .iter()
+            .filter(|&&b| b)
+            .count()
+    }
+
+    /// Fraction of unset bits, in `[0, 1]`.
+    pub fn sparsity(&self) -> f64 {
+        if self.bits.is_empty() {
+            return 0.0;
+        }
+        1.0 - self.nnz() as f64 / self.bits.len() as f64
+    }
+
+    /// Iterates over the set positions of row `r` in column order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_iter(&self, r: usize) -> impl Iterator<Item = usize> + '_ {
+        assert!(r < self.rows, "mask row out of bounds");
+        let base = r * self.cols;
+        (0..self.cols).filter(move |&c| self.bits[base + c])
+    }
+
+    /// Applies the mask to a dense matrix, zeroing unmasked entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] if shapes differ.
+    pub fn apply(&self, d: &Dense) -> Result<Dense, SparseError> {
+        if d.rows() != self.rows || d.cols() != self.cols {
+            return Err(SparseError::DimensionMismatch {
+                context: format!(
+                    "mask {}x{} vs matrix {}x{}",
+                    self.rows,
+                    self.cols,
+                    d.rows(),
+                    d.cols()
+                ),
+            });
+        }
+        let mut out = Dense::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for c in self.row_iter(r) {
+                out[(r, c)] = d[(r, c)];
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_band_shape() {
+        let m = Mask::window(5, 5, 1);
+        assert!(m.get(0, 0) && m.get(0, 1) && !m.get(0, 2));
+        assert!(m.get(4, 3) && !m.get(4, 2));
+        assert_eq!(m.nnz(), 5 + 4 + 4);
+    }
+
+    #[test]
+    fn window_zero_width_is_diagonal() {
+        let m = Mask::window(4, 4, 0);
+        assert_eq!(m.nnz(), 4);
+        for i in 0..4 {
+            assert!(m.get(i, i));
+        }
+    }
+
+    #[test]
+    fn full_and_empty() {
+        assert_eq!(Mask::full(3, 3).nnz(), 9);
+        assert_eq!(Mask::empty(3, 3).nnz(), 0);
+        assert!((Mask::empty(3, 3).sparsity() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_bits_validates() {
+        assert!(Mask::from_bits(2, 2, vec![true; 3]).is_err());
+        let m = Mask::from_bits(1, 2, vec![true, false]).unwrap();
+        assert_eq!(m.row_nnz(0), 1);
+    }
+
+    #[test]
+    fn apply_zeroes_unmasked() {
+        let d = Dense::from_rows(&[vec![1, 2], vec![3, 4]]);
+        let mut m = Mask::empty(2, 2);
+        m.set(0, 1, true);
+        let out = m.apply(&d).unwrap();
+        assert_eq!(out, Dense::from_rows(&[vec![0, 2], vec![0, 0]]));
+        assert!(m.apply(&Dense::zeros(1, 1)).is_err());
+    }
+
+    #[test]
+    fn row_iter_matches_get() {
+        let m = Mask::window(6, 6, 2);
+        for r in 0..6 {
+            let from_iter: Vec<usize> = m.row_iter(r).collect();
+            let from_get: Vec<usize> = (0..6).filter(|&c| m.get(r, c)).collect();
+            assert_eq!(from_iter, from_get);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Golden reference kernels.
+//!
+//! Every accelerator simulator in this workspace (Canon and all baselines) is
+//! validated against these straightforward implementations. All arithmetic is
+//! `i32`, so comparisons are bit-exact.
+
+use crate::{CsrMatrix, Dense, Mask, Value};
+
+/// Dense matrix multiplication `C = A × B`.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn gemm(a: &Dense, b: &Dense) -> Dense {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "gemm: a is {}x{}, b is {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let mut c = Dense::zeros(a.rows(), b.cols());
+    for m in 0..a.rows() {
+        for k in 0..a.cols() {
+            let av = a[(m, k)];
+            if av == 0 {
+                continue;
+            }
+            for n in 0..b.cols() {
+                c[(m, n)] += av * b[(k, n)];
+            }
+        }
+    }
+    c
+}
+
+/// Sparse × dense matrix multiplication `C = A × B` with `A` in CSR
+/// (Gustavson's row-wise formulation, the dataflow Canon's SpMM mapping is
+/// derived from).
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn spmm(a: &CsrMatrix, b: &Dense) -> Dense {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "spmm: a is {}x{}, b is {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let mut c = Dense::zeros(a.rows(), b.cols());
+    for m in 0..a.rows() {
+        for (k, av) in a.row_iter(m) {
+            let brow = b.row(k);
+            let crow = c.row_mut(m);
+            for (n, &bv) in brow.iter().enumerate() {
+                crow[n] += av * bv;
+            }
+        }
+    }
+    c
+}
+
+/// Sampled dense-dense matrix multiplication `C = M · (A × Bᵀ)` where only
+/// positions set in the mask are computed.
+///
+/// Note the `Bᵀ` convention: `a` is `M×K`, `b` is `N×K` (each row of `b` is a
+/// key vector), matching the QKᵀ shape of attention scores, which is the
+/// workload the paper draws SDDMM from.
+///
+/// # Panics
+///
+/// Panics if shapes disagree (`a.cols() != b.cols()`, mask not `M×N`).
+pub fn sddmm(mask: &Mask, a: &Dense, b: &Dense) -> Dense {
+    assert_eq!(a.cols(), b.cols(), "sddmm: inner dimensions differ");
+    assert_eq!(mask.rows(), a.rows(), "sddmm: mask rows != a rows");
+    assert_eq!(mask.cols(), b.rows(), "sddmm: mask cols != b rows");
+    let mut c = Dense::zeros(mask.rows(), mask.cols());
+    for m in 0..mask.rows() {
+        for n in mask.row_iter(m) {
+            let mut acc: Value = 0;
+            for k in 0..a.cols() {
+                acc += a[(m, k)] * b[(n, k)];
+            }
+            c[(m, n)] = acc;
+        }
+    }
+    c
+}
+
+/// Sparse output count of useful multiply-accumulate operations for SpMM:
+/// one vector-row MAC per non-zero of `A` spanning `n_cols` outputs.
+pub fn spmm_mac_count(a: &CsrMatrix, n_cols: usize) -> u64 {
+    a.nnz() as u64 * n_cols as u64
+}
+
+/// Useful MAC count for SDDMM: `K` MACs per set mask bit.
+pub fn sddmm_mac_count(mask: &Mask, k: usize) -> u64 {
+    mask.nnz() as u64 * k as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{random_mask, random_sparse, seeded_rng};
+
+    #[test]
+    fn gemm_small_known() {
+        let a = Dense::from_rows(&[vec![1, 2], vec![3, 4]]);
+        let b = Dense::from_rows(&[vec![5, 6], vec![7, 8]]);
+        let c = gemm(&a, &b);
+        assert_eq!(c, Dense::from_rows(&[vec![19, 22], vec![43, 50]]));
+    }
+
+    #[test]
+    fn gemm_identity() {
+        let mut rng = seeded_rng(1);
+        let a = Dense::random(6, 6, &mut rng);
+        let mut i = Dense::zeros(6, 6);
+        for k in 0..6 {
+            i[(k, k)] = 1;
+        }
+        assert_eq!(gemm(&a, &i), a);
+        assert_eq!(gemm(&i, &a), a);
+    }
+
+    #[test]
+    fn spmm_agrees_with_gemm() {
+        let mut rng = seeded_rng(2);
+        let a = random_sparse(24, 18, 0.6, &mut rng);
+        let b = Dense::random(18, 10, &mut rng);
+        assert_eq!(spmm(&a, &b), gemm(&a.to_dense(), &b));
+    }
+
+    #[test]
+    fn spmm_empty_matrix_gives_zero() {
+        let a = CsrMatrix::from_dense(&Dense::zeros(4, 4));
+        let b = Dense::from_rows(&vec![vec![1; 3]; 4]);
+        assert_eq!(spmm(&a, &b), Dense::zeros(4, 3));
+    }
+
+    #[test]
+    fn sddmm_agrees_with_masked_gemm() {
+        let mut rng = seeded_rng(3);
+        let a = Dense::random(12, 8, &mut rng);
+        let b = Dense::random(10, 8, &mut rng); // N x K
+        let mask = random_mask(12, 10, 0.5, &mut rng);
+        let full = gemm(&a, &b.transpose());
+        let expect = mask.apply(&full).unwrap();
+        assert_eq!(sddmm(&mask, &a, &b), expect);
+    }
+
+    #[test]
+    fn sddmm_empty_mask_gives_zero() {
+        let mut rng = seeded_rng(4);
+        let a = Dense::random(4, 4, &mut rng);
+        let b = Dense::random(4, 4, &mut rng);
+        assert_eq!(sddmm(&Mask::empty(4, 4), &a, &b), Dense::zeros(4, 4));
+    }
+
+    #[test]
+    fn mac_counts() {
+        let mut rng = seeded_rng(5);
+        let a = random_sparse(10, 10, 0.5, &mut rng);
+        assert_eq!(spmm_mac_count(&a, 16), a.nnz() as u64 * 16);
+        let m = random_mask(10, 10, 0.5, &mut rng);
+        assert_eq!(sddmm_mac_count(&m, 8), m.nnz() as u64 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "spmm")]
+    fn spmm_dim_mismatch_panics() {
+        let a = random_sparse(4, 5, 0.5, &mut seeded_rng(6));
+        let b = Dense::zeros(4, 4);
+        let _ = spmm(&a, &b);
+    }
+}

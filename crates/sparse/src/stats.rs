@@ -1,0 +1,172 @@
+//! Workload statistics used by the evaluation harness.
+
+use crate::{CsrMatrix, Mask};
+
+/// Summary statistics of the non-zero distribution of a sparse operand.
+///
+/// Row-level imbalance (`max / mean`) is the property that drives Canon's
+/// dynamic load balancing, and arithmetic intensity drives the bandwidth
+/// experiments (Figs 15, 16).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NnzStats {
+    /// Total non-zeros.
+    pub nnz: usize,
+    /// Mean non-zeros per row.
+    pub mean_row_nnz: f64,
+    /// Maximum non-zeros in any row.
+    pub max_row_nnz: usize,
+    /// Minimum non-zeros in any row.
+    pub min_row_nnz: usize,
+    /// Population standard deviation of per-row nnz.
+    pub stddev_row_nnz: f64,
+    /// Overall sparsity in `[0, 1]`.
+    pub sparsity: f64,
+}
+
+impl NnzStats {
+    /// Computes statistics for a CSR matrix.
+    pub fn of(m: &CsrMatrix) -> Self {
+        let nnzs: Vec<usize> = (0..m.rows()).map(|r| m.row_nnz(r)).collect();
+        Self::from_row_nnzs(&nnzs, m.rows() * m.cols())
+    }
+
+    /// Computes statistics for an SDDMM mask.
+    pub fn of_mask(m: &Mask) -> Self {
+        let nnzs: Vec<usize> = (0..m.rows()).map(|r| m.row_nnz(r)).collect();
+        Self::from_row_nnzs(&nnzs, m.rows() * m.cols())
+    }
+
+    fn from_row_nnzs(nnzs: &[usize], total_entries: usize) -> Self {
+        let nnz: usize = nnzs.iter().sum();
+        let n = nnzs.len().max(1) as f64;
+        let mean = nnz as f64 / n;
+        let var = nnzs
+            .iter()
+            .map(|&x| {
+                let d = x as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        NnzStats {
+            nnz,
+            mean_row_nnz: mean,
+            max_row_nnz: nnzs.iter().copied().max().unwrap_or(0),
+            min_row_nnz: nnzs.iter().copied().min().unwrap_or(0),
+            stddev_row_nnz: var.sqrt(),
+            sparsity: if total_entries == 0 {
+                0.0
+            } else {
+                1.0 - nnz as f64 / total_entries as f64
+            },
+        }
+    }
+
+    /// Load-imbalance factor: `max_row_nnz / mean_row_nnz` (1.0 = balanced).
+    /// Returns 1.0 for empty matrices.
+    pub fn imbalance(&self) -> f64 {
+        if self.mean_row_nnz == 0.0 {
+            1.0
+        } else {
+            self.max_row_nnz as f64 / self.mean_row_nnz
+        }
+    }
+}
+
+/// Theoretical arithmetic intensity of SpMM in MAC operations per input
+/// element touched, as used for the x-axes of Figs 15 and 16.
+///
+/// Each non-zero `a[m][k]` contributes `N` MACs; the data touched is the
+/// non-zeros of `A` (value + coordinate), the dense `B` (`K×N`), and the
+/// output (`M×N`).
+pub fn spmm_arithmetic_intensity(
+    m: usize,
+    k: usize,
+    n: usize,
+    nnz: usize,
+    bytes_per_elem: usize,
+) -> f64 {
+    let ops = nnz as f64 * n as f64;
+    // Coordinates cost roughly one extra element per nnz.
+    let elems = 2.0 * nnz as f64 + (k * n) as f64 + (m * n) as f64;
+    let bytes = elems * bytes_per_elem as f64;
+    if bytes == 0.0 {
+        0.0
+    } else {
+        ops / bytes * bytes_per_elem as f64 // ops per element, normalised
+    }
+}
+
+/// Arithmetic intensity in operations per *byte* (for the bandwidth roofline
+/// of Fig 16): MACs count as 2 ops (multiply + add).
+pub fn spmm_ops_per_byte(m: usize, k: usize, n: usize, nnz: usize, bytes_per_elem: usize) -> f64 {
+    let ops = 2.0 * nnz as f64 * n as f64;
+    let elems = 2.0 * nnz as f64 + (k * n) as f64 + (m * n) as f64;
+    let bytes = elems * bytes_per_elem as f64;
+    if bytes == 0.0 {
+        0.0
+    } else {
+        ops / bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{random_sparse, seeded_rng, skewed_sparse};
+    use crate::Dense;
+    use crate::Mask;
+
+    #[test]
+    fn stats_of_uniform_matrix() {
+        let mut rng = seeded_rng(1);
+        let m = random_sparse(100, 100, 0.5, &mut rng);
+        let s = NnzStats::of(&m);
+        assert_eq!(s.nnz, m.nnz());
+        assert!((s.sparsity - 0.5).abs() < 0.05);
+        assert!(s.imbalance() < 1.8, "uniform matrix should be balanced");
+    }
+
+    #[test]
+    fn stats_of_skewed_matrix_show_imbalance() {
+        let mut rng = seeded_rng(2);
+        let uniform = NnzStats::of(&random_sparse(128, 128, 0.7, &mut rng));
+        let skewed = NnzStats::of(&skewed_sparse(128, 128, 0.7, 3.0, &mut rng));
+        assert!(
+            skewed.stddev_row_nnz > uniform.stddev_row_nnz,
+            "skewed stddev {} should exceed uniform {}",
+            skewed.stddev_row_nnz,
+            uniform.stddev_row_nnz
+        );
+    }
+
+    #[test]
+    fn stats_of_empty() {
+        let m = crate::CsrMatrix::from_dense(&Dense::zeros(4, 4));
+        let s = NnzStats::of(&m);
+        assert_eq!(s.nnz, 0);
+        assert_eq!(s.imbalance(), 1.0);
+        assert_eq!(s.max_row_nnz, 0);
+    }
+
+    #[test]
+    fn mask_stats() {
+        let m = Mask::window(8, 8, 1);
+        let s = NnzStats::of_mask(&m);
+        assert_eq!(s.max_row_nnz, 3);
+        assert_eq!(s.min_row_nnz, 2);
+    }
+
+    #[test]
+    fn intensity_monotone_in_density() {
+        let sparse = spmm_ops_per_byte(256, 256, 256, 3000, 1);
+        let denser = spmm_ops_per_byte(256, 256, 256, 30000, 1);
+        assert!(denser > sparse);
+    }
+
+    #[test]
+    fn intensity_zero_for_empty() {
+        assert_eq!(spmm_ops_per_byte(0, 0, 0, 0, 1), 0.0);
+        assert_eq!(spmm_arithmetic_intensity(0, 0, 0, 0, 1), 0.0);
+    }
+}

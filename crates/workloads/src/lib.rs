@@ -1,0 +1,293 @@
+//! ML model layer zoo and sparsity scenarios (Fig 14, §5 "Workloads").
+//!
+//! The paper evaluates real model components: ResNet-50 convolutions (as
+//! im2col GEMM/SpMM), Llama-8B and Mistral-7B MLP and attention blocks,
+//! sparsified with training-free activation sparsity (SpMM), attention
+//! sparsification (unstructured SDDMM), and sliding-window attention
+//! (structured SDDMM). Since the proprietary activation traces are not
+//! available, the workspace substitutes synthetic operands with controlled
+//! sparsity at the models' layer shapes (see DESIGN.md), and this crate is
+//! the catalogue of those shapes.
+//!
+//! Real LLM dimensions (4096×14336 GEMMs at 4K context) are far larger than
+//! a cycle-accurate simulation needs to characterise an 8×8 fabric, so every
+//! workload takes a `scale` divisor: dimensions are divided by `scale` and
+//! rounded to mapping-friendly multiples of 32. Relative shapes — aspect
+//! ratios, sparsity, window fractions — are preserved, which is what the
+//! normalized EDP comparison consumes.
+
+use canon_sparse::gen::SparsityBand;
+
+/// One tensor operation of a model component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TensorOp {
+    /// Dense GEMM `C[m×n] = A[m×k] × B[k×n]`.
+    Gemm {
+        /// Output rows.
+        m: usize,
+        /// Contraction length.
+        k: usize,
+        /// Output columns.
+        n: usize,
+    },
+    /// SpMM with unstructured input sparsity (sparsified activations).
+    Spmm {
+        /// Output rows.
+        m: usize,
+        /// Contraction length.
+        k: usize,
+        /// Output columns.
+        n: usize,
+        /// Input sparsity in `[0, 1]`.
+        sparsity: f64,
+    },
+    /// Unstructured SDDMM (sparse attention scores).
+    SddmmUnstructured {
+        /// Sequence length.
+        seq: usize,
+        /// Head dimension.
+        head_dim: usize,
+        /// Output (mask) sparsity.
+        sparsity: f64,
+    },
+    /// Sliding-window SDDMM (Longformer / Mistral attention).
+    SddmmWindow {
+        /// Sequence length.
+        seq: usize,
+        /// Total window width.
+        window: usize,
+        /// Head dimension.
+        head_dim: usize,
+    },
+}
+
+impl TensorOp {
+    /// Useful scalar MACs of the operation.
+    pub fn useful_macs(&self) -> u64 {
+        match *self {
+            TensorOp::Gemm { m, k, n } => (m * k * n) as u64,
+            TensorOp::Spmm { m, k, n, sparsity } => {
+                ((m * k * n) as f64 * (1.0 - sparsity)).round() as u64
+            }
+            TensorOp::SddmmUnstructured {
+                seq,
+                head_dim,
+                sparsity,
+            } => ((seq * seq * head_dim) as f64 * (1.0 - sparsity)).round() as u64,
+            TensorOp::SddmmWindow {
+                seq,
+                window,
+                head_dim,
+            } => {
+                let band = canon_sparse::gen::window_mask(seq, window).nnz();
+                (band * head_dim) as u64
+            }
+        }
+    }
+}
+
+/// A named model component with its constituent tensor ops.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelWorkload {
+    /// Display name as in Fig 14 ("Llama8B-MLP (70% sparse)" etc.).
+    pub name: &'static str,
+    /// Average sparsity label shown in the figure.
+    pub sparsity_note: &'static str,
+    /// The tensor operations of the component.
+    pub ops: Vec<TensorOp>,
+}
+
+impl ModelWorkload {
+    /// Total useful MACs across the component.
+    pub fn useful_macs(&self) -> u64 {
+        self.ops.iter().map(TensorOp::useful_macs).sum()
+    }
+}
+
+/// Rounds a scaled dimension to a mapping-friendly multiple of 32
+/// (the default fabric's `rows`/`cols·lanes` granularities), minimum 32.
+pub fn round_dim(raw: usize, scale: usize) -> usize {
+    let scaled = raw / scale.max(1);
+    scaled.div_ceil(32).max(1) * 32
+}
+
+/// The seven Fig 14 workloads at the given down-scale factor.
+pub fn fig14_workloads(scale: usize) -> Vec<ModelWorkload> {
+    let d = |raw: usize| round_dim(raw, scale);
+    // ResNet-50 stage-3 conv as im2col: M = 28·28, K = 128·3·3, N = 128.
+    let resnet_conv = |sparsity: f64| TensorOp::Spmm {
+        m: d(784),
+        k: d(1152),
+        n: d(128),
+        sparsity,
+    };
+    // Llama-8B / Mistral-7B MLP: hidden 4096 ↔ intermediate 14336 at 512 ctx.
+    let mlp = |sparsity: Option<f64>| {
+        let (m, k, n) = (d(512), d(4096), d(14336));
+        match sparsity {
+            None => vec![
+                TensorOp::Gemm { m, k, n },
+                TensorOp::Gemm { m, k: n, n: k },
+            ],
+            Some(s) => vec![
+                TensorOp::Spmm { m, k, n, sparsity: s },
+                TensorOp::Spmm { m, k: n, n: k, sparsity: s },
+            ],
+        }
+    };
+    let llama_attn = vec![
+        TensorOp::SddmmUnstructured {
+            seq: d(2048),
+            head_dim: 128.min(d(128)),
+            sparsity: 0.7,
+        },
+        // Scores × V as SpMM with the same sparsity.
+        TensorOp::Spmm {
+            m: d(2048),
+            k: d(2048),
+            n: 128.min(d(128)),
+            sparsity: 0.7,
+        },
+    ];
+    let mistral_attn = vec![
+        TensorOp::SddmmWindow {
+            seq: d(16384),
+            window: d(16384) / 4,
+            head_dim: 128.min(d(128)),
+        },
+        TensorOp::Spmm {
+            m: d(16384),
+            k: d(16384),
+            n: 128.min(d(128)),
+            sparsity: 0.75,
+        },
+    ];
+    vec![
+        ModelWorkload {
+            name: "Resnet50-Conv",
+            sparsity_note: "50% sparse",
+            ops: vec![resnet_conv(0.5)],
+        },
+        ModelWorkload {
+            name: "Llama8B-MLP",
+            sparsity_note: "Dense",
+            ops: mlp(None),
+        },
+        ModelWorkload {
+            name: "Llama8B-MLP",
+            sparsity_note: "70% sparse",
+            ops: mlp(Some(0.7)),
+        },
+        ModelWorkload {
+            name: "Llama8B-Attn",
+            sparsity_note: "70% sparse",
+            ops: llama_attn,
+        },
+        ModelWorkload {
+            name: "Mistral7B-MLP",
+            sparsity_note: "Dense",
+            ops: mlp(None),
+        },
+        ModelWorkload {
+            name: "Mistral7B-MLP",
+            sparsity_note: "70% sparse",
+            ops: mlp(Some(0.7)),
+        },
+        ModelWorkload {
+            name: "Mistral7B-Attn",
+            sparsity_note: "70% sparse (window)",
+            ops: mistral_attn,
+        },
+    ]
+}
+
+/// Representative CNN/MLP layer shapes per sparsity band for the Fig 11
+/// power-breakdown experiment (ResNet-50 conv and attention projections).
+pub fn fig11_workloads(scale: usize) -> Vec<(&'static str, SparsityBand, TensorOp)> {
+    let d = |raw: usize| round_dim(raw, scale);
+    let mut out = Vec::new();
+    for band in SparsityBand::all() {
+        out.push((
+            "Resnet50",
+            band,
+            TensorOp::Spmm {
+                m: d(784),
+                k: d(1152),
+                n: d(128),
+                sparsity: band.representative(),
+            },
+        ));
+        out.push((
+            "Attention",
+            band,
+            TensorOp::SddmmUnstructured {
+                seq: d(2048),
+                head_dim: 128.min(d(128)),
+                sparsity: band.representative(),
+            },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_dim_multiples_of_32() {
+        assert_eq!(round_dim(4096, 16), 256);
+        assert_eq!(round_dim(100, 16), 32); // clamped up
+        assert_eq!(round_dim(14336, 16), 896);
+        assert_eq!(round_dim(33, 1), 64);
+    }
+
+    #[test]
+    fn fig14_has_seven_workloads() {
+        let w = fig14_workloads(16);
+        assert_eq!(w.len(), 7);
+        assert!(w.iter().all(|m| m.useful_macs() > 0));
+        // The dense and sparse MLP variants share shapes but differ in work.
+        assert!(w[1].useful_macs() > w[2].useful_macs());
+    }
+
+    #[test]
+    fn fig14_contains_window_attention() {
+        let w = fig14_workloads(16);
+        let mistral = &w[6];
+        assert!(mistral
+            .ops
+            .iter()
+            .any(|o| matches!(o, TensorOp::SddmmWindow { .. })));
+    }
+
+    #[test]
+    fn fig11_covers_all_bands() {
+        let w = fig11_workloads(16);
+        assert_eq!(w.len(), 6);
+        for band in SparsityBand::all() {
+            assert_eq!(w.iter().filter(|(_, b, _)| *b == band).count(), 2);
+        }
+    }
+
+    #[test]
+    fn useful_macs_formulae() {
+        assert_eq!(
+            TensorOp::Gemm { m: 2, k: 3, n: 4 }.useful_macs(),
+            24
+        );
+        let sp = TensorOp::Spmm {
+            m: 10,
+            k: 10,
+            n: 10,
+            sparsity: 0.9,
+        };
+        assert_eq!(sp.useful_macs(), 100);
+        let win = TensorOp::SddmmWindow {
+            seq: 16,
+            window: 4,
+            head_dim: 8,
+        };
+        assert!(win.useful_macs() > 0);
+    }
+}

@@ -1,0 +1,56 @@
+//! PolyBench on Canon vs the CGRA baseline (the PolyB-* columns of Fig 12).
+//!
+//! Runs every kernel of the suite through the loop-IR analyses and both
+//! mapping cost models, printing per-kernel cycle counts and the per-category
+//! geometric-mean comparison.
+//!
+//! ```sh
+//! cargo run --release --example polybench_suite
+//! ```
+
+use canon::baselines::Cgra;
+use canon::loopir::mapping::{compare_category, map_canon, map_cgra};
+use canon::loopir::{analyze_nest, polybench, Category};
+
+fn main() {
+    let n = 64;
+    let kernels = polybench::suite(n);
+    let cgra = Cgra::default();
+
+    println!("PolyBench (n = {n}) — Canon (8×8×4) vs CGRA (256 PEs)\n");
+    println!(
+        "{:<16} {:>9} {:>12} {:>12} {:>9}",
+        "kernel", "category", "canon cyc", "cgra cyc", "speedup"
+    );
+    for k in &kernels {
+        let canon = map_canon(k, 8, 8, 4);
+        let cg = map_cgra(k, &cgra);
+        println!(
+            "{:<16} {:>9} {:>12} {:>12} {:>8.2}x",
+            k.name,
+            k.category.to_string(),
+            canon.cycles,
+            cg.cycles,
+            cg.cycles as f64 / canon.cycles.max(1) as f64
+        );
+    }
+
+    println!("\nPer-category geometric-mean speedup of Canon over the CGRA:");
+    for cat in [Category::Blas, Category::Kernel, Category::Stencil] {
+        let cmp = compare_category(&kernels, cat, 8, 8, 4);
+        println!(
+            "  {:<8} {:.2}x over {} kernels",
+            cat.to_string(),
+            cmp.geomean_speedup(),
+            cmp.kernels.len()
+        );
+    }
+
+    // Show what the analyses see for one kernel.
+    let gemm = kernels.iter().find(|k| k.name == "gemm").unwrap();
+    let a = analyze_nest(&gemm.nests[0]);
+    println!(
+        "\ngemm nest analysis: dims {:?}, {} ops/point, {} points",
+        a.dims, a.ops_per_point, a.points
+    );
+}

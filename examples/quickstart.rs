@@ -1,0 +1,52 @@
+//! Quickstart: run SpMM on the default Canon fabric and inspect the report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use canon::arch::kernels::spmm::{run_spmm, SpmmMapping};
+use canon::arch::CanonConfig;
+use canon::energy::{canon_energy, edp};
+use canon::sparse::{gen, reference, Dense};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 256×256 sparse matrix at 70% sparsity times a dense 256×64 operand.
+    let mut rng = gen::seeded_rng(2026);
+    let a = gen::random_sparse(256, 256, 0.7, &mut rng);
+    let b = Dense::random(256, 64, &mut rng);
+
+    // Table 1 configuration: 8×8 PEs, 4-wide INT8 SIMD, 16-entry scratchpad
+    // psum window.
+    let cfg = CanonConfig::default();
+    let out = run_spmm(&cfg, &SpmmMapping::default(), &a, &b)?;
+
+    // The simulated fabric computes the exact result.
+    assert_eq!(out.result, reference::spmm(&a, &b));
+
+    let report = &out.report;
+    let energy = canon_energy(report);
+    println!("Canon SpMM  (M=256, K=256, N=64, 70% sparse)");
+    println!("  cycles              : {}", report.cycles);
+    println!(
+        "  compute utilization : {:.1}%",
+        report.compute_utilization() * 100.0
+    );
+    println!("  scalar MACs         : {}", report.stats.scalar_macs());
+    println!("  FSM transitions     : {}", report.stats.orch_transitions);
+    println!("  psum messages       : {}", report.stats.orch_messages);
+    println!("  stall cycles        : {}", report.stats.stall_cycles);
+    println!("  energy              : {:.1} nJ", energy.total_pj() / 1e3);
+    println!(
+        "  avg power           : {:.1} mW @ 1 GHz",
+        energy.avg_power_mw(report.cycles, 1e9)
+    );
+    println!(
+        "  EDP                 : {:.3e} pJ·s",
+        edp(energy.total_pj(), report.cycles, 1e9)
+    );
+    println!("\nPer-component energy:");
+    for (name, pj) in &energy.components {
+        println!("  {name:<18} {:.1} nJ", pj / 1e3);
+    }
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! # Canon
+//!
+//! A reproduction of *"A Data-Driven Dynamic Execution Orchestration
+//! Architecture"* (ASPLOS 2026). Canon is a 2D-mesh spatial architecture in
+//! which lightweight programmable FSM **orchestrators** translate input
+//! meta-data (e.g. sparse coordinates) into PE instructions at runtime, and
+//! instructions propagate across each PE row in a staggered, **time-lapsed
+//! SIMD** fashion.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`arch`] — the cycle-accurate Canon simulator (`canon-core`)
+//! * [`sparse`] — matrix types, sparsity generators, reference kernels
+//! * [`baselines`] — systolic, 2:4 systolic, ZeD-like and CGRA simulators
+//! * [`loopir`] — affine loop-nest IR and the PolyBench kernel suite
+//! * [`energy`] — area / power / energy / EDP models
+//! * [`workloads`] — ML model layer zoo and sparsity scenarios
+//!
+//! ## Quickstart
+//!
+//! Run a sparse matrix–matrix multiplication (SpMM) on the default 8×8 Canon
+//! fabric and verify it against the reference implementation:
+//!
+//! ```
+//! use canon::arch::{CanonConfig, kernels::spmm::{SpmmMapping, run_spmm}};
+//! use canon::sparse::{CsrMatrix, Dense, gen::random_sparse};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = canon::sparse::gen::seeded_rng(7);
+//! let a = random_sparse(64, 64, 0.5, &mut rng); // 50% sparse A
+//! let b = Dense::random(64, 32, &mut rng);      // dense B
+//!
+//! let cfg = CanonConfig::default();             // Table 1 configuration
+//! let out = run_spmm(&cfg, &SpmmMapping::default(), &a, &b)?;
+//!
+//! let reference = canon::sparse::reference::spmm(&a, &b);
+//! assert_eq!(out.result, reference);
+//! println!("cycles = {}, utilization = {:.2}", out.report.cycles,
+//!          out.report.compute_utilization());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use canon_baselines as baselines;
+pub use canon_core as arch;
+pub use canon_energy as energy;
+pub use canon_loopir as loopir;
+pub use canon_sparse as sparse;
+pub use canon_workloads as workloads;

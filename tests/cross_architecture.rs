@@ -1,0 +1,149 @@
+//! Cross-architecture integration tests: the qualitative claims of §6.2
+//! (Figs 12/13) must hold on the simulators.
+
+use canon::arch::kernels::gemm::run_gemm;
+use canon::arch::kernels::nm::run_spmm_nm;
+use canon::arch::kernels::sddmm::{run_sddmm, SddmmMapping};
+use canon::arch::kernels::spmm::{run_spmm, SpmmMapping};
+use canon::arch::CanonConfig;
+use canon::baselines::{Accelerator, Cgra, SparseSystolic24, SystolicArray, ZedAccelerator};
+use canon::sparse::{gen, Dense};
+
+#[test]
+fn systolic_matches_canon_on_dense_gemm_within_margin() {
+    // "Canon emulates the systolic dataflow ... this performance gap is
+    // minimal" — within ~25%.
+    let mut rng = gen::seeded_rng(1);
+    let a = Dense::random(128, 256, &mut rng);
+    let b = Dense::random(256, 128, &mut rng);
+    let canon = run_gemm(&CanonConfig::default(), &a, &b).unwrap();
+    let sys = SystolicArray::default().gemm(128, 256, 128).unwrap();
+    let ratio = canon.report.cycles as f64 / sys.cycles as f64;
+    assert!(
+        (0.9..=1.3).contains(&ratio),
+        "canon/systolic GEMM cycle ratio {ratio}"
+    );
+}
+
+#[test]
+fn systolic_throughput_collapses_on_high_sparsity() {
+    // "their throughput can drop to less than 0.3× that of Canon".
+    let mut rng = gen::seeded_rng(2);
+    let a = gen::random_sparse(256, 256, 0.85, &mut rng);
+    let b = Dense::random(256, 64, &mut rng);
+    let canon = run_spmm(&CanonConfig::default(), &SpmmMapping::default(), &a, &b).unwrap();
+    let sys = SystolicArray::default().spmm(&a, 64).unwrap();
+    let speedup = sys.cycles as f64 / canon.report.cycles as f64;
+    assert!(
+        speedup > 3.0,
+        "Canon should be >3x faster than systolic at 85% sparsity, got {speedup}"
+    );
+}
+
+#[test]
+fn canon_matches_24_systolic_on_its_own_specialty() {
+    // "Canon leverages the 2:4 structure, despite being designed agnostic to
+    // it, achieving comparable performance to the modified systolic array."
+    let mut rng = gen::seeded_rng(3);
+    let a = gen::nm_sparse(128, 256, 2, 4, &mut rng);
+    let b = Dense::random(256, 64, &mut rng);
+    let canon = run_spmm_nm(&CanonConfig::default(), &a, &b, 2, 4).unwrap();
+    let s24 = SparseSystolic24::default().spmm_nm(&a, 64, 2, 4).unwrap();
+    let ratio = canon.report.cycles as f64 / s24.cycles as f64;
+    assert!(
+        (0.6..=1.5).contains(&ratio),
+        "canon/2:4-systolic cycle ratio {ratio}"
+    );
+}
+
+#[test]
+fn canon_beats_24_systolic_on_28() {
+    // The 2:4 datapath cannot exploit 2:8; Canon can.
+    let mut rng = gen::seeded_rng(4);
+    let a = gen::nm_sparse(128, 256, 2, 8, &mut rng);
+    let b = Dense::random(256, 64, &mut rng);
+    let canon = run_spmm_nm(&CanonConfig::default(), &a, &b, 2, 8).unwrap();
+    let s24 = SparseSystolic24::default().spmm_nm(&a, 64, 2, 8).unwrap();
+    assert!(
+        canon.report.cycles < s24.cycles,
+        "canon {} should beat 2:4 systolic {} on 2:8",
+        canon.report.cycles,
+        s24.cycles
+    );
+}
+
+#[test]
+fn zed_and_canon_comparable_on_unstructured_spmm() {
+    // "comparable performance and efficiency on unstructured sparse kernels"
+    // (within ~±30% across the bands in our reproduction).
+    let cfg = CanonConfig::default();
+    for (seed, sparsity) in [(5u64, 0.15), (6, 0.45), (7, 0.8)] {
+        let mut rng = gen::seeded_rng(seed);
+        let a = gen::random_sparse(256, 256, sparsity, &mut rng);
+        let b = Dense::random(256, 64, &mut rng);
+        let canon = run_spmm(&cfg, &SpmmMapping::default(), &a, &b).unwrap();
+        let zed = ZedAccelerator::default().spmm(&a, 64).unwrap();
+        let ratio = canon.report.cycles as f64 / zed.cycles.max(1) as f64;
+        assert!(
+            (0.5..=1.6).contains(&ratio),
+            "canon/zed ratio {ratio} at sparsity {sparsity}"
+        );
+    }
+}
+
+#[test]
+fn cgra_pays_for_generality_on_tensor_ops() {
+    // CGRA emulates the systolic dataflow with configuration + fetch
+    // overheads: never faster than the systolic array on GEMM.
+    let sys = SystolicArray::default().gemm(128, 128, 128).unwrap();
+    let cgra = Cgra::default().gemm(128, 128, 128).unwrap();
+    assert!(cgra.cycles > sys.cycles);
+    assert!(cgra.activity.instr_fetches > 0);
+}
+
+#[test]
+fn canon_wins_window_attention_against_all_baselines() {
+    // Fig 12: "Canon outperforms all baselines on window attention."
+    let cfg = CanonConfig::default();
+    let (seq, window, head_dim) = (128, 16, 64);
+    let mut rng = gen::seeded_rng(8);
+    let q = Dense::random(seq, head_dim, &mut rng);
+    let k = Dense::random(seq, head_dim, &mut rng);
+    let mask = gen::window_mask(seq, window);
+    let mapping = SddmmMapping {
+        partition: canon::arch::kernels::sddmm::ColPartition::Cyclic,
+        ..SddmmMapping::default()
+    };
+    let canon = run_sddmm(&cfg, &mapping, &mask, &q, &k).unwrap();
+    for run in [
+        SystolicArray::default()
+            .window_attention(seq, window, head_dim)
+            .unwrap(),
+        SparseSystolic24::default()
+            .window_attention(seq, window, head_dim)
+            .unwrap(),
+        Cgra::default()
+            .window_attention(seq, window, head_dim)
+            .unwrap(),
+    ] {
+        assert!(
+            canon.report.cycles < run.cycles,
+            "canon {} should beat baseline {}",
+            canon.report.cycles,
+            run.cycles
+        );
+    }
+}
+
+#[test]
+fn equal_peak_compute_across_architectures() {
+    // §5 fairness requirement: every architecture has 256 MACs.
+    let cfg = CanonConfig::default();
+    assert_eq!(cfg.mac_units(), 256);
+    assert_eq!(canon::baselines::PEAK_MACS, 256);
+    let s = SystolicArray::default();
+    assert_eq!(s.rows * s.cols, 256);
+    let z = ZedAccelerator::default();
+    assert_eq!(z.compute_units * z.lanes, 256);
+    assert_eq!(Cgra::default().pes, 256);
+}

@@ -1,0 +1,90 @@
+//! Cross-crate consistency checks on the energy/EDP pipeline: measured
+//! simulator activity must translate into energies with the structural
+//! properties the evaluation relies on.
+
+use canon::arch::kernels::gemm::run_gemm;
+use canon::arch::kernels::spmm::{run_spmm, SpmmMapping};
+use canon::arch::CanonConfig;
+use canon::baselines::{Accelerator, Cgra, SystolicArray};
+use canon::energy::{baseline_energy, canon_energy, edp, perf_per_watt, Arch};
+use canon::sparse::{gen, Dense};
+
+#[test]
+fn canon_energy_is_positive_and_additive() {
+    let mut rng = gen::seeded_rng(1);
+    let a = gen::random_sparse(32, 64, 0.5, &mut rng);
+    let b = Dense::random(64, 32, &mut rng);
+    let out = run_spmm(&CanonConfig::default(), &SpmmMapping::default(), &a, &b).unwrap();
+    let e = canon_energy(&out.report);
+    assert!(e.total_pj() > 0.0);
+    let sum: f64 = e.components.iter().map(|(_, v)| v).sum();
+    assert!((sum - e.total_pj()).abs() < 1e-6);
+    // Every named Fig 11 component exists.
+    for name in ["data memory", "spad-read", "spad-write", "compute", "control & routing"] {
+        assert!(
+            e.components.iter().any(|(n, _)| *n == name),
+            "missing component {name}"
+        );
+    }
+}
+
+#[test]
+fn sparser_input_costs_less_energy_on_canon() {
+    let cfg = CanonConfig::default();
+    let mut rng = gen::seeded_rng(2);
+    let b = Dense::random(128, 64, &mut rng);
+    let dense = gen::random_sparse(64, 128, 0.1, &mut rng);
+    let sparse = gen::random_sparse(64, 128, 0.9, &mut rng);
+    let ed = canon_energy(&run_spmm(&cfg, &SpmmMapping::default(), &dense, &b).unwrap().report);
+    let es = canon_energy(&run_spmm(&cfg, &SpmmMapping::default(), &sparse, &b).unwrap().report);
+    assert!(
+        es.total_pj() < ed.total_pj() / 2.0,
+        "90% sparse {} should be far below 10% sparse {}",
+        es.total_pj(),
+        ed.total_pj()
+    );
+}
+
+#[test]
+fn canon_gemm_energy_close_to_systolic() {
+    // §6.1: "Under GEMM ... Canon consumes nearly the same power as the
+    // systolic array, with only a slight overhead from control and routing."
+    let mut rng = gen::seeded_rng(3);
+    let a = Dense::random(64, 128, &mut rng);
+    let b = Dense::random(128, 64, &mut rng);
+    let canon = run_gemm(&CanonConfig::default(), &a, &b).unwrap();
+    let ce = canon_energy(&canon.report);
+    let sys = SystolicArray::default().gemm(64, 128, 64).unwrap();
+    let se = baseline_energy(Arch::Systolic, &sys);
+    let ratio = ce.total_pj() / se.total_pj();
+    assert!(
+        (0.5..=2.0).contains(&ratio),
+        "canon/systolic GEMM energy ratio {ratio}"
+    );
+}
+
+#[test]
+fn cgra_perf_per_watt_below_canon_on_tensor_work() {
+    let mut rng = gen::seeded_rng(4);
+    let a = gen::random_sparse(64, 128, 0.5, &mut rng);
+    let b = Dense::random(128, 64, &mut rng);
+    let useful = a.nnz() as u64 * 64;
+    let canon = run_spmm(&CanonConfig::default(), &SpmmMapping::default(), &a, &b).unwrap();
+    let cp = perf_per_watt(
+        useful,
+        canon.report.cycles,
+        canon_energy(&canon.report).total_pj(),
+        1e9,
+    );
+    let cg = Cgra::default().spmm(&a, 64).unwrap();
+    let gp = perf_per_watt(useful, cg.cycles, baseline_energy(Arch::Cgra, &cg).total_pj(), 1e9);
+    assert!(cp > gp, "canon {cp} should beat cgra {gp}");
+}
+
+#[test]
+fn edp_combines_energy_and_delay() {
+    // Same energy, double delay → double EDP; same delay, double energy →
+    // double EDP.
+    assert_eq!(edp(10.0, 20, 1e9), 2.0 * edp(10.0, 10, 1e9));
+    assert_eq!(edp(20.0, 10, 1e9), 2.0 * edp(10.0, 10, 1e9));
+}

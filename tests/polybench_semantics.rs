@@ -1,0 +1,338 @@
+//! Semantic validation of the PolyBench IR definitions: every kernel's IR
+//! executor output is compared against an independently hand-written Rust
+//! implementation over the same deterministic initial values.
+
+use canon::loopir::nest::{execute, init_value};
+use canon::loopir::polybench;
+
+fn arr2(a: usize, n: usize) -> Vec<Vec<i64>> {
+    (0..n)
+        .map(|i| (0..n).map(|j| init_value(a, i * n + j)).collect())
+        .collect()
+}
+fn arr1(a: usize, n: usize) -> Vec<i64> {
+    (0..n).map(|i| init_value(a, i)).collect()
+}
+
+fn kernel(name: &str, n: usize) -> canon::loopir::Kernel {
+    polybench::suite(n)
+        .into_iter()
+        .find(|k| k.name == name)
+        .unwrap_or_else(|| panic!("kernel {name} in suite"))
+}
+
+#[test]
+fn gemver_matches_handwritten() {
+    let n = 7;
+    let out = execute(&kernel("gemver", n));
+    let mut a = arr2(0, n);
+    let u1 = arr1(1, n);
+    let v1 = arr1(2, n);
+    let u2 = arr1(3, n);
+    let v2 = arr1(4, n);
+    let y = arr1(5, n);
+    let z = arr1(6, n);
+    let mut x = arr1(7, n);
+    let mut w = arr1(8, n);
+    for i in 0..n {
+        for j in 0..n {
+            a[i][j] += u1[i] * v1[j] + u2[i] * v2[j];
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            x[i] += a[j][i] * y[j];
+        }
+    }
+    for i in 0..n {
+        x[i] += z[i];
+    }
+    for i in 0..n {
+        for j in 0..n {
+            w[i] += a[i][j] * x[j];
+        }
+    }
+    for i in 0..n {
+        assert_eq!(out[8].get(&[i as i64]), w[i], "w[{i}]");
+    }
+}
+
+#[test]
+fn gesummv_matches_handwritten() {
+    let n = 6;
+    let out = execute(&kernel("gesummv", n));
+    let a = arr2(0, n);
+    let b = arr2(1, n);
+    let x = arr1(2, n);
+    let mut tmp = arr1(3, n);
+    let mut y = arr1(4, n);
+    for i in 0..n {
+        for j in 0..n {
+            tmp[i] += a[i][j] * x[j];
+            y[i] += b[i][j] * x[j];
+        }
+    }
+    for i in 0..n {
+        y[i] = 3 * tmp[i] + 2 * y[i];
+    }
+    for i in 0..n {
+        assert_eq!(out[4].get(&[i as i64]), y[i], "y[{i}]");
+    }
+}
+
+#[test]
+fn bicg_and_mvt_match_handwritten() {
+    let n = 6;
+    // bicg
+    let out = execute(&kernel("bicg", n));
+    let a = arr2(0, n);
+    let mut s = arr1(1, n);
+    let mut q = arr1(2, n);
+    let p = arr1(3, n);
+    let r = arr1(4, n);
+    for i in 0..n {
+        for j in 0..n {
+            s[j] += r[i] * a[i][j];
+            q[i] += a[i][j] * p[j];
+        }
+    }
+    for i in 0..n {
+        assert_eq!(out[1].get(&[i as i64]), s[i], "s[{i}]");
+        assert_eq!(out[2].get(&[i as i64]), q[i], "q[{i}]");
+    }
+    // mvt
+    let out = execute(&kernel("mvt", n));
+    let a = arr2(0, n);
+    let mut x1 = arr1(1, n);
+    let mut x2 = arr1(2, n);
+    let y1 = arr1(3, n);
+    let y2 = arr1(4, n);
+    for i in 0..n {
+        for j in 0..n {
+            x1[i] += a[i][j] * y1[j];
+            x2[i] += a[j][i] * y2[j];
+        }
+    }
+    for i in 0..n {
+        assert_eq!(out[1].get(&[i as i64]), x1[i], "x1[{i}]");
+        assert_eq!(out[2].get(&[i as i64]), x2[i], "x2[{i}]");
+    }
+}
+
+#[test]
+fn two_mm_matches_handwritten() {
+    let n = 5;
+    let out = execute(&kernel("2mm", n));
+    let a = arr2(0, n);
+    let b = arr2(1, n);
+    let c = arr2(2, n);
+    let mut d = arr2(3, n);
+    let mut tmp = arr2(4, n);
+    for i in 0..n {
+        for j in 0..n {
+            for k in 0..n {
+                tmp[i][j] += a[i][k] * b[k][j];
+            }
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            for k in 0..n {
+                d[i][j] += tmp[i][k] * c[k][j];
+            }
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            assert_eq!(out[3].get(&[i as i64, j as i64]), d[i][j]);
+        }
+    }
+}
+
+#[test]
+fn doitgen_matches_handwritten() {
+    let n = 4;
+    let out = execute(&kernel("doitgen", n));
+    let mut a: Vec<Vec<Vec<i64>>> = (0..n)
+        .map(|r| {
+            (0..n)
+                .map(|q| (0..n).map(|p| init_value(0, (r * n + q) * n + p)).collect())
+                .collect()
+        })
+        .collect();
+    let c4 = arr2(1, n);
+    let mut sum: Vec<Vec<Vec<i64>>> = (0..n)
+        .map(|r| {
+            (0..n)
+                .map(|q| (0..n).map(|p| init_value(2, (r * n + q) * n + p)).collect())
+                .collect()
+        })
+        .collect();
+    for r in 0..n {
+        for q in 0..n {
+            for p in 0..n {
+                for s in 0..n {
+                    sum[r][q][p] += a[r][q][s] * c4[s][p];
+                }
+            }
+        }
+    }
+    for r in 0..n {
+        for q in 0..n {
+            for p in 0..n {
+                a[r][q][p] = sum[r][q][p];
+            }
+        }
+    }
+    for r in 0..n {
+        for q in 0..n {
+            for p in 0..n {
+                assert_eq!(out[0].get(&[r as i64, q as i64, p as i64]), a[r][q][p]);
+            }
+        }
+    }
+}
+
+#[test]
+fn trmm_matches_handwritten() {
+    let n = 6;
+    let out = execute(&kernel("trmm", n));
+    let a = arr2(0, n);
+    let mut b = arr2(1, n);
+    for i in 0..n {
+        for j in 0..n {
+            for k in i + 1..n {
+                b[i][j] += a[k][i] * b[k][j];
+            }
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            assert_eq!(out[1].get(&[i as i64, j as i64]), b[i][j], "B[{i}][{j}]");
+        }
+    }
+}
+
+#[test]
+fn seidel_2d_matches_handwritten() {
+    let n = 7;
+    let out = execute(&kernel("seidel-2d", n));
+    let mut a = arr2(0, n);
+    for i in 1..n - 1 {
+        for j in 1..n - 1 {
+            a[i][j] = a[i - 1][j - 1]
+                + a[i - 1][j]
+                + a[i - 1][j + 1]
+                + a[i][j - 1]
+                + a[i][j]
+                + a[i][j + 1]
+                + a[i + 1][j - 1]
+                + a[i + 1][j]
+                + a[i + 1][j + 1];
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            assert_eq!(out[0].get(&[i as i64, j as i64]), a[i][j]);
+        }
+    }
+}
+
+#[test]
+fn fdtd_2d_matches_handwritten() {
+    let n = 6;
+    let out = execute(&kernel("fdtd-2d", n));
+    let mut ex = arr2(0, n);
+    let mut ey = arr2(1, n);
+    let mut hz = arr2(2, n);
+    for i in 0..n - 1 {
+        for j in 0..n {
+            ey[i + 1][j] -= hz[i + 1][j] - hz[i][j];
+        }
+    }
+    for i in 0..n {
+        for j in 0..n - 1 {
+            ex[i][j + 1] -= hz[i][j + 1] - hz[i][j];
+        }
+    }
+    for i in 0..n - 1 {
+        for j in 0..n - 1 {
+            hz[i][j] -= (ex[i][j + 1] - ex[i][j]) + (ey[i + 1][j] - ey[i][j]);
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            assert_eq!(out[2].get(&[i as i64, j as i64]), hz[i][j], "hz[{i}][{j}]");
+        }
+    }
+}
+
+#[test]
+fn covariance_matches_handwritten() {
+    let n = 5;
+    let out = execute(&kernel("covariance", n));
+    let mut data = arr2(0, n);
+    let mut mean = arr1(1, n);
+    let mut cov = arr2(2, n);
+    for j in 0..n {
+        for i in 0..n {
+            mean[j] += data[i][j];
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            data[i][j] -= mean[j];
+        }
+    }
+    for i in 0..n {
+        for j in i..n {
+            for k in 0..n {
+                cov[i][j] += data[k][i] * data[k][j];
+            }
+        }
+    }
+    for i in 0..n {
+        for j in i..n {
+            assert_eq!(out[2].get(&[i as i64, j as i64]), cov[i][j]);
+        }
+    }
+}
+
+#[test]
+fn heat_3d_matches_handwritten() {
+    let n = 5;
+    let out = execute(&kernel("heat-3d", n));
+    let idx = |i: usize, j: usize, k: usize| (i * n + j) * n + k;
+    let mut a: Vec<i64> = (0..n * n * n).map(|i| init_value(0, i)).collect();
+    let mut b: Vec<i64> = (0..n * n * n).map(|i| init_value(1, i)).collect();
+    let star = |src: &[i64], dst: &mut [i64]| {
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                for k in 1..n - 1 {
+                    dst[idx(i, j, k)] = src[idx(i, j, k)]
+                        + src[idx(i - 1, j, k)]
+                        + src[idx(i + 1, j, k)]
+                        + src[idx(i, j - 1, k)]
+                        + src[idx(i, j + 1, k)]
+                        + src[idx(i, j, k - 1)]
+                        + src[idx(i, j, k + 1)];
+                }
+            }
+        }
+    };
+    let a_snapshot = a.clone();
+    star(&a_snapshot, &mut b);
+    let b_snapshot = b.clone();
+    star(&b_snapshot, &mut a);
+    for i in 0..n {
+        for j in 0..n {
+            for k in 0..n {
+                assert_eq!(
+                    out[0].get(&[i as i64, j as i64, k as i64]),
+                    a[idx(i, j, k)],
+                    "A[{i}][{j}][{k}]"
+                );
+            }
+        }
+    }
+}
