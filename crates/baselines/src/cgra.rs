@@ -87,6 +87,12 @@ impl Accelerator for Cgra {
         "cgra"
     }
 
+    fn supports(&self, _kind: crate::OpKind) -> bool {
+        // Compile-time reconfiguration runs any kernel, including arbitrary
+        // loop nests (the PolyBench side lives in `canon-loopir`).
+        true
+    }
+
     fn gemm(&self, m: usize, k: usize, n: usize) -> Option<BaselineRun> {
         Some(self.emulate_systolic(self.dense.dense_run(m, k, n)))
     }
@@ -108,12 +114,7 @@ impl Accelerator for Cgra {
         Some(run)
     }
 
-    fn window_attention(
-        &self,
-        seq: usize,
-        window: usize,
-        head_dim: usize,
-    ) -> Option<BaselineRun> {
+    fn window_attention(&self, seq: usize, window: usize, head_dim: usize) -> Option<BaselineRun> {
         // Sliding-chunk dense decomposition with one configuration reused.
         let base = self.dense.window_attention(seq, window, head_dim)?;
         Some(self.emulate_systolic(base))

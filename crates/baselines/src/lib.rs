@@ -86,15 +86,47 @@ impl BaselineRun {
     }
 }
 
+/// Workload families an accelerator can be asked about, used for capability
+/// queries before any operands are materialized (the sweep engine skips
+/// unsupported cells without generating inputs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Dense GEMM.
+    Gemm,
+    /// Unstructured SpMM.
+    Spmm,
+    /// N:M structured SpMM.
+    SpmmNm,
+    /// Unstructured SDDMM.
+    Sddmm,
+    /// Sliding-window SDDMM.
+    WindowAttention,
+    /// Arbitrary affine loop nests (PolyBench) — only reconfigurable
+    /// architectures run these; tensor accelerators render as `X`.
+    LoopNest,
+}
+
 /// The common interface of the four baseline models.
 ///
 /// `None` means the architecture cannot run the workload at all (rendered as
 /// `X` in the paper's figures). Implementations that *can* run a workload
 /// but only by padding it to a denser form (e.g. a systolic array executing
-/// sparse SpMM densely) return the padded cost.
-pub trait Accelerator {
+/// sparse SpMM densely) return the padded cost. [`Accelerator::supports`]
+/// answers the same question without operands; `run` methods returning
+/// `Some` must agree with it.
+///
+/// The `Sync` bound lets harnesses share one model instance across sweep
+/// worker threads (all models are immutable parameter sets).
+pub trait Accelerator: Sync {
     /// Short display name used by the harness tables.
     fn name(&self) -> &'static str;
+
+    /// Whether this architecture can execute the workload family at all.
+    /// Tensor accelerators default to everything except arbitrary loop
+    /// nests; reconfigurable architectures override.
+    fn supports(&self, kind: OpKind) -> bool {
+        !matches!(kind, OpKind::LoopNest)
+    }
 
     /// Dense GEMM `C[m×n] = A[m×k] × B[k×n]`.
     fn gemm(&self, m: usize, k: usize, n: usize) -> Option<BaselineRun>;
@@ -110,8 +142,7 @@ pub trait Accelerator {
     fn sddmm(&self, mask: &Mask, k: usize) -> Option<BaselineRun>;
 
     /// Sliding-window attention scores (seq×seq output, banded mask).
-    fn window_attention(&self, seq: usize, window: usize, head_dim: usize)
-        -> Option<BaselineRun>;
+    fn window_attention(&self, seq: usize, window: usize, head_dim: usize) -> Option<BaselineRun>;
 }
 
 /// Peak scalar MACs per cycle shared by every evaluated architecture
@@ -121,6 +152,21 @@ pub const PEAK_MACS: u64 = 256;
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn capability_queries_match_figures() {
+        let tensor_only: [&dyn Accelerator; 3] = [
+            &SystolicArray::default(),
+            &SparseSystolic24::default(),
+            &ZedAccelerator::default(),
+        ];
+        for acc in tensor_only {
+            assert!(acc.supports(OpKind::Gemm), "{}", acc.name());
+            assert!(acc.supports(OpKind::Spmm), "{}", acc.name());
+            assert!(!acc.supports(OpKind::LoopNest), "{}", acc.name());
+        }
+        assert!(Cgra::default().supports(OpKind::LoopNest));
+    }
 
     #[test]
     fn utilization_bounds() {

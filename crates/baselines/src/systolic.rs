@@ -47,8 +47,7 @@ impl SystolicArray {
         // activations stream back-to-back across the K-tiles of one N-tile
         // (partial sums accumulate in the output SRAM), so the pipeline
         // fill/drain is paid once per N-tile.
-        let cycles =
-            n_tiles as u64 * (k_tiles as u64 * m as u64 + (self.rows + self.cols) as u64);
+        let cycles = n_tiles as u64 * (k_tiles as u64 * m as u64 + (self.rows + self.cols) as u64);
         let padded_macs = (k_tiles * self.rows * n_tiles * self.cols) as u64 * m as u64;
         let useful_macs = (m * k * n) as u64;
         let activity = Activity {
@@ -100,12 +99,7 @@ impl Accelerator for SystolicArray {
         Some(run)
     }
 
-    fn window_attention(
-        &self,
-        seq: usize,
-        window: usize,
-        head_dim: usize,
-    ) -> Option<BaselineRun> {
+    fn window_attention(&self, seq: usize, window: usize, head_dim: usize) -> Option<BaselineRun> {
         // Sliding-chunk decomposition into dense blocks.
         let mut total = BaselineRun {
             cycles: 0,

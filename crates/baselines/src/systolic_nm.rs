@@ -72,12 +72,7 @@ impl Accelerator for SparseSystolic24 {
         self.dense.sddmm(mask, k)
     }
 
-    fn window_attention(
-        &self,
-        seq: usize,
-        window: usize,
-        head_dim: usize,
-    ) -> Option<BaselineRun> {
+    fn window_attention(&self, seq: usize, window: usize, head_dim: usize) -> Option<BaselineRun> {
         self.dense.window_attention(seq, window, head_dim)
     }
 }

@@ -106,7 +106,7 @@ impl Accelerator for ZedAccelerator {
     fn gemm(&self, m: usize, k: usize, n: usize) -> Option<BaselineRun> {
         // Dense input = every element is a non-zero row entry.
         Some(self.run_rows(
-            std::iter::repeat(k).take(m),
+            std::iter::repeat_n(k, m),
             n,
             1,
             (m * k * n) as u64,
@@ -150,12 +150,7 @@ impl Accelerator for ZedAccelerator {
         ))
     }
 
-    fn window_attention(
-        &self,
-        seq: usize,
-        window: usize,
-        head_dim: usize,
-    ) -> Option<BaselineRun> {
+    fn window_attention(&self, seq: usize, window: usize, head_dim: usize) -> Option<BaselineRun> {
         // No window specialisation: the band is processed as an unstructured
         // output mask.
         let mask = canon_sparse::gen::window_mask(seq, window);

@@ -1,20 +1,86 @@
-//! `repro` — regenerate the paper's tables and figures.
+//! `repro` — regenerate the paper's tables and figures, and run
+//! multi-backend scenario sweeps.
 //!
 //! ```sh
-//! cargo run -p canon-bench --release --bin repro -- all
+//! cargo run -p canon-bench --release --bin repro -- all --jobs 8
 //! cargo run -p canon-bench --release --bin repro -- fig12 fig13
 //! cargo run -p canon-bench --release --bin repro -- --smoke fig17
+//! cargo run -p canon-bench --release --bin repro -- sweep --jobs 4 --out results.jsonl
 //! ```
+//!
+//! The `sweep` target (also the first step of `all`) expands the standard
+//! architecture × workload × band grid, fans it out over `--jobs` worker
+//! threads through the `canon-sweep` engine, and writes/updates the JSONL
+//! result store at `--out`. Cells already present in the store under their
+//! content key are reported as cache hits and not re-simulated.
 
 use canon_bench::{ablations, figures, Scale};
+use canon_sweep::engine::{run_sweep, SweepOptions};
+use canon_sweep::report::{edp_table, speedup_table};
+use canon_sweep::scenario::ScenarioGrid;
+use canon_sweep::store::ResultStore;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--smoke] <targets...>\n\
+        "usage: repro [--smoke] [--jobs N] [--out FILE] <targets...>\n\
          targets: table1 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17\n\
-                  ablation-async ablation-buffer-sizing ablation-lut all"
+                  ablation-async ablation-buffer-sizing ablation-lut sweep all\n\
+         options:\n\
+           --smoke      reduced problem sizes (CI-scale)\n\
+           --jobs N     sweep worker threads (default: all cores)\n\
+           --out FILE   sweep result store (default: sweep_results.jsonl)"
     );
     std::process::exit(2)
+}
+
+fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    if pos + 1 >= args.len() {
+        eprintln!("{flag} needs a value");
+        usage();
+    }
+    args.remove(pos);
+    Some(args.remove(pos))
+}
+
+fn run_standard_sweep(scale: Scale, jobs: usize, out: &str) -> String {
+    let grid = ScenarioGrid::standard(match scale {
+        Scale::Full => 1,
+        Scale::Smoke => 4,
+    });
+    let mut store = ResultStore::open(out).unwrap_or_else(|e| {
+        eprintln!("cannot open result store {out}: {e}");
+        std::process::exit(1);
+    });
+    let outcome = run_sweep(
+        &grid,
+        &mut store,
+        &SweepOptions {
+            jobs,
+            ..Default::default()
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("sweep failed: {e}");
+        std::process::exit(1);
+    });
+    let s = outcome.stats;
+    let mut text = format!(
+        "== Sweep: {} cells ({} workloads x {} architectures) ==\n\
+         jobs={jobs}  executed={}  cache-hits={}  unsupported={}  errors={}\n\
+         store: {out}\n\n",
+        s.total,
+        grid.cell_count(),
+        canon_energy::Arch::all().len(),
+        s.executed,
+        s.cache_hits,
+        s.unsupported,
+        s.errors,
+    );
+    text.push_str(&speedup_table(&outcome.records));
+    text.push('\n');
+    text.push_str(&edp_table(&outcome.records));
+    text
 }
 
 fn main() {
@@ -25,13 +91,35 @@ fn main() {
     } else {
         Scale::Full
     };
+    let jobs = match take_value_flag(&mut args, "--jobs") {
+        Some(v) => match v.parse() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("--jobs needs a positive integer, got {v}");
+                usage();
+            }
+        },
+        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    };
+    let out = take_value_flag(&mut args, "--out").unwrap_or_else(|| "sweep_results.jsonl".into());
     if args.is_empty() {
         usage();
     }
     let targets: Vec<String> = if args.iter().any(|a| a == "all") {
         [
-            "table1", "fig9", "fig10", "fig11", "fig12+13", "fig14", "fig15", "fig16", "fig17",
-            "ablation-async", "ablation-buffer-sizing", "ablation-lut",
+            "sweep",
+            "table1",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12+13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "fig17",
+            "ablation-async",
+            "ablation-buffer-sizing",
+            "ablation-lut",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -41,6 +129,7 @@ fn main() {
     };
     for t in targets {
         let text = match t.as_str() {
+            "sweep" => run_standard_sweep(scale, jobs, &out),
             "table1" => figures::table1(),
             "fig9" => figures::fig09(),
             "fig10" => figures::fig10(),

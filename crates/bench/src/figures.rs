@@ -1,19 +1,21 @@
 //! Per-figure regeneration entry points.
+//!
+//! Multi-architecture figures dispatch every workload through the uniform
+//! [`Backend`](canon_sweep::backend::Backend) trait — there is no
+//! per-figure, per-kernel dispatch here. Single-architecture parameter
+//! studies (Figs 15/17) drive the SpMM kernel directly, since the swept
+//! parameter (array scale, scratchpad depth) *is* the experiment.
 
 use crate::workloads12::{all_columns, Column};
 use crate::{format_matrix, Scale};
-use canon_baselines::Accelerator;
-use canon_core::kernels::sddmm::{run_sddmm, SddmmMapping};
 use canon_core::kernels::spmm::{run_spmm, SpmmMapping};
-use canon_core::kernels::window::run_window_attention;
-use canon_core::kernels::window::WindowAttention;
-use canon_core::kernels::gemm::run_gemm;
 use canon_core::offchip;
 use canon_core::CanonConfig;
-use canon_energy::{arch_area, baseline_energy, canon_energy, edp, Arch};
+use canon_energy::{arch_area, canon_energy, edp, Arch};
 use canon_sparse::gen::{self, SparsityBand};
 use canon_sparse::stats::spmm_ops_per_byte;
 use canon_sparse::Dense;
+use canon_sweep::backend::{all_backends, CanonBackend};
 use canon_workloads::{fig11_workloads, fig14_workloads, TensorOp};
 use std::fmt::Write as _;
 
@@ -94,7 +96,7 @@ pub fn fig10() -> String {
 
 /// Fig 11: runtime per-PE power breakdown + FSM state-transition counts.
 pub fn fig11(scale: Scale) -> String {
-    let cfg = CanonConfig::default();
+    let backend = CanonBackend::default();
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -126,46 +128,27 @@ pub fn fig11(scale: Scale) -> String {
             report.stats.orch_transitions
         );
     };
-    // GEMM reference point (systolic-style dataflow, no scratchpad power).
-    {
-        let m = scale.dim(128);
-        let k = scale.dim(256);
-        let n = scale.dim(64);
-        let mut rng = gen::seeded_rng(111);
-        let a = Dense::random(m, k, &mut rng);
-        let b = Dense::random(k, n, &mut rng);
-        let r = run_gemm(&cfg, &a, &b).expect("gemm");
-        run_one("GEMM".into(), &r.report);
-    }
+    // GEMM reference point (systolic-style dataflow, no scratchpad power),
+    // then the banded CNN/attention workloads — all through the uniform
+    // backend entry point.
+    let gemm = TensorOp::Gemm {
+        m: scale.dim(128),
+        k: scale.dim(256),
+        n: scale.dim(64),
+    };
+    let r = backend.run_report(&gemm, 111).expect("gemm maps");
+    run_one("GEMM".into(), &r);
     let ws = fig11_workloads(match scale {
         Scale::Full => 8,
         Scale::Smoke => 32,
     });
     for (name, band, op) in ws {
-        let report = match op {
-            TensorOp::Spmm { m, k, n, sparsity } => {
-                let mut rng = gen::seeded_rng(112 + band.representative() as u64);
-                let a = gen::skewed_sparse(m, k, sparsity, 1.5, &mut rng);
-                let b = Dense::random(k, n, &mut rng);
-                run_spmm(&cfg, &SpmmMapping::default(), &a, &b)
-                    .expect("spmm")
-                    .report
-            }
-            TensorOp::SddmmUnstructured {
-                seq,
-                head_dim,
-                sparsity,
-            } => {
-                let mut rng = gen::seeded_rng(113);
-                let q = Dense::random(seq, head_dim, &mut rng);
-                let kv = Dense::random(seq, head_dim, &mut rng);
-                let mask = gen::random_mask(seq, seq, sparsity, &mut rng);
-                run_sddmm(&cfg, &SddmmMapping::default(), &mask, &q, &kv)
-                    .expect("sddmm")
-                    .report
-            }
-            _ => continue,
-        };
+        // Distinct operand stream per band (representative() is fractional,
+        // so scale before truncating).
+        let seed = 112 + (band.representative() * 100.0) as u64;
+        let report = backend
+            .run_report(&op, seed)
+            .unwrap_or_else(|e| panic!("{name}-{band}: {e}"));
         run_one(format!("{name}-{band}"), &report);
     }
     let _ = writeln!(
@@ -233,12 +216,7 @@ pub fn fig1213(scale: Scale) -> String {
 
 /// Fig 14: EDP of real ML model components, normalized to Canon.
 pub fn fig14(scale: Scale) -> String {
-    use canon_baselines::{Cgra, SparseSystolic24, SystolicArray, ZedAccelerator};
-    let cfg = CanonConfig::default();
-    let sys = SystolicArray::default();
-    let s24 = SparseSystolic24::default();
-    let zed = ZedAccelerator::default();
-    let cgra = Cgra::default();
+    let backends = all_backends(&CanonConfig::default());
     let model_scale = match scale {
         Scale::Full => 16,
         Scale::Smoke => 64,
@@ -250,102 +228,29 @@ pub fn fig14(scale: Scale) -> String {
         .collect();
     for w in fig14_workloads(model_scale) {
         columns.push(format!("{}({})", w.name, w.sparsity_note));
-        // Accumulate (cycles, energy) per architecture over the ops.
-        let mut totals: Vec<Option<(u64, f64)>> = vec![Some((0, 0.0)); 5];
-        let add = |totals: &mut Vec<Option<(u64, f64)>>, i: usize, run: Option<(u64, f64)>| {
-            totals[i] = match (totals[i], run) {
-                (Some((c0, e0)), Some((c, e))) => Some((c0 + c, e0 + e)),
-                _ => None,
-            };
-        };
-        for op in &w.ops {
-            let mut seed = gen::seeded_rng(140 + w.useful_macs() % 97);
-            match *op {
-                TensorOp::Gemm { m, k, n } => {
-                    let a = Dense::random(m, k, &mut seed);
-                    let b = Dense::random(k, n, &mut seed);
-                    let canon = run_gemm(&cfg, &a, &b).expect("gemm").report;
-                    add(&mut totals, 4, Some((canon.cycles, canon_energy(&canon).total_pj())));
-                    for (i, r) in [
-                        (0, sys.gemm(m, k, n)),
-                        (1, s24.gemm(m, k, n)),
-                        (2, zed.gemm(m, k, n)),
-                        (3, cgra.gemm(m, k, n)),
-                    ] {
-                        let arch = Arch::all()[i];
-                        add(&mut totals, i, r.map(|r| (r.cycles, baseline_energy(arch, &r).total_pj())));
-                    }
-                }
-                TensorOp::Spmm { m, k, n, sparsity } => {
-                    let a = gen::skewed_sparse(m, k, sparsity, 1.5, &mut seed);
-                    let b = Dense::random(k, n, &mut seed);
-                    let canon = run_spmm(&cfg, &SpmmMapping::default(), &a, &b)
-                        .expect("spmm")
-                        .report;
-                    add(&mut totals, 4, Some((canon.cycles, canon_energy(&canon).total_pj())));
-                    for (i, r) in [
-                        (0, sys.spmm(&a, n)),
-                        (1, s24.spmm(&a, n)),
-                        (2, zed.spmm(&a, n)),
-                        (3, cgra.spmm(&a, n)),
-                    ] {
-                        let arch = Arch::all()[i];
-                        add(&mut totals, i, r.map(|r| (r.cycles, baseline_energy(arch, &r).total_pj())));
-                    }
-                }
-                TensorOp::SddmmUnstructured {
-                    seq,
-                    head_dim,
-                    sparsity,
-                } => {
-                    let q = Dense::random(seq, head_dim, &mut seed);
-                    let kv = Dense::random(seq, head_dim, &mut seed);
-                    let mask = gen::random_mask(seq, seq, sparsity, &mut seed);
-                    let canon = run_sddmm(&cfg, &SddmmMapping::default(), &mask, &q, &kv)
-                        .expect("sddmm")
-                        .report;
-                    add(&mut totals, 4, Some((canon.cycles, canon_energy(&canon).total_pj())));
-                    for (i, r) in [
-                        (0, sys.sddmm(&mask, head_dim)),
-                        (1, s24.sddmm(&mask, head_dim)),
-                        (2, zed.sddmm(&mask, head_dim)),
-                        (3, cgra.sddmm(&mask, head_dim)),
-                    ] {
-                        let arch = Arch::all()[i];
-                        add(&mut totals, i, r.map(|r| (r.cycles, baseline_energy(arch, &r).total_pj())));
-                    }
-                }
-                TensorOp::SddmmWindow {
-                    seq,
-                    window,
-                    head_dim,
-                } => {
-                    let wa = WindowAttention {
-                        seq,
-                        window,
-                        head_dim,
-                    };
-                    let canon = run_window_attention(&cfg, &SddmmMapping::default(), &wa, 141)
-                        .expect("window")
-                        .report;
-                    add(&mut totals, 4, Some((canon.cycles, canon_energy(&canon).total_pj())));
-                    for (i, r) in [
-                        (0, sys.window_attention(seq, window, head_dim)),
-                        (1, s24.window_attention(seq, window, head_dim)),
-                        (2, zed.window_attention(seq, window, head_dim)),
-                        (3, cgra.window_attention(seq, window, head_dim)),
-                    ] {
-                        let arch = Arch::all()[i];
-                        add(&mut totals, i, r.map(|r| (r.cycles, baseline_energy(arch, &r).total_pj())));
-                    }
-                }
+        // Accumulate (cycles, energy) per architecture over the component's
+        // ops; any unsupported op marks the whole component unsupported.
+        let mut totals: Vec<Option<(u64, f64)>> = vec![Some((0, 0.0)); backends.len()];
+        for (oi, op) in w.ops.iter().enumerate() {
+            let seed = 140 + w.useful_macs() % 97 + oi as u64;
+            for (i, backend) in backends.iter().enumerate() {
+                let run = backend.run(op, seed).ok().map(|r| (r.cycles, r.energy_pj));
+                totals[i] = match (totals[i], run) {
+                    (Some((c0, e0)), Some((c, e))) => Some((c0 + c, e0 + e)),
+                    _ => None,
+                };
             }
         }
-        let canon_edp = totals[4]
+        let canon_idx = backends
+            .iter()
+            .position(|b| b.arch() == Arch::Canon)
+            .expect("Canon backend present");
+        let canon_edp = totals[canon_idx]
             .map(|(c, e)| edp(e, c, 1e9))
             .expect("canon runs everything");
         for (i, row) in rows.iter_mut().enumerate() {
-            row.1.push(totals[i].map(|(c, e)| edp(e, c, 1e9) / canon_edp));
+            row.1
+                .push(totals[i].map(|(c, e)| edp(e, c, 1e9) / canon_edp));
         }
     }
     format_matrix(
@@ -442,10 +347,7 @@ pub fn fig16() -> String {
 /// Fig 17: utilization vs scratchpad depth across sparsity deciles.
 pub fn fig17(scale: Scale) -> String {
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "== Fig 17: compute utilization vs scratchpad depth =="
-    );
+    let _ = writeln!(out, "== Fig 17: compute utilization vs scratchpad depth ==");
     let depths: &[usize] = match scale {
         Scale::Full => &[1, 4, 8, 16, 32, 64],
         Scale::Smoke => &[1, 16],

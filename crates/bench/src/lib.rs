@@ -30,46 +30,21 @@ pub enum Scale {
 
 impl Scale {
     /// Multiplies a full-scale dimension down for smoke runs, keeping
-    /// mapping-friendly granularity.
+    /// mapping-friendly granularity: the quarter-scale dimension is rounded
+    /// *up* to a multiple of 32 (the default fabric's `rows` and
+    /// `cols·lanes` granularities), minimum 32, so smoke shapes always
+    /// satisfy the kernels' divisibility constraints.
     pub fn dim(self, full: usize) -> usize {
         match self {
             Scale::Full => full,
-            Scale::Smoke => (full / 4).max(32),
+            Scale::Smoke => (full / 4).div_ceil(32).max(1) * 32,
         }
     }
 }
 
-/// Formats a normalized-metric table: rows = architectures, columns =
-/// workloads; `None` renders as `X` (unsupported), as in Figs 12/13.
-pub fn format_matrix(
-    title: &str,
-    columns: &[String],
-    rows: &[(&'static str, Vec<Option<f64>>)],
-) -> String {
-    use std::fmt::Write as _;
-    let mut out = String::new();
-    let _ = writeln!(out, "== {title} ==");
-    let _ = write!(out, "{:<14}", "arch");
-    for c in columns {
-        let _ = write!(out, "{c:>13}");
-    }
-    let _ = writeln!(out);
-    for (name, vals) in rows {
-        let _ = write!(out, "{name:<14}");
-        for v in vals {
-            match v {
-                Some(x) => {
-                    let _ = write!(out, "{x:>13.3}");
-                }
-                None => {
-                    let _ = write!(out, "{:>13}", "X");
-                }
-            }
-        }
-        let _ = writeln!(out);
-    }
-    out
-}
+// The architecture × workload table renderer lives with the sweep reports;
+// the figures keep using it under its original name.
+pub use canon_sweep::report::format_matrix;
 
 #[cfg(test)]
 mod tests {
@@ -80,6 +55,21 @@ mod tests {
         assert_eq!(Scale::Full.dim(256), 256);
         assert_eq!(Scale::Smoke.dim(256), 64);
         assert_eq!(Scale::Smoke.dim(64), 32);
+    }
+
+    #[test]
+    fn smoke_dims_are_mapping_friendly_multiples_of_32() {
+        // Quarter-scale rounds *up* to a multiple of 32 rather than
+        // truncating: dim(200) = 50 -> 64, not 50; dim(100) = 25 -> 32.
+        assert_eq!(Scale::Smoke.dim(200), 64);
+        assert_eq!(Scale::Smoke.dim(100), 32);
+        assert_eq!(Scale::Smoke.dim(33), 32);
+        assert_eq!(Scale::Smoke.dim(512), 128);
+        for full in [1, 33, 100, 192, 200, 255, 256, 1000, 14336] {
+            let d = Scale::Smoke.dim(full);
+            assert_eq!(d % 32, 0, "dim({full}) = {d} not a multiple of 32");
+            assert!(d >= 32, "dim({full}) = {d} below the 32 minimum");
+        }
     }
 
     #[test]

@@ -1,20 +1,21 @@
 //! The Fig 12/13 workload grid: 12 kernel columns × 5 architectures,
 //! producing normalized performance and normalized perf/W in one pass.
+//!
+//! Every tensor column executes through the workspace-wide
+//! [`Backend`](canon_sweep::backend::Backend) trait — one uniform
+//! `run(op, seed)` per architecture — rather than per-kernel dispatch; only
+//! the PolyBench columns go through the loop-IR mapper, which is a
+//! different workload class (and the reason most tensor accelerators show
+//! `X` there).
 
 use crate::Scale;
-use canon_baselines::{Accelerator, BaselineRun, Cgra, SparseSystolic24, SystolicArray, ZedAccelerator};
-use canon_core::kernels::nm::run_spmm_nm;
-use canon_core::kernels::sddmm::{run_sddmm, ColPartition, SddmmMapping};
-use canon_core::kernels::spmm::{run_spmm, SpmmMapping};
-use canon_core::kernels::window::run_window_attention;
-use canon_core::kernels::window::WindowAttention;
-use canon_core::kernels::gemm::run_gemm;
-use canon_core::stats::RunReport;
+use canon_baselines::Cgra;
 use canon_core::CanonConfig;
-use canon_energy::{baseline_energy, canon_energy, canon_loop_energy, perf_per_watt, Arch};
+use canon_energy::{baseline_energy, canon_loop_energy, perf_per_watt, Arch};
 use canon_loopir::mapping::{map_canon, map_cgra};
 use canon_loopir::{polybench, Category};
-use canon_sparse::{gen, Dense};
+use canon_sweep::backend::all_backends;
+use canon_workloads::TensorOp;
 
 /// One architecture's absolute numbers on one workload.
 #[derive(Debug, Clone, Copy)]
@@ -37,9 +38,18 @@ pub struct Column {
     pub runs: Vec<Option<ArchRun>>,
 }
 
+/// Canon's row position in [`Arch::all`] order (the order of every
+/// `Column::runs` vector).
+pub fn canon_index() -> usize {
+    Arch::all()
+        .iter()
+        .position(|a| *a == Arch::Canon)
+        .expect("Canon is in Arch::all")
+}
+
 impl Column {
     fn canon(&self) -> ArchRun {
-        self.runs[4].expect("Canon always runs its own workloads")
+        self.runs[canon_index()].expect("Canon always runs its own workloads")
     }
 
     /// Performance of each architecture normalized to Canon.
@@ -57,182 +67,96 @@ impl Column {
         let base = perf_per_watt(self.useful_macs, canon.cycles, canon.energy_pj, 1e9);
         self.runs
             .iter()
-            .map(|r| {
-                r.map(|r| {
-                    perf_per_watt(self.useful_macs, r.cycles, r.energy_pj, 1e9) / base
-                })
-            })
+            .map(|r| r.map(|r| perf_per_watt(self.useful_macs, r.cycles, r.energy_pj, 1e9) / base))
             .collect()
     }
 }
 
-fn canon_run(report: &RunReport) -> ArchRun {
-    ArchRun {
-        cycles: report.cycles,
-        energy_pj: canon_energy(report).total_pj(),
-    }
-}
-
-fn baseline(arch: Arch, run: Option<BaselineRun>) -> Option<ArchRun> {
-    run.map(|r| ArchRun {
-        cycles: r.cycles,
-        energy_pj: baseline_energy(arch, &r).total_pj(),
-    })
-}
-
-struct Baselines {
-    sys: SystolicArray,
-    s24: SparseSystolic24,
-    zed: ZedAccelerator,
-    cgra: Cgra,
-}
-
-impl Baselines {
-    fn new() -> Baselines {
-        Baselines {
-            sys: SystolicArray::default(),
-            s24: SparseSystolic24::default(),
-            zed: ZedAccelerator::default(),
-            cgra: Cgra::default(),
-        }
-    }
-}
-
-/// Builds the nine tensor-kernel columns of Figs 12/13 (everything except
-/// the three PolyBench columns).
-pub fn tensor_columns(scale: Scale) -> Vec<Column> {
-    let cfg = CanonConfig::default();
-    let b = Baselines::new();
-    let mut columns = Vec::new();
-
+/// The nine tensor-kernel workloads of Figs 12/13 at the given scale, with
+/// their operand seeds.
+pub fn tensor_ops(scale: Scale) -> Vec<(String, TensorOp, u64)> {
     let m = scale.dim(256);
     let k = scale.dim(256);
     let n = scale.dim(128);
-
-    // --- GEMM ---------------------------------------------------------
-    {
-        let mut rng = gen::seeded_rng(101);
-        let a = Dense::random(m, k, &mut rng);
-        let bm = Dense::random(k, n, &mut rng);
-        let canon = run_gemm(&cfg, &a, &bm).expect("gemm maps");
-        columns.push(Column {
-            name: "GEMM".into(),
-            useful_macs: (m * k * n) as u64,
-            runs: vec![
-                baseline(Arch::Systolic, b.sys.gemm(m, k, n)),
-                baseline(Arch::Systolic24, b.s24.gemm(m, k, n)),
-                baseline(Arch::Zed, b.zed.gemm(m, k, n)),
-                baseline(Arch::Cgra, b.cgra.gemm(m, k, n)),
-                Some(canon_run(&canon.report)),
-            ],
-        });
-    }
-
-    // --- SpMM-S1/S2/S3 ---------------------------------------------------
+    let mut ops: Vec<(String, TensorOp, u64)> =
+        vec![("GEMM".into(), TensorOp::Gemm { m, k, n }, 101)];
     for (band, sparsity, seed) in [("S1", 0.15, 102u64), ("S2", 0.45, 103), ("S3", 0.80, 104)] {
-        let mut rng = gen::seeded_rng(seed);
-        let a = gen::skewed_sparse(m, k, sparsity, 1.5, &mut rng);
-        let bm = Dense::random(k, n, &mut rng);
-        let canon = run_spmm(&cfg, &SpmmMapping::default(), &a, &bm).expect("spmm maps");
-        columns.push(Column {
-            name: format!("SpMM-{band}"),
-            useful_macs: a.nnz() as u64 * n as u64,
-            runs: vec![
-                baseline(Arch::Systolic, b.sys.spmm(&a, n)),
-                baseline(Arch::Systolic24, b.s24.spmm(&a, n)),
-                baseline(Arch::Zed, b.zed.spmm(&a, n)),
-                baseline(Arch::Cgra, b.cgra.spmm(&a, n)),
-                Some(canon_run(&canon.report)),
-            ],
-        });
+        ops.push((
+            format!("SpMM-{band}"),
+            TensorOp::Spmm { m, k, n, sparsity },
+            seed,
+        ));
     }
-
-    // --- SpMM-2:4 and SpMM-2:8 -------------------------------------------
     for (label, n_of, m_of, seed) in [("2:4", 2usize, 4usize, 105u64), ("2:8", 2, 8, 106)] {
-        let mut rng = gen::seeded_rng(seed);
-        let a = gen::nm_sparse(m, k, n_of, m_of, &mut rng);
-        let bm = Dense::random(k, n, &mut rng);
-        let canon = run_spmm_nm(&cfg, &a, &bm, n_of, m_of).expect("nm maps");
-        columns.push(Column {
-            name: format!("SpMM-{label}"),
-            useful_macs: a.nnz() as u64 * n as u64,
-            runs: vec![
-                baseline(Arch::Systolic, b.sys.spmm_nm(&a, n, n_of, m_of)),
-                baseline(Arch::Systolic24, b.s24.spmm_nm(&a, n, n_of, m_of)),
-                baseline(Arch::Zed, b.zed.spmm_nm(&a, n, n_of, m_of)),
-                baseline(Arch::Cgra, b.cgra.spmm_nm(&a, n, n_of, m_of)),
-                Some(canon_run(&canon.report)),
-            ],
-        });
+        ops.push((
+            format!("SpMM-{label}"),
+            TensorOp::SpmmNm {
+                m,
+                k,
+                n,
+                n_of,
+                m_of,
+            },
+            seed,
+        ));
     }
-
-    // --- SDDMM (unstructured) ---------------------------------------------
-    {
-        let seq = scale.dim(128);
-        let head = 64;
-        let mut rng = gen::seeded_rng(107);
-        let q = Dense::random(seq, head, &mut rng);
-        let kv = Dense::random(seq, head, &mut rng);
-        let mask = gen::random_mask(seq, seq, 0.7, &mut rng);
-        let canon = run_sddmm(&cfg, &SddmmMapping::default(), &mask, &q, &kv).expect("sddmm");
-        columns.push(Column {
-            name: "SDDMM".into(),
-            useful_macs: mask.nnz() as u64 * head as u64,
-            runs: vec![
-                baseline(Arch::Systolic, b.sys.sddmm(&mask, head)),
-                baseline(Arch::Systolic24, b.s24.sddmm(&mask, head)),
-                baseline(Arch::Zed, b.zed.sddmm(&mask, head)),
-                baseline(Arch::Cgra, b.cgra.sddmm(&mask, head)),
-                Some(canon_run(&canon.report)),
-            ],
-        });
-    }
-
-    // --- SDDMM-Win1 / Win2 -------------------------------------------------
+    ops.push((
+        "SDDMM".into(),
+        TensorOp::SddmmUnstructured {
+            seq: scale.dim(128),
+            head_dim: 64,
+            sparsity: 0.7,
+        },
+        107,
+    ));
     // Win1 = Longformer ratios (window = seq/8, head 64);
     // Win2 = Mistral ratios (window = seq/4, head 128, longer context).
-    let win_cfgs = [
-        ("SDDMM-Win1", WindowAttention {
+    ops.push((
+        "SDDMM-Win1".into(),
+        TensorOp::SddmmWindow {
             seq: scale.dim(256),
             window: scale.dim(256) / 8,
             head_dim: 64,
-        }),
-        ("SDDMM-Win2", WindowAttention {
+        },
+        108,
+    ));
+    ops.push((
+        "SDDMM-Win2".into(),
+        TensorOp::SddmmWindow {
             seq: scale.dim(512),
             window: scale.dim(512) / 4,
             head_dim: 128,
-        }),
-    ];
-    for (label, wa) in win_cfgs {
-        let canon =
-            run_window_attention(&cfg, &SddmmMapping::default(), &wa, 108).expect("window");
-        let band = gen::window_mask(wa.seq, wa.window).nnz() as u64 * wa.head_dim as u64;
-        columns.push(Column {
-            name: label.into(),
-            useful_macs: band,
-            runs: vec![
-                baseline(
-                    Arch::Systolic,
-                    b.sys.window_attention(wa.seq, wa.window, wa.head_dim),
-                ),
-                baseline(
-                    Arch::Systolic24,
-                    b.s24.window_attention(wa.seq, wa.window, wa.head_dim),
-                ),
-                baseline(
-                    Arch::Zed,
-                    b.zed.window_attention(wa.seq, wa.window, wa.head_dim),
-                ),
-                baseline(
-                    Arch::Cgra,
-                    b.cgra.window_attention(wa.seq, wa.window, wa.head_dim),
-                ),
-                Some(canon_run(&canon.report)),
-            ],
-        });
-    }
-    let _ = ColPartition::Cyclic; // window runs select cyclic internally
-    columns
+        },
+        108,
+    ));
+    ops
+}
+
+/// Builds the nine tensor-kernel columns of Figs 12/13 (everything except
+/// the three PolyBench columns), dispatching uniformly through the
+/// [`Backend`](canon_sweep::backend::Backend) trait.
+pub fn tensor_columns(scale: Scale) -> Vec<Column> {
+    let backends = all_backends(&CanonConfig::default());
+    tensor_ops(scale)
+        .into_iter()
+        .map(|(name, op, seed)| {
+            let runs: Vec<Option<ArchRun>> = backends
+                .iter()
+                .map(|b| {
+                    b.run(&op, seed).ok().map(|r| ArchRun {
+                        cycles: r.cycles,
+                        energy_pj: r.energy_pj,
+                    })
+                })
+                .collect();
+            assert!(runs[canon_index()].is_some(), "Canon must map {name}");
+            Column {
+                name,
+                useful_macs: op.useful_macs(),
+                runs,
+            }
+        })
+        .collect()
 }
 
 /// The three PolyBench columns: geometric means over each category, Canon vs
@@ -256,8 +180,10 @@ pub fn polybench_columns(scale: Scale) -> Vec<Column> {
             let g = map_cgra(k, &cgra);
             log_canon_cyc += (c.cycles.max(1) as f64).ln();
             log_cgra_cyc += (g.cycles.max(1) as f64).ln();
-            log_canon_e +=
-                canon_loop_energy(c.cycles, c.lane_instrs, c.useful_ops).total_pj().max(1.0).ln();
+            log_canon_e += canon_loop_energy(c.cycles, c.lane_instrs, c.useful_ops)
+                .total_pj()
+                .max(1.0)
+                .ln();
             log_cgra_e += baseline_energy(Arch::Cgra, &g).total_pj().max(1.0).ln();
             log_useful += (c.useful_ops.max(1) as f64).ln();
             count += 1;

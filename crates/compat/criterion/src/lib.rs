@@ -1,0 +1,123 @@
+//! Offline stand-in for the subset of the crates.io `criterion` API this
+//! workspace's benches use (`Criterion`, `benchmark_group`, `sample_size`,
+//! `bench_function`, `Bencher::iter`, `criterion_group!`/`criterion_main!`).
+//!
+//! The build environment has no registry access, so this crate keeps
+//! `cargo bench` working: each benchmark closure is timed over a small,
+//! fixed number of iterations and mean wall-clock per iteration is printed.
+//! It is a smoke-timer, not a statistics engine — swap back to the real
+//! criterion when the registry is reachable.
+
+use std::time::Instant;
+
+/// Opaque hint preventing the optimiser from deleting a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Entry point handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _c: self,
+            samples: 10,
+        }
+    }
+}
+
+/// A named group of benchmark functions.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Times one benchmark closure.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iterations: self.samples as u64,
+            elapsed_ns: 0,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed_ns as f64 / b.iterations.max(1) as f64;
+        println!("  {id:<32} {:>12.1} us/iter", per_iter / 1e3);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    iterations: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Runs `f` for the configured number of iterations, timing the batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(f());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_closure() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        let mut calls = 0u32;
+        g.sample_size(3).bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        g.finish();
+        assert_eq!(calls, 3);
+    }
+}

@@ -1,0 +1,167 @@
+//! Offline stand-in for the subset of the crates.io `proptest` API this
+//! workspace's property tests use: the `proptest!` macro with `arg in range`
+//! strategies, `ProptestConfig { cases, .. }`, and `prop_assert!`/
+//! `prop_assert_eq!`.
+//!
+//! The build environment has no registry access, so this crate provides a
+//! deterministic exhaustive-sampling runner: each property runs `cases`
+//! times with inputs drawn uniformly from the given ranges by a generator
+//! seeded from the test's name. There is no shrinking — a failing case
+//! panics with the ordinary assertion message, which for this workspace's
+//! small input spaces is diagnosable directly.
+
+pub use rand as prop_rand;
+
+/// Runner configuration (only `cases` is interpreted).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+    /// Accepted for API compatibility; unused (no shrinking).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Deterministic input sampling from range strategies.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A strategy the stub runner can draw values from.
+    pub trait Sample {
+        /// The produced value type.
+        type Output;
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Output;
+    }
+
+    macro_rules! impl_sample_range {
+        ($($t:ty),*) => {$(
+            impl Sample for core::ops::Range<$t> {
+                type Output = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Sample for core::ops::RangeInclusive<$t> {
+                type Output = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_sample_range!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f64);
+
+    /// Free-function form used by the generated test bodies.
+    pub fn sample<S: Sample>(strat: &S, rng: &mut StdRng) -> S::Output {
+        strat.sample(rng)
+    }
+}
+
+/// Test-runner support used by the generated code.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Seeds a deterministic generator from the test's name.
+    pub fn rng_for_test(name: &str) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        StdRng::seed_from_u64(h)
+    }
+}
+
+/// Property assertion; stub maps to `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Property equality assertion; stub maps to `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Declares property tests: every `arg in strategy` parameter is sampled
+/// `cases` times and the body re-run per case.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::rng_for_test(stringify!($name));
+                for __case in 0..__config.cases {
+                    $(let $arg = $crate::strategy::sample(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name( $($arg in $strat),+ ) $body
+            )*
+        }
+    };
+}
+
+/// The glob-imported prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_respected(a in 1usize..10, b in 0.0f64..1.0, s in 0u64..100) {
+            prop_assert!((1..10).contains(&a));
+            prop_assert!((0.0..1.0).contains(&b));
+            prop_assert!(s < 100);
+            prop_assert_eq!(a, a);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_invocations() {
+        let mut r1 = crate::test_runner::rng_for_test("x");
+        let mut r2 = crate::test_runner::rng_for_test("x");
+        let v1 = crate::strategy::sample(&(0u64..1000), &mut r1);
+        let v2 = crate::strategy::sample(&(0u64..1000), &mut r2);
+        assert_eq!(v1, v2);
+    }
+}

@@ -151,14 +151,20 @@ mod tests {
 
     #[test]
     fn validate_rejects_degenerate() {
-        let mut c = CanonConfig::default();
-        c.rows = 0;
+        let c = CanonConfig {
+            rows: 0,
+            ..CanonConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = CanonConfig::default();
-        c.spad_entries = 0;
+        let c = CanonConfig {
+            spad_entries: 0,
+            ..CanonConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = CanonConfig::default();
-        c.link_fifo_depth = 1;
+        let c = CanonConfig {
+            link_fifo_depth: 1,
+            ..CanonConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

@@ -87,7 +87,7 @@ impl RowState {
     }
 
     fn done(&self) -> bool {
-        self.program.as_ref().map_or(true, |p| p.done())
+        self.program.as_ref().is_none_or(|p| p.done())
     }
 }
 
@@ -167,7 +167,10 @@ impl Fabric {
     ///
     /// Panics when out of bounds.
     pub fn pe_mut(&mut self, r: usize, c: usize) -> &mut Pe {
-        assert!(r < self.cfg.rows && c < self.cfg.cols, "PE index out of bounds");
+        assert!(
+            r < self.cfg.rows && c < self.cfg.cols,
+            "PE index out of bounds"
+        );
         &mut self.pes[r * self.cfg.cols + c]
     }
 
@@ -177,7 +180,10 @@ impl Fabric {
     ///
     /// Panics when out of bounds.
     pub fn pe(&self, r: usize, c: usize) -> &Pe {
-        assert!(r < self.cfg.rows && c < self.cfg.cols, "PE index out of bounds");
+        assert!(
+            r < self.cfg.rows && c < self.cfg.cols,
+            "PE index out of bounds"
+        );
         &self.pes[r * self.cfg.cols + c]
     }
 
@@ -336,9 +342,7 @@ impl Fabric {
                 if self.rows[r].south_credits == 0 {
                     return Err(SimError::Deadlock {
                         cycle: now,
-                        waiting_on: format!(
-                            "row {r} issued a south push without credit (FSM bug)"
-                        ),
+                        waiting_on: format!("row {r} issued a south push without credit (FSM bug)"),
                     });
                 }
                 self.rows[r].south_credits -= 1;
@@ -394,18 +398,13 @@ impl Fabric {
             pe.advance();
         }
         std::mem::swap(&mut self.inject_now, &mut self.inject_next);
-        for (i, slot) in self.inject_next.iter_mut().enumerate() {
-            if i % cols == 0 {
-                *slot = None;
-            } else {
-                *slot = None;
-            }
+        for slot in self.inject_next.iter_mut() {
+            *slot = None;
         }
 
         // 8. Drain edge sinks into the collectors.
         for c in 0..cols {
-            let drained: Vec<TaggedVector> =
-                self.grid.vertical(nrows, c).drain_all().collect();
+            let drained: Vec<TaggedVector> = self.grid.vertical(nrows, c).drain_all().collect();
             for e in drained {
                 self.south_collected.push(CollectedEntry {
                     tag: e.tag,
@@ -416,8 +415,7 @@ impl Fabric {
             }
         }
         for r in 0..nrows {
-            let drained: Vec<TaggedVector> =
-                self.grid.horizontal(r, cols).drain_all().collect();
+            let drained: Vec<TaggedVector> = self.grid.horizontal(r, cols).drain_all().collect();
             for e in drained {
                 self.east_collected.push(CollectedEntry {
                     tag: e.tag,
@@ -603,12 +601,22 @@ mod tests {
         let n = 5;
         let instrs: Vec<Instruction> = (0..n)
             .map(|i| {
-                Instruction::new(Opcode::Mov, Addr::Imm, Addr::Null, Addr::Port(Direction::South))
-                    .with_imm(Vector::splat(i as i32))
-                    .with_tag(i as u32)
+                Instruction::new(
+                    Opcode::Mov,
+                    Addr::Imm,
+                    Addr::Null,
+                    Addr::Port(Direction::South),
+                )
+                .with_imm(Vector::splat(i as i32))
+                .with_tag(i as u32)
             })
             .collect();
-        f.set_program(1, Box::new(Script { instrs: instrs.into() }));
+        f.set_program(
+            1,
+            Box::new(Script {
+                instrs: instrs.into(),
+            }),
+        );
         f.run().unwrap();
         let got = f.south_collected();
         assert_eq!(got.len(), n * 3);
@@ -621,7 +629,12 @@ mod tests {
         let cfg = small_cfg();
         let mut f = Fabric::new(&cfg, false);
         assert!(f.quiescent());
-        f.set_program(0, Box::new(Script { instrs: VecDeque::new() }));
+        f.set_program(
+            0,
+            Box::new(Script {
+                instrs: VecDeque::new(),
+            }),
+        );
         let r = f.run().unwrap();
         assert_eq!(r.cycles, 0);
     }
@@ -650,7 +663,12 @@ mod tests {
         let cfg = small_cfg();
         let mut f = Fabric::new(&cfg, false);
         let instrs: Vec<Instruction> = vec![Instruction::NOP; 4];
-        f.set_program(0, Box::new(Script { instrs: instrs.into() }));
+        f.set_program(
+            0,
+            Box::new(Script {
+                instrs: instrs.into(),
+            }),
+        );
         let r = f.run().unwrap();
         // 4 NOPs each traverse 3 PEs.
         assert_eq!(r.stats.instrs_executed, 12);
@@ -674,7 +692,12 @@ mod tests {
             f.set_feeder(c, tokens);
         }
         // A scripted program that pops north three times on row 0.
-        let pop = Instruction::new(Opcode::Mov, Addr::Port(Direction::North), Addr::Null, Addr::Spad(0));
+        let pop = Instruction::new(
+            Opcode::Mov,
+            Addr::Port(Direction::North),
+            Addr::Null,
+            Addr::Spad(0),
+        );
         f.set_program(
             0,
             Box::new(Script {

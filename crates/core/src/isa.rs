@@ -375,11 +375,7 @@ impl Instruction {
 
 impl std::fmt::Display for Instruction {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "{:?} {} {} {}",
-            self.op, self.op1, self.op2, self.res
-        )?;
+        write!(f, "{:?} {} {} {}", self.op, self.op1, self.op2, self.res)?;
         if let Some(r) = self.route {
             write!(f, " route({}→{})", r.from, r.to)?;
         }
@@ -452,8 +448,13 @@ mod tests {
     #[test]
     fn noc_conflict_route_vs_res() {
         // res pushes South while route also pushes South: double drive.
-        let i = Instruction::new(Opcode::Mov, Addr::Spad(0), Addr::Null, Addr::Port(Direction::South))
-            .with_route(Direction::North, Direction::South);
+        let i = Instruction::new(
+            Opcode::Mov,
+            Addr::Spad(0),
+            Addr::Null,
+            Addr::Port(Direction::South),
+        )
+        .with_route(Direction::North, Direction::South);
         assert_eq!(i.noc_conflict(), Some(Direction::South));
     }
 
@@ -467,7 +468,12 @@ mod tests {
 
     #[test]
     fn instruction_display_mentions_route() {
-        let i = Instruction::new(Opcode::Add, Addr::Reg(0), Addr::Port(Direction::West), Addr::Port(Direction::East));
+        let i = Instruction::new(
+            Opcode::Add,
+            Addr::Reg(0),
+            Addr::Port(Direction::West),
+            Addr::Port(Direction::East),
+        );
         assert!(i.to_string().contains("Add"));
         let i = i.with_route(Direction::North, Direction::South);
         assert!(i.to_string().contains("route"));

@@ -115,9 +115,7 @@ impl OrchProgram for RegAccFsm {
                 Some(MetaToken::Nnz { .. }) if !self.done => self.input_decision(&sub_io),
                 _ => OrchAction::nop(state::NOP),
             };
-            action.instr = action
-                .instr
-                .with_route(Direction::North, Direction::South);
+            action.instr = action.instr.with_route(Direction::North, Direction::South);
             action.consume_msg = true;
             action.msg_out = Some(msg);
             action.stalled = false;

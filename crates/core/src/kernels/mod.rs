@@ -14,6 +14,11 @@
 //! | SDDMM (unstructured mask) | §4.1.2, App B | [`sddmm`] |
 //! | Sliding-window SDDMM (Longformer/Mistral attention) | §4.1.3 | [`window`] |
 //! | Static spatial (place-and-route) execution | App D | [`spatial`] |
+//!
+//! [`run_kernel`] is the uniform entry point over all of the above: callers
+//! that dispatch workloads generically (the `canon-sweep` backends, the
+//! harness figures) build a [`KernelInput`] and get a [`KernelOutput`] back,
+//! without naming the per-kernel `run_*` functions.
 
 pub mod gemm;
 pub mod nm;
@@ -21,3 +26,206 @@ pub mod sddmm;
 pub mod spatial;
 pub mod spmm;
 pub mod window;
+
+use crate::config::CanonConfig;
+use crate::stats::RunReport;
+use crate::SimError;
+use canon_sparse::{CsrMatrix, Dense, Mask};
+
+/// Materialized operands for one kernel invocation — the argument of the
+/// uniform [`run_kernel`] dispatcher.
+#[derive(Debug, Clone)]
+pub enum KernelInput {
+    /// Dense GEMM `C = A × B`.
+    Gemm {
+        /// Dense `M×K` operand.
+        a: Dense,
+        /// Dense `K×N` operand.
+        b: Dense,
+    },
+    /// Unstructured SpMM `C = A × B` with mapping parameters.
+    Spmm {
+        /// Sparse `M×K` operand.
+        a: CsrMatrix,
+        /// Dense `K×N` operand.
+        b: Dense,
+        /// Scratchpad-window mapping.
+        mapping: spmm::SpmmMapping,
+    },
+    /// N:M structured SpMM (register-accumulation mapping).
+    SpmmNm {
+        /// Sparse `M×K` operand satisfying `n_of:m_of` structure.
+        a: CsrMatrix,
+        /// Dense `K×N` operand.
+        b: Dense,
+        /// Non-zeros per group.
+        n_of: usize,
+        /// Group size.
+        m_of: usize,
+    },
+    /// Unstructured SDDMM `C = mask · (Q × KVᵀ)`.
+    Sddmm {
+        /// Output mask (`M×N`).
+        mask: Mask,
+        /// Dense `M×K` query rows.
+        q: Dense,
+        /// Dense `N×K` key rows.
+        kv: Dense,
+        /// Buffer/partition mapping.
+        mapping: sddmm::SddmmMapping,
+    },
+    /// Sliding-window SDDMM with operands generated from `seed`.
+    Window {
+        /// Attention shape.
+        wa: window::WindowAttention,
+        /// Operand-generation seed.
+        seed: u64,
+    },
+}
+
+/// The uniform result of [`run_kernel`]: the computed output plus the cycle
+/// report, regardless of which kernel family ran.
+#[derive(Debug, Clone)]
+pub struct KernelOutput {
+    /// The computed dense result (masked positions zero for SDDMM).
+    pub result: Dense,
+    /// Cycle counts and activity counters.
+    pub report: RunReport,
+}
+
+/// Runs any Canon kernel through one entry point.
+///
+/// # Errors
+///
+/// Propagates the underlying kernel's mapping and simulation errors.
+pub fn run_kernel(cfg: &CanonConfig, input: &KernelInput) -> Result<KernelOutput, SimError> {
+    match input {
+        KernelInput::Gemm { a, b } => {
+            let out = gemm::run_gemm(cfg, a, b)?;
+            Ok(KernelOutput {
+                result: out.result,
+                report: out.report,
+            })
+        }
+        KernelInput::Spmm { a, b, mapping } => {
+            let out = spmm::run_spmm(cfg, mapping, a, b)?;
+            Ok(KernelOutput {
+                result: out.result,
+                report: out.report,
+            })
+        }
+        KernelInput::SpmmNm { a, b, n_of, m_of } => {
+            let out = nm::run_spmm_nm(cfg, a, b, *n_of, *m_of)?;
+            Ok(KernelOutput {
+                result: out.result,
+                report: out.report,
+            })
+        }
+        KernelInput::Sddmm {
+            mask,
+            q,
+            kv,
+            mapping,
+        } => {
+            let out = sddmm::run_sddmm(cfg, mapping, mask, q, kv)?;
+            Ok(KernelOutput {
+                result: out.result,
+                report: out.report,
+            })
+        }
+        KernelInput::Window { wa, seed } => {
+            let out =
+                window::run_window_attention(cfg, &sddmm::SddmmMapping::default(), wa, *seed)?;
+            Ok(KernelOutput {
+                result: out.result,
+                report: out.report,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canon_sparse::{gen, reference};
+
+    #[test]
+    fn run_kernel_matches_direct_entry_points() {
+        let cfg = CanonConfig::default();
+        let mut rng = gen::seeded_rng(77);
+        let a = gen::random_sparse(32, 32, 0.5, &mut rng);
+        let b = Dense::random(32, 32, &mut rng);
+        let via_uniform = run_kernel(
+            &cfg,
+            &KernelInput::Spmm {
+                a: a.clone(),
+                b: b.clone(),
+                mapping: spmm::SpmmMapping::default(),
+            },
+        )
+        .unwrap();
+        let direct = spmm::run_spmm(&cfg, &spmm::SpmmMapping::default(), &a, &b).unwrap();
+        assert_eq!(via_uniform.result, direct.result);
+        assert_eq!(via_uniform.report, direct.report);
+        assert_eq!(via_uniform.result, reference::spmm(&a, &b));
+    }
+
+    #[test]
+    fn run_kernel_covers_every_family() {
+        let cfg = CanonConfig::default();
+        let mut rng = gen::seeded_rng(78);
+        let da = Dense::random(16, 32, &mut rng);
+        let db = Dense::random(32, 16, &mut rng);
+        let gemm = run_kernel(
+            &cfg,
+            &KernelInput::Gemm {
+                a: da.clone(),
+                b: db.clone(),
+            },
+        )
+        .unwrap();
+        assert_eq!(gemm.result, reference::gemm(&da, &db));
+
+        let nm = gen::nm_sparse(16, 32, 2, 4, &mut rng);
+        let out = run_kernel(
+            &cfg,
+            &KernelInput::SpmmNm {
+                a: nm.clone(),
+                b: db.clone(),
+                n_of: 2,
+                m_of: 4,
+            },
+        )
+        .unwrap();
+        assert_eq!(out.result, reference::spmm(&nm, &db));
+
+        let q = Dense::random(16, 32, &mut rng);
+        let kv = Dense::random(16, 32, &mut rng);
+        let mask = gen::random_mask(16, 16, 0.5, &mut rng);
+        let sddmm = run_kernel(
+            &cfg,
+            &KernelInput::Sddmm {
+                mask: mask.clone(),
+                q: q.clone(),
+                kv: kv.clone(),
+                mapping: sddmm::SddmmMapping::default(),
+            },
+        )
+        .unwrap();
+        assert_eq!(sddmm.result, reference::sddmm(&mask, &q, &kv));
+
+        let win = run_kernel(
+            &cfg,
+            &KernelInput::Window {
+                wa: window::WindowAttention {
+                    seq: 32,
+                    window: 8,
+                    head_dim: 32,
+                },
+                seed: 5,
+            },
+        )
+        .unwrap();
+        assert!(win.report.cycles > 0);
+    }
+}

@@ -20,7 +20,7 @@ use canon_sparse::{CsrMatrix, Dense};
 ///
 /// Returns [`SimError::Mapping`] describing the first violating group.
 pub fn check_nm_structure(a: &CsrMatrix, n: usize, m_group: usize) -> Result<(), SimError> {
-    if m_group == 0 || a.cols() % m_group != 0 {
+    if m_group == 0 || !a.cols().is_multiple_of(m_group) {
         return Err(SimError::Mapping {
             reason: format!(
                 "K = {} must be a positive multiple of the group size {m_group}",

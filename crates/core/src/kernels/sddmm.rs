@@ -136,7 +136,7 @@ impl SddmmFsm {
             m_work: 0,
             work: None,
             done: m_total == 0,
-            forward_south: false || forward_south,
+            forward_south,
         }
     }
 
@@ -323,21 +323,17 @@ pub fn run_sddmm(
     }
     if mask.rows() != m || mask.cols() != n {
         return Err(SimError::Mapping {
-            reason: format!(
-                "mask is {}x{}, expected {m}x{n}",
-                mask.rows(),
-                mask.cols()
-            ),
+            reason: format!("mask is {}x{}, expected {m}x{n}", mask.rows(), mask.cols()),
         });
     }
     let x = cfg.cols;
     let y = cfg.rows;
-    if k % (x * LANES) != 0 {
+    if !k.is_multiple_of(x * LANES) {
         return Err(SimError::Mapping {
             reason: format!("K = {k} must be a multiple of cols·lanes = {}", x * LANES),
         });
     }
-    if n % y != 0 {
+    if !n.is_multiple_of(y) {
         return Err(SimError::Mapping {
             reason: format!("N = {n} must be a multiple of rows = {y}"),
         });
@@ -438,15 +434,7 @@ pub fn run_sddmm(
         };
         fabric.set_program(
             yy,
-            Box::new(SddmmFsm::new(
-                w,
-                m,
-                n,
-                n_base,
-                n_stride,
-                depth,
-                yy + 1 < y,
-            )),
+            Box::new(SddmmFsm::new(w, m, n, n_base, n_stride, depth, yy + 1 < y)),
         );
     }
     // Off-chip traffic: B preload (A feed is counted by the fabric), the mask
@@ -492,10 +480,7 @@ mod tests {
         let b = Dense::random(8, 32, &mut rng);
         let mask = Mask::full(8, 8);
         let out = run_sddmm(&cfg(), &SddmmMapping::default(), &mask, &a, &b).unwrap();
-        assert_eq!(
-            out.result,
-            reference::gemm(&a, &b.transpose())
-        );
+        assert_eq!(out.result, reference::gemm(&a, &b.transpose()));
     }
 
     #[test]
@@ -559,7 +544,10 @@ mod tests {
         let a = Dense::random(4, 256, &mut rng); // W = 8
         let b = Dense::random(8, 256, &mut rng);
         let mask = Mask::full(4, 8);
-        let bad = SddmmMapping { spad_depth: 4, ..SddmmMapping::default() };
+        let bad = SddmmMapping {
+            spad_depth: 4,
+            ..SddmmMapping::default()
+        };
         assert!(matches!(
             run_sddmm(&cfg(), &bad, &mask, &a, &b),
             Err(SimError::Mapping { .. })

@@ -73,10 +73,8 @@ pub fn run_spatial(
         pes[r * cfg.cols + c].dmem.preload(*base, words);
     }
     let mut grid = LinkGrid::new_elastic(cfg.rows, cfg.cols);
-    let mut feeders: Vec<VecDeque<TaggedVector>> = north_feed
-        .into_iter()
-        .map(VecDeque::from)
-        .collect();
+    let mut feeders: Vec<VecDeque<TaggedVector>> =
+        north_feed.into_iter().map(VecDeque::from).collect();
     feeders.resize(cfg.cols, VecDeque::new());
 
     let mut south = Vec::new();

@@ -274,9 +274,7 @@ impl OrchProgram for SpmmFsm {
                 Some(b) => b,
                 None => OrchAction::nop(state::NOP),
             };
-            action.instr = action
-                .instr
-                .with_route(Direction::North, Direction::South);
+            action.instr = action.instr.with_route(Direction::North, Direction::South);
             action.consume_msg = true;
             action.msg_out = Some(msg);
             action.stalled = false;
@@ -323,7 +321,7 @@ pub struct SpmmOutput {
 /// one `RowEnd` per output row, and a final `End`.
 pub fn build_row_streams(a: &CsrMatrix, rows: usize) -> Result<Vec<Vec<MetaToken>>, SimError> {
     let k = a.cols();
-    if k % rows != 0 {
+    if !k.is_multiple_of(rows) {
         return Err(SimError::Mapping {
             reason: format!("K = {k} must be a multiple of the row count {rows}"),
         });
@@ -411,7 +409,7 @@ pub fn run_spmm(
     let m = a.rows();
     let n = b.cols();
     let k = a.cols();
-    if k % cfg.rows != 0 {
+    if !k.is_multiple_of(cfg.rows) {
         return Err(SimError::Mapping {
             reason: format!("K = {k} must be a multiple of rows = {}", cfg.rows),
         });
@@ -447,8 +445,8 @@ pub fn run_spmm(
                         fabric.set_program(r, Box::new(super::gemm::RegAccFsm::new(m)));
                     }
                     OrchKind::Lut => {
-                        let program = crate::orchestrator::assembler::regacc_fsm_spec(m)
-                            .into_program()?;
+                        let program =
+                            crate::orchestrator::assembler::regacc_fsm_spec(m).into_program()?;
                         fabric.set_program(r, Box::new(program));
                     }
                 }
@@ -554,7 +552,7 @@ mod tests {
     #[test]
     fn spmm_empty_matrix() {
         let a = CsrMatrix::from_dense(&Dense::zeros(8, 32));
-        let b = Dense::from_rows(&(0..32).map(|i| vec![i as i32; 32]).collect::<Vec<_>>());
+        let b = Dense::from_rows(&(0..32).map(|i| vec![i; 32]).collect::<Vec<_>>());
         let out = run_spmm(&cfg(), &SpmmMapping::default(), &a, &b).unwrap();
         assert_eq!(out.result, Dense::zeros(8, 32));
     }

@@ -83,7 +83,11 @@ pub fn run_window_attention(
 /// Dense GEMM shapes `(m, n, k)` of the sliding-chunk decomposition used by
 /// the window-oblivious baselines: chunks of `window` rows each compute a
 /// dense block against `2·window` keys (clamped at the sequence ends).
-pub fn sliding_chunk_shapes(seq: usize, window: usize, head_dim: usize) -> Vec<(usize, usize, usize)> {
+pub fn sliding_chunk_shapes(
+    seq: usize,
+    window: usize,
+    head_dim: usize,
+) -> Vec<(usize, usize, usize)> {
     if window == 0 || seq == 0 {
         return Vec::new();
     }

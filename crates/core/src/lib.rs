@@ -25,6 +25,7 @@
 //! | Kernel mappings (§4, Appendices A–D) | [`kernels`] |
 //! | Off-chip bandwidth / tiling model (§6.4) | [`offchip`] |
 //! | Per-component activity counters | [`stats`] |
+//! | Uniform workload dispatch (scenario sweeps) | [`kernels::run_kernel`] + workspace crate `canon-sweep` |
 //!
 //! # Example
 //!

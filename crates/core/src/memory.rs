@@ -132,9 +132,11 @@ impl Scratchpad {
     ///
     /// Returns [`SimError::AddressOutOfRange`] for addresses past the end.
     pub fn read(&mut self, addr: usize) -> Result<Vector, SimError> {
-        self.mem.read(addr).map_err(|_| SimError::AddressOutOfRange {
-            context: format!("spad read {addr} of {}", self.mem.len()),
-        })
+        self.mem
+            .read(addr)
+            .map_err(|_| SimError::AddressOutOfRange {
+                context: format!("spad read {addr} of {}", self.mem.len()),
+            })
     }
 
     /// Writes an entry (counted).
@@ -144,9 +146,11 @@ impl Scratchpad {
     /// Returns [`SimError::AddressOutOfRange`] for addresses past the end.
     pub fn write(&mut self, addr: usize, v: Vector) -> Result<(), SimError> {
         let len = self.mem.len();
-        self.mem.write(addr, v).map_err(|_| SimError::AddressOutOfRange {
-            context: format!("spad write {addr} of {len}"),
-        })
+        self.mem
+            .write(addr, v)
+            .map_err(|_| SimError::AddressOutOfRange {
+                context: format!("spad write {addr} of {len}"),
+            })
     }
 
     /// Number of counted reads.
@@ -177,10 +181,7 @@ mod tests {
     #[test]
     fn out_of_range_errors() {
         let mut m = DataMemory::new(2);
-        assert!(matches!(
-            m.read(2),
-            Err(SimError::AddressOutOfRange { .. })
-        ));
+        assert!(matches!(m.read(2), Err(SimError::AddressOutOfRange { .. })));
         assert!(m.write(5, Vector::ZERO).is_err());
         // Failed accesses are not counted.
         assert_eq!(m.read_count(), 0);

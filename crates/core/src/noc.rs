@@ -111,12 +111,7 @@ impl Link {
     ///
     /// Returns [`SimError::RouterConflict`]-style protocol errors when the
     /// credit discipline failed: pushing to a zero-source or over capacity.
-    pub fn push(
-        &mut self,
-        entry: TaggedVector,
-        cycle: u64,
-        context: &str,
-    ) -> Result<(), SimError> {
+    pub fn push(&mut self, entry: TaggedVector, cycle: u64, context: &str) -> Result<(), SimError> {
         if self.zero_source {
             return Err(SimError::AddressOutOfRange {
                 context: format!("push to zero-source edge link at cycle {cycle} ({context})"),
@@ -204,7 +199,11 @@ impl LinkGrid {
         for r in 0..=rows {
             for c in 0..cols {
                 let link = g.vertical(r, c);
-                *link = if r == rows { Link::sink() } else { Link::elastic() };
+                *link = if r == rows {
+                    Link::sink()
+                } else {
+                    Link::elastic()
+                };
             }
         }
         for r in 0..rows {

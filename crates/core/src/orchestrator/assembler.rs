@@ -242,8 +242,7 @@ pub fn spmm_fsm_spec(depth: usize, m_total: usize) -> FsmSpec {
         c: RegSel::Meta1,
         k: 0,
     };
-    cond_units[spmm_units::LAST] =
-        CondUnit::minus_const(RegSel::InputRow, m_total as i64 - 1);
+    cond_units[spmm_units::LAST] = CondUnit::minus_const(RegSel::InputRow, m_total as i64 - 1);
     let mut wiring = [Signal::Zero; LUT_INPUT_BITS];
     wiring[0] = Signal::InputKindBit(0);
     wiring[1] = Signal::InputKindBit(1);
@@ -610,8 +609,8 @@ pub fn regacc_fsm_spec(m_total: usize) -> FsmSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::orchestrator::{OrchIo, OrchMessage, OrchProgram};
     use crate::orchestrator::{msg_id, MetaToken};
+    use crate::orchestrator::{OrchIo, OrchMessage, OrchProgram};
 
     #[test]
     fn spmm_spec_assembles() {

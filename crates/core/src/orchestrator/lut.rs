@@ -596,8 +596,7 @@ impl LutProgram {
 
         // Resource check (the hardware hold): south pushes need a credit,
         // messages need a slot.
-        let pushes_south =
-            mo.res == AddrSel::PortSouth || mo.route == RouteSel::NorthToSouth;
+        let pushes_south = mo.res == AddrSel::PortSouth || mo.route == RouteSel::NorthToSouth;
         let sends_msg = mo.msg != MsgSel::None;
         if (pushes_south && io.south_credits == 0) || (sends_msg && !io.msg_slot_free) {
             return Ok(OrchAction::stall(mo.state_out));
@@ -706,7 +705,10 @@ mod tests {
         };
         let back = MicroOp::decode(mo.encode()).unwrap();
         assert_eq!(back, mo);
-        assert_eq!(MicroOp::decode(MicroOp::NOP.encode()).unwrap(), MicroOp::NOP);
+        assert_eq!(
+            MicroOp::decode(MicroOp::NOP.encode()).unwrap(),
+            MicroOp::NOP
+        );
     }
 
     #[test]

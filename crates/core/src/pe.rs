@@ -99,17 +99,13 @@ impl Pe {
         }
         // Younger first: the EXECUTE-stage instruction is the most recent
         // writer still in flight.
-        for stage in [&self.s_exec, &self.s_commit] {
-            if let Some(f) = stage {
-                if f.instr.res == addr {
-                    return Some(f.result);
-                }
-                // Flush opcodes clear their op1 source at COMMIT.
-                if matches!(f.instr.op, Opcode::MovFlush | Opcode::AddFlush)
-                    && f.instr.op1 == addr
-                {
-                    return Some(Vector::ZERO);
-                }
+        for f in [&self.s_exec, &self.s_commit].into_iter().flatten() {
+            if f.instr.res == addr {
+                return Some(f.result);
+            }
+            // Flush opcodes clear their op1 source at COMMIT.
+            if matches!(f.instr.op, Opcode::MovFlush | Opcode::AddFlush) && f.instr.op1 == addr {
+                return Some(Vector::ZERO);
             }
         }
         None
@@ -129,13 +125,11 @@ impl Pe {
             Addr::Null => Ok(Vector::ZERO),
             Addr::Imm => Ok(instr.imm.unwrap_or(Vector::ZERO)),
             Addr::Reg(i) => {
-                let base = self
-                    .regs
-                    .get(i as usize)
-                    .copied()
-                    .ok_or_else(|| SimError::AddressOutOfRange {
+                let base = self.regs.get(i as usize).copied().ok_or_else(|| {
+                    SimError::AddressOutOfRange {
                         context: format!("register r{i} (of {NUM_REGS})"),
-                    })?;
+                    }
+                })?;
                 Ok(self.forwarded(addr).unwrap_or(base))
             }
             Addr::DataMem(a) => {
@@ -193,12 +187,14 @@ impl Pe {
         cycle: u64,
     ) -> Result<(), SimError> {
         match d {
-            Direction::South => grid
-                .vertical(r + 1, c)
-                .push(entry, cycle, &format!("south push at PE ({r},{c})")),
-            Direction::East => grid
-                .horizontal(r, c + 1)
-                .push(entry, cycle, &format!("east push at PE ({r},{c})")),
+            Direction::South => {
+                grid.vertical(r + 1, c)
+                    .push(entry, cycle, &format!("south push at PE ({r},{c})"))
+            }
+            Direction::East => {
+                grid.horizontal(r, c + 1)
+                    .push(entry, cycle, &format!("east push at PE ({r},{c})"))
+            }
             Direction::North | Direction::West => Err(SimError::AddressOutOfRange {
                 context: format!(
                     "PE ({r},{c}) writes {d}: only south/east-bound dataflow is instantiated"
@@ -530,8 +526,13 @@ mod tests {
                 "feed",
             )
             .unwrap();
-        let i = Instruction::new(Opcode::Mov, Addr::Port(Direction::North), Addr::Null, Addr::Spad(0))
-            .with_route(Direction::North, Direction::South);
+        let i = Instruction::new(
+            Opcode::Mov,
+            Addr::Port(Direction::North),
+            Addr::Null,
+            Addr::Spad(0),
+        )
+        .with_route(Direction::North, Direction::South);
         run_one(&mut pe, &mut g, i);
         assert_eq!(pe.spad.read(0).unwrap(), Vector([1, 2, 3, 4]));
         let fwd = g.vertical(1, 0).pop(3, "t").unwrap();
@@ -543,7 +544,12 @@ mod tests {
     fn pop_empty_link_is_protocol_error() {
         let mut pe = Pe::new(4, 4);
         let mut g = LinkGrid::new(2, 1, 4, true);
-        let i = Instruction::new(Opcode::Mov, Addr::Port(Direction::North), Addr::Null, Addr::Reg(0));
+        let i = Instruction::new(
+            Opcode::Mov,
+            Addr::Port(Direction::North),
+            Addr::Null,
+            Addr::Reg(0),
+        );
         assert!(matches!(
             pe.load(Some(i), &mut g, 0, 0, 0),
             Err(SimError::Deadlock { .. })

@@ -88,11 +88,13 @@ pub fn canon_loop_energy(cycles: u64, lane_instrs: u64, useful_ops: u64) -> Ener
 pub fn baseline_energy(arch: Arch, run: &BaselineRun) -> EnergyBreakdown {
     let a = &run.activity;
     let compute = a.macs as f64 * e::MAC_SCALAR;
-    let dram =
-        (a.offchip_read_bytes + a.offchip_write_bytes) as f64 * e::DRAM_BYTE;
+    let dram = (a.offchip_read_bytes + a.offchip_write_bytes) as f64 * e::DRAM_BYTE;
     let components = match arch {
         Arch::Systolic | Arch::Systolic24 => vec![
-            ("data memory", (a.sram_reads + a.sram_writes) as f64 * e::SHARED_SRAM_ACCESS),
+            (
+                "data memory",
+                (a.sram_reads + a.sram_writes) as f64 * e::SHARED_SRAM_ACCESS,
+            ),
             ("compute", compute),
             (
                 "control & routing",
@@ -102,9 +104,15 @@ pub fn baseline_energy(arch: Arch, run: &BaselineRun) -> EnergyBreakdown {
             ("dram", dram),
         ],
         Arch::Zed => vec![
-            ("data memory", (a.sram_reads + a.sram_writes) as f64 * e::SHARED_SRAM_ACCESS),
+            (
+                "data memory",
+                (a.sram_reads + a.sram_writes) as f64 * e::SHARED_SRAM_ACCESS,
+            ),
             ("compute", compute),
-            ("control & routing", a.control_events as f64 * e::SEQ_CONTROL),
+            (
+                "control & routing",
+                a.control_events as f64 * e::SEQ_CONTROL,
+            ),
             (
                 "crossbar & decode",
                 a.special_events as f64 * (e::CROSSBAR + e::DECODER) / 2.0,
@@ -112,7 +120,10 @@ pub fn baseline_energy(arch: Arch, run: &BaselineRun) -> EnergyBreakdown {
             ("dram", dram),
         ],
         Arch::Cgra => vec![
-            ("data memory", (a.sram_reads + a.sram_writes) as f64 * e::SHARED_SRAM_ACCESS),
+            (
+                "data memory",
+                (a.sram_reads + a.sram_writes) as f64 * e::SHARED_SRAM_ACCESS,
+            ),
             ("compute", compute),
             (
                 "control & routing",

@@ -285,8 +285,14 @@ mod tests {
         // Guard j <= i on an n×n space ≈ (n+1)/2n.
         let nest = LoopNest {
             loops: vec![
-                LoopDim { name: "i", trip: 16 },
-                LoopDim { name: "j", trip: 16 },
+                LoopDim {
+                    name: "i",
+                    trip: 16,
+                },
+                LoopDim {
+                    name: "j",
+                    trip: 16,
+                },
             ],
             stmts: vec![Stmt::guarded(
                 Access::new(0, vec![AffineExpr::iter(0), AffineExpr::iter(1)]),

@@ -123,7 +123,10 @@ impl Expr {
     pub fn op_count(&self) -> u64 {
         match self {
             Expr::Load(_) | Expr::Const(_) | Expr::Iter(_) => 0,
-            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Min(a, b)
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Min(a, b)
             | Expr::Max(a, b) => 1 + a.op_count() + b.op_count(),
         }
     }
@@ -132,7 +135,10 @@ impl Expr {
     pub fn depth(&self) -> u64 {
         match self {
             Expr::Load(_) | Expr::Const(_) | Expr::Iter(_) => 0,
-            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Min(a, b)
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Min(a, b)
             | Expr::Max(a, b) => 1 + a.depth().max(b.depth()),
         }
     }
@@ -142,7 +148,10 @@ impl Expr {
         match self {
             Expr::Load(a) => out.push(a),
             Expr::Const(_) | Expr::Iter(_) => {}
-            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Min(a, b)
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Min(a, b)
             | Expr::Max(a, b) => {
                 a.accesses(out);
                 b.accesses(out);
@@ -191,10 +200,7 @@ mod tests {
     fn accesses_collected() {
         let e = Expr::add(
             Expr::load(0, vec![AffineExpr::iter(0)]),
-            Expr::mul(
-                Expr::load(1, vec![AffineExpr::iter(1)]),
-                Expr::Const(2),
-            ),
+            Expr::mul(Expr::load(1, vec![AffineExpr::iter(1)]), Expr::Const(2)),
         );
         let mut acc = Vec::new();
         e.accesses(&mut acc);

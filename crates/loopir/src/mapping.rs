@@ -90,8 +90,8 @@ pub fn map_canon(kernel: &Kernel, rows: usize, cols: usize, lanes: usize) -> Can
             + (cols * 3) as f64;
         cycles += nest_cycles.ceil() as u64;
         // Lane instructions actually issued across the active rows/cols.
-        lane_instrs += (groups * a.ops_per_point as f64 * row_par as f64 * cols as f64).ceil()
-            as u64;
+        lane_instrs +=
+            (groups * a.ops_per_point as f64 * row_par as f64 * cols as f64).ceil() as u64;
         let _ = lane_eff;
     }
     // Useful ops: real arithmetic (guard-weighted), independent of mapping.
@@ -174,9 +174,7 @@ impl CategoryComparison {
         let log_sum: f64 = self
             .kernels
             .iter()
-            .map(|(_, canon, cgra)| {
-                (cgra.cycles.max(1) as f64 / canon.cycles.max(1) as f64).ln()
-            })
+            .map(|(_, canon, cgra)| (cgra.cycles.max(1) as f64 / canon.cycles.max(1) as f64).ln())
             .sum();
         (log_sum / self.kernels.len() as f64).exp()
     }
@@ -194,13 +192,7 @@ pub fn compare_category(
     let runs = kernels
         .iter()
         .filter(|k| k.category == category)
-        .map(|k| {
-            (
-                k.name,
-                map_canon(k, rows, cols, lanes),
-                map_cgra(k, &cgra),
-            )
-        })
+        .map(|k| (k.name, map_canon(k, rows, cols, lanes), map_cgra(k, &cgra)))
         .collect();
     CategoryComparison {
         category,

@@ -216,15 +216,9 @@ fn eval_expr(e: &Expr, point: &[usize], arrays: &[ArrayState]) -> i64 {
         }
         Expr::Const(c) => *c,
         Expr::Iter(d) => point[*d] as i64,
-        Expr::Add(a, b) => {
-            eval_expr(a, point, arrays).wrapping_add(eval_expr(b, point, arrays))
-        }
-        Expr::Sub(a, b) => {
-            eval_expr(a, point, arrays).wrapping_sub(eval_expr(b, point, arrays))
-        }
-        Expr::Mul(a, b) => {
-            eval_expr(a, point, arrays).wrapping_mul(eval_expr(b, point, arrays))
-        }
+        Expr::Add(a, b) => eval_expr(a, point, arrays).wrapping_add(eval_expr(b, point, arrays)),
+        Expr::Sub(a, b) => eval_expr(a, point, arrays).wrapping_sub(eval_expr(b, point, arrays)),
+        Expr::Mul(a, b) => eval_expr(a, point, arrays).wrapping_mul(eval_expr(b, point, arrays)),
         Expr::Min(a, b) => eval_expr(a, point, arrays).min(eval_expr(b, point, arrays)),
         Expr::Max(a, b) => eval_expr(a, point, arrays).max(eval_expr(b, point, arrays)),
     }
@@ -238,10 +232,7 @@ mod tests {
     /// A tiny GEMM kernel in the IR.
     fn gemm_kernel(n: usize) -> Kernel {
         // C[i][j] += A[i][k] * B[k][j]
-        let c = Access::new(
-            2,
-            vec![AffineExpr::iter(0), AffineExpr::iter(1)],
-        );
+        let c = Access::new(2, vec![AffineExpr::iter(0), AffineExpr::iter(1)]);
         let body = Expr::add(
             Expr::Load(c.clone()),
             Expr::mul(
@@ -339,10 +330,7 @@ mod tests {
                 },
                 LoopNest {
                     loops: vec![LoopDim { name: "i", trip: 4 }],
-                    stmts: vec![Stmt::new(
-                        x(0),
-                        Expr::mul(Expr::Load(x(0)), Expr::Const(3)),
-                    )],
+                    stmts: vec![Stmt::new(x(0), Expr::mul(Expr::Load(x(0)), Expr::Const(3)))],
                 },
             ],
         };

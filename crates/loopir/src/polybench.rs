@@ -142,7 +142,13 @@ fn gesummv(n: usize) -> Kernel {
     Kernel {
         name: "gesummv",
         category: Category::Blas,
-        arrays: vec![sq("A", n), sq("B", n), vecn("x", n), vecn("tmp", n), vecn("y", n)],
+        arrays: vec![
+            sq("A", n),
+            sq("B", n),
+            vecn("x", n),
+            vecn("tmp", n),
+            vecn("y", n),
+        ],
         nests: vec![
             LoopNest {
                 loops: dims(&[("i", n), ("j", n)]),
@@ -357,7 +363,13 @@ fn bicg(n: usize) -> Kernel {
     Kernel {
         name: "bicg",
         category: Category::Kernel,
-        arrays: vec![sq("A", n), vecn("s", n), vecn("q", n), vecn("p", n), vecn("r", n)],
+        arrays: vec![
+            sq("A", n),
+            vecn("s", n),
+            vecn("q", n),
+            vecn("p", n),
+            vecn("r", n),
+        ],
         nests: vec![LoopNest {
             loops: dims(&[("i", n), ("j", n)]),
             stmts: vec![
@@ -379,7 +391,13 @@ fn mvt(n: usize) -> Kernel {
     Kernel {
         name: "mvt",
         category: Category::Kernel,
-        arrays: vec![sq("A", n), vecn("x1", n), vecn("x2", n), vecn("y1", n), vecn("y2", n)],
+        arrays: vec![
+            sq("A", n),
+            vecn("x1", n),
+            vecn("x2", n),
+            vecn("y1", n),
+            vecn("y2", n),
+        ],
         nests: vec![LoopNest {
             loops: dims(&[("i", n), ("j", n)]),
             stmts: vec![
@@ -535,7 +553,10 @@ fn seidel_2d(n: usize) -> Kernel {
     let s = |di: i64, dj: i64| ld(a2(0, itp(0, 1 + di), itp(1, 1 + dj)));
     let sum9 = Expr::add(
         Expr::add(
-            Expr::add(Expr::add(s(-1, -1), s(-1, 0)), Expr::add(s(-1, 1), s(0, -1))),
+            Expr::add(
+                Expr::add(s(-1, -1), s(-1, 0)),
+                Expr::add(s(-1, 1), s(0, -1)),
+            ),
             Expr::add(Expr::add(s(0, 0), s(0, 1)), Expr::add(s(1, -1), s(1, 0))),
         ),
         s(1, 1),
@@ -597,9 +618,8 @@ fn fdtd_2d(n: usize) -> Kernel {
 
 fn heat_3d(n: usize) -> Kernel {
     let star = |src: usize, dst: usize| {
-        let c = |di: i64, dj: i64, dk: i64| {
-            ld(a3(src, itp(0, 1 + di), itp(1, 1 + dj), itp(2, 1 + dk)))
-        };
+        let c =
+            |di: i64, dj: i64, dk: i64| ld(a3(src, itp(0, 1 + di), itp(1, 1 + dj), itp(2, 1 + dk)));
         LoopNest {
             loops: dims(&[("i", n - 2), ("j", n - 2), ("k", n - 2)]),
             stmts: vec![Stmt::new(
@@ -609,10 +629,7 @@ fn heat_3d(n: usize) -> Kernel {
                         Expr::add(c(0, 0, 0), c(-1, 0, 0)),
                         Expr::add(c(1, 0, 0), c(0, -1, 0)),
                     ),
-                    Expr::add(
-                        Expr::add(c(0, 1, 0), c(0, 0, -1)),
-                        c(0, 0, 1),
-                    ),
+                    Expr::add(Expr::add(c(0, 1, 0), c(0, 0, -1)), c(0, 0, 1)),
                 ),
             )],
         }

@@ -49,7 +49,11 @@ impl CsrMatrix {
     ) -> Result<Self, SparseError> {
         if row_ptr.len() != rows + 1 {
             return Err(SparseError::InvalidStructure {
-                reason: format!("row_ptr length {} != rows + 1 = {}", row_ptr.len(), rows + 1),
+                reason: format!(
+                    "row_ptr length {} != rows + 1 = {}",
+                    row_ptr.len(),
+                    rows + 1
+                ),
             });
         }
         if row_ptr[0] != 0 {

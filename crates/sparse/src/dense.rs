@@ -69,7 +69,11 @@ impl Dense {
             assert_eq!(row.len(), c, "all rows must have equal length");
             data.extend_from_slice(row);
         }
-        Dense { rows: r, cols: c, data }
+        Dense {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Creates a matrix with entries drawn uniformly from the INT8-friendly

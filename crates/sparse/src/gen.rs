@@ -146,7 +146,10 @@ pub fn skewed_sparse<R: Rng>(
 /// Panics if `n > m`, `m == 0`, or `cols % m != 0`.
 pub fn nm_sparse<R: Rng>(rows: usize, cols: usize, n: usize, m: usize, rng: &mut R) -> CsrMatrix {
     assert!(m > 0 && n <= m, "need 0 <= n <= m, m > 0");
-    assert!(cols % m == 0, "cols ({cols}) must be a multiple of m ({m})");
+    assert!(
+        cols.is_multiple_of(m),
+        "cols ({cols}) must be a multiple of m ({m})"
+    );
     let mut d = Dense::zeros(rows, cols);
     let mut positions: Vec<usize> = (0..m).collect();
     for r in 0..rows {
@@ -205,7 +208,10 @@ mod tests {
         let mut rng = seeded_rng(42);
         let m = random_sparse(200, 200, 0.7, &mut rng);
         let actual = m.sparsity();
-        assert!((actual - 0.7).abs() < 0.03, "sparsity {actual} far from 0.7");
+        assert!(
+            (actual - 0.7).abs() < 0.03,
+            "sparsity {actual} far from 0.7"
+        );
     }
 
     #[test]

@@ -1,0 +1,438 @@
+//! The unified multi-backend execution trait.
+//!
+//! [`Backend`] is the single interface the sweep engine (and the harness
+//! figures) dispatch through: `supports` answers capability questions from
+//! shapes alone, `run` materializes operands from a seed and executes the
+//! workload, returning uniform [`RunRecord`] metrics. Implementations cover
+//! the Canon simulator ([`CanonBackend`]) and all four baseline models
+//! ([`BaselineBackend`]); [`all_backends`] yields them in the figures' row
+//! order ([`Arch::all`]).
+//!
+//! Operand materialization is centralized in [`kernel_input`], so every
+//! backend of a cell sees *identical* inputs for a given seed — the parity
+//! requirement behind the paper's normalized comparisons.
+
+use canon_baselines::{Accelerator, Cgra, OpKind, SparseSystolic24, SystolicArray, ZedAccelerator};
+use canon_core::kernels::{self, window::WindowAttention, KernelInput};
+use canon_core::stats::RunReport;
+use canon_core::{CanonConfig, SimError};
+use canon_energy::{baseline_energy, canon_energy, Arch};
+use canon_sparse::{gen, CsrMatrix, Dense};
+use canon_workloads::TensorOp;
+
+/// Uniform metrics of one (backend, workload) execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunRecord {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Total energy in pJ under the backend's energy model.
+    pub energy_pj: f64,
+    /// Useful scalar MACs of the workload (identical across backends).
+    pub useful_macs: u64,
+    /// Effective compute utilization in `[0, 1]`.
+    pub utilization: f64,
+}
+
+/// Why a backend did not produce a record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendError {
+    /// The architecture cannot execute this workload at all (the `X` cells
+    /// of Figs 12/13).
+    Unsupported,
+    /// The simulator rejected the mapping or hit a protocol error.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendError::Unsupported => write!(f, "workload unsupported"),
+            BackendError::Sim(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+impl From<SimError> for BackendError {
+    fn from(e: SimError) -> Self {
+        BackendError::Sim(e)
+    }
+}
+
+/// The unified execution interface over Canon and the baseline simulators.
+pub trait Backend: Sync {
+    /// Display name used in tables and result records.
+    fn name(&self) -> &'static str;
+
+    /// The architecture this backend models.
+    fn arch(&self) -> Arch;
+
+    /// Whether the backend can execute the workload (from shapes alone; no
+    /// operands are materialized).
+    fn supports(&self, op: &TensorOp) -> bool;
+
+    /// Materializes operands from `seed` and executes the workload.
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError::Unsupported`] for workloads `supports` rejects,
+    /// [`BackendError::Sim`] for mapping/protocol failures.
+    fn run(&self, op: &TensorOp, seed: u64) -> Result<RunRecord, BackendError>;
+}
+
+/// The workload family of a [`TensorOp`], for [`Accelerator::supports`].
+pub fn op_kind(op: &TensorOp) -> OpKind {
+    match op {
+        TensorOp::Gemm { .. } => OpKind::Gemm,
+        TensorOp::Spmm { .. } => OpKind::Spmm,
+        TensorOp::SpmmNm { .. } => OpKind::SpmmNm,
+        TensorOp::SddmmUnstructured { .. } => OpKind::Sddmm,
+        TensorOp::SddmmWindow { .. } => OpKind::WindowAttention,
+    }
+}
+
+/// Materializes the operands of `op` from `seed`.
+///
+/// This is the single place operand streams are defined: sparse operands use
+/// the evaluation's skewed generator (`skew = 1.5`, the load-imbalance
+/// regime the paper's workloads exhibit), masks are i.i.d. at the band's
+/// sparsity, and window operands are structural. Every backend pulls its
+/// inputs out of the same [`KernelInput`], so a cell's operands are
+/// identical across architectures.
+pub fn kernel_input(op: &TensorOp, seed: u64) -> KernelInput {
+    let mut rng = gen::seeded_rng(seed);
+    match *op {
+        TensorOp::Gemm { m, k, n } => KernelInput::Gemm {
+            a: Dense::random(m, k, &mut rng),
+            b: Dense::random(k, n, &mut rng),
+        },
+        TensorOp::Spmm { m, k, n, sparsity } => KernelInput::Spmm {
+            a: gen::skewed_sparse(m, k, sparsity, 1.5, &mut rng),
+            b: Dense::random(k, n, &mut rng),
+            mapping: Default::default(),
+        },
+        TensorOp::SpmmNm {
+            m,
+            k,
+            n,
+            n_of,
+            m_of,
+        } => KernelInput::SpmmNm {
+            a: gen::nm_sparse(m, k, n_of, m_of, &mut rng),
+            b: Dense::random(k, n, &mut rng),
+            n_of,
+            m_of,
+        },
+        TensorOp::SddmmUnstructured {
+            seq,
+            head_dim,
+            sparsity,
+        } => {
+            let q = Dense::random(seq, head_dim, &mut rng);
+            let kv = Dense::random(seq, head_dim, &mut rng);
+            KernelInput::Sddmm {
+                mask: gen::random_mask(seq, seq, sparsity, &mut rng),
+                q,
+                kv,
+                mapping: Default::default(),
+            }
+        }
+        TensorOp::SddmmWindow {
+            seq,
+            window,
+            head_dim,
+        } => KernelInput::Window {
+            wa: WindowAttention {
+                seq,
+                window,
+                head_dim,
+            },
+            seed,
+        },
+    }
+}
+
+/// The sparse operand of an SpMM-family op, drawn from the same stream
+/// prefix as [`kernel_input`] (A precedes B there), so the matrix is
+/// byte-identical to Canon's without paying for the unused dense operand.
+///
+/// # Panics
+///
+/// Panics on non-SpMM ops.
+fn sparse_operand(op: &TensorOp, seed: u64) -> CsrMatrix {
+    let mut rng = gen::seeded_rng(seed);
+    match *op {
+        TensorOp::Spmm { m, k, sparsity, .. } => gen::skewed_sparse(m, k, sparsity, 1.5, &mut rng),
+        TensorOp::SpmmNm {
+            m, k, n_of, m_of, ..
+        } => gen::nm_sparse(m, k, n_of, m_of, &mut rng),
+        _ => unreachable!("sparse_operand is only defined for SpMM families"),
+    }
+}
+
+/// The Canon simulator as a [`Backend`].
+#[derive(Debug, Clone, Default)]
+pub struct CanonBackend {
+    /// Fabric configuration (geometry, scratchpad depth, …).
+    pub cfg: CanonConfig,
+}
+
+impl CanonBackend {
+    /// Runs the workload and returns the full cycle report — for consumers
+    /// that need per-component activity (e.g. the Fig 11 power breakdown)
+    /// rather than the summarized [`RunRecord`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping/protocol failures as [`BackendError::Sim`].
+    pub fn run_report(&self, op: &TensorOp, seed: u64) -> Result<RunReport, BackendError> {
+        let input = kernel_input(op, seed);
+        Ok(kernels::run_kernel(&self.cfg, &input)?.report)
+    }
+}
+
+impl Backend for CanonBackend {
+    fn name(&self) -> &'static str {
+        Arch::Canon.label()
+    }
+
+    fn arch(&self) -> Arch {
+        Arch::Canon
+    }
+
+    fn supports(&self, _op: &TensorOp) -> bool {
+        // Canon executes every tensor workload family; shape constraints
+        // (e.g. K divisible by the row count) surface as Sim errors.
+        true
+    }
+
+    fn run(&self, op: &TensorOp, seed: u64) -> Result<RunRecord, BackendError> {
+        let report = self.run_report(op, seed)?;
+        Ok(RunRecord {
+            cycles: report.cycles,
+            energy_pj: canon_energy(&report).total_pj(),
+            useful_macs: op.useful_macs(),
+            utilization: report.compute_utilization(),
+        })
+    }
+}
+
+/// A baseline cycle model as a [`Backend`].
+#[derive(Debug, Clone)]
+pub struct BaselineBackend<A: Accelerator> {
+    arch: Arch,
+    acc: A,
+}
+
+impl<A: Accelerator> BaselineBackend<A> {
+    /// Wraps an accelerator model under its figure label.
+    pub fn new(arch: Arch, acc: A) -> BaselineBackend<A> {
+        BaselineBackend { arch, acc }
+    }
+}
+
+impl<A: Accelerator> Backend for BaselineBackend<A> {
+    fn name(&self) -> &'static str {
+        self.arch.label()
+    }
+
+    fn arch(&self) -> Arch {
+        self.arch
+    }
+
+    fn supports(&self, op: &TensorOp) -> bool {
+        self.acc.supports(op_kind(op))
+    }
+
+    fn run(&self, op: &TensorOp, seed: u64) -> Result<RunRecord, BackendError> {
+        if !self.supports(op) {
+            return Err(BackendError::Unsupported);
+        }
+        // Shape-only families skip materialization entirely; SpMM families
+        // draw just the sparse operand (the same stream prefix Canon sees —
+        // baselines never read the dense B); SDDMM needs the full stream,
+        // since the mask is drawn after Q/KV.
+        let run = match *op {
+            TensorOp::Gemm { m, k, n } => self.acc.gemm(m, k, n),
+            TensorOp::SddmmWindow {
+                seq,
+                window,
+                head_dim,
+            } => self.acc.window_attention(seq, window, head_dim),
+            TensorOp::Spmm { n, .. } => self.acc.spmm(&sparse_operand(op, seed), n),
+            TensorOp::SpmmNm { n, n_of, m_of, .. } => {
+                self.acc.spmm_nm(&sparse_operand(op, seed), n, n_of, m_of)
+            }
+            TensorOp::SddmmUnstructured { head_dim, .. } => match kernel_input(op, seed) {
+                KernelInput::Sddmm { mask, .. } => self.acc.sddmm(&mask, head_dim),
+                _ => unreachable!("kernel_input variant mismatch"),
+            },
+        }
+        .ok_or(BackendError::Unsupported)?;
+        Ok(RunRecord {
+            cycles: run.cycles,
+            energy_pj: baseline_energy(self.arch, &run).total_pj(),
+            useful_macs: op.useful_macs(),
+            utilization: run.utilization(),
+        })
+    }
+}
+
+/// All five backends in the figures' row order ([`Arch::all`]): systolic,
+/// 2:4 systolic, ZeD, CGRA, Canon. `cfg` parameterizes the Canon fabric;
+/// baselines are fixed 256-MAC models.
+pub fn all_backends(cfg: &CanonConfig) -> Vec<Box<dyn Backend + Send>> {
+    vec![
+        Box::new(BaselineBackend::new(
+            Arch::Systolic,
+            SystolicArray::default(),
+        )),
+        Box::new(BaselineBackend::new(
+            Arch::Systolic24,
+            SparseSystolic24::default(),
+        )),
+        Box::new(BaselineBackend::new(Arch::Zed, ZedAccelerator::default())),
+        Box::new(BaselineBackend::new(Arch::Cgra, Cgra::default())),
+        Box::new(CanonBackend { cfg: cfg.clone() }),
+    ]
+}
+
+/// The backend modelling `arch` at the given Canon fabric geometry.
+pub fn backend_for(
+    arch: Arch,
+    geometry: (usize, usize),
+    base_cfg: &CanonConfig,
+) -> Box<dyn Backend + Send> {
+    match arch {
+        Arch::Systolic => Box::new(BaselineBackend::new(
+            Arch::Systolic,
+            SystolicArray::default(),
+        )),
+        Arch::Systolic24 => Box::new(BaselineBackend::new(
+            Arch::Systolic24,
+            SparseSystolic24::default(),
+        )),
+        Arch::Zed => Box::new(BaselineBackend::new(Arch::Zed, ZedAccelerator::default())),
+        Arch::Cgra => Box::new(BaselineBackend::new(Arch::Cgra, Cgra::default())),
+        Arch::Canon => Box::new(CanonBackend {
+            cfg: CanonConfig {
+                rows: geometry.0,
+                cols: geometry.1,
+                ..base_cfg.clone()
+            },
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spmm_op() -> TensorOp {
+        TensorOp::Spmm {
+            m: 32,
+            k: 32,
+            n: 32,
+            sparsity: 0.6,
+        }
+    }
+
+    #[test]
+    fn all_backends_in_figure_order() {
+        let backends = all_backends(&CanonConfig::default());
+        let archs: Vec<Arch> = backends.iter().map(|b| b.arch()).collect();
+        assert_eq!(archs, Arch::all().to_vec());
+    }
+
+    #[test]
+    fn every_backend_runs_the_standard_families() {
+        let backends = all_backends(&CanonConfig::default());
+        let ops = [
+            TensorOp::Gemm {
+                m: 32,
+                k: 32,
+                n: 32,
+            },
+            spmm_op(),
+            TensorOp::SpmmNm {
+                m: 32,
+                k: 32,
+                n: 32,
+                n_of: 2,
+                m_of: 4,
+            },
+            TensorOp::SddmmUnstructured {
+                seq: 32,
+                head_dim: 32,
+                sparsity: 0.5,
+            },
+            TensorOp::SddmmWindow {
+                seq: 32,
+                window: 8,
+                head_dim: 32,
+            },
+        ];
+        for op in &ops {
+            for b in &backends {
+                assert!(b.supports(op), "{} should support {op:?}", b.name());
+                let rec = b
+                    .run(op, 9)
+                    .unwrap_or_else(|e| panic!("{} on {op:?}: {e}", b.name()));
+                assert!(rec.cycles > 0, "{} on {op:?}", b.name());
+                assert!(rec.energy_pj > 0.0, "{} on {op:?}", b.name());
+                assert!((0.0..=1.0).contains(&rec.utilization), "{}", b.name());
+            }
+        }
+    }
+
+    #[test]
+    fn identical_seed_identical_record() {
+        let canon = CanonBackend::default();
+        let a = canon.run(&spmm_op(), 11).unwrap();
+        let b = canon.run(&spmm_op(), 11).unwrap();
+        assert_eq!(a, b);
+        let c = canon.run(&spmm_op(), 12).unwrap();
+        assert_ne!(a.cycles, c.cycles);
+    }
+
+    #[test]
+    fn operands_shared_across_backends() {
+        // The sparse operand a baseline sees (drawn without the dense B)
+        // must equal Canon's from the full kernel_input stream.
+        for op in [
+            spmm_op(),
+            TensorOp::SpmmNm {
+                m: 32,
+                k: 32,
+                n: 32,
+                n_of: 2,
+                m_of: 4,
+            },
+        ] {
+            let baseline_a = sparse_operand(&op, 3);
+            match kernel_input(&op, 3) {
+                KernelInput::Spmm { a, .. } | KernelInput::SpmmNm { a, .. } => {
+                    assert_eq!(a, baseline_a, "{op:?}")
+                }
+                _ => panic!("wrong kernel input family"),
+            }
+        }
+    }
+
+    #[test]
+    fn canon_mapping_violation_is_sim_error() {
+        let canon = CanonBackend::default();
+        // K = 20 is not a multiple of the 8-row fabric.
+        let bad = TensorOp::Spmm {
+            m: 8,
+            k: 20,
+            n: 8,
+            sparsity: 0.5,
+        };
+        match canon.run(&bad, 1) {
+            Err(BackendError::Sim(_)) => {}
+            other => panic!("expected mapping error, got {other:?}"),
+        }
+    }
+}

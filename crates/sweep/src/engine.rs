@@ -1,0 +1,394 @@
+//! The parallel sweep driver.
+//!
+//! [`run_sweep`] fans a [`ScenarioGrid`] out over a work-stealing pool of
+//! `std` scoped threads: cells are dealt into per-worker deques in
+//! contiguous blocks, a worker drains its own deque from the front and
+//! steals from the back of its neighbours' when empty — cheap cells (cache
+//! probes, unsupported architectures, small shapes) never leave a thread
+//! idle while a large Canon simulation finishes elsewhere.
+//!
+//! Results are written back by *scenario index*, so the record order — and
+//! therefore the JSONL file the store rewrites — is byte-identical whatever
+//! the thread count or completion order. Cells whose content key is already
+//! in the [`ResultStore`] are never executed; the cache-hit count is
+//! reported in [`SweepStats`].
+
+use crate::backend::{backend_for, BackendError};
+use crate::scenario::{Scenario, ScenarioGrid};
+use crate::store::{cell_key, cfg_fingerprint, RecordStatus, ResultStore, StoredRecord};
+use canon_core::CanonConfig;
+use std::collections::VecDeque;
+use std::io;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Sweep execution options.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Worker-thread count (clamped to at least 1).
+    pub jobs: usize,
+    /// Base Canon configuration; per-scenario geometry overrides rows/cols.
+    pub base_cfg: CanonConfig,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            base_cfg: CanonConfig::default(),
+        }
+    }
+}
+
+/// Counters of one sweep invocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Grid cells in total.
+    pub total: usize,
+    /// Cells actually executed on a backend this run.
+    pub executed: usize,
+    /// Cells satisfied from the result store.
+    pub cache_hits: usize,
+    /// Cells whose architecture cannot run the workload.
+    pub unsupported: usize,
+    /// Cells rejected by a simulator (mapping violation, protocol error).
+    pub errors: usize,
+}
+
+/// A completed sweep: records in scenario order plus counters.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// One record per grid cell, in grid order.
+    pub records: Vec<StoredRecord>,
+    /// Execution counters.
+    pub stats: SweepStats,
+}
+
+fn record_for(scenario: &Scenario, key: String, opts: &SweepOptions) -> StoredRecord {
+    let backend = backend_for(scenario.arch, scenario.geometry, &opts.base_cfg);
+    let (status, cycles, energy_pj, useful_macs, utilization) = if !backend.supports(&scenario.op) {
+        (RecordStatus::Unsupported, 0, 0.0, 0, 0.0)
+    } else {
+        match backend.run(&scenario.op, scenario.seed) {
+            Ok(r) => (
+                RecordStatus::Ok,
+                r.cycles,
+                r.energy_pj,
+                r.useful_macs,
+                r.utilization,
+            ),
+            Err(BackendError::Unsupported) => (RecordStatus::Unsupported, 0, 0.0, 0, 0.0),
+            Err(BackendError::Sim(e)) => (RecordStatus::Error(e.to_string()), 0, 0.0, 0, 0.0),
+        }
+    };
+    StoredRecord {
+        key,
+        workload: scenario.workload.clone(),
+        arch: scenario.arch.label().to_string(),
+        band: scenario.band.map(|b| b.to_string()),
+        rows: scenario.geometry.0,
+        cols: scenario.geometry.1,
+        scale: scenario.scale,
+        seed: scenario.seed,
+        op: scenario.op_descriptor(),
+        status,
+        cycles,
+        energy_pj,
+        useful_macs,
+        utilization,
+    }
+}
+
+/// Runs the grid, consulting and then rewriting `store`.
+///
+/// Execution is skipped for every cell already present in the store under
+/// its content key. On return the store's backing file (if any) holds the
+/// complete sweep in grid order.
+///
+/// # Errors
+///
+/// Propagates store I/O errors. Per-cell simulator failures do not abort
+/// the sweep; they are recorded with an error status and counted in
+/// [`SweepStats::errors`].
+pub fn run_sweep(
+    grid: &ScenarioGrid,
+    store: &mut ResultStore,
+    opts: &SweepOptions,
+) -> io::Result<SweepOutcome> {
+    let fingerprint = cfg_fingerprint(&opts.base_cfg);
+    let keys: Vec<String> = grid
+        .scenarios
+        .iter()
+        .map(|s| cell_key(s, &fingerprint))
+        .collect();
+
+    let mut slots: Vec<Option<StoredRecord>> = grid
+        .scenarios
+        .iter()
+        .zip(&keys)
+        .map(|(_, key)| store.lookup(key).cloned())
+        .collect();
+    let misses: Vec<usize> = slots
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| s.is_none().then_some(i))
+        .collect();
+    let cache_hits = slots.len() - misses.len();
+
+    let jobs = opts.jobs.clamp(1, misses.len().max(1));
+    // Contiguous deal: worker w owns a block of neighbouring cells, which
+    // share operands and shapes, so stealing (from the back) tends to move
+    // whole foreign cells rather than interleave one cell's architectures.
+    let queues: Vec<Mutex<VecDeque<usize>>> = misses
+        .chunks(misses.len().div_ceil(jobs).max(1))
+        .map(|chunk| Mutex::new(chunk.iter().copied().collect()))
+        .collect();
+    let executed = AtomicUsize::new(0);
+
+    let computed: Vec<(usize, StoredRecord)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..queues.len())
+            .map(|w| {
+                let queues = &queues;
+                let keys = &keys;
+                let executed = &executed;
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        // Own deque first (front), then steal from the back
+                        // of the first non-empty victim. The own-queue guard
+                        // is dropped before any victim lock is taken.
+                        let own = queues[w].lock().unwrap().pop_front();
+                        let task = own.or_else(|| {
+                            (1..queues.len()).find_map(|d| {
+                                queues[(w + d) % queues.len()].lock().unwrap().pop_back()
+                            })
+                        });
+                        let Some(idx) = task else { break };
+                        let scenario = &grid.scenarios[idx];
+                        out.push((idx, record_for(scenario, keys[idx].clone(), opts)));
+                        executed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+
+    for (idx, rec) in computed {
+        store.insert(rec.clone());
+        slots[idx] = Some(rec);
+    }
+    let records: Vec<StoredRecord> = slots
+        .into_iter()
+        .map(|s| s.expect("every cell resolved"))
+        .collect();
+    // The file holds this grid in scenario order, then every other cached
+    // cell (other grids/scales/configurations) in key order — rewriting for
+    // one grid must not evict the rest of the cache.
+    let current: std::collections::HashSet<&str> = records.iter().map(|r| r.key.as_str()).collect();
+    let mut extras: Vec<&StoredRecord> = store
+        .records()
+        .filter(|r| !current.contains(r.key.as_str()))
+        .collect();
+    extras.sort_by(|a, b| a.key.cmp(&b.key));
+    let mut file_records = records.clone();
+    file_records.extend(extras.into_iter().cloned());
+    store.write_ordered(&file_records)?;
+
+    let stats = SweepStats {
+        total: records.len(),
+        executed: executed.load(Ordering::Relaxed),
+        cache_hits,
+        unsupported: records
+            .iter()
+            .filter(|r| r.status == RecordStatus::Unsupported)
+            .count(),
+        errors: records
+            .iter()
+            .filter(|r| matches!(r.status, RecordStatus::Error(_)))
+            .count(),
+    };
+    Ok(SweepOutcome { records, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{GridBuilder, OpTemplate};
+
+    fn tiny_grid() -> ScenarioGrid {
+        GridBuilder::new()
+            .workload(
+                "GEMM",
+                OpTemplate::Gemm {
+                    m: 32,
+                    k: 32,
+                    n: 32,
+                },
+            )
+            .workload(
+                "SpMM",
+                OpTemplate::Spmm {
+                    m: 32,
+                    k: 32,
+                    n: 32,
+                },
+            )
+            .bands(&[canon_sparse::gen::SparsityBand::S3])
+            .build()
+    }
+
+    #[test]
+    fn sweep_completes_and_orders_records() {
+        let grid = tiny_grid();
+        let mut store = ResultStore::in_memory();
+        let out = run_sweep(
+            &grid,
+            &mut store,
+            &SweepOptions {
+                jobs: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.records.len(), grid.scenarios.len());
+        assert_eq!(out.stats.executed, grid.scenarios.len());
+        assert_eq!(out.stats.cache_hits, 0);
+        for (rec, scenario) in out.records.iter().zip(&grid.scenarios) {
+            assert_eq!(rec.workload, scenario.workload);
+            assert_eq!(rec.arch, scenario.arch.label());
+            assert_eq!(
+                rec.status,
+                RecordStatus::Ok,
+                "{}/{}",
+                rec.workload,
+                rec.arch
+            );
+        }
+    }
+
+    #[test]
+    fn warm_store_skips_every_execution() {
+        let grid = tiny_grid();
+        let mut store = ResultStore::in_memory();
+        let first = run_sweep(
+            &grid,
+            &mut store,
+            &SweepOptions {
+                jobs: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let second = run_sweep(
+            &grid,
+            &mut store,
+            &SweepOptions {
+                jobs: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(second.stats.executed, 0);
+        assert_eq!(second.stats.cache_hits, grid.scenarios.len());
+        assert_eq!(second.records, first.records);
+    }
+
+    #[test]
+    fn jobs_do_not_change_results() {
+        let grid = tiny_grid();
+        let run = |jobs| {
+            let mut store = ResultStore::in_memory();
+            run_sweep(
+                &grid,
+                &mut store,
+                &SweepOptions {
+                    jobs,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+            .records
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn rewriting_for_one_grid_preserves_other_grids_cache() {
+        let grid_a = tiny_grid();
+        let grid_b = GridBuilder::new()
+            .workload(
+                "Win",
+                OpTemplate::Window {
+                    seq: 64,
+                    window_div: 8,
+                    head_dim: 32,
+                },
+            )
+            .build();
+        let path = std::env::temp_dir().join(format!(
+            "canon-sweep-crossgrid-{}.jsonl",
+            std::process::id()
+        ));
+        std::fs::remove_file(&path).ok();
+        let opts = SweepOptions {
+            jobs: 2,
+            ..Default::default()
+        };
+        let mut store = ResultStore::open(&path).unwrap();
+        run_sweep(&grid_a, &mut store, &opts).unwrap();
+        drop(store);
+        // Sweeping a different grid rewrites the file but must keep A's cells.
+        let mut store = ResultStore::open(&path).unwrap();
+        run_sweep(&grid_b, &mut store, &opts).unwrap();
+        drop(store);
+        let mut store = ResultStore::open(&path).unwrap();
+        assert_eq!(store.len(), grid_a.scenarios.len() + grid_b.scenarios.len());
+        let again = run_sweep(&grid_a, &mut store, &opts).unwrap();
+        assert_eq!(again.stats.executed, 0, "grid A must still be fully cached");
+        assert_eq!(again.stats.cache_hits, grid_a.scenarios.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sim_errors_are_recorded_not_fatal() {
+        // The builder rounds dimensions to mapping-friendly sizes, so force
+        // an invalid shape (K = 20 is not a multiple of the 8-row fabric)
+        // onto the expanded scenario directly.
+        let mut grid = GridBuilder::new()
+            .archs(&[canon_energy::Arch::Canon])
+            .workload(
+                "odd",
+                OpTemplate::Gemm {
+                    m: 32,
+                    k: 32,
+                    n: 32,
+                },
+            )
+            .build();
+        for s in &mut grid.scenarios {
+            s.op = canon_workloads::TensorOp::Spmm {
+                m: 8,
+                k: 20,
+                n: 8,
+                sparsity: 0.5,
+            };
+        }
+        let mut store = ResultStore::in_memory();
+        let out = run_sweep(
+            &grid,
+            &mut store,
+            &SweepOptions {
+                jobs: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.stats.errors, 1);
+        assert!(matches!(out.records[0].status, RecordStatus::Error(_)));
+    }
+}

@@ -1,0 +1,54 @@
+//! `canon-sweep` — a parallel scenario-sweep engine over every simulator in
+//! the workspace.
+//!
+//! The per-figure harness (`canon-bench`) runs one (architecture, workload)
+//! pair at a time on a single thread. This crate turns the workspace into a
+//! throughput-oriented evaluation service:
+//!
+//! * [`scenario`] — a declarative scenario grid (architecture × [`TensorOp`]
+//!   workload × sparsity band × fabric geometry × scale) with a builder API
+//!   and cartesian expansion;
+//! * [`backend`] — the [`Backend`](backend::Backend) trait: one uniform
+//!   `supports`/`run` interface implemented for Canon and the four baseline
+//!   simulators, replacing per-figure dispatch;
+//! * [`engine`] — a work-stealing thread-pool driver over `std` scoped
+//!   threads; output ordering is deterministic regardless of completion
+//!   order, so equal grids produce byte-identical result files at any
+//!   thread count;
+//! * [`store`] — a JSONL result store (hand-rolled serializer, no external
+//!   deps) keyed by a content hash of (scenario, configuration,
+//!   code-version salt), giving re-runs cache hits instead of simulations;
+//! * [`report`] — cross-backend speedup and EDP comparison tables built on
+//!   [`report::format_matrix`].
+//!
+//! # Example
+//!
+//! ```
+//! use canon_sweep::engine::{run_sweep, SweepOptions};
+//! use canon_sweep::report::speedup_table;
+//! use canon_sweep::scenario::ScenarioGrid;
+//! use canon_sweep::store::ResultStore;
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let grid = ScenarioGrid::standard(8); // 1/8-scale smoke grid
+//! let mut store = ResultStore::in_memory();
+//! let out = run_sweep(&grid, &mut store, &SweepOptions { jobs: 2, ..Default::default() })?;
+//! assert_eq!(out.stats.total, grid.scenarios.len());
+//! println!("{}", speedup_table(&out.records));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`TensorOp`]: canon_workloads::TensorOp
+
+pub mod backend;
+pub mod engine;
+pub mod report;
+pub mod scenario;
+pub mod store;
+
+pub use backend::{all_backends, Backend, BackendError, CanonBackend, RunRecord};
+pub use engine::{run_sweep, SweepOptions, SweepOutcome, SweepStats};
+pub use report::{edp_table, format_matrix, speedup_table};
+pub use scenario::{GridBuilder, OpTemplate, Scenario, ScenarioGrid, WorkloadSpec};
+pub use store::{ResultStore, StoredRecord};

@@ -1,0 +1,190 @@
+//! Cross-backend comparison tables over sweep records.
+//!
+//! [`format_matrix`] is the workspace's shared architecture × workload table
+//! renderer (re-exported by `canon-bench`, whose figures use it directly);
+//! [`speedup_table`] and [`edp_table`] assemble it from a sweep's
+//! [`StoredRecord`]s, normalizing each workload cell to Canon exactly like
+//! Figs 12–14.
+
+use crate::store::{RecordStatus, StoredRecord};
+use canon_energy::{edp, Arch};
+
+/// Formats a normalized-metric table: rows = architectures, columns =
+/// workloads; `None` renders as `X` (unsupported), as in Figs 12/13.
+pub fn format_matrix(
+    title: &str,
+    columns: &[String],
+    rows: &[(&'static str, Vec<Option<f64>>)],
+) -> String {
+    use std::fmt::Write as _;
+    // Keep the figures' classic 13-char columns, widening when a sweep
+    // label (band/scale/geometry suffixes) would otherwise run into its
+    // neighbour.
+    let width = columns
+        .iter()
+        .map(|c| c.len() + 2)
+        .max()
+        .unwrap_or(0)
+        .max(13);
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let _ = write!(out, "{:<14}", "arch");
+    for c in columns {
+        let _ = write!(out, "{c:>width$}");
+    }
+    let _ = writeln!(out);
+    for (name, vals) in rows {
+        let _ = write!(out, "{name:<14}");
+        for v in vals {
+            match v {
+                Some(x) => {
+                    let _ = write!(out, "{x:>width$.3}");
+                }
+                None => {
+                    let _ = write!(out, "{:>width$}", "X");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// One workload cell of a sweep: its label and the per-architecture records
+/// in [`Arch::all`] order (missing/unsupported → `None`).
+fn group_cells(records: &[StoredRecord]) -> Vec<(String, Vec<Option<&StoredRecord>>)> {
+    let arch_index = |label: &str| Arch::all().iter().position(|a| a.label() == label);
+    let mut cells: Vec<(String, Vec<Option<&StoredRecord>>)> = Vec::new();
+    for rec in records {
+        let label = rec.cell_label();
+        let entry = match cells.iter_mut().find(|(l, _)| *l == label) {
+            Some(e) => e,
+            None => {
+                cells.push((label, vec![None; Arch::all().len()]));
+                cells.last_mut().expect("just pushed")
+            }
+        };
+        if let Some(i) = arch_index(&rec.arch) {
+            if rec.status == RecordStatus::Ok {
+                entry.1[i] = Some(rec);
+            }
+        }
+    }
+    cells
+}
+
+fn normalized_table(
+    title: &str,
+    records: &[StoredRecord],
+    metric: impl Fn(&StoredRecord) -> f64,
+    invert: bool,
+) -> String {
+    let cells = group_cells(records);
+    let canon_idx = Arch::all()
+        .iter()
+        .position(|a| *a == Arch::Canon)
+        .expect("Canon is in Arch::all");
+    let columns: Vec<String> = cells.iter().map(|(l, _)| l.clone()).collect();
+    let rows: Vec<(&'static str, Vec<Option<f64>>)> = Arch::all()
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            let vals = cells
+                .iter()
+                .map(|(_, recs)| {
+                    let canon = metric(recs[canon_idx]?);
+                    let own = metric(recs[i]?);
+                    if own <= 0.0 || canon <= 0.0 {
+                        return None;
+                    }
+                    Some(if invert { canon / own } else { own / canon })
+                })
+                .collect();
+            (a.label(), vals)
+        })
+        .collect();
+    format_matrix(title, &columns, &rows)
+}
+
+/// Performance (cycles) of every architecture normalized to Canon — higher
+/// is better, Canon ≡ 1. Columns are workload cells in sweep order.
+pub fn speedup_table(records: &[StoredRecord]) -> String {
+    normalized_table(
+        "Sweep: performance normalized to Canon",
+        records,
+        |r| r.cycles as f64,
+        true,
+    )
+}
+
+/// Energy-delay product normalized to Canon — lower is better, Canon ≡ 1.
+pub fn edp_table(records: &[StoredRecord]) -> String {
+    normalized_table(
+        "Sweep: EDP normalized to Canon (lower is better)",
+        records,
+        |r| edp(r.energy_pj, r.cycles, 1e9),
+        false,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(workload: &str, arch: &str, cycles: u64, energy: f64, ok: bool) -> StoredRecord {
+        StoredRecord {
+            key: format!("{workload}-{arch}"),
+            workload: workload.into(),
+            arch: arch.into(),
+            band: None,
+            rows: 8,
+            cols: 8,
+            scale: 1,
+            seed: 0,
+            op: "gemm(m=1,k=1,n=1)".into(),
+            status: if ok {
+                RecordStatus::Ok
+            } else {
+                RecordStatus::Unsupported
+            },
+            cycles,
+            energy_pj: energy,
+            useful_macs: 1,
+            utilization: 0.5,
+        }
+    }
+
+    #[test]
+    fn speedup_normalizes_to_canon() {
+        let records = vec![
+            rec("W", "Systolic", 200, 10.0, true),
+            rec("W", "Canon", 100, 10.0, true),
+        ];
+        let t = speedup_table(&records);
+        assert!(t.contains("W"));
+        // Canon row shows 1.000, systolic shows 0.500 (twice the cycles).
+        assert!(t.contains("1.000"), "{t}");
+        assert!(t.contains("0.500"), "{t}");
+    }
+
+    #[test]
+    fn unsupported_renders_as_x() {
+        let records = vec![
+            rec("W", "Systolic", 200, 10.0, false),
+            rec("W", "Canon", 100, 10.0, true),
+        ];
+        let t = edp_table(&records);
+        assert!(t.contains('X'), "{t}");
+    }
+
+    #[test]
+    fn matrix_formatting_renders_x() {
+        let s = format_matrix(
+            "t",
+            &["a".into(), "b".into()],
+            &[("canon", vec![Some(1.0), None])],
+        );
+        assert!(s.contains('X'));
+        assert!(s.contains("1.000"));
+    }
+}

@@ -1,0 +1,571 @@
+//! Declarative scenario grids.
+//!
+//! A [`Scenario`] is one fully-specified cell: an architecture running one
+//! concrete [`TensorOp`] at a fabric geometry and problem scale. Grids are
+//! described declaratively through [`GridBuilder`] — shape *templates*
+//! crossed with sparsity bands, scales, geometries, and architectures — and
+//! expanded cartesianly into a deterministic scenario order, which is also
+//! the order of every result file and report column the sweep produces.
+
+use canon_energy::Arch;
+use canon_sparse::gen::SparsityBand;
+use canon_workloads::{round_dim, TensorOp};
+
+/// A workload shape template at full scale. Dimensions are divided by the
+/// grid's scale divisor and rounded to mapping-friendly multiples of 32
+/// (via [`round_dim`]) at expansion time; sparsity comes from the grid's
+/// band axis where the template is band-sensitive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OpTemplate {
+    /// Dense GEMM (band-insensitive).
+    Gemm {
+        /// Output rows at full scale.
+        m: usize,
+        /// Contraction length at full scale.
+        k: usize,
+        /// Output columns at full scale.
+        n: usize,
+    },
+    /// Unstructured SpMM; sparsity from the band axis.
+    Spmm {
+        /// Output rows at full scale.
+        m: usize,
+        /// Contraction length at full scale.
+        k: usize,
+        /// Output columns at full scale.
+        n: usize,
+    },
+    /// N:M structured SpMM (band-insensitive — sparsity is `1 - n/m`).
+    SpmmNm {
+        /// Output rows at full scale.
+        m: usize,
+        /// Contraction length at full scale.
+        k: usize,
+        /// Output columns at full scale.
+        n: usize,
+        /// Non-zeros kept per group.
+        n_of: usize,
+        /// Group size.
+        m_of: usize,
+    },
+    /// Unstructured SDDMM; mask sparsity from the band axis.
+    Sddmm {
+        /// Sequence length at full scale.
+        seq: usize,
+        /// Head dimension at full scale.
+        head_dim: usize,
+    },
+    /// Sliding-window SDDMM with `window = seq / window_div`
+    /// (band-insensitive — the band is the structural window).
+    Window {
+        /// Sequence length at full scale.
+        seq: usize,
+        /// Window divisor (Longformer ≈ 8, Mistral ≈ 4).
+        window_div: usize,
+        /// Head dimension at full scale.
+        head_dim: usize,
+    },
+}
+
+impl OpTemplate {
+    /// Whether the sparsity-band axis changes this template's workload.
+    pub fn band_sensitive(&self) -> bool {
+        matches!(self, OpTemplate::Spmm { .. } | OpTemplate::Sddmm { .. })
+    }
+
+    /// Instantiates the concrete op at a scale divisor and optional band.
+    pub fn instantiate(&self, band: Option<SparsityBand>, scale: usize) -> TensorOp {
+        let d = |raw: usize| round_dim(raw, scale);
+        let sparsity = band.unwrap_or(SparsityBand::S2).representative();
+        match *self {
+            OpTemplate::Gemm { m, k, n } => TensorOp::Gemm {
+                m: d(m),
+                k: d(k),
+                n: d(n),
+            },
+            OpTemplate::Spmm { m, k, n } => TensorOp::Spmm {
+                m: d(m),
+                k: d(k),
+                n: d(n),
+                sparsity,
+            },
+            OpTemplate::SpmmNm {
+                m,
+                k,
+                n,
+                n_of,
+                m_of,
+            } => TensorOp::SpmmNm {
+                m: d(m),
+                k: d(k),
+                n: d(n),
+                n_of,
+                m_of,
+            },
+            OpTemplate::Sddmm { seq, head_dim } => TensorOp::SddmmUnstructured {
+                seq: d(seq),
+                head_dim: d(head_dim),
+                sparsity,
+            },
+            OpTemplate::Window {
+                seq,
+                window_div,
+                head_dim,
+            } => {
+                let seq = d(seq);
+                TensorOp::SddmmWindow {
+                    seq,
+                    window: (seq / window_div.max(1)).max(2),
+                    head_dim: d(head_dim),
+                }
+            }
+        }
+    }
+}
+
+/// A named workload template — one logical column family of the grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Display name ("GEMM", "SpMM", …); band and scale suffixes are
+    /// appended per cell.
+    pub name: String,
+    /// The shape template.
+    pub template: OpTemplate,
+}
+
+/// One fully-expanded grid cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Workload family name.
+    pub workload: String,
+    /// The concrete tensor operation.
+    pub op: TensorOp,
+    /// Sparsity band (`None` for band-insensitive workloads).
+    pub band: Option<SparsityBand>,
+    /// Canon fabric geometry `(rows, cols)`; baselines always run their
+    /// fixed 256-MAC configuration and carry the default geometry.
+    pub geometry: (usize, usize),
+    /// Scale divisor the shapes were instantiated at.
+    pub scale: usize,
+    /// The architecture executing this cell.
+    pub arch: Arch,
+    /// Operand-generation seed — shared by every architecture of the same
+    /// cell so all backends see identical operands.
+    pub seed: u64,
+}
+
+/// The one definition of a workload cell's display label (name, band,
+/// scale, non-default geometry) — grids and stored records must agree on
+/// it, since reports group records back into cells by this string.
+pub fn cell_label_for(
+    workload: &str,
+    band: Option<&str>,
+    scale: usize,
+    geometry: (usize, usize),
+) -> String {
+    let mut label = workload.to_string();
+    if let Some(b) = band {
+        label.push_str(&format!("-{b}"));
+    }
+    if scale != 1 {
+        label.push_str(&format!("/s{scale}"));
+    }
+    if geometry != (8, 8) {
+        label.push_str(&format!("@{}x{}", geometry.0, geometry.1));
+    }
+    label
+}
+
+impl Scenario {
+    /// Label of the workload cell this scenario belongs to (shared across
+    /// architectures): name, band, scale, and non-default geometry.
+    pub fn cell_label(&self) -> String {
+        let band = self.band.map(|b| b.to_string());
+        cell_label_for(&self.workload, band.as_deref(), self.scale, self.geometry)
+    }
+
+    /// Canonical single-line description of the concrete op — part of the
+    /// cache key and of the stored record.
+    pub fn op_descriptor(&self) -> String {
+        match self.op {
+            TensorOp::Gemm { m, k, n } => format!("gemm(m={m},k={k},n={n})"),
+            TensorOp::Spmm { m, k, n, sparsity } => {
+                format!("spmm(m={m},k={k},n={n},sp={sparsity})")
+            }
+            TensorOp::SpmmNm {
+                m,
+                k,
+                n,
+                n_of,
+                m_of,
+            } => {
+                format!("spmm_nm(m={m},k={k},n={n},{n_of}:{m_of})")
+            }
+            TensorOp::SddmmUnstructured {
+                seq,
+                head_dim,
+                sparsity,
+            } => format!("sddmm(seq={seq},h={head_dim},sp={sparsity})"),
+            TensorOp::SddmmWindow {
+                seq,
+                window,
+                head_dim,
+            } => format!("window(seq={seq},w={window},h={head_dim})"),
+        }
+    }
+
+    /// The canonical key material of this cell (scenario side; the store
+    /// appends the configuration fingerprint and code-version salt).
+    pub fn canonical(&self) -> String {
+        format!(
+            "workload={};op={};band={};geom={}x{};scale={};arch={};seed={}",
+            self.workload,
+            self.op_descriptor(),
+            self.band.map_or_else(|| "-".into(), |b| b.to_string()),
+            self.geometry.0,
+            self.geometry.1,
+            self.scale,
+            self.arch.label(),
+            self.seed,
+        )
+    }
+}
+
+/// An expanded grid: scenarios in deterministic cartesian order
+/// (workload-major, then band, scale, geometry, and architecture innermost).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioGrid {
+    /// The expanded scenarios.
+    pub scenarios: Vec<Scenario>,
+}
+
+impl ScenarioGrid {
+    /// Starts an empty builder (all architectures, all bands, the default
+    /// 8×8 geometry, scale divisor 1).
+    pub fn builder() -> GridBuilder {
+        GridBuilder::new()
+    }
+
+    /// The standard multi-backend grid mirroring the Figs 12/13 tensor
+    /// columns: GEMM, banded SpMM, 2:4 / 2:8 structured SpMM, banded SDDMM,
+    /// and the two window-attention shapes, across all five architectures.
+    ///
+    /// `scale` is the shape divisor (1 = full scale, 4 ≈ smoke).
+    pub fn standard(scale: usize) -> ScenarioGrid {
+        let mut b = GridBuilder::new().scales(&[scale]);
+        for w in standard_workloads() {
+            b = b.workload(&w.name, w.template);
+        }
+        b.build()
+    }
+
+    /// Number of distinct workload cells (scenario count / architectures).
+    pub fn cell_count(&self) -> usize {
+        let mut labels: Vec<String> = self.scenarios.iter().map(Scenario::cell_label).collect();
+        labels.dedup();
+        labels.len()
+    }
+}
+
+/// The workload templates of [`ScenarioGrid::standard`].
+pub fn standard_workloads() -> Vec<WorkloadSpec> {
+    let spec = |name: &str, template| WorkloadSpec {
+        name: name.into(),
+        template,
+    };
+    vec![
+        spec(
+            "GEMM",
+            OpTemplate::Gemm {
+                m: 256,
+                k: 256,
+                n: 128,
+            },
+        ),
+        spec(
+            "SpMM",
+            OpTemplate::Spmm {
+                m: 256,
+                k: 256,
+                n: 128,
+            },
+        ),
+        spec(
+            "SpMM-2:4",
+            OpTemplate::SpmmNm {
+                m: 256,
+                k: 256,
+                n: 128,
+                n_of: 2,
+                m_of: 4,
+            },
+        ),
+        spec(
+            "SpMM-2:8",
+            OpTemplate::SpmmNm {
+                m: 256,
+                k: 256,
+                n: 128,
+                n_of: 2,
+                m_of: 8,
+            },
+        ),
+        spec(
+            "SDDMM",
+            OpTemplate::Sddmm {
+                seq: 128,
+                head_dim: 64,
+            },
+        ),
+        spec(
+            "SDDMM-Win1",
+            OpTemplate::Window {
+                seq: 256,
+                window_div: 8,
+                head_dim: 64,
+            },
+        ),
+        spec(
+            "SDDMM-Win2",
+            OpTemplate::Window {
+                seq: 512,
+                window_div: 4,
+                head_dim: 128,
+            },
+        ),
+    ]
+}
+
+/// Builder for [`ScenarioGrid`] — each axis defaults to the evaluation's
+/// standard setting and can be overridden before [`GridBuilder::build`].
+#[derive(Debug, Clone)]
+pub struct GridBuilder {
+    archs: Vec<Arch>,
+    workloads: Vec<WorkloadSpec>,
+    bands: Vec<SparsityBand>,
+    geometries: Vec<(usize, usize)>,
+    scales: Vec<usize>,
+    base_seed: u64,
+}
+
+impl Default for GridBuilder {
+    fn default() -> Self {
+        GridBuilder::new()
+    }
+}
+
+impl GridBuilder {
+    /// Creates a builder with the default axes: all five architectures, all
+    /// three sparsity bands, the 8×8 geometry, scale divisor 1.
+    pub fn new() -> GridBuilder {
+        GridBuilder {
+            archs: Arch::all().to_vec(),
+            workloads: Vec::new(),
+            bands: SparsityBand::all().to_vec(),
+            geometries: vec![(8, 8)],
+            scales: vec![1],
+            base_seed: 0xCA50_0001,
+        }
+    }
+
+    /// Restricts the architecture axis.
+    pub fn archs(mut self, archs: &[Arch]) -> GridBuilder {
+        self.archs = archs.to_vec();
+        self
+    }
+
+    /// Adds one workload template.
+    pub fn workload(mut self, name: &str, template: OpTemplate) -> GridBuilder {
+        self.workloads.push(WorkloadSpec {
+            name: name.into(),
+            template,
+        });
+        self
+    }
+
+    /// Sets the sparsity-band axis (applied to band-sensitive templates).
+    pub fn bands(mut self, bands: &[SparsityBand]) -> GridBuilder {
+        self.bands = bands.to_vec();
+        self
+    }
+
+    /// Sets the Canon fabric geometries. Baselines are fixed-geometry
+    /// models, so geometry expansion applies to Canon cells only.
+    pub fn geometries(mut self, geometries: &[(usize, usize)]) -> GridBuilder {
+        self.geometries = geometries.to_vec();
+        self
+    }
+
+    /// Sets the scale-divisor axis.
+    pub fn scales(mut self, scales: &[usize]) -> GridBuilder {
+        self.scales = scales.to_vec();
+        self
+    }
+
+    /// Sets the base seed the per-cell operand seeds derive from.
+    pub fn seed(mut self, seed: u64) -> GridBuilder {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Expands the cartesian product into a deterministic scenario order.
+    pub fn build(self) -> ScenarioGrid {
+        let mut scenarios = Vec::new();
+        let bands_of = |w: &WorkloadSpec| -> Vec<Option<SparsityBand>> {
+            if w.template.band_sensitive() && !self.bands.is_empty() {
+                self.bands.iter().copied().map(Some).collect()
+            } else {
+                vec![None]
+            }
+        };
+        for w in &self.workloads {
+            for band in bands_of(w) {
+                for &scale in &self.scales {
+                    let op = w.template.instantiate(band, scale.max(1));
+                    let seed = cell_seed(self.base_seed, &w.name, band, scale);
+                    for (gi, &geometry) in self.geometries.iter().enumerate() {
+                        for &arch in &self.archs {
+                            // Baselines don't have a geometry axis: emit
+                            // them once (at the first geometry, recorded as
+                            // the default 8×8) to avoid duplicate cells.
+                            if arch != Arch::Canon && gi > 0 {
+                                continue;
+                            }
+                            let geometry = if arch == Arch::Canon {
+                                geometry
+                            } else {
+                                (8, 8)
+                            };
+                            scenarios.push(Scenario {
+                                workload: w.name.clone(),
+                                op,
+                                band,
+                                geometry,
+                                scale: scale.max(1),
+                                arch,
+                                seed,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        ScenarioGrid { scenarios }
+    }
+}
+
+/// Operand seed of one workload cell: identical across architectures and
+/// geometries so every backend sees the same inputs.
+fn cell_seed(base: u64, workload: &str, band: Option<SparsityBand>, scale: usize) -> u64 {
+    let material = format!(
+        "{base}:{workload}:{}:{scale}",
+        band.map_or_else(|| "-".into(), |b| b.to_string())
+    );
+    crate::store::fnv1a64(material.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_is_deterministic_and_complete() {
+        let g1 = ScenarioGrid::standard(4);
+        let g2 = ScenarioGrid::standard(4);
+        assert_eq!(g1, g2);
+        // 7 templates -> 11 cells (SpMM and SDDMM fan out over 3 bands),
+        // each with all 5 architectures.
+        assert_eq!(g1.cell_count(), 11);
+        assert_eq!(g1.scenarios.len(), 55);
+    }
+
+    #[test]
+    fn seeds_shared_within_a_cell_and_distinct_across() {
+        let g = ScenarioGrid::standard(4);
+        let gemm: Vec<&Scenario> = g
+            .scenarios
+            .iter()
+            .filter(|s| s.workload == "GEMM")
+            .collect();
+        assert_eq!(gemm.len(), 5);
+        assert!(gemm.iter().all(|s| s.seed == gemm[0].seed));
+        let spmm_s1 = g
+            .scenarios
+            .iter()
+            .find(|s| s.workload == "SpMM" && s.band == Some(SparsityBand::S1))
+            .unwrap();
+        let spmm_s3 = g
+            .scenarios
+            .iter()
+            .find(|s| s.workload == "SpMM" && s.band == Some(SparsityBand::S3))
+            .unwrap();
+        assert_ne!(spmm_s1.seed, spmm_s3.seed);
+    }
+
+    #[test]
+    fn band_insensitive_templates_do_not_fan_out() {
+        let grid = GridBuilder::new()
+            .workload(
+                "GEMM",
+                OpTemplate::Gemm {
+                    m: 64,
+                    k: 64,
+                    n: 64,
+                },
+            )
+            .build();
+        assert_eq!(grid.scenarios.len(), 5);
+        assert!(grid.scenarios.iter().all(|s| s.band.is_none()));
+    }
+
+    #[test]
+    fn geometry_axis_applies_to_canon_only() {
+        let grid = GridBuilder::new()
+            .workload(
+                "GEMM",
+                OpTemplate::Gemm {
+                    m: 64,
+                    k: 64,
+                    n: 64,
+                },
+            )
+            .geometries(&[(8, 8), (16, 16)])
+            .build();
+        // 5 archs at the first geometry + 1 extra Canon cell at 16x16.
+        assert_eq!(grid.scenarios.len(), 6);
+        let canon16 = grid
+            .scenarios
+            .iter()
+            .filter(|s| s.geometry == (16, 16))
+            .collect::<Vec<_>>();
+        assert_eq!(canon16.len(), 1);
+        assert_eq!(canon16[0].arch, Arch::Canon);
+    }
+
+    #[test]
+    fn instantiation_rounds_to_mapping_friendly_dims() {
+        let op = OpTemplate::Spmm {
+            m: 100,
+            k: 200,
+            n: 60,
+        }
+        .instantiate(Some(SparsityBand::S3), 2);
+        match op {
+            TensorOp::Spmm { m, k, n, sparsity } => {
+                assert_eq!(m % 32, 0);
+                assert_eq!(k % 32, 0);
+                assert_eq!(n % 32, 0);
+                assert!((sparsity - 0.80).abs() < 1e-12);
+            }
+            other => panic!("wrong op {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cell_labels_encode_axes() {
+        let g = ScenarioGrid::standard(4);
+        let labels: Vec<String> = g.scenarios.iter().map(|s| s.cell_label()).collect();
+        assert!(labels.iter().any(|l| l == "SpMM-S2/s4"));
+        assert!(labels.iter().any(|l| l == "GEMM/s4"));
+    }
+}

@@ -1,0 +1,529 @@
+//! JSONL result store with content-hash run caching.
+//!
+//! Every sweep cell is persisted as one JSON object per line, keyed by an
+//! FNV-1a content hash of (scenario, Canon configuration fingerprint,
+//! code-version salt). Re-running a sweep against an existing store skips
+//! every cell whose key is already present — change a shape, a band, the
+//! configuration, or bump [`CODE_SALT`], and exactly the affected cells
+//! recompute.
+//!
+//! Serialization is hand-rolled (the build environment has no registry
+//! access, and the schema is a flat record): [`StoredRecord::to_line`]
+//! writes a canonical line, [`StoredRecord::parse`] reads it back. Cached
+//! records re-emit their original line verbatim, so a warm re-run produces
+//! a byte-identical file.
+
+use crate::scenario::Scenario;
+use canon_core::CanonConfig;
+use std::collections::HashMap;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Bump when a simulator or energy-model change invalidates stored results.
+pub const CODE_SALT: &str = "canon-sweep-v1";
+
+/// Stored-record schema version.
+pub const STORE_SCHEMA: u32 = 1;
+
+/// 64-bit FNV-1a.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Stable fingerprint of the Canon configuration fields that affect results.
+/// The watchdog budget is included because a raised budget can turn a
+/// deadlock-aborted cell into a completed one — such cells must miss.
+pub fn cfg_fingerprint(cfg: &CanonConfig) -> String {
+    format!(
+        "dmem={};spad={};pipe={};fifo={};msg={}x{};bw={};wd={}+{}",
+        cfg.dmem_words,
+        cfg.spad_entries,
+        cfg.pipe_depth,
+        cfg.link_fifo_depth,
+        cfg.orch_msg_latency,
+        cfg.orch_msg_capacity,
+        cfg.offchip_bytes_per_cycle,
+        cfg.watchdog_factor,
+        cfg.watchdog_slack,
+    )
+}
+
+/// The cache key of one cell: scenario canonical form + configuration
+/// fingerprint + code salt, FNV-1a hashed, as 16 hex digits.
+pub fn cell_key(scenario: &Scenario, fingerprint: &str) -> String {
+    let material = format!("{CODE_SALT};{fingerprint};{}", scenario.canonical());
+    format!("{:016x}", fnv1a64(material.as_bytes()))
+}
+
+/// Execution status of a stored cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordStatus {
+    /// The backend produced metrics.
+    Ok,
+    /// The architecture cannot run the workload (the figures' `X`).
+    Unsupported,
+    /// The simulator rejected the cell (mapping violation, protocol error).
+    Error(String),
+}
+
+impl RecordStatus {
+    fn as_str(&self) -> &str {
+        match self {
+            RecordStatus::Ok => "ok",
+            RecordStatus::Unsupported => "unsupported",
+            RecordStatus::Error(_) => "error",
+        }
+    }
+}
+
+/// One persisted sweep cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredRecord {
+    /// Content-hash cache key (16 hex digits).
+    pub key: String,
+    /// Workload family name.
+    pub workload: String,
+    /// Architecture label.
+    pub arch: String,
+    /// Sparsity band label, if the workload is band-sensitive.
+    pub band: Option<String>,
+    /// Canon fabric rows.
+    pub rows: usize,
+    /// Canon fabric columns.
+    pub cols: usize,
+    /// Scale divisor.
+    pub scale: usize,
+    /// Operand seed.
+    pub seed: u64,
+    /// Concrete op descriptor.
+    pub op: String,
+    /// Execution status.
+    pub status: RecordStatus,
+    /// Total cycles (0 unless `status == Ok`).
+    pub cycles: u64,
+    /// Total energy in pJ (0 unless `status == Ok`).
+    pub energy_pj: f64,
+    /// Useful scalar MACs.
+    pub useful_macs: u64,
+    /// Effective compute utilization.
+    pub utilization: f64,
+}
+
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+impl StoredRecord {
+    /// Serializes to one canonical JSONL line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut s = String::with_capacity(256);
+        let field_str = |s: &mut String, name: &str, v: &str| {
+            s.push('"');
+            s.push_str(name);
+            s.push_str("\":\"");
+            escape_json(v, s);
+            s.push('"');
+        };
+        s.push('{');
+        field_str(&mut s, "key", &self.key);
+        s.push_str(&format!(",\"schema\":{STORE_SCHEMA},"));
+        field_str(&mut s, "workload", &self.workload);
+        s.push(',');
+        field_str(&mut s, "arch", &self.arch);
+        s.push(',');
+        match &self.band {
+            Some(b) => field_str(&mut s, "band", b),
+            None => s.push_str("\"band\":null"),
+        }
+        s.push_str(&format!(
+            ",\"rows\":{},\"cols\":{},\"scale\":{},\"seed\":{},",
+            self.rows, self.cols, self.scale, self.seed
+        ));
+        field_str(&mut s, "op", &self.op);
+        s.push(',');
+        field_str(&mut s, "status", self.status.as_str());
+        if let RecordStatus::Error(reason) = &self.status {
+            s.push(',');
+            field_str(&mut s, "reason", reason);
+        }
+        s.push_str(&format!(
+            ",\"cycles\":{},\"energy_pj\":{},\"useful_macs\":{},\"utilization\":{}}}",
+            self.cycles, self.energy_pj, self.useful_macs, self.utilization
+        ));
+        s
+    }
+
+    /// Label of the workload cell this record belongs to — the same format
+    /// grids use ([`crate::scenario::cell_label_for`]), so reports group
+    /// records into exactly the grid's cells.
+    pub fn cell_label(&self) -> String {
+        crate::scenario::cell_label_for(
+            &self.workload,
+            self.band.as_deref(),
+            self.scale,
+            (self.rows, self.cols),
+        )
+    }
+
+    /// Parses one JSONL line; `None` if malformed or wrong schema.
+    pub fn parse(line: &str) -> Option<StoredRecord> {
+        let fields = parse_flat_object(line)?;
+        let get_str = |k: &str| -> Option<String> {
+            match fields.get(k)? {
+                JsonVal::Str(s) => Some(s.clone()),
+                _ => None,
+            }
+        };
+        let get_u64 = |k: &str| -> Option<u64> {
+            match fields.get(k)? {
+                JsonVal::Num(raw) => raw.parse().ok(),
+                _ => None,
+            }
+        };
+        let get_f64 = |k: &str| -> Option<f64> {
+            match fields.get(k)? {
+                JsonVal::Num(raw) => raw.parse().ok(),
+                _ => None,
+            }
+        };
+        if get_u64("schema")? != STORE_SCHEMA as u64 {
+            return None;
+        }
+        let status = match get_str("status")?.as_str() {
+            "ok" => RecordStatus::Ok,
+            "unsupported" => RecordStatus::Unsupported,
+            "error" => RecordStatus::Error(get_str("reason").unwrap_or_default()),
+            _ => return None,
+        };
+        Some(StoredRecord {
+            key: get_str("key")?,
+            workload: get_str("workload")?,
+            arch: get_str("arch")?,
+            band: match fields.get("band")? {
+                JsonVal::Str(s) => Some(s.clone()),
+                JsonVal::Null => None,
+                _ => return None,
+            },
+            rows: get_u64("rows")? as usize,
+            cols: get_u64("cols")? as usize,
+            scale: get_u64("scale")? as usize,
+            seed: get_u64("seed")?,
+            op: get_str("op")?,
+            status,
+            cycles: get_u64("cycles")?,
+            energy_pj: get_f64("energy_pj")?,
+            useful_macs: get_u64("useful_macs")?,
+            utilization: get_f64("utilization")?,
+        })
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum JsonVal {
+    Str(String),
+    Num(String),
+    Bool(bool),
+    Null,
+}
+
+/// Parses a flat (non-nested) JSON object into its fields.
+fn parse_flat_object(line: &str) -> Option<HashMap<String, JsonVal>> {
+    let mut chars = line.trim().chars().peekable();
+    if chars.next()? != '{' {
+        return None;
+    }
+    let mut fields = HashMap::new();
+    loop {
+        match chars.peek()? {
+            '}' => {
+                chars.next();
+                break;
+            }
+            ',' | ' ' => {
+                chars.next();
+            }
+            '"' => {
+                let name = parse_string(&mut chars)?;
+                if chars.next()? != ':' {
+                    return None;
+                }
+                let val = match chars.peek()? {
+                    '"' => JsonVal::Str(parse_string(&mut chars)?),
+                    't' => {
+                        for expect in "true".chars() {
+                            if chars.next()? != expect {
+                                return None;
+                            }
+                        }
+                        JsonVal::Bool(true)
+                    }
+                    'f' => {
+                        for expect in "false".chars() {
+                            if chars.next()? != expect {
+                                return None;
+                            }
+                        }
+                        JsonVal::Bool(false)
+                    }
+                    'n' => {
+                        for expect in "null".chars() {
+                            if chars.next()? != expect {
+                                return None;
+                            }
+                        }
+                        JsonVal::Null
+                    }
+                    _ => {
+                        let mut raw = String::new();
+                        while matches!(
+                            chars.peek(),
+                            Some(c) if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')
+                        ) {
+                            raw.push(chars.next()?);
+                        }
+                        if raw.is_empty() {
+                            return None;
+                        }
+                        JsonVal::Num(raw)
+                    }
+                };
+                fields.insert(name, val);
+            }
+            _ => return None,
+        }
+    }
+    Some(fields)
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<String> {
+    if chars.next()? != '"' {
+        return None;
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        code = code * 16 + chars.next()?.to_digit(16)?;
+                    }
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+/// A JSONL result store: an on-disk cache of computed cells plus the sink
+/// the engine writes complete sweeps to.
+#[derive(Debug)]
+pub struct ResultStore {
+    path: Option<PathBuf>,
+    by_key: HashMap<String, StoredRecord>,
+}
+
+impl ResultStore {
+    /// Opens (and loads, if present) the store at `path`. Malformed lines
+    /// are skipped so a truncated file degrades to extra cache misses, not
+    /// a failed sweep.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than the file not existing.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<ResultStore> {
+        let path = path.as_ref().to_path_buf();
+        let mut by_key = HashMap::new();
+        match std::fs::read_to_string(&path) {
+            Ok(content) => {
+                for line in content.lines().filter(|l| !l.trim().is_empty()) {
+                    if let Some(rec) = StoredRecord::parse(line) {
+                        by_key.insert(rec.key.clone(), rec);
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        Ok(ResultStore {
+            path: Some(path),
+            by_key,
+        })
+    }
+
+    /// A store with no backing file (results are kept in memory only).
+    pub fn in_memory() -> ResultStore {
+        ResultStore {
+            path: None,
+            by_key: HashMap::new(),
+        }
+    }
+
+    /// The backing file, if any.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Number of cached records.
+    pub fn len(&self) -> usize {
+        self.by_key.len()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.by_key.is_empty()
+    }
+
+    /// Cached record for `key`, if present.
+    pub fn lookup(&self, key: &str) -> Option<&StoredRecord> {
+        self.by_key.get(key)
+    }
+
+    /// All cached records, in unspecified order.
+    pub fn records(&self) -> impl Iterator<Item = &StoredRecord> {
+        self.by_key.values()
+    }
+
+    /// Inserts (or replaces) a record in the in-memory cache.
+    pub fn insert(&mut self, rec: StoredRecord) {
+        self.by_key.insert(rec.key.clone(), rec);
+    }
+
+    /// Rewrites the backing file with `records` in the given order — the
+    /// engine calls this with the full sweep in scenario order, making the
+    /// file layout independent of completion order and thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file I/O errors; an in-memory store writes nothing.
+    pub fn write_ordered(&self, records: &[StoredRecord]) -> io::Result<()> {
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        for rec in records {
+            f.write_all(rec.to_line().as_bytes())?;
+            f.write_all(b"\n")?;
+        }
+        f.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioGrid;
+
+    fn sample_record(status: RecordStatus) -> StoredRecord {
+        StoredRecord {
+            key: "00ff00ff00ff00ff".into(),
+            workload: "SpMM".into(),
+            arch: "ZeD".into(),
+            band: Some("S2".into()),
+            rows: 8,
+            cols: 8,
+            scale: 4,
+            seed: 42,
+            op: "spmm(m=64,k=64,n=32,sp=0.45)".into(),
+            status,
+            cycles: 1234,
+            energy_pj: 5678.25,
+            useful_macs: 1000,
+            utilization: 0.4375,
+        }
+    }
+
+    #[test]
+    fn roundtrip_ok_record() {
+        let rec = sample_record(RecordStatus::Ok);
+        let line = rec.to_line();
+        let back = StoredRecord::parse(&line).expect("parses");
+        assert_eq!(back, rec);
+        // Canonical form is stable through a parse/serialize cycle.
+        assert_eq!(back.to_line(), line);
+    }
+
+    #[test]
+    fn roundtrip_error_and_unsupported() {
+        for status in [
+            RecordStatus::Unsupported,
+            RecordStatus::Error("mapping error: K = 20 \"bad\"".into()),
+        ] {
+            let rec = sample_record(status);
+            let back = StoredRecord::parse(&rec.to_line()).expect("parses");
+            assert_eq!(back, rec);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(StoredRecord::parse("").is_none());
+        assert!(StoredRecord::parse("not json").is_none());
+        assert!(StoredRecord::parse("{\"key\":\"x\"}").is_none());
+        let truncated = &sample_record(RecordStatus::Ok).to_line()[..40];
+        assert!(StoredRecord::parse(truncated).is_none());
+    }
+
+    #[test]
+    fn keys_differ_across_cells_and_configs() {
+        let grid = ScenarioGrid::standard(4);
+        let fp = cfg_fingerprint(&CanonConfig::default());
+        let mut keys: Vec<String> = grid.scenarios.iter().map(|s| cell_key(s, &fp)).collect();
+        let n = keys.len();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), n, "cell keys must be unique");
+        let other_fp = cfg_fingerprint(&CanonConfig {
+            spad_entries: 64,
+            ..CanonConfig::default()
+        });
+        assert_ne!(
+            cell_key(&grid.scenarios[0], &fp),
+            cell_key(&grid.scenarios[0], &other_fp)
+        );
+    }
+
+    #[test]
+    fn store_roundtrip_on_disk() {
+        let dir = std::env::temp_dir().join(format!("canon-sweep-store-{}", std::process::id()));
+        let path = dir.join("t.jsonl");
+        let rec = sample_record(RecordStatus::Ok);
+        {
+            let store = ResultStore::open(&path).unwrap();
+            assert!(store.is_empty());
+            store.write_ordered(std::slice::from_ref(&rec)).unwrap();
+        }
+        let store = ResultStore::open(&path).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.lookup(&rec.key), Some(&rec));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -41,6 +41,20 @@ pub enum TensorOp {
         /// Input sparsity in `[0, 1]`.
         sparsity: f64,
     },
+    /// SpMM with N:M structured input sparsity (exactly `n_of` non-zeros in
+    /// every aligned group of `m_of` entries of a row).
+    SpmmNm {
+        /// Output rows.
+        m: usize,
+        /// Contraction length (must be a multiple of `m_of`).
+        k: usize,
+        /// Output columns.
+        n: usize,
+        /// Non-zeros kept per group.
+        n_of: usize,
+        /// Group size.
+        m_of: usize,
+    },
     /// Unstructured SDDMM (sparse attention scores).
     SddmmUnstructured {
         /// Sequence length.
@@ -68,6 +82,16 @@ impl TensorOp {
             TensorOp::Gemm { m, k, n } => (m * k * n) as u64,
             TensorOp::Spmm { m, k, n, sparsity } => {
                 ((m * k * n) as f64 * (1.0 - sparsity)).round() as u64
+            }
+            TensorOp::SpmmNm {
+                m,
+                k,
+                n,
+                n_of,
+                m_of,
+            } => {
+                // Exactly n_of of every m_of entries are non-zero.
+                (m * (k / m_of.max(1)) * n_of * n) as u64
             }
             TensorOp::SddmmUnstructured {
                 seq,
@@ -125,13 +149,20 @@ pub fn fig14_workloads(scale: usize) -> Vec<ModelWorkload> {
     let mlp = |sparsity: Option<f64>| {
         let (m, k, n) = (d(512), d(4096), d(14336));
         match sparsity {
-            None => vec![
-                TensorOp::Gemm { m, k, n },
-                TensorOp::Gemm { m, k: n, n: k },
-            ],
+            None => vec![TensorOp::Gemm { m, k, n }, TensorOp::Gemm { m, k: n, n: k }],
             Some(s) => vec![
-                TensorOp::Spmm { m, k, n, sparsity: s },
-                TensorOp::Spmm { m, k: n, n: k, sparsity: s },
+                TensorOp::Spmm {
+                    m,
+                    k,
+                    n,
+                    sparsity: s,
+                },
+                TensorOp::Spmm {
+                    m,
+                    k: n,
+                    n: k,
+                    sparsity: s,
+                },
             ],
         }
     };
@@ -272,10 +303,7 @@ mod tests {
 
     #[test]
     fn useful_macs_formulae() {
-        assert_eq!(
-            TensorOp::Gemm { m: 2, k: 3, n: 4 }.useful_macs(),
-            24
-        );
+        assert_eq!(TensorOp::Gemm { m: 2, k: 3, n: 4 }.useful_macs(), 24);
         let sp = TensorOp::Spmm {
             m: 10,
             k: 10,
@@ -283,6 +311,14 @@ mod tests {
             sparsity: 0.9,
         };
         assert_eq!(sp.useful_macs(), 100);
+        let nm = TensorOp::SpmmNm {
+            m: 4,
+            k: 8,
+            n: 2,
+            n_of: 2,
+            m_of: 4,
+        };
+        assert_eq!(nm.useful_macs(), 32);
         let win = TensorOp::SddmmWindow {
             seq: 16,
             window: 4,

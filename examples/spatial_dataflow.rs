@@ -26,7 +26,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // PE 2: t2 = t1 * 2
     // PE 3: y  = t2 - 1       (exits the east edge)
     let stage = |op, operand_dir| {
-        Instruction::new(op, Addr::Port(operand_dir), Addr::DataMem(0), Addr::Port(Direction::East))
+        Instruction::new(
+            op,
+            Addr::Port(operand_dir),
+            Addr::DataMem(0),
+            Addr::Port(Direction::East),
+        )
     };
     let program = SpatialProgram {
         grid: vec![vec![

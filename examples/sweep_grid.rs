@@ -1,0 +1,67 @@
+//! Sweep a 100+-cell scenario grid across all five architectures.
+//!
+//! ```sh
+//! cargo run --release --example sweep_grid
+//! ```
+//!
+//! Builds the standard seven workload families (banded SpMM/SDDMM fan out
+//! over S1–S3) at two problem scales and two Canon fabric geometries, fans
+//! the grid out over all cores, and prints the cross-backend speedup and
+//! EDP tables. Run it twice: the second invocation satisfies every cell
+//! from the JSONL store and reports cache hits instead of re-simulating.
+
+use canon::sweep::engine::{run_sweep, SweepOptions};
+use canon::sweep::report::{edp_table, speedup_table};
+use canon::sweep::scenario::{standard_workloads, GridBuilder};
+use canon::sweep::store::ResultStore;
+
+fn main() -> std::io::Result<()> {
+    let mut builder = GridBuilder::new()
+        .scales(&[4, 8]) // quarter- and eighth-scale shapes
+        .geometries(&[(8, 8), (16, 16)]); // Table 1 fabric + a scaled Canon
+    for w in standard_workloads() {
+        builder = builder.workload(&w.name, w.template);
+    }
+    let grid = builder.build();
+    println!(
+        "grid: {} scenarios ({} workload cells x backends, incl. 16x16 Canon cells)",
+        grid.scenarios.len(),
+        grid.cell_count()
+    );
+    assert!(grid.scenarios.len() > 100, "expected a 100+-cell grid");
+
+    let store_path = std::env::temp_dir().join("canon_sweep_grid.jsonl");
+    let mut store = ResultStore::open(&store_path)?;
+    let jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let start = std::time::Instant::now();
+    let outcome = run_sweep(
+        &grid,
+        &mut store,
+        &SweepOptions {
+            jobs,
+            ..Default::default()
+        },
+    )?;
+    let s = outcome.stats;
+    println!(
+        "swept {} cells in {:.2?} on {jobs} threads: {} executed, {} cache hits, {} unsupported, {} errors",
+        s.total,
+        start.elapsed(),
+        s.executed,
+        s.cache_hits,
+        s.unsupported,
+        s.errors
+    );
+    println!("store: {}\n", store_path.display());
+    println!("{}", speedup_table(&outcome.records));
+    println!("{}", edp_table(&outcome.records));
+    if s.cache_hits == s.total {
+        println!(
+            "(fully warm store — delete {} to re-simulate)",
+            store_path.display()
+        );
+    } else {
+        println!("(run again for a fully cached sweep)");
+    }
+    Ok(())
+}

@@ -15,6 +15,9 @@
 //! * [`loopir`] — affine loop-nest IR and the PolyBench kernel suite
 //! * [`energy`] — area / power / energy / EDP models
 //! * [`workloads`] — ML model layer zoo and sparsity scenarios
+//! * [`sweep`] — parallel scenario-sweep engine: declarative grids, the
+//!   unified multi-backend [`Backend`](sweep::Backend) trait, a JSONL
+//!   result store with run caching, and cross-backend reports
 //!
 //! ## Quickstart
 //!
@@ -46,4 +49,5 @@ pub use canon_core as arch;
 pub use canon_energy as energy;
 pub use canon_loopir as loopir;
 pub use canon_sparse as sparse;
+pub use canon_sweep as sweep;
 pub use canon_workloads as workloads;

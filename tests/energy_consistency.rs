@@ -20,7 +20,13 @@ fn canon_energy_is_positive_and_additive() {
     let sum: f64 = e.components.iter().map(|(_, v)| v).sum();
     assert!((sum - e.total_pj()).abs() < 1e-6);
     // Every named Fig 11 component exists.
-    for name in ["data memory", "spad-read", "spad-write", "compute", "control & routing"] {
+    for name in [
+        "data memory",
+        "spad-read",
+        "spad-write",
+        "compute",
+        "control & routing",
+    ] {
         assert!(
             e.components.iter().any(|(n, _)| *n == name),
             "missing component {name}"
@@ -35,8 +41,16 @@ fn sparser_input_costs_less_energy_on_canon() {
     let b = Dense::random(128, 64, &mut rng);
     let dense = gen::random_sparse(64, 128, 0.1, &mut rng);
     let sparse = gen::random_sparse(64, 128, 0.9, &mut rng);
-    let ed = canon_energy(&run_spmm(&cfg, &SpmmMapping::default(), &dense, &b).unwrap().report);
-    let es = canon_energy(&run_spmm(&cfg, &SpmmMapping::default(), &sparse, &b).unwrap().report);
+    let ed = canon_energy(
+        &run_spmm(&cfg, &SpmmMapping::default(), &dense, &b)
+            .unwrap()
+            .report,
+    );
+    let es = canon_energy(
+        &run_spmm(&cfg, &SpmmMapping::default(), &sparse, &b)
+            .unwrap()
+            .report,
+    );
     assert!(
         es.total_pj() < ed.total_pj() / 2.0,
         "90% sparse {} should be far below 10% sparse {}",
@@ -77,7 +91,12 @@ fn cgra_perf_per_watt_below_canon_on_tensor_work() {
         1e9,
     );
     let cg = Cgra::default().spmm(&a, 64).unwrap();
-    let gp = perf_per_watt(useful, cg.cycles, baseline_energy(Arch::Cgra, &cg).total_pj(), 1e9);
+    let gp = perf_per_watt(
+        useful,
+        cg.cycles,
+        baseline_energy(Arch::Cgra, &cg).total_pj(),
+        1e9,
+    );
     assert!(cp > gp, "canon {cp} should beat cgra {gp}");
 }
 

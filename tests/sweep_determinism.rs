@@ -1,0 +1,134 @@
+//! Sweep-engine integration contract: (a) the JSONL result store is
+//! byte-identical whatever the worker-thread count — record content and
+//! order depend only on the grid; (b) re-running against a warm store
+//! performs zero backend executions, satisfying every cell from cache.
+
+use canon::sweep::engine::{run_sweep, SweepOptions};
+use canon::sweep::scenario::{GridBuilder, OpTemplate, ScenarioGrid};
+use canon::sweep::store::ResultStore;
+use std::path::PathBuf;
+
+fn test_grid() -> ScenarioGrid {
+    // Three workload families (one banded) across all five architectures at
+    // smoke shapes: 5 cells x 5 archs = 25 scenarios.
+    GridBuilder::new()
+        .workload(
+            "GEMM",
+            OpTemplate::Gemm {
+                m: 64,
+                k: 64,
+                n: 32,
+            },
+        )
+        .workload(
+            "SpMM",
+            OpTemplate::Spmm {
+                m: 64,
+                k: 64,
+                n: 32,
+            },
+        )
+        .workload(
+            "Win",
+            OpTemplate::Window {
+                seq: 64,
+                window_div: 8,
+                head_dim: 32,
+            },
+        )
+        .build()
+}
+
+fn temp_store(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "canon-sweep-determinism-{}-{name}.jsonl",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn thread_count_does_not_change_store_bytes() {
+    let grid = test_grid();
+    let path2 = temp_store("jobs2");
+    let path8 = temp_store("jobs8");
+    for (path, jobs) in [(&path2, 2), (&path8, 8)] {
+        std::fs::remove_file(path).ok();
+        let mut store = ResultStore::open(path).expect("open store");
+        let out = run_sweep(
+            &grid,
+            &mut store,
+            &SweepOptions {
+                jobs,
+                ..Default::default()
+            },
+        )
+        .expect("sweep runs");
+        assert_eq!(out.stats.total, grid.scenarios.len());
+        assert_eq!(out.stats.executed, grid.scenarios.len());
+    }
+    let bytes2 = std::fs::read(&path2).expect("jobs=2 store");
+    let bytes8 = std::fs::read(&path8).expect("jobs=8 store");
+    assert!(!bytes2.is_empty());
+    assert_eq!(
+        bytes2, bytes8,
+        "2-thread and 8-thread sweeps must produce byte-identical JSONL"
+    );
+    std::fs::remove_file(&path2).ok();
+    std::fs::remove_file(&path8).ok();
+}
+
+#[test]
+fn warm_store_hits_cache_for_every_cell() {
+    let grid = test_grid();
+    let path = temp_store("warm");
+    std::fs::remove_file(&path).ok();
+
+    let mut store = ResultStore::open(&path).expect("open store");
+    let cold = run_sweep(
+        &grid,
+        &mut store,
+        &SweepOptions {
+            jobs: 4,
+            ..Default::default()
+        },
+    )
+    .expect("cold sweep");
+    assert_eq!(cold.stats.executed, grid.scenarios.len());
+    assert_eq!(cold.stats.cache_hits, 0);
+    drop(store);
+
+    // Fresh process-equivalent: reload the store from disk.
+    let mut store = ResultStore::open(&path).expect("reopen store");
+    assert_eq!(store.len(), grid.scenarios.len());
+    let warm = run_sweep(
+        &grid,
+        &mut store,
+        &SweepOptions {
+            jobs: 4,
+            ..Default::default()
+        },
+    )
+    .expect("warm sweep");
+    assert_eq!(
+        warm.stats.executed, 0,
+        "warm run must perform zero backend executions"
+    );
+    assert_eq!(warm.stats.cache_hits, grid.scenarios.len());
+    assert_eq!(warm.records, cold.records);
+
+    // And the rewritten file is unchanged byte-for-byte.
+    let before = std::fs::read(&path).expect("store bytes");
+    let mut store = ResultStore::open(&path).expect("reopen again");
+    run_sweep(
+        &grid,
+        &mut store,
+        &SweepOptions {
+            jobs: 1,
+            ..Default::default()
+        },
+    )
+    .expect("second warm sweep");
+    let after = std::fs::read(&path).expect("store bytes");
+    assert_eq!(before, after);
+    std::fs::remove_file(&path).ok();
+}
