@@ -16,7 +16,7 @@
 //! [`Cgra::loop_kernel`] entry point.
 
 use crate::systolic::SystolicArray;
-use crate::{Accelerator, Activity, BaselineRun, PEAK_MACS};
+use crate::{Accelerator, Activity, BaselineRun, LANES};
 use canon_sparse::{CsrMatrix, Mask};
 
 /// The CGRA model.
@@ -31,21 +31,35 @@ pub struct Cgra {
 
 impl Default for Cgra {
     fn default() -> Self {
-        Cgra {
-            pes: 256,
-            config_cycles: 512,
-            dense: SystolicArray::default(),
-        }
+        // The (8, 8) iso-MAC instance: 256 scalar FUs.
+        Cgra::iso_mac(8, 8)
     }
 }
 
 impl Cgra {
+    /// The model provisioned iso-MAC with a Canon fabric of geometry
+    /// `(rows, cols)`: `rows × cols × LANES` scalar FUs, a configuration
+    /// stream proportional to the array size, and an iso-MAC systolic
+    /// schedule for its dense-tensor emulation path.
+    pub fn iso_mac(rows: usize, cols: usize) -> Cgra {
+        let pes = rows * cols * LANES;
+        Cgra {
+            pes,
+            // Two configuration words per PE stream in at one word/cycle
+            // (512 cycles at the default 256-PE array).
+            config_cycles: 2 * pes as u64,
+            dense: SystolicArray::iso_mac(rows, cols),
+        }
+    }
+
     /// Wraps a systolic-schedule run with CGRA overheads: one configuration
-    /// plus per-PE instruction fetches every cycle.
+    /// plus per-PE instruction fetches every cycle. The run's utilization
+    /// denominator becomes this array's FU count.
     fn emulate_systolic(&self, mut run: BaselineRun) -> BaselineRun {
         run.cycles += self.config_cycles;
         run.activity.instr_fetches += run.cycles * self.pes as u64;
         run.activity.control_events += self.config_cycles * self.pes as u64;
+        run.peak_macs_per_cycle = self.peak_macs_per_cycle();
         run
     }
 
@@ -77,7 +91,7 @@ impl Cgra {
             cycles,
             activity,
             useful_macs: useful,
-            peak_macs_per_cycle: PEAK_MACS,
+            peak_macs_per_cycle: self.peak_macs_per_cycle(),
         }
     }
 }
@@ -85,6 +99,10 @@ impl Cgra {
 impl Accelerator for Cgra {
     fn name(&self) -> &'static str {
         "cgra"
+    }
+
+    fn peak_macs_per_cycle(&self) -> u64 {
+        self.pes as u64
     }
 
     fn supports(&self, _kind: crate::OpKind) -> bool {

@@ -1,9 +1,13 @@
 //! Baseline accelerator models for the Canon evaluation (§5).
 //!
 //! The paper compares Canon against four architectures, each provisioned
-//! with the *same number of MAC units* (256 INT8 MACs) and the same average
-//! on-chip memory per MAC (1 KB), so that differences come from
-//! orchestration, not peak compute:
+//! with the *same number of MAC units* (256 INT8 MACs at the Table 1
+//! geometry) and the same average on-chip memory per MAC (1 KB), so that
+//! differences come from orchestration, not peak compute. Every model has an
+//! `iso_mac(rows, cols)` constructor that provisions it with the same peak
+//! compute as a Canon fabric of that geometry (`rows × cols × LANES` scalar
+//! MACs), so geometry sweeps keep the Table 1 parity requirement at every
+//! point:
 //!
 //! | Baseline | Specialisation | Module |
 //! |---|---|---|
@@ -35,6 +39,16 @@ pub use systolic_nm::SparseSystolic24;
 pub use zed::ZedAccelerator;
 
 use canon_sparse::{CsrMatrix, Mask};
+
+/// MAC lanes per Canon PE — the conversion factor between a Canon geometry
+/// `(rows, cols)` and the iso-MAC budget `rows × cols × LANES` every
+/// baseline constructor provisions against.
+pub const LANES: usize = canon_core::LANES;
+
+// The iso_mac constructors split the ×LANES factor as ×2 per array
+// dimension (systolic) or fold it into vector lanes (ZeD); both assume the
+// 4-wide SIMD of Table 1.
+const _: () = assert!(LANES == 4, "iso_mac constructors assume 4 MAC lanes");
 
 /// Activity counters common to the baseline models, consumed by
 /// `canon-energy`.
@@ -72,7 +86,9 @@ pub struct BaselineRun {
     /// Scalar MACs that were *useful* (contributed to the mathematical
     /// result) — the numerator of effective utilization.
     pub useful_macs: u64,
-    /// Peak scalar MACs per cycle (256 for all evaluated designs).
+    /// Peak scalar MACs per cycle, derived from the model's provisioned
+    /// geometry ([`Accelerator::peak_macs_per_cycle`]; 256 at the Table 1
+    /// default).
     pub peak_macs_per_cycle: u64,
 }
 
@@ -121,6 +137,11 @@ pub trait Accelerator: Sync {
     /// Short display name used by the harness tables.
     fn name(&self) -> &'static str;
 
+    /// Peak scalar MACs per cycle of this instance, derived from its
+    /// provisioned geometry. Every [`BaselineRun`] the model returns carries
+    /// this value as its utilization denominator.
+    fn peak_macs_per_cycle(&self) -> u64;
+
     /// Whether this architecture can execute the workload family at all.
     /// Tensor accelerators default to everything except arbitrary loop
     /// nests; reconfigurable architectures override.
@@ -145,10 +166,6 @@ pub trait Accelerator: Sync {
     fn window_attention(&self, seq: usize, window: usize, head_dim: usize) -> Option<BaselineRun>;
 }
 
-/// Peak scalar MACs per cycle shared by every evaluated architecture
-/// (Table 1 parity requirement).
-pub const PEAK_MACS: u64 = 256;
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +183,20 @@ mod tests {
             assert!(!acc.supports(OpKind::LoopNest), "{}", acc.name());
         }
         assert!(Cgra::default().supports(OpKind::LoopNest));
+    }
+
+    #[test]
+    fn iso_mac_parity_across_geometries() {
+        for (r, c) in [(4, 4), (8, 8), (16, 16), (8, 16)] {
+            let want = (r * c * LANES) as u64;
+            assert_eq!(SystolicArray::iso_mac(r, c).peak_macs_per_cycle(), want);
+            assert_eq!(SparseSystolic24::iso_mac(r, c).peak_macs_per_cycle(), want);
+            assert_eq!(ZedAccelerator::iso_mac(r, c).peak_macs_per_cycle(), want);
+            assert_eq!(Cgra::iso_mac(r, c).peak_macs_per_cycle(), want);
+        }
+        // The Table 1 defaults are the (8, 8) iso-MAC instances.
+        assert_eq!(SystolicArray::default().peak_macs_per_cycle(), 256);
+        assert_eq!(Cgra::default().peak_macs_per_cycle(), 256);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! dense score matrix and discards unmasked entries, and window attention
 //! uses the sliding-chunk dense decomposition.
 
-use crate::{Accelerator, Activity, BaselineRun, PEAK_MACS};
+use crate::{Accelerator, Activity, BaselineRun};
 use canon_core::kernels::window::sliding_chunk_shapes;
 use canon_sparse::{CsrMatrix, Mask};
 
@@ -25,12 +25,25 @@ pub struct SystolicArray {
 
 impl Default for SystolicArray {
     fn default() -> Self {
-        // 16×16 = 256 MACs, matching Canon's provisioning.
-        SystolicArray { rows: 16, cols: 16 }
+        // The (8, 8) iso-MAC instance: 16×16 = 256 MACs, matching the
+        // default Canon fabric's provisioning.
+        SystolicArray::iso_mac(8, 8)
     }
 }
 
 impl SystolicArray {
+    /// The array provisioned iso-MAC with a Canon fabric of geometry
+    /// `(rows, cols)`: each Canon PE carries [`crate::LANES`] (4) MAC
+    /// lanes, so doubling both array dimensions yields
+    /// `rows × cols × LANES` MACs in the squarest aspect ratio the budget
+    /// admits.
+    pub fn iso_mac(rows: usize, cols: usize) -> SystolicArray {
+        SystolicArray {
+            rows: rows * 2,
+            cols: cols * 2,
+        }
+    }
+
     /// Cycle/activity model of one dense GEMM.
     pub fn dense_run(&self, m: usize, k: usize, n: usize) -> BaselineRun {
         if m == 0 || k == 0 || n == 0 {
@@ -38,7 +51,7 @@ impl SystolicArray {
                 cycles: 0,
                 activity: Activity::default(),
                 useful_macs: 0,
-                peak_macs_per_cycle: PEAK_MACS,
+                peak_macs_per_cycle: self.peak_macs_per_cycle(),
             };
         }
         let k_tiles = k.div_ceil(self.rows);
@@ -67,7 +80,7 @@ impl SystolicArray {
             cycles,
             activity,
             useful_macs,
-            peak_macs_per_cycle: PEAK_MACS,
+            peak_macs_per_cycle: self.peak_macs_per_cycle(),
         }
     }
 }
@@ -75,6 +88,10 @@ impl SystolicArray {
 impl Accelerator for SystolicArray {
     fn name(&self) -> &'static str {
         "systolic"
+    }
+
+    fn peak_macs_per_cycle(&self) -> u64 {
+        (self.rows * self.cols) as u64
     }
 
     fn gemm(&self, m: usize, k: usize, n: usize) -> Option<BaselineRun> {
@@ -105,7 +122,7 @@ impl Accelerator for SystolicArray {
             cycles: 0,
             activity: Activity::default(),
             useful_macs: 0,
-            peak_macs_per_cycle: PEAK_MACS,
+            peak_macs_per_cycle: self.peak_macs_per_cycle(),
         };
         for (m, n, k) in sliding_chunk_shapes(seq, window, head_dim) {
             let r = self.dense_run(m, k, n);

@@ -11,8 +11,8 @@
 //! speedup beyond 2× materialises. Unstructured sparsity cannot use the
 //! sparse path at all and falls back to dense execution.
 
-use crate::systolic::{merge_activity, SystolicArray};
-use crate::{Accelerator, BaselineRun, PEAK_MACS};
+use crate::systolic::SystolicArray;
+use crate::{Accelerator, BaselineRun};
 use canon_sparse::{CsrMatrix, Mask};
 
 /// The 2:4 sparse systolic model (wraps the dense model).
@@ -22,6 +22,14 @@ pub struct SparseSystolic24 {
 }
 
 impl SparseSystolic24 {
+    /// The model provisioned iso-MAC with a Canon fabric of geometry
+    /// `(rows, cols)` (see [`SystolicArray::iso_mac`]).
+    pub fn iso_mac(rows: usize, cols: usize) -> SparseSystolic24 {
+        SparseSystolic24 {
+            dense: SystolicArray::iso_mac(rows, cols),
+        }
+    }
+
     /// The effective contraction length the 2:4 datapath achieves for an
     /// `n_of:m_of` structured input: each aligned group of 4 always occupies
     /// `2` compressed slots, so the best case is `K/2` regardless of how
@@ -45,6 +53,10 @@ impl SparseSystolic24 {
 impl Accelerator for SparseSystolic24 {
     fn name(&self) -> &'static str {
         "systolic-2:4"
+    }
+
+    fn peak_macs_per_cycle(&self) -> u64 {
+        self.dense.peak_macs_per_cycle()
     }
 
     fn gemm(&self, m: usize, k: usize, n: usize) -> Option<BaselineRun> {
@@ -75,15 +87,6 @@ impl Accelerator for SparseSystolic24 {
     fn window_attention(&self, seq: usize, window: usize, head_dim: usize) -> Option<BaselineRun> {
         self.dense.window_attention(seq, window, head_dim)
     }
-}
-
-/// Merges two runs (helper for composite workloads).
-pub fn merge_runs(mut a: BaselineRun, b: &BaselineRun) -> BaselineRun {
-    a.cycles += b.cycles;
-    a.useful_macs += b.useful_macs;
-    merge_activity(&mut a.activity, &b.activity);
-    a.peak_macs_per_cycle = PEAK_MACS;
-    a
 }
 
 #[cfg(test)]

@@ -17,7 +17,7 @@
 //! under skew; no exploitation of known structure) emerge from the
 //! simulation rather than from fitted constants.
 
-use crate::{Accelerator, Activity, BaselineRun, PEAK_MACS};
+use crate::{Accelerator, Activity, BaselineRun, LANES};
 use canon_sparse::{CsrMatrix, Mask};
 
 /// The ZeD-like accelerator model.
@@ -33,15 +33,23 @@ pub struct ZedAccelerator {
 
 impl Default for ZedAccelerator {
     fn default() -> Self {
-        ZedAccelerator {
-            compute_units: 64,
-            lanes: 4,
-            row_overhead: 4,
-        }
+        // The (8, 8) iso-MAC instance: 64 CUs × 4 lanes = 256 MACs.
+        ZedAccelerator::iso_mac(8, 8)
     }
 }
 
 impl ZedAccelerator {
+    /// The model provisioned iso-MAC with a Canon fabric of geometry
+    /// `(rows, cols)`: one compute unit per Canon PE, each [`LANES`]-wide,
+    /// for `rows × cols × LANES` MACs.
+    pub fn iso_mac(rows: usize, cols: usize) -> ZedAccelerator {
+        ZedAccelerator {
+            compute_units: rows * cols,
+            lanes: LANES,
+            row_overhead: 4,
+        }
+    }
+
     /// Online least-loaded assignment of row grains (idle work stealing):
     /// returns the makespan in cycles.
     fn makespan(&self, grains: impl Iterator<Item = u64>) -> u64 {
@@ -93,7 +101,7 @@ impl ZedAccelerator {
             cycles,
             activity,
             useful_macs,
-            peak_macs_per_cycle: PEAK_MACS,
+            peak_macs_per_cycle: self.peak_macs_per_cycle(),
         }
     }
 }
@@ -101,6 +109,10 @@ impl ZedAccelerator {
 impl Accelerator for ZedAccelerator {
     fn name(&self) -> &'static str {
         "zed"
+    }
+
+    fn peak_macs_per_cycle(&self) -> u64 {
+        (self.compute_units * self.lanes) as u64
     }
 
     fn gemm(&self, m: usize, k: usize, n: usize) -> Option<BaselineRun> {

@@ -1,36 +1,61 @@
-//! `repro` — regenerate the paper's tables and figures, and run
-//! multi-backend scenario sweeps.
+//! `repro` — regenerate the paper's tables and figures, run multi-backend
+//! scenario sweeps, and maintain the sweep result store.
 //!
 //! ```sh
 //! cargo run -p canon-bench --release --bin repro -- all --jobs 8
 //! cargo run -p canon-bench --release --bin repro -- fig12 fig13
 //! cargo run -p canon-bench --release --bin repro -- --smoke fig17
 //! cargo run -p canon-bench --release --bin repro -- sweep --jobs 4 --out results.jsonl
+//! cargo run -p canon-bench --release --bin repro -- sweep --geom 8x8,16x16
+//! cargo run -p canon-bench --release --bin repro -- store gc --out results.jsonl
 //! ```
 //!
 //! The `sweep` target (also the first step of `all`) expands the standard
-//! architecture × workload × band grid, fans it out over `--jobs` worker
-//! threads through the `canon-sweep` engine, and writes/updates the JSONL
-//! result store at `--out`. Cells already present in the store under their
-//! content key are reported as cache hits and not re-simulated.
+//! architecture × workload × band × geometry grid — tensor kernels *and*
+//! PolyBench loop nests, with baselines provisioned iso-MAC at every
+//! `--geom` point — fans it out over `--jobs` worker threads through the
+//! `canon-sweep` engine, and writes/updates the JSONL result store at
+//! `--out`. Cells already present in the store under their content key are
+//! reported as cache hits and not re-simulated. `store gc` compacts the
+//! store, dropping records stranded by `CODE_SALT`/schema bumps.
 
 use canon_bench::{ablations, figures, Scale};
 use canon_sweep::engine::{run_sweep, SweepOptions};
 use canon_sweep::report::{edp_table, speedup_table};
-use canon_sweep::scenario::ScenarioGrid;
+use canon_sweep::scenario::{standard_workloads, GridBuilder};
 use canon_sweep::store::ResultStore;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--smoke] [--jobs N] [--out FILE] <targets...>\n\
+        "usage: repro [--smoke] [--jobs N] [--out FILE] [--geom RxC[,RxC...]] <targets...>\n\
          targets: table1 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17\n\
                   ablation-async ablation-buffer-sizing ablation-lut sweep all\n\
+                  store gc\n\
          options:\n\
            --smoke      reduced problem sizes (CI-scale)\n\
            --jobs N     sweep worker threads (default: all cores)\n\
-           --out FILE   sweep result store (default: sweep_results.jsonl)"
+           --out FILE   sweep result store (default: sweep_results.jsonl)\n\
+           --geom LIST  sweep fabric geometries, e.g. 8x8,16x16 (default: 8x8);\n\
+                        baselines are provisioned iso-MAC at each point"
     );
     std::process::exit(2)
+}
+
+fn parse_geometries(raw: &str) -> Vec<(usize, usize)> {
+    raw.split(',')
+        .map(|g| {
+            let parse =
+                |s: Option<&str>| s.and_then(|v| v.parse::<usize>().ok()).filter(|&v| v > 0);
+            let mut parts = g.split('x');
+            match (parse(parts.next()), parse(parts.next()), parts.next()) {
+                (Some(r), Some(c), None) => (r, c),
+                _ => {
+                    eprintln!("--geom needs RxC entries, got {g:?}");
+                    usage();
+                }
+            }
+        })
+        .collect()
 }
 
 fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
@@ -43,15 +68,30 @@ fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
     Some(args.remove(pos))
 }
 
-fn run_standard_sweep(scale: Scale, jobs: usize, out: &str) -> String {
-    let grid = ScenarioGrid::standard(match scale {
-        Scale::Full => 1,
-        Scale::Smoke => 4,
-    });
-    let mut store = ResultStore::open(out).unwrap_or_else(|e| {
+fn open_store(out: &str) -> ResultStore {
+    ResultStore::open(out).unwrap_or_else(|e| {
         eprintln!("cannot open result store {out}: {e}");
         std::process::exit(1);
-    });
+    })
+}
+
+fn run_standard_sweep(
+    scale: Scale,
+    jobs: usize,
+    out: &str,
+    geometries: &[(usize, usize)],
+) -> String {
+    let mut builder = GridBuilder::new()
+        .scales(&[match scale {
+            Scale::Full => 1,
+            Scale::Smoke => 4,
+        }])
+        .geometries(geometries);
+    for w in standard_workloads() {
+        builder = builder.workload(&w.name, w.template);
+    }
+    let grid = builder.build();
+    let mut store = open_store(out);
     let outcome = run_sweep(
         &grid,
         &mut store,
@@ -66,7 +106,7 @@ fn run_standard_sweep(scale: Scale, jobs: usize, out: &str) -> String {
     });
     let s = outcome.stats;
     let mut text = format!(
-        "== Sweep: {} cells ({} workloads x {} architectures) ==\n\
+        "== Sweep: {} cells ({} workload cells x {} architectures) ==\n\
          jobs={jobs}  executed={}  cache-hits={}  unsupported={}  errors={}\n\
          store: {out}\n\n",
         s.total,
@@ -102,8 +142,29 @@ fn main() {
         None => std::thread::available_parallelism().map_or(1, |n| n.get()),
     };
     let out = take_value_flag(&mut args, "--out").unwrap_or_else(|| "sweep_results.jsonl".into());
+    let geometries = take_value_flag(&mut args, "--geom")
+        .map_or_else(|| vec![(8, 8)], |raw| parse_geometries(&raw));
     if args.is_empty() {
         usage();
+    }
+    // `store <subcommand>` maintains the result store instead of producing
+    // figure output.
+    if args[0] == "store" {
+        match args.get(1).map(String::as_str) {
+            Some("gc") if args.len() == 2 => {
+                let mut store = open_store(&out);
+                let stats = store.compact().unwrap_or_else(|e| {
+                    eprintln!("store gc failed: {e}");
+                    std::process::exit(1);
+                });
+                println!(
+                    "store gc: kept {} records, dropped {} stale-salt, {} unreadable ({out})",
+                    stats.kept, stats.dropped_stale, stats.dropped_unreadable
+                );
+                return;
+            }
+            _ => usage(),
+        }
     }
     let targets: Vec<String> = if args.iter().any(|a| a == "all") {
         [
@@ -129,7 +190,7 @@ fn main() {
     };
     for t in targets {
         let text = match t.as_str() {
-            "sweep" => run_standard_sweep(scale, jobs, &out),
+            "sweep" => run_standard_sweep(scale, jobs, &out, &geometries),
             "table1" => figures::table1(),
             "fig9" => figures::fig09(),
             "fig10" => figures::fig10(),

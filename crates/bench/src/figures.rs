@@ -233,8 +233,12 @@ pub fn fig14(scale: Scale) -> String {
         let mut totals: Vec<Option<(u64, f64)>> = vec![Some((0, 0.0)); backends.len()];
         for (oi, op) in w.ops.iter().enumerate() {
             let seed = 140 + w.useful_macs() % 97 + oi as u64;
+            let workload = canon_workloads::Workload::Tensor(*op);
             for (i, backend) in backends.iter().enumerate() {
-                let run = backend.run(op, seed).ok().map(|r| (r.cycles, r.energy_pj));
+                let run = backend
+                    .run(&workload, seed)
+                    .ok()
+                    .map(|r| (r.cycles, r.energy_pj));
                 totals[i] = match (totals[i], run) {
                     (Some((c0, e0)), Some((c, e))) => Some((c0 + c, e0 + e)),
                     _ => None,

@@ -1,21 +1,19 @@
 //! The Fig 12/13 workload grid: 12 kernel columns × 5 architectures,
 //! producing normalized performance and normalized perf/W in one pass.
 //!
-//! Every tensor column executes through the workspace-wide
-//! [`Backend`](canon_sweep::backend::Backend) trait — one uniform
-//! `run(op, seed)` per architecture — rather than per-kernel dispatch; only
-//! the PolyBench columns go through the loop-IR mapper, which is a
-//! different workload class (and the reason most tensor accelerators show
-//! `X` there).
+//! Every column — tensor kernels *and* PolyBench loop nests — executes
+//! through the workspace-wide
+//! [`Backend`](canon_sweep::backend::Backend) trait: one uniform
+//! `run(workload, seed)` per architecture, no per-kernel dispatch. The
+//! tensor-only accelerators return `Unsupported` for the loop columns,
+//! which is exactly the figures' `X` cells.
 
 use crate::Scale;
-use canon_baselines::Cgra;
 use canon_core::CanonConfig;
-use canon_energy::{baseline_energy, canon_loop_energy, perf_per_watt, Arch};
-use canon_loopir::mapping::{map_canon, map_cgra};
+use canon_energy::{perf_per_watt, Arch};
 use canon_loopir::{polybench, Category};
 use canon_sweep::backend::all_backends;
-use canon_workloads::TensorOp;
+use canon_workloads::{LoopKernel, TensorOp, Workload};
 
 /// One architecture's absolute numbers on one workload.
 #[derive(Debug, Clone, Copy)]
@@ -140,10 +138,11 @@ pub fn tensor_columns(scale: Scale) -> Vec<Column> {
     tensor_ops(scale)
         .into_iter()
         .map(|(name, op, seed)| {
+            let workload = Workload::Tensor(op);
             let runs: Vec<Option<ArchRun>> = backends
                 .iter()
                 .map(|b| {
-                    b.run(&op, seed).ok().map(|r| ArchRun {
+                    b.run(&workload, seed).ok().map(|r| ArchRun {
                         cycles: r.cycles,
                         energy_pj: r.energy_pj,
                     })
@@ -159,48 +158,50 @@ pub fn tensor_columns(scale: Scale) -> Vec<Column> {
         .collect()
 }
 
-/// The three PolyBench columns: geometric means over each category, Canon vs
-/// CGRA (the other baselines cannot run arbitrary loop nests → `X`).
+/// The three PolyBench columns: per-category geometric means of every
+/// architecture's loop-nest runs, dispatched through the same `Backend`
+/// trait as the tensor columns. Tensor-only accelerators return
+/// `Unsupported` for every kernel, which renders as the figures' `X`.
 pub fn polybench_columns(scale: Scale) -> Vec<Column> {
     let n = scale.dim(64);
+    let backends = all_backends(&CanonConfig::default());
     let kernels = polybench::suite(n);
-    let cgra = Cgra::default();
     let mut columns = Vec::new();
     for cat in [Category::Blas, Category::Kernel, Category::Stencil] {
         // Geometric means of cycles and energy across the category, so the
         // normalized column behaves like the figures' per-category bars.
-        let mut log_canon_cyc = 0.0;
-        let mut log_cgra_cyc = 0.0;
-        let mut log_canon_e = 0.0;
-        let mut log_cgra_e = 0.0;
+        let mut log_runs: Vec<Option<(f64, f64)>> = vec![Some((0.0, 0.0)); backends.len()];
         let mut log_useful = 0.0;
         let mut count = 0usize;
         for k in kernels.iter().filter(|k| k.category == cat) {
-            let c = map_canon(k, 8, 8, 4);
-            let g = map_cgra(k, &cgra);
-            log_canon_cyc += (c.cycles.max(1) as f64).ln();
-            log_cgra_cyc += (g.cycles.max(1) as f64).ln();
-            log_canon_e += canon_loop_energy(c.cycles, c.lane_instrs, c.useful_ops)
-                .total_pj()
-                .max(1.0)
-                .ln();
-            log_cgra_e += baseline_energy(Arch::Cgra, &g).total_pj().max(1.0).ln();
-            log_useful += (c.useful_ops.max(1) as f64).ln();
+            let workload = Workload::Loop(LoopKernel { name: k.name, n });
+            log_useful += (workload.useful_macs().max(1) as f64).ln();
             count += 1;
+            for (i, b) in backends.iter().enumerate() {
+                let run = b.run(&workload, 0).ok();
+                log_runs[i] = match (log_runs[i], run) {
+                    (Some((lc, le)), Some(r)) => Some((
+                        lc + (r.cycles.max(1) as f64).ln(),
+                        le + r.energy_pj.max(1.0).ln(),
+                    )),
+                    _ => None,
+                };
+            }
         }
         let nf = count.max(1) as f64;
-        let canon = ArchRun {
-            cycles: (log_canon_cyc / nf).exp() as u64,
-            energy_pj: (log_canon_e / nf).exp(),
-        };
-        let cgra_run = ArchRun {
-            cycles: (log_cgra_cyc / nf).exp() as u64,
-            energy_pj: (log_cgra_e / nf).exp(),
-        };
+        let runs: Vec<Option<ArchRun>> = log_runs
+            .iter()
+            .map(|acc| {
+                acc.map(|(lc, le)| ArchRun {
+                    cycles: (lc / nf).exp() as u64,
+                    energy_pj: (le / nf).exp(),
+                })
+            })
+            .collect();
         columns.push(Column {
             name: format!("PolyB-{cat}"),
             useful_macs: (log_useful / nf).exp() as u64,
-            runs: vec![None, None, None, Some(cgra_run), Some(canon)],
+            runs,
         });
     }
     columns

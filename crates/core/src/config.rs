@@ -73,11 +73,23 @@ impl CanonConfig {
     /// A configuration scaled by an integer factor in both dimensions
     /// (used by the Fig 15 scalability experiment).
     pub fn scaled(&self, factor: usize) -> CanonConfig {
+        self.with_geometry(self.rows * factor, self.cols * factor)
+    }
+
+    /// The same configuration at a different fabric geometry — the single
+    /// entry point geometry sweeps use to derive per-cell configurations
+    /// (memories, latencies, and watchdog settings carry over).
+    pub fn with_geometry(&self, rows: usize, cols: usize) -> CanonConfig {
         CanonConfig {
-            rows: self.rows * factor,
-            cols: self.cols * factor,
+            rows,
+            cols,
             ..self.clone()
         }
+    }
+
+    /// The fabric geometry `(rows, cols)`.
+    pub fn geometry(&self) -> (usize, usize) {
+        (self.rows, self.cols)
     }
 
     /// Total number of PEs.
@@ -145,8 +157,20 @@ mod tests {
     #[test]
     fn scaled_multiplies_dimensions() {
         let c = CanonConfig::default().scaled(2);
-        assert_eq!((c.rows, c.cols), (16, 16));
+        assert_eq!(c.geometry(), (16, 16));
         assert_eq!(c.mac_units(), 1024);
+    }
+
+    #[test]
+    fn with_geometry_preserves_other_fields() {
+        let base = CanonConfig {
+            spad_entries: 32,
+            ..CanonConfig::default()
+        };
+        let c = base.with_geometry(16, 8);
+        assert_eq!(c.geometry(), (16, 8));
+        assert_eq!(c.spad_entries, 32);
+        assert_eq!(c.mac_units(), 16 * 8 * LANES);
     }
 
     #[test]

@@ -21,7 +21,7 @@ use crate::analysis::{analyze_nest, DimKind};
 use crate::nest::Kernel;
 use crate::Category;
 use canon_baselines::cgra::Cgra;
-use canon_baselines::{Activity, BaselineRun, PEAK_MACS};
+use canon_baselines::{Accelerator, Activity, BaselineRun};
 
 /// Cost-model output for a kernel on Canon's loop path.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -95,11 +95,7 @@ pub fn map_canon(kernel: &Kernel, rows: usize, cols: usize, lanes: usize) -> Can
         let _ = lane_eff;
     }
     // Useful ops: real arithmetic (guard-weighted), independent of mapping.
-    let useful: u64 = kernel
-        .nests
-        .iter()
-        .map(|n| analyze_nest(n).useful_ops())
-        .sum();
+    let useful = kernel.useful_ops();
     let utilization = if cycles == 0 {
         0.0
     } else {
@@ -119,7 +115,7 @@ pub fn map_cgra(kernel: &Kernel, cgra: &Cgra) -> BaselineRun {
         cycles: cgra.config_cycles, // one configuration per kernel
         activity: Activity::default(),
         useful_macs: 0,
-        peak_macs_per_cycle: PEAK_MACS,
+        peak_macs_per_cycle: cgra.peak_macs_per_cycle(),
     };
     for nest in &kernel.nests {
         let a = analyze_nest(nest);

@@ -107,6 +107,18 @@ pub struct Kernel {
     pub nests: Vec<LoopNest>,
 }
 
+impl Kernel {
+    /// Useful (guard-weighted) arithmetic operations across every nest —
+    /// the workload's invariant work, identical on every architecture that
+    /// executes it.
+    pub fn useful_ops(&self) -> u64 {
+        self.nests
+            .iter()
+            .map(|n| crate::analysis::analyze_nest(n).useful_ops())
+            .sum()
+    }
+}
+
 /// Executor state: one flat buffer per array.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ArrayState {

@@ -651,7 +651,45 @@ fn heat_3d(n: usize) -> Kernel {
     }
 }
 
-/// The full evaluated suite at problem size `n` (18 kernels).
+/// One suite kernel by PolyBench name at problem size `n`, or `None` for
+/// names outside the evaluated suite — the resolution point for workload
+/// descriptors (`canon_workloads::LoopKernel`) that carry kernels by name.
+/// Builds only the named kernel (sweep backends resolve per run, so this
+/// must not construct the whole suite).
+///
+/// # Panics
+///
+/// Panics if `n < 4` (stencil kernels need interior points).
+pub fn kernel(name: &str, n: usize) -> Option<Kernel> {
+    assert!(n >= 4, "PolyBench kernels need n >= 4");
+    let build: fn(usize) -> Kernel = match name {
+        "gemm" => gemm,
+        "gemver" => gemver,
+        "gesummv" => gesummv,
+        "syrk" => syrk,
+        "syr2k" => syr2k,
+        "trmm" => trmm,
+        "trisolv" => trisolv,
+        "lu" => lu,
+        "2mm" => two_mm,
+        "3mm" => three_mm,
+        "atax" => atax,
+        "bicg" => bicg,
+        "mvt" => mvt,
+        "doitgen" => doitgen,
+        "covariance" => covariance,
+        "floyd-warshall" => floyd_warshall,
+        "jacobi-1d" => jacobi_1d,
+        "jacobi-2d" => jacobi_2d,
+        "seidel-2d" => seidel_2d,
+        "fdtd-2d" => fdtd_2d,
+        "heat-3d" => heat_3d,
+        _ => return None,
+    };
+    Some(build(n))
+}
+
+/// The full evaluated suite at problem size `n` (21 kernels).
 ///
 /// # Panics
 ///
@@ -835,6 +873,21 @@ mod tests {
     fn every_kernel_executes_without_oob() {
         for k in suite(6) {
             let _ = execute(&k);
+        }
+    }
+
+    #[test]
+    fn kernel_lookup_by_name() {
+        let k = kernel("jacobi-2d", 8).expect("jacobi-2d is in the suite");
+        assert_eq!(k.name, "jacobi-2d");
+        assert_eq!(k.category, Category::Stencil);
+        assert!(k.useful_ops() > 0);
+        assert!(kernel("cholesky", 8).is_none(), "excluded per §5");
+        // The name dispatch must cover the whole suite and agree with it.
+        for suite_kernel in suite(8) {
+            let looked_up = kernel(suite_kernel.name, 8)
+                .unwrap_or_else(|| panic!("{} must resolve", suite_kernel.name));
+            assert_eq!(looked_up, suite_kernel);
         }
     }
 }

@@ -2,11 +2,18 @@
 //!
 //! [`Backend`] is the single interface the sweep engine (and the harness
 //! figures) dispatch through: `supports` answers capability questions from
-//! shapes alone, `run` materializes operands from a seed and executes the
-//! workload, returning uniform [`RunRecord`] metrics. Implementations cover
-//! the Canon simulator ([`CanonBackend`]) and all four baseline models
-//! ([`BaselineBackend`]); [`all_backends`] yields them in the figures' row
-//! order ([`Arch::all`]).
+//! the [`Workload`] alone, `run` executes it (materializing tensor operands
+//! from a seed, or resolving a PolyBench loop nest through the mapping cost
+//! models), returning uniform [`RunRecord`] metrics. Implementations cover
+//! the Canon simulator ([`CanonBackend`]), the three tensor-only baselines
+//! ([`BaselineBackend`]), and the CGRA ([`CgraBackend`], which additionally
+//! runs arbitrary loop nests); [`all_backends`] yields them in the figures'
+//! row order ([`Arch::all`]).
+//!
+//! Every backend is **geometry-parameterized**: [`backend_for`] provisions
+//! baselines iso-MAC with the Canon fabric geometry of the cell
+//! (`rows × cols × LANES` scalar MACs, the Table 1 parity requirement), so
+//! a geometry sweep compares equal peak compute at every point.
 //!
 //! Operand materialization is centralized in [`kernel_input`], so every
 //! backend of a cell sees *identical* inputs for a given seed — the parity
@@ -15,10 +22,11 @@
 use canon_baselines::{Accelerator, Cgra, OpKind, SparseSystolic24, SystolicArray, ZedAccelerator};
 use canon_core::kernels::{self, window::WindowAttention, KernelInput};
 use canon_core::stats::RunReport;
-use canon_core::{CanonConfig, SimError};
-use canon_energy::{baseline_energy, canon_energy, Arch};
+use canon_core::{CanonConfig, SimError, LANES};
+use canon_energy::{baseline_energy, canon_energy, canon_loop_energy, Arch};
+use canon_loopir::mapping::{map_canon, map_cgra};
 use canon_sparse::{gen, CsrMatrix, Dense};
-use canon_workloads::TensorOp;
+use canon_workloads::{LoopKernel, TensorOp, Workload};
 
 /// Uniform metrics of one (backend, workload) execution.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -27,7 +35,7 @@ pub struct RunRecord {
     pub cycles: u64,
     /// Total energy in pJ under the backend's energy model.
     pub energy_pj: f64,
-    /// Useful scalar MACs of the workload (identical across backends).
+    /// Useful scalar MACs/ops of the workload (identical across backends).
     pub useful_macs: u64,
     /// Effective compute utilization in `[0, 1]`.
     pub utilization: f64,
@@ -68,17 +76,23 @@ pub trait Backend: Sync {
     /// The architecture this backend models.
     fn arch(&self) -> Arch;
 
-    /// Whether the backend can execute the workload (from shapes alone; no
-    /// operands are materialized).
-    fn supports(&self, op: &TensorOp) -> bool;
+    /// Peak scalar MACs per cycle this instance is provisioned with. Under
+    /// iso-MAC construction ([`backend_for`]) every backend of a geometry
+    /// `(r, c)` reports `r × c ×` [`LANES`].
+    fn peak_macs_per_cycle(&self) -> u64;
 
-    /// Materializes operands from `seed` and executes the workload.
+    /// Whether the backend can execute the workload (from the descriptor
+    /// alone; no operands are materialized).
+    fn supports(&self, workload: &Workload) -> bool;
+
+    /// Executes the workload (materializing tensor operands from `seed`;
+    /// loop nests are deterministic and ignore it).
     ///
     /// # Errors
     ///
     /// [`BackendError::Unsupported`] for workloads `supports` rejects,
     /// [`BackendError::Sim`] for mapping/protocol failures.
-    fn run(&self, op: &TensorOp, seed: u64) -> Result<RunRecord, BackendError>;
+    fn run(&self, workload: &Workload, seed: u64) -> Result<RunRecord, BackendError>;
 }
 
 /// The workload family of a [`TensorOp`], for [`Accelerator::supports`].
@@ -90,6 +104,25 @@ pub fn op_kind(op: &TensorOp) -> OpKind {
         TensorOp::SddmmUnstructured { .. } => OpKind::Sddmm,
         TensorOp::SddmmWindow { .. } => OpKind::WindowAttention,
     }
+}
+
+/// The capability family of any [`Workload`].
+pub fn workload_kind(workload: &Workload) -> OpKind {
+    match workload {
+        Workload::Tensor(op) => op_kind(op),
+        Workload::Loop(_) => OpKind::LoopNest,
+    }
+}
+
+/// Resolves a loop descriptor or reports the unknown name as a mapping
+/// error (rather than a panic: stores may carry descriptors from older
+/// suites).
+fn resolve_loop(lk: &LoopKernel) -> Result<canon_loopir::Kernel, BackendError> {
+    lk.resolve().ok_or_else(|| {
+        BackendError::Sim(SimError::Mapping {
+            reason: format!("unknown PolyBench kernel {:?}", lk.name),
+        })
+    })
 }
 
 /// Materializes the operands of `op` from `seed`.
@@ -171,6 +204,46 @@ fn sparse_operand(op: &TensorOp, seed: u64) -> CsrMatrix {
     }
 }
 
+/// Runs one tensor op on a baseline accelerator model — the shared tensor
+/// path of [`BaselineBackend`] and [`CgraBackend`].
+fn run_tensor_on<A: Accelerator>(
+    acc: &A,
+    arch: Arch,
+    op: &TensorOp,
+    seed: u64,
+) -> Result<RunRecord, BackendError> {
+    if !acc.supports(op_kind(op)) {
+        return Err(BackendError::Unsupported);
+    }
+    // Shape-only families skip materialization entirely; SpMM families
+    // draw just the sparse operand (the same stream prefix Canon sees —
+    // baselines never read the dense B); SDDMM needs the full stream,
+    // since the mask is drawn after Q/KV.
+    let run = match *op {
+        TensorOp::Gemm { m, k, n } => acc.gemm(m, k, n),
+        TensorOp::SddmmWindow {
+            seq,
+            window,
+            head_dim,
+        } => acc.window_attention(seq, window, head_dim),
+        TensorOp::Spmm { n, .. } => acc.spmm(&sparse_operand(op, seed), n),
+        TensorOp::SpmmNm { n, n_of, m_of, .. } => {
+            acc.spmm_nm(&sparse_operand(op, seed), n, n_of, m_of)
+        }
+        TensorOp::SddmmUnstructured { head_dim, .. } => match kernel_input(op, seed) {
+            KernelInput::Sddmm { mask, .. } => acc.sddmm(&mask, head_dim),
+            _ => unreachable!("kernel_input variant mismatch"),
+        },
+    }
+    .ok_or(BackendError::Unsupported)?;
+    Ok(RunRecord {
+        cycles: run.cycles,
+        energy_pj: baseline_energy(arch, &run).total_pj(),
+        useful_macs: op.useful_macs(),
+        utilization: run.utilization(),
+    })
+}
+
 /// The Canon simulator as a [`Backend`].
 #[derive(Debug, Clone, Default)]
 pub struct CanonBackend {
@@ -179,9 +252,9 @@ pub struct CanonBackend {
 }
 
 impl CanonBackend {
-    /// Runs the workload and returns the full cycle report — for consumers
-    /// that need per-component activity (e.g. the Fig 11 power breakdown)
-    /// rather than the summarized [`RunRecord`].
+    /// Runs a tensor workload and returns the full cycle report — for
+    /// consumers that need per-component activity (e.g. the Fig 11 power
+    /// breakdown) rather than the summarized [`RunRecord`].
     ///
     /// # Errors
     ///
@@ -201,24 +274,46 @@ impl Backend for CanonBackend {
         Arch::Canon
     }
 
-    fn supports(&self, _op: &TensorOp) -> bool {
-        // Canon executes every tensor workload family; shape constraints
-        // (e.g. K divisible by the row count) surface as Sim errors.
+    fn peak_macs_per_cycle(&self) -> u64 {
+        self.cfg.mac_units() as u64
+    }
+
+    fn supports(&self, _workload: &Workload) -> bool {
+        // Canon executes every tensor family and arbitrary affine loop
+        // nests; shape constraints (e.g. K divisible by the row count)
+        // surface as Sim errors.
         true
     }
 
-    fn run(&self, op: &TensorOp, seed: u64) -> Result<RunRecord, BackendError> {
-        let report = self.run_report(op, seed)?;
-        Ok(RunRecord {
-            cycles: report.cycles,
-            energy_pj: canon_energy(&report).total_pj(),
-            useful_macs: op.useful_macs(),
-            utilization: report.compute_utilization(),
-        })
+    fn run(&self, workload: &Workload, seed: u64) -> Result<RunRecord, BackendError> {
+        match workload {
+            Workload::Tensor(op) => {
+                let report = self.run_report(op, seed)?;
+                Ok(RunRecord {
+                    cycles: report.cycles,
+                    energy_pj: canon_energy(&report).total_pj(),
+                    useful_macs: op.useful_macs(),
+                    utilization: report.compute_utilization(),
+                })
+            }
+            Workload::Loop(lk) => {
+                let kernel = resolve_loop(lk)?;
+                let run = map_canon(&kernel, self.cfg.rows, self.cfg.cols, LANES);
+                Ok(RunRecord {
+                    cycles: run.cycles,
+                    energy_pj: canon_loop_energy(run.cycles, run.lane_instrs, run.useful_ops)
+                        .total_pj(),
+                    useful_macs: run.useful_ops,
+                    utilization: run.utilization,
+                })
+            }
+        }
     }
 }
 
-/// A baseline cycle model as a [`Backend`].
+/// A tensor-only baseline cycle model as a [`Backend`]. Loop-nest workloads
+/// are always [`BackendError::Unsupported`] here; the CGRA — the one
+/// baseline that runs them — has its own [`CgraBackend`].
 #[derive(Debug, Clone)]
 pub struct BaselineBackend<A: Accelerator> {
     arch: Arch,
@@ -241,86 +336,106 @@ impl<A: Accelerator> Backend for BaselineBackend<A> {
         self.arch
     }
 
-    fn supports(&self, op: &TensorOp) -> bool {
-        self.acc.supports(op_kind(op))
+    fn peak_macs_per_cycle(&self) -> u64 {
+        self.acc.peak_macs_per_cycle()
     }
 
-    fn run(&self, op: &TensorOp, seed: u64) -> Result<RunRecord, BackendError> {
-        if !self.supports(op) {
-            return Err(BackendError::Unsupported);
+    fn supports(&self, workload: &Workload) -> bool {
+        self.acc.supports(workload_kind(workload))
+    }
+
+    fn run(&self, workload: &Workload, seed: u64) -> Result<RunRecord, BackendError> {
+        match workload {
+            Workload::Tensor(op) => run_tensor_on(&self.acc, self.arch, op, seed),
+            Workload::Loop(_) => Err(BackendError::Unsupported),
         }
-        // Shape-only families skip materialization entirely; SpMM families
-        // draw just the sparse operand (the same stream prefix Canon sees —
-        // baselines never read the dense B); SDDMM needs the full stream,
-        // since the mask is drawn after Q/KV.
-        let run = match *op {
-            TensorOp::Gemm { m, k, n } => self.acc.gemm(m, k, n),
-            TensorOp::SddmmWindow {
-                seq,
-                window,
-                head_dim,
-            } => self.acc.window_attention(seq, window, head_dim),
-            TensorOp::Spmm { n, .. } => self.acc.spmm(&sparse_operand(op, seed), n),
-            TensorOp::SpmmNm { n, n_of, m_of, .. } => {
-                self.acc.spmm_nm(&sparse_operand(op, seed), n, n_of, m_of)
+    }
+}
+
+/// The CGRA as a [`Backend`]: tensor kernels via systolic emulation
+/// (the shared baseline path) plus arbitrary loop nests via the modulo
+/// scheduler of `canon-loopir` — the figures' only baseline without `X`
+/// in the PolyBench columns.
+#[derive(Debug, Clone, Default)]
+pub struct CgraBackend {
+    acc: Cgra,
+}
+
+impl CgraBackend {
+    /// Wraps a CGRA model instance.
+    pub fn new(acc: Cgra) -> CgraBackend {
+        CgraBackend { acc }
+    }
+}
+
+impl Backend for CgraBackend {
+    fn name(&self) -> &'static str {
+        Arch::Cgra.label()
+    }
+
+    fn arch(&self) -> Arch {
+        Arch::Cgra
+    }
+
+    fn peak_macs_per_cycle(&self) -> u64 {
+        self.acc.peak_macs_per_cycle()
+    }
+
+    fn supports(&self, workload: &Workload) -> bool {
+        self.acc.supports(workload_kind(workload))
+    }
+
+    fn run(&self, workload: &Workload, seed: u64) -> Result<RunRecord, BackendError> {
+        match workload {
+            Workload::Tensor(op) => run_tensor_on(&self.acc, Arch::Cgra, op, seed),
+            Workload::Loop(lk) => {
+                let kernel = resolve_loop(lk)?;
+                let run = map_cgra(&kernel, &self.acc);
+                Ok(RunRecord {
+                    cycles: run.cycles,
+                    energy_pj: baseline_energy(Arch::Cgra, &run).total_pj(),
+                    useful_macs: run.useful_macs,
+                    utilization: run.utilization(),
+                })
             }
-            TensorOp::SddmmUnstructured { head_dim, .. } => match kernel_input(op, seed) {
-                KernelInput::Sddmm { mask, .. } => self.acc.sddmm(&mask, head_dim),
-                _ => unreachable!("kernel_input variant mismatch"),
-            },
         }
-        .ok_or(BackendError::Unsupported)?;
-        Ok(RunRecord {
-            cycles: run.cycles,
-            energy_pj: baseline_energy(self.arch, &run).total_pj(),
-            useful_macs: op.useful_macs(),
-            utilization: run.utilization(),
-        })
     }
 }
 
 /// All five backends in the figures' row order ([`Arch::all`]): systolic,
-/// 2:4 systolic, ZeD, CGRA, Canon. `cfg` parameterizes the Canon fabric;
-/// baselines are fixed 256-MAC models.
+/// 2:4 systolic, ZeD, CGRA, Canon — every one provisioned iso-MAC at
+/// `cfg`'s fabric geometry.
 pub fn all_backends(cfg: &CanonConfig) -> Vec<Box<dyn Backend + Send>> {
-    vec![
-        Box::new(BaselineBackend::new(
-            Arch::Systolic,
-            SystolicArray::default(),
-        )),
-        Box::new(BaselineBackend::new(
-            Arch::Systolic24,
-            SparseSystolic24::default(),
-        )),
-        Box::new(BaselineBackend::new(Arch::Zed, ZedAccelerator::default())),
-        Box::new(BaselineBackend::new(Arch::Cgra, Cgra::default())),
-        Box::new(CanonBackend { cfg: cfg.clone() }),
-    ]
+    Arch::all()
+        .iter()
+        .map(|&arch| backend_for(arch, cfg.geometry(), cfg))
+        .collect()
 }
 
-/// The backend modelling `arch` at the given Canon fabric geometry.
+/// The backend modelling `arch` at the given Canon fabric geometry, with
+/// baselines provisioned iso-MAC (`rows × cols ×` [`LANES`] scalar MACs).
 pub fn backend_for(
     arch: Arch,
     geometry: (usize, usize),
     base_cfg: &CanonConfig,
 ) -> Box<dyn Backend + Send> {
+    let (rows, cols) = geometry;
     match arch {
         Arch::Systolic => Box::new(BaselineBackend::new(
             Arch::Systolic,
-            SystolicArray::default(),
+            SystolicArray::iso_mac(rows, cols),
         )),
         Arch::Systolic24 => Box::new(BaselineBackend::new(
             Arch::Systolic24,
-            SparseSystolic24::default(),
+            SparseSystolic24::iso_mac(rows, cols),
         )),
-        Arch::Zed => Box::new(BaselineBackend::new(Arch::Zed, ZedAccelerator::default())),
-        Arch::Cgra => Box::new(BaselineBackend::new(Arch::Cgra, Cgra::default())),
+        Arch::Zed => Box::new(BaselineBackend::new(
+            Arch::Zed,
+            ZedAccelerator::iso_mac(rows, cols),
+        )),
+        Arch::Cgra => Box::new(CgraBackend::new(Cgra::iso_mac(rows, cols))),
         Arch::Canon => Box::new(CanonBackend {
-            cfg: CanonConfig {
-                rows: geometry.0,
-                cols: geometry.1,
-                ..base_cfg.clone()
-            },
+            cfg: base_cfg.with_geometry(rows, cols),
         }),
     }
 }
@@ -329,13 +444,17 @@ pub fn backend_for(
 mod tests {
     use super::*;
 
-    fn spmm_op() -> TensorOp {
-        TensorOp::Spmm {
+    fn spmm_op() -> Workload {
+        Workload::Tensor(TensorOp::Spmm {
             m: 32,
             k: 32,
             n: 32,
             sparsity: 0.6,
-        }
+        })
+    }
+
+    fn loop_workload() -> Workload {
+        Workload::Loop(LoopKernel { name: "gemm", n: 8 })
     }
 
     #[test]
@@ -349,29 +468,29 @@ mod tests {
     fn every_backend_runs_the_standard_families() {
         let backends = all_backends(&CanonConfig::default());
         let ops = [
-            TensorOp::Gemm {
+            Workload::Tensor(TensorOp::Gemm {
                 m: 32,
                 k: 32,
                 n: 32,
-            },
+            }),
             spmm_op(),
-            TensorOp::SpmmNm {
+            Workload::Tensor(TensorOp::SpmmNm {
                 m: 32,
                 k: 32,
                 n: 32,
                 n_of: 2,
                 m_of: 4,
-            },
-            TensorOp::SddmmUnstructured {
+            }),
+            Workload::Tensor(TensorOp::SddmmUnstructured {
                 seq: 32,
                 head_dim: 32,
                 sparsity: 0.5,
-            },
-            TensorOp::SddmmWindow {
+            }),
+            Workload::Tensor(TensorOp::SddmmWindow {
                 seq: 32,
                 window: 8,
                 head_dim: 32,
-            },
+            }),
         ];
         for op in &ops {
             for b in &backends {
@@ -384,6 +503,36 @@ mod tests {
                 assert!((0.0..=1.0).contains(&rec.utilization), "{}", b.name());
             }
         }
+    }
+
+    #[test]
+    fn loop_workloads_run_on_canon_and_cgra_only() {
+        let backends = all_backends(&CanonConfig::default());
+        let w = loop_workload();
+        for b in &backends {
+            let reconfigurable = matches!(b.arch(), Arch::Canon | Arch::Cgra);
+            assert_eq!(b.supports(&w), reconfigurable, "{}", b.name());
+            match b.run(&w, 1) {
+                Ok(rec) => {
+                    assert!(reconfigurable, "{} must not run loops", b.name());
+                    assert!(rec.cycles > 0 && rec.energy_pj > 0.0, "{}", b.name());
+                }
+                Err(BackendError::Unsupported) => {
+                    assert!(!reconfigurable, "{} must run loops", b.name())
+                }
+                Err(e) => panic!("{}: {e}", b.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_loop_kernel_is_mapping_error_not_panic() {
+        let w = Workload::Loop(LoopKernel {
+            name: "cholesky",
+            n: 8,
+        });
+        let canon = CanonBackend::default();
+        assert!(matches!(canon.run(&w, 1), Err(BackendError::Sim(_))));
     }
 
     #[test]
@@ -401,7 +550,12 @@ mod tests {
         // The sparse operand a baseline sees (drawn without the dense B)
         // must equal Canon's from the full kernel_input stream.
         for op in [
-            spmm_op(),
+            TensorOp::Spmm {
+                m: 32,
+                k: 32,
+                n: 32,
+                sparsity: 0.6,
+            },
             TensorOp::SpmmNm {
                 m: 32,
                 k: 32,
@@ -424,15 +578,53 @@ mod tests {
     fn canon_mapping_violation_is_sim_error() {
         let canon = CanonBackend::default();
         // K = 20 is not a multiple of the 8-row fabric.
-        let bad = TensorOp::Spmm {
+        let bad = Workload::Tensor(TensorOp::Spmm {
             m: 8,
             k: 20,
             n: 8,
             sparsity: 0.5,
-        };
+        });
         match canon.run(&bad, 1) {
             Err(BackendError::Sim(_)) => {}
             other => panic!("expected mapping error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn backends_are_iso_mac_at_every_geometry() {
+        let cfg = CanonConfig::default();
+        for geometry in [(4, 4), (8, 8), (16, 16), (8, 16)] {
+            let want = (geometry.0 * geometry.1 * LANES) as u64;
+            for arch in Arch::all() {
+                let b = backend_for(arch, geometry, &cfg);
+                assert_eq!(
+                    b.peak_macs_per_cycle(),
+                    want,
+                    "{} at {geometry:?}",
+                    b.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn loop_runs_scale_with_geometry() {
+        // A bigger fabric (and its iso-MAC CGRA) should not be slower on a
+        // parallel kernel.
+        let w = Workload::Loop(LoopKernel {
+            name: "gemm",
+            n: 64,
+        });
+        let cfg = CanonConfig::default();
+        for arch in [Arch::Canon, Arch::Cgra] {
+            let small = backend_for(arch, (8, 8), &cfg).run(&w, 1).unwrap();
+            let large = backend_for(arch, (16, 16), &cfg).run(&w, 1).unwrap();
+            assert!(
+                large.cycles <= small.cycles,
+                "{arch:?}: {} vs {}",
+                large.cycles,
+                small.cycles
+            );
         }
     }
 }

@@ -15,7 +15,7 @@
 
 use crate::backend::{backend_for, BackendError};
 use crate::scenario::{Scenario, ScenarioGrid};
-use crate::store::{cell_key, cfg_fingerprint, RecordStatus, ResultStore, StoredRecord};
+use crate::store::{cell_key, cfg_fingerprint, RecordStatus, ResultStore, StoredRecord, CODE_SALT};
 use canon_core::CanonConfig;
 use std::collections::VecDeque;
 use std::io;
@@ -83,6 +83,7 @@ fn record_for(scenario: &Scenario, key: String, opts: &SweepOptions) -> StoredRe
     };
     StoredRecord {
         key,
+        salt: CODE_SALT.to_string(),
         workload: scenario.workload.clone(),
         arch: scenario.arch.label().to_string(),
         band: scenario.band.map(|b| b.to_string()),
@@ -371,12 +372,12 @@ mod tests {
             )
             .build();
         for s in &mut grid.scenarios {
-            s.op = canon_workloads::TensorOp::Spmm {
+            s.op = canon_workloads::Workload::Tensor(canon_workloads::TensorOp::Spmm {
                 m: 8,
                 k: 20,
                 n: 8,
                 sparsity: 0.5,
-            };
+            });
         }
         let mut store = ResultStore::in_memory();
         let out = run_sweep(

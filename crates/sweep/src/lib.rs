@@ -5,19 +5,29 @@
 //! pair at a time on a single thread. This crate turns the workspace into a
 //! throughput-oriented evaluation service:
 //!
-//! * [`scenario`] — a declarative scenario grid (architecture × [`TensorOp`]
-//!   workload × sparsity band × fabric geometry × scale) with a builder API
-//!   and cartesian expansion;
+//! * [`scenario`] — a declarative scenario grid (architecture ×
+//!   [`Workload`] × sparsity band × fabric geometry × scale) with a builder
+//!   API and cartesian expansion. The workload axis spans both of the
+//!   paper's execution classes — tensor kernels
+//!   ([`TensorOp`]) and PolyBench loop nests
+//!   ([`canon_workloads::LoopKernel`]) — and the geometry axis applies to
+//!   every architecture: baselines are provisioned **iso-MAC** with the
+//!   Canon fabric of each cell, so a geometry sweep compares equal peak
+//!   compute at every point;
 //! * [`backend`] — the [`Backend`](backend::Backend) trait: one uniform
-//!   `supports`/`run` interface implemented for Canon and the four baseline
-//!   simulators, replacing per-figure dispatch;
+//!   `supports`/`run` interface over any [`Workload`], implemented for
+//!   Canon and the four baseline simulators, replacing per-figure dispatch
+//!   (loop nests on the tensor-only baselines surface as `Unsupported`, the
+//!   figures' `X` cells);
 //! * [`engine`] — a work-stealing thread-pool driver over `std` scoped
 //!   threads; output ordering is deterministic regardless of completion
 //!   order, so equal grids produce byte-identical result files at any
 //!   thread count;
 //! * [`store`] — a JSONL result store (hand-rolled serializer, no external
 //!   deps) keyed by a content hash of (scenario, configuration,
-//!   code-version salt), giving re-runs cache hits instead of simulations;
+//!   code-version salt), giving re-runs cache hits instead of simulations,
+//!   with [`ResultStore::compact`] garbage-collection for records stranded
+//!   by salt/schema bumps;
 //! * [`report`] — cross-backend speedup and EDP comparison tables built on
 //!   [`report::format_matrix`].
 //!
@@ -40,6 +50,7 @@
 //! ```
 //!
 //! [`TensorOp`]: canon_workloads::TensorOp
+//! [`Workload`]: canon_workloads::Workload
 
 pub mod backend;
 pub mod engine;
@@ -47,8 +58,8 @@ pub mod report;
 pub mod scenario;
 pub mod store;
 
-pub use backend::{all_backends, Backend, BackendError, CanonBackend, RunRecord};
+pub use backend::{all_backends, backend_for, Backend, BackendError, CanonBackend, RunRecord};
 pub use engine::{run_sweep, SweepOptions, SweepOutcome, SweepStats};
 pub use report::{edp_table, format_matrix, speedup_table};
 pub use scenario::{GridBuilder, OpTemplate, Scenario, ScenarioGrid, WorkloadSpec};
-pub use store::{ResultStore, StoredRecord};
+pub use store::{CompactStats, ResultStore, StoredRecord};

@@ -134,6 +134,7 @@ mod tests {
     fn rec(workload: &str, arch: &str, cycles: u64, energy: f64, ok: bool) -> StoredRecord {
         StoredRecord {
             key: format!("{workload}-{arch}"),
+            salt: crate::store::CODE_SALT.into(),
             workload: workload.into(),
             arch: arch.into(),
             band: None,

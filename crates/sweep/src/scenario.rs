@@ -1,20 +1,27 @@
 //! Declarative scenario grids.
 //!
 //! A [`Scenario`] is one fully-specified cell: an architecture running one
-//! concrete [`TensorOp`] at a fabric geometry and problem scale. Grids are
-//! described declaratively through [`GridBuilder`] — shape *templates*
-//! crossed with sparsity bands, scales, geometries, and architectures — and
-//! expanded cartesianly into a deterministic scenario order, which is also
-//! the order of every result file and report column the sweep produces.
+//! concrete [`Workload`] — a tensor kernel or a PolyBench loop nest — at a
+//! fabric geometry and problem scale. Grids are described declaratively
+//! through [`GridBuilder`] — workload *templates* crossed with sparsity
+//! bands, scales, geometries, and architectures — and expanded cartesianly
+//! into a deterministic scenario order, which is also the order of every
+//! result file and report column the sweep produces.
+//!
+//! The geometry axis applies to **every** architecture: baselines are
+//! provisioned iso-MAC with the Canon fabric of the cell (see
+//! [`crate::backend::backend_for`]), so each geometry point is a complete
+//! five-architecture comparison at equal peak compute.
 
 use canon_energy::Arch;
 use canon_sparse::gen::SparsityBand;
-use canon_workloads::{round_dim, TensorOp};
+use canon_workloads::{round_dim, LoopKernel, TensorOp, Workload};
 
-/// A workload shape template at full scale. Dimensions are divided by the
-/// grid's scale divisor and rounded to mapping-friendly multiples of 32
-/// (via [`round_dim`]) at expansion time; sparsity comes from the grid's
-/// band axis where the template is band-sensitive.
+/// A workload shape template at full scale. Tensor dimensions are divided
+/// by the grid's scale divisor and rounded to mapping-friendly multiples of
+/// 32 (via [`round_dim`]) at expansion time; loop-nest problem sizes divide
+/// directly (minimum 4); sparsity comes from the grid's band axis where the
+/// template is band-sensitive.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum OpTemplate {
     /// Dense GEMM (band-insensitive).
@@ -65,6 +72,14 @@ pub enum OpTemplate {
         /// Head dimension at full scale.
         head_dim: usize,
     },
+    /// A PolyBench loop nest (band-insensitive; only reconfigurable
+    /// architectures run it — the `X` cells of Figs 12/13).
+    Loop {
+        /// PolyBench kernel name (must be in the evaluated suite).
+        name: &'static str,
+        /// Problem size at full scale.
+        n: usize,
+    },
 }
 
 impl OpTemplate {
@@ -73,52 +88,59 @@ impl OpTemplate {
         matches!(self, OpTemplate::Spmm { .. } | OpTemplate::Sddmm { .. })
     }
 
-    /// Instantiates the concrete op at a scale divisor and optional band.
-    pub fn instantiate(&self, band: Option<SparsityBand>, scale: usize) -> TensorOp {
+    /// Instantiates the concrete workload at a scale divisor and optional
+    /// band.
+    pub fn instantiate(&self, band: Option<SparsityBand>, scale: usize) -> Workload {
         let d = |raw: usize| round_dim(raw, scale);
         let sparsity = band.unwrap_or(SparsityBand::S2).representative();
         match *self {
-            OpTemplate::Gemm { m, k, n } => TensorOp::Gemm {
+            OpTemplate::Gemm { m, k, n } => Workload::Tensor(TensorOp::Gemm {
                 m: d(m),
                 k: d(k),
                 n: d(n),
-            },
-            OpTemplate::Spmm { m, k, n } => TensorOp::Spmm {
+            }),
+            OpTemplate::Spmm { m, k, n } => Workload::Tensor(TensorOp::Spmm {
                 m: d(m),
                 k: d(k),
                 n: d(n),
                 sparsity,
-            },
+            }),
             OpTemplate::SpmmNm {
                 m,
                 k,
                 n,
                 n_of,
                 m_of,
-            } => TensorOp::SpmmNm {
+            } => Workload::Tensor(TensorOp::SpmmNm {
                 m: d(m),
                 k: d(k),
                 n: d(n),
                 n_of,
                 m_of,
-            },
-            OpTemplate::Sddmm { seq, head_dim } => TensorOp::SddmmUnstructured {
+            }),
+            OpTemplate::Sddmm { seq, head_dim } => Workload::Tensor(TensorOp::SddmmUnstructured {
                 seq: d(seq),
                 head_dim: d(head_dim),
                 sparsity,
-            },
+            }),
             OpTemplate::Window {
                 seq,
                 window_div,
                 head_dim,
             } => {
                 let seq = d(seq);
-                TensorOp::SddmmWindow {
+                Workload::Tensor(TensorOp::SddmmWindow {
                     seq,
                     window: (seq / window_div.max(1)).max(2),
                     head_dim: d(head_dim),
-                }
+                })
             }
+            OpTemplate::Loop { name, n } => Workload::Loop(LoopKernel {
+                name,
+                // Loop trips need no 32-alignment; the stencils need
+                // interior points (n >= 4).
+                n: (n / scale.max(1)).max(4),
+            }),
         }
     }
 }
@@ -126,8 +148,8 @@ impl OpTemplate {
 /// A named workload template — one logical column family of the grid.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSpec {
-    /// Display name ("GEMM", "SpMM", …); band and scale suffixes are
-    /// appended per cell.
+    /// Display name ("GEMM", "SpMM", "PolyB-gemm", …); band and scale
+    /// suffixes are appended per cell.
     pub name: String,
     /// The shape template.
     pub template: OpTemplate,
@@ -138,12 +160,12 @@ pub struct WorkloadSpec {
 pub struct Scenario {
     /// Workload family name.
     pub workload: String,
-    /// The concrete tensor operation.
-    pub op: TensorOp,
+    /// The concrete workload.
+    pub op: Workload,
     /// Sparsity band (`None` for band-insensitive workloads).
     pub band: Option<SparsityBand>,
-    /// Canon fabric geometry `(rows, cols)`; baselines always run their
-    /// fixed 256-MAC configuration and carry the default geometry.
+    /// Fabric geometry `(rows, cols)`: the Canon array for Canon cells, the
+    /// iso-MAC provisioning point for baseline cells.
     pub geometry: (usize, usize),
     /// Scale divisor the shapes were instantiated at.
     pub scale: usize,
@@ -155,8 +177,10 @@ pub struct Scenario {
 }
 
 /// The one definition of a workload cell's display label (name, band,
-/// scale, non-default geometry) — grids and stored records must agree on
-/// it, since reports group records back into cells by this string.
+/// scale, geometry) — grids and stored records must agree on it, since
+/// reports group records back into cells by this string. The geometry is
+/// always spelled out: with baselines provisioned per geometry, eliding a
+/// "default" would let cells of different geometries collide.
 pub fn cell_label_for(
     workload: &str,
     band: Option<&str>,
@@ -170,48 +194,22 @@ pub fn cell_label_for(
     if scale != 1 {
         label.push_str(&format!("/s{scale}"));
     }
-    if geometry != (8, 8) {
-        label.push_str(&format!("@{}x{}", geometry.0, geometry.1));
-    }
+    label.push_str(&format!("@{}x{}", geometry.0, geometry.1));
     label
 }
 
 impl Scenario {
     /// Label of the workload cell this scenario belongs to (shared across
-    /// architectures): name, band, scale, and non-default geometry.
+    /// architectures): name, band, scale, and geometry.
     pub fn cell_label(&self) -> String {
         let band = self.band.map(|b| b.to_string());
         cell_label_for(&self.workload, band.as_deref(), self.scale, self.geometry)
     }
 
-    /// Canonical single-line description of the concrete op — part of the
-    /// cache key and of the stored record.
+    /// Canonical single-line description of the concrete workload — part of
+    /// the cache key and of the stored record.
     pub fn op_descriptor(&self) -> String {
-        match self.op {
-            TensorOp::Gemm { m, k, n } => format!("gemm(m={m},k={k},n={n})"),
-            TensorOp::Spmm { m, k, n, sparsity } => {
-                format!("spmm(m={m},k={k},n={n},sp={sparsity})")
-            }
-            TensorOp::SpmmNm {
-                m,
-                k,
-                n,
-                n_of,
-                m_of,
-            } => {
-                format!("spmm_nm(m={m},k={k},n={n},{n_of}:{m_of})")
-            }
-            TensorOp::SddmmUnstructured {
-                seq,
-                head_dim,
-                sparsity,
-            } => format!("sddmm(seq={seq},h={head_dim},sp={sparsity})"),
-            TensorOp::SddmmWindow {
-                seq,
-                window,
-                head_dim,
-            } => format!("window(seq={seq},w={window},h={head_dim})"),
-        }
+        self.op.descriptor()
     }
 
     /// The canonical key material of this cell (scenario side; the store
@@ -246,9 +244,10 @@ impl ScenarioGrid {
         GridBuilder::new()
     }
 
-    /// The standard multi-backend grid mirroring the Figs 12/13 tensor
-    /// columns: GEMM, banded SpMM, 2:4 / 2:8 structured SpMM, banded SDDMM,
-    /// and the two window-attention shapes, across all five architectures.
+    /// The standard multi-backend grid mirroring the Figs 12/13 columns:
+    /// GEMM, banded SpMM, 2:4 / 2:8 structured SpMM, banded SDDMM, the two
+    /// window-attention shapes, and three PolyBench loop nests (one per
+    /// category), across all five architectures.
     ///
     /// `scale` is the shape divisor (1 = full scale, 4 ≈ smoke).
     pub fn standard(scale: usize) -> ScenarioGrid {
@@ -267,7 +266,8 @@ impl ScenarioGrid {
     }
 }
 
-/// The workload templates of [`ScenarioGrid::standard`].
+/// The workload templates of [`ScenarioGrid::standard`]: seven tensor
+/// families plus three PolyBench loop nests (one per figure category).
 pub fn standard_workloads() -> Vec<WorkloadSpec> {
     let spec = |name: &str, template| WorkloadSpec {
         name: name.into(),
@@ -333,6 +333,23 @@ pub fn standard_workloads() -> Vec<WorkloadSpec> {
                 head_dim: 128,
             },
         ),
+        // One loop nest per Figs 12/13 PolyBench category: BLAS, Kernel,
+        // Stencil. Systolic variants and ZeD record these as Unsupported.
+        spec(
+            "PolyB-gemm",
+            OpTemplate::Loop {
+                name: "gemm",
+                n: 64,
+            },
+        ),
+        spec("PolyB-2mm", OpTemplate::Loop { name: "2mm", n: 64 }),
+        spec(
+            "PolyB-jacobi-2d",
+            OpTemplate::Loop {
+                name: "jacobi-2d",
+                n: 64,
+            },
+        ),
     ]
 }
 
@@ -389,8 +406,9 @@ impl GridBuilder {
         self
     }
 
-    /// Sets the Canon fabric geometries. Baselines are fixed-geometry
-    /// models, so geometry expansion applies to Canon cells only.
+    /// Sets the fabric-geometry axis. Every architecture expands over it:
+    /// Canon instantiates a `rows × cols` fabric, baselines are provisioned
+    /// iso-MAC with it.
     pub fn geometries(mut self, geometries: &[(usize, usize)]) -> GridBuilder {
         self.geometries = geometries.to_vec();
         self
@@ -423,19 +441,8 @@ impl GridBuilder {
                 for &scale in &self.scales {
                     let op = w.template.instantiate(band, scale.max(1));
                     let seed = cell_seed(self.base_seed, &w.name, band, scale);
-                    for (gi, &geometry) in self.geometries.iter().enumerate() {
+                    for &geometry in &self.geometries {
                         for &arch in &self.archs {
-                            // Baselines don't have a geometry axis: emit
-                            // them once (at the first geometry, recorded as
-                            // the default 8×8) to avoid duplicate cells.
-                            if arch != Arch::Canon && gi > 0 {
-                                continue;
-                            }
-                            let geometry = if arch == Arch::Canon {
-                                geometry
-                            } else {
-                                (8, 8)
-                            };
                             scenarios.push(Scenario {
                                 workload: w.name.clone(),
                                 op,
@@ -473,10 +480,25 @@ mod tests {
         let g1 = ScenarioGrid::standard(4);
         let g2 = ScenarioGrid::standard(4);
         assert_eq!(g1, g2);
-        // 7 templates -> 11 cells (SpMM and SDDMM fan out over 3 bands),
+        // 10 templates -> 14 cells (SpMM and SDDMM fan out over 3 bands),
         // each with all 5 architectures.
-        assert_eq!(g1.cell_count(), 11);
-        assert_eq!(g1.scenarios.len(), 55);
+        assert_eq!(g1.cell_count(), 14);
+        assert_eq!(g1.scenarios.len(), 70);
+    }
+
+    #[test]
+    fn standard_grid_contains_loop_workloads() {
+        let g = ScenarioGrid::standard(4);
+        let loops: Vec<&Scenario> = g
+            .scenarios
+            .iter()
+            .filter(|s| matches!(s.op, Workload::Loop(_)))
+            .collect();
+        // 3 loop kernels x 5 architectures.
+        assert_eq!(loops.len(), 15);
+        assert!(loops
+            .iter()
+            .any(|s| s.op == Workload::Loop(LoopKernel { name: "2mm", n: 16 })));
     }
 
     #[test]
@@ -519,7 +541,7 @@ mod tests {
     }
 
     #[test]
-    fn geometry_axis_applies_to_canon_only() {
+    fn geometry_axis_applies_to_every_architecture() {
         let grid = GridBuilder::new()
             .workload(
                 "GEMM",
@@ -531,15 +553,18 @@ mod tests {
             )
             .geometries(&[(8, 8), (16, 16)])
             .build();
-        // 5 archs at the first geometry + 1 extra Canon cell at 16x16.
-        assert_eq!(grid.scenarios.len(), 6);
-        let canon16 = grid
-            .scenarios
-            .iter()
-            .filter(|s| s.geometry == (16, 16))
-            .collect::<Vec<_>>();
-        assert_eq!(canon16.len(), 1);
-        assert_eq!(canon16[0].arch, Arch::Canon);
+        // Baselines are iso-MAC provisioned per geometry, so all 5 archs
+        // appear at both geometries.
+        assert_eq!(grid.scenarios.len(), 10);
+        for geometry in [(8, 8), (16, 16)] {
+            let archs: Vec<Arch> = grid
+                .scenarios
+                .iter()
+                .filter(|s| s.geometry == geometry)
+                .map(|s| s.arch)
+                .collect();
+            assert_eq!(archs, Arch::all().to_vec(), "at {geometry:?}");
+        }
     }
 
     #[test]
@@ -551,7 +576,7 @@ mod tests {
         }
         .instantiate(Some(SparsityBand::S3), 2);
         match op {
-            TensorOp::Spmm { m, k, n, sparsity } => {
+            Workload::Tensor(TensorOp::Spmm { m, k, n, sparsity }) => {
                 assert_eq!(m % 32, 0);
                 assert_eq!(k % 32, 0);
                 assert_eq!(n % 32, 0);
@@ -562,10 +587,40 @@ mod tests {
     }
 
     #[test]
-    fn cell_labels_encode_axes() {
+    fn loop_template_scales_with_floor() {
+        let w = OpTemplate::Loop {
+            name: "jacobi-2d",
+            n: 64,
+        };
+        assert_eq!(
+            w.instantiate(None, 8),
+            Workload::Loop(LoopKernel {
+                name: "jacobi-2d",
+                n: 8
+            })
+        );
+        // Clamped to the stencil minimum.
+        assert_eq!(
+            w.instantiate(None, 100),
+            Workload::Loop(LoopKernel {
+                name: "jacobi-2d",
+                n: 4
+            })
+        );
+        assert!(!w.band_sensitive());
+    }
+
+    #[test]
+    fn cell_labels_encode_axes_including_geometry() {
         let g = ScenarioGrid::standard(4);
         let labels: Vec<String> = g.scenarios.iter().map(|s| s.cell_label()).collect();
-        assert!(labels.iter().any(|l| l == "SpMM-S2/s4"));
-        assert!(labels.iter().any(|l| l == "GEMM/s4"));
+        assert!(labels.iter().any(|l| l == "SpMM-S2/s4@8x8"));
+        assert!(labels.iter().any(|l| l == "GEMM/s4@8x8"));
+        assert!(labels.iter().any(|l| l == "PolyB-gemm/s4@8x8"));
+        // Same cell at two geometries must not collide.
+        assert_ne!(
+            cell_label_for("GEMM", None, 1, (8, 8)),
+            cell_label_for("GEMM", None, 1, (16, 16)),
+        );
     }
 }

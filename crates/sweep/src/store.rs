@@ -12,6 +12,11 @@
 //! writes a canonical line, [`StoredRecord::parse`] reads it back. Cached
 //! records re-emit their original line verbatim, so a warm re-run produces
 //! a byte-identical file.
+//!
+//! Records carry their [`CODE_SALT`] and schema version explicitly, so
+//! [`ResultStore::compact`] can garbage-collect cells stranded by a salt
+//! bump or a schema migration (they would otherwise sit in the file forever
+//! — their content keys can never be probed again).
 
 use crate::scenario::Scenario;
 use canon_core::CanonConfig;
@@ -20,10 +25,13 @@ use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 
 /// Bump when a simulator or energy-model change invalidates stored results.
-pub const CODE_SALT: &str = "canon-sweep-v1";
+/// `v2`: the unified `Workload` record schema with geometry-parameterized
+/// (iso-MAC) baselines.
+pub const CODE_SALT: &str = "canon-sweep-v2";
 
-/// Stored-record schema version.
-pub const STORE_SCHEMA: u32 = 1;
+/// Stored-record schema version (`2` added the explicit `salt` field and
+/// the loop-workload descriptors).
+pub const STORE_SCHEMA: u32 = 2;
 
 /// 64-bit FNV-1a.
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -86,6 +94,9 @@ impl RecordStatus {
 pub struct StoredRecord {
     /// Content-hash cache key (16 hex digits).
     pub key: String,
+    /// The [`CODE_SALT`] the record was computed under — lets
+    /// [`ResultStore::compact`] identify stale generations.
+    pub salt: String,
     /// Workload family name.
     pub workload: String,
     /// Architecture label.
@@ -142,6 +153,8 @@ impl StoredRecord {
         s.push('{');
         field_str(&mut s, "key", &self.key);
         s.push_str(&format!(",\"schema\":{STORE_SCHEMA},"));
+        field_str(&mut s, "salt", &self.salt);
+        s.push(',');
         field_str(&mut s, "workload", &self.workload);
         s.push(',');
         field_str(&mut s, "arch", &self.arch);
@@ -212,6 +225,7 @@ impl StoredRecord {
         };
         Some(StoredRecord {
             key: get_str("key")?,
+            salt: get_str("salt")?,
             workload: get_str("workload")?,
             arch: get_str("arch")?,
             band: match fields.get("band")? {
@@ -344,12 +358,17 @@ fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<
 pub struct ResultStore {
     path: Option<PathBuf>,
     by_key: HashMap<String, StoredRecord>,
+    /// Lines of the backing file that failed to parse (truncation, or a
+    /// schema older than [`STORE_SCHEMA`]) — still occupying file space
+    /// until [`ResultStore::compact`] rewrites it.
+    unreadable_lines: usize,
 }
 
 impl ResultStore {
-    /// Opens (and loads, if present) the store at `path`. Malformed lines
-    /// are skipped so a truncated file degrades to extra cache misses, not
-    /// a failed sweep.
+    /// Opens (and loads, if present) the store at `path`. Malformed or
+    /// old-schema lines are skipped so a truncated or stale file degrades
+    /// to extra cache misses, not a failed sweep; their count is reported
+    /// by [`ResultStore::unreadable_lines`].
     ///
     /// # Errors
     ///
@@ -357,11 +376,15 @@ impl ResultStore {
     pub fn open(path: impl AsRef<Path>) -> io::Result<ResultStore> {
         let path = path.as_ref().to_path_buf();
         let mut by_key = HashMap::new();
+        let mut unreadable_lines = 0;
         match std::fs::read_to_string(&path) {
             Ok(content) => {
                 for line in content.lines().filter(|l| !l.trim().is_empty()) {
-                    if let Some(rec) = StoredRecord::parse(line) {
-                        by_key.insert(rec.key.clone(), rec);
+                    match StoredRecord::parse(line) {
+                        Some(rec) => {
+                            by_key.insert(rec.key.clone(), rec);
+                        }
+                        None => unreadable_lines += 1,
                     }
                 }
             }
@@ -371,6 +394,7 @@ impl ResultStore {
         Ok(ResultStore {
             path: Some(path),
             by_key,
+            unreadable_lines,
         })
     }
 
@@ -379,7 +403,14 @@ impl ResultStore {
         ResultStore {
             path: None,
             by_key: HashMap::new(),
+            unreadable_lines: 0,
         }
+    }
+
+    /// Lines of the backing file that could not be parsed when the store
+    /// was opened (see [`ResultStore::open`]).
+    pub fn unreadable_lines(&self) -> usize {
+        self.unreadable_lines
     }
 
     /// The backing file, if any.
@@ -435,6 +466,42 @@ impl ResultStore {
         }
         f.flush()
     }
+
+    /// Garbage-collects the store: drops every record whose [`CODE_SALT`]
+    /// generation is stale (its content key can never be probed again) and
+    /// rewrites the backing file deterministically (records sorted by key),
+    /// which also sheds malformed and old-schema lines. The `repro store
+    /// gc` CLI target calls this.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file I/O errors; an in-memory store compacts without
+    /// writing.
+    pub fn compact(&mut self) -> io::Result<CompactStats> {
+        let before = self.by_key.len();
+        self.by_key.retain(|_, rec| rec.salt == CODE_SALT);
+        let mut records: Vec<StoredRecord> = self.by_key.values().cloned().collect();
+        records.sort_by(|a, b| a.key.cmp(&b.key));
+        self.write_ordered(&records)?;
+        let stats = CompactStats {
+            kept: records.len(),
+            dropped_stale: before - records.len(),
+            dropped_unreadable: self.unreadable_lines,
+        };
+        self.unreadable_lines = 0;
+        Ok(stats)
+    }
+}
+
+/// Outcome counters of one [`ResultStore::compact`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactStats {
+    /// Records kept (current [`CODE_SALT`] and schema).
+    pub kept: usize,
+    /// Records dropped for a stale code salt.
+    pub dropped_stale: usize,
+    /// File lines dropped because they were malformed or of an old schema.
+    pub dropped_unreadable: usize,
 }
 
 #[cfg(test)]
@@ -445,6 +512,7 @@ mod tests {
     fn sample_record(status: RecordStatus) -> StoredRecord {
         StoredRecord {
             key: "00ff00ff00ff00ff".into(),
+            salt: CODE_SALT.into(),
             workload: "SpMM".into(),
             arch: "ZeD".into(),
             band: Some("S2".into()),
@@ -509,6 +577,76 @@ mod tests {
             cell_key(&grid.scenarios[0], &fp),
             cell_key(&grid.scenarios[0], &other_fp)
         );
+    }
+
+    #[test]
+    fn compact_drops_stale_salt_and_unreadable_lines() {
+        let dir = std::env::temp_dir().join(format!("canon-sweep-gc-{}", std::process::id()));
+        let path = dir.join("t.jsonl");
+        std::fs::create_dir_all(&dir).unwrap();
+        let fresh = sample_record(RecordStatus::Ok);
+        let stale = StoredRecord {
+            key: "1111111111111111".into(),
+            salt: "canon-sweep-v1".into(),
+            ..sample_record(RecordStatus::Ok)
+        };
+        let mut content = format!("{}\n{}\n", fresh.to_line(), stale.to_line());
+        // An old-schema line and a truncated one.
+        content.push_str(&fresh.to_line().replace("\"schema\":2", "\"schema\":1"));
+        content.push('\n');
+        content.push_str(&fresh.to_line()[..30]);
+        content.push('\n');
+        std::fs::write(&path, content).unwrap();
+
+        let mut store = ResultStore::open(&path).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.unreadable_lines(), 2);
+        let stats = store.compact().unwrap();
+        assert_eq!(
+            stats,
+            CompactStats {
+                kept: 1,
+                dropped_stale: 1,
+                dropped_unreadable: 2,
+            }
+        );
+        // The rewritten file holds exactly the fresh record.
+        let store = ResultStore::open(&path).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.unreadable_lines(), 0);
+        assert_eq!(store.lookup(&fresh.key), Some(&fresh));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compact_rewrite_is_deterministic() {
+        let dir = std::env::temp_dir().join(format!("canon-sweep-gc-det-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let recs: Vec<StoredRecord> = (0..8)
+            .map(|i| StoredRecord {
+                key: format!("{i:016x}"),
+                ..sample_record(RecordStatus::Ok)
+            })
+            .collect();
+        let mut bytes = Vec::new();
+        for (run, order) in [
+            (0, [3usize, 1, 7, 0, 2, 6, 4, 5]),
+            (1, [5, 0, 4, 2, 7, 1, 6, 3]),
+        ] {
+            let path = dir.join(format!("{run}.jsonl"));
+            let ordered: Vec<StoredRecord> = order.iter().map(|&i| recs[i].clone()).collect();
+            let store = ResultStore::open(&path).unwrap();
+            store.write_ordered(&ordered).unwrap();
+            drop(store);
+            let mut store = ResultStore::open(&path).unwrap();
+            store.compact().unwrap();
+            bytes.push(std::fs::read(&path).unwrap());
+        }
+        assert_eq!(
+            bytes[0], bytes[1],
+            "compaction must be insertion-order independent"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

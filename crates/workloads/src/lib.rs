@@ -1,4 +1,14 @@
-//! ML model layer zoo and sparsity scenarios (Fig 14, §5 "Workloads").
+//! Workload IR, ML model layer zoo, and sparsity scenarios (Fig 14, §5
+//! "Workloads").
+//!
+//! The evaluation spans two workload classes: *tensor kernels* (GEMM, the
+//! SpMM family, SDDMM and window attention — [`TensorOp`]) and *arbitrary
+//! affine loop nests* (the PolyBench suite of `canon-loopir` —
+//! [`LoopKernel`]). [`Workload`] is the unified representation every
+//! generic layer (the sweep engine's `Backend` trait, scenario grids, the
+//! result store, the figure harness) dispatches on, so both classes flow
+//! through one pipeline and unsupported combinations (loop nests on a
+//! systolic array) surface uniformly as the figures' `X` cells.
 //!
 //! The paper evaluates real model components: ResNet-50 convolutions (as
 //! im2col GEMM/SpMM), Llama-8B and Mistral-7B MLP and attention blocks,
@@ -17,6 +27,99 @@
 //! normalized EDP comparison consumes.
 
 use canon_sparse::gen::SparsityBand;
+
+/// A PolyBench loop-nest workload, identified by suite name and problem
+/// size — a lightweight descriptor that resolves to the full loop IR on
+/// demand, so scenario grids and result records stay cheap to clone and
+/// hash.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoopKernel {
+    /// PolyBench kernel name (`"gemm"`, `"2mm"`, `"jacobi-2d"`, …).
+    pub name: &'static str,
+    /// Problem size `n` (every loop trip derives from it; minimum 4).
+    pub n: usize,
+}
+
+impl LoopKernel {
+    /// Resolves the descriptor to the full loop IR, or `None` when the name
+    /// is not in the evaluated suite.
+    pub fn resolve(&self) -> Option<canon_loopir::Kernel> {
+        canon_loopir::polybench::kernel(self.name, self.n.max(4))
+    }
+
+    /// Useful (guard-weighted) arithmetic ops of the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the name is not in the evaluated suite.
+    pub fn useful_ops(&self) -> u64 {
+        self.resolve()
+            .unwrap_or_else(|| panic!("unknown PolyBench kernel {:?}", self.name))
+            .useful_ops()
+    }
+}
+
+/// One workload of the evaluation — the unified IR over both execution
+/// classes the paper compares.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Workload {
+    /// A tensor kernel (operands materialized from a seed at run time).
+    Tensor(TensorOp),
+    /// An affine loop nest from the PolyBench suite.
+    Loop(LoopKernel),
+}
+
+impl Workload {
+    /// Useful scalar MACs/ops of the workload — the architecture-invariant
+    /// work every utilization and perf/W figure normalizes against.
+    pub fn useful_macs(&self) -> u64 {
+        match self {
+            Workload::Tensor(op) => op.useful_macs(),
+            Workload::Loop(lk) => lk.useful_ops(),
+        }
+    }
+
+    /// Canonical single-line descriptor — part of sweep cache keys and
+    /// stored records, so it must be stable across runs.
+    pub fn descriptor(&self) -> String {
+        match *self {
+            Workload::Tensor(TensorOp::Gemm { m, k, n }) => format!("gemm(m={m},k={k},n={n})"),
+            Workload::Tensor(TensorOp::Spmm { m, k, n, sparsity }) => {
+                format!("spmm(m={m},k={k},n={n},sp={sparsity})")
+            }
+            Workload::Tensor(TensorOp::SpmmNm {
+                m,
+                k,
+                n,
+                n_of,
+                m_of,
+            }) => format!("spmm_nm(m={m},k={k},n={n},{n_of}:{m_of})"),
+            Workload::Tensor(TensorOp::SddmmUnstructured {
+                seq,
+                head_dim,
+                sparsity,
+            }) => format!("sddmm(seq={seq},h={head_dim},sp={sparsity})"),
+            Workload::Tensor(TensorOp::SddmmWindow {
+                seq,
+                window,
+                head_dim,
+            }) => format!("window(seq={seq},w={window},h={head_dim})"),
+            Workload::Loop(lk) => format!("loop({},n={})", lk.name, lk.n),
+        }
+    }
+}
+
+impl From<TensorOp> for Workload {
+    fn from(op: TensorOp) -> Workload {
+        Workload::Tensor(op)
+    }
+}
+
+impl From<LoopKernel> for Workload {
+    fn from(lk: LoopKernel) -> Workload {
+        Workload::Loop(lk)
+    }
+}
 
 /// One tensor operation of a model component.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -299,6 +402,22 @@ mod tests {
         for band in SparsityBand::all() {
             assert_eq!(w.iter().filter(|(_, b, _)| *b == band).count(), 2);
         }
+    }
+
+    #[test]
+    fn workload_descriptors_cover_both_classes() {
+        let t = Workload::from(TensorOp::Gemm { m: 8, k: 8, n: 8 });
+        assert_eq!(t.descriptor(), "gemm(m=8,k=8,n=8)");
+        assert_eq!(t.useful_macs(), 512);
+        let l = Workload::from(LoopKernel { name: "2mm", n: 8 });
+        assert_eq!(l.descriptor(), "loop(2mm,n=8)");
+        assert!(l.useful_macs() > 0);
+        assert!(LoopKernel {
+            name: "cholesky",
+            n: 8
+        }
+        .resolve()
+        .is_none());
     }
 
     #[test]

@@ -1,34 +1,56 @@
-//! Sweep a 100+-cell scenario grid across all five architectures.
+//! Sweep a 280-cell scenario grid across all five architectures.
 //!
 //! ```sh
 //! cargo run --release --example sweep_grid
 //! ```
 //!
-//! Builds the standard seven workload families (banded SpMM/SDDMM fan out
-//! over S1–S3) at two problem scales and two Canon fabric geometries, fans
-//! the grid out over all cores, and prints the cross-backend speedup and
-//! EDP tables. Run it twice: the second invocation satisfies every cell
-//! from the JSONL store and reports cache hits instead of re-simulating.
+//! Builds the standard ten workload families — seven tensor templates
+//! (banded SpMM/SDDMM fan out over S1–S3) plus three PolyBench loop nests —
+//! at two problem scales and two fabric geometries, with baselines
+//! provisioned iso-MAC at each geometry, fans the grid out over all cores,
+//! and prints the cross-backend speedup and EDP tables. Run it twice: the
+//! second invocation satisfies every cell from the JSONL store and reports
+//! cache hits instead of re-simulating.
 
 use canon::sweep::engine::{run_sweep, SweepOptions};
 use canon::sweep::report::{edp_table, speedup_table};
 use canon::sweep::scenario::{standard_workloads, GridBuilder};
 use canon::sweep::store::ResultStore;
+use std::collections::HashSet;
 
 fn main() -> std::io::Result<()> {
     let mut builder = GridBuilder::new()
         .scales(&[4, 8]) // quarter- and eighth-scale shapes
-        .geometries(&[(8, 8), (16, 16)]); // Table 1 fabric + a scaled Canon
+        // Table 1 fabric + a double-row scaled point. (16, 8) keeps
+        // cols·lanes = 32, so the small smoke head dimensions stay
+        // mappable on Canon; a 16x16 point would record SDDMM cells as
+        // mapping errors (K = 32 < 64).
+        .geometries(&[(8, 8), (16, 8)]);
     for w in standard_workloads() {
         builder = builder.workload(&w.name, w.template);
     }
     let grid = builder.build();
     println!(
-        "grid: {} scenarios ({} workload cells x backends, incl. 16x16 Canon cells)",
+        "grid: {} scenarios ({} workload cells x 5 backends, all geometry points iso-MAC)",
         grid.scenarios.len(),
         grid.cell_count()
     );
-    assert!(grid.scenarios.len() > 100, "expected a 100+-cell grid");
+    // 14 workload cells (11 tensor band-cells + 3 loop nests) x 2 scales
+    // x 2 geometries x 5 architectures. CI runs this example, so a grid
+    // regression fails fast here.
+    assert_eq!(grid.scenarios.len(), 280, "expected the 280-cell grid");
+    assert_eq!(grid.cell_count(), 56);
+    // Cell labels must be collision-free per architecture: a collision
+    // would silently merge two cells in every report.
+    let mut seen = HashSet::new();
+    for s in &grid.scenarios {
+        assert!(
+            seen.insert((s.cell_label(), s.arch)),
+            "duplicate cell {} for {:?}",
+            s.cell_label(),
+            s.arch
+        );
+    }
 
     let store_path = std::env::temp_dir().join("canon_sweep_grid.jsonl");
     let mut store = ResultStore::open(&store_path)?;
@@ -52,6 +74,10 @@ fn main() -> std::io::Result<()> {
         s.unsupported,
         s.errors
     );
+    // The loop-nest columns are the only Unsupported cells: 3 kernels x
+    // 2 scales x 2 geometries x 3 tensor-only architectures.
+    assert_eq!(s.unsupported, 36, "unexpected Unsupported count");
+    assert_eq!(s.errors, 0, "no cell may fail to simulate");
     println!("store: {}\n", store_path.display());
     println!("{}", speedup_table(&outcome.records));
     println!("{}", edp_table(&outcome.records));

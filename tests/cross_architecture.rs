@@ -137,13 +137,21 @@ fn canon_wins_window_attention_against_all_baselines() {
 
 #[test]
 fn equal_peak_compute_across_architectures() {
-    // §5 fairness requirement: every architecture has 256 MACs.
+    // §5 fairness requirement: every architecture has 256 MACs at the
+    // Table 1 geometry, and iso-MAC provisioning preserves the parity at
+    // every other geometry.
     let cfg = CanonConfig::default();
     assert_eq!(cfg.mac_units(), 256);
-    assert_eq!(canon::baselines::PEAK_MACS, 256);
     let s = SystolicArray::default();
-    assert_eq!(s.rows * s.cols, 256);
+    assert_eq!(s.peak_macs_per_cycle(), 256);
     let z = ZedAccelerator::default();
     assert_eq!(z.compute_units * z.lanes, 256);
     assert_eq!(Cgra::default().pes, 256);
+    for (r, c) in [(4, 4), (8, 16), (16, 16)] {
+        let want = cfg.with_geometry(r, c).mac_units() as u64;
+        assert_eq!(SystolicArray::iso_mac(r, c).peak_macs_per_cycle(), want);
+        assert_eq!(SparseSystolic24::iso_mac(r, c).peak_macs_per_cycle(), want);
+        assert_eq!(ZedAccelerator::iso_mac(r, c).peak_macs_per_cycle(), want);
+        assert_eq!(Cgra::iso_mac(r, c).peak_macs_per_cycle(), want);
+    }
 }

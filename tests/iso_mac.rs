@@ -1,0 +1,137 @@
+//! Iso-MAC and workload-coverage contract of the geometry-parameterized
+//! sweep (§5's Table 1 parity requirement, generalized to every geometry):
+//!
+//! * every backend at every swept geometry reports the same peak compute as
+//!   a Canon fabric of that geometry (`rows × cols × LANES` scalar MACs);
+//! * a multi-geometry grid emits baseline records at every geometry point,
+//!   and geometry points do not share cache keys or cell labels;
+//! * loop-nest workloads run on the reconfigurable architectures (Canon,
+//!   CGRA) and are `Unsupported` on the dense/2:4 systolic arrays and ZeD —
+//!   the `X` cells of Figs 12/13.
+
+use canon::arch::{CanonConfig, LANES};
+use canon::energy::Arch;
+use canon::sweep::backend::{backend_for, BackendError};
+use canon::sweep::engine::{run_sweep, SweepOptions};
+use canon::sweep::scenario::{GridBuilder, OpTemplate};
+use canon::sweep::store::{RecordStatus, ResultStore};
+use canon::workloads::{LoopKernel, TensorOp, Workload};
+
+const GEOMETRIES: [(usize, usize); 4] = [(4, 4), (8, 8), (8, 16), (16, 16)];
+
+#[test]
+fn every_backend_is_iso_mac_at_every_geometry() {
+    let cfg = CanonConfig::default();
+    for geometry in GEOMETRIES {
+        let want = (geometry.0 * geometry.1 * LANES) as u64;
+        assert_eq!(
+            want,
+            cfg.with_geometry(geometry.0, geometry.1).mac_units() as u64
+        );
+        for arch in Arch::all() {
+            let backend = backend_for(arch, geometry, &cfg);
+            assert_eq!(
+                backend.peak_macs_per_cycle(),
+                want,
+                "{} must be provisioned iso-MAC at {geometry:?}",
+                backend.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn loop_nests_unsupported_on_systolic_and_zed_backends() {
+    let cfg = CanonConfig::default();
+    let workload = Workload::Loop(LoopKernel {
+        name: "jacobi-2d",
+        n: 16,
+    });
+    for arch in Arch::all() {
+        let backend = backend_for(arch, (8, 8), &cfg);
+        let reconfigurable = matches!(arch, Arch::Canon | Arch::Cgra);
+        assert_eq!(backend.supports(&workload), reconfigurable, "{arch:?}");
+        match backend.run(&workload, 7) {
+            Ok(rec) => {
+                assert!(reconfigurable, "{arch:?} must not run loop nests");
+                assert!(rec.cycles > 0 && rec.energy_pj > 0.0);
+                assert!((0.0..=1.0).contains(&rec.utilization));
+            }
+            Err(BackendError::Unsupported) => {
+                assert!(!reconfigurable, "{arch:?} must run loop nests");
+            }
+            Err(e) => panic!("{arch:?}: {e}"),
+        }
+    }
+}
+
+#[test]
+fn multi_geometry_grid_emits_baseline_records_at_every_geometry() {
+    let grid = GridBuilder::new()
+        .workload(
+            "GEMM",
+            OpTemplate::Gemm {
+                m: 64,
+                k: 64,
+                n: 32,
+            },
+        )
+        .geometries(&[(8, 8), (16, 16)])
+        .build();
+    let mut store = ResultStore::in_memory();
+    let out = run_sweep(&grid, &mut store, &SweepOptions::default()).expect("sweep runs");
+    assert_eq!(out.records.len(), 10);
+
+    for geometry in [(8usize, 8usize), (16, 16)] {
+        for arch in Arch::all() {
+            let rec = out
+                .records
+                .iter()
+                .find(|r| (r.rows, r.cols) == geometry && r.arch == arch.label())
+                .unwrap_or_else(|| panic!("no record for {arch:?} at {geometry:?}"));
+            assert_eq!(rec.status, RecordStatus::Ok, "{arch:?} at {geometry:?}");
+            assert!(rec.cycles > 0);
+        }
+    }
+    // Cache keys and cell labels must distinguish the geometry points.
+    let mut keys: Vec<&str> = out.records.iter().map(|r| r.key.as_str()).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    assert_eq!(keys.len(), 10, "keys must be unique across geometries");
+    let labels: Vec<String> = out.records.iter().map(|r| r.cell_label()).collect();
+    assert!(labels.contains(&"GEMM@8x8".to_string()));
+    assert!(labels.contains(&"GEMM@16x16".to_string()));
+
+    // A baseline run at the larger iso-MAC provisioning must not be slower.
+    let cycles_at = |geometry: (usize, usize)| {
+        out.records
+            .iter()
+            .find(|r| (r.rows, r.cols) == geometry && r.arch == Arch::Systolic.label())
+            .map(|r| r.cycles)
+            .expect("systolic record")
+    };
+    assert!(cycles_at((16, 16)) <= cycles_at((8, 8)));
+}
+
+#[test]
+fn geometry_scales_canon_tensor_runs() {
+    // The same tensor cell through backend_for at two geometries: the
+    // 16x16 fabric finishes the (mapping-friendly) workload faster.
+    let cfg = CanonConfig::default();
+    let op = Workload::Tensor(TensorOp::Spmm {
+        m: 64,
+        k: 64,
+        n: 64,
+        sparsity: 0.45,
+    });
+    let small = backend_for(Arch::Canon, (8, 8), &cfg).run(&op, 3).unwrap();
+    let large = backend_for(Arch::Canon, (16, 16), &cfg)
+        .run(&op, 3)
+        .unwrap();
+    assert!(
+        large.cycles < small.cycles,
+        "16x16 {} vs 8x8 {}",
+        large.cycles,
+        small.cycles
+    );
+}

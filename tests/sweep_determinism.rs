@@ -1,11 +1,12 @@
 //! Sweep-engine integration contract: (a) the JSONL result store is
 //! byte-identical whatever the worker-thread count — record content and
 //! order depend only on the grid; (b) re-running against a warm store
-//! performs zero backend executions, satisfying every cell from cache.
+//! performs zero backend executions, satisfying every cell from cache —
+//! for tensor and loop-nest workloads alike.
 
 use canon::sweep::engine::{run_sweep, SweepOptions};
 use canon::sweep::scenario::{GridBuilder, OpTemplate, ScenarioGrid};
-use canon::sweep::store::ResultStore;
+use canon::sweep::store::{RecordStatus, ResultStore};
 use std::path::PathBuf;
 
 fn test_grid() -> ScenarioGrid {
@@ -75,6 +76,70 @@ fn thread_count_does_not_change_store_bytes() {
     );
     std::fs::remove_file(&path2).ok();
     std::fs::remove_file(&path8).ok();
+}
+
+#[test]
+fn loop_workload_sweep_is_deterministic_and_cached() {
+    // Two PolyBench kernels across all five architectures and two
+    // geometries: the reconfigurable backends produce Ok records, the
+    // systolic variants and ZeD produce Unsupported records — and both
+    // kinds cache and replay byte-identically.
+    let grid = GridBuilder::new()
+        .workload(
+            "PolyB-gemm",
+            OpTemplate::Loop {
+                name: "gemm",
+                n: 16,
+            },
+        )
+        .workload(
+            "PolyB-jacobi-2d",
+            OpTemplate::Loop {
+                name: "jacobi-2d",
+                n: 16,
+            },
+        )
+        .geometries(&[(8, 8), (16, 16)])
+        .build();
+    assert_eq!(grid.scenarios.len(), 20);
+
+    let paths = [temp_store("loop-jobs1"), temp_store("loop-jobs4")];
+    let mut outcomes = Vec::new();
+    for (path, jobs) in paths.iter().zip([1, 4]) {
+        std::fs::remove_file(path).ok();
+        let mut store = ResultStore::open(path).expect("open store");
+        let out = run_sweep(
+            &grid,
+            &mut store,
+            &SweepOptions {
+                jobs,
+                ..Default::default()
+            },
+        )
+        .expect("loop sweep runs");
+        // 2 kernels x 2 geometries x 3 tensor-only architectures.
+        assert_eq!(out.stats.unsupported, 12);
+        assert_eq!(out.stats.errors, 0);
+        outcomes.push(out);
+    }
+    assert_eq!(outcomes[0].records, outcomes[1].records);
+    let bytes: Vec<Vec<u8>> = paths.iter().map(|p| std::fs::read(p).unwrap()).collect();
+    assert_eq!(bytes[0], bytes[1], "loop sweeps must be thread-invariant");
+
+    for rec in &outcomes[0].records {
+        let ok = rec.status == RecordStatus::Ok;
+        let reconfigurable = rec.arch == "Canon" || rec.arch == "CGRA";
+        assert_eq!(ok, reconfigurable, "{}/{}", rec.workload, rec.arch);
+    }
+
+    // Warm replay from disk: zero executions.
+    let mut store = ResultStore::open(&paths[0]).expect("reopen");
+    let warm = run_sweep(&grid, &mut store, &SweepOptions::default()).expect("warm loop sweep");
+    assert_eq!(warm.stats.executed, 0);
+    assert_eq!(warm.stats.cache_hits, grid.scenarios.len());
+    for p in &paths {
+        std::fs::remove_file(p).ok();
+    }
 }
 
 #[test]
