@@ -162,13 +162,12 @@ impl Pe {
         c: usize,
         cycle: u64,
     ) -> Result<TaggedVector, SimError> {
+        // Context strings are static: building a `format!` string per pop
+        // here allocated on every successful NoC read, dominating the
+        // simulator's steady-state heap traffic.
         match d {
-            Direction::North => grid
-                .vertical(r, c)
-                .pop(cycle, &format!("north pop at PE ({r},{c})")),
-            Direction::West => grid
-                .horizontal(r, c)
-                .pop(cycle, &format!("west pop at PE ({r},{c})")),
+            Direction::North => grid.vertical(r, c).pop(cycle, "north pop"),
+            Direction::West => grid.horizontal(r, c).pop(cycle, "west pop"),
             Direction::South | Direction::East => Err(SimError::AddressOutOfRange {
                 context: format!(
                     "PE ({r},{c}) reads {d}: only south/east-bound dataflow is instantiated"
@@ -187,14 +186,8 @@ impl Pe {
         cycle: u64,
     ) -> Result<(), SimError> {
         match d {
-            Direction::South => {
-                grid.vertical(r + 1, c)
-                    .push(entry, cycle, &format!("south push at PE ({r},{c})"))
-            }
-            Direction::East => {
-                grid.horizontal(r, c + 1)
-                    .push(entry, cycle, &format!("east push at PE ({r},{c})"))
-            }
+            Direction::South => grid.vertical(r + 1, c).push(entry, cycle, "south push"),
+            Direction::East => grid.horizontal(r, c + 1).push(entry, cycle, "east push"),
             Direction::North | Direction::West => Err(SimError::AddressOutOfRange {
                 context: format!(
                     "PE ({r},{c}) writes {d}: only south/east-bound dataflow is instantiated"
