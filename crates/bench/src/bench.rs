@@ -1,0 +1,581 @@
+//! `repro bench` — the simulator performance baseline (`BENCH_sim.json`).
+//!
+//! Three families of measurements, all on the code paths the figures and
+//! sweeps actually execute:
+//!
+//! * **kernels** — every Fig 12 tensor workload on the Canon cycle
+//!   simulator, repeated until the wall-clock sample is stable, reporting
+//!   simulated **cycles per host second** (the simulator-throughput metric;
+//!   wall time is taken from [`RunReport::wall_ns`], i.e. the fabric step
+//!   loop only, excluding operand materialization);
+//! * **steady state** — one fabric-level SpMM run bracketed by the harness's
+//!   global allocation counter, reporting allocations per simulated cycle
+//!   (the zero-allocation-step-loop evidence);
+//! * **figures / sweep** — end-to-end wall time of the multi-backend figure
+//!   harness and of a cold standard sweep (cells include baselines and
+//!   operand materialization, so this measures the whole pipeline).
+//!
+//! When a baseline report (an earlier `BENCH_sim.json`) is supplied, each
+//! section carries `baseline_*` fields and a `speedup` ratio, and the
+//! baseline report is embedded verbatim under `"baseline"` — the file is
+//! then a self-contained before/after record.
+
+use crate::workloads12::tensor_ops;
+use crate::{figures, Scale};
+use canon_core::kernels::spmm::{build_row_streams, preload_b_tile, SpmmFsm};
+use canon_core::stats::RunReport;
+use canon_core::{CanonConfig, Fabric};
+use canon_sparse::{gen, Dense};
+use canon_sweep::backend::CanonBackend;
+use canon_sweep::engine::{run_sweep, SweepOptions};
+use canon_sweep::scenario::{standard_workloads, GridBuilder};
+use canon_sweep::store::ResultStore;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Snapshot of the harness's global allocation counter: `(allocations,
+/// bytes)` since process start. Installed by the `repro` binary; `None`
+/// disables the steady-state section.
+pub type AllocSnapshot = fn() -> (u64, u64);
+
+/// Minimum accumulated sim wall time per kernel sample (seconds).
+const MIN_SAMPLE_SECS: f64 = 0.08;
+/// Independent samples per kernel; the best (highest-throughput) sample is
+/// reported, filtering transient host interference.
+const SAMPLES: usize = 3;
+/// Repetition cap per sample.
+const MAX_REPS: usize = 200;
+
+/// One kernel's simulator-throughput sample.
+#[derive(Debug, Clone)]
+pub struct KernelBench {
+    /// Fig 12 column label.
+    pub name: String,
+    /// Simulated cycles of one run.
+    pub sim_cycles: u64,
+    /// Repetitions measured.
+    pub reps: usize,
+    /// Total fabric wall time across reps (ms).
+    pub wall_ms: f64,
+    /// Simulated cycles per host second.
+    pub cycles_per_sec: f64,
+}
+
+/// Allocation profile of one fabric run.
+#[derive(Debug, Clone)]
+pub struct SteadyState {
+    /// Cycles of the measured run.
+    pub cycles: u64,
+    /// Heap allocations during [`Fabric::run`].
+    pub allocs: u64,
+    /// Bytes allocated during the run.
+    pub bytes: u64,
+}
+
+/// Wall time of one figure harness entry point.
+#[derive(Debug, Clone)]
+pub struct FigureBench {
+    /// Figure target name.
+    pub name: &'static str,
+    /// End-to-end wall time (ms).
+    pub wall_ms: f64,
+}
+
+/// Cold standard-sweep throughput.
+#[derive(Debug, Clone)]
+pub struct SweepBench {
+    /// Grid cells.
+    pub cells: usize,
+    /// Cells executed (non-cached, supported).
+    pub executed: usize,
+    /// Simulated cycles across executed cells.
+    pub sim_cycles: u64,
+    /// Execution-phase wall time (ms).
+    pub wall_ms: f64,
+    /// Simulated cycles per host second across all workers.
+    pub cycles_per_sec: f64,
+}
+
+/// The complete `repro bench` measurement.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Problem-size preset the measurements ran at.
+    pub scale: Scale,
+    /// Worker threads used for the sweep sample.
+    pub jobs: usize,
+    /// Per-kernel simulator throughput.
+    pub kernels: Vec<KernelBench>,
+    /// Step-loop allocation profile (`None` without an allocator hook).
+    pub steady_state: Option<SteadyState>,
+    /// Figure harness wall times.
+    pub figures: Vec<FigureBench>,
+    /// Cold-sweep throughput.
+    pub sweep: SweepBench,
+}
+
+/// One sample: repeat the kernel until `min_secs` of fabric wall time
+/// accumulates, returning `(sim cycles of one run, reps, total wall ns)`.
+fn sample_one(
+    backend: &CanonBackend,
+    op: &canon_workloads::TensorOp,
+    seed: u64,
+    min_secs: f64,
+) -> (u64, usize, u64) {
+    let first: RunReport = backend.run_report(op, seed).expect("kernel maps");
+    let mut total_wall_ns = first.wall_ns;
+    let mut reps = 1;
+    while reps < MAX_REPS && (total_wall_ns as f64) * 1e-9 < min_secs {
+        let r = backend.run_report(op, seed).expect("kernel maps");
+        total_wall_ns += r.wall_ns;
+        reps += 1;
+    }
+    (first.cycles, reps, total_wall_ns)
+}
+
+fn bench_one(
+    backend: &CanonBackend,
+    name: String,
+    op: &canon_workloads::TensorOp,
+    seed: u64,
+    min_secs: f64,
+) -> KernelBench {
+    // Best of `SAMPLES` independent samples: transient host interference
+    // can only slow a sample down, so the fastest is the least-perturbed.
+    let mut best: Option<KernelBench> = None;
+    for _ in 0..SAMPLES {
+        let (sim_cycles, reps, wall_ns) = sample_one(backend, op, seed, min_secs);
+        let sample = KernelBench {
+            name: name.clone(),
+            sim_cycles,
+            reps,
+            wall_ms: wall_ns as f64 * 1e-6,
+            cycles_per_sec: sim_cycles as f64 * reps as f64 / (wall_ns.max(1) as f64 * 1e-9),
+        };
+        if best
+            .as_ref()
+            .is_none_or(|b| sample.cycles_per_sec > b.cycles_per_sec)
+        {
+            best = Some(sample);
+        }
+    }
+    best.expect("SAMPLES > 0")
+}
+
+fn bench_kernels(scale: Scale) -> Vec<KernelBench> {
+    let backend = CanonBackend::default();
+    tensor_ops(scale)
+        .into_iter()
+        .map(|(name, op, seed)| bench_one(&backend, name, &op, seed, MIN_SAMPLE_SECS))
+        .collect()
+}
+
+/// The fixed fabric-level SpMM used for allocation profiling **and** pinned
+/// by `tests/cycle_invariance.rs` (`fabric_spmm_collector_sequence_golden`):
+/// skewed 24×32 stream at seed 7, depth-16 window, one column tile on the
+/// default 8×8 fabric. Both consumers build it through this one
+/// constructor, so the allocation claim and the golden collector sequence
+/// always describe the same scenario.
+pub fn golden_spmm_fabric() -> Fabric {
+    let cfg = CanonConfig::default();
+    let mut rng = gen::seeded_rng(7);
+    let a = gen::skewed_sparse(24, 32, 0.55, 1.5, &mut rng);
+    let b = Dense::random(32, 32, &mut rng);
+    let streams = build_row_streams(&a, cfg.rows).expect("stream split");
+    let mut fabric = Fabric::new(&cfg, false);
+    preload_b_tile(&mut fabric, &b, 32 / cfg.rows, 0).expect("tile fits");
+    for (r, stream) in streams.into_iter().enumerate() {
+        fabric.set_meta_stream(r, stream);
+        fabric.set_program(r, SpmmFsm::new(16, 24));
+    }
+    fabric
+}
+
+fn bench_steady_state(alloc: AllocSnapshot) -> SteadyState {
+    // One throwaway run warms allocator pools and code paths.
+    let mut warm = golden_spmm_fabric();
+    warm.run().expect("spmm runs");
+    let mut fabric = golden_spmm_fabric();
+    let (a0, b0) = alloc();
+    let report = fabric.run().expect("spmm runs");
+    let (a1, b1) = alloc();
+    SteadyState {
+        cycles: report.cycles,
+        allocs: a1 - a0,
+        bytes: b1 - b0,
+    }
+}
+
+fn bench_figures(scale: Scale) -> Vec<FigureBench> {
+    let mut out = Vec::new();
+    let mut run = |name: &'static str, f: &dyn Fn() -> String| {
+        // Best of two passes (see the kernel sampler's rationale).
+        let mut best = f64::INFINITY;
+        for _ in 0..2 {
+            let t = Instant::now();
+            let text = f();
+            assert!(!text.is_empty());
+            best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        }
+        out.push(FigureBench {
+            name,
+            wall_ms: best,
+        });
+    };
+    run("fig11", &|| figures::fig11(scale));
+    run("fig12+13", &|| figures::fig1213(scale));
+    run("fig14", &|| figures::fig14(scale));
+    out
+}
+
+fn bench_sweep(scale: Scale, jobs: usize) -> SweepBench {
+    let mut builder = GridBuilder::new()
+        .scales(&[match scale {
+            Scale::Full => 1,
+            Scale::Smoke => 4,
+        }])
+        .geometries(&[(8, 8)]);
+    for w in standard_workloads() {
+        builder = builder.workload(&w.name, w.template);
+    }
+    let grid = builder.build();
+    // Cold in-memory store each sample; best-of-3 for noise immunity.
+    let mut best: Option<SweepBench> = None;
+    for _ in 0..3 {
+        let mut store = ResultStore::in_memory();
+        let outcome = run_sweep(
+            &grid,
+            &mut store,
+            &SweepOptions {
+                jobs,
+                ..Default::default()
+            },
+        )
+        .expect("in-memory sweep cannot fail on I/O");
+        let s = outcome.stats;
+        let sample = SweepBench {
+            cells: s.total,
+            executed: s.executed,
+            sim_cycles: s.sim_cycles,
+            wall_ms: s.wall_secs * 1e3,
+            cycles_per_sec: s.cycles_per_sec(),
+        };
+        if best
+            .as_ref()
+            .is_none_or(|b| sample.cycles_per_sec > b.cycles_per_sec)
+        {
+            best = Some(sample);
+        }
+    }
+    best.expect("at least one sweep sample")
+}
+
+/// Runs the full measurement suite.
+pub fn run_bench(scale: Scale, jobs: usize, alloc: Option<AllocSnapshot>) -> BenchReport {
+    BenchReport {
+        scale,
+        jobs,
+        kernels: bench_kernels(scale),
+        steady_state: alloc.map(bench_steady_state),
+        figures: bench_figures(scale),
+        sweep: bench_sweep(scale, jobs),
+    }
+}
+
+/// Extracts `"field":<number>` from the first line matching `line_pat` —
+/// the line-oriented parse the baseline embedding relies on
+/// ([`render_json`] writes one object per line).
+fn extract_field(report: &str, line_pat: &str, field: &str) -> Option<f64> {
+    let field_pat = format!("\"{field}\":");
+    report.lines().find(|l| l.contains(line_pat)).and_then(|l| {
+        let rest = &l[l.find(&field_pat)? + field_pat.len()..];
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')))
+            .unwrap_or(rest.len());
+        rest[..end].parse().ok()
+    })
+}
+
+/// `extract_field` keyed by a `"name"` entry (kernels, figures).
+fn extract_number(report: &str, name: &str, field: &str) -> Option<f64> {
+    extract_field(report, &format!("\"name\":\"{name}\""), field)
+}
+
+/// `extract_field` keyed by a top-level section, e.g.
+/// `extract_section_number(r, "sweep", "cycles_per_sec")`.
+fn extract_section_number(report: &str, section: &str, field: &str) -> Option<f64> {
+    extract_field(report, &format!("\"{section}\":"), field)
+}
+
+fn geomean(ratios: &[f64]) -> Option<f64> {
+    if ratios.is_empty() {
+        return None;
+    }
+    Some((ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp())
+}
+
+/// Renders the report as JSON (one object per line inside arrays, so the
+/// file stays greppable and the baseline extraction stays line-oriented).
+/// `baseline` is a previous report's JSON; when given, speedups are
+/// computed against it and it is embedded under `"baseline"`.
+pub fn render_json(report: &BenchReport, baseline: Option<&str>) -> String {
+    let mut s = String::new();
+    let scale = match report.scale {
+        Scale::Full => "full",
+        Scale::Smoke => "smoke",
+    };
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"schema\": 1,");
+    let _ = writeln!(s, "  \"scale\": \"{scale}\",");
+    let _ = writeln!(s, "  \"jobs\": {},", report.jobs);
+    let _ = writeln!(s, "  \"kernels\": [");
+    let mut kernel_speedups = Vec::new();
+    for (i, k) in report.kernels.iter().enumerate() {
+        let speedup = baseline
+            .and_then(|b| extract_number(b, &k.name, "cycles_per_sec"))
+            .map(|base| k.cycles_per_sec / base);
+        if let Some(r) = speedup {
+            kernel_speedups.push(r);
+        }
+        let comma = if i + 1 < report.kernels.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = write!(
+            s,
+            "    {{\"name\":\"{}\",\"sim_cycles\":{},\"reps\":{},\"wall_ms\":{:.3},\"cycles_per_sec\":{:.0}",
+            k.name, k.sim_cycles, k.reps, k.wall_ms, k.cycles_per_sec
+        );
+        match speedup {
+            Some(r) => {
+                let _ = writeln!(s, ",\"speedup_vs_baseline\":{r:.3}}}{comma}");
+            }
+            None => {
+                let _ = writeln!(s, "}}{comma}");
+            }
+        }
+    }
+    let _ = writeln!(s, "  ],");
+    if let Some(ss) = &report.steady_state {
+        let _ = writeln!(
+            s,
+            "  \"steady_state\": {{\"name\":\"spmm-fabric\",\"cycles\":{},\"allocs\":{},\"bytes\":{},\"allocs_per_cycle\":{:.4}}},",
+            ss.cycles,
+            ss.allocs,
+            ss.bytes,
+            ss.allocs as f64 / ss.cycles.max(1) as f64
+        );
+    }
+    let _ = writeln!(s, "  \"figures\": [");
+    for (i, f) in report.figures.iter().enumerate() {
+        let comma = if i + 1 < report.figures.len() {
+            ","
+        } else {
+            ""
+        };
+        let speedup = baseline
+            .and_then(|b| extract_number(b, f.name, "wall_ms"))
+            .map(|base| base / f.wall_ms);
+        let _ = write!(
+            s,
+            "    {{\"name\":\"{}\",\"wall_ms\":{:.3}",
+            f.name, f.wall_ms
+        );
+        match speedup {
+            Some(r) => {
+                let _ = writeln!(s, ",\"speedup_vs_baseline\":{r:.3}}}{comma}");
+            }
+            None => {
+                let _ = writeln!(s, "}}{comma}");
+            }
+        }
+    }
+    let _ = writeln!(s, "  ],");
+    let sweep_speedup = baseline
+        .and_then(|b| extract_section_number(b, "sweep", "cycles_per_sec"))
+        .map(|base| report.sweep.cycles_per_sec / base);
+    let _ = write!(
+        s,
+        "  \"sweep\": {{\"cells\":{},\"executed\":{},\"sim_cycles\":{},\"wall_ms\":{:.3},\"cycles_per_sec\":{:.0}",
+        report.sweep.cells,
+        report.sweep.executed,
+        report.sweep.sim_cycles,
+        report.sweep.wall_ms,
+        report.sweep.cycles_per_sec
+    );
+    match sweep_speedup {
+        Some(r) => {
+            let _ = writeln!(s, ",\"speedup_vs_baseline\":{r:.3}}},");
+        }
+        None => {
+            let _ = writeln!(s, "}},");
+        }
+    }
+    match baseline {
+        Some(b) => {
+            // Emit whatever summary ratios are computable (a baseline with
+            // mismatched kernel names still embeds verbatim below).
+            let mut parts = Vec::new();
+            if let Some(g) = geomean(&kernel_speedups) {
+                parts.push(format!("\"kernels_geomean\":{g:.3}"));
+            }
+            if let Some(r) = sweep_speedup {
+                parts.push(format!("\"sweep\":{r:.3}"));
+            }
+            if !parts.is_empty() {
+                let _ = writeln!(s, "  \"speedup\": {{{}}},", parts.join(","));
+            }
+            let _ = writeln!(s, "  \"baseline\":");
+            for line in b.trim_end().lines() {
+                let _ = writeln!(s, "  {line}");
+            }
+        }
+        None => {
+            let _ = writeln!(s, "  \"baseline\": null");
+        }
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Human-readable summary printed alongside the JSON file.
+pub fn render_text(report: &BenchReport) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "== repro bench: simulator throughput ==");
+    let _ = writeln!(
+        s,
+        "{:<14} {:>11} {:>6} {:>10} {:>16}",
+        "kernel", "sim cycles", "reps", "wall ms", "cycles/sec"
+    );
+    for k in &report.kernels {
+        let _ = writeln!(
+            s,
+            "{:<14} {:>11} {:>6} {:>10.2} {:>16.0}",
+            k.name, k.sim_cycles, k.reps, k.wall_ms, k.cycles_per_sec
+        );
+    }
+    if let Some(ss) = &report.steady_state {
+        let _ = writeln!(
+            s,
+            "steady-state step loop: {} allocs / {} cycles = {:.4} allocs/cycle ({} bytes)",
+            ss.allocs,
+            ss.cycles,
+            ss.allocs as f64 / ss.cycles.max(1) as f64,
+            ss.bytes
+        );
+    }
+    for f in &report.figures {
+        let _ = writeln!(s, "figure {:<10} {:>10.1} ms", f.name, f.wall_ms);
+    }
+    let _ = writeln!(
+        s,
+        "sweep: {} cells ({} executed), {:.1} ms, {:.0} cycles/sec",
+        report.sweep.cells,
+        report.sweep.executed,
+        report.sweep.wall_ms,
+        report.sweep.cycles_per_sec
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> BenchReport {
+        BenchReport {
+            scale: Scale::Smoke,
+            jobs: 2,
+            kernels: vec![KernelBench {
+                name: "GEMM".into(),
+                sim_cycles: 1000,
+                reps: 3,
+                wall_ms: 1.5,
+                cycles_per_sec: 2_000_000.0,
+            }],
+            steady_state: Some(SteadyState {
+                cycles: 164,
+                allocs: 12,
+                bytes: 4096,
+            }),
+            figures: vec![FigureBench {
+                name: "fig12+13",
+                wall_ms: 42.0,
+            }],
+            sweep: SweepBench {
+                cells: 70,
+                executed: 61,
+                sim_cycles: 123456,
+                wall_ms: 10.0,
+                cycles_per_sec: 12_345_600.0,
+            },
+        }
+    }
+
+    #[test]
+    fn json_roundtrips_through_the_line_extractors() {
+        let json = render_json(&tiny_report(), None);
+        assert_eq!(
+            extract_number(&json, "GEMM", "cycles_per_sec"),
+            Some(2_000_000.0)
+        );
+        assert_eq!(extract_number(&json, "fig12+13", "wall_ms"), Some(42.0));
+        assert_eq!(
+            extract_section_number(&json, "sweep", "cycles_per_sec"),
+            Some(12_345_600.0)
+        );
+        assert!(json.contains("\"allocs_per_cycle\":0.0732"));
+        assert!(json.contains("\"baseline\": null"));
+    }
+
+    #[test]
+    fn baseline_embedding_computes_speedups() {
+        let base = render_json(&tiny_report(), None);
+        let mut faster = tiny_report();
+        faster.kernels[0].cycles_per_sec *= 2.0;
+        faster.sweep.cycles_per_sec *= 4.0;
+        let json = render_json(&faster, Some(&base));
+        assert!(json.contains("\"speedup_vs_baseline\":2.000"));
+        assert!(json.contains("\"kernels_geomean\":2.000"));
+        assert!(json.contains("\"sweep\":4.000"));
+        // The baseline is embedded verbatim (indented), still one object per
+        // line, so a future bench can extract from this file too.
+        assert!(json.contains("\"baseline\":"));
+        assert!(extract_number(&json, "GEMM", "speedup_vs_baseline").is_some());
+    }
+
+    #[test]
+    fn mismatched_baseline_is_still_embedded() {
+        // A baseline whose kernel names don't line up (renamed column, old
+        // suite) computes no kernel geomean, but the before/after record
+        // must still carry the baseline verbatim.
+        let mut renamed = tiny_report();
+        renamed.kernels[0].name = "GEMM-old".into();
+        let base = render_json(&renamed, None);
+        let json = render_json(&tiny_report(), Some(&base));
+        assert!(!json.contains("kernels_geomean"));
+        assert!(json.contains("\"sweep\":1.000"), "{json}");
+        // The top-level baseline is the embedded object, not `null` (the
+        // embedded report itself ends with its own `"baseline": null`).
+        assert!(json.contains("\n  \"baseline\":\n"), "{json}");
+        assert!(extract_number(&json, "GEMM-old", "cycles_per_sec").is_some());
+    }
+
+    #[test]
+    fn kernel_sampler_measures_something() {
+        // A single small kernel with no minimum sample time keeps this fast
+        // in debug builds; the full sweep over tensor_ops runs in `repro
+        // bench`.
+        let backend = CanonBackend::default();
+        let op = canon_workloads::TensorOp::Gemm {
+            m: 32,
+            k: 32,
+            n: 32,
+        };
+        let k = bench_one(&backend, "GEMM".into(), &op, 1, 0.0);
+        assert_eq!(k.reps, 1);
+        assert!(k.sim_cycles > 0);
+        assert!(k.cycles_per_sec > 0.0);
+        assert!(k.wall_ms > 0.0);
+    }
+}

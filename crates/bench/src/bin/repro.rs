@@ -19,11 +19,56 @@
 //! reported as cache hits and not re-simulated. `store gc` compacts the
 //! store, dropping records stranded by `CODE_SALT`/schema bumps.
 
-use canon_bench::{ablations, figures, Scale};
+use canon_bench::{ablations, bench, figures, Scale};
 use canon_sweep::engine::{run_sweep, SweepOptions};
 use canon_sweep::report::{edp_table, speedup_table};
 use canon_sweep::scenario::{standard_workloads, GridBuilder};
 use canon_sweep::store::ResultStore;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A counting wrapper around the system allocator, powering `repro bench`'s
+/// steady-state allocation profile (allocations per simulated cycle). The
+/// counters only tick while `COUNTING` is set (the bench target), so every
+/// other `repro` run pays a single relaxed load per allocation and no
+/// shared read-modify-write traffic.
+struct CountingAlloc;
+
+static COUNTING: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to `System`; the counters are purely
+// observational.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+            ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+            ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_snapshot() -> (u64, u64) {
+    (
+        ALLOC_COUNT.load(Ordering::Relaxed),
+        ALLOC_BYTES.load(Ordering::Relaxed),
+    )
+}
 
 fn usage() -> ! {
     eprintln!(
@@ -31,12 +76,16 @@ fn usage() -> ! {
          targets: table1 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17\n\
                   ablation-async ablation-buffer-sizing ablation-lut sweep all\n\
                   store gc\n\
+                  bench [--baseline FILE]   (writes BENCH_sim.json)\n\
          options:\n\
            --smoke      reduced problem sizes (CI-scale)\n\
            --jobs N     sweep worker threads (default: all cores)\n\
-           --out FILE   sweep result store (default: sweep_results.jsonl)\n\
+           --out FILE   sweep result store (default: sweep_results.jsonl);\n\
+                        for bench, the report file (default: BENCH_sim.json)\n\
            --geom LIST  sweep fabric geometries, e.g. 8x8,16x16 (default: 8x8);\n\
-                        baselines are provisioned iso-MAC at each point"
+                        baselines are provisioned iso-MAC at each point\n\
+           --baseline FILE  (bench) previous BENCH_sim.json to embed and\n\
+                        compute speedups against"
     );
     std::process::exit(2)
 }
@@ -108,6 +157,7 @@ fn run_standard_sweep(
     let mut text = format!(
         "== Sweep: {} cells ({} workload cells x {} architectures) ==\n\
          jobs={jobs}  executed={}  cache-hits={}  unsupported={}  errors={}\n\
+         throughput: {:.0} simulated cycles/sec ({:.1} ms execution)\n\
          store: {out}\n\n",
         s.total,
         grid.cell_count(),
@@ -116,6 +166,8 @@ fn run_standard_sweep(
         s.cache_hits,
         s.unsupported,
         s.errors,
+        s.cycles_per_sec(),
+        s.wall_secs * 1e3,
     );
     text.push_str(&speedup_table(&outcome.records));
     text.push('\n');
@@ -141,11 +193,40 @@ fn main() {
         },
         None => std::thread::available_parallelism().map_or(1, |n| n.get()),
     };
-    let out = take_value_flag(&mut args, "--out").unwrap_or_else(|| "sweep_results.jsonl".into());
+    let out_flag = take_value_flag(&mut args, "--out");
+    let baseline_flag = take_value_flag(&mut args, "--baseline");
+    let out = out_flag
+        .clone()
+        .unwrap_or_else(|| "sweep_results.jsonl".into());
     let geometries = take_value_flag(&mut args, "--geom")
         .map_or_else(|| vec![(8, 8)], |raw| parse_geometries(&raw));
     if args.is_empty() {
         usage();
+    }
+    // `bench` measures simulator throughput and writes the JSON baseline.
+    if args[0] == "bench" {
+        if args.len() != 1 {
+            usage();
+        }
+        // Read the baseline up front: a bad path must fail before the
+        // multi-minute measurement suite, not after.
+        let baseline = baseline_flag.map(|p| {
+            std::fs::read_to_string(&p).unwrap_or_else(|e| {
+                eprintln!("cannot read baseline {p}: {e}");
+                std::process::exit(1);
+            })
+        });
+        COUNTING.store(true, Ordering::Relaxed);
+        let report = bench::run_bench(scale, jobs, Some(alloc_snapshot));
+        print!("{}", bench::render_text(&report));
+        let json = bench::render_json(&report, baseline.as_deref());
+        let path = out_flag.unwrap_or_else(|| "BENCH_sim.json".into());
+        std::fs::write(&path, &json).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("bench report written to {path}");
+        return;
     }
     // `store <subcommand>` maintains the result store instead of producing
     // figure output.

@@ -15,7 +15,7 @@ use canon_energy::{arch_area, canon_energy, edp, Arch};
 use canon_sparse::gen::{self, SparsityBand};
 use canon_sparse::stats::spmm_ops_per_byte;
 use canon_sparse::Dense;
-use canon_sweep::backend::{all_backends, CanonBackend};
+use canon_sweep::backend::{all_backends, CanonBackend, OperandCache};
 use canon_workloads::{fig11_workloads, fig14_workloads, TensorOp};
 use std::fmt::Write as _;
 
@@ -226,6 +226,7 @@ pub fn fig14(scale: Scale) -> String {
         .iter()
         .map(|a| (a.label(), Vec::new()))
         .collect();
+    let cache = OperandCache::new();
     for w in fig14_workloads(model_scale) {
         columns.push(format!("{}({})", w.name, w.sparsity_note));
         // Accumulate (cycles, energy) per architecture over the component's
@@ -236,7 +237,7 @@ pub fn fig14(scale: Scale) -> String {
             let workload = canon_workloads::Workload::Tensor(*op);
             for (i, backend) in backends.iter().enumerate() {
                 let run = backend
-                    .run(&workload, seed)
+                    .run_cached(&workload, seed, &cache)
                     .ok()
                     .map(|r| (r.cycles, r.energy_pj));
                 totals[i] = match (totals[i], run) {

@@ -14,6 +14,7 @@
 //! prints, so tests can assert on structure.
 
 pub mod ablations;
+pub mod bench;
 pub mod figures;
 pub mod workloads12;
 

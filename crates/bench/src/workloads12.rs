@@ -12,7 +12,7 @@ use crate::Scale;
 use canon_core::CanonConfig;
 use canon_energy::{perf_per_watt, Arch};
 use canon_loopir::{polybench, Category};
-use canon_sweep::backend::all_backends;
+use canon_sweep::backend::{all_backends, OperandCache};
 use canon_workloads::{LoopKernel, TensorOp, Workload};
 
 /// One architecture's absolute numbers on one workload.
@@ -135,6 +135,9 @@ pub fn tensor_ops(scale: Scale) -> Vec<(String, TensorOp, u64)> {
 /// [`Backend`](canon_sweep::backend::Backend) trait.
 pub fn tensor_columns(scale: Scale) -> Vec<Column> {
     let backends = all_backends(&CanonConfig::default());
+    // One cache per pass: the five architectures of a column share one
+    // operand materialization.
+    let cache = OperandCache::new();
     tensor_ops(scale)
         .into_iter()
         .map(|(name, op, seed)| {
@@ -142,7 +145,7 @@ pub fn tensor_columns(scale: Scale) -> Vec<Column> {
             let runs: Vec<Option<ArchRun>> = backends
                 .iter()
                 .map(|b| {
-                    b.run(&workload, seed).ok().map(|r| ArchRun {
+                    b.run_cached(&workload, seed, &cache).ok().map(|r| ArchRun {
                         cycles: r.cycles,
                         energy_pj: r.energy_pj,
                     })

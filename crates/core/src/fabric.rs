@@ -21,6 +21,24 @@
 //!    (issue at cycle *n* reaches column *c* at cycle *n + 3c*);
 //! 7. pipeline advance and edge-sink draining into the collectors.
 //!
+//! ## Hot-path discipline
+//!
+//! [`Fabric::step`] is the simulator's cost center (it runs once per
+//! simulated cycle for every sweep cell and figure), so its steady state is
+//! allocation-free:
+//!
+//! * NoC error context is carried as copyable [`ErrCtx`](crate::noc::ErrCtx)
+//!   descriptors and rendered only when a protocol error fires;
+//! * edge sinks drain **in place** — step 7 pops each south/east sink link
+//!   directly into the collector vectors (no per-edge temporary `Vec`), and
+//!   the links themselves are fixed-capacity ring buffers;
+//! * row programs are enum-dispatched ([`RowProgram`]) rather than
+//!   `Box<dyn OrchProgram>`, removing the vtable call from the per-cycle
+//!   orchestrator phase.
+//!
+//! The only remaining steady-state allocations are the amortized growth of
+//! the collector vectors themselves.
+//!
 //! ## Flow control
 //!
 //! The paper's "dynamically managed circuit-switching" avoids in-array
@@ -35,7 +53,7 @@
 use crate::config::CanonConfig;
 use crate::isa::{Addr, Direction, Instruction, Vector, LANES};
 use crate::noc::{LinkGrid, TaggedVector};
-use crate::orchestrator::{MetaToken, OrchIo, OrchMessage, OrchProgram};
+use crate::orchestrator::{MetaToken, OrchIo, OrchMessage, OrchProgram, RowProgram};
 use crate::pe::Pe;
 use crate::stats::{RunReport, Stats};
 use crate::SimError;
@@ -56,7 +74,7 @@ pub struct CollectedEntry {
 }
 
 struct RowState {
-    program: Option<Box<dyn OrchProgram>>,
+    program: Option<RowProgram>,
     meta: VecDeque<MetaToken>,
     south_credits: usize,
     inbox: VecDeque<(u64, OrchMessage)>,
@@ -109,6 +127,8 @@ pub struct Fabric {
     cycle: u64,
     extra_offchip_read: u64,
     extra_offchip_write: u64,
+    /// Host wall time accumulated inside [`Fabric::run`] (ns).
+    wall_ns: u64,
 }
 
 impl Fabric {
@@ -152,6 +172,7 @@ impl Fabric {
             cycle: 0,
             extra_offchip_read: 0,
             extra_offchip_write: 0,
+            wall_ns: 0,
             cfg: cfg.clone(),
         }
     }
@@ -187,13 +208,15 @@ impl Fabric {
         &self.pes[r * self.cfg.cols + c]
     }
 
-    /// Installs an orchestrator program on row `r`.
+    /// Installs an orchestrator program on row `r`. Kernel FSMs convert
+    /// directly (`fabric.set_program(r, SpmmFsm::new(...))`); arbitrary
+    /// programs go through [`RowProgram::custom`].
     ///
     /// # Panics
     ///
     /// Panics when `r` is out of bounds.
-    pub fn set_program(&mut self, r: usize, program: Box<dyn OrchProgram>) {
-        self.rows[r].program = Some(program);
+    pub fn set_program(&mut self, r: usize, program: impl Into<RowProgram>) {
+        self.rows[r].program = Some(program.into());
     }
 
     /// Sets row `r`'s input meta-data stream.
@@ -402,10 +425,11 @@ impl Fabric {
             *slot = None;
         }
 
-        // 8. Drain edge sinks into the collectors.
+        // 8. Drain edge sinks straight into the collectors: the sink links
+        // are popped in place, with no per-edge temporary collection.
         for c in 0..cols {
-            let drained: Vec<TaggedVector> = self.grid.vertical(nrows, c).drain_all().collect();
-            for e in drained {
+            let link = self.grid.vertical(nrows, c);
+            while let Some(e) = link.try_pop() {
                 self.south_collected.push(CollectedEntry {
                     tag: e.tag,
                     lane: c,
@@ -415,8 +439,8 @@ impl Fabric {
             }
         }
         for r in 0..nrows {
-            let drained: Vec<TaggedVector> = self.grid.horizontal(r, cols).drain_all().collect();
-            for e in drained {
+            let link = self.grid.horizontal(r, cols);
+            while let Some(e) = link.try_pop() {
                 self.east_collected.push(CollectedEntry {
                     tag: e.tag,
                     lane: r,
@@ -458,7 +482,11 @@ impl Fabric {
             .saturating_mul(work + (self.cfg.rows + self.cfg.cols) as u64)
             .saturating_add(self.cfg.watchdog_slack);
         let start = self.cycle;
-        while !self.quiescent() {
+        let wall_start = std::time::Instant::now();
+        let result = loop {
+            if self.quiescent() {
+                break Ok(());
+            }
             if self.cycle - start > budget {
                 let waiting: Vec<String> = self
                     .rows
@@ -467,7 +495,7 @@ impl Fabric {
                     .filter(|(_, r)| !r.done())
                     .map(|(i, r)| format!("row {i} ({} meta left)", r.meta.len()))
                     .collect();
-                return Err(SimError::Deadlock {
+                break Err(SimError::Deadlock {
                     cycle: self.cycle,
                     waiting_on: if waiting.is_empty() {
                         "pipeline/NoC drain".into()
@@ -476,8 +504,14 @@ impl Fabric {
                     },
                 });
             }
-            self.step()?;
-        }
+            if let Err(e) = self.step() {
+                break Err(e);
+            }
+        };
+        // Accumulated on the error path too, so a report taken after a
+        // watchdog/protocol abort still attributes the wall time spent.
+        self.wall_ns += wall_start.elapsed().as_nanos() as u64;
+        result?;
         Ok(self.report())
     }
 
@@ -508,6 +542,7 @@ impl Fabric {
             cycles: self.cycle,
             pes: self.cfg.pe_count(),
             stats,
+            wall_ns: self.wall_ns,
         }
     }
 }
@@ -578,7 +613,7 @@ mod tests {
         .with_tag(7);
         f.set_program(
             1,
-            Box::new(Script {
+            RowProgram::custom(Script {
                 instrs: vec![flush].into(),
             }),
         );
@@ -613,7 +648,7 @@ mod tests {
             .collect();
         f.set_program(
             1,
-            Box::new(Script {
+            RowProgram::custom(Script {
                 instrs: instrs.into(),
             }),
         );
@@ -631,7 +666,7 @@ mod tests {
         assert!(f.quiescent());
         f.set_program(
             0,
-            Box::new(Script {
+            RowProgram::custom(Script {
                 instrs: VecDeque::new(),
             }),
         );
@@ -654,7 +689,7 @@ mod tests {
         cfg.watchdog_factor = 1;
         cfg.watchdog_slack = 50;
         let mut f = Fabric::new(&cfg, false);
-        f.set_program(0, Box::new(Stuck));
+        f.set_program(0, RowProgram::custom(Stuck));
         assert!(matches!(f.run(), Err(SimError::Deadlock { .. })));
     }
 
@@ -665,7 +700,7 @@ mod tests {
         let instrs: Vec<Instruction> = vec![Instruction::NOP; 4];
         f.set_program(
             0,
-            Box::new(Script {
+            RowProgram::custom(Script {
                 instrs: instrs.into(),
             }),
         );
@@ -700,7 +735,7 @@ mod tests {
         );
         f.set_program(
             0,
-            Box::new(Script {
+            RowProgram::custom(Script {
                 instrs: vec![pop, pop, pop].into(),
             }),
         );

@@ -334,39 +334,49 @@ impl Instruction {
     ///
     /// Returns the offending direction on violation.
     pub fn noc_conflict(&self) -> Option<Direction> {
-        let mut op_reads = Vec::new();
-        let mut writes = Vec::new();
+        // At most 3 reads (op1, op2, route input) and 2 writes (res, route
+        // output) exist, so fixed on-stack arrays suffice — this check runs
+        // at every LOAD and must not allocate.
+        let mut op_reads = [None::<Direction>; 3];
+        let mut n_reads = 0;
+        let mut writes = [None::<Direction>; 2];
+        let mut n_writes = 0;
         for a in [self.op1, self.op2] {
             if let Addr::Port(d) = a {
-                op_reads.push(d);
+                op_reads[n_reads] = Some(d);
+                n_reads += 1;
             }
         }
         if let Addr::Port(d) = self.res {
-            writes.push(d);
+            writes[n_writes] = Some(d);
+            n_writes += 1;
         }
         if let Some(r) = self.route {
-            writes.push(r.to);
+            writes[n_writes] = Some(r.to);
+            n_writes += 1;
             // A route input shared with an operand port is a single pop
             // feeding both (legal); an *additional* distinct pop is a read.
-            if !op_reads.contains(&r.from) {
-                op_reads.push(r.from);
+            if !op_reads[..n_reads].contains(&Some(r.from)) {
+                op_reads[n_reads] = Some(r.from);
+                n_reads += 1;
             }
         }
-        for &r in &op_reads {
+        let (op_reads, writes) = (&op_reads[..n_reads], &writes[..n_writes]);
+        for &r in op_reads {
             if writes.contains(&r) {
-                return Some(r);
+                return r;
             }
         }
         // Forbid double-driving one direction (two operand pops or two
         // pushes).
         for (i, &a) in op_reads.iter().enumerate() {
             if op_reads[i + 1..].contains(&a) {
-                return Some(a);
+                return a;
             }
         }
         for (i, &a) in writes.iter().enumerate() {
             if writes[i + 1..].contains(&a) {
-                return Some(a);
+                return a;
             }
         }
         None

@@ -434,7 +434,7 @@ pub fn run_sddmm(
         };
         fabric.set_program(
             yy,
-            Box::new(SddmmFsm::new(w, m, n, n_base, n_stride, depth, yy + 1 < y)),
+            SddmmFsm::new(w, m, n, n_base, n_stride, depth, yy + 1 < y),
         );
     }
     // Off-chip traffic: B preload (A feed is counted by the fabric), the mask

@@ -80,6 +80,7 @@ pub fn run_spatial(
     let mut south = Vec::new();
     let mut east = Vec::new();
     let mut feed_bytes = 0u64;
+    let wall_start = std::time::Instant::now();
     // Execution phase: every PE replays its held instruction each cycle.
     // Warm-up drains through the elastic links; `steps` covers warm-up plus
     // useful throughput (the caller accounts for the pipeline fill).
@@ -136,6 +137,7 @@ pub fn run_spatial(
             cycles: steps as u64 + config_cycles,
             pes: cfg.pe_count(),
             stats,
+            wall_ns: wall_start.elapsed().as_nanos() as u64,
         },
     })
 }

@@ -431,23 +431,23 @@ pub fn run_spmm(
             if mapping.use_scratchpad {
                 match mapping.orchestrator {
                     OrchKind::Native => {
-                        fabric.set_program(r, Box::new(SpmmFsm::new(depth, m)));
+                        fabric.set_program(r, SpmmFsm::new(depth, m));
                     }
                     OrchKind::Lut => {
                         let program = crate::orchestrator::assembler::spmm_fsm_spec(depth, m)
                             .into_program()?;
-                        fabric.set_program(r, Box::new(program));
+                        fabric.set_program(r, program);
                     }
                 }
             } else {
                 match mapping.orchestrator {
                     OrchKind::Native => {
-                        fabric.set_program(r, Box::new(super::gemm::RegAccFsm::new(m)));
+                        fabric.set_program(r, super::gemm::RegAccFsm::new(m));
                     }
                     OrchKind::Lut => {
                         let program =
                             crate::orchestrator::assembler::regacc_fsm_spec(m).into_program()?;
-                        fabric.set_program(r, Box::new(program));
+                        fabric.set_program(r, program);
                     }
                 }
             }
@@ -480,6 +480,7 @@ pub fn run_spmm(
             None => report,
             Some(mut acc) => {
                 acc.cycles += report.cycles;
+                acc.wall_ns += report.wall_ns;
                 acc.stats.merge(&report.stats);
                 acc
             }
@@ -489,6 +490,7 @@ pub fn run_spmm(
         cycles: 0,
         pes: cfg.pe_count(),
         stats: Default::default(),
+        wall_ns: 0,
     });
     Ok(SpmmOutput { result, report })
 }

@@ -7,10 +7,20 @@
 //! link as a small tagged FIFO; the orchestrator-level credit protocol (see
 //! [`crate::fabric`]) guarantees the FIFOs never overflow, and the simulator
 //! *checks* that guarantee instead of silently providing elastic buffering.
+//!
+//! ## Hot-path discipline
+//!
+//! [`Link::push`] and [`Link::pop`] sit on the simulator's innermost loop
+//! (every NoC transfer of every cycle), so they are allocation-free on
+//! success: error context arrives as a copyable [`ErrCtx`] descriptor that
+//! is rendered to a string only when a protocol error actually fires, and
+//! the FIFO itself is a fixed-capacity ring buffer ([`Ring`]) — bounded
+//! links never reallocate (the credit protocol proves their occupancy
+//! bound), while sink/elastic links grow to their high-water mark once and
+//! then stay allocation-free.
 
-use crate::isa::{Vector, LANES};
+use crate::isa::{Direction, Vector, LANES};
 use crate::SimError;
-use std::collections::VecDeque;
 
 /// A NoC payload: one [`Vector`] plus the output-row tag attached by the
 /// producing instruction (used by the edge collectors, preserved by
@@ -31,6 +41,101 @@ impl TaggedVector {
     };
 }
 
+/// Lazily-rendered context of a NoC protocol error.
+///
+/// The success path of [`Link::push`]/[`Link::pop`] only copies this enum;
+/// the describing string is built (via [`std::fmt::Display`]) exclusively on
+/// the error path — eager `format!` arguments here used to dominate the
+/// simulator's steady-state allocation traffic.
+#[derive(Debug, Clone, Copy)]
+pub enum ErrCtx {
+    /// A static label (edge feeders, collectors, tests).
+    Label(&'static str),
+    /// A pop of PE `(r, c)`'s port facing `dir`.
+    Pop {
+        /// Port direction.
+        dir: Direction,
+        /// PE coordinates `(row, col)`.
+        pe: (usize, usize),
+    },
+    /// A push out of PE `(r, c)` towards `dir`.
+    Push {
+        /// Port direction.
+        dir: Direction,
+        /// PE coordinates `(row, col)`.
+        pe: (usize, usize),
+    },
+}
+
+impl From<&'static str> for ErrCtx {
+    fn from(label: &'static str) -> ErrCtx {
+        ErrCtx::Label(label)
+    }
+}
+
+impl std::fmt::Display for ErrCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ErrCtx::Label(s) => f.write_str(s),
+            ErrCtx::Pop { dir, pe } => write!(f, "{dir} pop at PE ({}, {})", pe.0, pe.1),
+            ErrCtx::Push { dir, pe } => write!(f, "{dir} push at PE ({}, {})", pe.0, pe.1),
+        }
+    }
+}
+
+/// A fixed-capacity ring buffer of [`TaggedVector`]s. Bounded links size it
+/// once at construction; unbounded flavours (sinks, elastic links) grow it
+/// by doubling, reaching their high-water mark and then never allocating
+/// again.
+#[derive(Debug, Clone)]
+struct Ring {
+    buf: Box<[TaggedVector]>,
+    head: usize,
+    len: usize,
+}
+
+impl Ring {
+    fn with_capacity(cap: usize) -> Ring {
+        Ring {
+            buf: vec![TaggedVector::ZERO; cap].into_boxed_slice(),
+            head: 0,
+            len: 0,
+        }
+    }
+
+    fn is_full(&self) -> bool {
+        self.len == self.buf.len()
+    }
+
+    /// Doubles the backing storage, re-linearizing the queue.
+    fn grow(&mut self) {
+        let new_cap = (self.buf.len() * 2).max(8);
+        let mut new_buf = vec![TaggedVector::ZERO; new_cap].into_boxed_slice();
+        for (i, slot) in new_buf.iter_mut().take(self.len).enumerate() {
+            *slot = self.buf[(self.head + i) % self.buf.len()];
+        }
+        self.buf = new_buf;
+        self.head = 0;
+    }
+
+    fn push_back(&mut self, entry: TaggedVector) {
+        debug_assert!(!self.is_full(), "ring push past capacity");
+        let idx = (self.head + self.len) % self.buf.len();
+        self.buf[idx] = entry;
+        self.len += 1;
+    }
+
+    fn pop_front(&mut self) -> Option<TaggedVector> {
+        if self.len == 0 {
+            return None;
+        }
+        let entry = self.buf[self.head];
+        self.head = (self.head + 1) % self.buf.len();
+        self.len -= 1;
+        Some(entry)
+    }
+}
+
 /// One directed inter-PE link: a bounded FIFO of [`TaggedVector`]s.
 ///
 /// Three flavours exist:
@@ -41,7 +146,7 @@ impl TaggedVector {
 ///   cycle).
 #[derive(Debug, Clone)]
 pub struct Link {
-    queue: VecDeque<TaggedVector>,
+    ring: Ring,
     capacity: usize,
     zero_source: bool,
     relaxed: bool,
@@ -49,10 +154,12 @@ pub struct Link {
 }
 
 impl Link {
-    /// Creates an internal bounded link.
+    /// Creates an internal bounded link. Its ring buffer is allocated once
+    /// here; the credit protocol guarantees occupancy never exceeds
+    /// `capacity`, so the link never allocates again.
     pub fn bounded(capacity: usize) -> Link {
         Link {
-            queue: VecDeque::with_capacity(capacity),
+            ring: Ring::with_capacity(capacity),
             capacity,
             zero_source: false,
             relaxed: false,
@@ -63,7 +170,7 @@ impl Link {
     /// Creates a zero-source edge link: pops always yield zero.
     pub fn zero_source() -> Link {
         Link {
-            queue: VecDeque::new(),
+            ring: Ring::with_capacity(0),
             capacity: 0,
             zero_source: true,
             relaxed: false,
@@ -71,11 +178,11 @@ impl Link {
         }
     }
 
-    /// Creates a sink link (drained externally; effectively unbounded, sized
-    /// generously so collector latency never back-pressures).
+    /// Creates a sink link (drained externally; effectively unbounded, grown
+    /// to its high-water mark so collector latency never back-pressures).
     pub fn sink() -> Link {
         Link {
-            queue: VecDeque::new(),
+            ring: Ring::with_capacity(0),
             capacity: usize::MAX,
             zero_source: false,
             relaxed: false,
@@ -88,7 +195,7 @@ impl Link {
     /// (the compiler schedules warm-up cycles), and capacity is unbounded.
     pub fn elastic() -> Link {
         Link {
-            queue: VecDeque::new(),
+            ring: Ring::with_capacity(0),
             capacity: usize::MAX,
             zero_source: false,
             relaxed: true,
@@ -102,7 +209,7 @@ impl Link {
         if self.zero_source {
             return TaggedVector::ZERO;
         }
-        self.queue.pop_front().unwrap_or(TaggedVector::ZERO)
+        self.ring.pop_front().unwrap_or(TaggedVector::ZERO)
     }
 
     /// Pushes an entry.
@@ -111,19 +218,32 @@ impl Link {
     ///
     /// Returns [`SimError::RouterConflict`]-style protocol errors when the
     /// credit discipline failed: pushing to a zero-source or over capacity.
-    pub fn push(&mut self, entry: TaggedVector, cycle: u64, context: &str) -> Result<(), SimError> {
+    pub fn push(
+        &mut self,
+        entry: TaggedVector,
+        cycle: u64,
+        ctx: impl Into<ErrCtx>,
+    ) -> Result<(), SimError> {
         if self.zero_source {
             return Err(SimError::AddressOutOfRange {
-                context: format!("push to zero-source edge link at cycle {cycle} ({context})"),
+                context: format!(
+                    "push to zero-source edge link at cycle {cycle} ({})",
+                    ctx.into()
+                ),
             });
         }
-        if self.queue.len() >= self.capacity {
+        if self.ring.len >= self.capacity {
             return Err(SimError::Deadlock {
                 cycle,
-                waiting_on: format!("link overflow ({context}): credit protocol violated"),
+                waiting_on: format!("link overflow ({}): credit protocol violated", ctx.into()),
             });
         }
-        self.queue.push_back(entry);
+        if self.ring.is_full() {
+            // Only unbounded flavours reach here (bounded rings are sized to
+            // `capacity`, which the check above enforces).
+            self.ring.grow();
+        }
+        self.ring.push_back(entry);
         self.pushes += 1;
         Ok(())
     }
@@ -134,27 +254,39 @@ impl Link {
     ///
     /// Popping an empty internal link is a protocol error (the FSM issued a
     /// consuming instruction before the producer delivered).
-    pub fn pop(&mut self, cycle: u64, context: &str) -> Result<TaggedVector, SimError> {
+    pub fn pop(&mut self, cycle: u64, ctx: impl Into<ErrCtx>) -> Result<TaggedVector, SimError> {
         if self.zero_source {
             return Ok(TaggedVector::ZERO);
         }
         if self.relaxed {
-            return Ok(self.queue.pop_front().unwrap_or(TaggedVector::ZERO));
+            return Ok(self.ring.pop_front().unwrap_or(TaggedVector::ZERO));
         }
-        self.queue.pop_front().ok_or_else(|| SimError::Deadlock {
+        self.ring.pop_front().ok_or_else(|| SimError::Deadlock {
             cycle,
-            waiting_on: format!("pop of empty link ({context}): producer/consumer desynchronised"),
+            waiting_on: format!(
+                "pop of empty link ({}): producer/consumer desynchronised",
+                ctx.into()
+            ),
         })
+    }
+
+    /// Pops the oldest entry without protocol checks (`None` when empty or a
+    /// zero source) — the edge collectors' drain primitive.
+    pub fn try_pop(&mut self) -> Option<TaggedVector> {
+        if self.zero_source {
+            return None;
+        }
+        self.ring.pop_front()
     }
 
     /// Current occupancy (always 0 for zero sources).
     pub fn len(&self) -> usize {
-        self.queue.len()
+        self.ring.len
     }
 
     /// True when no entries are queued.
     pub fn is_empty(&self) -> bool {
-        self.queue.is_empty()
+        self.ring.len == 0
     }
 
     /// Total pushes observed (a NoC-hop counter).
@@ -162,9 +294,13 @@ impl Link {
         self.pushes
     }
 
-    /// Drains all queued entries (used by the fabric's edge collectors).
+    /// Drains queued entries in FIFO order (used by the fabric's edge
+    /// collectors and the spatial runner). Equivalent to looping
+    /// [`Link::try_pop`] — no intermediate collection is built, and
+    /// entries the caller does not consume (iterator dropped early) simply
+    /// remain queued.
     pub fn drain_all(&mut self) -> impl Iterator<Item = TaggedVector> + '_ {
-        self.queue.drain(..)
+        std::iter::from_fn(move || self.try_pop())
     }
 }
 
@@ -338,6 +474,19 @@ mod tests {
     }
 
     #[test]
+    fn ring_wraps_and_preserves_order() {
+        // Fill/drain repeatedly so head wraps around the fixed buffer.
+        let mut l = Link::bounded(3);
+        for round in 0..10u32 {
+            l.push(tv(round, 1), 0, "t").unwrap();
+            l.push(tv(round + 100, 2), 0, "t").unwrap();
+            assert_eq!(l.pop(0, "t").unwrap().tag, round);
+            assert_eq!(l.pop(0, "t").unwrap().tag, round + 100);
+        }
+        assert!(l.is_empty());
+    }
+
+    #[test]
     fn overflow_and_underflow_are_errors() {
         let mut l = Link::bounded(1);
         l.push(tv(0, 0), 0, "t").unwrap();
@@ -347,24 +496,61 @@ mod tests {
     }
 
     #[test]
+    fn err_ctx_renders_lazily_with_pe_coordinates() {
+        let mut l = Link::bounded(1);
+        let err = l
+            .pop(
+                7,
+                ErrCtx::Pop {
+                    dir: Direction::North,
+                    pe: (2, 3),
+                },
+            )
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("North pop at PE (2, 3)"), "{msg}");
+        l.push(tv(0, 0), 0, "t").unwrap();
+        let err = l
+            .push(
+                tv(0, 0),
+                8,
+                ErrCtx::Push {
+                    dir: Direction::South,
+                    pe: (4, 5),
+                },
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("South push at PE (4, 5)"));
+    }
+
+    #[test]
     fn zero_source_semantics() {
         let mut l = Link::zero_source();
         assert_eq!(l.pop(0, "t").unwrap(), TaggedVector::ZERO);
         assert_eq!(l.pop(9, "t").unwrap(), TaggedVector::ZERO);
         assert!(l.push(tv(0, 1), 0, "t").is_err());
         assert!(l.is_empty());
+        assert_eq!(l.try_pop(), None);
     }
 
     #[test]
-    fn sink_accepts_many_and_drains() {
+    fn sink_accepts_many_and_drains_in_place() {
         let mut l = Link::sink();
         for i in 0..100 {
             l.push(tv(i, i as i32), 0, "t").unwrap();
         }
-        let drained: Vec<_> = l.drain_all().collect();
-        assert_eq!(drained.len(), 100);
-        assert_eq!(drained[99].tag, 99);
+        // Drain in place (no intermediate collection): entries arrive in
+        // FIFO order directly off the ring.
+        let mut seen = 0u32;
+        while let Some(e) = l.try_pop() {
+            assert_eq!(e.tag, seen);
+            seen += 1;
+        }
+        assert_eq!(seen, 100);
         assert!(l.is_empty());
+        // A drained sink keeps its high-water storage: refills do not error.
+        l.push(tv(7, 7), 1, "t").unwrap();
+        assert_eq!(l.drain_all().count(), 1);
     }
 
     #[test]

@@ -171,6 +171,94 @@ impl OrchProgram for IdleProgram {
     }
 }
 
+/// The orchestrator program installed on a fabric row, dispatched as an
+/// enum.
+///
+/// The fabric calls [`OrchProgram::step`] once per row per cycle — with a
+/// `Box<dyn OrchProgram>` that was a vtable indirection on the per-cycle
+/// orchestrator phase. All of the paper's kernel FSMs are known statically,
+/// so rows dispatch through this enum instead; [`RowProgram::Custom`] keeps
+/// the open trait for scripted programs in tests and downstream
+/// experiments.
+///
+/// Kernel mappers pass their FSM straight to
+/// [`crate::Fabric::set_program`], which accepts `impl Into<RowProgram>`.
+pub enum RowProgram {
+    /// A row not participating in the kernel.
+    Idle(IdleProgram),
+    /// The SpMM scratchpad-window FSM (Listing 1).
+    Spmm(crate::kernels::spmm::SpmmFsm),
+    /// The register-accumulation FSM (dense GEMM / N:M structured).
+    RegAcc(crate::kernels::gemm::RegAccFsm),
+    /// The SDDMM FSM (Listing 4).
+    Sddmm(crate::kernels::sddmm::SddmmFsm),
+    /// An assembled LUT bitstream interpreted by the Fig 5 datapath.
+    Lut(lut::LutProgram),
+    /// An arbitrary boxed program (scripted tests, experiments).
+    Custom(Box<dyn OrchProgram>),
+}
+
+impl RowProgram {
+    /// Wraps an arbitrary program in the boxed escape hatch.
+    pub fn custom(program: impl OrchProgram + 'static) -> RowProgram {
+        RowProgram::Custom(Box::new(program))
+    }
+}
+
+impl OrchProgram for RowProgram {
+    fn step(&mut self, io: &OrchIo) -> OrchAction {
+        match self {
+            RowProgram::Idle(p) => p.step(io),
+            RowProgram::Spmm(p) => p.step(io),
+            RowProgram::RegAcc(p) => p.step(io),
+            RowProgram::Sddmm(p) => p.step(io),
+            RowProgram::Lut(p) => p.step(io),
+            RowProgram::Custom(p) => p.step(io),
+        }
+    }
+
+    fn done(&self) -> bool {
+        match self {
+            RowProgram::Idle(p) => p.done(),
+            RowProgram::Spmm(p) => p.done(),
+            RowProgram::RegAcc(p) => p.done(),
+            RowProgram::Sddmm(p) => p.done(),
+            RowProgram::Lut(p) => p.done(),
+            RowProgram::Custom(p) => p.done(),
+        }
+    }
+}
+
+impl From<IdleProgram> for RowProgram {
+    fn from(p: IdleProgram) -> RowProgram {
+        RowProgram::Idle(p)
+    }
+}
+
+impl From<crate::kernels::spmm::SpmmFsm> for RowProgram {
+    fn from(p: crate::kernels::spmm::SpmmFsm) -> RowProgram {
+        RowProgram::Spmm(p)
+    }
+}
+
+impl From<crate::kernels::gemm::RegAccFsm> for RowProgram {
+    fn from(p: crate::kernels::gemm::RegAccFsm) -> RowProgram {
+        RowProgram::RegAcc(p)
+    }
+}
+
+impl From<crate::kernels::sddmm::SddmmFsm> for RowProgram {
+    fn from(p: crate::kernels::sddmm::SddmmFsm) -> RowProgram {
+        RowProgram::Sddmm(p)
+    }
+}
+
+impl From<lut::LutProgram> for RowProgram {
+    fn from(p: lut::LutProgram) -> RowProgram {
+        RowProgram::Lut(p)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,7 +15,7 @@
 
 use crate::isa::{Addr, Direction, Instruction, Opcode, Vector};
 use crate::memory::{DataMemory, Scratchpad};
-use crate::noc::{LinkGrid, TaggedVector};
+use crate::noc::{ErrCtx, LinkGrid, TaggedVector};
 use crate::SimError;
 
 /// Number of SIMD registers per PE.
@@ -48,6 +48,11 @@ pub struct PeCounters {
 }
 
 /// One processing element.
+///
+/// The three pipeline slots live in a rotating array: [`Pe::advance`]
+/// renames the stages by bumping an index instead of moving the ~100-byte
+/// [`InFlight`] payloads between fields — the per-cycle, per-PE stage shift
+/// is on the simulator's hottest path.
 #[derive(Debug)]
 pub struct Pe {
     /// Static-data memory (holds the stationary operand tile).
@@ -55,9 +60,10 @@ pub struct Pe {
     /// Dual-port scratchpad (psum / stream-reuse buffer).
     pub spad: Scratchpad,
     regs: [Vector; NUM_REGS],
-    s_load: Option<InFlight>,
-    s_exec: Option<InFlight>,
-    s_commit: Option<InFlight>,
+    /// Stage slots addressed through `load_idx`: LOAD at `load_idx`,
+    /// EXECUTE at `load_idx + 1`, COMMIT at `load_idx + 2` (mod 3).
+    stages: [Option<InFlight>; 3],
+    load_idx: usize,
     counters: PeCounters,
 }
 
@@ -68,11 +74,18 @@ impl Pe {
             dmem: DataMemory::new(dmem_words),
             spad: Scratchpad::new(spad_entries),
             regs: [Vector::ZERO; NUM_REGS],
-            s_load: None,
-            s_exec: None,
-            s_commit: None,
+            stages: [None, None, None],
+            load_idx: 0,
             counters: PeCounters::default(),
         }
+    }
+
+    fn exec_idx(&self) -> usize {
+        (self.load_idx + 1) % 3
+    }
+
+    fn commit_idx(&self) -> usize {
+        (self.load_idx + 2) % 3
     }
 
     /// Activity counters.
@@ -87,7 +100,7 @@ impl Pe {
 
     /// True when no instruction is in flight.
     pub fn pipeline_empty(&self) -> bool {
-        self.s_load.is_none() && self.s_exec.is_none() && self.s_commit.is_none()
+        self.stages.iter().all(Option::is_none)
     }
 
     /// Checks whether an in-flight younger instruction (EXECUTE or COMMIT
@@ -99,7 +112,10 @@ impl Pe {
         }
         // Younger first: the EXECUTE-stage instruction is the most recent
         // writer still in flight.
-        for f in [&self.s_exec, &self.s_commit].into_iter().flatten() {
+        for idx in [self.exec_idx(), self.commit_idx()] {
+            let Some(f) = &self.stages[idx] else {
+                continue;
+            };
             if f.instr.res == addr {
                 return Some(f.result);
             }
@@ -162,12 +178,13 @@ impl Pe {
         c: usize,
         cycle: u64,
     ) -> Result<TaggedVector, SimError> {
-        // Context strings are static: building a `format!` string per pop
-        // here allocated on every successful NoC read, dominating the
-        // simulator's steady-state heap traffic.
+        // Error context is a copyable `ErrCtx` rendered only when the pop
+        // actually fails: this path runs on every successful NoC read and
+        // must not allocate.
+        let ctx = ErrCtx::Pop { dir: d, pe: (r, c) };
         match d {
-            Direction::North => grid.vertical(r, c).pop(cycle, "north pop"),
-            Direction::West => grid.horizontal(r, c).pop(cycle, "west pop"),
+            Direction::North => grid.vertical(r, c).pop(cycle, ctx),
+            Direction::West => grid.horizontal(r, c).pop(cycle, ctx),
             Direction::South | Direction::East => Err(SimError::AddressOutOfRange {
                 context: format!(
                     "PE ({r},{c}) reads {d}: only south/east-bound dataflow is instantiated"
@@ -185,9 +202,10 @@ impl Pe {
         c: usize,
         cycle: u64,
     ) -> Result<(), SimError> {
+        let ctx = ErrCtx::Push { dir: d, pe: (r, c) };
         match d {
-            Direction::South => grid.vertical(r + 1, c).push(entry, cycle, "south push"),
-            Direction::East => grid.horizontal(r, c + 1).push(entry, cycle, "east push"),
+            Direction::South => grid.vertical(r + 1, c).push(entry, cycle, ctx),
+            Direction::East => grid.horizontal(r, c + 1).push(entry, cycle, ctx),
             Direction::North | Direction::West => Err(SimError::AddressOutOfRange {
                 context: format!(
                     "PE ({r},{c}) writes {d}: only south/east-bound dataflow is instantiated"
@@ -210,7 +228,10 @@ impl Pe {
         c: usize,
         cycle: u64,
     ) -> Result<(), SimError> {
-        debug_assert!(self.s_load.is_none(), "LOAD slot occupied at shift time");
+        debug_assert!(
+            self.stages[self.load_idx].is_none(),
+            "LOAD slot occupied at shift time"
+        );
         let Some(instr) = incoming else {
             return Ok(());
         };
@@ -250,7 +271,7 @@ impl Pe {
             },
             None => None,
         };
-        self.s_load = Some(InFlight {
+        self.stages[self.load_idx] = Some(InFlight {
             instr,
             op1,
             op2,
@@ -264,7 +285,7 @@ impl Pe {
     /// EXECUTE stage: computes the lane result of the instruction loaded in
     /// the previous cycle.
     pub fn execute(&mut self) {
-        let Some(f) = self.s_exec.as_mut() else {
+        let Some(f) = self.stages[self.exec_idx()].as_mut() else {
             return;
         };
         f.result = match f.instr.op {
@@ -319,7 +340,8 @@ impl Pe {
         c: usize,
         cycle: u64,
     ) -> Result<Option<Instruction>, SimError> {
-        let Some(f) = self.s_commit.take() else {
+        let commit_idx = self.commit_idx();
+        let Some(f) = self.stages[commit_idx].take() else {
             return Ok(None);
         };
         // Result write-back.
@@ -382,11 +404,16 @@ impl Pe {
         Ok(Some(f.instr))
     }
 
-    /// Advances the pipeline by one stage (end of cycle).
+    /// Advances the pipeline by one stage (end of cycle): the stages are
+    /// renamed by rotating the slot index — no in-flight state is moved.
     pub fn advance(&mut self) {
-        debug_assert!(self.s_commit.is_none(), "commit slot not consumed");
-        self.s_commit = self.s_exec.take();
-        self.s_exec = self.s_load.take();
+        debug_assert!(
+            self.stages[self.commit_idx()].is_none(),
+            "commit slot not consumed"
+        );
+        // The old COMMIT slot (now empty) becomes the new LOAD slot; the
+        // old LOAD and EXECUTE slots become EXECUTE and COMMIT in place.
+        self.load_idx = self.commit_idx();
     }
 }
 

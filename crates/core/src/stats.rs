@@ -77,7 +77,7 @@ impl Stats {
 
 /// The result of running a kernel on the fabric: cycle count, geometry, and
 /// activity counters.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct RunReport {
     /// Total cycles simulated until the fabric drained.
     pub cycles: u64,
@@ -85,9 +85,33 @@ pub struct RunReport {
     pub pes: usize,
     /// Activity counters.
     pub stats: Stats,
+    /// Host wall-clock time spent inside the simulator's cycle loop
+    /// ([`crate::Fabric::run`], summed over tiles; the spatial runner's
+    /// execution loop, which interleaves edge feed/drain with its cycles),
+    /// in nanoseconds. A simulator-throughput metric only — it is
+    /// host-dependent and therefore excluded from equality (two runs of the
+    /// same workload compare equal even though their wall times differ).
+    pub wall_ns: u64,
+}
+
+/// Equality covers the architectural outcome (cycles, geometry, counters)
+/// and deliberately ignores `wall_ns`, which varies run to run on the host.
+impl PartialEq for RunReport {
+    fn eq(&self, other: &RunReport) -> bool {
+        self.cycles == other.cycles && self.pes == other.pes && self.stats == other.stats
+    }
 }
 
 impl RunReport {
+    /// Simulator throughput: simulated cycles per host wall-clock second.
+    /// Zero when no wall time was recorded.
+    pub fn cycles_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.cycles as f64 / (self.wall_ns as f64 * 1e-9)
+    }
+
     /// Compute utilization: fraction of PE-cycles spent on vector MAC
     /// instructions — the metric of Figs 15 and 17 ("compute utilization").
     pub fn compute_utilization(&self) -> f64 {
@@ -138,6 +162,7 @@ mod tests {
             cycles: 10,
             pes: 64,
             stats,
+            wall_ns: 0,
         };
         assert!((r.compute_utilization() - 1.0).abs() < 1e-12);
         assert_eq!(r.macs_per_cycle(), 256.0);
@@ -150,8 +175,22 @@ mod tests {
             cycles: 0,
             pes: 64,
             stats: Stats::new(),
+            wall_ns: 0,
         };
         assert_eq!(r.compute_utilization(), 0.0);
         assert_eq!(r.macs_per_cycle(), 0.0);
+        assert_eq!(r.cycles_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn wall_time_is_excluded_from_equality_but_drives_throughput() {
+        let mk = |wall_ns| RunReport {
+            cycles: 1000,
+            pes: 64,
+            stats: Stats::new(),
+            wall_ns,
+        };
+        assert_eq!(mk(10), mk(999));
+        assert!((mk(1_000_000).cycles_per_sec() - 1e6).abs() < 1e-3);
     }
 }

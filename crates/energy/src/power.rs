@@ -157,6 +157,7 @@ mod tests {
             cycles: 1000,
             pes: 64,
             stats,
+            wall_ns: 0,
         }
     }
 

@@ -17,7 +17,10 @@
 //!
 //! Operand materialization is centralized in [`kernel_input`], so every
 //! backend of a cell sees *identical* inputs for a given seed — the parity
-//! requirement behind the paper's normalized comparisons.
+//! requirement behind the paper's normalized comparisons. The shared
+//! [`OperandCache`] goes further: the engine and figure harness pass one
+//! cache across a cell's backends, so those identical operands are
+//! materialized **once** per `(op, seed)` instead of once per backend.
 
 use canon_baselines::{Accelerator, Cgra, OpKind, SparseSystolic24, SystolicArray, ZedAccelerator};
 use canon_core::kernels::{self, window::WindowAttention, KernelInput};
@@ -25,8 +28,11 @@ use canon_core::stats::RunReport;
 use canon_core::{CanonConfig, SimError, LANES};
 use canon_energy::{baseline_energy, canon_energy, canon_loop_energy, Arch};
 use canon_loopir::mapping::{map_canon, map_cgra};
-use canon_sparse::{gen, CsrMatrix, Dense};
+use canon_sparse::{gen, Dense};
 use canon_workloads::{LoopKernel, TensorOp, Workload};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Uniform metrics of one (backend, workload) execution.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -68,6 +74,103 @@ impl From<SimError> for BackendError {
     }
 }
 
+/// A bounded, thread-safe cache of materialized tensor operands keyed by
+/// `(op descriptor, seed)`.
+///
+/// The five backends of a sweep cell (and the same cell at every geometry
+/// point) consume *identical* operand streams — without a cache each
+/// backend re-runs the RNG and rebuilds the matrices. One shared
+/// `OperandCache` per sweep/figure pass makes materialization happen once
+/// per `(op, seed)`; the cached [`KernelInput`] is handed out behind an
+/// [`Arc`], so hits are a clone of a pointer.
+///
+/// Caching only changes *when* operands are built, never their values
+/// ([`kernel_input`] is deterministic in `(op, seed)`), so results — and
+/// the byte-identical-store guarantee — are unaffected.
+#[derive(Debug)]
+pub struct OperandCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<(String, u64), Arc<KernelInput>>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<(String, u64)>,
+}
+
+impl Default for OperandCache {
+    fn default() -> Self {
+        OperandCache::new()
+    }
+}
+
+impl OperandCache {
+    /// A cache with the default capacity (16 entries — comfortably above
+    /// the grid expansion's reuse distance, which is the architecture axis).
+    pub fn new() -> OperandCache {
+        OperandCache::with_capacity(16)
+    }
+
+    /// A cache bounded to `capacity` materialized inputs.
+    pub fn with_capacity(capacity: usize) -> OperandCache {
+        OperandCache {
+            inner: Mutex::new(CacheInner::default()),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// A zero-capacity cache: every probe materializes fresh operands (the
+    /// behaviour of the plain [`Backend::run`] path).
+    pub fn bypass() -> OperandCache {
+        OperandCache::with_capacity(0)
+    }
+
+    /// The materialized input for `(op, seed)` — cached, or computed (and,
+    /// capacity permitting, stored). Materialization happens outside the
+    /// lock, so a slow build never blocks other workers' hits; concurrent
+    /// misses of the same key may both materialize (identical values — the
+    /// last insert wins).
+    pub fn input(&self, op: &TensorOp, seed: u64) -> Arc<KernelInput> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Arc::new(kernel_input(op, seed));
+        }
+        let key = (Workload::Tensor(*op).descriptor(), seed);
+        if let Some(hit) = self.inner.lock().expect("cache poisoned").map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let input = Arc::new(kernel_input(op, seed));
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        if !inner.map.contains_key(&key) {
+            while inner.map.len() >= self.capacity {
+                let oldest = inner.order.pop_front().expect("order tracks map");
+                inner.map.remove(&oldest);
+            }
+            inner.order.push_back(key.clone());
+            inner.map.insert(key, Arc::clone(&input));
+        }
+        input
+    }
+
+    /// Cache hits so far.
+    pub fn hit_count(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (materializations) so far.
+    pub fn miss_count(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
 /// The unified execution interface over Canon and the baseline simulators.
 pub trait Backend: Sync {
     /// Display name used in tables and result records.
@@ -85,14 +188,30 @@ pub trait Backend: Sync {
     /// alone; no operands are materialized).
     fn supports(&self, workload: &Workload) -> bool;
 
-    /// Executes the workload (materializing tensor operands from `seed`;
-    /// loop nests are deterministic and ignore it).
+    /// Executes the workload, drawing tensor operands from `cache` (loop
+    /// nests are deterministic and ignore the seed). The sweep engine and
+    /// the figure harness share one cache across the backends of a cell.
     ///
     /// # Errors
     ///
     /// [`BackendError::Unsupported`] for workloads `supports` rejects,
     /// [`BackendError::Sim`] for mapping/protocol failures.
-    fn run(&self, workload: &Workload, seed: u64) -> Result<RunRecord, BackendError>;
+    fn run_cached(
+        &self,
+        workload: &Workload,
+        seed: u64,
+        cache: &OperandCache,
+    ) -> Result<RunRecord, BackendError>;
+
+    /// Executes the workload with fresh operands (no shared cache) — the
+    /// convenience form for one-off runs.
+    ///
+    /// # Errors
+    ///
+    /// As [`Backend::run_cached`].
+    fn run(&self, workload: &Workload, seed: u64) -> Result<RunRecord, BackendError> {
+        self.run_cached(workload, seed, &OperandCache::bypass())
+    }
 }
 
 /// The workload family of a [`TensorOp`], for [`Accelerator::supports`].
@@ -186,24 +305,6 @@ pub fn kernel_input(op: &TensorOp, seed: u64) -> KernelInput {
     }
 }
 
-/// The sparse operand of an SpMM-family op, drawn from the same stream
-/// prefix as [`kernel_input`] (A precedes B there), so the matrix is
-/// byte-identical to Canon's without paying for the unused dense operand.
-///
-/// # Panics
-///
-/// Panics on non-SpMM ops.
-fn sparse_operand(op: &TensorOp, seed: u64) -> CsrMatrix {
-    let mut rng = gen::seeded_rng(seed);
-    match *op {
-        TensorOp::Spmm { m, k, sparsity, .. } => gen::skewed_sparse(m, k, sparsity, 1.5, &mut rng),
-        TensorOp::SpmmNm {
-            m, k, n_of, m_of, ..
-        } => gen::nm_sparse(m, k, n_of, m_of, &mut rng),
-        _ => unreachable!("sparse_operand is only defined for SpMM families"),
-    }
-}
-
 /// Runs one tensor op on a baseline accelerator model — the shared tensor
 /// path of [`BaselineBackend`] and [`CgraBackend`].
 fn run_tensor_on<A: Accelerator>(
@@ -211,14 +312,14 @@ fn run_tensor_on<A: Accelerator>(
     arch: Arch,
     op: &TensorOp,
     seed: u64,
+    cache: &OperandCache,
 ) -> Result<RunRecord, BackendError> {
     if !acc.supports(op_kind(op)) {
         return Err(BackendError::Unsupported);
     }
-    // Shape-only families skip materialization entirely; SpMM families
-    // draw just the sparse operand (the same stream prefix Canon sees —
-    // baselines never read the dense B); SDDMM needs the full stream,
-    // since the mask is drawn after Q/KV.
+    // Shape-only families never touch the operand cache; the data-dependent
+    // families pull the shared [`KernelInput`] (the sparse operand / mask a
+    // baseline consumes is the exact stream Canon sees).
     let run = match *op {
         TensorOp::Gemm { m, k, n } => acc.gemm(m, k, n),
         TensorOp::SddmmWindow {
@@ -226,12 +327,16 @@ fn run_tensor_on<A: Accelerator>(
             window,
             head_dim,
         } => acc.window_attention(seq, window, head_dim),
-        TensorOp::Spmm { n, .. } => acc.spmm(&sparse_operand(op, seed), n),
-        TensorOp::SpmmNm { n, n_of, m_of, .. } => {
-            acc.spmm_nm(&sparse_operand(op, seed), n, n_of, m_of)
-        }
-        TensorOp::SddmmUnstructured { head_dim, .. } => match kernel_input(op, seed) {
-            KernelInput::Sddmm { mask, .. } => acc.sddmm(&mask, head_dim),
+        TensorOp::Spmm { n, .. } => match &*cache.input(op, seed) {
+            KernelInput::Spmm { a, .. } => acc.spmm(a, n),
+            _ => unreachable!("kernel_input variant mismatch"),
+        },
+        TensorOp::SpmmNm { n, n_of, m_of, .. } => match &*cache.input(op, seed) {
+            KernelInput::SpmmNm { a, .. } => acc.spmm_nm(a, n, n_of, m_of),
+            _ => unreachable!("kernel_input variant mismatch"),
+        },
+        TensorOp::SddmmUnstructured { head_dim, .. } => match &*cache.input(op, seed) {
+            KernelInput::Sddmm { mask, .. } => acc.sddmm(mask, head_dim),
             _ => unreachable!("kernel_input variant mismatch"),
         },
     }
@@ -285,10 +390,16 @@ impl Backend for CanonBackend {
         true
     }
 
-    fn run(&self, workload: &Workload, seed: u64) -> Result<RunRecord, BackendError> {
+    fn run_cached(
+        &self,
+        workload: &Workload,
+        seed: u64,
+        cache: &OperandCache,
+    ) -> Result<RunRecord, BackendError> {
         match workload {
             Workload::Tensor(op) => {
-                let report = self.run_report(op, seed)?;
+                let input = cache.input(op, seed);
+                let report = kernels::run_kernel(&self.cfg, &input)?.report;
                 Ok(RunRecord {
                     cycles: report.cycles,
                     energy_pj: canon_energy(&report).total_pj(),
@@ -344,9 +455,14 @@ impl<A: Accelerator> Backend for BaselineBackend<A> {
         self.acc.supports(workload_kind(workload))
     }
 
-    fn run(&self, workload: &Workload, seed: u64) -> Result<RunRecord, BackendError> {
+    fn run_cached(
+        &self,
+        workload: &Workload,
+        seed: u64,
+        cache: &OperandCache,
+    ) -> Result<RunRecord, BackendError> {
         match workload {
-            Workload::Tensor(op) => run_tensor_on(&self.acc, self.arch, op, seed),
+            Workload::Tensor(op) => run_tensor_on(&self.acc, self.arch, op, seed, cache),
             Workload::Loop(_) => Err(BackendError::Unsupported),
         }
     }
@@ -385,9 +501,14 @@ impl Backend for CgraBackend {
         self.acc.supports(workload_kind(workload))
     }
 
-    fn run(&self, workload: &Workload, seed: u64) -> Result<RunRecord, BackendError> {
+    fn run_cached(
+        &self,
+        workload: &Workload,
+        seed: u64,
+        cache: &OperandCache,
+    ) -> Result<RunRecord, BackendError> {
         match workload {
-            Workload::Tensor(op) => run_tensor_on(&self.acc, Arch::Cgra, op, seed),
+            Workload::Tensor(op) => run_tensor_on(&self.acc, Arch::Cgra, op, seed, cache),
             Workload::Loop(lk) => {
                 let kernel = resolve_loop(lk)?;
                 let run = map_cgra(&kernel, &self.acc);
@@ -546,32 +667,58 @@ mod tests {
     }
 
     #[test]
-    fn operands_shared_across_backends() {
-        // The sparse operand a baseline sees (drawn without the dense B)
-        // must equal Canon's from the full kernel_input stream.
-        for op in [
-            TensorOp::Spmm {
-                m: 32,
-                k: 32,
-                n: 32,
-                sparsity: 0.6,
-            },
-            TensorOp::SpmmNm {
-                m: 32,
-                k: 32,
-                n: 32,
-                n_of: 2,
-                m_of: 4,
-            },
-        ] {
-            let baseline_a = sparse_operand(&op, 3);
-            match kernel_input(&op, 3) {
-                KernelInput::Spmm { a, .. } | KernelInput::SpmmNm { a, .. } => {
-                    assert_eq!(a, baseline_a, "{op:?}")
-                }
-                _ => panic!("wrong kernel input family"),
+    fn operands_shared_across_backends_via_cache() {
+        // A cached input must be the same allocation across the backends of
+        // a cell, and identical to a fresh materialization.
+        let cache = OperandCache::new();
+        let op = TensorOp::Spmm {
+            m: 32,
+            k: 32,
+            n: 32,
+            sparsity: 0.6,
+        };
+        let first = cache.input(&op, 3);
+        let second = cache.input(&op, 3);
+        assert!(Arc::ptr_eq(&first, &second), "hit must share the Arc");
+        assert_eq!(cache.hit_count(), 1);
+        assert_eq!(cache.miss_count(), 1);
+        match (&*first, kernel_input(&op, 3)) {
+            (KernelInput::Spmm { a: cached, .. }, KernelInput::Spmm { a: fresh, .. }) => {
+                assert_eq!(*cached, fresh)
             }
+            _ => panic!("wrong kernel input family"),
         }
+        // A different seed is a distinct entry.
+        let other = cache.input(&op, 4);
+        assert!(!Arc::ptr_eq(&first, &other));
+    }
+
+    #[test]
+    fn cached_and_uncached_runs_agree() {
+        let cache = OperandCache::new();
+        let w = spmm_op();
+        for b in all_backends(&CanonConfig::default()) {
+            let plain = b.run(&w, 11).unwrap();
+            let cached = b.run_cached(&w, 11, &cache).unwrap();
+            let cached_again = b.run_cached(&w, 11, &cache).unwrap();
+            assert_eq!(plain, cached, "{}", b.name());
+            assert_eq!(plain, cached_again, "{}", b.name());
+        }
+        // 10 cached probes (5 backends × 2 runs), 1 materialization.
+        assert_eq!(cache.miss_count(), 1);
+        assert_eq!(cache.hit_count(), 9);
+    }
+
+    #[test]
+    fn cache_eviction_is_bounded() {
+        let cache = OperandCache::with_capacity(2);
+        let mk = |m| TensorOp::Gemm { m, k: 32, n: 32 };
+        let a0 = cache.input(&mk(32), 1);
+        let _ = cache.input(&mk(64), 1);
+        let _ = cache.input(&mk(96), 1); // evicts mk(32)
+        let a0_again = cache.input(&mk(32), 1);
+        assert!(!Arc::ptr_eq(&a0, &a0_again), "evicted entry rebuilt");
+        assert_eq!(cache.miss_count(), 4);
     }
 
     #[test]

@@ -12,8 +12,14 @@
 //! the thread count or completion order. Cells whose content key is already
 //! in the [`ResultStore`] are never executed; the cache-hit count is
 //! reported in [`SweepStats`].
+//!
+//! Workers share one [`OperandCache`], so the five backends of a cell (and
+//! the cell's other geometry points) materialize their identical operand
+//! streams once per `(op, seed)` instead of once per backend — operand
+//! values are deterministic in the seed, so caching cannot change any
+//! record or the byte-identical-store guarantee.
 
-use crate::backend::{backend_for, BackendError};
+use crate::backend::{backend_for, BackendError, OperandCache};
 use crate::scenario::{Scenario, ScenarioGrid};
 use crate::store::{cell_key, cfg_fingerprint, RecordStatus, ResultStore, StoredRecord, CODE_SALT};
 use canon_core::CanonConfig;
@@ -41,7 +47,7 @@ impl Default for SweepOptions {
 }
 
 /// Counters of one sweep invocation.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct SweepStats {
     /// Grid cells in total.
     pub total: usize,
@@ -53,6 +59,36 @@ pub struct SweepStats {
     pub unsupported: usize,
     /// Cells rejected by a simulator (mapping violation, protocol error).
     pub errors: usize,
+    /// Simulated cycles summed over the cells *executed* this run (cache
+    /// hits contribute nothing — no simulation happened for them).
+    pub sim_cycles: u64,
+    /// Host wall-clock seconds spent in the parallel execution phase.
+    pub wall_secs: f64,
+}
+
+/// Equality covers the architectural outcome and deliberately ignores
+/// `wall_secs`, which varies run to run on the host (the same convention as
+/// `RunReport`).
+impl PartialEq for SweepStats {
+    fn eq(&self, other: &SweepStats) -> bool {
+        self.total == other.total
+            && self.executed == other.executed
+            && self.cache_hits == other.cache_hits
+            && self.unsupported == other.unsupported
+            && self.errors == other.errors
+            && self.sim_cycles == other.sim_cycles
+    }
+}
+
+impl SweepStats {
+    /// Aggregate simulator throughput of this run: simulated cycles per host
+    /// wall-clock second across all workers. Zero for fully-cached runs.
+    pub fn cycles_per_sec(&self) -> f64 {
+        if self.wall_secs <= 0.0 {
+            return 0.0;
+        }
+        self.sim_cycles as f64 / self.wall_secs
+    }
 }
 
 /// A completed sweep: records in scenario order plus counters.
@@ -64,12 +100,17 @@ pub struct SweepOutcome {
     pub stats: SweepStats,
 }
 
-fn record_for(scenario: &Scenario, key: String, opts: &SweepOptions) -> StoredRecord {
+fn record_for(
+    scenario: &Scenario,
+    key: String,
+    opts: &SweepOptions,
+    cache: &OperandCache,
+) -> StoredRecord {
     let backend = backend_for(scenario.arch, scenario.geometry, &opts.base_cfg);
     let (status, cycles, energy_pj, useful_macs, utilization) = if !backend.supports(&scenario.op) {
         (RecordStatus::Unsupported, 0, 0.0, 0, 0.0)
     } else {
-        match backend.run(&scenario.op, scenario.seed) {
+        match backend.run_cached(&scenario.op, scenario.seed, cache) {
             Ok(r) => (
                 RecordStatus::Ok,
                 r.cycles,
@@ -145,13 +186,21 @@ pub fn run_sweep(
         .map(|chunk| Mutex::new(chunk.iter().copied().collect()))
         .collect();
     let executed = AtomicUsize::new(0);
+    // One operand cache for the whole sweep: the architectures of a cell
+    // (and the same cell at other geometries) share materialized inputs.
+    // Sized with the worker count — each worker drains its own contiguous
+    // chunk with a distinct (op, seed), so capacity must comfortably cover
+    // the keys live across all workers or the FIFO thrashes.
+    let cache = OperandCache::with_capacity(16.max(2 * jobs));
 
+    let wall_start = std::time::Instant::now();
     let computed: Vec<(usize, StoredRecord)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..queues.len())
             .map(|w| {
                 let queues = &queues;
                 let keys = &keys;
                 let executed = &executed;
+                let cache = &cache;
                 scope.spawn(move || {
                     let mut out = Vec::new();
                     loop {
@@ -166,7 +215,7 @@ pub fn run_sweep(
                         });
                         let Some(idx) = task else { break };
                         let scenario = &grid.scenarios[idx];
-                        out.push((idx, record_for(scenario, keys[idx].clone(), opts)));
+                        out.push((idx, record_for(scenario, keys[idx].clone(), opts, cache)));
                         executed.fetch_add(1, Ordering::Relaxed);
                     }
                     out
@@ -178,6 +227,8 @@ pub fn run_sweep(
             .flat_map(|h| h.join().expect("sweep worker panicked"))
             .collect()
     });
+    let wall_secs = wall_start.elapsed().as_secs_f64();
+    let sim_cycles: u64 = computed.iter().map(|(_, rec)| rec.cycles).sum();
 
     for (idx, rec) in computed {
         store.insert(rec.clone());
@@ -212,6 +263,8 @@ pub fn run_sweep(
             .iter()
             .filter(|r| matches!(r.status, RecordStatus::Error(_)))
             .count(),
+        sim_cycles,
+        wall_secs,
     };
     Ok(SweepOutcome { records, stats })
 }

@@ -1,0 +1,136 @@
+//! Golden cycle-count invariance: the zero-allocation hot-path refactor
+//! (lazy `ErrCtx` error context, ring-buffer links, in-place sink draining,
+//! enum-dispatched row programs, rotating PE pipeline slots, shared operand
+//! cache) must be **perf-only** — architectural behaviour is pinned here.
+//!
+//! The constants below were captured on the pre-refactor simulator (PR 2
+//! head, commit `eeb8133`) for one GEMM, one SpMM and one SDDMM smoke
+//! shape, plus one fabric-level run whose full south-collector sequence
+//! (tag, lane, exit cycle, payload) is fingerprinted. Any divergence in
+//! cycle counts, activity counters, results, or collector sequences fails
+//! this suite.
+
+use canon::arch::kernels::{run_kernel, KernelOutput};
+use canon::arch::CanonConfig;
+use canon::sparse::Dense;
+use canon::sweep::backend::kernel_input;
+use canon::sweep::store::fnv1a64;
+use canon::workloads::TensorOp;
+use canon_bench::bench::golden_spmm_fabric;
+
+/// FNV-1a over the little-endian result matrix — byte-identical outputs.
+fn result_fp(result: &Dense) -> u64 {
+    let mut bytes = Vec::with_capacity(result.as_slice().len() * 4);
+    for &v in result.as_slice() {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    fnv1a64(&bytes)
+}
+
+struct Golden {
+    op: TensorOp,
+    seed: u64,
+    cycles: u64,
+    instrs: u64,
+    macs: u64,
+    noc_hops: u64,
+    stalls: u64,
+    result_fp: u64,
+}
+
+fn run(golden: &Golden) -> KernelOutput {
+    let input = kernel_input(&golden.op, golden.seed);
+    run_kernel(&CanonConfig::default(), &input).expect("golden shape maps")
+}
+
+#[test]
+fn gemm_golden_cycles_and_result() {
+    check(&Golden {
+        op: TensorOp::Gemm {
+            m: 32,
+            k: 32,
+            n: 32,
+        },
+        seed: 11,
+        cycles: 344,
+        instrs: 14152,
+        macs: 8192,
+        noc_hops: 9216,
+        stalls: 0,
+        result_fp: 0x17ce2c8a6b0d0c57,
+    });
+}
+
+#[test]
+fn spmm_golden_cycles_and_result() {
+    check(&Golden {
+        op: TensorOp::Spmm {
+            m: 32,
+            k: 64,
+            n: 32,
+            sparsity: 0.6,
+        },
+        seed: 12,
+        cycles: 282,
+        instrs: 13424,
+        macs: 7624,
+        noc_hops: 4112,
+        stalls: 0,
+        result_fp: 0x6ee5d7aed34af86a,
+    });
+}
+
+#[test]
+fn sddmm_golden_cycles_and_result() {
+    check(&Golden {
+        op: TensorOp::SddmmUnstructured {
+            seq: 32,
+            head_dim: 32,
+            sparsity: 0.5,
+        },
+        seed: 13,
+        cycles: 242,
+        instrs: 12592,
+        macs: 4296,
+        noc_hops: 6344,
+        stalls: 176,
+        result_fp: 0x6e76c7959a3fef83,
+    });
+}
+
+fn check(golden: &Golden) {
+    let out = run(golden);
+    assert_eq!(out.report.cycles, golden.cycles, "cycle count drifted");
+    assert_eq!(out.report.stats.instrs_executed, golden.instrs);
+    assert_eq!(out.report.stats.mac_instrs, golden.macs);
+    assert_eq!(out.report.stats.noc_hops, golden.noc_hops);
+    assert_eq!(out.report.stats.stall_cycles, golden.stalls);
+    assert_eq!(result_fp(&out.result), golden.result_fp, "result drifted");
+}
+
+/// Fabric-level run pinning the *full collected-entry sequence*: every
+/// south-exiting value's tag, lane, exit cycle, and payload, in collection
+/// order, hashed as one stream. The fabric is the same scenario `repro
+/// bench` profiles for allocations (one shared constructor), so the
+/// zero-allocation claim and this golden always describe the same run.
+#[test]
+fn fabric_spmm_collector_sequence_golden() {
+    let mut fabric = golden_spmm_fabric();
+    let report = fabric.run().unwrap();
+    assert_eq!(report.cycles, 164, "cycle count drifted");
+    assert_eq!(fabric.south_collected().len(), 584);
+    let mut bytes = Vec::new();
+    for e in fabric.south_collected() {
+        bytes.extend_from_slice(&e.tag.to_le_bytes());
+        bytes.extend_from_slice(&(e.lane as u64).to_le_bytes());
+        bytes.extend_from_slice(&e.cycle.to_le_bytes());
+        for lane in e.value.0 {
+            bytes.extend_from_slice(&lane.to_le_bytes());
+        }
+    }
+    assert_eq!(
+        fnv1a64(&bytes),
+        0x0eafeec65aa2f469,
+        "collected-entry sequence drifted"
+    );
+}

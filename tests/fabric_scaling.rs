@@ -135,7 +135,7 @@ fn watchdog_reports_stuck_rows() {
     let mut fabric = Fabric::new(&cfg, false);
     // Stream without its End token: the FSM never reaches DONE.
     fabric.set_meta_stream(0, vec![MetaToken::RowEnd { row: 0 }]);
-    fabric.set_program(0, Box::new(SpmmFsm::new(2, 4)));
+    fabric.set_program(0, SpmmFsm::new(2, 4));
     match fabric.run() {
         Err(SimError::Deadlock { waiting_on, .. }) => {
             assert!(waiting_on.contains("row 0"), "message: {waiting_on}");
