@@ -76,7 +76,7 @@ fn usage() -> ! {
          targets: table1 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17\n\
                   ablation-async ablation-buffer-sizing ablation-lut sweep all\n\
                   store gc\n\
-                  bench [--baseline FILE]   (writes BENCH_sim.json)\n\
+                  bench [--baseline FILE] [--check]   (writes BENCH_sim.json)\n\
          options:\n\
            --smoke      reduced problem sizes (CI-scale)\n\
            --jobs N     sweep worker threads (default: all cores)\n\
@@ -85,7 +85,9 @@ fn usage() -> ! {
            --geom LIST  sweep fabric geometries, e.g. 8x8,16x16 (default: 8x8);\n\
                         baselines are provisioned iso-MAC at each point\n\
            --baseline FILE  (bench) previous BENCH_sim.json to embed and\n\
-                        compute speedups against"
+                        compute speedups against\n\
+           --check      (bench) exit non-zero if the steady-state step loop\n\
+                        exceeds the allocation gate (allocs/cycle)"
     );
     std::process::exit(2)
 }
@@ -205,6 +207,12 @@ fn main() {
     }
     // `bench` measures simulator throughput and writes the JSON baseline.
     if args[0] == "bench" {
+        let check = if let Some(pos) = args.iter().position(|a| a == "--check") {
+            args.remove(pos);
+            true
+        } else {
+            false
+        };
         if args.len() != 1 {
             usage();
         }
@@ -226,6 +234,18 @@ fn main() {
             std::process::exit(1);
         });
         println!("bench report written to {path}");
+        if check {
+            match bench::check_alloc_gate(&report) {
+                Ok(()) => println!(
+                    "allocation gate passed (<= {} allocs/cycle)",
+                    bench::MAX_ALLOCS_PER_CYCLE
+                ),
+                Err(msg) => {
+                    eprintln!("allocation gate FAILED: {msg}");
+                    std::process::exit(1);
+                }
+            }
+        }
         return;
     }
     // `store <subcommand>` maintains the result store instead of producing

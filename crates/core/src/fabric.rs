@@ -7,19 +7,39 @@
 //!
 //! 1. **edge feed** — the north-edge stream movers push at most one token per
 //!    column into the north edge FIFOs (SDDMM's `A` stream);
-//! 2. **credit delivery** — south-channel credits returned by downstream pops
-//!    become visible after [`CanonConfig::orch_msg_latency`] cycles;
-//! 3. **orchestrator phase** — every row's FSM observes its meta stream head,
-//!    delivered message, credits, and north-FIFO occupancy, and issues one
-//!    instruction into column 0 (possibly NOP);
-//! 4. **COMMIT** for all PEs (NoC pushes happen here), collecting retiring
-//!    instructions for eastward forwarding;
-//! 5. **EXECUTE** for all PEs;
-//! 6. **LOAD** for all PEs — column 0 receives this cycle's orchestrator
-//!    instruction, column `c > 0` receives the instruction that retired from
-//!    column `c-1` **last** cycle, reproducing the 3-cycle stagger of §2.1
-//!    (issue at cycle *n* reaches column *c* at cycle *n + 3c*);
-//! 7. pipeline advance and edge-sink draining into the collectors.
+//! 2. **orchestrator phase** — every live row delivers its due south-channel
+//!    credits (visible after [`CanonConfig::orch_msg_latency`] cycles), then
+//!    its FSM observes its meta stream head, delivered message, credits, and
+//!    north-FIFO occupancy, and issues one instruction into column 0
+//!    (possibly NOP); fully-drained rows (done FSM, no pending messages or
+//!    credit returns) skip the phase entirely;
+//! 3. **active sweep** — COMMIT (NoC pushes happen here, retiring
+//!    instructions are forwarded eastward) and LOAD (which also computes the
+//!    EXECUTE stage's lane result eagerly — see [`crate::pe`]) run for every
+//!    PE in the active set, in PE-id order; column 0 receives this cycle's
+//!    orchestrator instruction, column `c > 0` receives the instruction that
+//!    retired from column `c-1` **last** cycle, reproducing the 3-cycle
+//!    stagger of §2.1 (issue at cycle *n* reaches column *c* at cycle
+//!    *n + 3c*);
+//! 4. pipeline advance (an O(1) rotation of the shared stage index) and edge
+//!    -sink draining into the collectors, gated on this cycle's sink pushes.
+//!
+//! ## Active-set scheduling
+//!
+//! The sweep of step 3 iterates an [`ActiveSet`] bitset instead of the whole
+//! array: a PE enters the set when an instruction is injected towards it
+//! (orchestrator issue, eastward forwarding) or a NoC push lands on one of
+//! its input links, and leaves at end of cycle once its pipeline, pending
+//! injections, and input links are all empty. Phases never visit drained
+//! PEs, and the per-cycle quiescence test collapses from a whole-fabric
+//! sweep to `active.is_empty()` plus O(rows) of orchestrator state.
+//!
+//! The fused per-PE ordering (COMMIT then LOAD of one PE before the next
+//! PE) is cycle-identical to the former phase-barrier sweeps because only
+//! south/east-bound dataflow is instantiated: every link's producer has a
+//! smaller PE id than its consumer, so a same-cycle push is always
+//! processed before the pop that observes it, and EXECUTE/LOAD touch only
+//! PE-local state (`tests/cycle_invariance.rs` pins this equivalence).
 //!
 //! ## Hot-path discipline
 //!
@@ -29,12 +49,15 @@
 //!
 //! * NoC error context is carried as copyable [`ErrCtx`](crate::noc::ErrCtx)
 //!   descriptors and rendered only when a protocol error fires;
-//! * edge sinks drain **in place** — step 7 pops each south/east sink link
+//! * edge sinks drain **in place** — step 4 pops each south/east sink link
 //!   directly into the collector vectors (no per-edge temporary `Vec`), and
 //!   the links themselves are fixed-capacity ring buffers;
 //! * row programs are enum-dispatched ([`RowProgram`]) rather than
 //!   `Box<dyn OrchProgram>`, removing the vtable call from the per-cycle
-//!   orchestrator phase.
+//!   orchestrator phase;
+//! * PE state is struct-of-arrays ([`PeArray`]): the stage slot a phase
+//!   touches is dense across PEs, and the pipeline advance is one index
+//!   bump for the whole fabric.
 //!
 //! The only remaining steady-state allocations are the amortized growth of
 //! the collector vectors themselves.
@@ -51,10 +74,11 @@
 //! underflow aborts the run as a protocol error.
 
 use crate::config::CanonConfig;
-use crate::isa::{Addr, Direction, Instruction, Vector, LANES};
+use crate::isa::{Direction, Instruction, Vector, LANES};
 use crate::noc::{LinkGrid, TaggedVector};
 use crate::orchestrator::{MetaToken, OrchIo, OrchMessage, OrchProgram, RowProgram};
-use crate::pe::Pe;
+use crate::pe::{PeArray, PeMut, PeRef};
+use crate::sched::ActiveSet;
 use crate::stats::{RunReport, Stats};
 use crate::SimError;
 use std::collections::VecDeque;
@@ -75,7 +99,11 @@ pub struct CollectedEntry {
 
 struct RowState {
     program: Option<RowProgram>,
-    meta: VecDeque<MetaToken>,
+    /// Input meta-data stream, consumed through `meta_pos` (a cursor into an
+    /// immutable `Vec` is cheaper per cycle than deque pops, and the
+    /// orchestrator reads the head every live row-step).
+    meta: Vec<MetaToken>,
+    meta_pos: usize,
     south_credits: usize,
     inbox: VecDeque<(u64, OrchMessage)>,
     credit_returns: VecDeque<u64>,
@@ -87,11 +115,60 @@ struct RowState {
     meta_consumed: u64,
 }
 
+/// One entry of the staggered instruction network's injection queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum Inject {
+    /// Nothing to load.
+    #[default]
+    None,
+    /// A bubble ([`Instruction::is_plain_nop`]) — carried as this tag alone,
+    /// no instruction record moves.
+    Bubble,
+    /// A real instruction; the payload array holds it.
+    Instr,
+}
+
+/// Per-PE injection slots of the instruction network, struct-of-arrays: the
+/// one-byte kind tags are scanned/updated on every hop, the 44-byte payload
+/// is touched only for real instructions. Bubbles — the majority of the
+/// traffic in sparse bands (row ends, stalls) — march east one tag byte per
+/// hop.
+#[derive(Debug)]
+struct InjectQueue {
+    kind: Vec<Inject>,
+    instr: Vec<Instruction>,
+}
+
+impl InjectQueue {
+    fn new(n: usize) -> InjectQueue {
+        InjectQueue {
+            kind: vec![Inject::None; n],
+            instr: vec![Instruction::NOP; n],
+        }
+    }
+
+    /// Classifies and stores one issued instruction.
+    #[inline]
+    fn put(&mut self, idx: usize, instr: Instruction) {
+        if instr.is_plain_nop() {
+            self.kind[idx] = Inject::Bubble;
+        } else {
+            self.kind[idx] = Inject::Instr;
+            self.instr[idx] = instr;
+        }
+    }
+
+    fn is_clear(&self) -> bool {
+        self.kind.iter().all(|&k| k == Inject::None)
+    }
+}
+
 impl RowState {
     fn new(initial_credits: usize) -> RowState {
         RowState {
             program: None,
-            meta: VecDeque::new(),
+            meta: Vec::new(),
+            meta_pos: 0,
             south_credits: initial_credits,
             inbox: VecDeque::new(),
             credit_returns: VecDeque::new(),
@@ -107,24 +184,36 @@ impl RowState {
     fn done(&self) -> bool {
         self.program.as_ref().is_none_or(|p| p.done())
     }
+
+    /// Tokens not yet consumed from the meta stream.
+    fn meta_left(&self) -> usize {
+        self.meta.len() - self.meta_pos
+    }
 }
 
 /// The simulated Canon fabric.
 pub struct Fabric {
     cfg: CanonConfig,
-    pes: Vec<Pe>,
+    pes: PeArray,
     grid: LinkGrid,
     rows: Vec<RowState>,
+    /// PEs with possible work this cycle (see [`ActiveSet`]).
+    active: ActiveSet,
     /// Instruction to inject into each PE this cycle (column > 0 slots are
     /// written by the previous cycle's commits).
-    inject_now: Vec<Option<Instruction>>,
+    inject_now: InjectQueue,
     /// Instructions retiring this cycle, to inject next cycle one column east.
-    inject_next: Vec<Option<Instruction>>,
+    inject_next: InjectQueue,
     feeders: Vec<VecDeque<TaggedVector>>,
+    /// Number of feeders still holding tokens (skips the edge-feed phase and
+    /// keeps the quiescence check O(1) in the column count).
+    feeders_pending: usize,
     feeder_bytes_per_token: u64,
     south_collected: Vec<CollectedEntry>,
     east_collected: Vec<CollectedEntry>,
     cycle: u64,
+    /// Sum over cycles of the active-set size (scheduler diagnostic).
+    active_pe_cycles: u64,
     extra_offchip_read: u64,
     extra_offchip_write: u64,
     /// Host wall time accumulated inside [`Fabric::run`] (ns).
@@ -158,18 +247,19 @@ impl Fabric {
             rows.push(RowState::new(credits));
         }
         Fabric {
-            pes: (0..n)
-                .map(|_| Pe::new(cfg.dmem_words, cfg.spad_entries))
-                .collect(),
+            pes: PeArray::new(n, cfg.dmem_words, cfg.spad_entries),
             grid: LinkGrid::new(cfg.rows, cfg.cols, cfg.link_fifo_depth, north_edge_feeder),
             rows,
-            inject_now: vec![None; n],
-            inject_next: vec![None; n],
+            active: ActiveSet::new(n),
+            inject_now: InjectQueue::new(n),
+            inject_next: InjectQueue::new(n),
             feeders: vec![VecDeque::new(); cfg.cols],
+            feeders_pending: 0,
             feeder_bytes_per_token: LANES as u64,
             south_collected: Vec::new(),
             east_collected: Vec::new(),
             cycle: 0,
+            active_pe_cycles: 0,
             extra_offchip_read: 0,
             extra_offchip_write: 0,
             wall_ns: 0,
@@ -182,17 +272,18 @@ impl Fabric {
         &self.cfg
     }
 
-    /// Mutable access to a PE (kernel mappers preload data memories).
+    /// Mutable access to a PE's memories (kernel mappers preload data
+    /// memories).
     ///
     /// # Panics
     ///
     /// Panics when out of bounds.
-    pub fn pe_mut(&mut self, r: usize, c: usize) -> &mut Pe {
+    pub fn pe_mut(&mut self, r: usize, c: usize) -> PeMut<'_> {
         assert!(
             r < self.cfg.rows && c < self.cfg.cols,
             "PE index out of bounds"
         );
-        &mut self.pes[r * self.cfg.cols + c]
+        self.pes.pe_mut(r * self.cfg.cols + c)
     }
 
     /// Shared access to a PE.
@@ -200,12 +291,12 @@ impl Fabric {
     /// # Panics
     ///
     /// Panics when out of bounds.
-    pub fn pe(&self, r: usize, c: usize) -> &Pe {
+    pub fn pe(&self, r: usize, c: usize) -> PeRef<'_> {
         assert!(
             r < self.cfg.rows && c < self.cfg.cols,
             "PE index out of bounds"
         );
-        &self.pes[r * self.cfg.cols + c]
+        self.pes.pe(r * self.cfg.cols + c)
     }
 
     /// Installs an orchestrator program on row `r`. Kernel FSMs convert
@@ -225,7 +316,8 @@ impl Fabric {
     ///
     /// Panics when `r` is out of bounds.
     pub fn set_meta_stream(&mut self, r: usize, stream: Vec<MetaToken>) {
-        self.rows[r].meta = stream.into();
+        self.rows[r].meta = stream;
+        self.rows[r].meta_pos = 0;
     }
 
     /// Queues north-edge stream tokens for column `c` (one token enters the
@@ -235,7 +327,13 @@ impl Fabric {
     ///
     /// Panics when `c` is out of bounds.
     pub fn set_feeder(&mut self, c: usize, tokens: Vec<TaggedVector>) {
+        if !self.feeders[c].is_empty() {
+            self.feeders_pending -= 1;
+        }
         self.feeders[c] = tokens.into();
+        if !self.feeders[c].is_empty() {
+            self.feeders_pending += 1;
+        }
     }
 
     /// Accounts additional off-chip read traffic (operand streams / preload)
@@ -264,15 +362,19 @@ impl Fabric {
         self.cycle
     }
 
-    fn instr_pushes_south(i: &Instruction) -> bool {
-        matches!(i.res, Addr::Port(Direction::South))
-            || i.route.is_some_and(|r| r.to == Direction::South)
+    /// Number of PEs currently in the active set.
+    pub fn active_pe_count(&self) -> usize {
+        self.active.count()
     }
 
-    fn instr_pops_north(i: &Instruction) -> bool {
-        matches!(i.op1, Addr::Port(Direction::North))
-            || matches!(i.op2, Addr::Port(Direction::North))
-            || i.route.is_some_and(|r| r.from == Direction::North)
+    /// Coordinates `(row, col)` of the PEs currently in the active set, in
+    /// row-major order (diagnostics / tests; allocates).
+    pub fn active_pes(&self) -> Vec<(usize, usize)> {
+        let cols = self.cfg.cols;
+        self.active
+            .iter_ids()
+            .map(|idx| (idx / cols, idx % cols))
+            .collect()
     }
 
     /// Advances the fabric by one cycle.
@@ -286,35 +388,45 @@ impl Fabric {
         let cols = self.cfg.cols;
         let nrows = self.cfg.rows;
 
-        // 1. North-edge feeders: at most one token per column per cycle.
-        for c in 0..cols {
-            if let Some(&tok) = self.feeders[c].front() {
-                let link = self.grid.vertical(0, c);
-                if link.len() < self.cfg.link_fifo_depth {
-                    link.push(tok, now, "north feeder")?;
-                    self.feeders[c].pop_front();
-                    self.extra_offchip_read += self.feeder_bytes_per_token;
+        // 1. North-edge feeders: at most one token per column per cycle. A
+        // token landing on column c's edge FIFO wakes its consumer PE (0, c).
+        if self.feeders_pending > 0 {
+            for c in 0..cols {
+                if let Some(&tok) = self.feeders[c].front() {
+                    let link = self.grid.vertical(0, c);
+                    if link.len() < self.cfg.link_fifo_depth {
+                        link.push(tok, now, "north feeder")?;
+                        self.feeders[c].pop_front();
+                        if self.feeders[c].is_empty() {
+                            self.feeders_pending -= 1;
+                        }
+                        self.extra_offchip_read += self.feeder_bytes_per_token;
+                        self.active.insert(c);
+                    }
                 }
             }
         }
 
-        // 2. Credit delivery.
-        for row in &mut self.rows {
-            while row
-                .credit_returns
-                .front()
-                .is_some_and(|&deliver| deliver <= now)
-            {
-                row.credit_returns.pop_front();
-                row.south_credits += 1;
-            }
-        }
-
-        // 3. Orchestrator phase. A finished orchestrator is still stepped
-        // while messages are pending: its FSM keeps the bypass transitions of
-        // the DONE state so upstream rows can drain through it.
+        // 2. Orchestrator phase. Credits returned by downstream pops become
+        // visible after `orch_msg_latency` cycles; delivery is folded into
+        // the row walk (rows react to credits only in their own step, and
+        // same-cycle returns are never due yet, so per-row delivery order is
+        // immaterial). A finished orchestrator is still stepped while
+        // messages are pending: its FSM keeps the bypass transitions of the
+        // DONE state so upstream rows can drain through it. Fully-drained
+        // rows fall through both checks at the cost of three branch tests.
         for r in 0..nrows {
-            self.inject_now[r * cols] = None;
+            {
+                let row = &mut self.rows[r];
+                while row
+                    .credit_returns
+                    .front()
+                    .is_some_and(|&deliver| deliver <= now)
+                {
+                    row.credit_returns.pop_front();
+                    row.south_credits += 1;
+                }
+            }
             let has_deliverable_msg = self.rows[r]
                 .inbox
                 .front()
@@ -324,7 +436,7 @@ impl Fabric {
             }
             let io = OrchIo {
                 cycle: now,
-                input: self.rows[r].meta.front().copied(),
+                input: self.rows[r].meta.get(self.rows[r].meta_pos).copied(),
                 msg: self.rows[r]
                     .inbox
                     .front()
@@ -354,14 +466,14 @@ impl Fabric {
                 row.stalls += 1;
             }
             if action.consume_input {
-                row.meta.pop_front();
+                row.meta_pos += 1;
                 row.meta_consumed += 1;
             }
             if action.consume_msg {
                 row.inbox.pop_front();
             }
             let instr = action.instr;
-            if Self::instr_pushes_south(&instr) && r + 1 < nrows {
+            if instr.pushes_toward(Direction::South) && r + 1 < nrows {
                 if self.rows[r].south_credits == 0 {
                     return Err(SimError::Deadlock {
                         cycle: now,
@@ -370,7 +482,7 @@ impl Fabric {
                 }
                 self.rows[r].south_credits -= 1;
             }
-            if Self::instr_pops_north(&instr) && r > 0 {
+            if instr.pops_from(Direction::North) && r > 0 {
                 let deliver = now + self.cfg.orch_msg_latency;
                 self.rows[r - 1].credit_returns.push_back(deliver);
             }
@@ -387,66 +499,160 @@ impl Fabric {
                     self.rows[r + 1].inbox.push_back((deliver, m));
                 }
             }
-            self.inject_now[r * cols] = Some(instr);
+            debug_assert!(
+                self.inject_now.kind[r * cols] == Inject::None,
+                "column-0 injection slot not consumed"
+            );
+            // Issue: bubbles are classified once here and thereafter march
+            // east as one-byte tags (no per-column re-inspection).
+            self.inject_now.put(r * cols, instr);
+            self.active.insert(r * cols);
         }
 
-        // 4. COMMIT phase (NoC pushes), recording eastward forwards.
-        for r in 0..nrows {
-            for c in 0..cols {
-                let idx = r * cols + c;
-                let retired = self.pes[idx].commit(&mut self.grid, r, c, now)?;
-                if c + 1 < cols {
-                    self.inject_next[idx + 1] = retired;
+        // 3. Active sweep: COMMIT (NoC pushes, eastward forwarding), EXECUTE
+        // and LOAD for every live PE, in PE-id order. Processing each PE's
+        // three phases back to back is cycle-identical to phase barriers
+        // because dataflow is strictly south/east-bound: a link's producer
+        // always has a smaller id than its consumer, so same-cycle pushes
+        // are committed before the consuming LOAD runs (see module docs).
+        // Each word is copied before scanning it: PEs woken mid-sweep by a
+        // push have no same-cycle work and are picked up next cycle.
+        //
+        // The same producer-before-consumer ordering makes a PE's
+        // next-cycle activity fully known by the time its turn ends (its
+        // west neighbour's forwarding commit and all pushes into its input
+        // links have already run), so deactivation happens inline instead of
+        // in a second sweep. The row/column of each id is tracked
+        // incrementally — ids are visited in ascending order, so no
+        // divisions run in the loop.
+        self.active_pe_cycles += self.active.count() as u64;
+        let mut south_sink_dirty = false;
+        let mut east_sink_dirty = false;
+        let mut r = 0usize;
+        let mut row_base = 0usize;
+        for w in 0..self.active.word_count() {
+            let mut bits = self.active.word(w);
+            while bits != 0 {
+                let idx = (w << 6) | bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                while idx >= row_base + cols {
+                    r += 1;
+                    row_base += cols;
+                }
+                let c = idx - row_base;
+                // COMMIT writes a retiring instruction straight into the
+                // eastern neighbour's injection payload slot and reports
+                // its link drives as flags; bubbles forward as a tag only.
+                let has_east = c + 1 < cols;
+                let eff = self.pes.commit_into(
+                    idx,
+                    &mut self.grid,
+                    r,
+                    c,
+                    now,
+                    if has_east {
+                        Some(&mut self.inject_next.instr[idx + 1])
+                    } else {
+                        None
+                    },
+                )?;
+                if eff.retired {
+                    if has_east {
+                        self.inject_next.kind[idx + 1] = if eff.bubble {
+                            Inject::Bubble
+                        } else {
+                            Inject::Instr
+                        };
+                        self.active.insert(idx + 1);
+                    }
+                    if eff.drives_south {
+                        if r + 1 < nrows {
+                            self.active.insert(idx + cols);
+                        } else {
+                            south_sink_dirty = true;
+                        }
+                    }
+                    if eff.drives_east && !has_east {
+                        east_sink_dirty = true;
+                    }
+                }
+                let mut loaded = true;
+                match self.inject_now.kind[idx] {
+                    Inject::None => loaded = false,
+                    Inject::Bubble => {
+                        self.inject_now.kind[idx] = Inject::None;
+                        self.pes.load_bubble(idx);
+                    }
+                    Inject::Instr => {
+                        self.inject_now.kind[idx] = Inject::None;
+                        let incoming = Some(self.inject_now.instr[idx]);
+                        if c == 0 {
+                            // Fresh orchestrator issue: validate the §3.1
+                            // route rules once here; the eastward-forwarded
+                            // copies are identical and skip the re-check.
+                            self.pes.load(idx, incoming, &mut self.grid, r, c, now)?;
+                        } else {
+                            self.pes
+                                .load_forwarded(idx, incoming, &mut self.grid, r, c, now)?;
+                        }
+                    }
+                }
+                // Inline deactivation: a PE leaves the set once its
+                // pipeline, pending injection, and input links are all
+                // empty. The condition is exact (everything that could
+                // change it this cycle has already run), which is what lets
+                // `quiescent()` trust `active.is_empty()`. A PE that just
+                // loaded is trivially still live — the common case costs one
+                // branch.
+                if !loaded
+                    && self.pes.pipeline_empty(idx)
+                    && self.inject_next.kind[idx] == Inject::None
+                    && self.grid.pe_inputs_empty(r, c)
+                {
+                    self.active.remove(idx);
                 }
             }
         }
 
-        // 5. EXECUTE phase.
-        for pe in &mut self.pes {
-            pe.execute();
-        }
-
-        // 6. LOAD phase.
-        for r in 0..nrows {
-            for c in 0..cols {
-                let idx = r * cols + c;
-                let incoming = self.inject_now[idx].take();
-                self.pes[idx].load(incoming, &mut self.grid, r, c, now)?;
-            }
-        }
-
-        // 7. Advance pipelines; next cycle's column >0 injections become
-        // current.
-        for pe in &mut self.pes {
-            pe.advance();
-        }
+        // 4. Advance pipelines (O(1) stage-index rotation); next cycle's
+        // column > 0 injections become current. Every pending injection was
+        // consumed by the sweep (a pending slot implies an active bit), so
+        // the swapped-out array needs no clearing.
+        self.pes.advance();
         std::mem::swap(&mut self.inject_now, &mut self.inject_next);
-        for slot in self.inject_next.iter_mut() {
-            *slot = None;
-        }
+        debug_assert!(
+            self.inject_next.is_clear(),
+            "injection leaked past the active sweep"
+        );
 
-        // 8. Drain edge sinks straight into the collectors: the sink links
-        // are popped in place, with no per-edge temporary collection.
-        for c in 0..cols {
-            let link = self.grid.vertical(nrows, c);
-            while let Some(e) = link.try_pop() {
-                self.south_collected.push(CollectedEntry {
-                    tag: e.tag,
-                    lane: c,
-                    value: e.value,
-                    cycle: now,
-                });
+        // 5. Drain edge sinks straight into the collectors, only on cycles
+        // in which a bottom-row/east-column commit drove a sink link: the
+        // sink links are popped in place, with no per-edge temporary
+        // collection, and entries always exit in the cycle they were pushed.
+        if south_sink_dirty {
+            for c in 0..cols {
+                let link = self.grid.vertical(nrows, c);
+                while let Some(e) = link.try_pop() {
+                    self.south_collected.push(CollectedEntry {
+                        tag: e.tag,
+                        lane: c,
+                        value: e.value,
+                        cycle: now,
+                    });
+                }
             }
         }
-        for r in 0..nrows {
-            let link = self.grid.horizontal(r, cols);
-            while let Some(e) = link.try_pop() {
-                self.east_collected.push(CollectedEntry {
-                    tag: e.tag,
-                    lane: r,
-                    value: e.value,
-                    cycle: now,
-                });
+        if east_sink_dirty {
+            for r in 0..nrows {
+                let link = self.grid.horizontal(r, cols);
+                while let Some(e) = link.try_pop() {
+                    self.east_collected.push(CollectedEntry {
+                        tag: e.tag,
+                        lane: r,
+                        value: e.value,
+                        cycle: now,
+                    });
+                }
             }
         }
 
@@ -456,15 +662,14 @@ impl Fabric {
 
     /// True when all orchestrators are done, all pipelines and links are
     /// empty, and no messages or feeder tokens are pending.
+    ///
+    /// The active set makes this O(rows): an occupied pipeline, pending
+    /// injection, or non-empty link keeps its PE active, so PE and NoC
+    /// drain-state collapses to `active.is_empty()`.
     pub fn quiescent(&self) -> bool {
-        self.rows.iter().all(RowState::done)
-            && self.rows.iter().all(|r| r.inbox.is_empty())
-            && self.pes.iter().all(Pe::pipeline_empty)
-            && self.grid.internal_quiescent()
-            && !self.grid.north_edge_pending()
-            && self.feeders.iter().all(VecDeque::is_empty)
-            && self.inject_now.iter().all(Option::is_none)
-            && self.inject_next.iter().all(Option::is_none)
+        self.active.is_empty()
+            && self.feeders_pending == 0
+            && self.rows.iter().all(|r| r.done() && r.inbox.is_empty())
     }
 
     /// Runs until quiescent, returning the run report.
@@ -474,7 +679,7 @@ impl Fabric {
     /// Propagates protocol errors and reports a [`SimError::Deadlock`] if the
     /// watchdog budget is exhausted before the fabric drains.
     pub fn run(&mut self) -> Result<RunReport, SimError> {
-        let work: u64 = self.rows.iter().map(|r| r.meta.len() as u64).sum::<u64>()
+        let work: u64 = self.rows.iter().map(|r| r.meta_left() as u64).sum::<u64>()
             + self.feeders.iter().map(|f| f.len() as u64).sum::<u64>();
         let budget = self
             .cfg
@@ -493,7 +698,7 @@ impl Fabric {
                     .iter()
                     .enumerate()
                     .filter(|(_, r)| !r.done())
-                    .map(|(i, r)| format!("row {i} ({} meta left)", r.meta.len()))
+                    .map(|(i, r)| format!("row {i} ({} meta left)", r.meta_left()))
                     .collect();
                 break Err(SimError::Deadlock {
                     cycle: self.cycle,
@@ -518,11 +723,12 @@ impl Fabric {
     /// Builds the report for the cycles simulated so far.
     pub fn report(&self) -> RunReport {
         let mut stats = Stats::new();
-        for pe in &self.pes {
-            let c = pe.counters();
+        for i in 0..self.pes.len() {
+            let c = self.pes.counters(i);
             stats.instrs_executed += c.instrs;
             stats.compute_instrs += c.compute_instrs;
             stats.mac_instrs += c.mac_instrs;
+            let pe = self.pes.pe(i);
             stats.dmem_reads += pe.dmem.read_count();
             stats.dmem_writes += pe.dmem.write_count();
             stats.spad_reads += pe.spad.read_count();
@@ -538,6 +744,7 @@ impl Fabric {
         }
         stats.offchip_read_bytes = self.extra_offchip_read;
         stats.offchip_write_bytes = self.extra_offchip_write;
+        stats.active_pe_cycles = self.active_pe_cycles;
         RunReport {
             cycles: self.cycle,
             pes: self.cfg.pe_count(),
@@ -553,6 +760,7 @@ impl std::fmt::Debug for Fabric {
             .field("rows", &self.cfg.rows)
             .field("cols", &self.cfg.cols)
             .field("cycle", &self.cycle)
+            .field("active", &self.active.count())
             .finish_non_exhaustive()
     }
 }
@@ -560,7 +768,7 @@ impl std::fmt::Debug for Fabric {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::isa::Opcode;
+    use crate::isa::{Addr, Opcode};
     use crate::orchestrator::OrchAction;
 
     /// A scripted orchestrator that plays back a fixed instruction sequence.
@@ -664,6 +872,7 @@ mod tests {
         let cfg = small_cfg();
         let mut f = Fabric::new(&cfg, false);
         assert!(f.quiescent());
+        assert_eq!(f.active_pe_count(), 0);
         f.set_program(
             0,
             RowProgram::custom(Script {
@@ -672,6 +881,7 @@ mod tests {
         );
         let r = f.run().unwrap();
         assert_eq!(r.cycles, 0);
+        assert_eq!(f.active_pe_count(), 0);
     }
 
     #[test]
@@ -709,6 +919,9 @@ mod tests {
         assert_eq!(r.stats.instrs_executed, 12);
         assert_eq!(r.stats.compute_instrs, 0);
         assert_eq!(r.stats.orch_steps, 4);
+        // The sweep only ever visited live PEs: each of the 3 PEs holds the
+        // pipelined 4-instruction burst for 6 consecutive cycles.
+        assert_eq!(r.stats.active_pe_cycles, 18);
     }
 
     #[test]
@@ -743,5 +956,33 @@ mod tests {
         assert!(r.cycles >= 3);
         // 3 tokens × 3 columns × LANES bytes accounted as off-chip reads.
         assert_eq!(r.stats.offchip_read_bytes, 9 * LANES as u64);
+    }
+
+    #[test]
+    fn active_set_follows_the_wavefront() {
+        // A single issued instruction sweeps eastward; the active set tracks
+        // exactly the PEs holding it (plus the injection ahead of it), and
+        // empties once the fabric drains.
+        let cfg = small_cfg();
+        let mut f = Fabric::new(&cfg, false);
+        let i = Instruction::new(Opcode::Mov, Addr::Imm, Addr::Null, Addr::Reg(0))
+            .with_imm(Vector::splat(1));
+        f.set_program(
+            0,
+            RowProgram::custom(Script {
+                instrs: vec![i].into(),
+            }),
+        );
+        f.step().unwrap();
+        // Cycle 0: the instruction loaded into PE (0,0).
+        assert_eq!(f.active_pes(), vec![(0, 0)]);
+        while !f.quiescent() {
+            f.step().unwrap();
+            // Row 1 never participates.
+            assert!(f.active_pes().iter().all(|&(r, _)| r == 0));
+        }
+        assert_eq!(f.active_pe_count(), 0);
+        // 1 instruction × 3 pipeline cycles × 3 columns of residence.
+        assert_eq!(f.report().stats.active_pe_cycles, 9);
     }
 }

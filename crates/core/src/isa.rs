@@ -329,11 +329,51 @@ impl Instruction {
         self
     }
 
+    /// True when committing this instruction drives the outgoing link
+    /// towards `d`: a `Port(d)` result address or a pass-through route with
+    /// output side `d`. This is the orchestrators' credit-accounting view
+    /// and the fabric's wake-propagation view (a `Nop` result never
+    /// actually pushes, but conservatively claims the direction — exactly
+    /// what the credit protocol has always assumed).
+    pub fn pushes_toward(&self, d: Direction) -> bool {
+        self.res == Addr::Port(d) || self.route.is_some_and(|r| r.to == d)
+    }
+
+    /// True when loading this instruction pops the incoming link from `d`
+    /// (an operand port read or a pass-through route with input side `d`).
+    pub fn pops_from(&self, d: Direction) -> bool {
+        matches!(self.op1, Addr::Port(x) if x == d)
+            || matches!(self.op2, Addr::Port(x) if x == d)
+            || self.route.is_some_and(|r| r.from == d)
+    }
+
+    /// True for the canonical bubble: a `Nop` with null operands, null
+    /// result, and no route — what orchestrators emit for stalls and row
+    /// ends. Bubbles read nothing, write nothing, push nothing, and cannot
+    /// forward a value, so the pipeline and the injection network can move
+    /// them as a one-byte state tag instead of a full instruction record.
+    pub fn is_plain_nop(&self) -> bool {
+        self.op == Opcode::Nop
+            && self.op1 == Addr::Null
+            && self.op2 == Addr::Null
+            && self.res == Addr::Null
+            && self.route.is_none()
+    }
+
     /// Validates the §3.1 compile-time restriction: an instruction must not
     /// read from and write to the same NoC direction (including its route).
     ///
     /// Returns the offending direction on violation.
     pub fn noc_conflict(&self) -> Option<Direction> {
+        // Port-free fast path: most compute instructions (dmem/spad/register
+        // operands) touch no router direction at all.
+        if self.route.is_none()
+            && !matches!(self.op1, Addr::Port(_))
+            && !matches!(self.op2, Addr::Port(_))
+            && !matches!(self.res, Addr::Port(_))
+        {
+            return None;
+        }
         // At most 3 reads (op1, op2, route input) and 2 writes (res, route
         // output) exist, so fixed on-stack arrays suffice — this check runs
         // at every LOAD and must not allocate.
@@ -487,6 +527,24 @@ mod tests {
         assert!(i.to_string().contains("Add"));
         let i = i.with_route(Direction::North, Direction::South);
         assert!(i.to_string().contains("route"));
+    }
+
+    #[test]
+    fn port_traffic_predicates() {
+        let i = Instruction::new(
+            Opcode::Mov,
+            Addr::Port(Direction::North),
+            Addr::Null,
+            Addr::Port(Direction::South),
+        );
+        assert!(i.pops_from(Direction::North));
+        assert!(!i.pops_from(Direction::West));
+        assert!(i.pushes_toward(Direction::South));
+        assert!(!i.pushes_toward(Direction::East));
+        let routed = Instruction::NOP.with_route(Direction::West, Direction::East);
+        assert!(routed.pops_from(Direction::West));
+        assert!(routed.pushes_toward(Direction::East));
+        assert!(!Instruction::NOP.pops_from(Direction::North));
     }
 
     #[test]

@@ -328,10 +328,24 @@ pub fn run_sddmm(
     }
     let x = cfg.cols;
     let y = cfg.rows;
-    if !k.is_multiple_of(x * LANES) {
-        return Err(SimError::Mapping {
-            reason: format!("K = {k} must be a multiple of cols·lanes = {}", x * LANES),
-        });
+    // Auto-pad the contraction dimension: when K is not a multiple of
+    // cols·lanes (e.g. head_dim = 32 on a 16×16 grid, where cols·lanes =
+    // 64), zero-pad both operands up to the next multiple. The padded
+    // columns contribute exactly zero to every Q·Kᵀ dot product, so results
+    // are bit-identical to the unpadded computation; only the streamed
+    // token count (and hence cycles/traffic) reflects the padded width.
+    let k_padded = k.div_ceil(x * LANES) * (x * LANES);
+    if k_padded != k {
+        let pad = |m: &Dense| {
+            let mut out = Dense::zeros(m.rows(), k_padded);
+            for rr in 0..m.rows() {
+                for cc in 0..k {
+                    out[(rr, cc)] = m[(rr, cc)];
+                }
+            }
+            out
+        };
+        return run_sddmm(cfg, mapping, mask, &pad(a), &pad(b));
     }
     if !n.is_multiple_of(y) {
         return Err(SimError::Mapping {
@@ -523,19 +537,44 @@ mod tests {
     }
 
     #[test]
-    fn sddmm_mapping_errors() {
+    fn sddmm_auto_pads_ragged_k() {
+        // K = 48 is not a multiple of cols·lanes = 32: zero-padded to 64,
+        // bit-identical result.
         let mut rng = gen::seeded_rng(56);
-        let a = Dense::random(4, 48, &mut rng); // K=48 not multiple of 32
+        let a = Dense::random(4, 48, &mut rng);
         let b = Dense::random(8, 48, &mut rng);
         let mask = Mask::full(4, 8);
+        let out = run_sddmm(&cfg(), &SddmmMapping::default(), &mask, &a, &b).unwrap();
+        assert_eq!(out.result, reference::sddmm(&mask, &a, &b));
+    }
+
+    #[test]
+    fn sddmm_16x16_grid_auto_pads_head_dim_32() {
+        // Regression for the former ROADMAP caveat: a 16×16 grid used to
+        // record head_dim = 32 cells as mapping errors (K = 32 < cols·lanes
+        // = 64). K is now zero-padded up to the next multiple; padded
+        // columns contribute zero to every dot product, so the result is
+        // bit-identical to the reference.
+        let mut rng = gen::seeded_rng(58);
+        let cfg = CanonConfig::default().with_geometry(16, 16);
+        let a = Dense::random(32, 32, &mut rng);
+        let b = Dense::random(32, 32, &mut rng);
+        let mask = gen::random_mask(32, 32, 0.5, &mut rng);
+        let out = run_sddmm(&cfg, &SddmmMapping::default(), &mask, &a, &b).unwrap();
+        assert_eq!(out.result, reference::sddmm(&mask, &a, &b));
+        assert!(out.report.cycles > 0);
+    }
+
+    #[test]
+    fn sddmm_mapping_errors() {
+        let mut rng = gen::seeded_rng(56);
+        let a = Dense::random(4, 32, &mut rng);
+        let b = Dense::random(9, 32, &mut rng); // N=9 not multiple of 8
+        let mask = Mask::full(4, 9);
         assert!(matches!(
             run_sddmm(&cfg(), &SddmmMapping::default(), &mask, &a, &b),
             Err(SimError::Mapping { .. })
         ));
-        let a = Dense::random(4, 32, &mut rng);
-        let b = Dense::random(9, 32, &mut rng); // N=9 not multiple of 8
-        let mask = Mask::full(4, 9);
-        assert!(run_sddmm(&cfg(), &SddmmMapping::default(), &mask, &a, &b).is_err());
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use crate::config::CanonConfig;
 use crate::isa::{Instruction, Vector, LANES};
 use crate::noc::{LinkGrid, TaggedVector};
-use crate::pe::Pe;
+use crate::pe::PeArray;
 use crate::stats::{RunReport, Stats};
 use crate::SimError;
 use std::collections::VecDeque;
@@ -66,11 +66,25 @@ pub fn run_spatial(
     for row in &program.grid {
         assert_eq!(row.len(), cfg.cols, "instruction grid cols");
     }
-    let mut pes: Vec<Pe> = (0..cfg.pe_count())
-        .map(|_| Pe::new(cfg.dmem_words, cfg.spad_entries))
-        .collect();
+    let mut pes = PeArray::new(cfg.pe_count(), cfg.dmem_words, cfg.spad_entries);
     for (r, c, base, words) in &program.preload {
-        pes[r * cfg.cols + c].dmem.preload(*base, words);
+        pes.pe_mut(r * cfg.cols + c).dmem.preload(*base, words);
+    }
+    // Validate every held instruction's §3.1 route rules once up front
+    // (cycle 0, row-major — exactly where and when the per-cycle LOAD used
+    // to detect it); the execution loop then re-loads without re-checking.
+    if steps > 0 {
+        for r in 0..cfg.rows {
+            for c in 0..cfg.cols {
+                if let Some(d) = program.grid[r][c].noc_conflict() {
+                    return Err(SimError::RouterConflict {
+                        cycle: 0,
+                        pe: (r, c),
+                        direction: d.to_string(),
+                    });
+                }
+            }
+        }
     }
     let mut grid = LinkGrid::new_elastic(cfg.rows, cfg.cols);
     let mut feeders: Vec<VecDeque<TaggedVector>> =
@@ -91,23 +105,22 @@ pub fn run_spatial(
                 feed_bytes += LANES as u64;
             }
         }
+        // Unlike the dynamic fabric's fused active sweep, the phases stay
+        // barriered here: elastic links pop zero when empty, so the relative
+        // order of pushes and pops across PEs is architecturally visible
+        // during warm-up and must match the hardware's phase ordering.
         for r in 0..cfg.rows {
             for c in 0..cfg.cols {
-                pes[r * cfg.cols + c].commit(&mut grid, r, c, cycle)?;
+                pes.commit_into(r * cfg.cols + c, &mut grid, r, c, cycle, None)?;
             }
-        }
-        for pe in &mut pes {
-            pe.execute();
         }
         for r in 0..cfg.rows {
             for c in 0..cfg.cols {
                 let instr = program.grid[r][c];
-                pes[r * cfg.cols + c].load(Some(instr), &mut grid, r, c, cycle)?;
+                pes.load_forwarded(r * cfg.cols + c, Some(instr), &mut grid, r, c, cycle)?;
             }
         }
-        for pe in &mut pes {
-            pe.advance();
-        }
+        pes.advance();
         for c in 0..cfg.cols {
             south.extend(grid.vertical(cfg.rows, c).drain_all());
         }
@@ -118,11 +131,12 @@ pub fn run_spatial(
 
     let config_cycles = (cfg.cols * cfg.pipe_depth) as u64;
     let mut stats = Stats::new();
-    for pe in &pes {
-        let c = pe.counters();
+    for idx in 0..pes.len() {
+        let c = pes.counters(idx);
         stats.instrs_executed += c.instrs;
         stats.compute_instrs += c.compute_instrs;
         stats.mac_instrs += c.mac_instrs;
+        let pe = pes.pe(idx);
         stats.dmem_reads += pe.dmem.read_count();
         stats.dmem_writes += pe.dmem.write_count();
         stats.spad_reads += pe.spad.read_count();

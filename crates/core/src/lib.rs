@@ -18,10 +18,10 @@
 //! |---|---|
 //! | ISA: `<op> <op1_addr> <op2_addr> <res_addr>`, unified address space (§3.1) | [`isa`] |
 //! | 3-stage PE pipeline LOAD/EXECUTE/COMMIT, 4-wide SIMD lane (Fig 4) | [`pe`] |
-//! | Per-PE data memory + dual-port scratchpad (§2.2) | [`memory`] |
+//! | Per-PE data memory + dual-port scratchpad (§2.2) | [`pe`] (slab views) |
 //! | Circuit-switched data NoC, staggered instruction NoC (§2.1) | [`noc`] |
 //! | Programmable orchestrator, LUT bitstream (Fig 5, §3.2) | [`orchestrator`] |
-//! | PE array + cycle loop | [`fabric`] |
+//! | PE array + cycle loop, active-set scheduled | [`fabric`], [`sched`] |
 //! | Kernel mappings (§4, Appendices A–D) | [`kernels`] |
 //! | Off-chip bandwidth / tiling model (§6.4) | [`offchip`] |
 //! | Per-component activity counters | [`stats`] |
@@ -47,11 +47,11 @@ pub mod config;
 pub mod fabric;
 pub mod isa;
 pub mod kernels;
-pub mod memory;
 pub mod noc;
 pub mod offchip;
 pub mod orchestrator;
 pub mod pe;
+pub mod sched;
 pub mod stats;
 
 pub use config::CanonConfig;

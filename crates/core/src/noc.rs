@@ -87,6 +87,10 @@ impl std::fmt::Display for ErrCtx {
 /// once at construction; unbounded flavours (sinks, elastic links) grow it
 /// by doubling, reaching their high-water mark and then never allocating
 /// again.
+///
+/// The backing storage is always a power of two so that the wrap-around is
+/// a mask instead of a hardware division — push/pop run once per NoC
+/// transfer of every simulated cycle.
 #[derive(Debug, Clone)]
 struct Ring {
     buf: Box<[TaggedVector]>,
@@ -96,11 +100,17 @@ struct Ring {
 
 impl Ring {
     fn with_capacity(cap: usize) -> Ring {
+        let size = cap.next_power_of_two().max(1);
         Ring {
-            buf: vec![TaggedVector::ZERO; cap].into_boxed_slice(),
+            buf: vec![TaggedVector::ZERO; size].into_boxed_slice(),
             head: 0,
             len: 0,
         }
+    }
+
+    #[inline]
+    fn mask(&self) -> usize {
+        self.buf.len() - 1
     }
 
     fn is_full(&self) -> bool {
@@ -111,26 +121,29 @@ impl Ring {
     fn grow(&mut self) {
         let new_cap = (self.buf.len() * 2).max(8);
         let mut new_buf = vec![TaggedVector::ZERO; new_cap].into_boxed_slice();
+        let mask = self.mask();
         for (i, slot) in new_buf.iter_mut().take(self.len).enumerate() {
-            *slot = self.buf[(self.head + i) % self.buf.len()];
+            *slot = self.buf[(self.head + i) & mask];
         }
         self.buf = new_buf;
         self.head = 0;
     }
 
+    #[inline]
     fn push_back(&mut self, entry: TaggedVector) {
         debug_assert!(!self.is_full(), "ring push past capacity");
-        let idx = (self.head + self.len) % self.buf.len();
+        let idx = (self.head + self.len) & self.mask();
         self.buf[idx] = entry;
         self.len += 1;
     }
 
+    #[inline]
     fn pop_front(&mut self) -> Option<TaggedVector> {
         if self.len == 0 {
             return None;
         }
         let entry = self.buf[self.head];
-        self.head = (self.head + 1) % self.buf.len();
+        self.head = (self.head + 1) & self.mask();
         self.len -= 1;
         Some(entry)
     }
@@ -218,6 +231,7 @@ impl Link {
     ///
     /// Returns [`SimError::RouterConflict`]-style protocol errors when the
     /// credit discipline failed: pushing to a zero-source or over capacity.
+    #[inline]
     pub fn push(
         &mut self,
         entry: TaggedVector,
@@ -225,18 +239,10 @@ impl Link {
         ctx: impl Into<ErrCtx>,
     ) -> Result<(), SimError> {
         if self.zero_source {
-            return Err(SimError::AddressOutOfRange {
-                context: format!(
-                    "push to zero-source edge link at cycle {cycle} ({})",
-                    ctx.into()
-                ),
-            });
+            return Err(Self::push_zero_source(cycle, ctx.into()));
         }
         if self.ring.len >= self.capacity {
-            return Err(SimError::Deadlock {
-                cycle,
-                waiting_on: format!("link overflow ({}): credit protocol violated", ctx.into()),
-            });
+            return Err(Self::push_overflow(cycle, ctx.into()));
         }
         if self.ring.is_full() {
             // Only unbounded flavours reach here (bounded rings are sized to
@@ -248,30 +254,50 @@ impl Link {
         Ok(())
     }
 
+    #[cold]
+    fn push_zero_source(cycle: u64, ctx: ErrCtx) -> SimError {
+        SimError::AddressOutOfRange {
+            context: format!("push to zero-source edge link at cycle {cycle} ({ctx})"),
+        }
+    }
+
+    #[cold]
+    fn push_overflow(cycle: u64, ctx: ErrCtx) -> SimError {
+        SimError::Deadlock {
+            cycle,
+            waiting_on: format!("link overflow ({ctx}): credit protocol violated"),
+        }
+    }
+
     /// Pops the oldest entry.
     ///
     /// # Errors
     ///
     /// Popping an empty internal link is a protocol error (the FSM issued a
     /// consuming instruction before the producer delivered).
+    #[inline]
     pub fn pop(&mut self, cycle: u64, ctx: impl Into<ErrCtx>) -> Result<TaggedVector, SimError> {
         if self.zero_source {
             return Ok(TaggedVector::ZERO);
         }
-        if self.relaxed {
-            return Ok(self.ring.pop_front().unwrap_or(TaggedVector::ZERO));
+        match self.ring.pop_front() {
+            Some(e) => Ok(e),
+            None if self.relaxed => Ok(TaggedVector::ZERO),
+            None => Err(Self::pop_underflow(cycle, ctx.into())),
         }
-        self.ring.pop_front().ok_or_else(|| SimError::Deadlock {
+    }
+
+    #[cold]
+    fn pop_underflow(cycle: u64, ctx: ErrCtx) -> SimError {
+        SimError::Deadlock {
             cycle,
-            waiting_on: format!(
-                "pop of empty link ({}): producer/consumer desynchronised",
-                ctx.into()
-            ),
-        })
+            waiting_on: format!("pop of empty link ({ctx}): producer/consumer desynchronised"),
+        }
     }
 
     /// Pops the oldest entry without protocol checks (`None` when empty or a
     /// zero source) — the edge collectors' drain primitive.
+    #[inline]
     pub fn try_pop(&mut self) -> Option<TaggedVector> {
         if self.zero_source {
             return None;
@@ -280,11 +306,13 @@ impl Link {
     }
 
     /// Current occupancy (always 0 for zero sources).
+    #[inline]
     pub fn len(&self) -> usize {
         self.ring.len
     }
 
     /// True when no entries are queued.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.ring.len == 0
     }
@@ -448,6 +476,14 @@ impl LinkGrid {
     pub fn north_edge_pending(&self) -> bool {
         (0..self.cols).any(|c| !self.vertical_ref(0, c).is_empty())
     }
+
+    /// True when both input links of PE `(r, c)` — the southbound link into
+    /// its North port and the eastbound link into its West port — are empty.
+    /// The fabric's active-set scheduler uses this as the "no pending NoC
+    /// work" half of its deactivation condition.
+    pub fn pe_inputs_empty(&self, r: usize, c: usize) -> bool {
+        self.vertical_ref(r, c).is_empty() && self.horizontal_ref(r, c).is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -576,6 +612,19 @@ mod tests {
         assert!(g.north_edge_pending());
         assert_eq!(g.vertical(0, 0).pop(0, "t").unwrap().tag, 1);
         assert!(!g.north_edge_pending());
+    }
+
+    #[test]
+    fn pe_inputs_empty_tracks_both_input_links() {
+        let mut g = LinkGrid::new(2, 2, 4, false);
+        assert!(g.pe_inputs_empty(1, 1));
+        g.vertical(1, 1).push(tv(0, 1), 0, "t").unwrap();
+        assert!(!g.pe_inputs_empty(1, 1));
+        g.vertical(1, 1).pop(0, "t").unwrap();
+        g.horizontal(1, 1).push(tv(0, 2), 0, "t").unwrap();
+        assert!(!g.pe_inputs_empty(1, 1));
+        g.horizontal(1, 1).pop(0, "t").unwrap();
+        assert!(g.pe_inputs_empty(1, 1));
     }
 
     #[test]

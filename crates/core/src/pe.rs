@@ -1,5 +1,5 @@
-//! The Canon processing element: a 3-stage LOAD / EXECUTE / COMMIT pipeline
-//! around a 4-wide SIMD lane (Fig 4).
+//! The Canon processing elements: 3-stage LOAD / EXECUTE / COMMIT pipelines
+//! around 4-wide SIMD lanes (Fig 4), stored struct-of-arrays.
 //!
 //! PEs contain no control logic: they execute whatever instruction streams in
 //! from the west (orchestrator or upstream PE), at a fixed pipeline latency,
@@ -12,28 +12,76 @@
 //! accumulator forwarding a real MAC pipeline needs for back-to-back
 //! accumulation into the same scratchpad entry (consecutive non-zeros of one
 //! output row in SpMM).
+//!
+//! ## Struct-of-arrays layout
+//!
+//! All PEs of a fabric live in one [`PeArray`]: data memories, scratchpads,
+//! register banks, activity counters, and the three pipeline-stage slots are
+//! parallel `Vec`s indexed by PE id. The per-phase sweeps of
+//! [`crate::fabric::Fabric::step`] then walk dense, homogeneous arrays — the
+//! stage slot a COMMIT pass touches is contiguous across PEs instead of
+//! strided by the whole PE record. Because every PE advances in lockstep,
+//! the stage rotation index is a single array-wide field and
+//! [`PeArray::advance`] is O(1) regardless of fabric size.
+//!
+//! The EXECUTE stage exists architecturally (an instruction occupies it for
+//! one cycle, and forwarding reads it), but its lane result is a pure
+//! function of the operand values captured at LOAD and nothing can observe
+//! it earlier — so the simulator computes it eagerly during LOAD and runs no
+//! per-PE EXECUTE sweep at all.
 
 use crate::isa::{Addr, Direction, Instruction, Opcode, Vector};
-use crate::memory::{DataMemory, Scratchpad};
 use crate::noc::{ErrCtx, LinkGrid, TaggedVector};
 use crate::SimError;
 
 /// Number of SIMD registers per PE.
 pub const NUM_REGS: usize = 4;
 
-/// An instruction in flight through the PE pipeline, with its resolved
-/// operands and (after EXECUTE) its result.
-#[derive(Debug, Clone)]
-struct InFlight {
-    instr: Instruction,
-    op1: Vector,
-    op2: Vector,
-    /// Old value of the result address, for read-modify-write opcodes.
-    res_in: Vector,
-    /// Pass-through payload popped at LOAD, pushed at COMMIT.
-    routed: Option<TaggedVector>,
-    /// Lane output, valid after EXECUTE.
-    result: Vector,
+/// Occupancy of one pipeline-stage slot.
+///
+/// `PlainNop` is a compressed encoding of the canonical bubble — an
+/// instruction that is `Nop` with null operands, null result, and no route
+/// (exactly what orchestrators emit for stalls and row ends). Such a slot
+/// reads no operands, computes nothing, writes nothing back, can never
+/// forward a value, and retires as [`Instruction::NOP`]; encoding it in the
+/// state tag lets the sparse-band streams, which are bubble-heavy, move one
+/// byte per stage instead of a full in-flight record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum Slot {
+    /// No instruction in this stage.
+    #[default]
+    Empty,
+    /// The canonical NOP (see above).
+    PlainNop,
+    /// A real instruction; the per-field stage arrays hold its state.
+    Full,
+}
+
+/// What a [`PeArray::commit_into`] call did, as compact flags the fabric's
+/// wake propagation consumes without re-inspecting the instruction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CommitEffects {
+    /// An instruction retired (and was forwarded, when a slot was given).
+    pub retired: bool,
+    /// The retired instruction was a bubble ([`Instruction::is_plain_nop`]):
+    /// nothing was written into the forward slot — the caller should
+    /// propagate the bubble as a tag, not a record.
+    pub bubble: bool,
+    /// The instruction drives the south output link
+    /// ([`Instruction::pushes_toward`] semantics — conservative for NOPs).
+    pub drives_south: bool,
+    /// The instruction drives the east output link.
+    pub drives_east: bool,
+}
+
+impl CommitEffects {
+    /// The no-instruction outcome.
+    pub const NONE: CommitEffects = CommitEffects {
+        retired: false,
+        bubble: false,
+        drives_south: false,
+        drives_east: false,
+    };
 }
 
 /// Per-PE activity counters (memory counters live in the memories).
@@ -47,37 +95,270 @@ pub struct PeCounters {
     pub mac_instrs: u64,
 }
 
-/// One processing element.
-///
-/// The three pipeline slots live in a rotating array: [`Pe::advance`]
-/// renames the stages by bumping an index instead of moving the ~100-byte
-/// [`InFlight`] payloads between fields — the per-cycle, per-PE stage shift
-/// is on the simulator's hottest path.
+/// Per-PE memory access counters (data memory and scratchpad tracked
+/// separately — their per-access energies differ, Fig 11).
+#[derive(Debug, Clone, Copy, Default)]
+struct MemCounts {
+    dmem_reads: u64,
+    dmem_writes: u64,
+    spad_reads: u64,
+    spad_writes: u64,
+}
+
+/// Shared view of one PE memory (a slice of the [`PeArray`] slab).
 #[derive(Debug)]
-pub struct Pe {
+pub struct MemRef<'a> {
+    words: &'a [Vector],
+    reads: u64,
+    writes: u64,
+}
+
+impl MemRef<'_> {
+    /// Capacity in words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when the memory has zero capacity.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Number of counted reads.
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of counted writes.
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+}
+
+/// Mutable view of one PE memory (a slice of the [`PeArray`] slab).
+#[derive(Debug)]
+pub struct MemMut<'a> {
+    words: &'a mut [Vector],
+    reads: &'a mut u64,
+    writes: &'a mut u64,
+    what: &'static str,
+}
+
+impl MemMut<'_> {
+    /// Capacity in words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when the memory has zero capacity.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Reads a word, counting the access.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::AddressOutOfRange`] for addresses past the end.
+    pub fn read(&mut self, addr: usize) -> Result<Vector, SimError> {
+        match self.words.get(addr) {
+            Some(&v) => {
+                *self.reads += 1;
+                Ok(v)
+            }
+            None => Err(mem_oob(self.what, "read", addr, self.words.len())),
+        }
+    }
+
+    /// Writes a word, counting the access.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::AddressOutOfRange`] for addresses past the end.
+    pub fn write(&mut self, addr: usize, v: Vector) -> Result<(), SimError> {
+        let len = self.words.len();
+        match self.words.get_mut(addr) {
+            Some(slot) => {
+                *slot = v;
+                *self.writes += 1;
+                Ok(())
+            }
+            None => Err(mem_oob(self.what, "write", addr, len)),
+        }
+    }
+
+    /// Preloads contents without counting accesses (models the asynchronous
+    /// EDDO memory movers filling the array before kernel execution; the
+    /// off-chip traffic is accounted separately by the kernel mappers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base + data.len()` exceeds the capacity.
+    pub fn preload(&mut self, base: usize, data: &[Vector]) {
+        assert!(
+            base + data.len() <= self.words.len(),
+            "preload of {} words at {base} exceeds capacity {}",
+            data.len(),
+            self.words.len()
+        );
+        self.words[base..base + data.len()].copy_from_slice(data);
+    }
+
+    /// Number of counted reads.
+    pub fn read_count(&self) -> u64 {
+        *self.reads
+    }
+
+    /// Number of counted writes.
+    pub fn write_count(&self) -> u64 {
+        *self.writes
+    }
+}
+
+#[cold]
+fn mem_oob(what: &str, op: &str, addr: usize, len: usize) -> SimError {
+    SimError::AddressOutOfRange {
+        context: format!("{what} {op} {addr} of {len}"),
+    }
+}
+
+/// Bounds-checked, counted read of word `a` of PE `idx`'s region in a flat
+/// memory slab (`stride` words per PE) — the one definition of "checked
+/// counted slab access" behind every hot-path memory accessor.
+#[inline]
+fn slab_read(
+    slab: &[Vector],
+    stride: usize,
+    idx: usize,
+    a: usize,
+    count: &mut u64,
+    what: &'static str,
+) -> Result<Vector, SimError> {
+    if a < stride {
+        *count += 1;
+        Ok(slab[idx * stride + a])
+    } else {
+        Err(mem_oob(what, "read", a, stride))
+    }
+}
+
+/// Bounds-checked, counted write — see [`slab_read`].
+#[inline]
+fn slab_write(
+    slab: &mut [Vector],
+    stride: usize,
+    idx: usize,
+    a: usize,
+    v: Vector,
+    count: &mut u64,
+    what: &'static str,
+) -> Result<(), SimError> {
+    if a < stride {
+        *count += 1;
+        slab[idx * stride + a] = v;
+        Ok(())
+    } else {
+        Err(mem_oob(what, "write", a, stride))
+    }
+}
+
+/// Shared view of one PE inside a [`PeArray`].
+#[derive(Debug)]
+pub struct PeRef<'a> {
     /// Static-data memory (holds the stationary operand tile).
-    pub dmem: DataMemory,
+    pub dmem: MemRef<'a>,
     /// Dual-port scratchpad (psum / stream-reuse buffer).
-    pub spad: Scratchpad,
-    regs: [Vector; NUM_REGS],
-    /// Stage slots addressed through `load_idx`: LOAD at `load_idx`,
-    /// EXECUTE at `load_idx + 1`, COMMIT at `load_idx + 2` (mod 3).
-    stages: [Option<InFlight>; 3],
-    load_idx: usize,
+    pub spad: MemRef<'a>,
+    regs: &'a [Vector; NUM_REGS],
     counters: PeCounters,
 }
 
-impl Pe {
-    /// Creates a PE with the given memory capacities (in vector words).
-    pub fn new(dmem_words: usize, spad_entries: usize) -> Pe {
-        Pe {
-            dmem: DataMemory::new(dmem_words),
-            spad: Scratchpad::new(spad_entries),
-            regs: [Vector::ZERO; NUM_REGS],
-            stages: [None, None, None],
+impl PeRef<'_> {
+    /// Register file access (tests / debugging).
+    pub fn reg(&self, i: usize) -> Vector {
+        self.regs[i]
+    }
+
+    /// Activity counters.
+    pub fn counters(&self) -> PeCounters {
+        self.counters
+    }
+}
+
+/// Mutable view of one PE inside a [`PeArray`] (kernel mappers preload data
+/// memories and scratchpads through this).
+#[derive(Debug)]
+pub struct PeMut<'a> {
+    /// Static-data memory (holds the stationary operand tile).
+    pub dmem: MemMut<'a>,
+    /// Dual-port scratchpad (psum / stream-reuse buffer).
+    pub spad: MemMut<'a>,
+}
+
+/// All processing elements of one fabric, struct-of-arrays.
+///
+/// The three pipeline slots per PE live in parallel per-field arrays
+/// addressed through one shared rotation index: [`PeArray::advance`] renames
+/// the stages for *every* PE by bumping that index once instead of moving
+/// per-PE in-flight records — the per-cycle stage shift used to be a per-PE
+/// operation on the simulator's hottest path.
+#[derive(Debug)]
+pub struct PeArray {
+    /// Data-memory words of *all* PEs, one flat slab: PE `i` owns
+    /// `dmem[i * dmem_words .. (i + 1) * dmem_words]`. One allocation, no
+    /// per-PE pointer chase on the operand path.
+    dmem: Vec<Vector>,
+    dmem_words: usize,
+    /// Scratchpad entries of all PEs (the accumulator banks), same layout.
+    spad: Vec<Vector>,
+    spad_entries: usize,
+    mem_counts: Vec<MemCounts>,
+    regs: Vec<[Vector; NUM_REGS]>,
+    /// Pipeline-stage slots, struct-of-arrays at field granularity:
+    /// `xxx[s][i]` is field `xxx` of stage slot `s` of PE `i`. Slot roles
+    /// rotate via `load_idx` (LOAD at `load_idx`, EXECUTE at `load_idx + 1`,
+    /// COMMIT at `load_idx + 2`, mod 3). Splitting by field means each phase
+    /// moves only the bytes it actually produces or consumes: LOAD writes
+    /// the instruction and its (eagerly computed) lane result, COMMIT reads
+    /// them back (+ routed payload when a route is present) — and a
+    /// `PlainNop` bubble moves only its one state byte.
+    state: [Vec<Slot>; 3],
+    instrs: [Vec<Instruction>; 3],
+    results: [Vec<Vector>; 3],
+    /// Pass-through payload popped at LOAD, pushed at COMMIT. Only valid
+    /// (and only touched) when the slot's instruction carries a route.
+    routed: [Vec<TaggedVector>; 3],
+    load_idx: usize,
+    counters: Vec<PeCounters>,
+}
+
+impl PeArray {
+    /// Creates `n` PEs with the given memory capacities (in vector words).
+    pub fn new(n: usize, dmem_words: usize, spad_entries: usize) -> PeArray {
+        PeArray {
+            dmem: vec![Vector::ZERO; n * dmem_words],
+            dmem_words,
+            spad: vec![Vector::ZERO; n * spad_entries],
+            spad_entries,
+            mem_counts: vec![MemCounts::default(); n],
+            regs: vec![[Vector::ZERO; NUM_REGS]; n],
+            state: std::array::from_fn(|_| vec![Slot::Empty; n]),
+            instrs: std::array::from_fn(|_| vec![Instruction::NOP; n]),
+            results: std::array::from_fn(|_| vec![Vector::ZERO; n]),
+            routed: std::array::from_fn(|_| vec![TaggedVector::ZERO; n]),
             load_idx: 0,
-            counters: PeCounters::default(),
+            counters: vec![PeCounters::default(); n],
         }
+    }
+
+    /// Number of PEs.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// True when the array holds no PEs.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
     }
 
     fn exec_idx(&self) -> usize {
@@ -88,47 +369,151 @@ impl Pe {
         (self.load_idx + 2) % 3
     }
 
-    /// Activity counters.
-    pub fn counters(&self) -> PeCounters {
-        self.counters
+    /// Shared view of PE `idx`.
+    pub fn pe(&self, idx: usize) -> PeRef<'_> {
+        let mc = self.mem_counts[idx];
+        PeRef {
+            dmem: MemRef {
+                words: &self.dmem[idx * self.dmem_words..(idx + 1) * self.dmem_words],
+                reads: mc.dmem_reads,
+                writes: mc.dmem_writes,
+            },
+            spad: MemRef {
+                words: &self.spad[idx * self.spad_entries..(idx + 1) * self.spad_entries],
+                reads: mc.spad_reads,
+                writes: mc.spad_writes,
+            },
+            regs: &self.regs[idx],
+            counters: self.counters[idx],
+        }
+    }
+
+    /// Mutable view of PE `idx` (memory preloads).
+    pub fn pe_mut(&mut self, idx: usize) -> PeMut<'_> {
+        let mc = &mut self.mem_counts[idx];
+        PeMut {
+            dmem: MemMut {
+                words: &mut self.dmem[idx * self.dmem_words..(idx + 1) * self.dmem_words],
+                reads: &mut mc.dmem_reads,
+                writes: &mut mc.dmem_writes,
+                what: "dmem",
+            },
+            spad: MemMut {
+                words: &mut self.spad[idx * self.spad_entries..(idx + 1) * self.spad_entries],
+                reads: &mut mc.spad_reads,
+                writes: &mut mc.spad_writes,
+                what: "spad",
+            },
+        }
+    }
+
+    /// Reads PE `idx`'s data-memory word `a`, counting the access.
+    #[inline]
+    fn dmem_read(&mut self, idx: usize, a: usize) -> Result<Vector, SimError> {
+        let mc = &mut self.mem_counts[idx];
+        slab_read(
+            &self.dmem,
+            self.dmem_words,
+            idx,
+            a,
+            &mut mc.dmem_reads,
+            "dmem",
+        )
+    }
+
+    /// Writes PE `idx`'s data-memory word `a`, counting the access.
+    #[inline]
+    fn dmem_write(&mut self, idx: usize, a: usize, v: Vector) -> Result<(), SimError> {
+        let mc = &mut self.mem_counts[idx];
+        slab_write(
+            &mut self.dmem,
+            self.dmem_words,
+            idx,
+            a,
+            v,
+            &mut mc.dmem_writes,
+            "dmem",
+        )
+    }
+
+    /// Reads PE `idx`'s scratchpad entry `a`, counting the access.
+    #[inline]
+    fn spad_read(&mut self, idx: usize, a: usize) -> Result<Vector, SimError> {
+        let mc = &mut self.mem_counts[idx];
+        slab_read(
+            &self.spad,
+            self.spad_entries,
+            idx,
+            a,
+            &mut mc.spad_reads,
+            "spad",
+        )
+    }
+
+    /// Writes PE `idx`'s scratchpad entry `a`, counting the access.
+    #[inline]
+    fn spad_write(&mut self, idx: usize, a: usize, v: Vector) -> Result<(), SimError> {
+        let mc = &mut self.mem_counts[idx];
+        slab_write(
+            &mut self.spad,
+            self.spad_entries,
+            idx,
+            a,
+            v,
+            &mut mc.spad_writes,
+            "spad",
+        )
+    }
+
+    /// Activity counters of PE `idx`.
+    pub fn counters(&self, idx: usize) -> PeCounters {
+        self.counters[idx]
     }
 
     /// Register file access (tests / debugging).
-    pub fn reg(&self, i: usize) -> Vector {
-        self.regs[i]
+    pub fn reg(&self, idx: usize, i: usize) -> Vector {
+        self.regs[idx][i]
     }
 
-    /// True when no instruction is in flight.
-    pub fn pipeline_empty(&self) -> bool {
-        self.stages.iter().all(Option::is_none)
+    /// True when PE `idx` has no instruction in flight.
+    pub fn pipeline_empty(&self, idx: usize) -> bool {
+        self.state[0][idx] == Slot::Empty
+            && self.state[1][idx] == Slot::Empty
+            && self.state[2][idx] == Slot::Empty
     }
 
     /// Checks whether an in-flight younger instruction (EXECUTE or COMMIT
-    /// stage) will write `addr`, returning the forwarded value if so.
-    /// EXECUTE-stage values take priority (younger instruction).
-    fn forwarded(&self, addr: Addr) -> Option<Vector> {
+    /// stage) of PE `idx` will write `addr`, returning the forwarded value if
+    /// so. EXECUTE-stage values take priority (younger instruction).
+    #[inline(always)]
+    fn forwarded(&self, idx: usize, addr: Addr) -> Option<Vector> {
         if addr == Addr::Null {
             return None;
         }
         // Younger first: the EXECUTE-stage instruction is the most recent
-        // writer still in flight.
-        for idx in [self.exec_idx(), self.commit_idx()] {
-            let Some(f) = &self.stages[idx] else {
+        // writer still in flight. `PlainNop` slots have a null result
+        // address and no flush semantics, so only `Full` slots can forward.
+        for s in [self.exec_idx(), self.commit_idx()] {
+            if self.state[s][idx] != Slot::Full {
                 continue;
-            };
-            if f.instr.res == addr {
-                return Some(f.result);
+            }
+            let instr = &self.instrs[s][idx];
+            if instr.res == addr {
+                return Some(self.results[s][idx]);
             }
             // Flush opcodes clear their op1 source at COMMIT.
-            if matches!(f.instr.op, Opcode::MovFlush | Opcode::AddFlush) && f.instr.op1 == addr {
+            if matches!(instr.op, Opcode::MovFlush | Opcode::AddFlush) && instr.op1 == addr {
                 return Some(Vector::ZERO);
             }
         }
         None
     }
 
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
     fn read_operand(
         &mut self,
+        idx: usize,
         addr: Addr,
         instr: &Instruction,
         grid: &mut LinkGrid,
@@ -136,30 +521,40 @@ impl Pe {
         c: usize,
         cycle: u64,
         shared_route_pop: &mut Option<TaggedVector>,
+        fw_possible: bool,
     ) -> Result<Vector, SimError> {
         match addr {
             Addr::Null => Ok(Vector::ZERO),
             Addr::Imm => Ok(instr.imm.unwrap_or(Vector::ZERO)),
             Addr::Reg(i) => {
-                let base = self.regs.get(i as usize).copied().ok_or_else(|| {
+                let base = self.regs[idx].get(i as usize).copied().ok_or_else(|| {
                     SimError::AddressOutOfRange {
                         context: format!("register r{i} (of {NUM_REGS})"),
                     }
                 })?;
-                Ok(self.forwarded(addr).unwrap_or(base))
+                if !fw_possible {
+                    return Ok(base);
+                }
+                Ok(self.forwarded(idx, addr).unwrap_or(base))
             }
             Addr::DataMem(a) => {
-                let v = self.dmem.read(a as usize)?;
-                Ok(self.forwarded(addr).unwrap_or(v))
+                let v = self.dmem_read(idx, a as usize)?;
+                if !fw_possible {
+                    return Ok(v);
+                }
+                Ok(self.forwarded(idx, addr).unwrap_or(v))
             }
             Addr::Spad(a) => {
-                let v = self.spad.read(a as usize)?;
-                Ok(self.forwarded(addr).unwrap_or(v))
+                let v = self.spad_read(idx, a as usize)?;
+                if !fw_possible {
+                    return Ok(v);
+                }
+                Ok(self.forwarded(idx, addr).unwrap_or(v))
             }
             Addr::Port(d) => {
                 // If a route pass-through pops the same direction, the single
                 // popped entry feeds both the operand and the pass-through.
-                let entry = self.pop_port(d, grid, r, c, cycle)?;
+                let entry = Self::pop_port(d, grid, r, c, cycle)?;
                 if let Some(route) = instr.route {
                     if route.from == d {
                         *shared_route_pop = Some(entry);
@@ -171,7 +566,6 @@ impl Pe {
     }
 
     fn pop_port(
-        &mut self,
         d: Direction,
         grid: &mut LinkGrid,
         r: usize,
@@ -194,7 +588,6 @@ impl Pe {
     }
 
     fn push_port(
-        &mut self,
         d: Direction,
         entry: TaggedVector,
         grid: &mut LinkGrid,
@@ -214,139 +607,271 @@ impl Pe {
         }
     }
 
-    /// LOAD stage: accepts `incoming` (if any) and resolves its operands,
-    /// popping NoC ports as needed.
+    /// LOAD stage of PE `idx`: accepts `incoming` (if any) and resolves its
+    /// operands, popping NoC ports as needed.
     ///
     /// # Errors
     ///
-    /// Propagates address and NoC protocol errors.
+    /// Propagates address and NoC protocol errors, and reports
+    /// [`SimError::RouterConflict`] for instructions violating the §3.1
+    /// one-transfer-per-direction rule.
+    #[inline]
     pub fn load(
         &mut self,
+        idx: usize,
         incoming: Option<Instruction>,
         grid: &mut LinkGrid,
         r: usize,
         c: usize,
         cycle: u64,
     ) -> Result<(), SimError> {
+        self.load_inner(idx, incoming, grid, r, c, cycle, true)
+    }
+
+    /// LOAD of a bubble (see [`Instruction::is_plain_nop`]) into PE `idx`:
+    /// counts the instruction and occupies the slot with the one-byte
+    /// `PlainNop` state — no operand resolution, no validation.
+    #[inline]
+    pub fn load_bubble(&mut self, idx: usize) {
         debug_assert!(
-            self.stages[self.load_idx].is_none(),
+            self.state[self.load_idx][idx] == Slot::Empty,
+            "LOAD slot occupied at shift time"
+        );
+        self.counters[idx].instrs += 1;
+        self.state[self.load_idx][idx] = Slot::PlainNop;
+    }
+
+    /// [`PeArray::load`] for an eastward-forwarded instruction: the §3.1
+    /// route-conflict validation is skipped because `noc_conflict` is a pure
+    /// function of the instruction and the identical copy was already
+    /// validated when the upstream column loaded it. (Also used by the
+    /// spatial runner, which validates each held instruction once up front.)
+    #[inline]
+    pub fn load_forwarded(
+        &mut self,
+        idx: usize,
+        incoming: Option<Instruction>,
+        grid: &mut LinkGrid,
+        r: usize,
+        c: usize,
+        cycle: u64,
+    ) -> Result<(), SimError> {
+        self.load_inner(idx, incoming, grid, r, c, cycle, false)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    fn load_inner(
+        &mut self,
+        idx: usize,
+        incoming: Option<Instruction>,
+        grid: &mut LinkGrid,
+        r: usize,
+        c: usize,
+        cycle: u64,
+        validate: bool,
+    ) -> Result<(), SimError> {
+        debug_assert!(
+            self.state[self.load_idx][idx] == Slot::Empty,
             "LOAD slot occupied at shift time"
         );
         let Some(instr) = incoming else {
             return Ok(());
         };
-        if let Some(d) = instr.noc_conflict() {
-            return Err(SimError::RouterConflict {
-                cycle,
-                pe: (r, c),
-                direction: d.to_string(),
-            });
+        // Fast path for the canonical NOP (null operands and result, no
+        // route): the sparse-band streams are NOP-heavy (row ends, stalls,
+        // bubbles), and a plain NOP touches no memory, no ports, cannot
+        // conflict, and cannot forward — only its state byte moves. (The
+        // fabric's injection network pre-classifies bubbles at issue and
+        // calls [`PeArray::load_bubble`] directly; this check serves direct
+        // callers.)
+        if instr.is_plain_nop() {
+            self.load_bubble(idx);
+            return Ok(());
         }
-        self.counters.instrs += 1;
+        if validate {
+            if let Some(d) = instr.noc_conflict() {
+                return Err(SimError::RouterConflict {
+                    cycle,
+                    pe: (r, c),
+                    direction: d.to_string(),
+                });
+            }
+        }
+        self.counters[idx].instrs += 1;
         if instr.op.is_compute() {
-            self.counters.compute_instrs += 1;
+            self.counters[idx].compute_instrs += 1;
         }
         if instr.op.is_mac() {
-            self.counters.mac_instrs += 1;
+            self.counters[idx].mac_instrs += 1;
         }
+        // Hoisted forwarding precondition: a value can only be forwarded
+        // from a `Full` EXECUTE/COMMIT slot, so when both are bubbles or
+        // empty (common in sparse bands) every operand read skips the
+        // per-address forwarding scan.
+        let fw_possible = self.state[self.exec_idx()][idx] == Slot::Full
+            || self.state[self.commit_idx()][idx] == Slot::Full;
         let mut shared_pop = None;
-        let op1 = self.read_operand(instr.op1, &instr, grid, r, c, cycle, &mut shared_pop)?;
-        let op2 = self.read_operand(instr.op2, &instr, grid, r, c, cycle, &mut shared_pop)?;
+        let op1 = self.read_operand(
+            idx,
+            instr.op1,
+            &instr,
+            grid,
+            r,
+            c,
+            cycle,
+            &mut shared_pop,
+            fw_possible,
+        )?;
+        let op2 = self.read_operand(
+            idx,
+            instr.op2,
+            &instr,
+            grid,
+            r,
+            c,
+            cycle,
+            &mut shared_pop,
+            fw_possible,
+        )?;
         // Read-modify-write opcodes read the old result value here.
         let res_in = match instr.op {
             Opcode::MacV | Opcode::MacS | Opcode::Acc => match instr.res {
                 Addr::Port(_) | Addr::Null | Addr::Imm => Vector::ZERO,
                 a => {
                     let mut none = None;
-                    self.read_operand(a, &instr, grid, r, c, cycle, &mut none)?
+                    self.read_operand(idx, a, &instr, grid, r, c, cycle, &mut none, fw_possible)?
                 }
             },
             _ => Vector::ZERO,
         };
-        // Route pass-through pop (if not shared with an operand pop).
-        let routed = match instr.route {
-            Some(route) => match shared_pop {
-                Some(e) => Some(e),
-                None => Some(self.pop_port(route.from, grid, r, c, cycle)?),
-            },
-            None => None,
-        };
-        self.stages[self.load_idx] = Some(InFlight {
-            instr,
-            op1,
-            op2,
-            res_in,
-            routed,
-            result: Vector::ZERO,
-        });
+        // Route pass-through pop (if not shared with an operand pop). The
+        // routed slot is written only when a route is present; COMMIT reads
+        // it under the same condition.
+        if let Some(route) = instr.route {
+            self.routed[self.load_idx][idx] = match shared_pop {
+                Some(e) => e,
+                None => Self::pop_port(route.from, grid, r, c, cycle)?,
+            };
+        }
+        self.state[self.load_idx][idx] = Slot::Full;
+        // The EXECUTE stage's lane result is a pure function of the operand
+        // values captured right here, and nothing can observe it before the
+        // next cycle — so it is computed eagerly instead of in a separate
+        // per-PE EXECUTE sweep. The instruction still *occupies* the EXECUTE
+        // slot for a full cycle (stage rotation is unchanged); only the
+        // simulator's work moves.
+        self.results[self.load_idx][idx] = Self::lane_result(instr.op, op1, op2, res_in);
+        self.instrs[self.load_idx][idx] = instr;
         Ok(())
     }
 
-    /// EXECUTE stage: computes the lane result of the instruction loaded in
-    /// the previous cycle.
-    pub fn execute(&mut self) {
-        let Some(f) = self.stages[self.exec_idx()].as_mut() else {
-            return;
-        };
-        f.result = match f.instr.op {
+    /// The vector-lane function of one opcode.
+    #[inline]
+    fn lane_result(op: Opcode, op1: Vector, op2: Vector, res_in: Vector) -> Vector {
+        match op {
             Opcode::Nop => Vector::ZERO,
-            Opcode::Mov | Opcode::MovFlush => f.op1,
-            Opcode::Add | Opcode::AddFlush => f.op1.add(f.op2),
+            Opcode::Mov | Opcode::MovFlush => op1,
+            Opcode::Add | Opcode::AddFlush => op1.add(op2),
             Opcode::Sub => {
                 let mut out = [0; crate::isa::LANES];
                 for (i, o) in out.iter_mut().enumerate() {
-                    *o = f.op1.0[i].wrapping_sub(f.op2.0[i]);
+                    *o = op1.0[i].wrapping_sub(op2.0[i]);
                 }
                 Vector(out)
             }
-            Opcode::Mul => f.op1.mul(f.op2),
-            Opcode::MacV => f.res_in.mac(f.op1, f.op2),
-            Opcode::MacS => f.res_in.mac(Vector::splat(f.op1.lane0()), f.op2),
-            Opcode::Acc => f.res_in.add(f.op1),
+            Opcode::Mul => op1.mul(op2),
+            Opcode::MacV => res_in.mac(op1, op2),
+            Opcode::MacS => res_in.mac(Vector::splat(op1.lane0()), op2),
+            Opcode::Acc => res_in.add(op1),
             Opcode::RedSum => {
                 let mut out = Vector::ZERO;
-                out.0[0] = f.op1.reduce_sum();
+                out.0[0] = op1.reduce_sum();
                 out
             }
             Opcode::Max => {
                 let mut out = [0; crate::isa::LANES];
                 for (i, o) in out.iter_mut().enumerate() {
-                    *o = f.op1.0[i].max(f.op2.0[i]);
+                    *o = op1.0[i].max(op2.0[i]);
                 }
                 Vector(out)
             }
             Opcode::Min => {
                 let mut out = [0; crate::isa::LANES];
                 for (i, o) in out.iter_mut().enumerate() {
-                    *o = f.op1.0[i].min(f.op2.0[i]);
+                    *o = op1.0[i].min(op2.0[i]);
                 }
                 Vector(out)
             }
-        };
+        }
     }
 
-    /// COMMIT stage: writes the result (memory / register / NoC push),
-    /// performs the flush-clear of `MovFlush`/`AddFlush`, and pushes the
-    /// pass-through payload. Returns the retiring instruction so the fabric
-    /// can forward it to the eastern neighbour.
+    /// COMMIT stage of PE `idx`: writes the result (memory / register / NoC
+    /// push), performs the flush-clear of `MovFlush`/`AddFlush`, and pushes
+    /// the pass-through payload. Returns the retiring instruction so the
+    /// fabric can forward it to the eastern neighbour.
     ///
     /// # Errors
     ///
     /// Propagates address and NoC protocol errors.
     pub fn commit(
         &mut self,
+        idx: usize,
         grid: &mut LinkGrid,
         r: usize,
         c: usize,
         cycle: u64,
     ) -> Result<Option<Instruction>, SimError> {
+        let mut fwd = Instruction::NOP;
+        let eff = self.commit_into(idx, grid, r, c, cycle, Some(&mut fwd))?;
+        Ok(eff.retired.then_some(fwd))
+    }
+
+    /// [`PeArray::commit`] with the eastward forwarding folded in: a
+    /// retiring non-bubble instruction is written straight from the stage
+    /// array into `forward_into` (the neighbour's injection slot), avoiding
+    /// the copy-out/copy-in round trip through a returned value; a retiring
+    /// bubble only sets `bubble` in the returned effects (it *is* the
+    /// canonical NOP, so there is nothing to write). The return is a compact
+    /// effect descriptor for the caller's wake propagation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates address and NoC protocol errors.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    pub fn commit_into(
+        &mut self,
+        idx: usize,
+        grid: &mut LinkGrid,
+        r: usize,
+        c: usize,
+        cycle: u64,
+        forward_into: Option<&mut Instruction>,
+    ) -> Result<CommitEffects, SimError> {
         let commit_idx = self.commit_idx();
-        let Some(f) = self.stages[commit_idx].take() else {
-            return Ok(None);
-        };
+        match self.state[commit_idx][idx] {
+            Slot::Empty => return Ok(CommitEffects::NONE),
+            Slot::PlainNop => {
+                // A bubble writes nothing and pushes nothing; it retires as
+                // the canonical NOP (its unused immediate/tag fields are
+                // architecturally unobservable), propagated as a tag.
+                self.state[commit_idx][idx] = Slot::Empty;
+                return Ok(CommitEffects {
+                    retired: true,
+                    bubble: true,
+                    drives_south: false,
+                    drives_east: false,
+                });
+            }
+            Slot::Full => {}
+        }
+        self.state[commit_idx][idx] = Slot::Empty;
+        let instr = self.instrs[commit_idx][idx];
+        let result = self.results[commit_idx][idx];
         // Result write-back.
-        if f.instr.op != Opcode::Nop {
-            match f.instr.res {
+        if instr.op != Opcode::Nop {
+            match instr.res {
                 Addr::Null => {}
                 Addr::Imm => {
                     return Err(SimError::AddressOutOfRange {
@@ -354,21 +879,21 @@ impl Pe {
                     })
                 }
                 Addr::Reg(i) => {
-                    let slot = self.regs.get_mut(i as usize).ok_or_else(|| {
+                    let slot = self.regs[idx].get_mut(i as usize).ok_or_else(|| {
                         SimError::AddressOutOfRange {
                             context: format!("register r{i}"),
                         }
                     })?;
-                    *slot = f.result;
+                    *slot = result;
                 }
-                Addr::DataMem(a) => self.dmem.write(a as usize, f.result)?,
-                Addr::Spad(a) => self.spad.write(a as usize, f.result)?,
+                Addr::DataMem(a) => self.dmem_write(idx, a as usize, result)?,
+                Addr::Spad(a) => self.spad_write(idx, a as usize, result)?,
                 Addr::Port(d) => {
-                    self.push_port(
+                    Self::push_port(
                         d,
                         TaggedVector {
-                            value: f.result,
-                            tag: f.instr.tag,
+                            value: result,
+                            tag: instr.tag,
                         },
                         grid,
                         r,
@@ -379,11 +904,11 @@ impl Pe {
             }
         }
         // Flush-clear of the op1 source.
-        if matches!(f.instr.op, Opcode::MovFlush | Opcode::AddFlush) {
-            match f.instr.op1 {
-                Addr::Spad(a) => self.spad.write(a as usize, Vector::ZERO)?,
+        if matches!(instr.op, Opcode::MovFlush | Opcode::AddFlush) {
+            match instr.op1 {
+                Addr::Spad(a) => self.spad_write(idx, a as usize, Vector::ZERO)?,
                 Addr::Reg(i) => {
-                    let slot = self.regs.get_mut(i as usize).ok_or_else(|| {
+                    let slot = self.regs[idx].get_mut(i as usize).ok_or_else(|| {
                         SimError::AddressOutOfRange {
                             context: format!("register r{i}"),
                         }
@@ -397,18 +922,31 @@ impl Pe {
                 }
             }
         }
-        // Pass-through push.
-        if let (Some(route), Some(entry)) = (f.instr.route, f.routed) {
-            self.push_port(route.to, entry, grid, r, c, cycle)?;
+        // Pass-through push (the routed slot is valid exactly when a route
+        // is present — LOAD populated it under the same condition).
+        if let Some(route) = instr.route {
+            let entry = self.routed[commit_idx][idx];
+            Self::push_port(route.to, entry, grid, r, c, cycle)?;
         }
-        Ok(Some(f.instr))
+        if let Some(slot) = forward_into {
+            *slot = instr;
+        }
+        Ok(CommitEffects {
+            retired: true,
+            bubble: false,
+            drives_south: instr.pushes_toward(Direction::South),
+            drives_east: instr.pushes_toward(Direction::East),
+        })
     }
 
-    /// Advances the pipeline by one stage (end of cycle): the stages are
-    /// renamed by rotating the slot index — no in-flight state is moved.
+    /// Advances every pipeline by one stage (end of cycle): the stages are
+    /// renamed by rotating the shared slot index — no in-flight state is
+    /// moved, and the cost is independent of the PE count.
     pub fn advance(&mut self) {
         debug_assert!(
-            self.stages[self.commit_idx()].is_none(),
+            self.state[self.commit_idx()]
+                .iter()
+                .all(|&s| s == Slot::Empty),
             "commit slot not consumed"
         );
         // The old COMMIT slot (now empty) becomes the new LOAD slot; the
@@ -420,76 +958,77 @@ impl Pe {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::isa::LANES;
 
     fn grid1x1() -> LinkGrid {
         LinkGrid::new(1, 1, 4, false)
     }
 
-    /// Runs a single instruction through a 1×1 fabric's PE.
-    fn run_one(pe: &mut Pe, grid: &mut LinkGrid, i: Instruction) {
-        pe.load(Some(i), grid, 0, 0, 0).unwrap();
-        pe.advance();
-        pe.execute();
-        pe.advance();
-        pe.commit(grid, 0, 0, 2).unwrap();
+    fn one_pe() -> PeArray {
+        PeArray::new(1, 4, 4)
+    }
+
+    /// Runs a single instruction through a 1×1 array's PE.
+    fn run_one(pes: &mut PeArray, grid: &mut LinkGrid, i: Instruction) {
+        pes.load(0, Some(i), grid, 0, 0, 0).unwrap();
+        pes.advance();
+        pes.advance();
+        pes.commit(0, grid, 0, 0, 2).unwrap();
     }
 
     #[test]
     fn mov_imm_to_reg() {
-        let mut pe = Pe::new(4, 4);
+        let mut pes = one_pe();
         let mut g = grid1x1();
         let i = Instruction::new(Opcode::Mov, Addr::Imm, Addr::Null, Addr::Reg(1))
             .with_imm(Vector::splat(9));
-        run_one(&mut pe, &mut g, i);
-        assert_eq!(pe.reg(1), Vector::splat(9));
-        assert_eq!(pe.counters().instrs, 1);
-        assert_eq!(pe.counters().compute_instrs, 0);
+        run_one(&mut pes, &mut g, i);
+        assert_eq!(pes.reg(0, 1), Vector::splat(9));
+        assert_eq!(pes.counters(0).instrs, 1);
+        assert_eq!(pes.counters(0).compute_instrs, 0);
     }
 
     #[test]
     fn macs_accumulates_into_spad() {
-        let mut pe = Pe::new(4, 4);
+        let mut pes = one_pe();
         let mut g = grid1x1();
-        pe.dmem.preload(0, &[Vector([1, 2, 3, 4])]);
+        pes.pe_mut(0).dmem.preload(0, &[Vector([1, 2, 3, 4])]);
         let mac = Instruction::new(Opcode::MacS, Addr::Imm, Addr::DataMem(0), Addr::Spad(2))
             .with_imm(Vector::splat(3));
-        run_one(&mut pe, &mut g, mac);
-        run_one(&mut pe, &mut g, mac);
-        assert_eq!(pe.spad.read(2).unwrap(), Vector([6, 12, 18, 24]));
-        assert_eq!(pe.counters().mac_instrs, 2);
+        run_one(&mut pes, &mut g, mac);
+        run_one(&mut pes, &mut g, mac);
+        assert_eq!(pes.pe_mut(0).spad.read(2).unwrap(), Vector([6, 12, 18, 24]));
+        assert_eq!(pes.counters(0).mac_instrs, 2);
     }
 
     #[test]
     fn back_to_back_mac_forwarding() {
         // Two MACs to the same spad slot in consecutive cycles must see each
         // other's in-flight values (RAW across the pipeline).
-        let mut pe = Pe::new(4, 4);
+        let mut pes = one_pe();
         let mut g = grid1x1();
-        pe.dmem.preload(0, &[Vector::splat(1)]);
+        pes.pe_mut(0).dmem.preload(0, &[Vector::splat(1)]);
         let mac = Instruction::new(Opcode::MacS, Addr::Imm, Addr::DataMem(0), Addr::Spad(0))
             .with_imm(Vector::splat(1));
         // Pipelined: issue 3 MACs back-to-back.
-        pe.load(Some(mac), &mut g, 0, 0, 0).unwrap();
-        pe.advance();
-        pe.execute();
-        pe.load(Some(mac), &mut g, 0, 0, 1).unwrap();
-        pe.advance();
-        pe.commit(&mut g, 0, 0, 2).unwrap();
-        pe.execute();
-        pe.load(Some(mac), &mut g, 0, 0, 2).unwrap();
-        pe.advance();
-        pe.commit(&mut g, 0, 0, 3).unwrap();
-        pe.execute();
-        pe.advance();
-        pe.commit(&mut g, 0, 0, 4).unwrap();
-        assert_eq!(pe.spad.read(0).unwrap(), Vector::splat(3));
+        pes.load(0, Some(mac), &mut g, 0, 0, 0).unwrap();
+        pes.advance();
+        pes.load(0, Some(mac), &mut g, 0, 0, 1).unwrap();
+        pes.advance();
+        pes.commit(0, &mut g, 0, 0, 2).unwrap();
+        pes.load(0, Some(mac), &mut g, 0, 0, 2).unwrap();
+        pes.advance();
+        pes.commit(0, &mut g, 0, 0, 3).unwrap();
+        pes.advance();
+        pes.commit(0, &mut g, 0, 0, 4).unwrap();
+        assert_eq!(pes.pe_mut(0).spad.read(0).unwrap(), Vector::splat(3));
     }
 
     #[test]
     fn movflush_clears_source() {
-        let mut pe = Pe::new(4, 4);
+        let mut pes = one_pe();
         let mut g = LinkGrid::new(1, 1, 4, false);
-        pe.spad.write(1, Vector::splat(7)).unwrap();
+        pes.pe_mut(0).spad.write(1, Vector::splat(7)).unwrap();
         let i = Instruction::new(
             Opcode::MovFlush,
             Addr::Spad(1),
@@ -497,8 +1036,8 @@ mod tests {
             Addr::Port(Direction::South),
         )
         .with_tag(42);
-        run_one(&mut pe, &mut g, i);
-        assert_eq!(pe.spad.read(1).unwrap(), Vector::ZERO);
+        run_one(&mut pes, &mut g, i);
+        assert_eq!(pes.pe_mut(0).spad.read(1).unwrap(), Vector::ZERO);
         let out = g.vertical(1, 0).pop(3, "sink").unwrap();
         assert_eq!(out.tag, 42);
         assert_eq!(out.value, Vector::splat(7));
@@ -506,7 +1045,7 @@ mod tests {
 
     #[test]
     fn route_pass_through_preserves_tag() {
-        let mut pe = Pe::new(4, 4);
+        let mut pes = one_pe();
         // 2-row grid so PE (0,0) has a real south link; feed its north edge.
         let mut g = LinkGrid::new(2, 1, 4, true);
         g.vertical(0, 0)
@@ -525,7 +1064,7 @@ mod tests {
             ..i
         }
         .with_route(Direction::North, Direction::South);
-        run_one(&mut pe, &mut g, i);
+        run_one(&mut pes, &mut g, i);
         let out = g.vertical(1, 0).pop(3, "t").unwrap();
         assert_eq!(out.tag, 11);
         assert_eq!(out.value, Vector::splat(5));
@@ -534,7 +1073,7 @@ mod tests {
     #[test]
     fn shared_pop_feeds_operand_and_route() {
         // Mov op1=North res=Spad with route North→South: one pop serves both.
-        let mut pe = Pe::new(4, 4);
+        let mut pes = one_pe();
         let mut g = LinkGrid::new(2, 1, 4, true);
         g.vertical(0, 0)
             .push(
@@ -553,8 +1092,8 @@ mod tests {
             Addr::Spad(0),
         )
         .with_route(Direction::North, Direction::South);
-        run_one(&mut pe, &mut g, i);
-        assert_eq!(pe.spad.read(0).unwrap(), Vector([1, 2, 3, 4]));
+        run_one(&mut pes, &mut g, i);
+        assert_eq!(pes.pe_mut(0).spad.read(0).unwrap(), Vector([1, 2, 3, 4]));
         let fwd = g.vertical(1, 0).pop(3, "t").unwrap();
         assert_eq!(fwd.tag, 3);
         assert_eq!(fwd.value, Vector([1, 2, 3, 4]));
@@ -562,7 +1101,7 @@ mod tests {
 
     #[test]
     fn pop_empty_link_is_protocol_error() {
-        let mut pe = Pe::new(4, 4);
+        let mut pes = one_pe();
         let mut g = LinkGrid::new(2, 1, 4, true);
         let i = Instruction::new(
             Opcode::Mov,
@@ -571,14 +1110,14 @@ mod tests {
             Addr::Reg(0),
         );
         assert!(matches!(
-            pe.load(Some(i), &mut g, 0, 0, 0),
+            pes.load(0, Some(i), &mut g, 0, 0, 0),
             Err(SimError::Deadlock { .. })
         ));
     }
 
     #[test]
     fn router_conflict_detected_at_load() {
-        let mut pe = Pe::new(4, 4);
+        let mut pes = one_pe();
         let mut g = grid1x1();
         let i = Instruction::new(
             Opcode::Mov,
@@ -587,47 +1126,86 @@ mod tests {
             Addr::Reg(0),
         );
         assert!(matches!(
-            pe.load(Some(i), &mut g, 0, 0, 0),
+            pes.load(0, Some(i), &mut g, 0, 0, 0),
             Err(SimError::RouterConflict { .. })
         ));
     }
 
     #[test]
     fn redsum_and_addflush() {
-        let mut pe = Pe::new(4, 4);
+        let mut pes = one_pe();
         let mut g = grid1x1();
         // reg0 = [1,2,3,4]
         run_one(
-            &mut pe,
+            &mut pes,
             &mut g,
             Instruction::new(Opcode::Mov, Addr::Imm, Addr::Null, Addr::Reg(0))
                 .with_imm(Vector([1, 2, 3, 4])),
         );
         // reg1 = redsum(reg0) = 10 in lane 0
         run_one(
-            &mut pe,
+            &mut pes,
             &mut g,
             Instruction::new(Opcode::RedSum, Addr::Reg(0), Addr::Null, Addr::Reg(1)),
         );
-        assert_eq!(pe.reg(1), Vector([10, 0, 0, 0]));
+        assert_eq!(pes.reg(0, 1), Vector([10, 0, 0, 0]));
         // AddFlush: reg2 = reg0 + reg1; reg0 cleared.
         run_one(
-            &mut pe,
+            &mut pes,
             &mut g,
             Instruction::new(Opcode::AddFlush, Addr::Reg(0), Addr::Reg(1), Addr::Reg(2)),
         );
-        assert_eq!(pe.reg(2), Vector([11, 2, 3, 4]));
-        assert_eq!(pe.reg(0), Vector::ZERO);
+        assert_eq!(pes.reg(0, 2), Vector([11, 2, 3, 4]));
+        assert_eq!(pes.reg(0, 0), Vector::ZERO);
     }
 
     #[test]
     fn nop_produces_no_activity() {
-        let mut pe = Pe::new(4, 4);
+        let mut pes = one_pe();
         let mut g = grid1x1();
-        run_one(&mut pe, &mut g, Instruction::NOP);
-        assert_eq!(pe.counters().instrs, 1);
-        assert_eq!(pe.counters().compute_instrs, 0);
-        assert_eq!(pe.dmem.read_count(), 0);
-        assert!(pe.pipeline_empty());
+        run_one(&mut pes, &mut g, Instruction::NOP);
+        assert_eq!(pes.counters(0).instrs, 1);
+        assert_eq!(pes.counters(0).compute_instrs, 0);
+        assert_eq!(pes.pe(0).dmem.read_count(), 0);
+        assert!(pes.pipeline_empty(0));
+    }
+
+    #[test]
+    fn nop_with_port_result_does_not_push() {
+        // `Nop` skips write-back entirely, so a south result address on a
+        // NOP must not touch the link (matches the slow path's behaviour).
+        let mut pes = one_pe();
+        let mut g = LinkGrid::new(1, 1, 4, false);
+        let i = Instruction::new(
+            Opcode::Nop,
+            Addr::Null,
+            Addr::Null,
+            Addr::Port(Direction::South),
+        );
+        run_one(&mut pes, &mut g, i);
+        assert!(g.vertical(1, 0).is_empty());
+        assert_eq!(pes.counters(0).instrs, 1);
+    }
+
+    #[test]
+    fn soa_array_isolates_pes() {
+        // Two PEs in one array: state updates stay per-index.
+        let mut pes = PeArray::new(2, 4, 4);
+        let mut g = LinkGrid::new(1, 2, 4, false);
+        let i0 = Instruction::new(Opcode::Mov, Addr::Imm, Addr::Null, Addr::Reg(0))
+            .with_imm(Vector::splat(1));
+        let i1 = Instruction::new(Opcode::Mov, Addr::Imm, Addr::Null, Addr::Reg(0))
+            .with_imm(Vector::splat(2));
+        pes.load(0, Some(i0), &mut g, 0, 0, 0).unwrap();
+        pes.load(1, Some(i1), &mut g, 0, 1, 0).unwrap();
+        pes.advance();
+        pes.advance();
+        pes.commit(0, &mut g, 0, 0, 2).unwrap();
+        pes.commit(1, &mut g, 0, 1, 2).unwrap();
+        assert_eq!(pes.reg(0, 0), Vector::splat(1));
+        assert_eq!(pes.reg(1, 0), Vector::splat(2));
+        assert_eq!(pes.counters(0).instrs, 1);
+        assert_eq!(pes.counters(1).instrs, 1);
+        assert_eq!(LANES, 4);
     }
 }

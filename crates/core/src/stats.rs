@@ -42,6 +42,12 @@ pub struct Stats {
     pub offchip_read_bytes: u64,
     /// Bytes streamed out to off-chip (collected results).
     pub offchip_write_bytes: u64,
+    /// PE-cycles spent in the step loop's active set (sum over cycles of the
+    /// active-set size) — a scheduler diagnostic: `active_pe_cycles /
+    /// (cycles × pes)` is the fraction of PE sweeps the active-set scheduler
+    /// actually performs; the remainder is work the pre-scheduler simulator
+    /// swept through for nothing.
+    pub active_pe_cycles: u64,
 }
 
 impl Stats {
@@ -67,6 +73,7 @@ impl Stats {
         self.meta_tokens += other.meta_tokens;
         self.offchip_read_bytes += other.offchip_read_bytes;
         self.offchip_write_bytes += other.offchip_write_bytes;
+        self.active_pe_cycles += other.active_pe_cycles;
     }
 
     /// Total scalar MAC operations performed (vector MACs × lanes).

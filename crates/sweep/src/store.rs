@@ -26,8 +26,11 @@ use std::path::{Path, PathBuf};
 
 /// Bump when a simulator or energy-model change invalidates stored results.
 /// `v2`: the unified `Workload` record schema with geometry-parameterized
-/// (iso-MAC) baselines.
-pub const CODE_SALT: &str = "canon-sweep-v2";
+/// (iso-MAC) baselines. `v3`: SDDMM auto-pads K to the next `cols·lanes`
+/// multiple — cells that previously cached mapping-error records now
+/// simulate (results of previously-succeeding cells are unchanged, but the
+/// error records must not be served from stale stores).
+pub const CODE_SALT: &str = "canon-sweep-v3";
 
 /// Stored-record schema version (`2` added the explicit `salt` field and
 /// the loop-workload descriptors).

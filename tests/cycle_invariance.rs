@@ -43,6 +43,33 @@ fn run(golden: &Golden) -> KernelOutput {
     run_kernel(&CanonConfig::default(), &input).expect("golden shape maps")
 }
 
+/// A 16×8 multi-row staggered-issue run, pinning the batched row-issue path
+/// (active-set sweep + tri-state injection queue) at a non-default, taller
+/// geometry — the 8×8 goldens alone would let a row-indexing bug that only
+/// shows past row 7 slip through. Captured on the pre-refactor simulator
+/// (PR 3 head, commit `e682a8f`): skewed 48×64 SpMM at seed 41, so rows
+/// drain at different times and the active set shrinks mid-run.
+#[test]
+fn spmm_16x8_multi_row_golden() {
+    let cfg = CanonConfig::default().with_geometry(16, 8);
+    let mut rng = canon::sparse::gen::seeded_rng(41);
+    let a = canon::sparse::gen::skewed_sparse(48, 64, 0.6, 2.0, &mut rng);
+    let b = Dense::random(64, 32, &mut rng);
+    let input = canon::arch::kernels::KernelInput::Spmm {
+        a,
+        b,
+        mapping: Default::default(),
+    };
+    let out = run_kernel(&cfg, &input).expect("16x8 shape maps");
+    assert_eq!(out.report.cycles, 328, "cycle count drifted");
+    assert_eq!(out.report.stats.instrs_executed, 31032);
+    assert_eq!(out.report.stats.mac_instrs, 11112);
+    assert_eq!(out.report.stats.noc_hops, 15416);
+    assert_eq!(out.report.stats.stall_cycles, 0);
+    assert_eq!(out.report.stats.orch_steps, 3879);
+    assert_eq!(result_fp(&out.result), 0x2f6094fb58ae9df8, "result drifted");
+}
+
 #[test]
 fn gemm_golden_cycles_and_result() {
     check(&Golden {
