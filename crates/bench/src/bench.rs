@@ -46,6 +46,91 @@ pub type AllocSnapshot = fn() -> (u64, u64);
 /// which lands at tens of allocations per cycle).
 pub const MAX_ALLOCS_PER_CYCLE: f64 = 0.25;
 
+/// Throughput-regression gate for `repro bench --check`: the per-kernel
+/// simulator-throughput geomean must not regress more than this factor
+/// against the committed `BENCH_sim.json` baseline. 0.90 = fail CI on a
+/// kernels-geomean regression above 10% (noise on a quiet runner is a few
+/// percent, a structural slowdown is tens).
+pub const MIN_KERNELS_GEOMEAN: f64 = 0.90;
+
+/// A fixed simulator-independent CPU workload (FNV-1a over a 64 KB buffer)
+/// measured alongside the kernels: its throughput is stored in the report
+/// so [`check_throughput_gate`] can divide out host-speed differences
+/// (another machine, CPU steal, frequency drift) between a report and its
+/// baseline. A *uniform* host slowdown moves kernels and calibration alike
+/// and cancels; a simulator regression moves only the kernels and is
+/// caught. Best-of-5 over ~20 ms samples, like the kernel sampler.
+pub fn calibrate_host() -> f64 {
+    let buf: Vec<u8> = (0..65_536u32).map(|i| i as u8).collect();
+    let mut best = 0.0f64;
+    for _ in 0..5 {
+        let mut hashes = 0u64;
+        let mut acc = 0u64;
+        let start = Instant::now();
+        while start.elapsed().as_secs_f64() < 0.02 {
+            acc ^= canon_sweep::store::fnv1a64(&buf);
+            hashes += 1;
+        }
+        std::hint::black_box(acc);
+        let rate = hashes as f64 / start.elapsed().as_secs_f64();
+        best = best.max(rate);
+    }
+    best
+}
+
+/// Evaluates the throughput-regression gate: computes the kernels geomean
+/// of `report` against `baseline` (a previous `BENCH_sim.json`),
+/// host-normalizes it by the calibration ratio when the baseline carries
+/// one (see [`calibrate_host`]), and fails below [`MIN_KERNELS_GEOMEAN`].
+///
+/// # Errors
+///
+/// Returns a human-readable violation message (also when the baseline has
+/// no overlapping kernel names to compare against).
+pub fn check_throughput_gate(report: &BenchReport, baseline: &str) -> Result<(), String> {
+    let ratios: Vec<f64> = report
+        .kernels
+        .iter()
+        .filter_map(|k| {
+            extract_number(baseline, &k.name, "cycles_per_sec").map(|base| k.cycles_per_sec / base)
+        })
+        .collect();
+    let Some(raw) = geomean(&ratios) else {
+        return Err("throughput gate: baseline shares no kernel names with this report".into());
+    };
+    // Host normalization: divide out how much faster/slower this host ran
+    // the simulator-independent calibration workload than the baseline's.
+    // The gate accepts the *better* of the raw and normalized readings: a
+    // slower runner passes via the normalized one, a faster runner whose
+    // speedup is not perfectly proportional passes via the raw one, and a
+    // genuine regression on a comparable host fails both. (A regression
+    // masked by a much faster runner is the irreducible blind spot of any
+    // absolute cross-machine comparison; successive runs on one runner
+    // class remain strictly comparable.)
+    let host_ratio = extract_field(baseline, "calib_ops_per_sec", "calib_ops_per_sec")
+        .filter(|&base| base > 0.0 && report.calib_ops_per_sec > 0.0)
+        .map(|base| report.calib_ops_per_sec / base);
+    let g = match host_ratio {
+        Some(h) => (raw / h).max(raw),
+        None => raw,
+    };
+    if g < MIN_KERNELS_GEOMEAN {
+        return Err(match host_ratio {
+            Some(h) => format!(
+                "kernels geomean regressed to {g:.3}x of the baseline (raw {raw:.3}x, \
+                 host speed {h:.3}x, {} kernels), below the {MIN_KERNELS_GEOMEAN} gate",
+                ratios.len()
+            ),
+            None => format!(
+                "kernels geomean regressed to {g:.3}x of the baseline ({} kernels \
+                 compared), below the {MIN_KERNELS_GEOMEAN} gate",
+                ratios.len()
+            ),
+        });
+    }
+    Ok(())
+}
+
 /// Evaluates the allocation-regression gate over a finished report.
 ///
 /// # Errors
@@ -93,7 +178,7 @@ pub struct KernelBench {
     pub cycles_per_sec: f64,
 }
 
-/// Allocation profile of one fabric run.
+/// Allocation + scheduler profile of one fabric run.
 #[derive(Debug, Clone)]
 pub struct SteadyState {
     /// Cycles of the measured run.
@@ -102,6 +187,16 @@ pub struct SteadyState {
     pub allocs: u64,
     /// Bytes allocated during the run.
     pub bytes: u64,
+    /// PE count of the measured fabric (denominator of the active ratio).
+    pub pes: usize,
+    /// PE-cycles the active-set sweep actually visited.
+    pub active_pe_cycles: u64,
+    /// Orchestrator FSM activations (includes settled parked windows).
+    pub orch_steps: u64,
+    /// Orchestrator polls the event engine skipped (parked pure waits).
+    pub orch_polls_skipped: u64,
+    /// Row wake events raised (link/timer/slot).
+    pub wake_events: u64,
 }
 
 /// Wall time of one figure harness entry point.
@@ -135,6 +230,10 @@ pub struct BenchReport {
     pub scale: Scale,
     /// Worker threads used for the sweep sample.
     pub jobs: usize,
+    /// Host-calibration throughput ([`calibrate_host`]) measured in the
+    /// same window as the kernels; the throughput gate divides host-speed
+    /// differences out with it.
+    pub calib_ops_per_sec: f64,
     /// Per-kernel simulator throughput.
     pub kernels: Vec<KernelBench>,
     /// Step-loop allocation profile (`None` without an allocator hook).
@@ -234,6 +333,11 @@ fn bench_steady_state(alloc: AllocSnapshot) -> SteadyState {
         cycles: report.cycles,
         allocs: a1 - a0,
         bytes: b1 - b0,
+        pes: report.pes,
+        active_pe_cycles: report.stats.active_pe_cycles,
+        orch_steps: report.stats.orch_steps,
+        orch_polls_skipped: report.stats.orch_polls_skipped,
+        wake_events: report.stats.wake_events,
     }
 }
 
@@ -306,6 +410,7 @@ pub fn run_bench(scale: Scale, jobs: usize, alloc: Option<AllocSnapshot>) -> Ben
     BenchReport {
         scale,
         jobs,
+        calib_ops_per_sec: calibrate_host(),
         kernels: bench_kernels(scale),
         steady_state: alloc.map(bench_steady_state),
         figures: bench_figures(scale),
@@ -319,7 +424,7 @@ pub fn run_bench(scale: Scale, jobs: usize, alloc: Option<AllocSnapshot>) -> Ben
 fn extract_field(report: &str, line_pat: &str, field: &str) -> Option<f64> {
     let field_pat = format!("\"{field}\":");
     report.lines().find(|l| l.contains(line_pat)).and_then(|l| {
-        let rest = &l[l.find(&field_pat)? + field_pat.len()..];
+        let rest = l[l.find(&field_pat)? + field_pat.len()..].trim_start();
         let end = rest
             .find(|c: char| !(c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')))
             .unwrap_or(rest.len());
@@ -377,6 +482,11 @@ pub fn render_json(report: &BenchReport, baseline: Option<&str>) -> String {
     let _ = writeln!(s, "  \"schema\": 1,");
     let _ = writeln!(s, "  \"scale\": \"{scale}\",");
     let _ = writeln!(s, "  \"jobs\": {},", report.jobs);
+    let _ = writeln!(
+        s,
+        "  \"calib_ops_per_sec\": {:.0},",
+        report.calib_ops_per_sec
+    );
     let _ = writeln!(s, "  \"kernels\": [");
     let mut kernel_speedups = Vec::new();
     for (i, k) in report.kernels.iter().enumerate() {
@@ -409,11 +519,15 @@ pub fn render_json(report: &BenchReport, baseline: Option<&str>) -> String {
     if let Some(ss) = &report.steady_state {
         let _ = writeln!(
             s,
-            "  \"steady_state\": {{\"name\":\"spmm-fabric\",\"cycles\":{},\"allocs\":{},\"bytes\":{},\"allocs_per_cycle\":{:.4}}},",
+            "  \"steady_state\": {{\"name\":\"spmm-fabric\",\"cycles\":{},\"allocs\":{},\"bytes\":{},\"allocs_per_cycle\":{:.4},\"active_pe_ratio\":{:.4},\"orch_steps\":{},\"orch_polls_skipped\":{},\"wake_events\":{}}},",
             ss.cycles,
             ss.allocs,
             ss.bytes,
-            ss.allocs as f64 / ss.cycles.max(1) as f64
+            ss.allocs as f64 / ss.cycles.max(1) as f64,
+            ss.active_pe_cycles as f64 / (ss.cycles.max(1) * ss.pes.max(1) as u64) as f64,
+            ss.orch_steps,
+            ss.orch_polls_skipped,
+            ss.wake_events
         );
     }
     let _ = writeln!(s, "  \"figures\": [");
@@ -513,6 +627,17 @@ pub fn render_text(report: &BenchReport) -> String {
             ss.allocs as f64 / ss.cycles.max(1) as f64,
             ss.bytes
         );
+        // Scheduler activity: how much of the polled work the event-driven
+        // engine actually performs.
+        let _ = writeln!(
+            s,
+            "scheduler: active PE sweeps {:.1}% of PE-cycles; {} of {} orch row-cycles settled without a poll ({:.1}%); {} wake events",
+            ss.active_pe_cycles as f64 / (ss.cycles.max(1) * ss.pes.max(1) as u64) as f64 * 100.0,
+            ss.orch_polls_skipped,
+            ss.orch_steps,
+            ss.orch_polls_skipped as f64 / ss.orch_steps.max(1) as f64 * 100.0,
+            ss.wake_events
+        );
     }
     for f in &report.figures {
         let _ = writeln!(s, "figure {:<10} {:>10.1} ms", f.name, f.wall_ms);
@@ -536,6 +661,7 @@ mod tests {
         BenchReport {
             scale: Scale::Smoke,
             jobs: 2,
+            calib_ops_per_sec: 1_000_000.0,
             kernels: vec![KernelBench {
                 name: "GEMM".into(),
                 sim_cycles: 1000,
@@ -547,6 +673,11 @@ mod tests {
                 cycles: 164,
                 allocs: 12,
                 bytes: 4096,
+                pes: 64,
+                active_pe_cycles: 4100,
+                orch_steps: 1000,
+                orch_polls_skipped: 250,
+                wake_events: 40,
             }),
             figures: vec![FigureBench {
                 name: "fig12+13",
@@ -639,11 +770,66 @@ mod tests {
             cycles: 100,
             allocs: 26,
             bytes: 0,
+            pes: 64,
+            active_pe_cycles: 0,
+            orch_steps: 0,
+            orch_polls_skipped: 0,
+            wake_events: 0,
         });
         let err = check_alloc_gate(&r).unwrap_err();
         assert!(err.contains("0.2600"), "{err}");
         r.steady_state = None;
         assert!(check_alloc_gate(&r).is_err());
+    }
+
+    #[test]
+    fn throughput_gate_passes_at_parity_and_fails_on_regression() {
+        let base = render_json(&tiny_report(), None);
+        // Parity: geomean 1.0 ≥ 0.90.
+        assert!(check_throughput_gate(&tiny_report(), &base).is_ok());
+        // 2x faster: fine.
+        let mut faster = tiny_report();
+        faster.kernels[0].cycles_per_sec *= 2.0;
+        assert!(check_throughput_gate(&faster, &base).is_ok());
+        // 20% slower at identical host speed: gated.
+        let mut slower = tiny_report();
+        slower.kernels[0].cycles_per_sec *= 0.8;
+        let err = check_throughput_gate(&slower, &base).unwrap_err();
+        assert!(err.contains("0.800"), "{err}");
+        // No overlapping kernel names: explicit error, not a silent pass.
+        let mut renamed = tiny_report();
+        renamed.kernels[0].name = "OTHER".into();
+        assert!(check_throughput_gate(&renamed, &base).is_err());
+    }
+
+    #[test]
+    fn throughput_gate_normalizes_host_speed() {
+        let base = render_json(&tiny_report(), None);
+        // A uniformly 2x-slower host: kernels AND calibration halve — the
+        // normalized geomean is 1.0 and the gate passes.
+        let mut slow_host = tiny_report();
+        slow_host.kernels[0].cycles_per_sec *= 0.5;
+        slow_host.calib_ops_per_sec *= 0.5;
+        assert!(check_throughput_gate(&slow_host, &base).is_ok());
+        // A faster host with flat kernel throughput: the raw reading (1.0)
+        // carries the gate — absolute throughput did not regress, so CI
+        // must not fail on a runner upgrade.
+        let mut faster_host = tiny_report();
+        faster_host.calib_ops_per_sec *= 2.0;
+        assert!(check_throughput_gate(&faster_host, &base).is_ok());
+        // A regression that fails BOTH readings is gated, and the message
+        // carries the host ratio for diagnosis.
+        let mut regressed = tiny_report();
+        regressed.kernels[0].cycles_per_sec *= 0.5;
+        regressed.calib_ops_per_sec *= 1.1;
+        let err = check_throughput_gate(&regressed, &base).unwrap_err();
+        assert!(err.contains("host speed"), "{err}");
+        // A baseline without calibration falls back to the raw comparison.
+        let legacy = base.replace("\"calib_ops_per_sec\"", "\"calib_removed\"");
+        assert!(check_throughput_gate(&tiny_report(), &legacy).is_ok());
+        let mut slower = tiny_report();
+        slower.kernels[0].cycles_per_sec *= 0.8;
+        assert!(check_throughput_gate(&slower, &legacy).is_err());
     }
 
     #[test]

@@ -87,7 +87,9 @@ fn usage() -> ! {
            --baseline FILE  (bench) previous BENCH_sim.json to embed and\n\
                         compute speedups against\n\
            --check      (bench) exit non-zero if the steady-state step loop\n\
-                        exceeds the allocation gate (allocs/cycle)"
+                        exceeds the allocation gate (allocs/cycle) or the\n\
+                        kernels geomean regresses >10% against the baseline\n\
+                        (--baseline FILE, else the committed BENCH_sim.json)"
     );
     std::process::exit(2)
 }
@@ -243,6 +245,29 @@ fn main() {
                 Err(msg) => {
                     eprintln!("allocation gate FAILED: {msg}");
                     std::process::exit(1);
+                }
+            }
+            // Throughput gate: compare against --baseline FILE, or the
+            // committed BENCH_sim.json when none was given.
+            let gate_baseline = match &baseline {
+                Some(b) => Some(b.clone()),
+                None => std::fs::read_to_string("BENCH_sim.json").ok(),
+            };
+            match gate_baseline {
+                Some(b) => match bench::check_throughput_gate(&report, &b) {
+                    Ok(()) => println!(
+                        "throughput gate passed (kernels geomean >= {}x of baseline)",
+                        bench::MIN_KERNELS_GEOMEAN
+                    ),
+                    Err(msg) => {
+                        eprintln!("throughput gate FAILED: {msg}");
+                        std::process::exit(1);
+                    }
+                },
+                None => {
+                    eprintln!(
+                        "throughput gate skipped: no --baseline and no committed BENCH_sim.json"
+                    );
                 }
             }
         }

@@ -7,16 +7,18 @@
 //!
 //! 1. **edge feed** — the north-edge stream movers push at most one token per
 //!    column into the north edge FIFOs (SDDMM's `A` stream);
-//! 2. **orchestrator phase** — every live row delivers its due south-channel
-//!    credits (visible after [`CanonConfig::orch_msg_latency`] cycles), then
-//!    its FSM observes its meta stream head, delivered message, credits, and
-//!    north-FIFO occupancy, and issues one instruction into column 0
-//!    (possibly NOP); fully-drained rows (done FSM, no pending messages or
-//!    credit returns) skip the phase entirely;
-//! 3. **active sweep** — COMMIT (NoC pushes happen here, retiring
-//!    instructions are forwarded eastward) and LOAD (which also computes the
-//!    EXECUTE stage's lane result eagerly — see [`crate::pe`]) run for every
-//!    PE in the active set, in PE-id order; column 0 receives this cycle's
+//! 2. **orchestrator phase** — every *woken* row delivers its due
+//!    south-channel credits (visible after
+//!    [`CanonConfig::orch_msg_latency`] cycles), then its FSM observes its
+//!    meta stream head, delivered message, credits, and north-FIFO
+//!    occupancy, and issues one instruction into column 0 (possibly NOP);
+//!    rows whose observable inputs cannot have changed since their last
+//!    decision are skipped entirely (see *Event-driven wakeups* below);
+//! 3. **active sweep** — COMMIT (NoC pushes happen this phase, retiring
+//!    instructions are forwarded eastward as 4-byte [`InstrHandle`]s into
+//!    the shared issue ring) and LOAD (which also computes the EXECUTE
+//!    stage's lane result eagerly — see [`crate::pe`]) run for every PE in
+//!    the active set, in PE-id order; column 0 receives this cycle's
 //!    orchestrator instruction, column `c > 0` receives the instruction that
 //!    retired from column `c-1` **last** cycle, reproducing the 3-cycle
 //!    stagger of §2.1 (issue at cycle *n* reaches column *c* at cycle
@@ -33,6 +35,47 @@
 //! injections, and input links are all empty. Phases never visit drained
 //! PEs, and the per-cycle quiescence test collapses from a whole-fabric
 //! sweep to `active.is_empty()` plus O(rows) of orchestrator state.
+//!
+//! ## Event-driven wakeups
+//!
+//! The orchestrator phase is scheduled the same way, one level up: a
+//! [`RowSched`] wake bitset tracks which rows must be *stepped* this cycle,
+//! and everything a row's FSM can observe is covered by a wake event:
+//!
+//! * **link events** — a south push landing on a row's column-0 North FIFO
+//!   (its `north_tokens` observable) wakes the consuming row, as does a
+//!   north-edge feeder token on column 0;
+//! * **timed events** — credit returns and inter-orchestrator messages are
+//!   queued with a delivery cycle; the producer arms the consumer row's
+//!   timer at enqueue time, and [`RowSched::fire_due`] moves due rows back
+//!   into the wake set (one comparison per cycle when nothing is due);
+//! * **slot events** — consuming a message frees the sender's
+//!   `msg_slot_free` observable, waking the row above;
+//! * **self events** — a row that made progress (consumed input, issued a
+//!   real instruction, sent a message) trivially stays in the wake set.
+//!
+//! A row leaves the wake set when its action is a **pure wait**
+//! ([`OrchAction::park`], set by every back-pressured stall) or when it has
+//! drained. While parked it costs zero work per cycle; on wake the skipped
+//! window is settled arithmetically — `orch_steps`, `stall_cycles`, and the
+//! bubbles the polling engine would have injected (`cols` pipeline NOPs per
+//! skipped poll) are credited exactly, so cycle counts, results, and every
+//! architectural counter stay byte-identical to the polling engine
+//! (`tests/event_wake.rs` diffs the two on random programs;
+//! [`Fabric::set_polling`] keeps the shadow engine available). The only
+//! deliberately divergent counters are the scheduler diagnostics
+//! ([`Stats::active_pe_cycles`], [`Stats::orch_polls_skipped`],
+//! [`Stats::wake_events`]), which measure the work actually performed.
+//!
+//! ## Instruction handle ring
+//!
+//! Issued instructions are interned once into a per-fabric [`InstrRing`]
+//! (a power-of-two ring of issue records sized to the issue-to-retire
+//! window, with generation tags checked under `debug_assertions`). The
+//! injection queue, the pipeline-stage slots, and eastward COMMIT
+//! forwarding all move 4-byte [`InstrHandle`]s; the ~44-byte record is
+//! written once per issue and resolved in place at LOAD/COMMIT. The
+//! one-byte bubble path is unchanged — bubbles are never interned.
 //!
 //! The fused per-PE ordering (COMMIT then LOAD of one PE before the next
 //! PE) is cycle-identical to the former phase-barrier sweeps because only
@@ -74,11 +117,11 @@
 //! underflow aborts the run as a protocol error.
 
 use crate::config::CanonConfig;
-use crate::isa::{Direction, Instruction, Vector, LANES};
+use crate::isa::{Direction, InstrHandle, InstrRing, Instruction, Plan, Vector, LANES};
 use crate::noc::{LinkGrid, TaggedVector};
 use crate::orchestrator::{MetaToken, OrchIo, OrchMessage, OrchProgram, RowProgram};
 use crate::pe::{PeArray, PeMut, PeRef};
-use crate::sched::ActiveSet;
+use crate::sched::{ActiveSet, RowSched};
 use crate::stats::{RunReport, Stats};
 use crate::SimError;
 use std::collections::VecDeque;
@@ -97,97 +140,130 @@ pub struct CollectedEntry {
     pub cycle: u64,
 }
 
-struct RowState {
-    program: Option<RowProgram>,
-    /// Input meta-data stream, consumed through `meta_pos` (a cursor into an
-    /// immutable `Vec` is cheaper per cycle than deque pops, and the
-    /// orchestrator reads the head every live row-step).
-    meta: Vec<MetaToken>,
-    meta_pos: usize,
-    south_credits: usize,
-    inbox: VecDeque<(u64, OrchMessage)>,
-    credit_returns: VecDeque<u64>,
-    last_state: Option<u8>,
-    orch_steps: u64,
-    transitions: u64,
-    messages_sent: u64,
-    stalls: u64,
-    meta_consumed: u64,
+/// `u64` sentinel for "no value" in the row table's cycle-stamped fields.
+const NEVER: u64 = u64::MAX;
+
+/// Per-row orchestrator state, struct-of-arrays: each field of the former
+/// boxed per-row record is a flat array indexed by row id, mirroring
+/// [`PeArray`]'s layout one level up. The (now sparse, event-driven) row
+/// dispatch touches a handful of hot fields per woken row — the cursor into
+/// the meta stream, the credit count, the queue fronts — and those are
+/// dense across rows instead of strided by a whole row record.
+struct RowTable {
+    programs: Vec<Option<RowProgram>>,
+    /// Input meta-data streams, consumed through `meta_pos` (a cursor into
+    /// an immutable `Vec` is cheaper per step than deque pops).
+    meta: Vec<Vec<MetaToken>>,
+    meta_pos: Vec<usize>,
+    south_credits: Vec<usize>,
+    inbox: Vec<VecDeque<(u64, OrchMessage)>>,
+    credit_returns: Vec<VecDeque<u64>>,
+    last_state: Vec<Option<u8>>,
+    orch_steps: Vec<u64>,
+    transitions: Vec<u64>,
+    messages_sent: Vec<u64>,
+    stalls: Vec<u64>,
+    meta_consumed: Vec<u64>,
+    /// Cycle at which the row parked on a pure-wait action ([`NEVER`] when
+    /// not parked). Settled arithmetically at the next wake.
+    parked_at: Vec<u64>,
+    /// Whether the parked action was a stall (its replay counts
+    /// `stall_cycles`).
+    parked_stalled: Vec<bool>,
+    /// Settled orchestrator polls skipped while parked (the event-engine
+    /// saving reported as [`Stats::orch_polls_skipped`]).
+    polls_skipped: Vec<u64>,
+}
+
+impl RowTable {
+    fn new(rows: usize, credits_for: impl Fn(usize) -> usize) -> RowTable {
+        RowTable {
+            programs: (0..rows).map(|_| None).collect(),
+            meta: vec![Vec::new(); rows],
+            meta_pos: vec![0; rows],
+            south_credits: (0..rows).map(credits_for).collect(),
+            // Reserved up front: the bounded message/credit protocol keeps
+            // occupancy small, so the queues never reallocate mid-run (part
+            // of the steady-state allocs/cycle budget `repro bench --check`
+            // gates).
+            inbox: vec![VecDeque::with_capacity(8); rows],
+            credit_returns: vec![VecDeque::with_capacity(16); rows],
+            last_state: vec![None; rows],
+            orch_steps: vec![0; rows],
+            transitions: vec![0; rows],
+            messages_sent: vec![0; rows],
+            stalls: vec![0; rows],
+            meta_consumed: vec![0; rows],
+            parked_at: vec![NEVER; rows],
+            parked_stalled: vec![false; rows],
+            polls_skipped: vec![0; rows],
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.programs.len()
+    }
+
+    fn done(&self, r: usize) -> bool {
+        self.programs[r].as_ref().is_none_or(|p| p.done())
+    }
+
+    /// Tokens not yet consumed from row `r`'s meta stream.
+    fn meta_left(&self, r: usize) -> usize {
+        self.meta[r].len() - self.meta_pos[r]
+    }
 }
 
 /// One entry of the staggered instruction network's injection queue.
+///
+/// Only real instructions occupy slots: bubbles ([`Instruction::is_plain_nop`])
+/// are **elided** at issue — architecturally a bubble reads nothing, writes
+/// nothing, pushes nothing, and cannot forward a value, so instead of
+/// marching a tag through `3·cols` pipeline stages the fabric counts the
+/// `cols` instruction latches it would have clocked and extends the bubble
+/// drain horizon (see [`Fabric::bubble_horizon`]), keeping cycle counts and
+/// instruction counts byte-identical to a simulator that moves them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 enum Inject {
     /// Nothing to load.
     #[default]
     None,
-    /// A bubble ([`Instruction::is_plain_nop`]) — carried as this tag alone,
-    /// no instruction record moves.
-    Bubble,
-    /// A real instruction; the payload array holds it.
+    /// A real instruction; the handle array holds its ring reference.
     Instr,
 }
 
 /// Per-PE injection slots of the instruction network, struct-of-arrays: the
-/// one-byte kind tags are scanned/updated on every hop, the 44-byte payload
-/// is touched only for real instructions. Bubbles — the majority of the
+/// one-byte kind tags are scanned/updated on every hop, the 4-byte
+/// [`InstrHandle`] is touched only for real instructions (the record itself
+/// lives in the fabric's [`InstrRing`]). Bubbles — the majority of the
 /// traffic in sparse bands (row ends, stalls) — march east one tag byte per
 /// hop.
 #[derive(Debug)]
 struct InjectQueue {
     kind: Vec<Inject>,
-    instr: Vec<Instruction>,
+    handle: Vec<InstrHandle>,
 }
 
 impl InjectQueue {
     fn new(n: usize) -> InjectQueue {
         InjectQueue {
             kind: vec![Inject::None; n],
-            instr: vec![Instruction::NOP; n],
+            handle: vec![InstrHandle::default(); n],
         }
     }
 
-    /// Classifies and stores one issued instruction.
+    /// Stores one issued (real, non-bubble) instruction, interning it with
+    /// its pre-computed plan. Bubbles never reach the queue — the issue
+    /// path elides them.
     #[inline]
-    fn put(&mut self, idx: usize, instr: Instruction) {
-        if instr.is_plain_nop() {
-            self.kind[idx] = Inject::Bubble;
-        } else {
-            self.kind[idx] = Inject::Instr;
-            self.instr[idx] = instr;
-        }
+    fn put(&mut self, idx: usize, instr: Instruction, plan: Plan, ring: &mut InstrRing) {
+        debug_assert!(!instr.is_plain_nop(), "bubbles are elided at issue");
+        self.kind[idx] = Inject::Instr;
+        self.handle[idx] = ring.intern_planned(instr, plan);
     }
 
     fn is_clear(&self) -> bool {
         self.kind.iter().all(|&k| k == Inject::None)
-    }
-}
-
-impl RowState {
-    fn new(initial_credits: usize) -> RowState {
-        RowState {
-            program: None,
-            meta: Vec::new(),
-            meta_pos: 0,
-            south_credits: initial_credits,
-            inbox: VecDeque::new(),
-            credit_returns: VecDeque::new(),
-            last_state: None,
-            orch_steps: 0,
-            transitions: 0,
-            messages_sent: 0,
-            stalls: 0,
-            meta_consumed: 0,
-        }
-    }
-
-    fn done(&self) -> bool {
-        self.program.as_ref().is_none_or(|p| p.done())
-    }
-
-    /// Tokens not yet consumed from the meta stream.
-    fn meta_left(&self) -> usize {
-        self.meta.len() - self.meta_pos
     }
 }
 
@@ -196,7 +272,28 @@ pub struct Fabric {
     cfg: CanonConfig,
     pes: PeArray,
     grid: LinkGrid,
-    rows: Vec<RowState>,
+    rows: RowTable,
+    /// Orchestrator-row wake bitset + delivery timers (see [`RowSched`]).
+    sched: RowSched,
+    /// When true, every live row is stepped every cycle and nothing parks —
+    /// the pre-event polling engine, kept as a differential shadow for
+    /// `tests/event_wake.rs`.
+    polling: bool,
+    /// Distinct row wake events raised (link, timer, and slot events).
+    wake_events: u64,
+    /// Issued-instruction ring; everything downstream of issue moves 4-byte
+    /// handles into this slab.
+    ring: InstrRing,
+    /// First cycle at which every elided bubble would have drained out of
+    /// the pipeline: a bubble issued at cycle `n` retires from the last
+    /// column at `n + 3·cols − 1`, so the fabric it marched through is
+    /// quiescent from `n + 3·cols`. Elision must not let the fabric drain
+    /// earlier than the marching simulator, so [`Fabric::quiescent`] gates
+    /// on this horizon.
+    bubble_horizon: u64,
+    /// Bubbles elided at issue; each one is `cols` instruction latches
+    /// credited to [`Stats::instrs_executed`] at report time.
+    elided_bubbles: u64,
     /// PEs with possible work this cycle (see [`ActiveSet`]).
     active: ActiveSet,
     /// Instruction to inject into each PE this cycle (column > 0 slots are
@@ -237,27 +334,35 @@ impl Fabric {
         );
         let n = cfg.pe_count();
         let initial_credits = cfg.link_fifo_depth - 2;
-        let mut rows = Vec::with_capacity(cfg.rows);
-        for r in 0..cfg.rows {
-            let credits = if r + 1 == cfg.rows {
+        let rows = RowTable::new(cfg.rows, |r| {
+            if r + 1 == cfg.rows {
                 usize::MAX / 2 // bottom row flushes into the edge sink
             } else {
                 initial_credits
-            };
-            rows.push(RowState::new(credits));
-        }
+            }
+        });
         Fabric {
             pes: PeArray::new(n, cfg.dmem_words, cfg.spad_entries),
             grid: LinkGrid::new(cfg.rows, cfg.cols, cfg.link_fifo_depth, north_edge_feeder),
             rows,
+            sched: RowSched::new(cfg.rows),
+            polling: false,
+            wake_events: 0,
+            // One issue per row per cycle, last read 3·cols − 1 cycles after
+            // issue ⇒ the ring wraps strictly slower than records retire.
+            ring: InstrRing::with_capacity(cfg.rows * (3 * cfg.cols + 2)),
+            bubble_horizon: 0,
+            elided_bubbles: 0,
             active: ActiveSet::new(n),
             inject_now: InjectQueue::new(n),
             inject_next: InjectQueue::new(n),
             feeders: vec![VecDeque::new(); cfg.cols],
             feeders_pending: 0,
             feeder_bytes_per_token: LANES as u64,
-            south_collected: Vec::new(),
-            east_collected: Vec::new(),
+            // Collectors start at a page's worth of entries: their doubling
+            // growth was the bulk of the residual steady-state allocations.
+            south_collected: Vec::with_capacity(128),
+            east_collected: Vec::with_capacity(128),
             cycle: 0,
             active_pe_cycles: 0,
             extra_offchip_read: 0,
@@ -307,7 +412,11 @@ impl Fabric {
     ///
     /// Panics when `r` is out of bounds.
     pub fn set_program(&mut self, r: usize, program: impl Into<RowProgram>) {
-        self.rows[r].program = Some(program.into());
+        self.rows.programs[r] = Some(program.into());
+        // A new program is a fresh decision source: wake the row and forget
+        // any parked pure-wait of the previous program.
+        self.rows.parked_at[r] = NEVER;
+        self.sched.wake(r);
     }
 
     /// Sets row `r`'s input meta-data stream.
@@ -316,8 +425,20 @@ impl Fabric {
     ///
     /// Panics when `r` is out of bounds.
     pub fn set_meta_stream(&mut self, r: usize, stream: Vec<MetaToken>) {
-        self.rows[r].meta = stream;
-        self.rows[r].meta_pos = 0;
+        self.rows.meta[r] = stream;
+        self.rows.meta_pos[r] = 0;
+        // The meta head — an orchestrator observable — changed.
+        self.sched.wake(r);
+    }
+
+    /// Forces the pre-event **polling engine**: every live row is stepped
+    /// every cycle and pure waits never park. Architectural behaviour is
+    /// identical to the event-driven default (that equivalence is what
+    /// `tests/event_wake.rs` pins); only the scheduler diagnostics
+    /// ([`Stats::orch_polls_skipped`], [`Stats::wake_events`],
+    /// [`Stats::active_pe_cycles`]) differ. Must be set before stepping.
+    pub fn set_polling(&mut self, polling: bool) {
+        self.polling = polling;
     }
 
     /// Queues north-edge stream tokens for column `c` (one token enters the
@@ -377,6 +498,183 @@ impl Fabric {
             .collect()
     }
 
+    /// Dispatches orchestrator row `r` at cycle `now`: delivers due
+    /// credits, settles any parked window, steps the FSM, applies its
+    /// action, and decides whether the row stays in the wake set.
+    fn step_row(&mut self, r: usize, now: u64) -> Result<(), SimError> {
+        let nrows = self.cfg.rows;
+        let cols = self.cfg.cols;
+        // Deliver due credit returns (observable only from this row's own
+        // step, so delivery can wait for a wake).
+        while self.rows.credit_returns[r]
+            .front()
+            .is_some_and(|&deliver| deliver <= now)
+        {
+            self.rows.credit_returns[r].pop_front();
+            self.rows.south_credits[r] += 1;
+        }
+        let has_deliverable_msg = self.rows.inbox[r]
+            .front()
+            .is_some_and(|&(deliver, _)| deliver <= now);
+        if self.rows.programs[r].is_none() || (self.rows.done(r) && !has_deliverable_msg) {
+            // Drained: sleep until the next queued message (if any) becomes
+            // deliverable. Done rows never re-park, so no settling needed.
+            if !self.polling {
+                self.sched.sleep(r);
+                if let Some(&(deliver, _)) = self.rows.inbox[r].front() {
+                    self.sched.arm(r, deliver);
+                }
+            }
+            return Ok(());
+        }
+        // Settle a parked window: the polling engine would have stepped
+        // this row on every skipped cycle, repeating the parked pure-wait —
+        // one orchestrator step (and stall, if stalled) plus one issued
+        // bubble per cycle. Steps and stalls are credited here; the bubbles
+        // (which touch nothing but per-PE instruction counters) are
+        // credited as `polls_skipped × cols` in [`Fabric::report`].
+        if self.rows.parked_at[r] != NEVER {
+            let skipped = now - self.rows.parked_at[r] - 1;
+            self.rows.orch_steps[r] += skipped;
+            if self.rows.parked_stalled[r] {
+                self.rows.stalls[r] += skipped;
+            }
+            self.rows.polls_skipped[r] += skipped;
+            self.rows.parked_at[r] = NEVER;
+        }
+        let io = OrchIo {
+            cycle: now,
+            input: self.rows.meta[r].get(self.rows.meta_pos[r]).copied(),
+            msg: self.rows.inbox[r]
+                .front()
+                .filter(|&&(deliver, _)| deliver <= now)
+                .map(|&(_, m)| m),
+            south_credits: self.rows.south_credits[r],
+            msg_slot_free: r + 1 >= nrows
+                || self.rows.inbox[r + 1].len() < self.cfg.orch_msg_capacity,
+            north_tokens: self.grid.vertical_ref(r, 0).len(),
+        };
+        let action = self.rows.programs[r]
+            .as_mut()
+            .expect("checked present above")
+            .step(&io);
+        self.rows.orch_steps[r] += 1;
+        if self.rows.last_state[r] != Some(action.state_id) {
+            if self.rows.last_state[r].is_some() {
+                self.rows.transitions[r] += 1;
+            }
+            self.rows.last_state[r] = Some(action.state_id);
+        }
+        if action.stalled {
+            self.rows.stalls[r] += 1;
+        }
+        if action.consume_input {
+            self.rows.meta_pos[r] += 1;
+            self.rows.meta_consumed[r] += 1;
+        }
+        if action.consume_msg {
+            self.rows.inbox[r].pop_front();
+            // Slot event: the northern row's `msg_slot_free` observable may
+            // have flipped.
+            if r > 0 && !self.polling && self.sched.wake(r - 1) {
+                self.wake_events += 1;
+            }
+        }
+        let instr = action.instr;
+        if instr.pushes_toward(Direction::South) && r + 1 < nrows {
+            if self.rows.south_credits[r] == 0 {
+                return Err(SimError::Deadlock {
+                    cycle: now,
+                    waiting_on: format!("row {r} issued a south push without credit (FSM bug)"),
+                });
+            }
+            self.rows.south_credits[r] -= 1;
+        }
+        if instr.pops_from(Direction::North) && r > 0 {
+            let deliver = now + self.cfg.orch_msg_latency;
+            self.rows.credit_returns[r - 1].push_back(deliver);
+            // Timed event: the row above observes the credit at `deliver`
+            // (with zero latency, at its next step — it precedes us in the
+            // dispatch order, exactly as under polling).
+            if !self.polling {
+                self.sched.arm(r - 1, deliver);
+            }
+        }
+        if let Some(m) = action.msg_out {
+            self.rows.messages_sent[r] += 1;
+            if r + 1 < nrows {
+                if self.rows.inbox[r + 1].len() >= self.cfg.orch_msg_capacity {
+                    return Err(SimError::Deadlock {
+                        cycle: now,
+                        waiting_on: format!("row {r} overflowed the message channel"),
+                    });
+                }
+                let deliver = now + self.cfg.orch_msg_latency;
+                self.rows.inbox[r + 1].push_back((deliver, m));
+                if !self.polling {
+                    if deliver <= now {
+                        // Zero-latency message: the southern row observes it
+                        // this very cycle (it follows us in dispatch order),
+                        // so a timer — checked at phase start — would be a
+                        // cycle late.
+                        if self.sched.wake(r + 1) {
+                            self.wake_events += 1;
+                        }
+                    } else {
+                        self.sched.arm(r + 1, deliver);
+                    }
+                }
+            }
+        }
+        debug_assert!(
+            self.inject_now.kind[r * cols] == Inject::None,
+            "column-0 injection slot not consumed"
+        );
+        // Issue. Real instructions are interned once and thereafter march
+        // east as 4-byte handles. Bubbles are elided: architecturally inert,
+        // they are settled as `cols` instruction latches and a drain-horizon
+        // extension instead of marching through the pipeline (see
+        // [`Inject`]).
+        if instr.is_plain_nop() {
+            self.elided_bubbles += 1;
+            self.bubble_horizon = self.bubble_horizon.max(now + 3 * cols as u64);
+        } else {
+            // Decode once per issue. Fast plans validate their (per-issue
+            // constant) addresses here and batch-account the whole row's
+            // executions, so the per-column LOAD/COMMIT below runs neither
+            // bounds checks nor counter updates for them.
+            let plan = Plan::classify(&instr);
+            if plan != Plan::Generic {
+                self.pes.validate_and_account(plan, cols)?;
+            }
+            self.inject_now.put(r * cols, instr, plan, &mut self.ring);
+            self.active.insert(r * cols);
+        }
+        // Park decision: a pure wait (and only a pure wait) leaves the wake
+        // set; everything else keeps the row due next cycle.
+        if !self.polling
+            && action.park
+            && instr.is_plain_nop()
+            && !action.consume_input
+            && !action.consume_msg
+            && action.msg_out.is_none()
+        {
+            self.rows.parked_at[r] = now;
+            self.rows.parked_stalled[r] = action.stalled;
+            self.sched.sleep(r);
+            // Arm timers for events already in flight towards this row.
+            if let Some(&deliver) = self.rows.credit_returns[r].front() {
+                self.sched.arm(r, deliver);
+            }
+            if let Some(&(deliver, _)) = self.rows.inbox[r].front() {
+                if deliver > now {
+                    self.sched.arm(r, deliver);
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Advances the fabric by one cycle.
     ///
     /// # Errors
@@ -389,7 +687,9 @@ impl Fabric {
         let nrows = self.cfg.rows;
 
         // 1. North-edge feeders: at most one token per column per cycle. A
-        // token landing on column c's edge FIFO wakes its consumer PE (0, c).
+        // token landing on column c's edge FIFO wakes its consumer PE (0, c)
+        // — and, on column 0, the top orchestrator row, whose `north_tokens`
+        // observable just changed.
         if self.feeders_pending > 0 {
             for c in 0..cols {
                 if let Some(&tok) = self.feeders[c].front() {
@@ -402,111 +702,30 @@ impl Fabric {
                         }
                         self.extra_offchip_read += self.feeder_bytes_per_token;
                         self.active.insert(c);
+                        if c == 0 && !self.polling && self.sched.wake(0) {
+                            self.wake_events += 1;
+                        }
                     }
                 }
             }
         }
 
-        // 2. Orchestrator phase. Credits returned by downstream pops become
-        // visible after `orch_msg_latency` cycles; delivery is folded into
-        // the row walk (rows react to credits only in their own step, and
-        // same-cycle returns are never due yet, so per-row delivery order is
-        // immaterial). A finished orchestrator is still stepped while
+        // 2. Orchestrator phase, event-driven: fire due delivery timers,
+        // then step only woken rows (ascending order — identical dispatch
+        // order to the polling engine, which matters for message-channel
+        // checks). Credits are delivered lazily at dispatch: rows observe
+        // them only in their own step, so a sleeping row's queue can wait.
+        // A finished orchestrator is still stepped while deliverable
         // messages are pending: its FSM keeps the bypass transitions of the
-        // DONE state so upstream rows can drain through it. Fully-drained
-        // rows fall through both checks at the cost of three branch tests.
-        for r in 0..nrows {
-            {
-                let row = &mut self.rows[r];
-                while row
-                    .credit_returns
-                    .front()
-                    .is_some_and(|&deliver| deliver <= now)
-                {
-                    row.credit_returns.pop_front();
-                    row.south_credits += 1;
+        // DONE state so upstream rows can drain through it.
+        self.wake_events += self.sched.fire_due(now);
+        if self.polling || !self.sched.all_asleep() {
+            for r in 0..nrows {
+                if !self.polling && !self.sched.is_awake(r) {
+                    continue;
                 }
+                self.step_row(r, now)?;
             }
-            let has_deliverable_msg = self.rows[r]
-                .inbox
-                .front()
-                .is_some_and(|&(deliver, _)| deliver <= now);
-            if self.rows[r].program.is_none() || (self.rows[r].done() && !has_deliverable_msg) {
-                continue;
-            }
-            let io = OrchIo {
-                cycle: now,
-                input: self.rows[r].meta.get(self.rows[r].meta_pos).copied(),
-                msg: self.rows[r]
-                    .inbox
-                    .front()
-                    .filter(|&&(deliver, _)| deliver <= now)
-                    .map(|&(_, m)| m),
-                south_credits: self.rows[r].south_credits,
-                msg_slot_free: r + 1 >= nrows
-                    || self.rows[r + 1].inbox.len() < self.cfg.orch_msg_capacity,
-                north_tokens: self.grid.vertical_ref(r, 0).len(),
-            };
-            let action = {
-                let program = self.rows[r]
-                    .program
-                    .as_mut()
-                    .expect("checked present above");
-                program.step(&io)
-            };
-            let row = &mut self.rows[r];
-            row.orch_steps += 1;
-            if row.last_state != Some(action.state_id) {
-                if row.last_state.is_some() {
-                    row.transitions += 1;
-                }
-                row.last_state = Some(action.state_id);
-            }
-            if action.stalled {
-                row.stalls += 1;
-            }
-            if action.consume_input {
-                row.meta_pos += 1;
-                row.meta_consumed += 1;
-            }
-            if action.consume_msg {
-                row.inbox.pop_front();
-            }
-            let instr = action.instr;
-            if instr.pushes_toward(Direction::South) && r + 1 < nrows {
-                if self.rows[r].south_credits == 0 {
-                    return Err(SimError::Deadlock {
-                        cycle: now,
-                        waiting_on: format!("row {r} issued a south push without credit (FSM bug)"),
-                    });
-                }
-                self.rows[r].south_credits -= 1;
-            }
-            if instr.pops_from(Direction::North) && r > 0 {
-                let deliver = now + self.cfg.orch_msg_latency;
-                self.rows[r - 1].credit_returns.push_back(deliver);
-            }
-            if let Some(m) = action.msg_out {
-                self.rows[r].messages_sent += 1;
-                if r + 1 < nrows {
-                    if self.rows[r + 1].inbox.len() >= self.cfg.orch_msg_capacity {
-                        return Err(SimError::Deadlock {
-                            cycle: now,
-                            waiting_on: format!("row {r} overflowed the message channel"),
-                        });
-                    }
-                    let deliver = now + self.cfg.orch_msg_latency;
-                    self.rows[r + 1].inbox.push_back((deliver, m));
-                }
-            }
-            debug_assert!(
-                self.inject_now.kind[r * cols] == Inject::None,
-                "column-0 injection slot not consumed"
-            );
-            // Issue: bubbles are classified once here and thereafter march
-            // east as one-byte tags (no per-column re-inspection).
-            self.inject_now.put(r * cols, instr);
-            self.active.insert(r * cols);
         }
 
         // 3. Active sweep: COMMIT (NoC pushes, eastward forwarding), EXECUTE
@@ -540,34 +759,41 @@ impl Fabric {
                     row_base += cols;
                 }
                 let c = idx - row_base;
-                // COMMIT writes a retiring instruction straight into the
-                // eastern neighbour's injection payload slot and reports
-                // its link drives as flags; bubbles forward as a tag only.
+                // COMMIT writes a retiring instruction's 4-byte handle
+                // straight into the eastern neighbour's injection slot and
+                // reports its link drives as flags; bubbles forward as a
+                // tag only.
                 let has_east = c + 1 < cols;
-                let eff = self.pes.commit_into(
+                let eff = self.pes.commit_into_planned(
                     idx,
+                    &self.ring,
                     &mut self.grid,
                     r,
                     c,
                     now,
                     if has_east {
-                        Some(&mut self.inject_next.instr[idx + 1])
+                        Some(&mut self.inject_next.handle[idx + 1])
                     } else {
                         None
                     },
                 )?;
                 if eff.retired {
+                    debug_assert!(
+                        !eff.bubble,
+                        "bubbles are elided at issue and never enter fabric pipelines"
+                    );
                     if has_east {
-                        self.inject_next.kind[idx + 1] = if eff.bubble {
-                            Inject::Bubble
-                        } else {
-                            Inject::Instr
-                        };
+                        self.inject_next.kind[idx + 1] = Inject::Instr;
                         self.active.insert(idx + 1);
                     }
                     if eff.drives_south {
                         if r + 1 < nrows {
                             self.active.insert(idx + cols);
+                            // Link event: a column-0 south push changes the
+                            // consuming row's `north_tokens` observable.
+                            if c == 0 && !self.polling && self.sched.wake(r + 1) {
+                                self.wake_events += 1;
+                            }
                         } else {
                             south_sink_dirty = true;
                         }
@@ -579,21 +805,25 @@ impl Fabric {
                 let mut loaded = true;
                 match self.inject_now.kind[idx] {
                     Inject::None => loaded = false,
-                    Inject::Bubble => {
-                        self.inject_now.kind[idx] = Inject::None;
-                        self.pes.load_bubble(idx);
-                    }
                     Inject::Instr => {
                         self.inject_now.kind[idx] = Inject::None;
-                        let incoming = Some(self.inject_now.instr[idx]);
+                        let h = self.inject_now.handle[idx];
                         if c == 0 {
                             // Fresh orchestrator issue: validate the §3.1
                             // route rules once here; the eastward-forwarded
                             // copies are identical and skip the re-check.
-                            self.pes.load(idx, incoming, &mut self.grid, r, c, now)?;
-                        } else {
                             self.pes
-                                .load_forwarded(idx, incoming, &mut self.grid, r, c, now)?;
+                                .load_planned(idx, h, &self.ring, &mut self.grid, r, c, now)?;
+                        } else {
+                            self.pes.load_planned_forwarded(
+                                idx,
+                                h,
+                                &self.ring,
+                                &mut self.grid,
+                                r,
+                                c,
+                                now,
+                            )?;
                         }
                     }
                 }
@@ -668,8 +898,9 @@ impl Fabric {
     /// drain-state collapses to `active.is_empty()`.
     pub fn quiescent(&self) -> bool {
         self.active.is_empty()
+            && self.cycle >= self.bubble_horizon
             && self.feeders_pending == 0
-            && self.rows.iter().all(|r| r.done() && r.inbox.is_empty())
+            && (0..self.rows.len()).all(|r| self.rows.done(r) && self.rows.inbox[r].is_empty())
     }
 
     /// Runs until quiescent, returning the run report.
@@ -679,7 +910,9 @@ impl Fabric {
     /// Propagates protocol errors and reports a [`SimError::Deadlock`] if the
     /// watchdog budget is exhausted before the fabric drains.
     pub fn run(&mut self) -> Result<RunReport, SimError> {
-        let work: u64 = self.rows.iter().map(|r| r.meta_left() as u64).sum::<u64>()
+        let work: u64 = (0..self.rows.len())
+            .map(|r| self.rows.meta_left(r) as u64)
+            .sum::<u64>()
             + self.feeders.iter().map(|f| f.len() as u64).sum::<u64>();
         let budget = self
             .cfg
@@ -693,12 +926,9 @@ impl Fabric {
                 break Ok(());
             }
             if self.cycle - start > budget {
-                let waiting: Vec<String> = self
-                    .rows
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, r)| !r.done())
-                    .map(|(i, r)| format!("row {i} ({} meta left)", r.meta_left()))
+                let waiting: Vec<String> = (0..self.rows.len())
+                    .filter(|&r| !self.rows.done(r))
+                    .map(|r| format!("row {r} ({} meta left)", self.rows.meta_left(r)))
                     .collect();
                 break Err(SimError::Deadlock {
                     cycle: self.cycle,
@@ -717,6 +947,11 @@ impl Fabric {
         // watchdog/protocol abort still attributes the wall time spent.
         self.wall_ns += wall_start.elapsed().as_nanos() as u64;
         result?;
+        // The run drained: give back the edge sinks' growth overshoot (they
+        // are empty — step 5 drains them the cycle they are pushed), so a
+        // finished cell's fabric holds only high-water footprints while its
+        // collectors are post-processed ([`Link::reset`]).
+        self.grid.reset_links();
         Ok(self.report())
     }
 
@@ -735,13 +970,43 @@ impl Fabric {
             stats.spad_writes += pe.spad.write_count();
         }
         stats.noc_hops = self.grid.total_pushes();
-        for row in &self.rows {
-            stats.orch_steps += row.orch_steps;
-            stats.orch_transitions += row.transitions;
-            stats.orch_messages += row.messages_sent;
-            stats.stall_cycles += row.stalls;
-            stats.meta_tokens += row.meta_consumed;
+        // Planned fast-path issues are batch-accounted at issue time (the
+        // per-PE counters cover only generic-path executions).
+        let batch = self.pes.batch_counters();
+        stats.instrs_executed += batch.instrs;
+        stats.compute_instrs += batch.compute_instrs;
+        stats.mac_instrs += batch.mac_instrs;
+        let (bdr, bdw, bsr, bsw) = self.pes.batch_mem_counts();
+        stats.dmem_reads += bdr;
+        stats.dmem_writes += bdw;
+        stats.spad_reads += bsr;
+        stats.spad_writes += bsw;
+        for r in 0..self.rows.len() {
+            stats.orch_steps += self.rows.orch_steps[r];
+            stats.orch_transitions += self.rows.transitions[r];
+            stats.orch_messages += self.rows.messages_sent[r];
+            stats.stall_cycles += self.rows.stalls[r];
+            stats.meta_tokens += self.rows.meta_consumed[r];
+            // Skipped polls, including a still-parked tail (reports taken
+            // after a watchdog/protocol abort): each skipped poll is one
+            // orchestrator step (+ stall) the polling engine would have
+            // performed, plus one bubble traversing the row's `cols` PEs.
+            let mut skipped = self.rows.polls_skipped[r];
+            if self.rows.parked_at[r] != NEVER {
+                let pending = self.cycle.saturating_sub(self.rows.parked_at[r] + 1);
+                stats.orch_steps += pending;
+                if self.rows.parked_stalled[r] {
+                    stats.stall_cycles += pending;
+                }
+                skipped += pending;
+            }
+            stats.orch_polls_skipped += skipped;
+            stats.instrs_executed += skipped * self.cfg.cols as u64;
         }
+        // Elided bubbles: each would have latched into every column of its
+        // row (`cols` pipeline NOPs counted by the marching simulator).
+        stats.instrs_executed += self.elided_bubbles * self.cfg.cols as u64;
+        stats.wake_events = self.wake_events;
         stats.offchip_read_bytes = self.extra_offchip_read;
         stats.offchip_write_bytes = self.extra_offchip_write;
         stats.active_pe_cycles = self.active_pe_cycles;
@@ -915,13 +1180,17 @@ mod tests {
             }),
         );
         let r = f.run().unwrap();
-        // 4 NOPs each traverse 3 PEs.
+        // 4 NOPs each latch into 3 PEs — counted despite never marching
+        // (bubble elision credits them at report time).
         assert_eq!(r.stats.instrs_executed, 12);
         assert_eq!(r.stats.compute_instrs, 0);
         assert_eq!(r.stats.orch_steps, 4);
-        // The sweep only ever visited live PEs: each of the 3 PEs holds the
-        // pipelined 4-instruction burst for 6 consecutive cycles.
-        assert_eq!(r.stats.active_pe_cycles, 18);
+        // Bubbles are elided at issue, so the sweep never visits a PE: the
+        // marching simulator would have spent 18 PE-cycles on them. The
+        // cycle count still covers the full drain (last bubble issued at
+        // cycle 3 + 3 columns × 3 stages).
+        assert_eq!(r.stats.active_pe_cycles, 0);
+        assert_eq!(r.cycles, 3 + 9);
     }
 
     #[test]

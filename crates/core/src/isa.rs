@@ -148,7 +148,14 @@ impl std::fmt::Display for Direction {
 /// Unified address space (§3.1): "the scratchpad, data memory, router, and
 /// SIMD registers share a unified address space. The specific memory accessed
 /// or NoC switching action is inferred from the address."
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+///
+/// `PartialEq` is hand-written (semantically identical to the derive, so
+/// the derived `Hash` stays consistent with it) with a forced-inline hint:
+/// address comparison sits on the store-to-load forwarding scan and the
+/// commit write-back dispatch, where an out-of-line call per comparison is
+/// measurable.
+#[allow(clippy::derived_hash_with_manual_eq)]
+#[derive(Debug, Clone, Copy, Eq, Hash, Default)]
 pub enum Addr {
     /// No operand / discard result. Reads as the zero vector.
     #[default]
@@ -165,6 +172,20 @@ pub enum Addr {
     /// The instruction's immediate ([`Instruction::imm`]) — the west-edge
     /// streamed operand. Write-invalid.
     Imm,
+}
+
+impl PartialEq for Addr {
+    #[inline(always)]
+    fn eq(&self, other: &Addr) -> bool {
+        match (self, other) {
+            (Addr::Null, Addr::Null) | (Addr::Imm, Addr::Imm) => true,
+            (Addr::DataMem(a), Addr::DataMem(b)) => a == b,
+            (Addr::Spad(a), Addr::Spad(b)) => a == b,
+            (Addr::Reg(a), Addr::Reg(b)) => a == b,
+            (Addr::Port(a), Addr::Port(b)) => a == b,
+            _ => false,
+        }
+    }
 }
 
 impl std::fmt::Display for Addr {
@@ -364,6 +385,7 @@ impl Instruction {
     /// read from and write to the same NoC direction (including its route).
     ///
     /// Returns the offending direction on violation.
+    #[inline]
     pub fn noc_conflict(&self) -> Option<Direction> {
         // Port-free fast path: most compute instructions (dmem/spad/register
         // operands) touch no router direction at all.
@@ -420,6 +442,217 @@ impl Instruction {
             }
         }
         None
+    }
+}
+
+/// A 4-byte reference to an instruction interned in an [`InstrRing`].
+///
+/// The staggered instruction network re-delivers the *same* issued
+/// instruction to every column of a row (§2.1), so the record is stored
+/// once at issue and everything downstream — the injection queue, the
+/// pipeline-stage slots, eastward forwarding at COMMIT — moves this handle
+/// instead of the ~44-byte [`Instruction`].
+///
+/// The handle is the ring's monotone intern counter; the slot index is the
+/// counter masked by the ring size. Under `debug_assertions` every slot
+/// remembers the counter that last wrote it, and resolving a handle whose
+/// slot has since been reused panics (a stale handle means the ring was
+/// undersized or an instruction outlived its architectural window). Release
+/// builds carry no tag storage and no check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InstrHandle(u32);
+
+/// The execution plan of an interned instruction, decoded **once at
+/// issue**. Every column of a row re-executes the same issue (the
+/// time-lapsed SIMD stagger), so per-issue decode work — operand-kind
+/// dispatch, route/flush classification, §3.1 validation implied by shape —
+/// is hoisted out of the per-PE LOAD/COMMIT into [`InstrRing::intern`].
+///
+/// The fast-path variants carry everything their LOAD and COMMIT need
+/// inline (local addresses, the broadcast immediate), so executing them
+/// reads one plan record and never touches the full [`Instruction`]; the
+/// paper's kernel FSMs issue them for the overwhelming majority of compute
+/// cycles (the MAC streams of SpMM, GEMM/N:M, and SDDMM). Everything else
+/// — port reads, flushes, routes, rare opcodes — takes [`Plan::Generic`],
+/// the original fully-general path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Plan {
+    /// `MacS Imm, DataMem(a) → Spad(b)` with no route (SpMM's MAC).
+    MacSToSpad {
+        /// Data-memory word of the stationary operand.
+        a: u16,
+        /// Scratchpad accumulator slot.
+        b: u16,
+        /// Broadcast scalar (lane 0 by convention, pre-splatted).
+        imm: Vector,
+    },
+    /// `MacS Imm, DataMem(a) → Reg(r)` with no route (GEMM / N:M MAC).
+    MacSToReg {
+        /// Data-memory word of the stationary operand.
+        a: u16,
+        /// Accumulator register.
+        r: u8,
+        /// Broadcast scalar, pre-splatted.
+        imm: Vector,
+    },
+    /// `MacV Spad(a), DataMem(b) → Reg(r)` with no route (SDDMM's MAC).
+    MacVToReg {
+        /// Scratchpad slot of the buffered streamed operand.
+        a: u16,
+        /// Data-memory word of the stationary operand.
+        b: u16,
+        /// Accumulator register.
+        r: u8,
+    },
+    /// Any other shape: execute from the full instruction record.
+    Generic,
+}
+
+impl Plan {
+    /// Decodes one instruction into its execution plan.
+    pub fn classify(i: &Instruction) -> Plan {
+        if i.route.is_some() {
+            return Plan::Generic;
+        }
+        match (i.op, i.op1, i.op2, i.res) {
+            (Opcode::MacS, Addr::Imm, Addr::DataMem(a), Addr::Spad(b)) => Plan::MacSToSpad {
+                a,
+                b,
+                imm: i.imm.unwrap_or(Vector::ZERO),
+            },
+            (Opcode::MacS, Addr::Imm, Addr::DataMem(a), Addr::Reg(r))
+                if (r as usize) < NUM_REGS =>
+            {
+                Plan::MacSToReg {
+                    a,
+                    r,
+                    imm: i.imm.unwrap_or(Vector::ZERO),
+                }
+            }
+            (Opcode::MacV, Addr::Spad(a), Addr::DataMem(b), Addr::Reg(r))
+                if (r as usize) < NUM_REGS =>
+            {
+                Plan::MacVToReg { a, b, r }
+            }
+            _ => Plan::Generic,
+        }
+    }
+}
+
+use crate::pe::NUM_REGS;
+
+/// A power-of-two ring of issued instruction records (see [`InstrHandle`]).
+///
+/// Capacity must exceed the maximum number of simultaneously live issues.
+/// For the dynamic fabric that bound is `rows × (3·cols + 2)`: each row
+/// interns at most one record per cycle and a record's last reader is the
+/// COMMIT of the last column, `3·cols − 1` cycles after issue, so the ring
+/// wraps strictly slower than records retire.
+#[derive(Debug)]
+pub struct InstrRing {
+    buf: Box<[Instruction]>,
+    plans: Box<[Plan]>,
+    mask: u32,
+    next: u32,
+    #[cfg(debug_assertions)]
+    tags: Box<[u32]>,
+}
+
+impl InstrRing {
+    /// A ring able to keep at least `min_live` records live at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_live` rounds above `u32::MAX / 2` slots.
+    pub fn with_capacity(min_live: usize) -> InstrRing {
+        let size = min_live.next_power_of_two().max(1);
+        assert!(
+            size <= (u32::MAX / 2) as usize,
+            "instruction ring too large"
+        );
+        InstrRing {
+            buf: vec![Instruction::NOP; size].into_boxed_slice(),
+            plans: vec![Plan::Generic; size].into_boxed_slice(),
+            mask: (size - 1) as u32,
+            next: 0,
+            // Tags start poisoned (`u32::MAX` can never equal a handle until
+            // 2³² interns) so resolving a never-interned slot panics too.
+            #[cfg(debug_assertions)]
+            tags: vec![u32::MAX; size].into_boxed_slice(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Interns one issued instruction, returning its handle. The slot being
+    /// reused must no longer be referenced (guaranteed by sizing the ring to
+    /// the issue-to-retire window; checked by [`InstrRing::get`] in debug).
+    #[inline]
+    pub fn intern(&mut self, instr: Instruction) -> InstrHandle {
+        // Decode once per issue: every column's LOAD/COMMIT of this issue
+        // dispatches on the plan instead of re-inspecting the record.
+        let plan = Plan::classify(&instr);
+        self.intern_planned(instr, plan)
+    }
+
+    /// [`InstrRing::intern`] with a pre-computed plan (callers that already
+    /// classified the instruction, e.g. the fabric's issue path).
+    #[inline]
+    pub fn intern_planned(&mut self, instr: Instruction, plan: Plan) -> InstrHandle {
+        debug_assert_eq!(
+            plan,
+            Plan::classify(&instr),
+            "plan does not match instruction"
+        );
+        let h = self.next;
+        let slot = (h & self.mask) as usize;
+        self.buf[slot] = instr;
+        self.plans[slot] = plan;
+        #[cfg(debug_assertions)]
+        {
+            self.tags[slot] = h;
+        }
+        self.next = self.next.wrapping_add(1);
+        InstrHandle(h)
+    }
+
+    /// The generation-tag staleness check (compiled out in release — both
+    /// resolvers share this one definition).
+    #[cfg(debug_assertions)]
+    #[inline(always)]
+    fn check_tag(&self, h: InstrHandle) {
+        assert_eq!(
+            self.tags[(h.0 & self.mask) as usize],
+            h.0,
+            "stale InstrHandle: ring slot {} was reused after this handle was issued",
+            h.0 & self.mask
+        );
+    }
+
+    /// Resolves a handle to its interned record.
+    ///
+    /// # Panics
+    ///
+    /// Panics under `debug_assertions` when the handle's slot has been
+    /// reused by a later [`InstrRing::intern`] (a stale handle). Release
+    /// builds perform no check — the access is a masked index.
+    #[inline(always)]
+    pub fn get(&self, h: InstrHandle) -> &Instruction {
+        #[cfg(debug_assertions)]
+        self.check_tag(h);
+        &self.buf[(h.0 & self.mask) as usize]
+    }
+
+    /// Resolves a handle to its issue-time execution plan (same staleness
+    /// rules as [`InstrRing::get`]).
+    #[inline(always)]
+    pub fn plan(&self, h: InstrHandle) -> Plan {
+        #[cfg(debug_assertions)]
+        self.check_tag(h);
+        self.plans[(h.0 & self.mask) as usize]
     }
 }
 
@@ -552,5 +785,55 @@ mod tests {
         assert_eq!(Instruction::NOP.op, Opcode::Nop);
         assert_eq!(Instruction::NOP.noc_conflict(), None);
         assert_eq!(Instruction::default().op, Opcode::Nop);
+    }
+
+    #[test]
+    fn instr_ring_roundtrips_within_capacity() {
+        let mut ring = InstrRing::with_capacity(3);
+        assert_eq!(ring.capacity(), 4);
+        let a = Instruction::new(Opcode::Mov, Addr::Imm, Addr::Null, Addr::Reg(0))
+            .with_imm(Vector::splat(1));
+        let b = Instruction::new(Opcode::Add, Addr::Reg(0), Addr::Reg(1), Addr::Reg(2));
+        let ha = ring.intern(a);
+        let hb = ring.intern(b);
+        assert_eq!(*ring.get(ha), a);
+        assert_eq!(*ring.get(hb), b);
+        // Handles may be read many times while live (every column's LOAD and
+        // COMMIT of a row resolves the same issue).
+        assert_eq!(*ring.get(ha), a);
+    }
+
+    #[test]
+    fn instr_ring_slots_are_reused_in_issue_order() {
+        let mut ring = InstrRing::with_capacity(2);
+        let mk = |t: u32| Instruction::NOP.with_tag(t);
+        let h0 = ring.intern(mk(0));
+        let _h1 = ring.intern(mk(1));
+        assert_eq!(ring.get(h0).tag, 0);
+        let h2 = ring.intern(mk(2)); // reuses h0's slot
+        assert_eq!(ring.get(h2).tag, 2);
+    }
+
+    /// The generation-tag check: resolving a handle whose slot was reused
+    /// must panic in debug builds (and is compiled out in release — the CI
+    /// debug-assertions job runs this test with `-C debug-assertions=on`).
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "stale InstrHandle")]
+    fn instr_ring_stale_handle_panics_in_debug() {
+        let mut ring = InstrRing::with_capacity(2);
+        let h0 = ring.intern(Instruction::NOP.with_tag(7));
+        ring.intern(Instruction::NOP.with_tag(8));
+        ring.intern(Instruction::NOP.with_tag(9)); // wraps onto h0's slot
+        let _ = ring.get(h0);
+    }
+
+    /// A never-interned slot is also a stale read in debug builds.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "stale InstrHandle")]
+    fn instr_ring_default_handle_is_poisoned_in_debug() {
+        let ring = InstrRing::with_capacity(4);
+        let _ = ring.get(InstrHandle::default());
     }
 }

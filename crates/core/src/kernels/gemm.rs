@@ -39,6 +39,7 @@ impl RegAccFsm {
         }
     }
 
+    #[inline]
     fn input_decision(&mut self, io: &OrchIo) -> OrchAction {
         match io.input {
             Some(MetaToken::Nnz { row, col, value }) => OrchAction {
@@ -55,6 +56,7 @@ impl RegAccFsm {
                 msg_out: None,
                 state_id: state::MAC,
                 stalled: false,
+                park: false,
             },
             Some(MetaToken::RowEnd { row }) => {
                 if io.south_credits == 0 || !io.msg_slot_free {
@@ -76,6 +78,7 @@ impl RegAccFsm {
                     }),
                     state_id: state::FLUSH,
                     stalled: false,
+                    park: false,
                 }
             }
             Some(MetaToken::End) => {
@@ -95,6 +98,7 @@ impl RegAccFsm {
 }
 
 impl OrchProgram for RegAccFsm {
+    #[inline]
     fn step(&mut self, io: &OrchIo) -> OrchAction {
         let _ = self.m_total;
         // Bypass handling stays live after the local stream finished (the

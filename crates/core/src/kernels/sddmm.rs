@@ -179,6 +179,7 @@ impl SddmmFsm {
             msg_out: None,
             state_id: state::LOAD_A,
             stalled: false,
+            park: false,
         })
     }
 
@@ -202,6 +203,7 @@ impl SddmmFsm {
                 msg_out: None,
                 state_id: state::CHAIN,
                 stalled: false,
+                park: false,
             };
         }
         let t_need = self.m_work * self.w + w_step;
@@ -219,6 +221,7 @@ impl SddmmFsm {
                 msg_out: None,
                 state_id: state::MAC,
                 stalled: false,
+                park: false,
             };
         }
         // The needed A token is not buffered yet: load it (loads are in
@@ -232,6 +235,7 @@ impl SddmmFsm {
 }
 
 impl OrchProgram for SddmmFsm {
+    #[inline]
     fn step(&mut self, io: &OrchIo) -> OrchAction {
         if self.done {
             return OrchAction::nop(state::DONE);

@@ -15,7 +15,7 @@
 //! cost is added to the reported cycle count.
 
 use crate::config::CanonConfig;
-use crate::isa::{Instruction, Vector, LANES};
+use crate::isa::{InstrHandle, InstrRing, Instruction, Vector, LANES};
 use crate::noc::{LinkGrid, TaggedVector};
 use crate::pe::PeArray;
 use crate::stats::{RunReport, Stats};
@@ -87,6 +87,17 @@ pub fn run_spatial(
         }
     }
     let mut grid = LinkGrid::new_elastic(cfg.rows, cfg.cols);
+    // Held instructions are interned once; the execution loop replays the
+    // 4-byte handles. The ring is sized to the PE count and never interns
+    // again, so no slot is ever reused (generation tags stay valid for the
+    // whole run).
+    let mut ring = InstrRing::with_capacity(cfg.pe_count().max(1));
+    let mut handles: Vec<InstrHandle> = Vec::with_capacity(cfg.pe_count());
+    for row in &program.grid {
+        for &i in row {
+            handles.push(ring.intern(i));
+        }
+    }
     let mut feeders: Vec<VecDeque<TaggedVector>> =
         north_feed.into_iter().map(VecDeque::from).collect();
     feeders.resize(cfg.cols, VecDeque::new());
@@ -111,13 +122,13 @@ pub fn run_spatial(
         // during warm-up and must match the hardware's phase ordering.
         for r in 0..cfg.rows {
             for c in 0..cfg.cols {
-                pes.commit_into(r * cfg.cols + c, &mut grid, r, c, cycle, None)?;
+                pes.commit_into(r * cfg.cols + c, &ring, &mut grid, r, c, cycle, None)?;
             }
         }
         for r in 0..cfg.rows {
             for c in 0..cfg.cols {
-                let instr = program.grid[r][c];
-                pes.load_forwarded(r * cfg.cols + c, Some(instr), &mut grid, r, c, cycle)?;
+                let idx = r * cfg.cols + c;
+                pes.load_forwarded(idx, handles[idx], &ring, &mut grid, r, c, cycle)?;
             }
         }
         pes.advance();

@@ -124,6 +124,7 @@ impl SpmmFsm {
     }
 
     /// The decision driven purely by the input stream (no message present).
+    #[inline]
     fn input_decision(&mut self, io: &OrchIo) -> OrchAction {
         match io.input {
             Some(MetaToken::Nnz { row, col, value }) => {
@@ -143,6 +144,7 @@ impl SpmmFsm {
                     msg_out: None,
                     state_id: state::MAC,
                     stalled: false,
+                    park: false,
                 }
             }
             Some(MetaToken::RowEnd { row }) => {
@@ -175,6 +177,7 @@ impl SpmmFsm {
                         }),
                         state_id: state::FLUSH,
                         stalled: false,
+                        park: false,
                     }
                 } else {
                     if allocate_next {
@@ -212,6 +215,7 @@ impl SpmmFsm {
                         }),
                         state_id: state::DRAIN,
                         stalled: false,
+                        park: false,
                     }
                 } else {
                     self.done = true;
@@ -231,6 +235,7 @@ impl SpmmFsm {
 }
 
 impl OrchProgram for SpmmFsm {
+    #[inline]
     fn step(&mut self, io: &OrchIo) -> OrchAction {
         // Message handling stays live even after the local stream finished:
         // upstream rows may still drain psums through this row (the DONE
@@ -254,6 +259,7 @@ impl OrchProgram for SpmmFsm {
                     msg_out: None,
                     state_id: state::ACC,
                     stalled: false,
+                    park: false,
                 };
             }
             // Fig 8 path 1.2: bypass — forward data north→south and relay

@@ -96,6 +96,9 @@ struct Ring {
     buf: Box<[TaggedVector]>,
     head: usize,
     len: usize,
+    /// Peak occupancy since the last [`Ring::reset`] (drives the shrink —
+    /// doubling growth can overshoot the actual peak by up to 2x).
+    high_water: usize,
 }
 
 impl Ring {
@@ -105,7 +108,20 @@ impl Ring {
             buf: vec![TaggedVector::ZERO; size].into_boxed_slice(),
             head: 0,
             len: 0,
+            high_water: 0,
         }
+    }
+
+    /// Drops queued entries and shrinks the backing storage to the
+    /// high-water mark's power of two, then rearms the mark.
+    fn reset(&mut self) {
+        self.head = 0;
+        self.len = 0;
+        let tight = self.high_water.next_power_of_two().max(1);
+        if tight < self.buf.len() {
+            self.buf = vec![TaggedVector::ZERO; tight].into_boxed_slice();
+        }
+        self.high_water = 0;
     }
 
     #[inline]
@@ -135,6 +151,9 @@ impl Ring {
         let idx = (self.head + self.len) & self.mask();
         self.buf[idx] = entry;
         self.len += 1;
+        if self.len > self.high_water {
+            self.high_water = self.len;
+        }
     }
 
     #[inline]
@@ -330,6 +349,21 @@ impl Link {
     pub fn drain_all(&mut self) -> impl Iterator<Item = TaggedVector> + '_ {
         std::iter::from_fn(move || self.try_pop())
     }
+
+    /// Drops any queued entries and returns an unbounded link's backing
+    /// storage to its high-water footprint: the doubling growth of sinks
+    /// and elastic links can overshoot the actual peak occupancy by up to
+    /// 2x, and previously the peak buffer was kept for the link's whole
+    /// lifetime. The fabric resets its edge sinks when a run drains,
+    /// lowering resident memory while a finished cell's collectors are
+    /// post-processed alongside other workers' live fabrics on large
+    /// `--jobs N` sweeps. Bounded links are left untouched — their buffer
+    /// *is* the credit-protocol bound, allocated once.
+    pub fn reset(&mut self) {
+        if self.capacity == usize::MAX {
+            self.ring.reset();
+        }
+    }
 }
 
 /// The full link fabric for a `rows`×`cols` array.
@@ -484,6 +518,17 @@ impl LinkGrid {
     pub fn pe_inputs_empty(&self, r: usize, c: usize) -> bool {
         self.vertical_ref(r, c).is_empty() && self.horizontal_ref(r, c).is_empty()
     }
+
+    /// [`Link::reset`] applied to every unbounded link (edge sinks, elastic
+    /// links): gives back growth overshoot once a run has drained.
+    pub fn reset_links(&mut self) {
+        for l in &mut self.vertical {
+            l.reset();
+        }
+        for l in &mut self.horizontal {
+            l.reset();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -567,6 +612,39 @@ mod tests {
         assert!(l.push(tv(0, 1), 0, "t").is_err());
         assert!(l.is_empty());
         assert_eq!(l.try_pop(), None);
+    }
+
+    #[test]
+    fn reset_shrinks_sinks_to_high_water_but_not_bounded_links() {
+        let mut sink = Link::sink();
+        // Peak occupancy 9 → buffer grew to 16; high-water pow2 is also 16,
+        // so grow-to-exact keeps it. Peak 5 → buffer 8 after growth from a
+        // drained state; push/drain to overshoot: grow to 16 with peak 9,
+        // drain, then reset with a *new* interval peak of 2.
+        for i in 0..9 {
+            sink.push(tv(i, 0), 0, "t").unwrap();
+        }
+        while sink.try_pop().is_some() {}
+        sink.reset(); // shrinks 16 → 16 (peak 9) and rearms the mark
+        for i in 0..2 {
+            sink.push(tv(i, 0), 0, "t").unwrap();
+        }
+        while sink.try_pop().is_some() {}
+        sink.reset(); // peak since last reset is 2 → shrink to 2
+                      // Still fully functional after shrinking.
+        for i in 0..20 {
+            sink.push(tv(i, 0), 0, "t").unwrap();
+        }
+        assert_eq!(sink.len(), 20);
+        assert_eq!(sink.drain_all().count(), 20);
+        // Bounded links keep their protocol-sized buffer and contents are
+        // untouched by the grid-wide reset only insofar as they are
+        // bounded; Link::reset on a bounded link is a no-op.
+        let mut b = Link::bounded(4);
+        b.push(tv(1, 1), 0, "t").unwrap();
+        b.reset();
+        assert_eq!(b.len(), 1, "bounded links are not reset");
+        assert_eq!(b.pop(0, "t").unwrap().tag, 1);
     }
 
     #[test]

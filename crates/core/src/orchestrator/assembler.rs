@@ -653,6 +653,54 @@ mod tests {
     }
 
     #[test]
+    fn assembled_stalls_are_parked_pure_waits() {
+        // The event-driven fabric parks rows on `OrchAction::park` and
+        // replays the action over the skipped cycles — the contract holds
+        // for assembled bitstreams too: a back-pressured LUT step must be a
+        // parked pure wait and a *fixed point* (re-stepping with the same
+        // inputs yields the same stall and leaves the datapath state
+        // untouched; the hardware hold happens before any register update).
+        let mut p = spmm_fsm_spec(1, 4).into_program().unwrap();
+        // Row end with a full window but zero credits: the flush must hold.
+        let fill = OrchIo {
+            cycle: 0,
+            input: Some(MetaToken::RowEnd { row: 0 }),
+            msg: None,
+            south_credits: 2,
+            msg_slot_free: true,
+            north_tokens: 0,
+        };
+        p.step(&fill); // window (depth 1) now full
+        let starved = OrchIo {
+            input: Some(MetaToken::RowEnd { row: 1 }),
+            south_credits: 0,
+            ..fill
+        };
+        let state_before = (p.state(), p.meta());
+        let a1 = p.step(&starved);
+        let a2 = p.step(&starved);
+        for a in [&a1, &a2] {
+            assert!(a.stalled && a.park, "stall must be a parked pure wait");
+            assert!(a.instr.is_plain_nop());
+            assert!(!a.consume_input && !a.consume_msg && a.msg_out.is_none());
+        }
+        assert_eq!(a1.state_id, a2.state_id, "stall must be a fixed point");
+        assert_eq!(
+            (p.state(), p.meta()),
+            state_before,
+            "a held step must not mutate datapath registers"
+        );
+        // Credit restored: the flush proceeds (the wait was genuine).
+        let freed = OrchIo {
+            south_credits: 1,
+            ..starved
+        };
+        let a3 = p.step(&freed);
+        assert!(!a3.stalled && !a3.park);
+        assert_eq!(a3.instr.op, crate::isa::Opcode::MovFlush);
+    }
+
+    #[test]
     fn lut_program_mac_step_matches_native_shape() {
         let program = spmm_fsm_spec(4, 8).into_program();
         let mut p = program.unwrap();

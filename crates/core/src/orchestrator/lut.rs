@@ -646,6 +646,7 @@ impl LutProgram {
             msg_out,
             state_id: mo.state_out,
             stalled: false,
+            park: false,
         })
     }
 

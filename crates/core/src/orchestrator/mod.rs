@@ -118,10 +118,31 @@ pub struct OrchAction {
     /// True when the orchestrator wanted to act but was back-pressured
     /// (credit/message-slot unavailable); counted as a stall cycle.
     pub stalled: bool,
+    /// True when this action is a **pure wait** the event-driven engine may
+    /// replay without re-stepping the program: the program asserts that
+    /// stepping it again with *unchanged* observable inputs ([`OrchIo`]:
+    /// meta head, delivered message, credits, message slot, north tokens)
+    /// would return this same action and leave it in an equivalent state.
+    ///
+    /// The fabric then removes the row from the wake set and revisits it
+    /// only when an observable input changes (a link event, a delivered
+    /// message or credit, a freed message slot); the skipped cycles are
+    /// accounted as if polled — `orch_steps`, `stall_cycles`, and the
+    /// issued bubbles stay byte-identical to the polling engine.
+    ///
+    /// A parkable action must be observably idle: a plain-NOP instruction,
+    /// no consumption, no outgoing message. [`OrchAction::stall`] sets this
+    /// flag (a back-pressured wait is the canonical pure wait);
+    /// [`OrchAction::nop`] does not, so stateful programs that ignore their
+    /// inputs (scripted tests, cycle-driven experiments) keep being polled
+    /// every cycle unless they opt in.
+    pub park: bool,
 }
 
 impl OrchAction {
-    /// A plain NOP action in the given state.
+    /// A plain NOP action in the given state. Not parkable: programs that
+    /// make progress on their own (without any observable-input change)
+    /// return this and are re-polled next cycle.
     pub fn nop(state_id: u8) -> OrchAction {
         OrchAction {
             instr: Instruction::NOP,
@@ -130,13 +151,24 @@ impl OrchAction {
             msg_out: None,
             state_id,
             stalled: false,
+            park: false,
         }
     }
 
-    /// A NOP action that records back-pressure.
+    /// A NOP action that records back-pressure. Parkable: a stalled program
+    /// is by definition waiting on an observable input (a credit return, a
+    /// freed message slot, a north token), so the event-driven engine skips
+    /// it until one changes. Stall paths must therefore be *fixed points*:
+    /// re-stepping with the same inputs yields the same stall and mutates
+    /// nothing observable (all in-tree FSMs return their stalls before any
+    /// non-idempotent state update). A program whose stall is **not** a
+    /// fixed point — e.g. one counting its own steps towards an internal
+    /// timeout — must clear `park` on the returned action to keep being
+    /// polled every cycle.
     pub fn stall(state_id: u8) -> OrchAction {
         OrchAction {
             stalled: true,
+            park: true,
             ..OrchAction::nop(state_id)
         }
     }
@@ -146,9 +178,17 @@ impl OrchAction {
 ///
 /// Implementations are per-kernel "microcode": native Rust FSMs in
 /// [`crate::kernels`], or assembled LUT bitstreams via [`lut::LutProgram`].
+///
+/// Decisions must be functions of the *observable inputs* ([`OrchIo`]) and
+/// the program's own state — `io.cycle` is diagnostic only. Programs whose
+/// decisions depend on wall-cycle count would still run correctly under the
+/// event-driven fabric (they are polled every cycle unless they return a
+/// parked action, see [`OrchAction::park`]), but must never set `park`.
 pub trait OrchProgram {
     /// Computes this cycle's action from the observable inputs. Called once
-    /// per cycle until [`OrchProgram::done`] returns true.
+    /// per cycle until [`OrchProgram::done`] returns true — except on
+    /// cycles skipped after a parked action ([`OrchAction::park`]), which
+    /// the fabric replays without a call.
     fn step(&mut self, io: &OrchIo) -> OrchAction;
 
     /// True once the orchestrator has finished its stream and drained all
@@ -206,6 +246,7 @@ impl RowProgram {
 }
 
 impl OrchProgram for RowProgram {
+    #[inline]
     fn step(&mut self, io: &OrchIo) -> OrchAction {
         match self {
             RowProgram::Idle(p) => p.step(io),

@@ -30,7 +30,7 @@
 //! it earlier — so the simulator computes it eagerly during LOAD and runs no
 //! per-PE EXECUTE sweep at all.
 
-use crate::isa::{Addr, Direction, Instruction, Opcode, Vector};
+use crate::isa::{Addr, Direction, InstrHandle, InstrRing, Instruction, Opcode, Plan, Vector};
 use crate::noc::{ErrCtx, LinkGrid, TaggedVector};
 use crate::SimError;
 
@@ -105,10 +105,15 @@ struct MemCounts {
     spad_writes: u64,
 }
 
-/// Shared view of one PE memory (a slice of the [`PeArray`] slab).
+/// Shared view of one PE memory (a strided view of the [`PeArray`] slab:
+/// word `a` of PE `idx` lives at `slab[a · stride + idx]`, see the
+/// address-major layout notes on [`PeArray`]).
 #[derive(Debug)]
 pub struct MemRef<'a> {
-    words: &'a [Vector],
+    slab: &'a [Vector],
+    stride: usize,
+    offset: usize,
+    len: usize,
     reads: u64,
     writes: u64,
 }
@@ -116,12 +121,22 @@ pub struct MemRef<'a> {
 impl MemRef<'_> {
     /// Capacity in words.
     pub fn len(&self) -> usize {
-        self.words.len()
+        self.len
     }
 
     /// True when the memory has zero capacity.
     pub fn is_empty(&self) -> bool {
-        self.words.is_empty()
+        self.len == 0
+    }
+
+    /// Reads word `addr` without counting the access (tests / debugging).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `addr` is out of range.
+    pub fn word(&self, addr: usize) -> Vector {
+        assert!(addr < self.len, "word {addr} of {}", self.len);
+        self.slab[addr * self.stride + self.offset]
     }
 
     /// Number of counted reads.
@@ -135,10 +150,14 @@ impl MemRef<'_> {
     }
 }
 
-/// Mutable view of one PE memory (a slice of the [`PeArray`] slab).
+/// Mutable view of one PE memory (a strided view of the [`PeArray`] slab —
+/// see [`MemRef`]).
 #[derive(Debug)]
 pub struct MemMut<'a> {
-    words: &'a mut [Vector],
+    slab: &'a mut [Vector],
+    stride: usize,
+    offset: usize,
+    len: usize,
     reads: &'a mut u64,
     writes: &'a mut u64,
     what: &'static str,
@@ -147,12 +166,12 @@ pub struct MemMut<'a> {
 impl MemMut<'_> {
     /// Capacity in words.
     pub fn len(&self) -> usize {
-        self.words.len()
+        self.len
     }
 
     /// True when the memory has zero capacity.
     pub fn is_empty(&self) -> bool {
-        self.words.is_empty()
+        self.len == 0
     }
 
     /// Reads a word, counting the access.
@@ -161,12 +180,11 @@ impl MemMut<'_> {
     ///
     /// Returns [`SimError::AddressOutOfRange`] for addresses past the end.
     pub fn read(&mut self, addr: usize) -> Result<Vector, SimError> {
-        match self.words.get(addr) {
-            Some(&v) => {
-                *self.reads += 1;
-                Ok(v)
-            }
-            None => Err(mem_oob(self.what, "read", addr, self.words.len())),
+        if addr < self.len {
+            *self.reads += 1;
+            Ok(self.slab[addr * self.stride + self.offset])
+        } else {
+            Err(mem_oob(self.what, "read", addr, self.len))
         }
     }
 
@@ -176,14 +194,12 @@ impl MemMut<'_> {
     ///
     /// Returns [`SimError::AddressOutOfRange`] for addresses past the end.
     pub fn write(&mut self, addr: usize, v: Vector) -> Result<(), SimError> {
-        let len = self.words.len();
-        match self.words.get_mut(addr) {
-            Some(slot) => {
-                *slot = v;
-                *self.writes += 1;
-                Ok(())
-            }
-            None => Err(mem_oob(self.what, "write", addr, len)),
+        if addr < self.len {
+            self.slab[addr * self.stride + self.offset] = v;
+            *self.writes += 1;
+            Ok(())
+        } else {
+            Err(mem_oob(self.what, "write", addr, self.len))
         }
     }
 
@@ -196,12 +212,14 @@ impl MemMut<'_> {
     /// Panics if `base + data.len()` exceeds the capacity.
     pub fn preload(&mut self, base: usize, data: &[Vector]) {
         assert!(
-            base + data.len() <= self.words.len(),
+            base + data.len() <= self.len,
             "preload of {} words at {base} exceeds capacity {}",
             data.len(),
-            self.words.len()
+            self.len
         );
-        self.words[base..base + data.len()].copy_from_slice(data);
+        for (i, &w) in data.iter().enumerate() {
+            self.slab[(base + i) * self.stride + self.offset] = w;
+        }
     }
 
     /// Number of counted reads.
@@ -222,43 +240,48 @@ fn mem_oob(what: &str, op: &str, addr: usize, len: usize) -> SimError {
     }
 }
 
-/// Bounds-checked, counted read of word `a` of PE `idx`'s region in a flat
-/// memory slab (`stride` words per PE) — the one definition of "checked
-/// counted slab access" behind every hot-path memory accessor.
+/// Bounds-checked, counted read of word `a` of PE `idx` in an
+/// address-major slab (`words` words per PE, `n` PEs: word `a` of PE `idx`
+/// at `slab[a * n + idx]`) — the one definition of "checked counted slab
+/// access" behind every hot-path memory accessor.
+#[allow(clippy::too_many_arguments)]
 #[inline]
 fn slab_read(
     slab: &[Vector],
-    stride: usize,
+    words: usize,
+    n: usize,
     idx: usize,
     a: usize,
     count: &mut u64,
     what: &'static str,
 ) -> Result<Vector, SimError> {
-    if a < stride {
+    if a < words {
         *count += 1;
-        Ok(slab[idx * stride + a])
+        Ok(slab[a * n + idx])
     } else {
-        Err(mem_oob(what, "read", a, stride))
+        Err(mem_oob(what, "read", a, words))
     }
 }
 
 /// Bounds-checked, counted write — see [`slab_read`].
+#[allow(clippy::too_many_arguments)]
 #[inline]
 fn slab_write(
     slab: &mut [Vector],
-    stride: usize,
+    words: usize,
+    n: usize,
     idx: usize,
     a: usize,
     v: Vector,
     count: &mut u64,
     what: &'static str,
 ) -> Result<(), SimError> {
-    if a < stride {
+    if a < words {
         *count += 1;
-        slab[idx * stride + a] = v;
+        slab[a * n + idx] = v;
         Ok(())
     } else {
-        Err(mem_oob(what, "write", a, stride))
+        Err(mem_oob(what, "write", a, words))
     }
 }
 
@@ -304,32 +327,52 @@ pub struct PeMut<'a> {
 /// operation on the simulator's hottest path.
 #[derive(Debug)]
 pub struct PeArray {
-    /// Data-memory words of *all* PEs, one flat slab: PE `i` owns
-    /// `dmem[i * dmem_words .. (i + 1) * dmem_words]`. One allocation, no
-    /// per-PE pointer chase on the operand path.
+    /// Data-memory words of *all* PEs, one flat slab in **address-major**
+    /// layout: word `a` of PE `i` lives at `dmem[a * n + i]`. The paper's
+    /// uniform-addressing invariant (every PE of a row reads the *same*
+    /// local address for one issue, staggered over consecutive cycles)
+    /// makes the per-cycle working set a handful of `n`-wide rows of this
+    /// slab — contiguous here, but strided 16 KB apart in a PE-major
+    /// layout, where a default-config fabric touches one TLB page per PE.
     dmem: Vec<Vector>,
     dmem_words: usize,
     /// Scratchpad entries of all PEs (the accumulator banks), same layout.
     spad: Vec<Vector>,
     spad_entries: usize,
+    /// Number of PEs (the slab stride).
+    n: usize,
     mem_counts: Vec<MemCounts>,
     regs: Vec<[Vector; NUM_REGS]>,
     /// Pipeline-stage slots, struct-of-arrays at field granularity:
     /// `xxx[s][i]` is field `xxx` of stage slot `s` of PE `i`. Slot roles
     /// rotate via `load_idx` (LOAD at `load_idx`, EXECUTE at `load_idx + 1`,
     /// COMMIT at `load_idx + 2`, mod 3). Splitting by field means each phase
-    /// moves only the bytes it actually produces or consumes: LOAD writes
-    /// the instruction and its (eagerly computed) lane result, COMMIT reads
-    /// them back (+ routed payload when a route is present) — and a
-    /// `PlainNop` bubble moves only its one state byte.
+    /// moves only the bytes it actually produces or consumes: LOAD writes a
+    /// 4-byte [`InstrHandle`] into the issued-instruction ring plus the
+    /// (eagerly computed) lane result, COMMIT resolves the handle back
+    /// through the shared [`InstrRing`] (+ routed payload when a route is
+    /// present) — and a `PlainNop` bubble moves only its one state byte.
     state: [Vec<Slot>; 3],
-    instrs: [Vec<Instruction>; 3],
+    handles: [Vec<InstrHandle>; 3],
     results: [Vec<Vector>; 3],
+    /// Store-to-load forwarding cache: the result address of each `Full`
+    /// slot's instruction, and the source a flush opcode will clear
+    /// ([`Addr::Null`] otherwise). Written once at LOAD so the per-operand
+    /// forwarding scan compares two 4-byte addresses per slot instead of
+    /// resolving the instruction ring.
+    res_addr: [Vec<Addr>; 3],
+    flush_addr: [Vec<Addr>; 3],
     /// Pass-through payload popped at LOAD, pushed at COMMIT. Only valid
     /// (and only touched) when the slot's instruction carries a route.
     routed: [Vec<TaggedVector>; 3],
     load_idx: usize,
     counters: Vec<PeCounters>,
+    /// Activity of issues executed through the fabric's *planned* (counts
+    /// hoisted to issue time) path — see [`PeArray::validate_and_account`].
+    /// [`crate::fabric::Fabric::report`] folds these into the totals; the
+    /// per-PE counters cover only the generic/direct paths.
+    batch_pe: PeCounters,
+    batch_mem: MemCounts,
 }
 
 impl PeArray {
@@ -340,14 +383,19 @@ impl PeArray {
             dmem_words,
             spad: vec![Vector::ZERO; n * spad_entries],
             spad_entries,
+            n,
             mem_counts: vec![MemCounts::default(); n],
             regs: vec![[Vector::ZERO; NUM_REGS]; n],
             state: std::array::from_fn(|_| vec![Slot::Empty; n]),
-            instrs: std::array::from_fn(|_| vec![Instruction::NOP; n]),
+            handles: std::array::from_fn(|_| vec![InstrHandle::default(); n]),
             results: std::array::from_fn(|_| vec![Vector::ZERO; n]),
+            res_addr: std::array::from_fn(|_| vec![Addr::Null; n]),
+            flush_addr: std::array::from_fn(|_| vec![Addr::Null; n]),
             routed: std::array::from_fn(|_| vec![TaggedVector::ZERO; n]),
             load_idx: 0,
             counters: vec![PeCounters::default(); n],
+            batch_pe: PeCounters::default(),
+            batch_mem: MemCounts::default(),
         }
     }
 
@@ -374,12 +422,18 @@ impl PeArray {
         let mc = self.mem_counts[idx];
         PeRef {
             dmem: MemRef {
-                words: &self.dmem[idx * self.dmem_words..(idx + 1) * self.dmem_words],
+                slab: &self.dmem,
+                stride: self.n,
+                offset: idx,
+                len: self.dmem_words,
                 reads: mc.dmem_reads,
                 writes: mc.dmem_writes,
             },
             spad: MemRef {
-                words: &self.spad[idx * self.spad_entries..(idx + 1) * self.spad_entries],
+                slab: &self.spad,
+                stride: self.n,
+                offset: idx,
+                len: self.spad_entries,
                 reads: mc.spad_reads,
                 writes: mc.spad_writes,
             },
@@ -393,13 +447,19 @@ impl PeArray {
         let mc = &mut self.mem_counts[idx];
         PeMut {
             dmem: MemMut {
-                words: &mut self.dmem[idx * self.dmem_words..(idx + 1) * self.dmem_words],
+                slab: &mut self.dmem,
+                stride: self.n,
+                offset: idx,
+                len: self.dmem_words,
                 reads: &mut mc.dmem_reads,
                 writes: &mut mc.dmem_writes,
                 what: "dmem",
             },
             spad: MemMut {
-                words: &mut self.spad[idx * self.spad_entries..(idx + 1) * self.spad_entries],
+                slab: &mut self.spad,
+                stride: self.n,
+                offset: idx,
+                len: self.spad_entries,
                 reads: &mut mc.spad_reads,
                 writes: &mut mc.spad_writes,
                 what: "spad",
@@ -414,6 +474,7 @@ impl PeArray {
         slab_read(
             &self.dmem,
             self.dmem_words,
+            self.n,
             idx,
             a,
             &mut mc.dmem_reads,
@@ -428,6 +489,7 @@ impl PeArray {
         slab_write(
             &mut self.dmem,
             self.dmem_words,
+            self.n,
             idx,
             a,
             v,
@@ -443,6 +505,7 @@ impl PeArray {
         slab_read(
             &self.spad,
             self.spad_entries,
+            self.n,
             idx,
             a,
             &mut mc.spad_reads,
@@ -457,6 +520,7 @@ impl PeArray {
         slab_write(
             &mut self.spad,
             self.spad_entries,
+            self.n,
             idx,
             a,
             v,
@@ -493,16 +557,17 @@ impl PeArray {
         // Younger first: the EXECUTE-stage instruction is the most recent
         // writer still in flight. `PlainNop` slots have a null result
         // address and no flush semantics, so only `Full` slots can forward.
+        // The scan touches only the cached 4-byte address fields — never
+        // the instruction ring.
         for s in [self.exec_idx(), self.commit_idx()] {
             if self.state[s][idx] != Slot::Full {
                 continue;
             }
-            let instr = &self.instrs[s][idx];
-            if instr.res == addr {
+            if self.res_addr[s][idx] == addr {
                 return Some(self.results[s][idx]);
             }
             // Flush opcodes clear their op1 source at COMMIT.
-            if matches!(instr.op, Opcode::MovFlush | Opcode::AddFlush) && instr.op1 == addr {
+            if self.flush_addr[s][idx] == addr {
                 return Some(Vector::ZERO);
             }
         }
@@ -565,6 +630,7 @@ impl PeArray {
         }
     }
 
+    #[inline]
     fn pop_port(
         d: Direction,
         grid: &mut LinkGrid,
@@ -607,8 +673,9 @@ impl PeArray {
         }
     }
 
-    /// LOAD stage of PE `idx`: accepts `incoming` (if any) and resolves its
-    /// operands, popping NoC ports as needed.
+    /// LOAD stage of PE `idx`: accepts the instruction interned at `h` and
+    /// resolves its operands, popping NoC ports as needed. The pipeline slot
+    /// stores only the 4-byte handle; the record stays in `ring`.
     ///
     /// # Errors
     ///
@@ -619,13 +686,48 @@ impl PeArray {
     pub fn load(
         &mut self,
         idx: usize,
-        incoming: Option<Instruction>,
+        h: InstrHandle,
+        ring: &InstrRing,
         grid: &mut LinkGrid,
         r: usize,
         c: usize,
         cycle: u64,
     ) -> Result<(), SimError> {
-        self.load_inner(idx, incoming, grid, r, c, cycle, true)
+        self.load_inner::<true>(idx, h, ring, grid, r, c, cycle, true)
+    }
+
+    /// [`PeArray::load`] for the fabric's issue path: fast-plan bounds and
+    /// activity counts were hoisted to issue time
+    /// ([`PeArray::validate_and_account`]), so the per-column execution
+    /// performs neither. Generic plans behave exactly like [`PeArray::load`].
+    #[inline]
+    pub fn load_planned(
+        &mut self,
+        idx: usize,
+        h: InstrHandle,
+        ring: &InstrRing,
+        grid: &mut LinkGrid,
+        r: usize,
+        c: usize,
+        cycle: u64,
+    ) -> Result<(), SimError> {
+        self.load_inner::<false>(idx, h, ring, grid, r, c, cycle, true)
+    }
+
+    /// [`PeArray::load_forwarded`] for the fabric's issue path — see
+    /// [`PeArray::load_planned`].
+    #[inline]
+    pub fn load_planned_forwarded(
+        &mut self,
+        idx: usize,
+        h: InstrHandle,
+        ring: &InstrRing,
+        grid: &mut LinkGrid,
+        r: usize,
+        c: usize,
+        cycle: u64,
+    ) -> Result<(), SimError> {
+        self.load_inner::<false>(idx, h, ring, grid, r, c, cycle, false)
     }
 
     /// LOAD of a bubble (see [`Instruction::is_plain_nop`]) into PE `idx`:
@@ -650,21 +752,50 @@ impl PeArray {
     pub fn load_forwarded(
         &mut self,
         idx: usize,
-        incoming: Option<Instruction>,
+        h: InstrHandle,
+        ring: &InstrRing,
         grid: &mut LinkGrid,
         r: usize,
         c: usize,
         cycle: u64,
     ) -> Result<(), SimError> {
-        self.load_inner(idx, incoming, grid, r, c, cycle, false)
+        self.load_inner::<true>(idx, h, ring, grid, r, c, cycle, false)
+    }
+
+    /// Counts one MAC-family instruction entering PE `idx`'s pipeline.
+    #[inline(always)]
+    fn count_mac(&mut self, idx: usize) {
+        let c = &mut self.counters[idx];
+        c.instrs += 1;
+        c.compute_instrs += 1;
+        c.mac_instrs += 1;
+    }
+
+    /// Fills PE `idx`'s LOAD slot (eager lane result included).
+    #[inline(always)]
+    fn fill_load_slot(
+        &mut self,
+        idx: usize,
+        h: InstrHandle,
+        result: Vector,
+        res: Addr,
+        flush: Addr,
+    ) {
+        let s = self.load_idx;
+        self.state[s][idx] = Slot::Full;
+        self.results[s][idx] = result;
+        self.handles[s][idx] = h;
+        self.res_addr[s][idx] = res;
+        self.flush_addr[s][idx] = flush;
     }
 
     #[allow(clippy::too_many_arguments)]
     #[inline(always)]
-    fn load_inner(
+    fn load_inner<const COUNTED: bool>(
         &mut self,
         idx: usize,
-        incoming: Option<Instruction>,
+        h: InstrHandle,
+        ring: &InstrRing,
         grid: &mut LinkGrid,
         r: usize,
         c: usize,
@@ -675,16 +806,161 @@ impl PeArray {
             self.state[self.load_idx][idx] == Slot::Empty,
             "LOAD slot occupied at shift time"
         );
-        let Some(instr) = incoming else {
-            return Ok(());
-        };
+        // Dispatch on the issue-time plan: the fast paths below are
+        // behaviourally identical to the generic path specialised to their
+        // shape (same operand/forwarding/count order, same error cases) and
+        // never touch the NoC, the route slot, or the full record. In the
+        // uncounted (fabric-planned) flavour, bounds and counts were hoisted
+        // to issue time, so fast-plan slab accesses index directly.
+        let fw = self.state[self.exec_idx()][idx] == Slot::Full
+            || self.state[self.commit_idx()][idx] == Slot::Full;
+        match ring.plan(h) {
+            Plan::MacSToSpad { a, b, imm } => {
+                let (mut op2, mut res_in) = if COUNTED {
+                    self.count_mac(idx);
+                    (
+                        self.dmem_read(idx, a as usize)?,
+                        self.spad_read(idx, b as usize)?,
+                    )
+                } else {
+                    (
+                        self.dmem[a as usize * self.n + idx],
+                        self.spad[b as usize * self.n + idx],
+                    )
+                };
+                if fw {
+                    op2 = self.forwarded(idx, Addr::DataMem(a)).unwrap_or(op2);
+                    res_in = self.forwarded(idx, Addr::Spad(b)).unwrap_or(res_in);
+                }
+                let result = res_in.mac(Vector::splat(imm.lane0()), op2);
+                self.fill_load_slot(idx, h, result, Addr::Spad(b), Addr::Null);
+                Ok(())
+            }
+            Plan::MacSToReg { a, r: reg, imm } => {
+                let mut op2 = if COUNTED {
+                    self.count_mac(idx);
+                    self.dmem_read(idx, a as usize)?
+                } else {
+                    self.dmem[a as usize * self.n + idx]
+                };
+                let mut res_in = self.regs[idx][reg as usize];
+                if fw {
+                    op2 = self.forwarded(idx, Addr::DataMem(a)).unwrap_or(op2);
+                    res_in = self.forwarded(idx, Addr::Reg(reg)).unwrap_or(res_in);
+                }
+                let result = res_in.mac(Vector::splat(imm.lane0()), op2);
+                self.fill_load_slot(idx, h, result, Addr::Reg(reg), Addr::Null);
+                Ok(())
+            }
+            Plan::MacVToReg { a, b, r: reg } => {
+                let (mut op1, mut op2) = if COUNTED {
+                    self.count_mac(idx);
+                    (
+                        self.spad_read(idx, a as usize)?,
+                        self.dmem_read(idx, b as usize)?,
+                    )
+                } else {
+                    (
+                        self.spad[a as usize * self.n + idx],
+                        self.dmem[b as usize * self.n + idx],
+                    )
+                };
+                let mut res_in = self.regs[idx][reg as usize];
+                if fw {
+                    op1 = self.forwarded(idx, Addr::Spad(a)).unwrap_or(op1);
+                    op2 = self.forwarded(idx, Addr::DataMem(b)).unwrap_or(op2);
+                    res_in = self.forwarded(idx, Addr::Reg(reg)).unwrap_or(res_in);
+                }
+                let result = res_in.mac(op1, op2);
+                self.fill_load_slot(idx, h, result, Addr::Reg(reg), Addr::Null);
+                Ok(())
+            }
+            Plan::Generic => self.load_generic(idx, h, ring, grid, r, c, cycle, validate, fw),
+        }
+    }
+
+    /// Issue-time validation + batched accounting for a fast plan about to
+    /// execute on every column of a row (the fabric's planned issue path).
+    /// Bounds are checked once (in the generic path's operand order, so a
+    /// violation raises the identical error the column-0 LOAD would have
+    /// raised this same cycle), and the `cols` column executions' activity
+    /// is credited to the batch counters.
+    pub fn validate_and_account(&mut self, plan: Plan, cols: usize) -> Result<(), SimError> {
+        let cols = cols as u64;
+        match plan {
+            Plan::MacSToSpad { a, b, .. } => {
+                if a as usize >= self.dmem_words {
+                    return Err(mem_oob("dmem", "read", a as usize, self.dmem_words));
+                }
+                if b as usize >= self.spad_entries {
+                    return Err(mem_oob("spad", "read", b as usize, self.spad_entries));
+                }
+                self.batch_mem.dmem_reads += cols;
+                self.batch_mem.spad_reads += cols;
+                self.batch_mem.spad_writes += cols; // COMMIT write-back
+            }
+            Plan::MacSToReg { a, .. } => {
+                if a as usize >= self.dmem_words {
+                    return Err(mem_oob("dmem", "read", a as usize, self.dmem_words));
+                }
+                self.batch_mem.dmem_reads += cols;
+            }
+            Plan::MacVToReg { a, b, .. } => {
+                if a as usize >= self.spad_entries {
+                    return Err(mem_oob("spad", "read", a as usize, self.spad_entries));
+                }
+                if b as usize >= self.dmem_words {
+                    return Err(mem_oob("dmem", "read", b as usize, self.dmem_words));
+                }
+                self.batch_mem.spad_reads += cols;
+                self.batch_mem.dmem_reads += cols;
+            }
+            Plan::Generic => debug_assert!(false, "generic plans are not batch-accounted"),
+        }
+        self.batch_pe.instrs += cols;
+        self.batch_pe.compute_instrs += cols;
+        self.batch_pe.mac_instrs += cols;
+        Ok(())
+    }
+
+    /// Batched activity of planned fast-path issues (instruction counters).
+    pub fn batch_counters(&self) -> PeCounters {
+        self.batch_pe
+    }
+
+    /// Batched memory accesses of planned fast-path issues:
+    /// `(dmem reads, dmem writes, spad reads, spad writes)`.
+    pub fn batch_mem_counts(&self) -> (u64, u64, u64, u64) {
+        (
+            self.batch_mem.dmem_reads,
+            self.batch_mem.dmem_writes,
+            self.batch_mem.spad_reads,
+            self.batch_mem.spad_writes,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn load_generic(
+        &mut self,
+        idx: usize,
+        h: InstrHandle,
+        ring: &InstrRing,
+        grid: &mut LinkGrid,
+        r: usize,
+        c: usize,
+        cycle: u64,
+        validate: bool,
+        fw_possible: bool,
+    ) -> Result<(), SimError> {
+        let instr = ring.get(h);
         // Fast path for the canonical NOP (null operands and result, no
         // route): the sparse-band streams are NOP-heavy (row ends, stalls,
         // bubbles), and a plain NOP touches no memory, no ports, cannot
         // conflict, and cannot forward — only its state byte moves. (The
         // fabric's injection network pre-classifies bubbles at issue and
         // calls [`PeArray::load_bubble`] directly; this check serves direct
-        // callers.)
+        // callers that intern NOPs, e.g. the spatial runner's unused PEs.)
         if instr.is_plain_nop() {
             self.load_bubble(idx);
             return Ok(());
@@ -705,17 +981,15 @@ impl PeArray {
         if instr.op.is_mac() {
             self.counters[idx].mac_instrs += 1;
         }
-        // Hoisted forwarding precondition: a value can only be forwarded
-        // from a `Full` EXECUTE/COMMIT slot, so when both are bubbles or
-        // empty (common in sparse bands) every operand read skips the
-        // per-address forwarding scan.
-        let fw_possible = self.state[self.exec_idx()][idx] == Slot::Full
-            || self.state[self.commit_idx()][idx] == Slot::Full;
+        // `fw_possible` (hoisted by the caller): a value can only be
+        // forwarded from a `Full` EXECUTE/COMMIT slot, so when both are
+        // bubbles or empty (common in sparse bands) every operand read
+        // skips the per-address forwarding scan.
         let mut shared_pop = None;
         let op1 = self.read_operand(
             idx,
             instr.op1,
-            &instr,
+            instr,
             grid,
             r,
             c,
@@ -726,7 +1000,7 @@ impl PeArray {
         let op2 = self.read_operand(
             idx,
             instr.op2,
-            &instr,
+            instr,
             grid,
             r,
             c,
@@ -740,7 +1014,7 @@ impl PeArray {
                 Addr::Port(_) | Addr::Null | Addr::Imm => Vector::ZERO,
                 a => {
                     let mut none = None;
-                    self.read_operand(idx, a, &instr, grid, r, c, cycle, &mut none, fw_possible)?
+                    self.read_operand(idx, a, instr, grid, r, c, cycle, &mut none, fw_possible)?
                 }
             },
             _ => Vector::ZERO,
@@ -762,7 +1036,14 @@ impl PeArray {
         // slot for a full cycle (stage rotation is unchanged); only the
         // simulator's work moves.
         self.results[self.load_idx][idx] = Self::lane_result(instr.op, op1, op2, res_in);
-        self.instrs[self.load_idx][idx] = instr;
+        self.handles[self.load_idx][idx] = h;
+        self.res_addr[self.load_idx][idx] = instr.res;
+        self.flush_addr[self.load_idx][idx] =
+            if matches!(instr.op, Opcode::MovFlush | Opcode::AddFlush) {
+                instr.op1
+            } else {
+                Addr::Null
+            };
         Ok(())
     }
 
@@ -817,37 +1098,79 @@ impl PeArray {
     pub fn commit(
         &mut self,
         idx: usize,
+        ring: &InstrRing,
         grid: &mut LinkGrid,
         r: usize,
         c: usize,
         cycle: u64,
     ) -> Result<Option<Instruction>, SimError> {
-        let mut fwd = Instruction::NOP;
-        let eff = self.commit_into(idx, grid, r, c, cycle, Some(&mut fwd))?;
-        Ok(eff.retired.then_some(fwd))
+        let mut fwd = InstrHandle::default();
+        let eff = self.commit_into(idx, ring, grid, r, c, cycle, Some(&mut fwd))?;
+        if !eff.retired {
+            return Ok(None);
+        }
+        Ok(Some(if eff.bubble {
+            Instruction::NOP
+        } else {
+            *ring.get(fwd)
+        }))
     }
 
     /// [`PeArray::commit`] with the eastward forwarding folded in: a
-    /// retiring non-bubble instruction is written straight from the stage
-    /// array into `forward_into` (the neighbour's injection slot), avoiding
-    /// the copy-out/copy-in round trip through a returned value; a retiring
-    /// bubble only sets `bubble` in the returned effects (it *is* the
-    /// canonical NOP, so there is nothing to write). The return is a compact
-    /// effect descriptor for the caller's wake propagation.
+    /// retiring non-bubble instruction's 4-byte [`InstrHandle`] is written
+    /// into `forward_into` (the neighbour's injection slot) — the record
+    /// itself never moves, it stays interned in `ring`; a retiring bubble
+    /// only sets `bubble` in the returned effects (it *is* the canonical
+    /// NOP, so there is nothing to write). The return is a compact effect
+    /// descriptor for the caller's wake propagation.
     ///
     /// # Errors
     ///
     /// Propagates address and NoC protocol errors.
     #[allow(clippy::too_many_arguments)]
-    #[inline(always)]
+    #[inline]
     pub fn commit_into(
         &mut self,
         idx: usize,
+        ring: &InstrRing,
         grid: &mut LinkGrid,
         r: usize,
         c: usize,
         cycle: u64,
-        forward_into: Option<&mut Instruction>,
+        forward_into: Option<&mut InstrHandle>,
+    ) -> Result<CommitEffects, SimError> {
+        self.commit_into_inner::<true>(idx, ring, grid, r, c, cycle, forward_into)
+    }
+
+    /// [`PeArray::commit_into`] for the fabric's issue path: fast-plan
+    /// write-back counts were hoisted to issue time — see
+    /// [`PeArray::load_planned`]. Generic plans are unaffected.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub fn commit_into_planned(
+        &mut self,
+        idx: usize,
+        ring: &InstrRing,
+        grid: &mut LinkGrid,
+        r: usize,
+        c: usize,
+        cycle: u64,
+        forward_into: Option<&mut InstrHandle>,
+    ) -> Result<CommitEffects, SimError> {
+        self.commit_into_inner::<false>(idx, ring, grid, r, c, cycle, forward_into)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    fn commit_into_inner<const COUNTED: bool>(
+        &mut self,
+        idx: usize,
+        ring: &InstrRing,
+        grid: &mut LinkGrid,
+        r: usize,
+        c: usize,
+        cycle: u64,
+        forward_into: Option<&mut InstrHandle>,
     ) -> Result<CommitEffects, SimError> {
         let commit_idx = self.commit_idx();
         match self.state[commit_idx][idx] {
@@ -867,8 +1190,43 @@ impl PeArray {
             Slot::Full => {}
         }
         self.state[commit_idx][idx] = Slot::Empty;
-        let instr = self.instrs[commit_idx][idx];
+        let h = self.handles[commit_idx][idx];
         let result = self.results[commit_idx][idx];
+        // Plan fast paths: a MAC writes one accumulator and drives no link —
+        // no record resolve, no write-back dispatch, constant effects.
+        match ring.plan(h) {
+            Plan::MacSToSpad { b, .. } => {
+                if COUNTED {
+                    self.spad_write(idx, b as usize, result)?;
+                } else {
+                    // Bounds checked and write counted at issue time.
+                    self.spad[b as usize * self.n + idx] = result;
+                }
+                if let Some(slot) = forward_into {
+                    *slot = h;
+                }
+                return Ok(CommitEffects {
+                    retired: true,
+                    bubble: false,
+                    drives_south: false,
+                    drives_east: false,
+                });
+            }
+            Plan::MacSToReg { r: reg, .. } | Plan::MacVToReg { r: reg, .. } => {
+                self.regs[idx][reg as usize] = result;
+                if let Some(slot) = forward_into {
+                    *slot = h;
+                }
+                return Ok(CommitEffects {
+                    retired: true,
+                    bubble: false,
+                    drives_south: false,
+                    drives_east: false,
+                });
+            }
+            Plan::Generic => {}
+        }
+        let instr = ring.get(h);
         // Result write-back.
         if instr.op != Opcode::Nop {
             match instr.res {
@@ -929,7 +1287,7 @@ impl PeArray {
             Self::push_port(route.to, entry, grid, r, c, cycle)?;
         }
         if let Some(slot) = forward_into {
-            *slot = instr;
+            *slot = h;
         }
         Ok(CommitEffects {
             retired: true,
@@ -968,12 +1326,18 @@ mod tests {
         PeArray::new(1, 4, 4)
     }
 
+    fn ring() -> InstrRing {
+        InstrRing::with_capacity(16)
+    }
+
     /// Runs a single instruction through a 1×1 array's PE.
     fn run_one(pes: &mut PeArray, grid: &mut LinkGrid, i: Instruction) {
-        pes.load(0, Some(i), grid, 0, 0, 0).unwrap();
+        let mut ring = ring();
+        let h = ring.intern(i);
+        pes.load(0, h, &ring, grid, 0, 0, 0).unwrap();
         pes.advance();
         pes.advance();
-        pes.commit(0, grid, 0, 0, 2).unwrap();
+        pes.commit(0, &ring, grid, 0, 0, 2).unwrap();
     }
 
     #[test]
@@ -1010,17 +1374,19 @@ mod tests {
         pes.pe_mut(0).dmem.preload(0, &[Vector::splat(1)]);
         let mac = Instruction::new(Opcode::MacS, Addr::Imm, Addr::DataMem(0), Addr::Spad(0))
             .with_imm(Vector::splat(1));
+        let mut ring = ring();
+        let h = ring.intern(mac);
         // Pipelined: issue 3 MACs back-to-back.
-        pes.load(0, Some(mac), &mut g, 0, 0, 0).unwrap();
+        pes.load(0, h, &ring, &mut g, 0, 0, 0).unwrap();
         pes.advance();
-        pes.load(0, Some(mac), &mut g, 0, 0, 1).unwrap();
+        pes.load(0, h, &ring, &mut g, 0, 0, 1).unwrap();
         pes.advance();
-        pes.commit(0, &mut g, 0, 0, 2).unwrap();
-        pes.load(0, Some(mac), &mut g, 0, 0, 2).unwrap();
+        pes.commit(0, &ring, &mut g, 0, 0, 2).unwrap();
+        pes.load(0, h, &ring, &mut g, 0, 0, 2).unwrap();
         pes.advance();
-        pes.commit(0, &mut g, 0, 0, 3).unwrap();
+        pes.commit(0, &ring, &mut g, 0, 0, 3).unwrap();
         pes.advance();
-        pes.commit(0, &mut g, 0, 0, 4).unwrap();
+        pes.commit(0, &ring, &mut g, 0, 0, 4).unwrap();
         assert_eq!(pes.pe_mut(0).spad.read(0).unwrap(), Vector::splat(3));
     }
 
@@ -1109,8 +1475,10 @@ mod tests {
             Addr::Null,
             Addr::Reg(0),
         );
+        let mut ring = ring();
+        let h = ring.intern(i);
         assert!(matches!(
-            pes.load(0, Some(i), &mut g, 0, 0, 0),
+            pes.load(0, h, &ring, &mut g, 0, 0, 0),
             Err(SimError::Deadlock { .. })
         ));
     }
@@ -1125,8 +1493,10 @@ mod tests {
             Addr::Port(Direction::North),
             Addr::Reg(0),
         );
+        let mut ring = ring();
+        let h = ring.intern(i);
         assert!(matches!(
-            pes.load(0, Some(i), &mut g, 0, 0, 0),
+            pes.load(0, h, &ring, &mut g, 0, 0, 0),
             Err(SimError::RouterConflict { .. })
         ));
     }
@@ -1196,12 +1566,15 @@ mod tests {
             .with_imm(Vector::splat(1));
         let i1 = Instruction::new(Opcode::Mov, Addr::Imm, Addr::Null, Addr::Reg(0))
             .with_imm(Vector::splat(2));
-        pes.load(0, Some(i0), &mut g, 0, 0, 0).unwrap();
-        pes.load(1, Some(i1), &mut g, 0, 1, 0).unwrap();
+        let mut ring = ring();
+        let h0 = ring.intern(i0);
+        let h1 = ring.intern(i1);
+        pes.load(0, h0, &ring, &mut g, 0, 0, 0).unwrap();
+        pes.load(1, h1, &ring, &mut g, 0, 1, 0).unwrap();
         pes.advance();
         pes.advance();
-        pes.commit(0, &mut g, 0, 0, 2).unwrap();
-        pes.commit(1, &mut g, 0, 1, 2).unwrap();
+        pes.commit(0, &ring, &mut g, 0, 0, 2).unwrap();
+        pes.commit(1, &ring, &mut g, 0, 1, 2).unwrap();
         assert_eq!(pes.reg(0, 0), Vector::splat(1));
         assert_eq!(pes.reg(1, 0), Vector::splat(2));
         assert_eq!(pes.counters(0).instrs, 1);
