@@ -321,6 +321,29 @@ pub fn golden_spmm_fabric() -> Fabric {
     fabric
 }
 
+/// The pinned observability scenario behind `repro trace` / `repro profile`:
+/// the golden SpMM band (same stream, seed, and tile as
+/// [`golden_spmm_fabric`]) but on a depth-1 psum window with shallow link
+/// FIFOs, so the captured trace exercises credit back-pressure and the
+/// exported stall spans are non-trivial.
+pub fn golden_trace_fabric() -> Fabric {
+    let cfg = CanonConfig {
+        link_fifo_depth: 4,
+        ..CanonConfig::default()
+    };
+    let mut rng = gen::seeded_rng(7);
+    let a = gen::skewed_sparse(24, 32, 0.55, 1.5, &mut rng);
+    let b = Dense::random(32, 32, &mut rng);
+    let streams = build_row_streams(&a, cfg.rows).expect("stream split");
+    let mut fabric = Fabric::new(&cfg, false);
+    preload_b_tile(&mut fabric, &b, 32 / cfg.rows, 0).expect("tile fits");
+    for (r, stream) in streams.into_iter().enumerate() {
+        fabric.set_meta_stream(r, stream);
+        fabric.set_program(r, SpmmFsm::new(1, 24));
+    }
+    fabric
+}
+
 fn bench_steady_state(alloc: AllocSnapshot) -> SteadyState {
     // One throwaway run warms allocator pools and code paths.
     let mut warm = golden_spmm_fabric();

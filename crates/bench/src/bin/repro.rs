@@ -8,6 +8,8 @@
 //! cargo run -p canon-bench --release --bin repro -- sweep --jobs 4 --out results.jsonl
 //! cargo run -p canon-bench --release --bin repro -- sweep --geom 8x8,16x16
 //! cargo run -p canon-bench --release --bin repro -- store gc --out results.jsonl
+//! cargo run -p canon-bench --release --bin repro -- trace --out trace.json
+//! cargo run -p canon-bench --release --bin repro -- profile
 //! ```
 //!
 //! The `sweep` target (also the first step of `all`) expands the standard
@@ -20,6 +22,7 @@
 //! store, dropping records stranded by `CODE_SALT`/schema bumps.
 
 use canon_bench::{ablations, bench, figures, Scale};
+use canon_core::trace::{render_profile, write_chrome_trace, VecSink};
 use canon_sweep::engine::{run_sweep, SweepOptions};
 use canon_sweep::report::{edp_table, speedup_table};
 use canon_sweep::scenario::{standard_workloads, GridBuilder};
@@ -77,8 +80,13 @@ fn usage() -> ! {
                   ablation-async ablation-buffer-sizing ablation-lut sweep all\n\
                   store gc\n\
                   bench [--baseline FILE] [--check]   (writes BENCH_sim.json)\n\
+                  trace [--out FILE]   capture the golden SpMM scenario as a\n\
+                        Perfetto-loadable Chrome trace (default: trace.json)\n\
+                  profile   textual stall/occupancy profile of the same run\n\
          options:\n\
            --smoke      reduced problem sizes (CI-scale)\n\
+           --progress   (sweep) live progress line on stderr (cells done,\n\
+                        cells/sec, operand-cache + store hit rates)\n\
            --jobs N     sweep worker threads (default: all cores)\n\
            --out FILE   sweep result store (default: sweep_results.jsonl);\n\
                         for bench, the report file (default: BENCH_sim.json)\n\
@@ -133,6 +141,7 @@ fn run_standard_sweep(
     jobs: usize,
     out: &str,
     geometries: &[(usize, usize)],
+    progress: bool,
 ) -> String {
     let mut builder = GridBuilder::new()
         .scales(&[match scale {
@@ -150,6 +159,7 @@ fn run_standard_sweep(
         &mut store,
         &SweepOptions {
             jobs,
+            progress,
             ..Default::default()
         },
     )
@@ -186,6 +196,12 @@ fn main() {
         Scale::Smoke
     } else {
         Scale::Full
+    };
+    let progress = if let Some(pos) = args.iter().position(|a| a == "--progress") {
+        args.remove(pos);
+        true
+    } else {
+        false
     };
     let jobs = match take_value_flag(&mut args, "--jobs") {
         Some(v) => match v.parse() {
@@ -273,6 +289,46 @@ fn main() {
         }
         return;
     }
+    // `trace` / `profile` capture the pinned golden SpMM scenario through
+    // the cycle-trace layer and export it.
+    if args[0] == "trace" || args[0] == "profile" {
+        if args.len() != 1 {
+            usage();
+        }
+        let mut fabric = bench::golden_trace_fabric();
+        let sink = VecSink::default();
+        fabric.set_trace_sink(Box::new(sink.clone()));
+        let report = fabric.run().unwrap_or_else(|e| {
+            eprintln!("golden trace scenario failed: {e}");
+            std::process::exit(1);
+        });
+        fabric.take_trace_sink();
+        let events = sink.take_events();
+        if args[0] == "trace" {
+            let path = out_flag.unwrap_or_else(|| "trace.json".into());
+            let mut file =
+                std::io::BufWriter::new(std::fs::File::create(&path).unwrap_or_else(|e| {
+                    eprintln!("cannot create {path}: {e}");
+                    std::process::exit(1);
+                }));
+            write_chrome_trace(&events, &mut file)
+                .and_then(|()| std::io::Write::flush(&mut file))
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                });
+            println!(
+                "wrote {} trace events ({} cycles, {} stall cycles) to {path}",
+                events.len(),
+                report.cycles,
+                report.stats.stall_cycles
+            );
+            println!("open in Perfetto (ui.perfetto.dev) or chrome://tracing");
+        } else {
+            print!("{}", render_profile(&events));
+        }
+        return;
+    }
     // `store <subcommand>` maintains the result store instead of producing
     // figure output.
     if args[0] == "store" {
@@ -316,7 +372,7 @@ fn main() {
     };
     for t in targets {
         let text = match t.as_str() {
-            "sweep" => run_standard_sweep(scale, jobs, &out, &geometries),
+            "sweep" => run_standard_sweep(scale, jobs, &out, &geometries, progress),
             "table1" => figures::table1(),
             "fig9" => figures::fig09(),
             "fig10" => figures::fig10(),

@@ -122,7 +122,8 @@ use crate::noc::{LinkGrid, TaggedVector};
 use crate::orchestrator::{MetaToken, OrchIo, OrchMessage, OrchProgram, RowProgram};
 use crate::pe::{PeArray, PeMut, PeRef};
 use crate::sched::{ActiveSet, RowSched};
-use crate::stats::{RunReport, Stats};
+use crate::stats::{RunReport, StallBreakdown, StallCause, Stats};
+use crate::trace::{TraceRecorder, TraceSink, WakeSource};
 use crate::SimError;
 use std::collections::VecDeque;
 
@@ -162,14 +163,16 @@ struct RowTable {
     orch_steps: Vec<u64>,
     transitions: Vec<u64>,
     messages_sent: Vec<u64>,
-    stalls: Vec<u64>,
+    /// Per-cause stall attribution; its [`StallBreakdown::total`] is the
+    /// row's contribution to [`Stats::stall_cycles`].
+    stall_causes: Vec<StallBreakdown>,
     meta_consumed: Vec<u64>,
     /// Cycle at which the row parked on a pure-wait action ([`NEVER`] when
     /// not parked). Settled arithmetically at the next wake.
     parked_at: Vec<u64>,
-    /// Whether the parked action was a stall (its replay counts
-    /// `stall_cycles`).
-    parked_stalled: Vec<bool>,
+    /// Cause of the parked stall, if the parked action was one (its replay
+    /// counts `stall_cycles` under that cause).
+    parked_stall: Vec<Option<StallCause>>,
     /// Settled orchestrator polls skipped while parked (the event-engine
     /// saving reported as [`Stats::orch_polls_skipped`]).
     polls_skipped: Vec<u64>,
@@ -192,10 +195,10 @@ impl RowTable {
             orch_steps: vec![0; rows],
             transitions: vec![0; rows],
             messages_sent: vec![0; rows],
-            stalls: vec![0; rows],
+            stall_causes: vec![StallBreakdown::default(); rows],
             meta_consumed: vec![0; rows],
             parked_at: vec![NEVER; rows],
-            parked_stalled: vec![false; rows],
+            parked_stall: vec![None; rows],
             polls_skipped: vec![0; rows],
         }
     }
@@ -315,6 +318,10 @@ pub struct Fabric {
     extra_offchip_write: u64,
     /// Host wall time accumulated inside [`Fabric::run`] (ns).
     wall_ns: u64,
+    /// Attached trace recorder ([`crate::trace`]); `None` costs one untaken
+    /// branch per hook (the `repro bench --check` gates pin that this stays
+    /// free).
+    trace: Option<Box<TraceRecorder>>,
 }
 
 impl Fabric {
@@ -368,6 +375,7 @@ impl Fabric {
             extra_offchip_read: 0,
             extra_offchip_write: 0,
             wall_ns: 0,
+            trace: None,
             cfg: cfg.clone(),
         }
     }
@@ -439,6 +447,58 @@ impl Fabric {
     /// [`Stats::active_pe_cycles`]) differ. Must be set before stepping.
     pub fn set_polling(&mut self, polling: bool) {
         self.polling = polling;
+    }
+
+    /// Attaches a trace sink: from the next cycle on, every engine layer
+    /// records cycle-stamped [`crate::trace::TraceEvent`]s into it. Attach
+    /// **before the first cycle** for a stream that
+    /// [`crate::trace::replay_stats`] can replay into the exact
+    /// [`RunReport`]; a mid-run attach still yields exact counter *totals*
+    /// (the header snapshots the counter bases) but cannot describe the
+    /// cycles already simulated.
+    ///
+    /// Keep a handle to the sink's storage (e.g. a
+    /// [`crate::trace::VecSink`] clone) — [`Fabric::take_trace_sink`] gives
+    /// the sink back after the run.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace = Some(Box::new(TraceRecorder::new(
+            sink,
+            self.cfg.rows,
+            self.cfg.cols,
+            &self.grid,
+            self.extra_offchip_read,
+            self.extra_offchip_write,
+        )));
+    }
+
+    /// Detaches the trace recorder, closing the stream: still-parked rows'
+    /// pending windows are settled into their wait spans (exactly as
+    /// [`Fabric::report`] settles them, without disturbing the rows' own
+    /// accounting), all spans are flushed, and the
+    /// [`crate::trace::TraceEvent::RunEnd`] footer is recorded. Returns the
+    /// sink, or `None` when no trace was attached.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        let mut tr = self.trace.take()?;
+        let mut polls_skipped = 0;
+        for r in 0..self.rows.len() {
+            polls_skipped += self.rows.polls_skipped[r];
+            if self.rows.parked_at[r] != NEVER {
+                let pending = self.cycle.saturating_sub(self.rows.parked_at[r] + 1);
+                polls_skipped += pending;
+                if pending > 0 {
+                    tr.on_settle(r, pending);
+                }
+            }
+        }
+        tr.finish(
+            self.cycle,
+            self.extra_offchip_read,
+            self.extra_offchip_write,
+            self.active_pe_cycles,
+            polls_skipped,
+            self.wake_events,
+        );
+        Some(tr.into_sink())
     }
 
     /// Queues north-edge stream tokens for column `c` (one token enters the
@@ -536,11 +596,16 @@ impl Fabric {
         if self.rows.parked_at[r] != NEVER {
             let skipped = now - self.rows.parked_at[r] - 1;
             self.rows.orch_steps[r] += skipped;
-            if self.rows.parked_stalled[r] {
-                self.rows.stalls[r] += skipped;
+            if let Some(cause) = self.rows.parked_stall[r] {
+                self.rows.stall_causes[r].add(cause, skipped);
             }
             self.rows.polls_skipped[r] += skipped;
             self.rows.parked_at[r] = NEVER;
+            if skipped > 0 {
+                if let Some(tr) = self.trace.as_deref_mut() {
+                    tr.on_settle(r, skipped);
+                }
+            }
         }
         let io = OrchIo {
             cycle: now,
@@ -565,19 +630,22 @@ impl Fabric {
             }
             self.rows.last_state[r] = Some(action.state_id);
         }
-        if action.stalled {
-            self.rows.stalls[r] += 1;
+        if let Some(cause) = action.stall_cause() {
+            self.rows.stall_causes[r].add(cause, 1);
         }
-        if action.consume_input {
+        if action.consumes_input() {
             self.rows.meta_pos[r] += 1;
             self.rows.meta_consumed[r] += 1;
         }
-        if action.consume_msg {
+        if action.consumes_msg() {
             self.rows.inbox[r].pop_front();
             // Slot event: the northern row's `msg_slot_free` observable may
             // have flipped.
             if r > 0 && !self.polling && self.sched.wake(r - 1) {
                 self.wake_events += 1;
+                if let Some(tr) = self.trace.as_deref_mut() {
+                    tr.on_wake(now, r - 1, WakeSource::SlotFreed);
+                }
             }
         }
         let instr = action.instr;
@@ -619,6 +687,9 @@ impl Fabric {
                         // cycle late.
                         if self.sched.wake(r + 1) {
                             self.wake_events += 1;
+                            if let Some(tr) = self.trace.as_deref_mut() {
+                                tr.on_wake(now, r + 1, WakeSource::Message);
+                            }
                         }
                     } else {
                         self.sched.arm(r + 1, deliver);
@@ -635,6 +706,7 @@ impl Fabric {
         // they are settled as `cols` instruction latches and a drain-horizon
         // extension instead of marching through the pipeline (see
         // [`Inject`]).
+        let mut issued_handle = None;
         if instr.is_plain_nop() {
             self.elided_bubbles += 1;
             self.bubble_horizon = self.bubble_horizon.max(now + 3 * cols as u64);
@@ -649,18 +721,27 @@ impl Fabric {
             }
             self.inject_now.put(r * cols, instr, plan, &mut self.ring);
             self.active.insert(r * cols);
+            if self.trace.is_some() {
+                issued_handle = Some(self.inject_now.handle[r * cols]);
+            }
+        }
+        if let Some(tr) = self.trace.as_deref_mut() {
+            tr.on_orch_step(now, r, &action, issued_handle);
         }
         // Park decision: a pure wait (and only a pure wait) leaves the wake
         // set; everything else keeps the row due next cycle.
         if !self.polling
-            && action.park
+            && action.parks()
             && instr.is_plain_nop()
-            && !action.consume_input
-            && !action.consume_msg
+            && !action.consumes_input()
+            && !action.consumes_msg()
             && action.msg_out.is_none()
         {
             self.rows.parked_at[r] = now;
-            self.rows.parked_stalled[r] = action.stalled;
+            self.rows.parked_stall[r] = action.stall_cause();
+            if let Some(tr) = self.trace.as_deref_mut() {
+                tr.on_park(now, r);
+            }
             self.sched.sleep(r);
             // Arm timers for events already in flight towards this row.
             if let Some(&deliver) = self.rows.credit_returns[r].front() {
@@ -704,6 +785,9 @@ impl Fabric {
                         self.active.insert(c);
                         if c == 0 && !self.polling && self.sched.wake(0) {
                             self.wake_events += 1;
+                            if let Some(tr) = self.trace.as_deref_mut() {
+                                tr.on_wake(now, 0, WakeSource::Feeder);
+                            }
                         }
                     }
                 }
@@ -718,7 +802,13 @@ impl Fabric {
         // A finished orchestrator is still stepped while deliverable
         // messages are pending: its FSM keeps the bypass transitions of the
         // DONE state so upstream rows can drain through it.
-        self.wake_events += self.sched.fire_due(now);
+        if let Some(tr) = self.trace.as_deref_mut() {
+            self.wake_events += self
+                .sched
+                .fire_due_with(now, |r| tr.on_wake(now, r, WakeSource::Timer));
+        } else {
+            self.wake_events += self.sched.fire_due(now);
+        }
         if self.polling || !self.sched.all_asleep() {
             for r in 0..nrows {
                 if !self.polling && !self.sched.is_awake(r) {
@@ -764,6 +854,13 @@ impl Fabric {
                 // reports its link drives as flags; bubbles forward as a
                 // tag only.
                 let has_east = c + 1 < cols;
+                // Peek the retiring handle before COMMIT consumes the slot
+                // (trace-only; the branch is the hook's entire cost).
+                let traced_commit = if self.trace.is_some() {
+                    self.pes.commit_handle(idx)
+                } else {
+                    None
+                };
                 let eff = self.pes.commit_into_planned(
                     idx,
                     &self.ring,
@@ -782,6 +879,12 @@ impl Fabric {
                         !eff.bubble,
                         "bubbles are elided at issue and never enter fabric pipelines"
                     );
+                    if let Some(h) = traced_commit {
+                        let op = self.ring.get(h).op;
+                        if let Some(tr) = self.trace.as_deref_mut() {
+                            tr.on_commit(now, r, c, h, op);
+                        }
+                    }
                     if has_east {
                         self.inject_next.kind[idx + 1] = Inject::Instr;
                         self.active.insert(idx + 1);
@@ -793,6 +896,9 @@ impl Fabric {
                             // consuming row's `north_tokens` observable.
                             if c == 0 && !self.polling && self.sched.wake(r + 1) {
                                 self.wake_events += 1;
+                                if let Some(tr) = self.trace.as_deref_mut() {
+                                    tr.on_wake(now, r + 1, WakeSource::Link);
+                                }
                             }
                         } else {
                             south_sink_dirty = true;
@@ -863,6 +969,9 @@ impl Fabric {
             for c in 0..cols {
                 let link = self.grid.vertical(nrows, c);
                 while let Some(e) = link.try_pop() {
+                    if let Some(tr) = self.trace.as_deref_mut() {
+                        tr.on_collect(now, Direction::South, c, e.tag);
+                    }
                     self.south_collected.push(CollectedEntry {
                         tag: e.tag,
                         lane: c,
@@ -876,6 +985,9 @@ impl Fabric {
             for r in 0..nrows {
                 let link = self.grid.horizontal(r, cols);
                 while let Some(e) = link.try_pop() {
+                    if let Some(tr) = self.trace.as_deref_mut() {
+                        tr.on_collect(now, Direction::East, r, e.tag);
+                    }
                     self.east_collected.push(CollectedEntry {
                         tag: e.tag,
                         lane: r,
@@ -884,6 +996,17 @@ impl Fabric {
                     });
                 }
             }
+        }
+
+        // 6. Trace epilogue: diff the NoC push counters and off-chip bytes
+        // against the last scan (zero work without a sink).
+        if let Some(tr) = self.trace.as_deref_mut() {
+            tr.end_of_cycle(
+                now,
+                &self.grid,
+                self.extra_offchip_read,
+                self.extra_offchip_write,
+            );
         }
 
         self.cycle += 1;
@@ -985,7 +1108,8 @@ impl Fabric {
             stats.orch_steps += self.rows.orch_steps[r];
             stats.orch_transitions += self.rows.transitions[r];
             stats.orch_messages += self.rows.messages_sent[r];
-            stats.stall_cycles += self.rows.stalls[r];
+            stats.stall_cycles += self.rows.stall_causes[r].total();
+            stats.stall_breakdown.merge(&self.rows.stall_causes[r]);
             stats.meta_tokens += self.rows.meta_consumed[r];
             // Skipped polls, including a still-parked tail (reports taken
             // after a watchdog/protocol abort): each skipped poll is one
@@ -995,8 +1119,9 @@ impl Fabric {
             if self.rows.parked_at[r] != NEVER {
                 let pending = self.cycle.saturating_sub(self.rows.parked_at[r] + 1);
                 stats.orch_steps += pending;
-                if self.rows.parked_stalled[r] {
+                if let Some(cause) = self.rows.parked_stall[r] {
                     stats.stall_cycles += pending;
+                    stats.stall_breakdown.add(cause, pending);
                 }
                 skipped += pending;
             }
@@ -1044,10 +1169,7 @@ mod tests {
     impl OrchProgram for Script {
         fn step(&mut self, _io: &OrchIo) -> OrchAction {
             match self.instrs.pop_front() {
-                Some(i) => OrchAction {
-                    instr: i,
-                    ..OrchAction::nop(0)
-                },
+                Some(i) => OrchAction::issue(i, 0),
                 None => OrchAction::nop(0),
             }
         }
@@ -1154,7 +1276,7 @@ mod tests {
         struct Stuck;
         impl OrchProgram for Stuck {
             fn step(&mut self, _io: &OrchIo) -> OrchAction {
-                OrchAction::stall(0)
+                OrchAction::stall(0, StallCause::Credit)
             }
             fn done(&self) -> bool {
                 false

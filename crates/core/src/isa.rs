@@ -462,6 +462,14 @@ impl Instruction {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct InstrHandle(u32);
 
+impl InstrHandle {
+    /// The raw intern counter — a stable per-issue id within a run, used by
+    /// the trace layer to correlate issue and commit events.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
 /// The execution plan of an interned instruction, decoded **once at
 /// issue**. Every column of a row re-executes the same issue (the
 /// time-lapsed SIMD stagger), so per-issue decode work — operand-kind

@@ -18,6 +18,7 @@ use crate::config::CanonConfig;
 use crate::isa::{Addr, Direction, Instruction, Opcode, Vector};
 use crate::kernels::spmm::{run_spmm, state, SpmmMapping, SpmmOutput};
 use crate::orchestrator::{msg_id, MetaToken, OrchAction, OrchIo, OrchMessage, OrchProgram};
+use crate::stats::StallCause;
 use crate::SimError;
 use canon_sparse::{CsrMatrix, Dense};
 
@@ -42,8 +43,8 @@ impl RegAccFsm {
     #[inline]
     fn input_decision(&mut self, io: &OrchIo) -> OrchAction {
         match io.input {
-            Some(MetaToken::Nnz { row, col, value }) => OrchAction {
-                instr: Instruction::new(
+            Some(MetaToken::Nnz { row, col, value }) => OrchAction::issue(
+                Instruction::new(
                     Opcode::MacS,
                     Addr::Imm,
                     Addr::DataMem(col as u16),
@@ -51,42 +52,35 @@ impl RegAccFsm {
                 )
                 .with_imm(Vector::splat(value))
                 .with_tag(row),
-                consume_input: true,
-                consume_msg: false,
-                msg_out: None,
-                state_id: state::MAC,
-                stalled: false,
-                park: false,
-            },
+                state::MAC,
+            )
+            .take_input(),
             Some(MetaToken::RowEnd { row }) => {
-                if io.south_credits == 0 || !io.msg_slot_free {
-                    return OrchAction::stall(state::FLUSH);
+                if io.south_credits == 0 {
+                    return OrchAction::stall(state::FLUSH, StallCause::Credit);
                 }
-                OrchAction {
-                    instr: Instruction::new(
+                if !io.msg_slot_free {
+                    return OrchAction::stall(state::FLUSH, StallCause::MsgSlot);
+                }
+                OrchAction::issue(
+                    Instruction::new(
                         Opcode::MovFlush,
                         Addr::Reg(0),
                         Addr::Null,
                         Addr::Port(Direction::South),
                     )
                     .with_tag(row),
-                    consume_input: true,
-                    consume_msg: false,
-                    msg_out: Some(OrchMessage {
-                        id: msg_id::PSUM,
-                        rid: row,
-                    }),
-                    state_id: state::FLUSH,
-                    stalled: false,
-                    park: false,
-                }
+                    state::FLUSH,
+                )
+                .take_input()
+                .send(OrchMessage {
+                    id: msg_id::PSUM,
+                    rid: row,
+                })
             }
             Some(MetaToken::End) => {
                 self.done = true;
-                OrchAction {
-                    consume_input: true,
-                    ..OrchAction::nop(state::DONE)
-                }
+                OrchAction::nop(state::DONE).take_input()
             }
             Some(other) => {
                 debug_assert!(false, "unexpected token {other:?} in GEMM stream");
@@ -104,9 +98,20 @@ impl OrchProgram for RegAccFsm {
         // Bypass handling stays live after the local stream finished (the
         // DONE state keeps reacting to upstream psums).
         if let Some(msg) = io.msg {
-            // No managed window: every upstream psum bypasses south.
-            if io.south_credits == 0 || !io.msg_slot_free {
-                return OrchAction::stall(state::NOP);
+            // No managed window: every upstream psum bypasses south. A
+            // blocked bypass labels the stall with the state of the action it
+            // would have carried (the ride-along MAC for an nnz token, a
+            // plain relay otherwise), matching the assembled LUT's
+            // `state_out` labeling so the trace streams stay identical.
+            let blocked = match io.input {
+                Some(MetaToken::Nnz { .. }) if !self.done => state::MAC,
+                _ => state::NOP,
+            };
+            if io.south_credits == 0 {
+                return OrchAction::stall(blocked, StallCause::Credit);
+            }
+            if !io.msg_slot_free {
+                return OrchAction::stall(blocked, StallCause::MsgSlot);
             }
             let sub_io = OrchIo {
                 south_credits: io.south_credits - 1,
@@ -120,9 +125,8 @@ impl OrchProgram for RegAccFsm {
                 _ => OrchAction::nop(state::NOP),
             };
             action.instr = action.instr.with_route(Direction::North, Direction::South);
-            action.consume_msg = true;
-            action.msg_out = Some(msg);
-            action.stalled = false;
+            action = action.take_msg().send(msg);
+            action.clear_stall();
             return action;
         }
         if self.done {
@@ -255,7 +259,7 @@ mod tests {
             north_tokens: 1,
         };
         let a = fsm.step(&io);
-        assert!(a.consume_msg && a.consume_input);
+        assert!(a.consumes_msg() && a.consumes_input());
         assert_eq!(a.instr.op, Opcode::MacS);
         assert!(a.instr.route.is_some());
         assert_eq!(a.msg_out.unwrap().rid, 0);

@@ -30,7 +30,7 @@ use crate::fabric::Fabric;
 use crate::isa::{Addr, Direction, Instruction, Opcode, Vector, LANES};
 use crate::noc::TaggedVector;
 use crate::orchestrator::{MetaToken, OrchAction, OrchIo, OrchProgram};
-use crate::stats::RunReport;
+use crate::stats::{RunReport, StallCause};
 use crate::SimError;
 use canon_sparse::{Dense, Mask};
 
@@ -148,18 +148,18 @@ impl SddmmFsm {
         (t % self.depth) as u16
     }
 
-    /// Attempts to issue a `LoadA` for the next token. Returns `None` when
-    /// blocked (no token at the north port, buffer full, or no south credit
-    /// for the forward).
-    fn try_load_a(&mut self, io: &OrchIo) -> Option<OrchAction> {
+    /// Attempts to issue a `LoadA` for the next token. Returns the blocking
+    /// cause when it cannot (no token at the north port or buffer full →
+    /// operand wait; no south credit for the forward → credit).
+    fn try_load_a(&mut self, io: &OrchIo) -> Result<OrchAction, StallCause> {
         if self.t_loaded >= self.total_tokens
             || io.north_tokens == 0
             || self.t_loaded - self.t_evicted() >= self.depth
         {
-            return None;
+            return Err(StallCause::OperandWait);
         }
         if self.forward_south && io.south_credits == 0 {
-            return None;
+            return Err(StallCause::Credit);
         }
         let t = self.t_loaded;
         self.t_loaded += 1;
@@ -172,15 +172,7 @@ impl SddmmFsm {
         if self.forward_south {
             instr = instr.with_route(Direction::North, Direction::South);
         }
-        Some(OrchAction {
-            instr,
-            consume_input: false,
-            consume_msg: false,
-            msg_out: None,
-            state_id: state::LOAD_A,
-            stalled: false,
-            park: false,
-        })
+        Ok(OrchAction::issue(instr, state::LOAD_A))
     }
 
     /// Issues the next step of the in-progress masked output, or a blocking
@@ -190,46 +182,36 @@ impl SddmmFsm {
             // Chain: add west partial to our accumulated Reg(0), send east.
             let tag = self.m_work * self.n_total + self.n_base + h * self.n_stride;
             self.work = None;
-            return OrchAction {
-                instr: Instruction::new(
+            return OrchAction::issue(
+                Instruction::new(
                     Opcode::AddFlush,
                     Addr::Reg(0),
                     Addr::Port(Direction::West),
                     Addr::Port(Direction::East),
                 )
                 .with_tag(tag),
-                consume_input: false,
-                consume_msg: false,
-                msg_out: None,
-                state_id: state::CHAIN,
-                stalled: false,
-                park: false,
-            };
+                state::CHAIN,
+            );
         }
         let t_need = self.m_work * self.w + w_step;
         if t_need < self.t_loaded {
             self.work = Some((h, w_step + 1));
-            return OrchAction {
-                instr: Instruction::new(
+            return OrchAction::issue(
+                Instruction::new(
                     Opcode::MacV,
                     Addr::Spad(self.a_slot(t_need)),
                     Addr::DataMem((h * self.w + w_step) as u16),
                     Addr::Reg(0),
                 ),
-                consume_input: false,
-                consume_msg: false,
-                msg_out: None,
-                state_id: state::MAC,
-                stalled: false,
-                park: false,
-            };
+                state::MAC,
+            );
         }
         // The needed A token is not buffered yet: load it (loads are in
         // token order, so repeated loads reach it).
         self.work = Some((h, w_step));
         match self.try_load_a(io) {
-            Some(a) => a,
-            None => OrchAction::stall(state::LOAD_A),
+            Ok(a) => a,
+            Err(cause) => OrchAction::stall(state::LOAD_A, cause),
         }
     }
 }
@@ -247,36 +229,30 @@ impl OrchProgram for SddmmFsm {
             Some(MetaToken::MaskPos { row, col }) => {
                 debug_assert_eq!(row, self.m_work, "mask stream out of order");
                 self.work = Some((col, 0));
-                let mut action = self.progress_work(io, col, 0);
-                action.consume_input = true;
-                action
+                self.progress_work(io, col, 0).take_input()
             }
             Some(MetaToken::MRowEnd { row }) => {
                 debug_assert_eq!(row, self.m_work);
                 self.evict_target = (self.m_work + 1) * self.w;
                 self.m_work += 1;
                 // Ride an A-load along the row-end consumption if possible.
-                let mut action = match self.try_load_a(io) {
-                    Some(a) => a,
-                    None => OrchAction::nop(state::NOP),
+                let action = match self.try_load_a(io) {
+                    Ok(a) => a,
+                    Err(_) => OrchAction::nop(state::NOP),
                 };
-                action.consume_input = true;
-                action
+                action.take_input()
             }
             Some(MetaToken::End) => {
                 // Keep forwarding remaining A tokens for downstream rows.
                 if self.t_loaded < self.total_tokens {
                     self.evict_target = self.total_tokens;
                     match self.try_load_a(io) {
-                        Some(a) => a,
-                        None => OrchAction::stall(state::LOAD_A),
+                        Ok(a) => a,
+                        Err(cause) => OrchAction::stall(state::LOAD_A, cause),
                     }
                 } else {
                     self.done = true;
-                    OrchAction {
-                        consume_input: true,
-                        ..OrchAction::nop(state::DONE)
-                    }
+                    OrchAction::nop(state::DONE).take_input()
                 }
             }
             Some(other) => {
@@ -317,6 +293,24 @@ pub fn run_sddmm(
     a: &Dense,
     b: &Dense,
 ) -> Result<SddmmOutput, SimError> {
+    run_sddmm_traced(cfg, mapping, mask, a, b, None)
+}
+
+/// [`run_sddmm`] with an optional trace sink attached to the mapped fabric
+/// for the duration of the run (the mapper owns its fabric, so the sink
+/// must be threaded through; see [`crate::trace`]).
+///
+/// # Errors
+///
+/// Same as [`run_sddmm`].
+pub fn run_sddmm_traced(
+    cfg: &CanonConfig,
+    mapping: &SddmmMapping,
+    mask: &Mask,
+    a: &Dense,
+    b: &Dense,
+    trace: Option<Box<dyn crate::trace::TraceSink>>,
+) -> Result<SddmmOutput, SimError> {
     let m = a.rows();
     let k = a.cols();
     let n = b.rows();
@@ -349,7 +343,7 @@ pub fn run_sddmm(
             }
             out
         };
-        return run_sddmm(cfg, mapping, mask, &pad(a), &pad(b));
+        return run_sddmm_traced(cfg, mapping, mask, &pad(a), &pad(b), trace);
     }
     if !n.is_multiple_of(y) {
         return Err(SimError::Mapping {
@@ -460,7 +454,11 @@ pub fn run_sddmm(
     fabric.add_offchip_read_bytes((n * k) as u64 + (2 * mask.nnz() + m) as u64);
     fabric.add_offchip_write_bytes(mask.nnz() as u64);
 
+    if let Some(sink) = trace {
+        fabric.set_trace_sink(sink);
+    }
     let report = fabric.run()?;
+    fabric.take_trace_sink();
     let mut result = Dense::zeros(m, n);
     for e in fabric.east_collected() {
         let mm = e.tag as usize / n;

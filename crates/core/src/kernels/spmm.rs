@@ -22,7 +22,7 @@ use crate::config::CanonConfig;
 use crate::fabric::Fabric;
 use crate::isa::{Addr, Direction, Instruction, Opcode, Vector, LANES};
 use crate::orchestrator::{msg_id, MetaToken, OrchAction, OrchIo, OrchMessage, OrchProgram};
-use crate::stats::RunReport;
+use crate::stats::{RunReport, StallCause};
 use crate::SimError;
 use canon_sparse::{CsrMatrix, Dense};
 
@@ -137,23 +137,18 @@ impl SpmmFsm {
                 )
                 .with_imm(Vector::splat(value))
                 .with_tag(row);
-                OrchAction {
-                    instr,
-                    consume_input: true,
-                    consume_msg: false,
-                    msg_out: None,
-                    state_id: state::MAC,
-                    stalled: false,
-                    park: false,
-                }
+                OrchAction::issue(instr, state::MAC).take_input()
             }
             Some(MetaToken::RowEnd { row }) => {
                 let allocate_next = row + 1 < self.m_total;
                 if self.occ == self.depth {
                     // Window full: flush the oldest psum to make room
                     // (App C case 2).
-                    if io.south_credits == 0 || !io.msg_slot_free {
-                        return OrchAction::stall(state::FLUSH);
+                    if io.south_credits == 0 {
+                        return OrchAction::stall(state::FLUSH, StallCause::Credit);
+                    }
+                    if !io.msg_slot_free {
+                        return OrchAction::stall(state::FLUSH, StallCause::MsgSlot);
                     }
                     let oldest = self.rid_start;
                     let instr = Instruction::new(
@@ -167,33 +162,27 @@ impl SpmmFsm {
                     if !allocate_next {
                         self.occ -= 1;
                     }
-                    OrchAction {
-                        instr,
-                        consume_input: true,
-                        consume_msg: false,
-                        msg_out: Some(OrchMessage {
+                    OrchAction::issue(instr, state::FLUSH)
+                        .take_input()
+                        .send(OrchMessage {
                             id: msg_id::PSUM,
                             rid: oldest,
-                        }),
-                        state_id: state::FLUSH,
-                        stalled: false,
-                        park: false,
-                    }
+                        })
                 } else {
                     if allocate_next {
                         self.occ += 1;
                     }
-                    OrchAction {
-                        consume_input: true,
-                        ..OrchAction::nop(state::NOP)
-                    }
+                    OrchAction::nop(state::NOP).take_input()
                 }
             }
             Some(MetaToken::End) => {
                 self.ended = true;
                 if self.occ > 0 {
-                    if io.south_credits == 0 || !io.msg_slot_free {
-                        return OrchAction::stall(state::DRAIN);
+                    if io.south_credits == 0 {
+                        return OrchAction::stall(state::DRAIN, StallCause::Credit);
+                    }
+                    if !io.msg_slot_free {
+                        return OrchAction::stall(state::DRAIN, StallCause::MsgSlot);
                     }
                     let oldest = self.rid_start;
                     let instr = Instruction::new(
@@ -205,24 +194,13 @@ impl SpmmFsm {
                     .with_tag(oldest);
                     self.rid_start += 1;
                     self.occ -= 1;
-                    OrchAction {
-                        instr,
-                        consume_input: false,
-                        consume_msg: false,
-                        msg_out: Some(OrchMessage {
-                            id: msg_id::PSUM,
-                            rid: oldest,
-                        }),
-                        state_id: state::DRAIN,
-                        stalled: false,
-                        park: false,
-                    }
+                    OrchAction::issue(instr, state::DRAIN).send(OrchMessage {
+                        id: msg_id::PSUM,
+                        rid: oldest,
+                    })
                 } else {
                     self.done = true;
-                    OrchAction {
-                        consume_input: true,
-                        ..OrchAction::nop(state::DONE)
-                    }
+                    OrchAction::nop(state::DONE).take_input()
                 }
             }
             Some(other) => {
@@ -252,21 +230,25 @@ impl OrchProgram for SpmmFsm {
                     Addr::Spad(self.slot(msg.rid)),
                 )
                 .with_tag(msg.rid);
-                return OrchAction {
-                    instr,
-                    consume_input: false,
-                    consume_msg: true,
-                    msg_out: None,
-                    state_id: state::ACC,
-                    stalled: false,
-                    park: false,
-                };
+                return OrchAction::issue(instr, state::ACC).take_msg();
             }
             // Fig 8 path 1.2: bypass — forward data north→south and relay
             // the message, riding along the input-driven instruction when
             // that instruction does not itself use the south port.
-            if io.south_credits == 0 || !io.msg_slot_free {
-                return OrchAction::stall(state::NOP);
+            // A blocked bypass labels the stall with the state the action
+            // would have carried (the ride-along MAC for an nnz token, a
+            // plain relay otherwise) — the same labeling the assembled LUT
+            // derives from the blocked micro-op's `state_out`, so native and
+            // LUT trace streams stay byte-identical under back-pressure.
+            let blocked = match io.input {
+                Some(MetaToken::Nnz { .. }) => state::MAC,
+                _ => state::NOP,
+            };
+            if io.south_credits == 0 {
+                return OrchAction::stall(blocked, StallCause::Credit);
+            }
+            if !io.msg_slot_free {
+                return OrchAction::stall(blocked, StallCause::MsgSlot);
             }
             // Reserve one credit and the message slot for the bypass itself;
             // the base action may not take them too.
@@ -281,9 +263,8 @@ impl OrchProgram for SpmmFsm {
                 None => OrchAction::nop(state::NOP),
             };
             action.instr = action.instr.with_route(Direction::North, Direction::South);
-            action.consume_msg = true;
-            action.msg_out = Some(msg);
-            action.stalled = false;
+            action = action.take_msg().send(msg);
+            action.clear_stall();
             return action;
         }
         if self.done {
@@ -651,7 +632,7 @@ mod tests {
         };
         let a = fsm.step(&io);
         assert_eq!(a.state_id, state::MAC);
-        assert!(a.consume_input);
+        assert!(a.consumes_input());
         assert_eq!(a.instr.op, Opcode::MacS);
         assert_eq!(a.instr.op2, Addr::DataMem(3));
         // Row end: occupancy 1 < depth, no flush, no new row (m_total = 1).
@@ -688,8 +669,8 @@ mod tests {
             north_tokens: 0,
         };
         let a = fsm.step(&io);
-        assert!(a.stalled);
-        assert!(!a.consume_input);
+        assert!(a.stalled());
+        assert!(!a.consumes_input());
     }
 
     #[test]
@@ -708,7 +689,7 @@ mod tests {
         };
         let a = fsm.step(&io);
         assert_eq!(a.state_id, state::ACC);
-        assert!(a.consume_msg);
+        assert!(a.consumes_msg());
         assert_eq!(a.instr.op, Opcode::Acc);
         assert_eq!(a.instr.op1, Addr::Port(Direction::North));
     }
@@ -737,7 +718,7 @@ mod tests {
                 rid: 0,
             }),
         ));
-        assert!(a.consume_msg);
+        assert!(a.consumes_msg());
         assert_eq!(a.msg_out.unwrap().rid, 0);
         let route = a.instr.route.unwrap();
         assert_eq!(route.from, Direction::North);

@@ -25,6 +25,7 @@
 //! | Kernel mappings (§4, Appendices A–D) | [`kernels`] |
 //! | Off-chip bandwidth / tiling model (§6.4) | [`offchip`] |
 //! | Per-component activity counters | [`stats`] |
+//! | Cycle trace, stall attribution, Perfetto export | [`trace`] |
 //! | Uniform workload dispatch (scenario sweeps) | [`kernels::run_kernel`] + workspace crate `canon-sweep` |
 //!
 //! # Example
@@ -53,11 +54,12 @@ pub mod orchestrator;
 pub mod pe;
 pub mod sched;
 pub mod stats;
+pub mod trace;
 
 pub use config::CanonConfig;
 pub use fabric::Fabric;
 pub use isa::{Addr, Instruction, Opcode, Vector, LANES};
-pub use stats::{RunReport, Stats};
+pub use stats::{RunReport, StallBreakdown, StallCause, Stats};
 
 /// Errors produced by the simulator.
 #[derive(Debug, Clone, PartialEq, Eq)]

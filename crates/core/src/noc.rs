@@ -481,6 +481,35 @@ impl LinkGrid {
         &self.horizontal[r * (self.cols + 1) + c]
     }
 
+    /// Number of links in the grid (vertical then horizontal — the
+    /// enumeration order of [`LinkGrid::for_each_push_count`]).
+    pub fn link_count(&self) -> usize {
+        self.vertical.len() + self.horizontal.len()
+    }
+
+    /// Visits every link's cumulative push count in a fixed order: all
+    /// vertical links row-major (`r` in `0..=rows`, `c` in `0..cols`), then
+    /// all horizontal links row-major (`r` in `0..rows`, `c` in `0..=cols`).
+    /// `f(vertical, r, c, pushes)` — the trace layer diffs consecutive scans
+    /// to attribute NoC hops to links per cycle.
+    pub fn for_each_push_count(&self, mut f: impl FnMut(bool, usize, usize, u64)) {
+        for r in 0..=self.rows {
+            for c in 0..self.cols {
+                f(true, r, c, self.vertical[r * self.cols + c].push_count());
+            }
+        }
+        for r in 0..self.rows {
+            for c in 0..=self.cols {
+                f(
+                    false,
+                    r,
+                    c,
+                    self.horizontal[r * (self.cols + 1) + c].push_count(),
+                );
+            }
+        }
+    }
+
     /// Total pushes across all links (NoC hop count).
     pub fn total_pushes(&self) -> u64 {
         self.vertical.iter().map(Link::push_count).sum::<u64>()

@@ -680,9 +680,9 @@ mod tests {
         let a1 = p.step(&starved);
         let a2 = p.step(&starved);
         for a in [&a1, &a2] {
-            assert!(a.stalled && a.park, "stall must be a parked pure wait");
+            assert!(a.stalled() && a.parks(), "stall must be a parked pure wait");
             assert!(a.instr.is_plain_nop());
-            assert!(!a.consume_input && !a.consume_msg && a.msg_out.is_none());
+            assert!(!a.consumes_input() && !a.consumes_msg() && a.msg_out.is_none());
         }
         assert_eq!(a1.state_id, a2.state_id, "stall must be a fixed point");
         assert_eq!(
@@ -696,7 +696,7 @@ mod tests {
             ..starved
         };
         let a3 = p.step(&freed);
-        assert!(!a3.stalled && !a3.park);
+        assert!(!a3.stalled() && !a3.parks());
         assert_eq!(a3.instr.op, crate::isa::Opcode::MovFlush);
     }
 
@@ -719,7 +719,7 @@ mod tests {
         let a = p.step(&io);
         assert_eq!(a.instr.op, crate::isa::Opcode::MacS);
         assert_eq!(a.instr.op2, crate::isa::Addr::DataMem(5));
-        assert!(a.consume_input);
+        assert!(a.consumes_input());
         assert_eq!(a.instr.imm.unwrap().lane0(), -3);
     }
 

@@ -26,6 +26,7 @@
 
 use crate::isa::{Addr, Direction, Instruction, Opcode, Vector};
 use crate::orchestrator::{msg_id, MetaToken, OrchAction, OrchIo, OrchMessage, OrchProgram};
+use crate::stats::StallCause;
 use crate::SimError;
 
 /// Number of LUT input bits (2¹⁰ entries).
@@ -598,8 +599,11 @@ impl LutProgram {
         // messages need a slot.
         let pushes_south = mo.res == AddrSel::PortSouth || mo.route == RouteSel::NorthToSouth;
         let sends_msg = mo.msg != MsgSel::None;
-        if (pushes_south && io.south_credits == 0) || (sends_msg && !io.msg_slot_free) {
-            return Ok(OrchAction::stall(mo.state_out));
+        if pushes_south && io.south_credits == 0 {
+            return Ok(OrchAction::stall(mo.state_out, StallCause::Credit));
+        }
+        if sends_msg && !io.msg_slot_free {
+            return Ok(OrchAction::stall(mo.state_out, StallCause::MsgSlot));
         }
 
         let mut instr = Instruction::new(
@@ -639,15 +643,17 @@ impl LutProgram {
         if mo.done {
             self.done = true;
         }
-        Ok(OrchAction {
-            instr,
-            consume_input: mo.consume_input,
-            consume_msg: mo.consume_msg,
-            msg_out,
-            state_id: mo.state_out,
-            stalled: false,
-            park: false,
-        })
+        let mut action = OrchAction::issue(instr, mo.state_out);
+        if mo.consume_input {
+            action = action.take_input();
+        }
+        if mo.consume_msg {
+            action = action.take_msg();
+        }
+        if let Some(m) = msg_out {
+            action = action.send(m);
+        }
+        Ok(action)
     }
 
     /// Current FSM state register (tests).
@@ -825,13 +831,13 @@ mod tests {
             north_tokens: 0,
         };
         let a = p.step(&io);
-        assert!(a.stalled);
+        assert!(a.stalled());
         let io2 = OrchIo {
             south_credits: 1,
             ..io
         };
         let a2 = p.step(&io2);
-        assert!(!a2.stalled);
+        assert!(!a2.stalled());
         assert_eq!(a2.instr.op, Opcode::MovFlush);
     }
 }

@@ -22,6 +22,7 @@ pub mod assembler;
 pub mod lut;
 
 use crate::isa::Instruction;
+use crate::stats::StallCause;
 use canon_sparse::Value;
 
 /// A token of the input meta-data stream (`INPUT_META_IN` in Fig 5).
@@ -102,22 +103,130 @@ pub struct OrchIo {
 }
 
 /// The orchestrator's decision for one cycle.
-#[derive(Debug, Clone)]
+///
+/// The struct is the per-row hand-off between every FSM step and the
+/// fabric, returned by value once per woken row per cycle, so it is kept
+/// `Copy` and slim: the two consume bits, the park bit, and the stall cause
+/// are packed into one flags byte instead of four discrete fields
+/// (construction goes through [`OrchAction::issue`]/[`OrchAction::nop`]/
+/// [`OrchAction::stall`] and the `take_*`/`send`/`park` builders; the
+/// accessors below read the bits back).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OrchAction {
     /// Instruction issued to the first PE of the row (possibly NOP).
     pub instr: Instruction,
-    /// Whether the head input token was consumed.
-    pub consume_input: bool,
-    /// Whether the delivered message was consumed.
-    pub consume_msg: bool,
     /// Message to send south, if any.
     pub msg_out: Option<OrchMessage>,
     /// FSM main-state identifier after this cycle (3-bit State Register in
     /// Fig 5); the fabric counts changes as data-driven state transitions.
     pub state_id: u8,
-    /// True when the orchestrator wanted to act but was back-pressured
-    /// (credit/message-slot unavailable); counted as a stall cycle.
-    pub stalled: bool,
+    /// Packed consume/park bits + stall cause (see the bit constants).
+    flags: u8,
+}
+
+/// `flags` bit: the head input token was consumed.
+const F_CONSUME_INPUT: u8 = 1 << 0;
+/// `flags` bit: the delivered message was consumed.
+const F_CONSUME_MSG: u8 = 1 << 1;
+/// `flags` bit: the action is a parkable pure wait (see [`OrchAction::park`]).
+const F_PARK: u8 = 1 << 2;
+/// `flags` bits 4..: stall cause + 1 (`0` = not stalled).
+const F_STALL_SHIFT: u8 = 4;
+
+impl OrchAction {
+    /// An action issuing `instr` in the given state, consuming nothing.
+    pub fn issue(instr: Instruction, state_id: u8) -> OrchAction {
+        OrchAction {
+            instr,
+            msg_out: None,
+            state_id,
+            flags: 0,
+        }
+    }
+
+    /// A plain NOP action in the given state. Not parkable: programs that
+    /// make progress on their own (without any observable-input change)
+    /// return this and are re-polled next cycle.
+    pub fn nop(state_id: u8) -> OrchAction {
+        OrchAction::issue(Instruction::NOP, state_id)
+    }
+
+    /// A NOP action that records back-pressure, attributed to `cause`
+    /// ([`Stats::stall_cycles`](crate::stats::Stats::stall_cycles) and the
+    /// per-cause [`StallBreakdown`](crate::stats::StallBreakdown) both
+    /// count it). Parkable: a stalled program is by definition waiting on
+    /// an observable input (a credit return, a freed message slot, a north
+    /// token), so the event-driven engine skips it until one changes.
+    /// Stall paths must therefore be *fixed points*: re-stepping with the
+    /// same inputs yields the same stall and mutates nothing observable
+    /// (all in-tree FSMs return their stalls before any non-idempotent
+    /// state update). A program whose stall is **not** a fixed point —
+    /// e.g. one counting its own steps towards an internal timeout — must
+    /// clear `park` on the returned action to keep being polled every
+    /// cycle.
+    pub fn stall(state_id: u8, cause: StallCause) -> OrchAction {
+        let mut a = OrchAction::nop(state_id);
+        a.flags = F_PARK | ((cause as u8 + 1) << F_STALL_SHIFT);
+        a
+    }
+
+    /// Marks the head input token as consumed (builder).
+    #[must_use]
+    pub fn take_input(mut self) -> OrchAction {
+        self.flags |= F_CONSUME_INPUT;
+        self
+    }
+
+    /// Marks the delivered message as consumed (builder).
+    #[must_use]
+    pub fn take_msg(mut self) -> OrchAction {
+        self.flags |= F_CONSUME_MSG;
+        self
+    }
+
+    /// Attaches an outgoing message (builder).
+    #[must_use]
+    pub fn send(mut self, m: OrchMessage) -> OrchAction {
+        self.msg_out = Some(m);
+        self
+    }
+
+    /// Whether the head input token was consumed.
+    #[inline]
+    pub fn consumes_input(&self) -> bool {
+        self.flags & F_CONSUME_INPUT != 0
+    }
+
+    /// Whether the delivered message was consumed.
+    #[inline]
+    pub fn consumes_msg(&self) -> bool {
+        self.flags & F_CONSUME_MSG != 0
+    }
+
+    /// Why the orchestrator was back-pressured this cycle, if it was;
+    /// `Some` is counted as a stall cycle under that cause.
+    #[inline]
+    pub fn stall_cause(&self) -> Option<StallCause> {
+        let bits = self.flags >> F_STALL_SHIFT;
+        if bits == 0 {
+            None
+        } else {
+            StallCause::from_index(bits - 1)
+        }
+    }
+
+    /// True when the action records back-pressure.
+    #[inline]
+    pub fn stalled(&self) -> bool {
+        self.flags >> F_STALL_SHIFT != 0
+    }
+
+    /// Clears the stall attribution (bypass paths that turn a stall into
+    /// forward progress after inspecting more inputs).
+    pub fn clear_stall(&mut self) {
+        self.flags &= (1 << F_STALL_SHIFT) - 1;
+    }
+
     /// True when this action is a **pure wait** the event-driven engine may
     /// replay without re-stepping the program: the program asserts that
     /// stepping it again with *unchanged* observable inputs ([`OrchIo`]:
@@ -135,42 +244,18 @@ pub struct OrchAction {
     /// flag (a back-pressured wait is the canonical pure wait);
     /// [`OrchAction::nop`] does not, so stateful programs that ignore their
     /// inputs (scripted tests, cycle-driven experiments) keep being polled
-    /// every cycle unless they opt in.
-    pub park: bool,
-}
-
-impl OrchAction {
-    /// A plain NOP action in the given state. Not parkable: programs that
-    /// make progress on their own (without any observable-input change)
-    /// return this and are re-polled next cycle.
-    pub fn nop(state_id: u8) -> OrchAction {
-        OrchAction {
-            instr: Instruction::NOP,
-            consume_input: false,
-            consume_msg: false,
-            msg_out: None,
-            state_id,
-            stalled: false,
-            park: false,
-        }
+    /// every cycle unless they opt in via [`OrchAction::park`].
+    #[inline]
+    pub fn parks(&self) -> bool {
+        self.flags & F_PARK != 0
     }
 
-    /// A NOP action that records back-pressure. Parkable: a stalled program
-    /// is by definition waiting on an observable input (a credit return, a
-    /// freed message slot, a north token), so the event-driven engine skips
-    /// it until one changes. Stall paths must therefore be *fixed points*:
-    /// re-stepping with the same inputs yields the same stall and mutates
-    /// nothing observable (all in-tree FSMs return their stalls before any
-    /// non-idempotent state update). A program whose stall is **not** a
-    /// fixed point — e.g. one counting its own steps towards an internal
-    /// timeout — must clear `park` on the returned action to keep being
-    /// polled every cycle.
-    pub fn stall(state_id: u8) -> OrchAction {
-        OrchAction {
-            stalled: true,
-            park: true,
-            ..OrchAction::nop(state_id)
-        }
+    /// Opts a non-stall action into parking (builder; see
+    /// [`OrchAction::parks`] for the contract).
+    #[must_use]
+    pub fn park(mut self) -> OrchAction {
+        self.flags |= F_PARK;
+        self
     }
 }
 
@@ -308,10 +393,41 @@ mod tests {
     fn nop_action_defaults() {
         let a = OrchAction::nop(3);
         assert_eq!(a.state_id, 3);
-        assert!(!a.stalled && !a.consume_input && !a.consume_msg);
+        assert!(!a.stalled() && !a.consumes_input() && !a.consumes_msg());
         assert!(a.msg_out.is_none());
-        let s = OrchAction::stall(1);
-        assert!(s.stalled);
+        assert!(!a.parks());
+        let s = OrchAction::stall(1, StallCause::Credit);
+        assert!(s.stalled() && s.parks());
+        assert_eq!(s.stall_cause(), Some(StallCause::Credit));
+    }
+
+    #[test]
+    fn action_flag_packing_roundtrips() {
+        for cause in StallCause::ALL {
+            let s = OrchAction::stall(2, cause);
+            assert_eq!(s.stall_cause(), Some(cause));
+            let mut cleared = s;
+            cleared.clear_stall();
+            assert_eq!(cleared.stall_cause(), None);
+            assert!(cleared.parks(), "clear_stall must keep the park bit");
+        }
+        let a = OrchAction::issue(Instruction::NOP, 1)
+            .take_input()
+            .take_msg()
+            .send(OrchMessage {
+                id: msg_id::PSUM,
+                rid: 9,
+            });
+        assert!(a.consumes_input() && a.consumes_msg());
+        assert_eq!(a.msg_out.unwrap().rid, 9);
+        assert!(!a.stalled());
+        // The hand-off stays slim: Copy, with the four former bool-ish
+        // fields packed into one byte.
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<OrchAction>();
+        // Instruction (40) + Option<OrchMessage> (12) + state + flags,
+        // padded to 4-byte alignment = 56.
+        assert!(std::mem::size_of::<OrchAction>() <= std::mem::size_of::<Instruction>() + 16);
     }
 
     #[test]

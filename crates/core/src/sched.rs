@@ -199,6 +199,13 @@ impl RowSched {
     /// cycles with nothing due.
     #[inline]
     pub fn fire_due(&mut self, now: u64) -> u64 {
+        self.fire_due_with(now, |_| {})
+    }
+
+    /// [`RowSched::fire_due`] with an observer invoked for each row newly
+    /// woken by a timer (the trace layer's timer-wake hook).
+    #[inline]
+    pub fn fire_due_with(&mut self, now: u64, mut on_wake: impl FnMut(usize)) -> u64 {
         if self.next_due > now {
             return 0;
         }
@@ -210,6 +217,7 @@ impl RowSched {
                 self.timer[r] = u64::MAX;
                 if self.wake.insert(r) {
                     fired += 1;
+                    on_wake(r);
                 }
             } else {
                 next = next.min(t);

@@ -8,6 +8,124 @@
 
 use crate::isa::LANES;
 
+/// Why an orchestrator was back-pressured on a cycle it wanted to act.
+///
+/// Every stall cycle ([`Stats::stall_cycles`]) carries exactly one cause,
+/// recorded by the FSM that returned the stall
+/// ([`crate::orchestrator::OrchAction::stall`]) and accumulated per cause in
+/// [`StallBreakdown`]. The five causes cover the protocol resources an
+/// orchestrator can wait on; `NocConflict` and `MetaWait` are reserved for
+/// the spatial runner's router model and meta-prefetch experiments — no
+/// in-tree FSM currently produces them (router conflicts abort the run as a
+/// protocol error instead of stalling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum StallCause {
+    /// No credit left on the row's southbound data channel.
+    Credit = 0,
+    /// The inter-orchestrator message slot towards the southern row is full.
+    MsgSlot = 1,
+    /// A router direction the instruction needs is already claimed.
+    NocConflict = 2,
+    /// The input meta stream has no deliverable head token.
+    MetaWait = 3,
+    /// A data operand (north token, evicted window entry) is not available.
+    OperandWait = 4,
+}
+
+impl StallCause {
+    /// All causes, in [`StallBreakdown`] field order.
+    pub const ALL: [StallCause; 5] = [
+        StallCause::Credit,
+        StallCause::MsgSlot,
+        StallCause::NocConflict,
+        StallCause::MetaWait,
+        StallCause::OperandWait,
+    ];
+
+    /// Stable lower-case name (store records, exporters).
+    pub fn name(self) -> &'static str {
+        match self {
+            StallCause::Credit => "credit",
+            StallCause::MsgSlot => "msg_slot",
+            StallCause::NocConflict => "noc_conflict",
+            StallCause::MetaWait => "meta_wait",
+            StallCause::OperandWait => "operand_wait",
+        }
+    }
+
+    /// Inverse of `self as u8` (trace decoding).
+    pub fn from_index(i: u8) -> Option<StallCause> {
+        StallCause::ALL.get(i as usize).copied()
+    }
+}
+
+impl std::fmt::Display for StallCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-cause split of [`Stats::stall_cycles`].
+///
+/// Invariant (asserted by the trace replay tests): the field sum equals
+/// `stall_cycles` exactly — every stall cycle is attributed to exactly one
+/// cause, including the cycles settled arithmetically for parked rows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallBreakdown {
+    /// Stalls waiting on a southbound-channel credit.
+    pub credit: u64,
+    /// Stalls waiting on a free inter-orchestrator message slot.
+    pub msg_slot: u64,
+    /// Stalls waiting on a router direction (reserved, see [`StallCause`]).
+    pub noc_conflict: u64,
+    /// Stalls waiting on a meta-stream token (reserved, see [`StallCause`]).
+    pub meta_wait: u64,
+    /// Stalls waiting on a data operand.
+    pub operand_wait: u64,
+}
+
+impl StallBreakdown {
+    /// Adds `n` stall cycles of the given cause.
+    #[inline]
+    pub fn add(&mut self, cause: StallCause, n: u64) {
+        *self.slot_mut(cause) += n;
+    }
+
+    /// Cycles attributed to `cause`.
+    pub fn get(&self, cause: StallCause) -> u64 {
+        match cause {
+            StallCause::Credit => self.credit,
+            StallCause::MsgSlot => self.msg_slot,
+            StallCause::NocConflict => self.noc_conflict,
+            StallCause::MetaWait => self.meta_wait,
+            StallCause::OperandWait => self.operand_wait,
+        }
+    }
+
+    fn slot_mut(&mut self, cause: StallCause) -> &mut u64 {
+        match cause {
+            StallCause::Credit => &mut self.credit,
+            StallCause::MsgSlot => &mut self.msg_slot,
+            StallCause::NocConflict => &mut self.noc_conflict,
+            StallCause::MetaWait => &mut self.meta_wait,
+            StallCause::OperandWait => &mut self.operand_wait,
+        }
+    }
+
+    /// Sum over all causes (equals [`Stats::stall_cycles`] by invariant).
+    pub fn total(&self) -> u64 {
+        self.credit + self.msg_slot + self.noc_conflict + self.meta_wait + self.operand_wait
+    }
+
+    /// Adds another breakdown into this one.
+    pub fn merge(&mut self, other: &StallBreakdown) {
+        for cause in StallCause::ALL {
+            self.add(cause, other.get(cause));
+        }
+    }
+}
+
 /// Aggregated activity counters for one simulation run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Stats {
@@ -36,6 +154,8 @@ pub struct Stats {
     /// Cycles in which an orchestrator wanted to act but was back-pressured
     /// (no credit / message slot) — the load-imbalance stall metric.
     pub stall_cycles: u64,
+    /// Per-cause split of `stall_cycles` (field sum equals it exactly).
+    pub stall_breakdown: StallBreakdown,
     /// Meta tokens consumed from the input streams.
     pub meta_tokens: u64,
     /// Bytes streamed in from off-chip (operand streams + preload).
@@ -82,6 +202,7 @@ impl Stats {
         self.orch_transitions += other.orch_transitions;
         self.orch_messages += other.orch_messages;
         self.stall_cycles += other.stall_cycles;
+        self.stall_breakdown.merge(&other.stall_breakdown);
         self.meta_tokens += other.meta_tokens;
         self.offchip_read_bytes += other.offchip_read_bytes;
         self.offchip_write_bytes += other.offchip_write_bytes;
@@ -173,6 +294,32 @@ mod tests {
         assert_eq!(a.noc_hops, 5);
         assert_eq!(a.stall_cycles, 2);
         assert_eq!(a.scalar_macs(), 40);
+    }
+
+    #[test]
+    fn stall_breakdown_sums_and_merges() {
+        let mut b = StallBreakdown::default();
+        b.add(StallCause::Credit, 3);
+        b.add(StallCause::MsgSlot, 2);
+        b.add(StallCause::OperandWait, 1);
+        assert_eq!(b.total(), 6);
+        assert_eq!(b.get(StallCause::Credit), 3);
+        assert_eq!(b.get(StallCause::NocConflict), 0);
+        let mut a = Stats::new();
+        a.stall_cycles = 4;
+        a.stall_breakdown.add(StallCause::Credit, 4);
+        let mut other = Stats::new();
+        other.stall_cycles = 6;
+        other.stall_breakdown = b;
+        a.merge(&other);
+        assert_eq!(a.stall_cycles, 10);
+        assert_eq!(a.stall_breakdown.total(), a.stall_cycles);
+        assert_eq!(a.stall_breakdown.credit, 7);
+        for c in StallCause::ALL {
+            assert_eq!(StallCause::from_index(c as u8), Some(c));
+            assert!(!c.name().is_empty());
+        }
+        assert_eq!(StallCause::from_index(9), None);
     }
 
     #[test]

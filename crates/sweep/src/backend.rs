@@ -24,7 +24,7 @@
 
 use canon_baselines::{Accelerator, Cgra, OpKind, SparseSystolic24, SystolicArray, ZedAccelerator};
 use canon_core::kernels::{self, window::WindowAttention, KernelInput};
-use canon_core::stats::RunReport;
+use canon_core::stats::{RunReport, StallBreakdown};
 use canon_core::{CanonConfig, SimError, LANES};
 use canon_energy::{baseline_energy, canon_energy, canon_loop_energy, Arch};
 use canon_loopir::mapping::{map_canon, map_cgra};
@@ -45,6 +45,10 @@ pub struct RunRecord {
     pub useful_macs: u64,
     /// Effective compute utilization in `[0, 1]`.
     pub utilization: f64,
+    /// Per-cause stall attribution, when the backend's cycle model tracks
+    /// it (the Canon fabric simulator); `None` for analytic baselines and
+    /// loop-nest mappings.
+    pub stalls: Option<StallBreakdown>,
 }
 
 /// Why a backend did not produce a record.
@@ -346,6 +350,7 @@ fn run_tensor_on<A: Accelerator>(
         energy_pj: baseline_energy(arch, &run).total_pj(),
         useful_macs: op.useful_macs(),
         utilization: run.utilization(),
+        stalls: None,
     })
 }
 
@@ -405,6 +410,7 @@ impl Backend for CanonBackend {
                     energy_pj: canon_energy(&report).total_pj(),
                     useful_macs: op.useful_macs(),
                     utilization: report.compute_utilization(),
+                    stalls: Some(report.stats.stall_breakdown),
                 })
             }
             Workload::Loop(lk) => {
@@ -416,6 +422,7 @@ impl Backend for CanonBackend {
                         .total_pj(),
                     useful_macs: run.useful_ops,
                     utilization: run.utilization,
+                    stalls: None,
                 })
             }
         }
@@ -517,6 +524,7 @@ impl Backend for CgraBackend {
                     energy_pj: baseline_energy(Arch::Cgra, &run).total_pj(),
                     useful_macs: run.useful_macs,
                     utilization: run.utilization(),
+                    stalls: None,
                 })
             }
         }

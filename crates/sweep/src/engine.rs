@@ -35,6 +35,10 @@ pub struct SweepOptions {
     pub jobs: usize,
     /// Base Canon configuration; per-scenario geometry overrides rows/cols.
     pub base_cfg: CanonConfig,
+    /// Emit a live progress line on stderr while the sweep executes
+    /// (cells done/total, cells/sec, operand-cache and result-store hit
+    /// rates). Off by default: library consumers and tests stay silent.
+    pub progress: bool,
 }
 
 impl Default for SweepOptions {
@@ -42,6 +46,7 @@ impl Default for SweepOptions {
         SweepOptions {
             jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
             base_cfg: CanonConfig::default(),
+            progress: false,
         }
     }
 }
@@ -107,8 +112,10 @@ fn record_for(
     cache: &OperandCache,
 ) -> StoredRecord {
     let backend = backend_for(scenario.arch, scenario.geometry, &opts.base_cfg);
-    let (status, cycles, energy_pj, useful_macs, utilization) = if !backend.supports(&scenario.op) {
-        (RecordStatus::Unsupported, 0, 0.0, 0, 0.0)
+    let (status, cycles, energy_pj, useful_macs, utilization, stalls) = if !backend
+        .supports(&scenario.op)
+    {
+        (RecordStatus::Unsupported, 0, 0.0, 0, 0.0, None)
     } else {
         match backend.run_cached(&scenario.op, scenario.seed, cache) {
             Ok(r) => (
@@ -117,9 +124,10 @@ fn record_for(
                 r.energy_pj,
                 r.useful_macs,
                 r.utilization,
+                r.stalls,
             ),
-            Err(BackendError::Unsupported) => (RecordStatus::Unsupported, 0, 0.0, 0, 0.0),
-            Err(BackendError::Sim(e)) => (RecordStatus::Error(e.to_string()), 0, 0.0, 0, 0.0),
+            Err(BackendError::Unsupported) => (RecordStatus::Unsupported, 0, 0.0, 0, 0.0, None),
+            Err(BackendError::Sim(e)) => (RecordStatus::Error(e.to_string()), 0, 0.0, 0, 0.0, None),
         }
     };
     StoredRecord {
@@ -138,6 +146,7 @@ fn record_for(
         energy_pj,
         useful_macs,
         utilization,
+        stalls,
     }
 }
 
@@ -194,7 +203,41 @@ pub fn run_sweep(
     let cache = OperandCache::with_capacity(16.max(2 * jobs));
 
     let wall_start = std::time::Instant::now();
+    let finished = std::sync::atomic::AtomicBool::new(false);
     let computed: Vec<(usize, StoredRecord)> = std::thread::scope(|scope| {
+        if opts.progress && !misses.is_empty() {
+            // Progress monitor: one line on stderr, rewritten in place, with
+            // the throughput numbers a long sweep is usually watched for.
+            let executed = &executed;
+            let finished = &finished;
+            let cache = &cache;
+            let total = misses.len();
+            scope.spawn(move || loop {
+                let done = executed.load(Ordering::Relaxed);
+                let secs = wall_start.elapsed().as_secs_f64();
+                let (h, m) = (cache.hit_count(), cache.miss_count());
+                let operand_rate = if h + m > 0 {
+                    100.0 * h as f64 / (h + m) as f64
+                } else {
+                    0.0
+                };
+                let store_rate = if cache_hits + total > 0 {
+                    100.0 * cache_hits as f64 / (cache_hits + total) as f64
+                } else {
+                    0.0
+                };
+                eprint!(
+                    "\rsweep: {done}/{total} cells  {:.1} cells/sec  \
+                         operand-cache {operand_rate:.0}%  store {store_rate:.0}%   ",
+                    done as f64 / secs.max(1e-9),
+                );
+                if finished.load(Ordering::Relaxed) {
+                    eprintln!();
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(200));
+            });
+        }
         let handles: Vec<_> = (0..queues.len())
             .map(|w| {
                 let queues = &queues;
@@ -222,10 +265,12 @@ pub fn run_sweep(
                 })
             })
             .collect();
-        handles
+        let computed = handles
             .into_iter()
             .flat_map(|h| h.join().expect("sweep worker panicked"))
-            .collect()
+            .collect();
+        finished.store(true, Ordering::Relaxed);
+        computed
     });
     let wall_secs = wall_start.elapsed().as_secs_f64();
     let sim_cycles: u64 = computed.iter().map(|(_, rec)| rec.cycles).sum();

@@ -152,6 +152,7 @@ mod tests {
             energy_pj: energy,
             useful_macs: 1,
             utilization: 0.5,
+            stalls: None,
         }
     }
 

@@ -19,6 +19,7 @@
 //! — their content keys can never be probed again).
 
 use crate::scenario::Scenario;
+use canon_core::stats::{StallBreakdown, StallCause};
 use canon_core::CanonConfig;
 use std::collections::HashMap;
 use std::io::{self, Write as _};
@@ -126,6 +127,11 @@ pub struct StoredRecord {
     pub useful_macs: u64,
     /// Effective compute utilization.
     pub utilization: f64,
+    /// Per-cause stall attribution, when the backend tracks it (Canon
+    /// tensor cells). Serialized as flat `stall_<cause>` fields; records
+    /// written before the field existed parse as `None`, so adding it
+    /// needed no salt bump.
+    pub stalls: Option<StallBreakdown>,
 }
 
 fn escape_json(s: &str, out: &mut String) {
@@ -178,9 +184,15 @@ impl StoredRecord {
             field_str(&mut s, "reason", reason);
         }
         s.push_str(&format!(
-            ",\"cycles\":{},\"energy_pj\":{},\"useful_macs\":{},\"utilization\":{}}}",
+            ",\"cycles\":{},\"energy_pj\":{},\"useful_macs\":{},\"utilization\":{}",
             self.cycles, self.energy_pj, self.useful_macs, self.utilization
         ));
+        if let Some(b) = &self.stalls {
+            for cause in StallCause::ALL {
+                s.push_str(&format!(",\"stall_{}\":{}", cause.name(), b.get(cause)));
+            }
+        }
+        s.push('}');
         s
     }
 
@@ -246,6 +258,19 @@ impl StoredRecord {
             energy_pj: get_f64("energy_pj")?,
             useful_macs: get_u64("useful_macs")?,
             utilization: get_f64("utilization")?,
+            stalls: {
+                // Present only on records whose backend tracked attribution;
+                // one present field implies all five were written together.
+                if fields.contains_key("stall_credit") {
+                    let mut b = StallBreakdown::default();
+                    for cause in StallCause::ALL {
+                        b.add(cause, get_u64(&format!("stall_{}", cause.name()))?);
+                    }
+                    Some(b)
+                } else {
+                    None
+                }
+            },
         })
     }
 }
@@ -529,7 +554,37 @@ mod tests {
             energy_pj: 5678.25,
             useful_macs: 1000,
             utilization: 0.4375,
+            stalls: None,
         }
+    }
+
+    #[test]
+    fn roundtrip_with_stall_breakdown() {
+        let mut b = StallBreakdown::default();
+        b.add(StallCause::Credit, 41);
+        b.add(StallCause::OperandWait, 7);
+        let rec = StoredRecord {
+            stalls: Some(b),
+            ..sample_record(RecordStatus::Ok)
+        };
+        let line = rec.to_line();
+        assert!(line.contains("\"stall_credit\":41"));
+        assert!(line.contains("\"stall_operand_wait\":7"));
+        let back = StoredRecord::parse(&line).expect("parses");
+        assert_eq!(back, rec);
+        assert_eq!(back.to_line(), line);
+    }
+
+    #[test]
+    fn records_without_stall_fields_still_parse() {
+        // Lines written before the breakdown existed have no stall_* fields;
+        // they must keep parsing (as `stalls: None`) with no salt bump.
+        let rec = sample_record(RecordStatus::Ok);
+        let line = rec.to_line();
+        assert!(!line.contains("stall_"));
+        let back = StoredRecord::parse(&line).expect("parses");
+        assert_eq!(back.stalls, None);
+        assert_eq!(back, rec);
     }
 
     #[test]

@@ -25,6 +25,7 @@ use canon::arch::noc::TaggedVector;
 use canon::arch::orchestrator::assembler;
 use canon::arch::orchestrator::MetaToken;
 use canon::arch::stats::RunReport;
+use canon::arch::trace::{replay_stats, VecSink};
 use canon::arch::{CanonConfig, Fabric};
 use canon::sparse::{gen, Dense};
 use proptest::prelude::*;
@@ -107,6 +108,7 @@ fn assert_equivalent(event: (&Fabric, &RunReport), polling: (&Fabric, &RunReport
     assert_eq!(e.orch_transitions, p.orch_transitions);
     assert_eq!(e.orch_messages, p.orch_messages);
     assert_eq!(e.stall_cycles, p.stall_cycles, "stall accounting");
+    assert_eq!(e.stall_breakdown, p.stall_breakdown, "stall attribution");
     assert_eq!(e.meta_tokens, p.meta_tokens);
     assert_eq!(e.offchip_read_bytes, p.offchip_read_bytes);
     assert_eq!(e.offchip_write_bytes, p.offchip_write_bytes);
@@ -219,12 +221,29 @@ proptest! {
         let mut event = spmm_fabric(rows, cols, m, sparsity, depth, seed, kind);
         let mut polling = spmm_fabric(rows, cols, m, sparsity, depth, seed, kind);
         polling.set_polling(true);
+        let (sink_e, sink_p) = (VecSink::default(), VecSink::default());
+        event.set_trace_sink(Box::new(sink_e.clone()));
+        polling.set_trace_sink(Box::new(sink_p.clone()));
         let er = event.run().expect("event engine drains");
         let pr = polling.run().expect("polling engine drains");
+        event.take_trace_sink();
+        polling.take_trace_sink();
         // The event engine skipped polls without skipping decisions.
         assert_equivalent((&event, &er), (&polling, &pr));
         prop_assert!(er.stats.wake_events > 0, "no wake events recorded");
         prop_assert_eq!(pr.stats.orch_polls_skipped, 0, "polling engine must not skip");
+        // Both engines must emit byte-identical *architectural* event
+        // streams — parked windows coalesce into the same wait spans the
+        // polling engine records step by step. (Scheduler diagnostics —
+        // RowWake/RowPark/RunEnd — legitimately differ.)
+        let events_e = sink_e.take_events();
+        let events_p = sink_p.take_events();
+        let arch_e: Vec<_> = events_e.iter().filter(|e| e.is_architectural()).collect();
+        let arch_p: Vec<_> = events_p.iter().filter(|e| e.is_architectural()).collect();
+        prop_assert_eq!(arch_e, arch_p, "architectural trace streams diverged");
+        // And each stream must replay into its own engine's exact report.
+        prop_assert_eq!(replay_stats(&events_e), er.clone(), "event-engine trace replay");
+        prop_assert_eq!(replay_stats(&events_p), pr.clone(), "polling-engine trace replay");
     }
 
     /// SDDMM with north-edge feeders: pins the feeder-token and
@@ -239,9 +258,20 @@ proptest! {
         let mut event = sddmm_fabric(m, density, seed);
         let mut polling = sddmm_fabric(m, density, seed);
         polling.set_polling(true);
+        let (sink_e, sink_p) = (VecSink::default(), VecSink::default());
+        event.set_trace_sink(Box::new(sink_e.clone()));
+        polling.set_trace_sink(Box::new(sink_p.clone()));
         let er = event.run().expect("event engine drains");
         let pr = polling.run().expect("polling engine drains");
+        event.take_trace_sink();
+        polling.take_trace_sink();
         assert_equivalent((&event, &er), (&polling, &pr));
+        let events_e = sink_e.take_events();
+        let arch_e: Vec<_> = events_e.iter().filter(|e| e.is_architectural()).collect();
+        let arch_p_events = sink_p.take_events();
+        let arch_p: Vec<_> = arch_p_events.iter().filter(|e| e.is_architectural()).collect();
+        prop_assert_eq!(arch_e, arch_p, "architectural trace streams diverged");
+        prop_assert_eq!(replay_stats(&events_e), er.clone(), "event-engine trace replay");
     }
 }
 
