@@ -22,14 +22,16 @@
 
 use crate::workloads12::tensor_ops;
 use crate::{figures, Scale};
+use canon_core::kernels::run_kernel;
 use canon_core::kernels::spmm::{build_row_streams, preload_b_tile, SpmmFsm};
 use canon_core::stats::RunReport;
 use canon_core::{CanonConfig, Fabric};
 use canon_sparse::{gen, Dense};
-use canon_sweep::backend::CanonBackend;
+use canon_sweep::backend::{kernel_input, CanonBackend};
 use canon_sweep::engine::{run_sweep, SweepOptions};
-use canon_sweep::scenario::{standard_workloads, GridBuilder};
+use canon_sweep::scenario::{large_geometries, standard_workloads, GridBuilder};
 use canon_sweep::store::ResultStore;
+use canon_workloads::TensorOp;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -131,6 +133,55 @@ pub fn check_throughput_gate(report: &BenchReport, baseline: &str) -> Result<(),
     Ok(())
 }
 
+/// Evaluates the large-tier throughput gate: geomean of each large entry's
+/// `batched_cps` (the default engine configuration) against the baseline's
+/// entry of the same `name@RxC` key, host-normalized like
+/// [`check_throughput_gate`].
+///
+/// Returns `Ok(None)` when there is nothing to gate — the report skipped
+/// the large tier (`--reps 0`), or the baseline predates the large section
+/// / shares no entry keys with it. A pre-large baseline therefore skips the
+/// gate with a warning instead of breaking the schema; the caller prints
+/// the distinction.
+///
+/// # Errors
+///
+/// Returns a human-readable violation message when the host-normalized
+/// geomean falls below [`MIN_KERNELS_GEOMEAN`].
+pub fn check_large_gate(report: &BenchReport, baseline: &str) -> Result<Option<f64>, String> {
+    if report.large.is_empty() {
+        return Ok(None);
+    }
+    let ratios: Vec<f64> = report
+        .large
+        .iter()
+        .filter_map(|k| {
+            let key = format!("{}@{}x{}", k.name, k.rows, k.cols);
+            extract_number(baseline, &key, "batched_cps").map(|base| k.batched_cps / base)
+        })
+        .collect();
+    let Some(raw) = geomean(&ratios) else {
+        return Ok(None);
+    };
+    // Same better-of-raw-and-normalized host compensation as the scalar
+    // kernels gate.
+    let host_ratio = extract_field(baseline, "calib_ops_per_sec", "calib_ops_per_sec")
+        .filter(|&base| base > 0.0 && report.calib_ops_per_sec > 0.0)
+        .map(|base| report.calib_ops_per_sec / base);
+    let g = match host_ratio {
+        Some(h) => (raw / h).max(raw),
+        None => raw,
+    };
+    if g < MIN_KERNELS_GEOMEAN {
+        return Err(format!(
+            "large-tier geomean regressed to {g:.3}x of the baseline (raw {raw:.3}x, \
+             {} entries compared), below the {MIN_KERNELS_GEOMEAN} gate",
+            ratios.len()
+        ));
+    }
+    Ok(Some(g))
+}
+
 /// Evaluates the allocation-regression gate over a finished report.
 ///
 /// # Errors
@@ -191,12 +242,55 @@ pub struct SteadyState {
     pub pes: usize,
     /// PE-cycles the active-set sweep actually visited.
     pub active_pe_cycles: u64,
+    /// Of those, PE-cycles retired by the column-batch fast path.
+    pub batched_pe_cycles: u64,
     /// Orchestrator FSM activations (includes settled parked windows).
     pub orch_steps: u64,
     /// Orchestrator polls the event engine skipped (parked pure waits).
     pub orch_polls_skipped: u64,
     /// Row wake events raised (link/timer/slot).
     pub wake_events: u64,
+}
+
+impl SteadyState {
+    /// Share of the swept PE work the column-batch fast path carried
+    /// (`batched_pe_cycles / active_pe_cycles`).
+    pub fn batch_hit_rate(&self) -> f64 {
+        self.batched_pe_cycles as f64 / self.active_pe_cycles.max(1) as f64
+    }
+}
+
+/// One large-tier kernel's interleaved batch-off/batch-on measurement at
+/// one fabric geometry.
+#[derive(Debug, Clone)]
+pub struct LargeKernelBench {
+    /// Kernel label (without the geometry suffix; JSON keys entries as
+    /// `name@RxC`).
+    pub name: String,
+    /// Fabric rows of this measurement.
+    pub rows: usize,
+    /// Fabric columns of this measurement.
+    pub cols: usize,
+    /// Simulated cycles of one run (identical with batching on and off —
+    /// asserted every reptition).
+    pub sim_cycles: u64,
+    /// Interleaved A/B pairs measured.
+    pub reps: usize,
+    /// Simulated cycles per host second with the batch path force-disabled.
+    pub scalar_cps: f64,
+    /// Simulated cycles per host second with the batch path on (the
+    /// default engine configuration; this is the number the throughput
+    /// gate compares).
+    pub batched_cps: f64,
+    /// Share of swept PE-cycles the batch path carried (batching on).
+    pub batch_hit_rate: f64,
+}
+
+impl LargeKernelBench {
+    /// Batch-on over batch-off throughput from the interleaved pairs.
+    pub fn batch_speedup(&self) -> f64 {
+        self.batched_cps / self.scalar_cps.max(f64::MIN_POSITIVE)
+    }
 }
 
 /// Wall time of one figure harness entry point.
@@ -236,6 +330,10 @@ pub struct BenchReport {
     pub calib_ops_per_sec: f64,
     /// Per-kernel simulator throughput.
     pub kernels: Vec<KernelBench>,
+    /// Large-tier measurements (64×64 / 128×64 fabrics, deep-K operands)
+    /// with interleaved batch-off/batch-on A/B. Empty when the large tier
+    /// was skipped (`--reps 0`).
+    pub large: Vec<LargeKernelBench>,
     /// Step-loop allocation profile (`None` without an allocator hook).
     pub steady_state: Option<SteadyState>,
     /// Figure harness wall times.
@@ -300,6 +398,113 @@ fn bench_kernels(scale: Scale) -> Vec<KernelBench> {
         .collect()
 }
 
+/// The large tier's kernel list: deep-K shapes where the per-output MAC
+/// burst (`K / rows` dmem words per column visit) is long enough for the
+/// column-batch fast path to engage — the regime the batching optimization
+/// targets — while one run stays under about a second of host time at
+/// 64×64. Every `K` is a multiple of 128 and every `N` a multiple of
+/// `cols·LANES`, so the shapes map at both large geometries.
+fn large_tensor_ops() -> Vec<(&'static str, TensorOp, u64)> {
+    vec![
+        (
+            "GEMM",
+            TensorOp::Gemm {
+                m: 8,
+                k: 16_384,
+                n: 256,
+            },
+            201,
+        ),
+        (
+            "SpMM-S1",
+            TensorOp::Spmm {
+                m: 32,
+                k: 4096,
+                n: 256,
+                sparsity: 0.15,
+            },
+            202,
+        ),
+        (
+            "SpMM-S3",
+            TensorOp::Spmm {
+                m: 32,
+                k: 4096,
+                n: 256,
+                sparsity: 0.80,
+            },
+            203,
+        ),
+        (
+            "SpMM-2:4",
+            TensorOp::SpmmNm {
+                m: 32,
+                k: 2048,
+                n: 256,
+                n_of: 2,
+                m_of: 4,
+            },
+            204,
+        ),
+    ]
+}
+
+/// Measures the large tier: every deep-K kernel at every large geometry,
+/// `reps` interleaved batch-off/batch-on pairs per cell. Interleaving
+/// (off, on, off, on, …) exposes both sides to the same host drift, so the
+/// per-kernel batch speedup is an honest A/B rather than two separated
+/// timing windows. Operands are materialized once per kernel and reused
+/// across reps (the scalar-tier sampler's `run_report` re-generates them
+/// every call, which at these sizes would dominate the measurement).
+fn bench_large(reps: usize) -> Vec<LargeKernelBench> {
+    let mut out = Vec::new();
+    if reps == 0 {
+        return out;
+    }
+    for (rows, cols) in large_geometries() {
+        let cfg_on = CanonConfig::default().with_geometry(rows, cols);
+        let cfg_off = CanonConfig {
+            batching: false,
+            ..cfg_on.clone()
+        };
+        for (name, op, seed) in large_tensor_ops() {
+            let input = kernel_input(&op, seed);
+            let mut wall_off = 0u64;
+            let mut wall_on = 0u64;
+            let mut sim_cycles = 0u64;
+            let mut hit = 0.0f64;
+            for _ in 0..reps {
+                let off = run_kernel(&cfg_off, &input)
+                    .expect("large kernel maps")
+                    .report;
+                let on = run_kernel(&cfg_on, &input)
+                    .expect("large kernel maps")
+                    .report;
+                assert_eq!(
+                    off.cycles, on.cycles,
+                    "batch fast path must be architecturally invisible ({name} {rows}x{cols})"
+                );
+                wall_off += off.wall_ns;
+                wall_on += on.wall_ns;
+                sim_cycles = on.cycles;
+                hit = on.stats.batched_pe_cycles as f64 / on.stats.active_pe_cycles.max(1) as f64;
+            }
+            let total_cycles = sim_cycles as f64 * reps as f64;
+            out.push(LargeKernelBench {
+                name: name.to_string(),
+                rows,
+                cols,
+                sim_cycles,
+                reps,
+                scalar_cps: total_cycles / (wall_off.max(1) as f64 * 1e-9),
+                batched_cps: total_cycles / (wall_on.max(1) as f64 * 1e-9),
+                batch_hit_rate: hit,
+            });
+        }
+    }
+    out
+}
+
 /// The fixed fabric-level SpMM used for allocation profiling **and** pinned
 /// by `tests/cycle_invariance.rs` (`fabric_spmm_collector_sequence_golden`):
 /// skewed 24×32 stream at seed 7, depth-16 window, one column tile on the
@@ -358,6 +563,7 @@ fn bench_steady_state(alloc: AllocSnapshot) -> SteadyState {
         bytes: b1 - b0,
         pes: report.pes,
         active_pe_cycles: report.stats.active_pe_cycles,
+        batched_pe_cycles: report.stats.batched_pe_cycles,
         orch_steps: report.stats.orch_steps,
         orch_polls_skipped: report.stats.orch_polls_skipped,
         wake_events: report.stats.wake_events,
@@ -389,7 +595,7 @@ fn bench_figures(scale: Scale) -> Vec<FigureBench> {
 fn bench_sweep(scale: Scale, jobs: usize) -> SweepBench {
     let mut builder = GridBuilder::new()
         .scales(&[match scale {
-            Scale::Full => 1,
+            Scale::Full | Scale::Large => 1,
             Scale::Smoke => 4,
         }])
         .geometries(&[(8, 8)]);
@@ -428,13 +634,21 @@ fn bench_sweep(scale: Scale, jobs: usize) -> SweepBench {
     best.expect("at least one sweep sample")
 }
 
-/// Runs the full measurement suite.
-pub fn run_bench(scale: Scale, jobs: usize, alloc: Option<AllocSnapshot>) -> BenchReport {
+/// Runs the full measurement suite. `large_reps` is the number of
+/// interleaved batch-off/batch-on pairs per large-tier cell (0 skips the
+/// large tier entirely).
+pub fn run_bench(
+    scale: Scale,
+    jobs: usize,
+    alloc: Option<AllocSnapshot>,
+    large_reps: usize,
+) -> BenchReport {
     BenchReport {
         scale,
         jobs,
         calib_ops_per_sec: calibrate_host(),
         kernels: bench_kernels(scale),
+        large: bench_large(large_reps),
         steady_state: alloc.map(bench_steady_state),
         figures: bench_figures(scale),
         sweep: bench_sweep(scale, jobs),
@@ -500,6 +714,7 @@ pub fn render_json(report: &BenchReport, baseline: Option<&str>) -> String {
     let scale = match report.scale {
         Scale::Full => "full",
         Scale::Smoke => "smoke",
+        Scale::Large => "large",
     };
     let _ = writeln!(s, "{{");
     let _ = writeln!(s, "  \"schema\": 1,");
@@ -539,15 +754,73 @@ pub fn render_json(report: &BenchReport, baseline: Option<&str>) -> String {
         }
     }
     let _ = writeln!(s, "  ],");
+    let mut large_speedups = Vec::new();
+    let _ = writeln!(s, "  \"large\": [");
+    for (i, k) in report.large.iter().enumerate() {
+        let key = format!("{}@{}x{}", k.name, k.rows, k.cols);
+        let speedup = baseline
+            .and_then(|b| extract_number(b, &key, "batched_cps"))
+            .map(|base| k.batched_cps / base);
+        if let Some(r) = speedup {
+            large_speedups.push(r);
+        }
+        let comma = if i + 1 < report.large.len() { "," } else { "" };
+        let _ = write!(
+            s,
+            "    {{\"name\":\"{key}\",\"rows\":{},\"cols\":{},\"sim_cycles\":{},\"reps\":{},\"scalar_cps\":{:.0},\"batched_cps\":{:.0},\"batch_speedup\":{:.3},\"batch_hit_rate\":{:.4}",
+            k.rows,
+            k.cols,
+            k.sim_cycles,
+            k.reps,
+            k.scalar_cps,
+            k.batched_cps,
+            k.batch_speedup(),
+            k.batch_hit_rate
+        );
+        match speedup {
+            Some(r) => {
+                let _ = writeln!(s, ",\"speedup_vs_baseline\":{r:.3}}}{comma}");
+            }
+            None => {
+                let _ = writeln!(s, "}}{comma}");
+            }
+        }
+    }
+    let _ = writeln!(s, "  ],");
+    // The tier's headline number: per-geometry geomean of the interleaved
+    // batch-on/batch-off speedups (self-contained — needs no baseline).
+    if !report.large.is_empty() {
+        let mut geoms: Vec<(usize, usize)> = Vec::new();
+        for k in &report.large {
+            if !geoms.contains(&(k.rows, k.cols)) {
+                geoms.push((k.rows, k.cols));
+            }
+        }
+        let parts: Vec<String> = geoms
+            .iter()
+            .map(|&(r, c)| {
+                let sp: Vec<f64> = report
+                    .large
+                    .iter()
+                    .filter(|k| (k.rows, k.cols) == (r, c))
+                    .map(LargeKernelBench::batch_speedup)
+                    .collect();
+                format!("\"geomean_{r}x{c}\":{:.3}", geomean(&sp).unwrap_or(1.0))
+            })
+            .collect();
+        let _ = writeln!(s, "  \"large_batch\": {{{}}},", parts.join(","));
+    }
     if let Some(ss) = &report.steady_state {
         let _ = writeln!(
             s,
-            "  \"steady_state\": {{\"name\":\"spmm-fabric\",\"cycles\":{},\"allocs\":{},\"bytes\":{},\"allocs_per_cycle\":{:.4},\"active_pe_ratio\":{:.4},\"orch_steps\":{},\"orch_polls_skipped\":{},\"wake_events\":{}}},",
+            "  \"steady_state\": {{\"name\":\"spmm-fabric\",\"cycles\":{},\"allocs\":{},\"bytes\":{},\"allocs_per_cycle\":{:.4},\"active_pe_ratio\":{:.4},\"batched_pe_cycles\":{},\"batch_hit_rate\":{:.4},\"orch_steps\":{},\"orch_polls_skipped\":{},\"wake_events\":{}}},",
             ss.cycles,
             ss.allocs,
             ss.bytes,
             ss.allocs as f64 / ss.cycles.max(1) as f64,
             ss.active_pe_cycles as f64 / (ss.cycles.max(1) * ss.pes.max(1) as u64) as f64,
+            ss.batched_pe_cycles,
+            ss.batch_hit_rate(),
             ss.orch_steps,
             ss.orch_polls_skipped,
             ss.wake_events
@@ -606,6 +879,9 @@ pub fn render_json(report: &BenchReport, baseline: Option<&str>) -> String {
             if let Some(g) = geomean(&kernel_speedups) {
                 parts.push(format!("\"kernels_geomean\":{g:.3}"));
             }
+            if let Some(g) = geomean(&large_speedups) {
+                parts.push(format!("\"large_geomean\":{g:.3}"));
+            }
             if let Some(r) = sweep_speedup {
                 parts.push(format!("\"sweep\":{r:.3}"));
             }
@@ -628,7 +904,12 @@ pub fn render_json(report: &BenchReport, baseline: Option<&str>) -> String {
 /// Human-readable summary printed alongside the JSON file.
 pub fn render_text(report: &BenchReport) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "== repro bench: simulator throughput ==");
+    let tier = match report.scale {
+        Scale::Full => "full",
+        Scale::Smoke => "smoke",
+        Scale::Large => "large",
+    };
+    let _ = writeln!(s, "== repro bench: simulator throughput ({tier} tier) ==");
     let _ = writeln!(
         s,
         "{:<14} {:>11} {:>6} {:>10} {:>16}",
@@ -640,6 +921,51 @@ pub fn render_text(report: &BenchReport) -> String {
             "{:<14} {:>11} {:>6} {:>10.2} {:>16.0}",
             k.name, k.sim_cycles, k.reps, k.wall_ms, k.cycles_per_sec
         );
+    }
+    if !report.large.is_empty() {
+        let _ = writeln!(
+            s,
+            "== large tier: interleaved batch A/B ({} pairs per cell) ==",
+            report.large[0].reps
+        );
+        let _ = writeln!(
+            s,
+            "{:<10} {:>8} {:>11} {:>14} {:>14} {:>8} {:>9}",
+            "kernel", "geometry", "sim cycles", "scalar c/s", "batched c/s", "speedup", "hit rate"
+        );
+        for k in &report.large {
+            let _ = writeln!(
+                s,
+                "{:<10} {:>8} {:>11} {:>14.0} {:>14.0} {:>7.3}x {:>8.1}%",
+                k.name,
+                format!("{}x{}", k.rows, k.cols),
+                k.sim_cycles,
+                k.scalar_cps,
+                k.batched_cps,
+                k.batch_speedup(),
+                k.batch_hit_rate * 100.0
+            );
+        }
+        let mut geoms: Vec<(usize, usize)> = Vec::new();
+        for k in &report.large {
+            if !geoms.contains(&(k.rows, k.cols)) {
+                geoms.push((k.rows, k.cols));
+            }
+        }
+        for (r, c) in geoms {
+            let sp: Vec<f64> = report
+                .large
+                .iter()
+                .filter(|k| (k.rows, k.cols) == (r, c))
+                .map(LargeKernelBench::batch_speedup)
+                .collect();
+            let _ = writeln!(
+                s,
+                "large {r}x{c}: batch on/off geomean {:.3}x over {} kernels",
+                geomean(&sp).unwrap_or(1.0),
+                sp.len()
+            );
+        }
     }
     if let Some(ss) = &report.steady_state {
         let _ = writeln!(
@@ -660,6 +986,13 @@ pub fn render_text(report: &BenchReport) -> String {
             ss.orch_steps,
             ss.orch_polls_skipped as f64 / ss.orch_steps.max(1) as f64 * 100.0,
             ss.wake_events
+        );
+        let _ = writeln!(
+            s,
+            "batch fast path: {} of {} swept PE-cycles ({:.1}% hit rate)",
+            ss.batched_pe_cycles,
+            ss.active_pe_cycles,
+            ss.batch_hit_rate() * 100.0
         );
     }
     for f in &report.figures {
@@ -692,12 +1025,23 @@ mod tests {
                 wall_ms: 1.5,
                 cycles_per_sec: 2_000_000.0,
             }],
+            large: vec![LargeKernelBench {
+                name: "GEMM".into(),
+                rows: 64,
+                cols: 64,
+                sim_cycles: 2373,
+                reps: 3,
+                scalar_cps: 4_000.0,
+                batched_cps: 5_000.0,
+                batch_hit_rate: 0.54,
+            }],
             steady_state: Some(SteadyState {
                 cycles: 164,
                 allocs: 12,
                 bytes: 4096,
                 pes: 64,
                 active_pe_cycles: 4100,
+                batched_pe_cycles: 1025,
                 orch_steps: 1000,
                 orch_polls_skipped: 250,
                 wake_events: 40,
@@ -795,6 +1139,7 @@ mod tests {
             bytes: 0,
             pes: 64,
             active_pe_cycles: 0,
+            batched_pe_cycles: 0,
             orch_steps: 0,
             orch_polls_skipped: 0,
             wake_events: 0,
@@ -853,6 +1198,57 @@ mod tests {
         let mut slower = tiny_report();
         slower.kernels[0].cycles_per_sec *= 0.8;
         assert!(check_throughput_gate(&slower, &legacy).is_err());
+    }
+
+    #[test]
+    fn large_section_roundtrips_and_reports_batch_ab() {
+        let json = render_json(&tiny_report(), None);
+        // Entries are keyed `name@RxC`, so the large GEMM line never
+        // collides with the scalar-tier "GEMM" kernel line.
+        assert_eq!(
+            extract_number(&json, "GEMM@64x64", "batched_cps"),
+            Some(5_000.0)
+        );
+        assert_eq!(
+            extract_number(&json, "GEMM@64x64", "batch_speedup"),
+            Some(1.25)
+        );
+        assert_eq!(
+            extract_number(&json, "GEMM", "cycles_per_sec"),
+            Some(2_000_000.0),
+            "scalar kernel extraction unaffected by the large section"
+        );
+        // Self-contained per-geometry A/B geomean plus the steady-state
+        // batch hit rate land in the JSON without a baseline.
+        assert!(
+            json.contains("\"large_batch\": {\"geomean_64x64\":1.250}"),
+            "{json}"
+        );
+        assert!(json.contains("\"batch_hit_rate\":0.2500"), "{json}");
+        let text = render_text(&tiny_report());
+        assert!(text.contains("batch on/off geomean 1.250x"), "{text}");
+        assert!(text.contains("batch fast path: 1025 of 4100"), "{text}");
+    }
+
+    #[test]
+    fn large_gate_passes_fails_and_tolerates_old_baselines() {
+        let base = render_json(&tiny_report(), None);
+        // Parity passes and reports the geomean.
+        assert_eq!(check_large_gate(&tiny_report(), &base), Ok(Some(1.0)),);
+        // A 20% large-tier regression at identical host speed is gated.
+        let mut slower = tiny_report();
+        slower.large[0].batched_cps *= 0.8;
+        let err = check_large_gate(&slower, &base).unwrap_err();
+        assert!(err.contains("large-tier"), "{err}");
+        // A baseline that predates the large section (tier absent) skips
+        // the gate instead of erroring — no schema break.
+        let mut legacy_report = tiny_report();
+        legacy_report.large.clear();
+        let legacy = render_json(&legacy_report, None);
+        assert!(!legacy.contains("GEMM@64x64"));
+        assert_eq!(check_large_gate(&tiny_report(), &legacy), Ok(None));
+        // A report that skipped the tier (--reps 0) has nothing to gate.
+        assert_eq!(check_large_gate(&legacy_report, &base), Ok(None));
     }
 
     #[test]

@@ -75,29 +75,36 @@ fn alloc_snapshot() -> (u64, u64) {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--smoke] [--jobs N] [--out FILE] [--geom RxC[,RxC...]] <targets...>\n\
+        "usage: repro [--smoke|--large] [--jobs N] [--out FILE] [--geom RxC[,RxC...]] <targets...>\n\
          targets: table1 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17\n\
                   ablation-async ablation-buffer-sizing ablation-lut sweep all\n\
                   store gc\n\
-                  bench [--baseline FILE] [--check]   (writes BENCH_sim.json)\n\
+                  bench [--baseline FILE] [--check] [--reps N]   (writes BENCH_sim.json)\n\
                   trace [--out FILE]   capture the golden SpMM scenario as a\n\
                         Perfetto-loadable Chrome trace (default: trace.json)\n\
                   profile   textual stall/occupancy profile of the same run\n\
          options:\n\
            --smoke      reduced problem sizes (CI-scale)\n\
+           --large      large-fabric tier: doubled problem sizes; sweep\n\
+                        defaults to the 64x64,128x64 geometries\n\
            --progress   (sweep) live progress line on stderr (cells done,\n\
                         cells/sec, operand-cache + store hit rates)\n\
            --jobs N     sweep worker threads (default: all cores)\n\
            --out FILE   sweep result store (default: sweep_results.jsonl);\n\
                         for bench, the report file (default: BENCH_sim.json)\n\
-           --geom LIST  sweep fabric geometries, e.g. 8x8,16x16 (default: 8x8);\n\
-                        baselines are provisioned iso-MAC at each point\n\
+           --geom LIST  sweep fabric geometries, e.g. 8x8,16x16 (default: 8x8,\n\
+                        or 64x64,128x64 under --large); baselines are\n\
+                        provisioned iso-MAC at each point\n\
            --baseline FILE  (bench) previous BENCH_sim.json to embed and\n\
                         compute speedups against\n\
+           --reps N     (bench) interleaved batch-off/on pairs per large-tier\n\
+                        cell (default 3; 0 skips the large tier)\n\
            --check      (bench) exit non-zero if the steady-state step loop\n\
                         exceeds the allocation gate (allocs/cycle) or the\n\
-                        kernels geomean regresses >10% against the baseline\n\
-                        (--baseline FILE, else the committed BENCH_sim.json)"
+                        kernels/large-tier geomeans regress >10% against the\n\
+                        baseline (--baseline FILE, else the committed\n\
+                        BENCH_sim.json); a baseline without a large section\n\
+                        skips that gate with a warning"
     );
     std::process::exit(2)
 }
@@ -145,7 +152,7 @@ fn run_standard_sweep(
 ) -> String {
     let mut builder = GridBuilder::new()
         .scales(&[match scale {
-            Scale::Full => 1,
+            Scale::Full | Scale::Large => 1,
             Scale::Smoke => 4,
         }])
         .geometries(geometries);
@@ -191,11 +198,23 @@ fn run_standard_sweep(
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = if let Some(pos) = args.iter().position(|a| a == "--smoke") {
-        args.remove(pos);
-        Scale::Smoke
-    } else {
-        Scale::Full
+    let scale = match (
+        args.iter().position(|a| a == "--smoke"),
+        args.iter().position(|a| a == "--large"),
+    ) {
+        (Some(_), Some(_)) => {
+            eprintln!("--smoke and --large are mutually exclusive");
+            usage();
+        }
+        (Some(pos), None) => {
+            args.remove(pos);
+            Scale::Smoke
+        }
+        (None, Some(pos)) => {
+            args.remove(pos);
+            Scale::Large
+        }
+        (None, None) => Scale::Full,
     };
     let progress = if let Some(pos) = args.iter().position(|a| a == "--progress") {
         args.remove(pos);
@@ -218,8 +237,25 @@ fn main() {
     let out = out_flag
         .clone()
         .unwrap_or_else(|| "sweep_results.jsonl".into());
-    let geometries = take_value_flag(&mut args, "--geom")
-        .map_or_else(|| vec![(8, 8)], |raw| parse_geometries(&raw));
+    let geometries = take_value_flag(&mut args, "--geom").map_or_else(
+        || match scale {
+            // The large tier sweeps its first-class fabric geometries by
+            // default; explicit --geom still overrides.
+            Scale::Large => canon_sweep::scenario::large_geometries().to_vec(),
+            Scale::Full | Scale::Smoke => vec![(8, 8)],
+        },
+        |raw| parse_geometries(&raw),
+    );
+    let large_reps = match take_value_flag(&mut args, "--reps") {
+        Some(v) => match v.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("--reps needs a non-negative integer, got {v}");
+                usage();
+            }
+        },
+        None => 3,
+    };
     if args.is_empty() {
         usage();
     }
@@ -243,7 +279,7 @@ fn main() {
             })
         });
         COUNTING.store(true, Ordering::Relaxed);
-        let report = bench::run_bench(scale, jobs, Some(alloc_snapshot));
+        let report = bench::run_bench(scale, jobs, Some(alloc_snapshot), large_reps);
         print!("{}", bench::render_text(&report));
         let json = bench::render_json(&report, baseline.as_deref());
         let path = out_flag.unwrap_or_else(|| "BENCH_sim.json".into());
@@ -270,16 +306,31 @@ fn main() {
                 None => std::fs::read_to_string("BENCH_sim.json").ok(),
             };
             match gate_baseline {
-                Some(b) => match bench::check_throughput_gate(&report, &b) {
-                    Ok(()) => println!(
-                        "throughput gate passed (kernels geomean >= {}x of baseline)",
-                        bench::MIN_KERNELS_GEOMEAN
-                    ),
-                    Err(msg) => {
-                        eprintln!("throughput gate FAILED: {msg}");
-                        std::process::exit(1);
+                Some(b) => {
+                    match bench::check_throughput_gate(&report, &b) {
+                        Ok(()) => println!(
+                            "throughput gate passed (kernels geomean >= {}x of baseline)",
+                            bench::MIN_KERNELS_GEOMEAN
+                        ),
+                        Err(msg) => {
+                            eprintln!("throughput gate FAILED: {msg}");
+                            std::process::exit(1);
+                        }
                     }
-                },
+                    match bench::check_large_gate(&report, &b) {
+                        Ok(Some(g)) => println!(
+                            "large-tier gate passed (geomean {g:.3}x >= {}x of baseline)",
+                            bench::MIN_KERNELS_GEOMEAN
+                        ),
+                        Ok(None) => eprintln!(
+                            "large-tier gate skipped: tier absent from this run or the baseline"
+                        ),
+                        Err(msg) => {
+                            eprintln!("large-tier gate FAILED: {msg}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
                 None => {
                     eprintln!(
                         "throughput gate skipped: no --baseline and no committed BENCH_sim.json"

@@ -139,7 +139,7 @@ pub fn fig11(scale: Scale) -> String {
     let r = backend.run_report(&gemm, 111).expect("gemm maps");
     run_one("GEMM".into(), &r);
     let ws = fig11_workloads(match scale {
-        Scale::Full => 8,
+        Scale::Full | Scale::Large => 8,
         Scale::Smoke => 32,
     });
     for (name, band, op) in ws {
@@ -218,7 +218,7 @@ pub fn fig1213(scale: Scale) -> String {
 pub fn fig14(scale: Scale) -> String {
     let backends = all_backends(&CanonConfig::default());
     let model_scale = match scale {
-        Scale::Full => 16,
+        Scale::Full | Scale::Large => 16,
         Scale::Smoke => 64,
     };
     let mut columns = Vec::new();
@@ -279,7 +279,7 @@ pub fn fig15(scale: Scale) -> String {
         "scale", "sparsity", "PEs", "AI(ops/elem)", "utilization"
     );
     let factors: &[usize] = match scale {
-        Scale::Full => &[1, 2, 4, 8],
+        Scale::Full | Scale::Large => &[1, 2, 4, 8],
         Scale::Smoke => &[1, 2],
     };
     for &f in factors {
@@ -354,11 +354,11 @@ pub fn fig17(scale: Scale) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== Fig 17: compute utilization vs scratchpad depth ==");
     let depths: &[usize] = match scale {
-        Scale::Full => &[1, 4, 8, 16, 32, 64],
+        Scale::Full | Scale::Large => &[1, 4, 8, 16, 32, 64],
         Scale::Smoke => &[1, 16],
     };
     let sparsities: Vec<f64> = match scale {
-        Scale::Full => (0..9).map(|i| i as f64 / 10.0 + 0.05).collect(),
+        Scale::Full | Scale::Large => (0..9).map(|i| i as f64 / 10.0 + 0.05).collect(),
         Scale::Smoke => vec![0.45, 0.85],
     };
     let _ = write!(out, "{:>12}", "sparsity");

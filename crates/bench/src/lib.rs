@@ -27,18 +27,25 @@ pub enum Scale {
     Smoke,
     /// The sizes used for EXPERIMENTS.md (laptop-scale, minutes).
     Full,
+    /// The large-fabric tier: 64×64 / 128×64 geometries with real-sized
+    /// operands. Dimensions are doubled from full scale and rounded up to
+    /// multiples of 128 so every shape satisfies the mapping divisibility
+    /// constraints (`K % rows`, `N % cols·lanes`) of both large geometries.
+    Large,
 }
 
 impl Scale {
-    /// Multiplies a full-scale dimension down for smoke runs, keeping
-    /// mapping-friendly granularity: the quarter-scale dimension is rounded
-    /// *up* to a multiple of 32 (the default fabric's `rows` and
-    /// `cols·lanes` granularities), minimum 32, so smoke shapes always
-    /// satisfy the kernels' divisibility constraints.
+    /// Scales a full-scale dimension for the preset, keeping
+    /// mapping-friendly granularity: smoke quarters and rounds *up* to a
+    /// multiple of 32 (the default fabric's `rows` and `cols·lanes`
+    /// granularities), large doubles and rounds up to a multiple of 128
+    /// (the 128-row fabric's granularity), so shapes always satisfy the
+    /// kernels' divisibility constraints at their tier's geometries.
     pub fn dim(self, full: usize) -> usize {
         match self {
             Scale::Full => full,
             Scale::Smoke => (full / 4).div_ceil(32).max(1) * 32,
+            Scale::Large => (full * 2).div_ceil(128).max(1) * 128,
         }
     }
 }
@@ -56,6 +63,18 @@ mod tests {
         assert_eq!(Scale::Full.dim(256), 256);
         assert_eq!(Scale::Smoke.dim(256), 64);
         assert_eq!(Scale::Smoke.dim(64), 32);
+        assert_eq!(Scale::Large.dim(256), 512);
+        assert_eq!(Scale::Large.dim(100), 256);
+    }
+
+    #[test]
+    fn large_dims_satisfy_128_row_granularity() {
+        for full in [1, 33, 64, 100, 128, 200, 256, 512, 1000] {
+            let d = Scale::Large.dim(full);
+            assert_eq!(d % 128, 0, "dim({full}) = {d} not a multiple of 128");
+            assert!(d >= 128, "dim({full}) = {d} below the 128 minimum");
+            assert!(d >= full, "large tier must not shrink a dimension");
+        }
     }
 
     #[test]

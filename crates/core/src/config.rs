@@ -49,6 +49,12 @@ pub struct CanonConfig {
     pub watchdog_factor: u64,
     /// Additive slack for the watchdog.
     pub watchdog_slack: u64,
+    /// Simulator-host knob (not an architectural parameter): enables the
+    /// column-vectorized batch fast path over the SoA slabs. Architecturally
+    /// invisible either way — cycle counts, stats, and collector streams are
+    /// identical (pinned by `tests/batch_column.rs`); disable only for
+    /// differential testing or A/B throughput measurement.
+    pub batching: bool,
 }
 
 impl Default for CanonConfig {
@@ -65,6 +71,7 @@ impl Default for CanonConfig {
             offchip_bytes_per_cycle: 17.0,
             watchdog_factor: 64,
             watchdog_slack: 10_000,
+            batching: true,
         }
     }
 }

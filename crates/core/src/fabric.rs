@@ -117,7 +117,7 @@
 //! underflow aborts the run as a protocol error.
 
 use crate::config::CanonConfig;
-use crate::isa::{Direction, InstrHandle, InstrRing, Instruction, Plan, Vector, LANES};
+use crate::isa::{Direction, InstrHandle, InstrRing, Instruction, Plan, PlanKind, Vector, LANES};
 use crate::noc::{LinkGrid, TaggedVector};
 use crate::orchestrator::{MetaToken, OrchIo, OrchMessage, OrchProgram, RowProgram};
 use crate::pe::{PeArray, PeMut, PeRef};
@@ -144,6 +144,10 @@ pub struct CollectedEntry {
 /// `u64` sentinel for "no value" in the row table's cycle-stamped fields.
 const NEVER: u64 = u64::MAX;
 
+/// Sentinel in [`RowTable::last_state`] for a row that has never stepped
+/// (state ids are 3-bit in hardware, so the top byte value is free).
+const NO_STATE: u8 = u8::MAX;
+
 /// Per-row orchestrator state, struct-of-arrays: each field of the former
 /// boxed per-row record is a flat array indexed by row id, mirroring
 /// [`PeArray`]'s layout one level up. The (now sparse, event-driven) row
@@ -159,7 +163,10 @@ struct RowTable {
     south_credits: Vec<usize>,
     inbox: Vec<VecDeque<(u64, OrchMessage)>>,
     credit_returns: Vec<VecDeque<u64>>,
-    last_state: Vec<Option<u8>>,
+    /// Last observed FSM state id per row, [`NO_STATE`] before the first
+    /// step (sentinel-packed: one byte per row instead of `Option<u8>`'s
+    /// two).
+    last_state: Vec<u8>,
     orch_steps: Vec<u64>,
     transitions: Vec<u64>,
     messages_sent: Vec<u64>,
@@ -191,7 +198,7 @@ impl RowTable {
             // gates).
             inbox: vec![VecDeque::with_capacity(8); rows],
             credit_returns: vec![VecDeque::with_capacity(16); rows],
-            last_state: vec![None; rows],
+            last_state: vec![NO_STATE; rows],
             orch_steps: vec![0; rows],
             transitions: vec![0; rows],
             messages_sent: vec![0; rows],
@@ -270,6 +277,33 @@ impl InjectQueue {
     }
 }
 
+/// One cell of the fabric's issue-uniformity window (see
+/// [`Fabric::issue_window`]): what every row issued at one cycle, folded as
+/// it happens. A cycle is *uniform* when all `rows` rows issued a real
+/// instruction of the same non-generic MAC shape — exactly the condition
+/// under which, `3c` cycles later, fabric column `c`'s pipeline slots all
+/// hold that shape and the column-vectorized batch sweep applies.
+#[derive(Debug, Clone, Copy)]
+struct IssueCell {
+    /// Cycle this cell describes ([`NEVER`] when unwritten; the ring is
+    /// sized so live cells are never overwritten, but staleness is checked,
+    /// never assumed).
+    cycle: u64,
+    /// Shared plan shape of every issue that cycle, or
+    /// [`PlanKind::Generic`] once poisoned by a generic or mismatched issue.
+    kind: PlanKind,
+    /// Rows that issued a real (non-bubble) instruction that cycle.
+    count: u32,
+}
+
+impl IssueCell {
+    const EMPTY: IssueCell = IssueCell {
+        cycle: NEVER,
+        kind: PlanKind::Generic,
+        count: 0,
+    };
+}
+
 /// The simulated Canon fabric.
 pub struct Fabric {
     cfg: CanonConfig,
@@ -314,6 +348,22 @@ pub struct Fabric {
     cycle: u64,
     /// Sum over cycles of the active-set size (scheduler diagnostic).
     active_pe_cycles: u64,
+    /// When true (default), fabric columns whose in-flight issues are
+    /// row-uniform MAC shapes take the column-vectorized batch sweep
+    /// ([`PeArray::batch_col`]) instead of the per-PE scalar path.
+    /// Architecturally invisible either way.
+    batching: bool,
+    /// PE-cycles that went through the batch fast path (scheduler
+    /// diagnostic, reported as [`Stats::batched_pe_cycles`]).
+    batched_pe_cycles: u64,
+    /// Power-of-two ring of per-cycle [`IssueCell`]s indexed by
+    /// `cycle & (len − 1)`, deep enough to cover the issue-to-retire window
+    /// (`3·cols` cycles): the batch detector reads the cells of the three
+    /// issue cycles currently occupying each column's pipeline slots.
+    issue_window: Vec<IssueCell>,
+    /// Phase-3 scratch, reused every cycle: `Some((commit_kind, load_kind))`
+    /// for columns taking the batch sweep this cycle.
+    col_batch: Vec<Option<(PlanKind, PlanKind)>>,
     extra_offchip_read: u64,
     extra_offchip_write: u64,
     /// Host wall time accumulated inside [`Fabric::run`] (ns).
@@ -372,6 +422,10 @@ impl Fabric {
             east_collected: Vec::with_capacity(128),
             cycle: 0,
             active_pe_cycles: 0,
+            batching: cfg.batching,
+            batched_pe_cycles: 0,
+            issue_window: vec![IssueCell::EMPTY; (3 * cfg.cols).next_power_of_two()],
+            col_batch: vec![None; cfg.cols],
             extra_offchip_read: 0,
             extra_offchip_write: 0,
             wall_ns: 0,
@@ -449,6 +503,15 @@ impl Fabric {
         self.polling = polling;
     }
 
+    /// Enables/disables the column-vectorized batch fast path (default
+    /// **on**). Architectural behaviour — cycle counts, results, stats,
+    /// stall breakdowns, collector and trace streams — is identical either
+    /// way (`tests/batch_column.rs` diffs the two on random programs); only
+    /// the [`Stats::batched_pe_cycles`] diagnostic differs.
+    pub fn set_batching(&mut self, batching: bool) {
+        self.batching = batching;
+    }
+
     /// Attaches a trace sink: from the next cycle on, every engine layer
     /// records cycle-stamped [`crate::trace::TraceEvent`]s into it. Attach
     /// **before the first cycle** for a stream that
@@ -497,6 +560,7 @@ impl Fabric {
             self.active_pe_cycles,
             polls_skipped,
             self.wake_events,
+            self.batched_pe_cycles,
         );
         Some(tr.into_sink())
     }
@@ -624,11 +688,15 @@ impl Fabric {
             .expect("checked present above")
             .step(&io);
         self.rows.orch_steps[r] += 1;
-        if self.rows.last_state[r] != Some(action.state_id) {
-            if self.rows.last_state[r].is_some() {
+        debug_assert!(
+            action.state_id != NO_STATE,
+            "state id {NO_STATE} is reserved as the never-stepped sentinel"
+        );
+        if self.rows.last_state[r] != action.state_id {
+            if self.rows.last_state[r] != NO_STATE {
                 self.rows.transitions[r] += 1;
             }
-            self.rows.last_state[r] = Some(action.state_id);
+            self.rows.last_state[r] = action.state_id;
         }
         if let Some(cause) = action.stall_cause() {
             self.rows.stall_causes[r].add(cause, 1);
@@ -668,7 +736,7 @@ impl Fabric {
                 self.sched.arm(r - 1, deliver);
             }
         }
-        if let Some(m) = action.msg_out {
+        if let Some(m) = action.msg_out() {
             self.rows.messages_sent[r] += 1;
             if r + 1 < nrows {
                 if self.rows.inbox[r + 1].len() >= self.cfg.orch_msg_capacity {
@@ -719,6 +787,23 @@ impl Fabric {
             if plan != Plan::Generic {
                 self.pes.validate_and_account(plan, cols)?;
             }
+            // Fold this issue into the cycle's uniformity cell (bubbles and
+            // parked rows simply never count, so `count < rows` marks the
+            // cycle non-uniform in both engines identically).
+            let slot = (now & (self.issue_window.len() as u64 - 1)) as usize;
+            let cell = &mut self.issue_window[slot];
+            if cell.cycle != now {
+                *cell = IssueCell {
+                    cycle: now,
+                    kind: plan.kind(),
+                    count: 1,
+                };
+            } else {
+                if cell.kind != plan.kind() {
+                    cell.kind = PlanKind::Generic;
+                }
+                cell.count += 1;
+            }
             self.inject_now.put(r * cols, instr, plan, &mut self.ring);
             self.active.insert(r * cols);
             if self.trace.is_some() {
@@ -735,7 +820,7 @@ impl Fabric {
             && instr.is_plain_nop()
             && !action.consumes_input()
             && !action.consumes_msg()
-            && action.msg_out.is_none()
+            && action.msg_out().is_none()
         {
             self.rows.parked_at[r] = now;
             self.rows.parked_stall[r] = action.stall_cause();
@@ -834,119 +919,227 @@ impl Fabric {
         // in a second sweep. The row/column of each id is tracked
         // incrementally — ids are visited in ascending order, so no
         // divisions run in the loop.
+        //
+        // Uniform columns take the column-vectorized batch sweep instead:
+        // the detector below checks, per fabric column, that the three issue
+        // cycles currently occupying its pipeline slots (`now − 3c − 2`,
+        // `… − 1`, `now − 3c` — the 3-cycle stagger) were each row-uniform
+        // MAC shapes, folded at issue into `issue_window`. Such a column's
+        // PEs are all live with full COMMIT/EXECUTE slots and a pending
+        // injection, and MAC plans drive no links, retire no bubbles, and
+        // wake nothing — so the scalar scan only emits their trace events
+        // (preserving the ascending-id event order) and skips them; the
+        // state mutation happens in [`PeArray::batch_col`] after the scan,
+        // which reorders nothing observable (a MAC's COMMIT/LOAD touch only
+        // PE-local state).
         self.active_pe_cycles += self.active.count() as u64;
         let mut south_sink_dirty = false;
         let mut east_sink_dirty = false;
-        let mut r = 0usize;
-        let mut row_base = 0usize;
-        for w in 0..self.active.word_count() {
-            let mut bits = self.active.word(w);
-            while bits != 0 {
-                let idx = (w << 6) | bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                while idx >= row_base + cols {
-                    r += 1;
-                    row_base += cols;
-                }
-                let c = idx - row_base;
-                // COMMIT writes a retiring instruction's 4-byte handle
-                // straight into the eastern neighbour's injection slot and
-                // reports its link drives as flags; bubbles forward as a
-                // tag only.
-                let has_east = c + 1 < cols;
-                // Peek the retiring handle before COMMIT consumes the slot
-                // (trace-only; the branch is the hook's entire cost).
-                let traced_commit = if self.trace.is_some() {
-                    self.pes.commit_handle(idx)
-                } else {
-                    None
-                };
-                let eff = self.pes.commit_into_planned(
-                    idx,
-                    &self.ring,
-                    &mut self.grid,
-                    r,
-                    c,
-                    now,
-                    if has_east {
-                        Some(&mut self.inject_next.handle[idx + 1])
+        let mut batched_cols = 0usize;
+        let win_mask = self.issue_window.len() as u64 - 1;
+        let win = &self.issue_window;
+        let uniform = |t: u64| {
+            let cell = &win[(t & win_mask) as usize];
+            (cell.cycle == t && cell.kind != PlanKind::Generic && cell.count == nrows as u32)
+                .then_some(cell.kind)
+        };
+        for c in 0..cols {
+            self.col_batch[c] = None;
+            if !self.batching || now < 3 * c as u64 + 2 {
+                continue;
+            }
+            let t_load = now - 3 * c as u64;
+            let (Some(commit_kind), Some(_), Some(load_kind)) =
+                (uniform(t_load - 2), uniform(t_load - 1), uniform(t_load))
+            else {
+                continue;
+            };
+            self.col_batch[c] = Some((commit_kind, load_kind));
+            batched_cols += 1;
+        }
+        // When every column batches (a fully MAC-saturated fabric) and no
+        // trace needs the per-PE event order, the scalar scan has nothing
+        // left to visit at all.
+        if batched_cols < cols || self.trace.is_some() {
+            let mut r = 0usize;
+            let mut row_base = 0usize;
+            for w in 0..self.active.word_count() {
+                let mut bits = self.active.word(w);
+                while bits != 0 {
+                    let idx = (w << 6) | bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    while idx >= row_base + cols {
+                        r += 1;
+                        row_base += cols;
+                    }
+                    let c = idx - row_base;
+                    if batched_cols > 0 && self.col_batch[c].is_some() {
+                        // Batched column: emit the commit event the scalar path
+                        // would have (a MAC commit wakes nothing and drives no
+                        // sink), leave the bit set (the PE is about to load),
+                        // and let the batch pass do the work.
+                        if self.trace.is_some() {
+                            let h = self
+                                .pes
+                                .commit_handle(idx)
+                                .expect("uniform column: every COMMIT slot holds an instruction");
+                            let op = self.ring.get(h).op;
+                            if let Some(tr) = self.trace.as_deref_mut() {
+                                tr.on_commit(now, r, c, h, op);
+                            }
+                        }
+                        continue;
+                    }
+                    // COMMIT writes a retiring instruction's 4-byte handle
+                    // straight into the eastern neighbour's injection slot and
+                    // reports its link drives as flags; bubbles forward as a
+                    // tag only.
+                    let has_east = c + 1 < cols;
+                    // Peek the retiring handle before COMMIT consumes the slot
+                    // (trace-only; the branch is the hook's entire cost).
+                    let traced_commit = if self.trace.is_some() {
+                        self.pes.commit_handle(idx)
                     } else {
                         None
-                    },
-                )?;
-                if eff.retired {
-                    debug_assert!(
-                        !eff.bubble,
-                        "bubbles are elided at issue and never enter fabric pipelines"
-                    );
-                    if let Some(h) = traced_commit {
-                        let op = self.ring.get(h).op;
-                        if let Some(tr) = self.trace.as_deref_mut() {
-                            tr.on_commit(now, r, c, h, op);
+                    };
+                    let eff = self.pes.commit_into_planned(
+                        idx,
+                        &self.ring,
+                        &mut self.grid,
+                        r,
+                        c,
+                        now,
+                        if has_east {
+                            Some(&mut self.inject_next.handle[idx + 1])
+                        } else {
+                            None
+                        },
+                    )?;
+                    if eff.retired {
+                        debug_assert!(
+                            !eff.bubble,
+                            "bubbles are elided at issue and never enter fabric pipelines"
+                        );
+                        if let Some(h) = traced_commit {
+                            let op = self.ring.get(h).op;
+                            if let Some(tr) = self.trace.as_deref_mut() {
+                                tr.on_commit(now, r, c, h, op);
+                            }
+                        }
+                        if has_east {
+                            self.inject_next.kind[idx + 1] = Inject::Instr;
+                            self.active.insert(idx + 1);
+                        }
+                        if eff.drives_south {
+                            if r + 1 < nrows {
+                                self.active.insert(idx + cols);
+                                // Link event: a column-0 south push changes the
+                                // consuming row's `north_tokens` observable.
+                                if c == 0 && !self.polling && self.sched.wake(r + 1) {
+                                    self.wake_events += 1;
+                                    if let Some(tr) = self.trace.as_deref_mut() {
+                                        tr.on_wake(now, r + 1, WakeSource::Link);
+                                    }
+                                }
+                            } else {
+                                south_sink_dirty = true;
+                            }
+                        }
+                        if eff.drives_east && !has_east {
+                            east_sink_dirty = true;
                         }
                     }
+                    let mut loaded = true;
+                    match self.inject_now.kind[idx] {
+                        Inject::None => loaded = false,
+                        Inject::Instr => {
+                            self.inject_now.kind[idx] = Inject::None;
+                            let h = self.inject_now.handle[idx];
+                            if c == 0 {
+                                // Fresh orchestrator issue: validate the §3.1
+                                // route rules once here; the eastward-forwarded
+                                // copies are identical and skip the re-check.
+                                self.pes.load_planned(
+                                    idx,
+                                    h,
+                                    &self.ring,
+                                    &mut self.grid,
+                                    r,
+                                    c,
+                                    now,
+                                )?;
+                            } else {
+                                self.pes.load_planned_forwarded(
+                                    idx,
+                                    h,
+                                    &self.ring,
+                                    &mut self.grid,
+                                    r,
+                                    c,
+                                    now,
+                                )?;
+                            }
+                        }
+                    }
+                    // Inline deactivation: a PE leaves the set once its
+                    // pipeline, pending injection, and input links are all
+                    // empty. The condition is exact (everything that could
+                    // change it this cycle has already run), which is what lets
+                    // `quiescent()` trust `active.is_empty()`. A PE that just
+                    // loaded is trivially still live — the common case costs one
+                    // branch.
+                    if !loaded
+                        && self.pes.pipeline_empty(idx)
+                        && self.inject_next.kind[idx] == Inject::None
+                        && self.grid.pe_inputs_empty(r, c)
+                    {
+                        self.active.remove(idx);
+                    }
+                }
+            }
+        }
+
+        // Column-vectorized passes for the uniform columns. Running them
+        // after the scalar scan keeps the scan's commit-slot peeks valid;
+        // nothing a batched MAC column does this cycle is observable to the
+        // scalar PEs (no link pushes, no shared state), so the order is
+        // architecturally irrelevant.
+        if batched_cols > 0 {
+            for c in 0..cols {
+                let Some((commit_kind, load_kind)) = self.col_batch[c] else {
+                    continue;
+                };
+                let has_east = c + 1 < cols;
+                let mut idx = c;
+                for _ in 0..nrows {
+                    // Per PE, exactly the scalar bookkeeping: the injection
+                    // is consumed and the retiring handle re-arms the
+                    // eastern neighbour for next cycle — re-activating it,
+                    // since its own deactivation check may already have run
+                    // this scan.
+                    self.inject_now.kind[idx] = Inject::None;
                     if has_east {
                         self.inject_next.kind[idx + 1] = Inject::Instr;
                         self.active.insert(idx + 1);
                     }
-                    if eff.drives_south {
-                        if r + 1 < nrows {
-                            self.active.insert(idx + cols);
-                            // Link event: a column-0 south push changes the
-                            // consuming row's `north_tokens` observable.
-                            if c == 0 && !self.polling && self.sched.wake(r + 1) {
-                                self.wake_events += 1;
-                                if let Some(tr) = self.trace.as_deref_mut() {
-                                    tr.on_wake(now, r + 1, WakeSource::Link);
-                                }
-                            }
-                        } else {
-                            south_sink_dirty = true;
-                        }
-                    }
-                    if eff.drives_east && !has_east {
-                        east_sink_dirty = true;
-                    }
+                    idx += cols;
                 }
-                let mut loaded = true;
-                match self.inject_now.kind[idx] {
-                    Inject::None => loaded = false,
-                    Inject::Instr => {
-                        self.inject_now.kind[idx] = Inject::None;
-                        let h = self.inject_now.handle[idx];
-                        if c == 0 {
-                            // Fresh orchestrator issue: validate the §3.1
-                            // route rules once here; the eastward-forwarded
-                            // copies are identical and skip the re-check.
-                            self.pes
-                                .load_planned(idx, h, &self.ring, &mut self.grid, r, c, now)?;
-                        } else {
-                            self.pes.load_planned_forwarded(
-                                idx,
-                                h,
-                                &self.ring,
-                                &mut self.grid,
-                                r,
-                                c,
-                                now,
-                            )?;
-                        }
-                    }
-                }
-                // Inline deactivation: a PE leaves the set once its
-                // pipeline, pending injection, and input links are all
-                // empty. The condition is exact (everything that could
-                // change it this cycle has already run), which is what lets
-                // `quiescent()` trust `active.is_empty()`. A PE that just
-                // loaded is trivially still live — the common case costs one
-                // branch.
-                if !loaded
-                    && self.pes.pipeline_empty(idx)
-                    && self.inject_next.kind[idx] == Inject::None
-                    && self.grid.pe_inputs_empty(r, c)
-                {
-                    self.active.remove(idx);
-                }
+                let forwards = if has_east {
+                    Some(self.inject_next.handle.as_mut_slice())
+                } else {
+                    None
+                };
+                self.pes.batch_col(
+                    c,
+                    cols,
+                    nrows,
+                    &self.ring,
+                    &self.inject_now.handle,
+                    forwards,
+                    commit_kind,
+                    load_kind,
+                );
+                self.batched_pe_cycles += nrows as u64;
             }
         }
 
@@ -1135,6 +1328,7 @@ impl Fabric {
         stats.offchip_read_bytes = self.extra_offchip_read;
         stats.offchip_write_bytes = self.extra_offchip_write;
         stats.active_pe_cycles = self.active_pe_cycles;
+        stats.batched_pe_cycles = self.batched_pe_cycles;
         RunReport {
             cycles: self.cycle,
             pes: self.cfg.pe_count(),

@@ -237,7 +237,7 @@ mod tests {
         let a = fsm.step(&io);
         assert_eq!(a.instr.op, Opcode::MovFlush);
         assert_eq!(a.instr.op1, Addr::Reg(0));
-        assert_eq!(a.msg_out.unwrap().rid, 0);
+        assert_eq!(a.msg_out().unwrap().rid, 0);
     }
 
     #[test]
@@ -262,6 +262,6 @@ mod tests {
         assert!(a.consumes_msg() && a.consumes_input());
         assert_eq!(a.instr.op, Opcode::MacS);
         assert!(a.instr.route.is_some());
-        assert_eq!(a.msg_out.unwrap().rid, 0);
+        assert_eq!(a.msg_out().unwrap().rid, 0);
     }
 }

@@ -650,7 +650,7 @@ mod tests {
         let a3 = fsm.step(&io3);
         assert_eq!(a3.state_id, state::DRAIN);
         assert_eq!(a3.instr.op, Opcode::MovFlush);
-        assert!(a3.msg_out.is_some());
+        assert!(a3.msg_out().is_some());
         let a4 = fsm.step(&io3);
         assert_eq!(a4.state_id, state::DONE);
         assert!(fsm.done());
@@ -719,7 +719,7 @@ mod tests {
             }),
         ));
         assert!(a.consumes_msg());
-        assert_eq!(a.msg_out.unwrap().rid, 0);
+        assert_eq!(a.msg_out().unwrap().rid, 0);
         let route = a.instr.route.unwrap();
         assert_eq!(route.from, Direction::North);
         assert_eq!(route.to, Direction::South);

@@ -682,7 +682,7 @@ mod tests {
         for a in [&a1, &a2] {
             assert!(a.stalled() && a.parks(), "stall must be a parked pure wait");
             assert!(a.instr.is_plain_nop());
-            assert!(!a.consumes_input() && !a.consumes_msg() && a.msg_out.is_none());
+            assert!(!a.consumes_input() && !a.consumes_msg() && a.msg_out().is_none());
         }
         assert_eq!(a1.state_id, a2.state_id, "stall must be a fixed point");
         assert_eq!(
@@ -750,6 +750,6 @@ mod tests {
         };
         let a2 = p.step(&io2);
         assert!(a2.instr.route.is_some());
-        assert_eq!(a2.msg_out.unwrap().rid, 7);
+        assert_eq!(a2.msg_out().unwrap().rid, 7);
     }
 }

@@ -115,14 +115,22 @@ pub struct OrchIo {
 pub struct OrchAction {
     /// Instruction issued to the first PE of the row (possibly NOP).
     pub instr: Instruction,
-    /// Message to send south, if any.
-    pub msg_out: Option<OrchMessage>,
+    /// Outgoing-message payload; meaningful only when `F_MSG_OUT` is set
+    /// (read through [`OrchAction::msg_out`] — packing the presence bit
+    /// into `flags` keeps the struct a niche-free 52 bytes instead of
+    /// carrying an `Option` discriminant plus padding).
+    msg: OrchMessage,
     /// FSM main-state identifier after this cycle (3-bit State Register in
     /// Fig 5); the fabric counts changes as data-driven state transitions.
     pub state_id: u8,
-    /// Packed consume/park bits + stall cause (see the bit constants).
+    /// Packed consume/park/message bits + stall cause (see the bit
+    /// constants).
     flags: u8,
 }
+
+// The hand-off is returned by value once per woken row per cycle; keep it
+// from quietly growing back the padding PR 6's flag packing removed.
+const _: () = assert!(std::mem::size_of::<OrchAction>() <= 52);
 
 /// `flags` bit: the head input token was consumed.
 const F_CONSUME_INPUT: u8 = 1 << 0;
@@ -130,6 +138,8 @@ const F_CONSUME_INPUT: u8 = 1 << 0;
 const F_CONSUME_MSG: u8 = 1 << 1;
 /// `flags` bit: the action is a parkable pure wait (see [`OrchAction::park`]).
 const F_PARK: u8 = 1 << 2;
+/// `flags` bit: `msg` carries an outgoing message.
+const F_MSG_OUT: u8 = 1 << 3;
 /// `flags` bits 4..: stall cause + 1 (`0` = not stalled).
 const F_STALL_SHIFT: u8 = 4;
 
@@ -138,7 +148,7 @@ impl OrchAction {
     pub fn issue(instr: Instruction, state_id: u8) -> OrchAction {
         OrchAction {
             instr,
-            msg_out: None,
+            msg: OrchMessage { id: 0, rid: 0 },
             state_id,
             flags: 0,
         }
@@ -187,8 +197,15 @@ impl OrchAction {
     /// Attaches an outgoing message (builder).
     #[must_use]
     pub fn send(mut self, m: OrchMessage) -> OrchAction {
-        self.msg_out = Some(m);
+        self.msg = m;
+        self.flags |= F_MSG_OUT;
         self
+    }
+
+    /// The message to send south this cycle, if any.
+    #[inline]
+    pub fn msg_out(&self) -> Option<OrchMessage> {
+        (self.flags & F_MSG_OUT != 0).then_some(self.msg)
     }
 
     /// Whether the head input token was consumed.
@@ -394,7 +411,7 @@ mod tests {
         let a = OrchAction::nop(3);
         assert_eq!(a.state_id, 3);
         assert!(!a.stalled() && !a.consumes_input() && !a.consumes_msg());
-        assert!(a.msg_out.is_none());
+        assert!(a.msg_out().is_none());
         assert!(!a.parks());
         let s = OrchAction::stall(1, StallCause::Credit);
         assert!(s.stalled() && s.parks());
@@ -419,7 +436,7 @@ mod tests {
                 rid: 9,
             });
         assert!(a.consumes_input() && a.consumes_msg());
-        assert_eq!(a.msg_out.unwrap().rid, 9);
+        assert_eq!(a.msg_out().unwrap().rid, 9);
         assert!(!a.stalled());
         // The hand-off stays slim: Copy, with the four former bool-ish
         // fields packed into one byte.

@@ -30,7 +30,9 @@
 //! it earlier — so the simulator computes it eagerly during LOAD and runs no
 //! per-PE EXECUTE sweep at all.
 
-use crate::isa::{Addr, Direction, InstrHandle, InstrRing, Instruction, Opcode, Plan, Vector};
+use crate::isa::{
+    Addr, Direction, InstrHandle, InstrRing, Instruction, Opcode, Plan, PlanKind, Vector,
+};
 use crate::noc::{ErrCtx, LinkGrid, TaggedVector};
 use crate::SimError;
 
@@ -921,6 +923,170 @@ impl PeArray {
         self.batch_pe.compute_instrs += cols;
         self.batch_pe.mac_instrs += cols;
         Ok(())
+    }
+
+    /// Column-vectorized COMMIT+LOAD of one whole fabric column: two
+    /// straight-line passes (COMMIT write-back, then LOAD + eager EXECUTE)
+    /// over the address-major slabs at stride `cols`, each dispatched once
+    /// on the column's uniform plan shape instead of once per PE.
+    ///
+    /// The caller (the fabric's per-column uniformity detector) guarantees —
+    /// and debug builds assert — that in every row `r` of the column, the
+    /// COMMIT slot is `Full` with a plan of `commit_kind`, the EXECUTE slot
+    /// is `Full` with a non-generic (MAC) plan, the LOAD slot is empty, and
+    /// `loads[r·cols + col]` is a plan of `load_kind`; both kinds are MAC
+    /// shapes (never [`PlanKind::Generic`]). The per-PE *addresses* still
+    /// differ — each row issued its own instruction — so the plan lookup
+    /// stays per PE; what the pass hoists is the shape dispatch, the
+    /// forwarding scan, and every per-PE call/effect decision. Under the
+    /// invariants it is instruction-for-instruction identical to the scalar
+    /// path:
+    ///
+    /// * MAC plans drive no NoC link and have a null flush address, so the
+    ///   COMMIT write-back is one slab/register store and the effects are
+    ///   constant (retired, no link drives, no wakes);
+    /// * the fused per-PE order empties a PE's COMMIT slot before its LOAD
+    ///   runs, and COMMIT/LOAD touch only PE-local state, so splitting the
+    ///   column into a commit pass followed by a load pass reorders nothing
+    ///   observable; store-to-load forwarding can then only hit the EXECUTE
+    ///   slot — one cached-address compare per operand that *can* match
+    ///   (the MAC result address is `Spad`/`Reg` and the EXECUTE slot's
+    ///   flush address is null, so `DataMem` operands never forward);
+    /// * bounds and activity counts were hoisted to issue time
+    ///   ([`PeArray::validate_and_account`]), exactly as on the scalar
+    ///   planned path.
+    ///
+    /// Eastward forwarding is bulk-copied: each row's retiring handle lands
+    /// in `forwards[r·cols + col + 1]` (the caller passes the next-cycle
+    /// injection slab, or `None` for the last column, where the scalar path
+    /// drops the handle too).
+    #[allow(clippy::too_many_arguments)]
+    pub fn batch_col(
+        &mut self,
+        col: usize,
+        cols: usize,
+        n_rows: usize,
+        ring: &InstrRing,
+        loads: &[InstrHandle],
+        forwards: Option<&mut [InstrHandle]>,
+        commit_kind: PlanKind,
+        load_kind: PlanKind,
+    ) {
+        let n = self.n;
+        let commit_s = self.commit_idx();
+        let exec_s = self.exec_idx();
+        let load_s = self.load_idx;
+        #[cfg(debug_assertions)]
+        for r in 0..n_rows {
+            let idx = r * cols + col;
+            assert_eq!(self.state[commit_s][idx], Slot::Full, "batched COMMIT");
+            assert_eq!(self.state[exec_s][idx], Slot::Full, "batched EXECUTE");
+            assert_eq!(self.state[load_s][idx], Slot::Empty, "batched LOAD");
+            assert_eq!(ring.plan(self.handles[commit_s][idx]).kind(), commit_kind);
+            assert_ne!(
+                ring.plan(self.handles[exec_s][idx]).kind(),
+                PlanKind::Generic,
+                "EXECUTE slot must hold a MAC for the forwarding shortcut"
+            );
+            assert_eq!(ring.plan(loads[idx]).kind(), load_kind);
+        }
+        if let Some(fw) = forwards {
+            for r in 0..n_rows {
+                let idx = r * cols + col;
+                fw[idx + 1] = self.handles[commit_s][idx];
+            }
+        }
+        // COMMIT pass: accumulator write-back (counted at issue).
+        match commit_kind {
+            PlanKind::MacSToSpad => {
+                for r in 0..n_rows {
+                    let idx = r * cols + col;
+                    let Plan::MacSToSpad { b, .. } = ring.plan(self.handles[commit_s][idx]) else {
+                        unreachable!("uniform column holds one plan shape")
+                    };
+                    self.spad[b as usize * n + idx] = self.results[commit_s][idx];
+                    self.state[commit_s][idx] = Slot::Empty;
+                }
+            }
+            PlanKind::MacSToReg | PlanKind::MacVToReg => {
+                for r in 0..n_rows {
+                    let idx = r * cols + col;
+                    let (Plan::MacSToReg { r: reg, .. } | Plan::MacVToReg { r: reg, .. }) =
+                        ring.plan(self.handles[commit_s][idx])
+                    else {
+                        unreachable!("uniform column holds one plan shape")
+                    };
+                    self.regs[idx][reg as usize] = self.results[commit_s][idx];
+                    self.state[commit_s][idx] = Slot::Empty;
+                }
+            }
+            PlanKind::Generic => unreachable!("generic plans never batch"),
+        }
+        // LOAD + eager EXECUTE pass.
+        match load_kind {
+            PlanKind::MacSToSpad => {
+                for r in 0..n_rows {
+                    let idx = r * cols + col;
+                    let Plan::MacSToSpad { a, b, imm } = ring.plan(loads[idx]) else {
+                        unreachable!("uniform column holds one plan shape")
+                    };
+                    let op2 = self.dmem[a as usize * n + idx];
+                    let target = Addr::Spad(b);
+                    let res_in = if self.res_addr[exec_s][idx] == target {
+                        self.results[exec_s][idx]
+                    } else {
+                        self.spad[b as usize * n + idx]
+                    };
+                    self.state[load_s][idx] = Slot::Full;
+                    self.results[load_s][idx] = res_in.mac(Vector::splat(imm.lane0()), op2);
+                    self.handles[load_s][idx] = loads[idx];
+                    self.res_addr[load_s][idx] = target;
+                    self.flush_addr[load_s][idx] = Addr::Null;
+                }
+            }
+            PlanKind::MacSToReg => {
+                for r in 0..n_rows {
+                    let idx = r * cols + col;
+                    let Plan::MacSToReg { a, r: reg, imm } = ring.plan(loads[idx]) else {
+                        unreachable!("uniform column holds one plan shape")
+                    };
+                    let op2 = self.dmem[a as usize * n + idx];
+                    let target = Addr::Reg(reg);
+                    let res_in = if self.res_addr[exec_s][idx] == target {
+                        self.results[exec_s][idx]
+                    } else {
+                        self.regs[idx][reg as usize]
+                    };
+                    self.state[load_s][idx] = Slot::Full;
+                    self.results[load_s][idx] = res_in.mac(Vector::splat(imm.lane0()), op2);
+                    self.handles[load_s][idx] = loads[idx];
+                    self.res_addr[load_s][idx] = target;
+                    self.flush_addr[load_s][idx] = Addr::Null;
+                }
+            }
+            PlanKind::MacVToReg => {
+                for r in 0..n_rows {
+                    let idx = r * cols + col;
+                    let Plan::MacVToReg { a, b, r: reg } = ring.plan(loads[idx]) else {
+                        unreachable!("uniform column holds one plan shape")
+                    };
+                    let op1 = self.spad[a as usize * n + idx];
+                    let op2 = self.dmem[b as usize * n + idx];
+                    let target = Addr::Reg(reg);
+                    let res_in = if self.res_addr[exec_s][idx] == target {
+                        self.results[exec_s][idx]
+                    } else {
+                        self.regs[idx][reg as usize]
+                    };
+                    self.state[load_s][idx] = Slot::Full;
+                    self.results[load_s][idx] = res_in.mac(op1, op2);
+                    self.handles[load_s][idx] = loads[idx];
+                    self.res_addr[load_s][idx] = target;
+                    self.flush_addr[load_s][idx] = Addr::Null;
+                }
+            }
+            PlanKind::Generic => unreachable!("generic plans never batch"),
+        }
     }
 
     /// Batched activity of planned fast-path issues (instruction counters).

@@ -180,6 +180,13 @@ pub struct Stats {
     /// diagnostic: `wake_events / orch_steps` is how event-driven the run
     /// was (0 under pure polling).
     pub wake_events: u64,
+    /// PE-cycles executed through the column-vectorized batch fast path
+    /// (whole-row LOAD+COMMIT passes over the SoA slabs when every pipeline
+    /// slot of a row holds the same MAC plan shape). A scheduler diagnostic:
+    /// `batched_pe_cycles / active_pe_cycles` is the batch hit rate — the
+    /// fraction of swept PE work the uniformity detector vectorized. The
+    /// architectural counters are identical either way.
+    pub batched_pe_cycles: u64,
 }
 
 impl Stats {
@@ -209,6 +216,7 @@ impl Stats {
         self.active_pe_cycles += other.active_pe_cycles;
         self.orch_polls_skipped += other.orch_polls_skipped;
         self.wake_events += other.wake_events;
+        self.batched_pe_cycles += other.batched_pe_cycles;
     }
 
     /// Total scalar MAC operations performed (vector MACs × lanes).

@@ -239,6 +239,9 @@ pub enum TraceEvent {
         orch_polls_skipped: u64,
         /// Scheduler diagnostic (engine-dependent).
         wake_events: u64,
+        /// Scheduler diagnostic (engine-dependent): PE-cycles executed
+        /// through the column-vectorized batch fast path.
+        batched_pe_cycles: u64,
     },
 }
 
@@ -372,7 +375,7 @@ impl TraceRecorder {
     ) {
         let consumed_input = action.consumes_input();
         let consumed_msg = action.consumes_msg();
-        let sent_msg = action.msg_out.is_some();
+        let sent_msg = action.msg_out().is_some();
         let stall = action.stall_cause();
         if handle.is_none() && !consumed_input && !consumed_msg && !sent_msg {
             // Pure wait: coalesce. Flush on any discontinuity (state or
@@ -522,6 +525,7 @@ impl TraceRecorder {
     /// wait span, and records the [`TraceEvent::RunEnd`] footer. The fabric
     /// settles still-parked rows (via [`TraceRecorder::on_settle`]) before
     /// calling this.
+    #[allow(clippy::too_many_arguments)]
     pub fn finish(
         &mut self,
         cycles: u64,
@@ -530,6 +534,7 @@ impl TraceRecorder {
         active_pe_cycles: u64,
         orch_polls_skipped: u64,
         wake_events: u64,
+        batched_pe_cycles: u64,
     ) {
         self.scan_offchip(cycles, offchip_read, offchip_write);
         for row in 0..self.pending.len() {
@@ -540,6 +545,7 @@ impl TraceRecorder {
             active_pe_cycles,
             orch_polls_skipped,
             wake_events,
+            batched_pe_cycles,
         });
     }
 
@@ -720,11 +726,13 @@ pub fn replay_stats(events: &[TraceEvent]) -> RunReport {
                 active_pe_cycles,
                 orch_polls_skipped,
                 wake_events,
+                batched_pe_cycles,
             } => {
                 cycles = c;
                 stats.active_pe_cycles = active_pe_cycles;
                 stats.orch_polls_skipped = orch_polls_skipped;
                 stats.wake_events = wake_events;
+                stats.batched_pe_cycles = batched_pe_cycles;
             }
         }
     }
@@ -1096,7 +1104,7 @@ mod tests {
         rec.on_orch_step(17, 0, &wait, None); // still contiguous
                                               // A different cause flushes the span.
         rec.on_orch_step(18, 0, &OrchAction::stall(3, StallCause::MsgSlot), None);
-        rec.finish(20, 0, 0, 0, 0, 0);
+        rec.finish(20, 0, 0, 0, 0, 0, 0);
         let evs = buf.take_events();
         let waits: Vec<_> = evs
             .iter()
@@ -1171,7 +1179,7 @@ mod tests {
         .take_input();
         rec.on_orch_step(0, 0, &issue, Some(InstrHandle::default()));
         rec.on_orch_step(1, 0, &OrchAction::stall(0, StallCause::Credit), None);
-        rec.finish(2, 8, 0, 0, 0, 0);
+        rec.finish(2, 8, 0, 0, 0, 0, 0);
         let mut out = Vec::new();
         write_chrome_trace(&buf.take_events(), &mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
@@ -1228,6 +1236,7 @@ mod tests {
                 active_pe_cycles: 6,
                 orch_polls_skipped: 2,
                 wake_events: 1,
+                batched_pe_cycles: 3,
             },
         ];
         let report = replay_stats(&events);
@@ -1252,5 +1261,6 @@ mod tests {
         assert_eq!(s.orch_polls_skipped, 2);
         assert_eq!(s.wake_events, 1);
         assert_eq!(s.active_pe_cycles, 6);
+        assert_eq!(s.batched_pe_cycles, 3);
     }
 }

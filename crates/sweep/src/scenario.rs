@@ -266,6 +266,15 @@ impl ScenarioGrid {
     }
 }
 
+/// The large-fabric scale tier's geometry axis: the two fabric sizes the
+/// `large` tier of `repro bench`/`repro sweep` measures (64×64 and 128×64,
+/// 4096 and 8192 PEs). One definition shared by the bench harness, the
+/// sweep CLI default under `--large`, and CI's large-geometry determinism
+/// diff.
+pub fn large_geometries() -> [(usize, usize); 2] {
+    [(64, 64), (128, 64)]
+}
+
 /// The workload templates of [`ScenarioGrid::standard`]: seven tensor
 /// families plus three PolyBench loop nests (one per figure category).
 pub fn standard_workloads() -> Vec<WorkloadSpec> {
@@ -412,6 +421,13 @@ impl GridBuilder {
     pub fn geometries(mut self, geometries: &[(usize, usize)]) -> GridBuilder {
         self.geometries = geometries.to_vec();
         self
+    }
+
+    /// Switches the geometry axis to the large-fabric tier
+    /// ([`large_geometries`]).
+    pub fn large_tier(self) -> GridBuilder {
+        let geoms = large_geometries();
+        self.geometries(&geoms)
     }
 
     /// Sets the scale-divisor axis.
