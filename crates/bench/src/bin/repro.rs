@@ -7,6 +7,8 @@
 //! cargo run -p canon-bench --release --bin repro -- --smoke fig17
 //! cargo run -p canon-bench --release --bin repro -- sweep --jobs 4 --out results.jsonl
 //! cargo run -p canon-bench --release --bin repro -- sweep --geom 8x8,16x16
+//! cargo run -p canon-bench --release --bin repro -- sweep --resume --out results.jsonl
+//! cargo run -p canon-bench --release --bin repro -- sweep --faults panic@4,deadlock@9,timeout@14
 //! cargo run -p canon-bench --release --bin repro -- store gc --out results.jsonl
 //! cargo run -p canon-bench --release --bin repro -- trace --out trace.json
 //! cargo run -p canon-bench --release --bin repro -- profile
@@ -18,17 +20,26 @@
 //! `--geom` point — fans it out over `--jobs` worker threads through the
 //! `canon-sweep` engine, and writes/updates the JSONL result store at
 //! `--out`. Cells already present in the store under their content key are
-//! reported as cache hits and not re-simulated. `store gc` compacts the
-//! store, dropping records stranded by `CODE_SALT`/schema bumps.
+//! reported as cache hits and not re-simulated — which is also the
+//! `--resume` path: an interrupted or killed sweep left everything it
+//! completed in the fsync'd journal, so re-running converges on the same
+//! store. Cells that panic, deadlock, or exceed the per-cell budgets are
+//! quarantined as structured failure records (exit code 3), SIGINT drains
+//! in-flight cells and exits 130, and `--faults` injects deterministic
+//! failures to exercise all of it. `store gc` compacts the store, dropping
+//! records stranded by `CODE_SALT`/schema bumps.
 
 use canon_bench::{ablations, bench, figures, Scale};
+use canon_core::fault::{FaultAction, FaultPlan};
 use canon_core::trace::{render_profile, write_chrome_trace, VecSink};
 use canon_sweep::engine::{run_sweep, SweepOptions};
-use canon_sweep::report::{edp_table, speedup_table};
+use canon_sweep::report::{edp_table, quarantine_report, speedup_table};
 use canon_sweep::scenario::{standard_workloads, GridBuilder};
 use canon_sweep::store::ResultStore;
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 /// A counting wrapper around the system allocator, powering `repro bench`'s
 /// steady-state allocation profile (allocations per simulated cycle). The
@@ -73,12 +84,56 @@ fn alloc_snapshot() -> (u64, u64) {
     )
 }
 
+/// The cooperative-shutdown flag SIGINT flips. Sweep workers poll it
+/// between cells (`SweepOptions::shutdown`): in-flight cells drain, the
+/// journal is flushed, and `repro` exits 130 with a partial report.
+static SIGINT_FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+// Raw POSIX `signal(2)` binding: the workspace carries no libc crate, and
+// the handler only needs to flip an atomic.
+#[cfg(unix)]
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+#[cfg(unix)]
+extern "C" fn on_sigint(_signum: i32) {
+    // SAFETY/async-signal-safety: `OnceLock::get` and the atomic store are
+    // lock- and allocation-free; the flag is initialized before the
+    // handler is installed.
+    if let Some(flag) = SIGINT_FLAG.get() {
+        flag.store(true, Ordering::Relaxed);
+    }
+    // Restore the default disposition so a second ^C kills the process
+    // immediately instead of re-requesting the graceful drain.
+    unsafe {
+        signal(2, 0); // SIGINT, SIG_DFL
+    }
+}
+
+/// Installs the graceful-SIGINT handler and returns the shutdown flag to
+/// thread into [`SweepOptions`]. On non-unix hosts the flag exists but ^C
+/// keeps its default (immediate-kill) behaviour.
+fn install_sigint_flag() -> Arc<AtomicBool> {
+    let flag = SIGINT_FLAG
+        .get_or_init(|| Arc::new(AtomicBool::new(false)))
+        .clone();
+    #[cfg(unix)]
+    // SAFETY: `on_sigint` is async-signal-safe (atomics only) and lives
+    // for the whole process.
+    unsafe {
+        signal(2, on_sigint as *const () as usize); // SIGINT
+    }
+    flag
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--smoke|--large] [--jobs N] [--out FILE] [--geom RxC[,RxC...]] <targets...>\n\
          targets: table1 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17\n\
                   ablation-async ablation-buffer-sizing ablation-lut sweep all\n\
-                  store gc\n\
+                  store gc   compact the store; reports kept/stale-salt/\n\
+                        unreadable record counts and recovered torn-tail bytes\n\
                   bench [--baseline FILE] [--check] [--reps N]   (writes BENCH_sim.json)\n\
                   trace [--out FILE]   capture the golden SpMM scenario as a\n\
                         Perfetto-loadable Chrome trace (default: trace.json)\n\
@@ -95,6 +150,21 @@ fn usage() -> ! {
            --geom LIST  sweep fabric geometries, e.g. 8x8,16x16 (default: 8x8,\n\
                         or 64x64,128x64 under --large); baselines are\n\
                         provisioned iso-MAC at each point\n\
+           --resume     (sweep) continue an interrupted sweep from the store\n\
+                        journal: recovered records are reported instead of\n\
+                        warned about; finished cells are cache hits\n\
+           --faults SPEC  (sweep) deterministic fault injection, a comma list\n\
+                        of KIND@CELL[:PARAM] with CELL a scenario index:\n\
+                        panic@4:100 (panic at cycle 100), deadlock@9\n\
+                        (withhold credits), timeout@14:NANOS (slow cell,\n\
+                        default 500ms/cycle), transient@3:2 (fail 2 attempts)\n\
+           --cell-timeout-ms N  (sweep) wall-clock budget per cell; overruns\n\
+                        quarantine as timeout records with partial stats\n\
+                        (defaults to 100 when --faults injects a timeout)\n\
+           --cell-cycles N  (sweep) simulated-cycle ceiling per cell\n\
+                        (deterministic timeout, independent of host speed)\n\
+           --retries N  (sweep) retry budget for transient failures\n\
+                        (default 2); deterministic failures never retry\n\
            --baseline FILE  (bench) previous BENCH_sim.json to embed and\n\
                         compute speedups against\n\
            --reps N     (bench) interleaved batch-off/on pairs per large-tier\n\
@@ -104,9 +174,63 @@ fn usage() -> ! {
                         kernels/large-tier geomeans regress >10% against the\n\
                         baseline (--baseline FILE, else the committed\n\
                         BENCH_sim.json); a baseline without a large section\n\
-                        skips that gate with a warning"
+                        skips that gate with a warning\n\
+         exit codes: 0 ok; 1 fatal error; 2 usage; 3 sweep completed with\n\
+                     quarantined cell failures; 130 interrupted (SIGINT)"
     );
     std::process::exit(2)
+}
+
+/// Parses a `--faults` spec list (`KIND@CELL[:PARAM]`, comma-separated)
+/// into a [`FaultPlan`] keyed by scenario index in grid order.
+fn parse_faults(raw: &str) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    for spec in raw.split(',').filter(|s| !s.is_empty()) {
+        let Some((kind, rest)) = spec.split_once('@') else {
+            eprintln!("--faults entries look like KIND@CELL[:PARAM], got {spec:?}");
+            usage();
+        };
+        let (cell_str, param) = match rest.split_once(':') {
+            Some((c, p)) => (c, Some(p)),
+            None => (rest, None),
+        };
+        let Ok(cell) = cell_str.parse::<usize>() else {
+            eprintln!("--faults cell index must be an integer, got {cell_str:?} in {spec:?}");
+            usage();
+        };
+        let param_u64 = |default: u64| -> u64 {
+            match param {
+                Some(p) => p.parse().unwrap_or_else(|_| {
+                    eprintln!("--faults parameter must be an integer, got {p:?} in {spec:?}");
+                    usage();
+                }),
+                None => default,
+            }
+        };
+        let action = match kind {
+            "panic" => FaultAction::PanicAt {
+                cycle: param_u64(0),
+            },
+            "deadlock" => FaultAction::WithholdCredits,
+            // Half a second of injected wall time per simulated cycle: one
+            // sleep overshoots any sane wall budget on its own, so the
+            // timeout fires at the first post-sleep check and the record's
+            // partial cycle count is deterministic (host jitter can only
+            // add to an overshoot that already decides the outcome).
+            "timeout" => FaultAction::SlowCycle {
+                nanos: param_u64(500_000_000),
+            },
+            "transient" => FaultAction::Transient {
+                failures: param_u64(1).min(u32::MAX as u64) as u32,
+            },
+            other => {
+                eprintln!("--faults kind must be panic|deadlock|timeout|transient, got {other:?}");
+                usage();
+            }
+        };
+        plan.set(cell, action);
+    }
+    plan
 }
 
 fn parse_geometries(raw: &str) -> Vec<(usize, usize)> {
@@ -143,12 +267,24 @@ fn open_store(out: &str) -> ResultStore {
     })
 }
 
+/// Fault-tolerance knobs `main` threads into every `sweep` target run.
+struct SweepRunOpts {
+    resume: bool,
+    fault_plan: FaultPlan,
+    cell_wall_budget: Option<Duration>,
+    cell_cycle_budget: Option<u64>,
+    max_retries: u32,
+    shutdown: Arc<AtomicBool>,
+}
+
 fn run_standard_sweep(
     scale: Scale,
     jobs: usize,
     out: &str,
     geometries: &[(usize, usize)],
     progress: bool,
+    run: &SweepRunOpts,
+    exit_code: &mut i32,
 ) -> String {
     let mut builder = GridBuilder::new()
         .scales(&[match scale {
@@ -161,12 +297,37 @@ fn run_standard_sweep(
     }
     let grid = builder.build();
     let mut store = open_store(out);
+    let recovery = store.recovery();
+    if recovery.has_damage() {
+        let residue = format!(
+            "{} unreadable line(s), {} torn-tail byte(s)",
+            recovery.unreadable_lines, recovery.torn_tail_bytes
+        );
+        if run.resume {
+            eprintln!(
+                "resume: {} record(s) recovered from {out}; dropping {residue}",
+                recovery.loaded
+            );
+        } else {
+            eprintln!(
+                "warning: result store {out} carries crash residue ({residue}); \
+                 the sweep heals the tail on completion, or run `repro store gc`"
+            );
+        }
+    } else if run.resume {
+        eprintln!("resume: {} record(s) loaded from {out}", recovery.loaded);
+    }
     let outcome = run_sweep(
         &grid,
         &mut store,
         &SweepOptions {
             jobs,
             progress,
+            cell_wall_budget: run.cell_wall_budget,
+            cell_cycle_budget: run.cell_cycle_budget,
+            max_retries: run.max_retries,
+            fault_plan: run.fault_plan.clone(),
+            shutdown: Some(run.shutdown.clone()),
             ..Default::default()
         },
     )
@@ -177,7 +338,7 @@ fn run_standard_sweep(
     let s = outcome.stats;
     let mut text = format!(
         "== Sweep: {} cells ({} workload cells x {} architectures) ==\n\
-         jobs={jobs}  executed={}  cache-hits={}  unsupported={}  errors={}\n\
+         jobs={jobs}  executed={}  cache-hits={}  unsupported={}  errors={}  failed={}  retries={}\n\
          throughput: {:.0} simulated cycles/sec ({:.1} ms execution)\n\
          store: {out}\n\n",
         s.total,
@@ -187,12 +348,31 @@ fn run_standard_sweep(
         s.cache_hits,
         s.unsupported,
         s.errors,
+        s.failed,
+        s.retries,
         s.cycles_per_sec(),
         s.wall_secs * 1e3,
     );
     text.push_str(&speedup_table(&outcome.records));
     text.push('\n');
     text.push_str(&edp_table(&outcome.records));
+    if let Some(report) = quarantine_report(&outcome.records) {
+        text.push('\n');
+        text.push_str(&report);
+    }
+    if s.interrupted {
+        eprintln!(
+            "sweep interrupted: {} of {} cell(s) resolved and journaled to {out}; \
+             re-run with --resume to continue",
+            outcome.records.len(),
+            s.total
+        );
+        *exit_code = 130;
+    } else if s.failed > 0 && *exit_code == 0 {
+        // Healthy cells are all stored; the quarantined ones make the run
+        // non-clean without making it fatal.
+        *exit_code = 3;
+    }
     text
 }
 
@@ -256,6 +436,39 @@ fn main() {
         },
         None => 3,
     };
+    let resume = if let Some(pos) = args.iter().position(|a| a == "--resume") {
+        args.remove(pos);
+        true
+    } else {
+        false
+    };
+    let fault_plan = take_value_flag(&mut args, "--faults")
+        .map_or_else(FaultPlan::new, |raw| parse_faults(&raw));
+    let parse_u64_flag = |args: &mut Vec<String>, flag: &str| -> Option<u64> {
+        take_value_flag(args, flag).map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("{flag} needs a non-negative integer, got {v}");
+                usage();
+            })
+        })
+    };
+    let mut cell_wall_budget =
+        parse_u64_flag(&mut args, "--cell-timeout-ms").map(Duration::from_millis);
+    let cell_cycle_budget = parse_u64_flag(&mut args, "--cell-cycles");
+    let max_retries =
+        parse_u64_flag(&mut args, "--retries").map_or(2, |n| n.min(u32::MAX as u64) as u32);
+    if cell_wall_budget.is_none()
+        && fault_plan
+            .iter()
+            .any(|(_, a)| matches!(a, FaultAction::SlowCycle { .. }))
+    {
+        // A slow cell only quarantines as a timeout under a wall budget;
+        // default one so `--faults timeout@N` works standalone. 100 ms is
+        // well under a single injected 500 ms sleep, keeping the recorded
+        // partial cycle count deterministic (see `parse_faults`).
+        eprintln!("note: --faults injects a timeout without --cell-timeout-ms; defaulting to 100");
+        cell_wall_budget = Some(Duration::from_millis(100));
+    }
     if args.is_empty() {
         usage();
     }
@@ -391,8 +604,12 @@ fn main() {
                     std::process::exit(1);
                 });
                 println!(
-                    "store gc: kept {} records, dropped {} stale-salt, {} unreadable ({out})",
-                    stats.kept, stats.dropped_stale, stats.dropped_unreadable
+                    "store gc: kept {} records, dropped {} stale-salt, {} unreadable, \
+                     recovered {} torn-tail byte(s) ({out})",
+                    stats.kept,
+                    stats.dropped_stale,
+                    stats.dropped_unreadable,
+                    stats.recovered_torn_bytes
                 );
                 return;
             }
@@ -421,9 +638,26 @@ fn main() {
     } else {
         args
     };
+    let run_opts = SweepRunOpts {
+        resume,
+        fault_plan,
+        cell_wall_budget,
+        cell_cycle_budget,
+        max_retries,
+        shutdown: install_sigint_flag(),
+    };
+    let mut exit_code = 0;
     for t in targets {
         let text = match t.as_str() {
-            "sweep" => run_standard_sweep(scale, jobs, &out, &geometries, progress),
+            "sweep" => run_standard_sweep(
+                scale,
+                jobs,
+                &out,
+                &geometries,
+                progress,
+                &run_opts,
+                &mut exit_code,
+            ),
             "table1" => figures::table1(),
             "fig9" => figures::fig09(),
             "fig10" => figures::fig10(),
@@ -444,5 +678,13 @@ fn main() {
             }
         };
         println!("{text}");
+        if exit_code == 130 {
+            // SIGINT: the sweep drained and flushed; skip remaining targets
+            // so the shell gets the interrupt status promptly.
+            break;
+        }
+    }
+    if exit_code != 0 {
+        std::process::exit(exit_code);
     }
 }

@@ -1,5 +1,6 @@
 //! Architecture configuration (Table 1).
 
+use crate::fault::FaultAction;
 use crate::isa::LANES;
 
 /// Configuration of a Canon fabric instance.
@@ -55,6 +56,23 @@ pub struct CanonConfig {
     /// identical (pinned by `tests/batch_column.rs`); disable only for
     /// differential testing or A/B throughput measurement.
     pub batching: bool,
+    /// Harness knob: hard ceiling on simulated cycles per `Fabric::run`
+    /// call. `None` (the default) leaves only the deadlock watchdog;
+    /// `Some(n)` aborts a still-live run after `n` cycles with
+    /// [`crate::SimError::Timeout`], returning partial stats. Sweep cells
+    /// include this in their cache fingerprint when set, since a raised
+    /// ceiling can change a cell's outcome.
+    pub max_cycles: Option<u64>,
+    /// Harness knob: wall-clock budget per `Fabric::run` call in
+    /// nanoseconds. Checked periodically inside the cycle loop (so the
+    /// hot path stays branch-predictable); exceeding it aborts with
+    /// [`crate::SimError::Timeout`] and partial stats. `None` disables
+    /// the check.
+    pub wall_budget_ns: Option<u64>,
+    /// Harness knob: deterministic fault injected into this run (see
+    /// [`crate::fault`]). `None` (the default) costs nothing on the hot
+    /// path — the per-cycle sentinels are pre-extracted at `run` entry.
+    pub fault: Option<FaultAction>,
 }
 
 impl Default for CanonConfig {
@@ -72,6 +90,9 @@ impl Default for CanonConfig {
             watchdog_factor: 64,
             watchdog_slack: 10_000,
             batching: true,
+            max_cycles: None,
+            wall_budget_ns: None,
+            fault: None,
         }
     }
 }

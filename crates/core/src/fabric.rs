@@ -390,7 +390,14 @@ impl Fabric {
             "the PE pipeline is 3 stages (LOAD/EXECUTE/COMMIT)"
         );
         let n = cfg.pe_count();
-        let initial_credits = cfg.link_fifo_depth - 2;
+        // Injected deadlock (`FaultAction::WithholdCredits`): starve every
+        // non-bottom row of south-link credits so its first flush stalls on
+        // credit forever and the *real* watchdog path fires. The bottom row
+        // keeps its sink credits — zeroing those would instead trip the
+        // "push without credit" FSM-bug assertion, which is a different
+        // failure than the one being injected.
+        let withhold = matches!(cfg.fault, Some(crate::fault::FaultAction::WithholdCredits));
+        let initial_credits = if withhold { 0 } else { cfg.link_fifo_depth - 2 };
         let rows = RowTable::new(cfg.rows, |r| {
             if r + 1 == cfg.rows {
                 usize::MAX / 2 // bottom row flushes into the edge sink
@@ -1237,9 +1244,59 @@ impl Fabric {
             .saturating_add(self.cfg.watchdog_slack);
         let start = self.cycle;
         let wall_start = std::time::Instant::now();
+        // Harness budgets and fault sentinels, pre-extracted so the common
+        // (unset) case costs two always-false compares per iteration and no
+        // Option matching inside the loop.
+        let panic_at = match self.cfg.fault {
+            Some(crate::fault::FaultAction::PanicAt { cycle }) => start.saturating_add(cycle),
+            _ => u64::MAX,
+        };
+        let slow_ns = match self.cfg.fault {
+            Some(crate::fault::FaultAction::SlowCycle { nanos }) => nanos,
+            _ => 0,
+        };
+        let cycle_ceiling = match self.cfg.max_cycles {
+            Some(m) => start.saturating_add(m),
+            None => u64::MAX,
+        };
+        let wall_budget_ns = self.cfg.wall_budget_ns.unwrap_or(u64::MAX);
+        // Wall-clock checks are amortised over 1024 cycles so `Instant::now`
+        // stays off the hot path — except under an injected slow-cycle
+        // fault, where each iteration already sleeps and a coarse check
+        // would overshoot the budget by seconds.
+        let wall_check_mask: u64 = if slow_ns != 0 { 0 } else { 0x3FF };
         let result = loop {
             if self.quiescent() {
                 break Ok(());
+            }
+            if self.cycle >= panic_at {
+                panic!(
+                    "injected fault: forced panic at cycle {} (FaultAction::PanicAt)",
+                    self.cycle
+                );
+            }
+            if slow_ns != 0 {
+                std::thread::sleep(std::time::Duration::from_nanos(slow_ns));
+            }
+            if self.cycle >= cycle_ceiling {
+                break Err(SimError::Timeout {
+                    cycle: self.cycle,
+                    budget: format!(
+                        "cycle ceiling {} cycles",
+                        self.cfg.max_cycles.unwrap_or_default()
+                    ),
+                });
+            }
+            if (self.cycle - start) & wall_check_mask == 0
+                && wall_start.elapsed().as_nanos() as u64 > wall_budget_ns
+            {
+                break Err(SimError::Timeout {
+                    cycle: self.cycle,
+                    budget: format!(
+                        "wall-clock budget {} ns",
+                        self.cfg.wall_budget_ns.unwrap_or_default()
+                    ),
+                });
             }
             if self.cycle - start > budget {
                 let waiting: Vec<String> = (0..self.rows.len())

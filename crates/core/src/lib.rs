@@ -46,6 +46,7 @@
 
 pub mod config;
 pub mod fabric;
+pub mod fault;
 pub mod isa;
 pub mod kernels;
 pub mod noc;
@@ -58,6 +59,7 @@ pub mod trace;
 
 pub use config::CanonConfig;
 pub use fabric::Fabric;
+pub use fault::{FaultAction, FaultPlan};
 pub use isa::{Addr, Instruction, Opcode, Vector, LANES};
 pub use stats::{RunReport, StallBreakdown, StallCause, Stats};
 
@@ -97,6 +99,17 @@ pub enum SimError {
         /// Explanation.
         reason: String,
     },
+    /// The run exceeded a harness budget ([`CanonConfig::max_cycles`] or
+    /// [`CanonConfig::wall_budget_ns`]) while still making progress — a
+    /// runaway cell, distinct from a [`SimError::Deadlock`] (where the
+    /// watchdog fires because nothing can make progress). The report taken
+    /// after this error carries the partial stats up to the abort cycle.
+    Timeout {
+        /// Cycle at which the budget check aborted the run.
+        cycle: u64,
+        /// Which budget was exhausted (human-readable).
+        budget: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -119,6 +132,9 @@ impl std::fmt::Display for SimError {
                 write!(f, "deadlock at cycle {cycle}: waiting on {waiting_on}")
             }
             SimError::BadMicrocode { reason } => write!(f, "bad microcode: {reason}"),
+            SimError::Timeout { cycle, budget } => {
+                write!(f, "timeout at cycle {cycle}: exceeded {budget}")
+            }
         }
     }
 }
@@ -142,6 +158,11 @@ mod tests {
             waiting_on: "vertical fifo".into(),
         };
         assert!(e.to_string().contains("deadlock"));
+        let e = SimError::Timeout {
+            cycle: 512,
+            budget: "cycle ceiling 512".into(),
+        };
+        assert!(e.to_string().contains("timeout at cycle 512"));
     }
 
     #[test]

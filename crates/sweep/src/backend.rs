@@ -145,14 +145,28 @@ impl OperandCache {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return Arc::new(kernel_input(op, seed));
         }
+        // Poison recovery: a panicking cell (isolated by the sweep engine's
+        // `catch_unwind`) may die between this cache's lock/unlock pairs.
+        // The guarded state is only ever mutated through complete map/order
+        // operations, so the cache stays coherent and healthy cells must not
+        // cascade-fail on the poison flag.
         let key = (Workload::Tensor(*op).descriptor(), seed);
-        if let Some(hit) = self.inner.lock().expect("cache poisoned").map.get(&key) {
+        if let Some(hit) = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .map
+            .get(&key)
+        {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(hit);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let input = Arc::new(kernel_input(op, seed));
-        let mut inner = self.inner.lock().expect("cache poisoned");
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if !inner.map.contains_key(&key) {
             while inner.map.len() >= self.capacity {
                 let oldest = inner.order.pop_front().expect("order tracks map");

@@ -18,15 +18,37 @@
 //! streams once per `(op, seed)` instead of once per backend — operand
 //! values are deterministic in the seed, so caching cannot change any
 //! record or the byte-identical-store guarantee.
+//!
+//! # Fault tolerance
+//!
+//! Each cell executes inside `catch_unwind`, so a panicking backend becomes
+//! a structured [`CellFailure::Panic`] record instead of tearing down the
+//! pool; watchdog deadlocks and budget timeouts ([`SweepOptions`] threads
+//! per-cell wall-clock/cycle budgets into the fabric) are likewise
+//! quarantined as [`CellFailure::Deadlock`]/[`CellFailure::Timeout`], and
+//! transient failures are retried with exponential backoff up to
+//! [`SweepOptions::max_retries`] times. Every freshly computed record is
+//! journaled to the store with an fsync'd append the moment a worker
+//! completes it, so a crash or SIGKILL loses at most the in-flight cells
+//! and a re-run resumes from the journal; on clean completion the file is
+//! atomically rewritten in canonical grid order, which is why interrupted
+//! and uninterrupted runs converge to byte-identical stores. A cooperative
+//! [`SweepOptions::shutdown`] flag (the `repro` binary wires SIGINT to it)
+//! stops workers from taking new cells while in-flight cells drain and are
+//! journaled.
 
 use crate::backend::{backend_for, BackendError, OperandCache};
 use crate::scenario::{Scenario, ScenarioGrid};
-use crate::store::{cell_key, cfg_fingerprint, RecordStatus, ResultStore, StoredRecord, CODE_SALT};
-use canon_core::CanonConfig;
+use crate::store::{
+    cell_key, cfg_fingerprint, CellFailure, RecordStatus, ResultStore, StoredRecord, CODE_SALT,
+};
+use canon_core::fault::{FaultAction, FaultPlan};
+use canon_core::{CanonConfig, SimError};
 use std::collections::VecDeque;
 use std::io;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
 
 /// Sweep execution options.
 #[derive(Debug, Clone)]
@@ -39,6 +61,31 @@ pub struct SweepOptions {
     /// (cells done/total, cells/sec, operand-cache and result-store hit
     /// rates). Off by default: library consumers and tests stay silent.
     pub progress: bool,
+    /// Wall-clock budget per cell: a Canon simulation still running after
+    /// this long aborts with a [`CellFailure::Timeout`] record carrying its
+    /// partial stats. `None` (default) leaves cells unbounded. Cells swept
+    /// under a budget carry it in their cache key — a raised budget can
+    /// change an outcome, so budgeted and unbudgeted runs never share
+    /// records.
+    pub cell_wall_budget: Option<Duration>,
+    /// Simulated-cycle ceiling per cell, independent of host speed (and
+    /// therefore deterministic); also recorded as [`CellFailure::Timeout`].
+    pub cell_cycle_budget: Option<u64>,
+    /// Retry budget for failures classified transient
+    /// ([`CellFailure::is_transient`]). Deterministic failures — panic,
+    /// deadlock, timeout, mapping error — are never retried.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per subsequent attempt.
+    pub retry_backoff: Duration,
+    /// Deterministic fault injection, keyed by scenario index (see
+    /// [`canon_core::fault`]). Faulted cells get their own cache keys, so
+    /// an injection run never pollutes the store healthy sweeps read.
+    pub fault_plan: FaultPlan,
+    /// Cooperative shutdown: when the flag turns true, workers stop taking
+    /// new cells, in-flight cells finish and are journaled, and the sweep
+    /// returns early with [`SweepStats::interrupted`] set (skipping the
+    /// canonical rewrite so the journal keeps everything already paid for).
+    pub shutdown: Option<Arc<AtomicBool>>,
 }
 
 impl Default for SweepOptions {
@@ -47,7 +94,35 @@ impl Default for SweepOptions {
             jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
             base_cfg: CanonConfig::default(),
             progress: false,
+            cell_wall_budget: None,
+            cell_cycle_budget: None,
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(10),
+            fault_plan: FaultPlan::new(),
+            shutdown: None,
         }
+    }
+}
+
+impl SweepOptions {
+    /// True when any option alters cell configurations relative to
+    /// `base_cfg` alone (budgets apply to every cell, faults per cell).
+    fn budgets_set(&self) -> bool {
+        self.cell_wall_budget.is_some() || self.cell_cycle_budget.is_some()
+    }
+
+    /// The effective Canon configuration of cell `idx`: base config plus
+    /// the per-cell budgets and any injected fault.
+    fn cell_cfg(&self, idx: usize) -> CanonConfig {
+        let mut cfg = self.base_cfg.clone();
+        if let Some(d) = self.cell_wall_budget {
+            cfg.wall_budget_ns = Some(d.as_nanos() as u64);
+        }
+        if let Some(c) = self.cell_cycle_budget {
+            cfg.max_cycles = Some(c);
+        }
+        cfg.fault = self.fault_plan.action_for(idx);
+        cfg
     }
 }
 
@@ -64,6 +139,15 @@ pub struct SweepStats {
     pub unsupported: usize,
     /// Cells rejected by a simulator (mapping violation, protocol error).
     pub errors: usize,
+    /// Cells quarantined by the fault-tolerance layer (panic, deadlock,
+    /// timeout, exhausted transient retries) — counted over the final
+    /// records, so cached failures from earlier runs count too.
+    pub failed: usize,
+    /// Retry attempts consumed by transient failures this run.
+    pub retries: u64,
+    /// True when a shutdown request stopped the sweep before every cell
+    /// resolved; [`SweepOutcome::records`] then holds only completed cells.
+    pub interrupted: bool,
     /// Simulated cycles summed over the cells *executed* this run (cache
     /// hits contribute nothing — no simulation happened for them).
     pub sim_cycles: u64,
@@ -73,7 +157,9 @@ pub struct SweepStats {
 
 /// Equality covers the architectural outcome and deliberately ignores
 /// `wall_secs`, which varies run to run on the host (the same convention as
-/// `RunReport`).
+/// `RunReport`), plus `retries` and `interrupted`, which describe how this
+/// particular run got there (a warm run retries nothing yet must compare
+/// equal to the cold run that populated it).
 impl PartialEq for SweepStats {
     fn eq(&self, other: &SweepStats) -> bool {
         self.total == other.total
@@ -81,6 +167,7 @@ impl PartialEq for SweepStats {
             && self.cache_hits == other.cache_hits
             && self.unsupported == other.unsupported
             && self.errors == other.errors
+            && self.failed == other.failed
             && self.sim_cycles == other.sim_cycles
     }
 }
@@ -99,38 +186,123 @@ impl SweepStats {
 /// A completed sweep: records in scenario order plus counters.
 #[derive(Debug, Clone)]
 pub struct SweepOutcome {
-    /// One record per grid cell, in grid order.
+    /// One record per grid cell, in grid order. An interrupted sweep
+    /// ([`SweepStats::interrupted`]) holds only the cells that resolved
+    /// before the drain.
     pub records: Vec<StoredRecord>,
     /// Execution counters.
     pub stats: SweepStats,
 }
 
-fn record_for(
+/// One execution attempt of a cell, fully isolated: a backend panic is
+/// caught and every simulator error is folded into a record status.
+fn attempt_cell(
+    scenario: &Scenario,
+    cfg: &CanonConfig,
+    attempt: u32,
+    cache: &OperandCache,
+) -> (
+    RecordStatus,
+    u64,
+    f64,
+    u64,
+    f64,
+    Option<canon_core::StallBreakdown>,
+) {
+    if let Some(FaultAction::Transient { failures }) = cfg.fault {
+        if attempt < failures {
+            let detail = format!(
+                "injected transient fault (attempt {} of {} failing)",
+                attempt + 1,
+                failures
+            );
+            return (
+                RecordStatus::Failed(CellFailure::Transient { detail }),
+                0,
+                0.0,
+                0,
+                0.0,
+                None,
+            );
+        }
+    }
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let backend = backend_for(scenario.arch, scenario.geometry, cfg);
+        if !backend.supports(&scenario.op) {
+            return Ok(None);
+        }
+        backend
+            .run_cached(&scenario.op, scenario.seed, cache)
+            .map(Some)
+    }));
+    match run {
+        Ok(Ok(Some(r))) => (
+            RecordStatus::Ok,
+            r.cycles,
+            r.energy_pj,
+            r.useful_macs,
+            r.utilization,
+            r.stalls,
+        ),
+        Ok(Ok(None)) | Ok(Err(BackendError::Unsupported)) => {
+            (RecordStatus::Unsupported, 0, 0.0, 0, 0.0, None)
+        }
+        Ok(Err(BackendError::Sim(SimError::Deadlock { cycle, waiting_on }))) => (
+            RecordStatus::Failed(CellFailure::Deadlock { detail: waiting_on }),
+            cycle,
+            0.0,
+            0,
+            0.0,
+            None,
+        ),
+        Ok(Err(BackendError::Sim(SimError::Timeout { cycle, budget }))) => (
+            RecordStatus::Failed(CellFailure::Timeout { detail: budget }),
+            cycle,
+            0.0,
+            0,
+            0.0,
+            None,
+        ),
+        Ok(Err(BackendError::Sim(e))) => (RecordStatus::Error(e.to_string()), 0, 0.0, 0, 0.0, None),
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "<non-string panic payload>".to_string());
+            (
+                RecordStatus::Failed(CellFailure::Panic { message }),
+                0,
+                0.0,
+                0,
+                0.0,
+                None,
+            )
+        }
+    }
+}
+
+/// Executes one cell to a final record, retrying transient failures with
+/// exponential backoff. Returns the record and the retries consumed.
+fn execute_cell(
     scenario: &Scenario,
     key: String,
+    cfg: &CanonConfig,
     opts: &SweepOptions,
     cache: &OperandCache,
-) -> StoredRecord {
-    let backend = backend_for(scenario.arch, scenario.geometry, &opts.base_cfg);
-    let (status, cycles, energy_pj, useful_macs, utilization, stalls) = if !backend
-        .supports(&scenario.op)
-    {
-        (RecordStatus::Unsupported, 0, 0.0, 0, 0.0, None)
-    } else {
-        match backend.run_cached(&scenario.op, scenario.seed, cache) {
-            Ok(r) => (
-                RecordStatus::Ok,
-                r.cycles,
-                r.energy_pj,
-                r.useful_macs,
-                r.utilization,
-                r.stalls,
-            ),
-            Err(BackendError::Unsupported) => (RecordStatus::Unsupported, 0, 0.0, 0, 0.0, None),
-            Err(BackendError::Sim(e)) => (RecordStatus::Error(e.to_string()), 0, 0.0, 0, 0.0, None),
+) -> (StoredRecord, u64) {
+    let mut attempt: u32 = 0;
+    let (status, cycles, energy_pj, useful_macs, utilization, stalls) = loop {
+        let outcome = attempt_cell(scenario, cfg, attempt, cache);
+        let transient = matches!(&outcome.0, RecordStatus::Failed(f) if f.is_transient());
+        if transient && attempt < opts.max_retries {
+            std::thread::sleep(opts.retry_backoff.saturating_mul(1 << attempt.min(16)));
+            attempt += 1;
+            continue;
         }
+        break outcome;
     };
-    StoredRecord {
+    let rec = StoredRecord {
         key,
         salt: CODE_SALT.to_string(),
         workload: scenario.workload.clone(),
@@ -147,30 +319,43 @@ fn record_for(
         useful_macs,
         utilization,
         stalls,
-    }
+    };
+    (rec, attempt as u64)
 }
 
-/// Runs the grid, consulting and then rewriting `store`.
+/// Runs the grid, consulting, journaling into, and finally rewriting
+/// `store`.
 ///
 /// Execution is skipped for every cell already present in the store under
-/// its content key. On return the store's backing file (if any) holds the
-/// complete sweep in grid order.
+/// its content key. Freshly computed records are fsync-appended to the
+/// store's backing file as they complete (crash-safe journal); on clean
+/// completion the file is atomically rewritten to hold the complete sweep
+/// in grid order, so interrupted-then-resumed and uninterrupted runs
+/// converge to byte-identical stores.
 ///
 /// # Errors
 ///
-/// Propagates store I/O errors. Per-cell simulator failures do not abort
-/// the sweep; they are recorded with an error status and counted in
-/// [`SweepStats::errors`].
+/// Propagates store I/O errors. Per-cell simulator failures — including
+/// panics, watchdog deadlocks, and budget timeouts — never abort the
+/// sweep; they are quarantined as structured failure records and counted
+/// in [`SweepStats::failed`] / [`SweepStats::errors`].
 pub fn run_sweep(
     grid: &ScenarioGrid,
     store: &mut ResultStore,
     opts: &SweepOptions,
 ) -> io::Result<SweepOutcome> {
-    let fingerprint = cfg_fingerprint(&opts.base_cfg);
+    let base_fingerprint = cfg_fingerprint(&opts.base_cfg);
     let keys: Vec<String> = grid
         .scenarios
         .iter()
-        .map(|s| cell_key(s, &fingerprint))
+        .enumerate()
+        .map(|(i, s)| {
+            if opts.budgets_set() || opts.fault_plan.action_for(i).is_some() {
+                cell_key(s, &cfg_fingerprint(&opts.cell_cfg(i)))
+            } else {
+                cell_key(s, &base_fingerprint)
+            }
+        })
         .collect();
 
     let mut slots: Vec<Option<StoredRecord>> = grid
@@ -195,6 +380,17 @@ pub fn run_sweep(
         .map(|chunk| Mutex::new(chunk.iter().copied().collect()))
         .collect();
     let executed = AtomicUsize::new(0);
+    let retries_total = std::sync::atomic::AtomicU64::new(0);
+    // Stop-taking-new-cells flag: set by the caller's shutdown handle
+    // (SIGINT) or internally when journaling hits an I/O error.
+    let stop = AtomicBool::new(false);
+    let stop_requested = || {
+        stop.load(Ordering::Relaxed)
+            || opts
+                .shutdown
+                .as_ref()
+                .is_some_and(|f| f.load(Ordering::Relaxed))
+    };
     // One operand cache for the whole sweep: the architectures of a cell
     // (and the same cell at other geometries) share materialized inputs.
     // Sized with the worker count — each worker drains its own contiguous
@@ -203,8 +399,15 @@ pub fn run_sweep(
     let cache = OperandCache::with_capacity(16.max(2 * jobs));
 
     let wall_start = std::time::Instant::now();
-    let finished = std::sync::atomic::AtomicBool::new(false);
-    let computed: Vec<(usize, StoredRecord)> = std::thread::scope(|scope| {
+    let finished = AtomicBool::new(false);
+    // Workers stream completed cells to this thread, which journals each
+    // one (fsync'd append) before parking it in its slot — the store is
+    // never touched from more than one thread, and a kill at any instant
+    // loses only cells whose append had not yet returned.
+    let (tx, rx) = mpsc::channel::<(usize, StoredRecord)>();
+    let mut journal_error: Option<io::Error> = None;
+    let mut sim_cycles: u64 = 0;
+    std::thread::scope(|scope| {
         if opts.progress && !misses.is_empty() {
             // Progress monitor: one line on stderr, rewritten in place, with
             // the throughput numbers a long sweep is usually watched for.
@@ -235,69 +438,86 @@ pub fn run_sweep(
                     eprintln!();
                     break;
                 }
-                std::thread::sleep(std::time::Duration::from_millis(200));
+                std::thread::sleep(Duration::from_millis(200));
             });
         }
-        let handles: Vec<_> = (0..queues.len())
-            .map(|w| {
-                let queues = &queues;
-                let keys = &keys;
-                let executed = &executed;
-                let cache = &cache;
-                scope.spawn(move || {
-                    let mut out = Vec::new();
-                    loop {
-                        // Own deque first (front), then steal from the back
-                        // of the first non-empty victim. The own-queue guard
-                        // is dropped before any victim lock is taken.
-                        let own = queues[w].lock().unwrap().pop_front();
-                        let task = own.or_else(|| {
-                            (1..queues.len()).find_map(|d| {
-                                queues[(w + d) % queues.len()].lock().unwrap().pop_back()
-                            })
-                        });
-                        let Some(idx) = task else { break };
-                        let scenario = &grid.scenarios[idx];
-                        out.push((idx, record_for(scenario, keys[idx].clone(), opts, cache)));
-                        executed.fetch_add(1, Ordering::Relaxed);
+        for w in 0..queues.len() {
+            let queues = &queues;
+            let keys = &keys;
+            let executed = &executed;
+            let retries_total = &retries_total;
+            let cache = &cache;
+            let stop_requested = &stop_requested;
+            let tx = tx.clone();
+            scope.spawn(move || {
+                loop {
+                    if stop_requested() {
+                        break;
                     }
-                    out
-                })
-            })
-            .collect();
-        let computed = handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("sweep worker panicked"))
-            .collect();
+                    // Own deque first (front), then steal from the back
+                    // of the first non-empty victim. The own-queue guard
+                    // is dropped before any victim lock is taken.
+                    let own = queues[w].lock().unwrap().pop_front();
+                    let task = own.or_else(|| {
+                        (1..queues.len())
+                            .find_map(|d| queues[(w + d) % queues.len()].lock().unwrap().pop_back())
+                    });
+                    let Some(idx) = task else { break };
+                    let scenario = &grid.scenarios[idx];
+                    let cfg = opts.cell_cfg(idx);
+                    let (rec, retries) =
+                        execute_cell(scenario, keys[idx].clone(), &cfg, opts, cache);
+                    retries_total.fetch_add(retries, Ordering::Relaxed);
+                    executed.fetch_add(1, Ordering::Relaxed);
+                    if tx.send((idx, rec)).is_err() {
+                        break; // journal thread gone (I/O error drain)
+                    }
+                }
+            });
+        }
+        drop(tx); // workers hold the remaining senders
+        for (idx, rec) in rx {
+            if journal_error.is_none() {
+                if let Err(e) = store.append(&rec) {
+                    // Stop issuing new cells; keep draining so workers exit.
+                    journal_error = Some(e);
+                    stop.store(true, Ordering::Relaxed);
+                }
+            }
+            sim_cycles += rec.cycles;
+            slots[idx] = Some(rec);
+        }
         finished.store(true, Ordering::Relaxed);
-        computed
     });
-    let wall_secs = wall_start.elapsed().as_secs_f64();
-    let sim_cycles: u64 = computed.iter().map(|(_, rec)| rec.cycles).sum();
-
-    for (idx, rec) in computed {
-        store.insert(rec.clone());
-        slots[idx] = Some(rec);
+    if let Some(e) = journal_error {
+        return Err(e);
     }
-    let records: Vec<StoredRecord> = slots
-        .into_iter()
-        .map(|s| s.expect("every cell resolved"))
-        .collect();
-    // The file holds this grid in scenario order, then every other cached
-    // cell (other grids/scales/configurations) in key order — rewriting for
-    // one grid must not evict the rest of the cache.
-    let current: std::collections::HashSet<&str> = records.iter().map(|r| r.key.as_str()).collect();
-    let mut extras: Vec<&StoredRecord> = store
-        .records()
-        .filter(|r| !current.contains(r.key.as_str()))
-        .collect();
-    extras.sort_by(|a, b| a.key.cmp(&b.key));
-    let mut file_records = records.clone();
-    file_records.extend(extras.into_iter().cloned());
-    store.write_ordered(&file_records)?;
+    let wall_secs = wall_start.elapsed().as_secs_f64();
+    let interrupted = slots.iter().any(|s| s.is_none());
+
+    let records: Vec<StoredRecord> = slots.into_iter().flatten().collect();
+    if !interrupted {
+        // The file holds this grid in scenario order, then every other
+        // cached cell (other grids/scales/configurations) in key order —
+        // rewriting for one grid must not evict the rest of the cache. An
+        // interrupted sweep skips this: the fsync'd journal already holds
+        // everything computed, and the next `--resume` run converges to
+        // this same canonical layout.
+        let current: std::collections::HashSet<&str> =
+            records.iter().map(|r| r.key.as_str()).collect();
+        let mut extras: Vec<StoredRecord> = store
+            .records()
+            .filter(|r| !current.contains(r.key.as_str()))
+            .cloned()
+            .collect();
+        extras.sort_by(|a, b| a.key.cmp(&b.key));
+        let mut file_records = records.clone();
+        file_records.extend(extras);
+        store.write_ordered(&file_records)?;
+    }
 
     let stats = SweepStats {
-        total: records.len(),
+        total: grid.scenarios.len(),
         executed: executed.load(Ordering::Relaxed),
         cache_hits,
         unsupported: records
@@ -308,6 +528,12 @@ pub fn run_sweep(
             .iter()
             .filter(|r| matches!(r.status, RecordStatus::Error(_)))
             .count(),
+        failed: records
+            .iter()
+            .filter(|r| matches!(r.status, RecordStatus::Failed(_)))
+            .count(),
+        retries: retries_total.load(Ordering::Relaxed),
+        interrupted,
         sim_cycles,
         wall_secs,
     };
@@ -357,6 +583,8 @@ mod tests {
         assert_eq!(out.records.len(), grid.scenarios.len());
         assert_eq!(out.stats.executed, grid.scenarios.len());
         assert_eq!(out.stats.cache_hits, 0);
+        assert_eq!(out.stats.failed, 0);
+        assert!(!out.stats.interrupted);
         for (rec, scenario) in out.records.iter().zip(&grid.scenarios) {
             assert_eq!(rec.workload, scenario.workload);
             assert_eq!(rec.arch, scenario.arch.label());
@@ -489,5 +717,167 @@ mod tests {
         .unwrap();
         assert_eq!(out.stats.errors, 1);
         assert!(matches!(out.records[0].status, RecordStatus::Error(_)));
+    }
+
+    /// A single-workload Canon-only grid: every cell runs the cycle
+    /// simulator, so injected fabric faults always land.
+    fn canon_grid() -> ScenarioGrid {
+        GridBuilder::new()
+            .archs(&[canon_energy::Arch::Canon])
+            .workload(
+                "GEMM",
+                OpTemplate::Gemm {
+                    m: 32,
+                    k: 32,
+                    n: 32,
+                },
+            )
+            .workload(
+                "SpMM",
+                OpTemplate::Spmm {
+                    m: 32,
+                    k: 32,
+                    n: 32,
+                },
+            )
+            .bands(&[canon_sparse::gen::SparsityBand::S3])
+            .build()
+    }
+
+    #[test]
+    fn injected_panic_is_quarantined_not_fatal() {
+        let grid = canon_grid();
+        let opts = SweepOptions {
+            jobs: 2,
+            fault_plan: FaultPlan::new().with_fault(0, FaultAction::PanicAt { cycle: 4 }),
+            ..Default::default()
+        };
+        let mut store = ResultStore::in_memory();
+        let out = run_sweep(&grid, &mut store, &opts).unwrap();
+        assert_eq!(out.stats.failed, 1);
+        match &out.records[0].status {
+            RecordStatus::Failed(CellFailure::Panic { message }) => {
+                assert!(message.contains("injected fault"), "got: {message}");
+            }
+            other => panic!("expected a panic record, got {other:?}"),
+        }
+        // Healthy siblings are unaffected.
+        assert!(out.records[1..]
+            .iter()
+            .all(|r| r.status == RecordStatus::Ok));
+    }
+
+    #[test]
+    fn injected_deadlock_is_cached_on_warm_run() {
+        let grid = canon_grid();
+        let opts = SweepOptions {
+            jobs: 1,
+            fault_plan: FaultPlan::new().with_fault(1, FaultAction::WithholdCredits),
+            ..Default::default()
+        };
+        let mut store = ResultStore::in_memory();
+        let cold = run_sweep(&grid, &mut store, &opts).unwrap();
+        assert_eq!(cold.stats.failed, 1);
+        match &cold.records[1].status {
+            RecordStatus::Failed(CellFailure::Deadlock { .. }) => {}
+            other => panic!("expected a deadlock record, got {other:?}"),
+        }
+        assert!(cold.records[1].cycles > 0, "abort cycle is partial stats");
+        // The failure is a cached outcome: the warm run re-simulates nothing.
+        let warm = run_sweep(&grid, &mut store, &opts).unwrap();
+        assert_eq!(warm.stats.executed, 0);
+        assert_eq!(warm.stats.failed, 1);
+        assert_eq!(warm.records, cold.records);
+    }
+
+    #[test]
+    fn cycle_budget_times_out_runaway_cells() {
+        let grid = canon_grid();
+        let opts = SweepOptions {
+            jobs: 1,
+            cell_cycle_budget: Some(16),
+            ..Default::default()
+        };
+        let mut store = ResultStore::in_memory();
+        let out = run_sweep(&grid, &mut store, &opts).unwrap();
+        assert_eq!(out.stats.failed, grid.scenarios.len());
+        for rec in &out.records {
+            match &rec.status {
+                RecordStatus::Failed(CellFailure::Timeout { detail }) => {
+                    assert!(detail.contains("cycle ceiling"));
+                }
+                other => panic!("expected timeout records, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn transient_faults_retry_then_succeed_or_exhaust() {
+        let grid = canon_grid();
+        // Cell 0: fails once, succeeds on retry. Cell 1: outlasts the budget.
+        let opts = SweepOptions {
+            jobs: 1,
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(1),
+            fault_plan: FaultPlan::new()
+                .with_fault(0, FaultAction::Transient { failures: 1 })
+                .with_fault(1, FaultAction::Transient { failures: 9 }),
+            ..Default::default()
+        };
+        let mut store = ResultStore::in_memory();
+        let out = run_sweep(&grid, &mut store, &opts).unwrap();
+        assert_eq!(out.records[0].status, RecordStatus::Ok);
+        match &out.records[1].status {
+            RecordStatus::Failed(CellFailure::Transient { detail }) => {
+                assert!(detail.contains("injected transient fault"));
+            }
+            other => panic!("expected exhausted-transient record, got {other:?}"),
+        }
+        // 1 retry healed cell 0; 2 (the budget) were burned on cell 1.
+        assert_eq!(out.stats.retries, 3);
+        assert_eq!(out.stats.failed, 1);
+    }
+
+    #[test]
+    fn faulted_cells_use_distinct_cache_keys() {
+        let grid = canon_grid();
+        let mut store = ResultStore::in_memory();
+        let healthy = run_sweep(&grid, &mut store, &SweepOptions::default()).unwrap();
+        // Injecting a fault into a warm store must not serve the healthy
+        // record for the faulted cell, and must not evict it either.
+        let opts = SweepOptions {
+            fault_plan: FaultPlan::new().with_fault(0, FaultAction::PanicAt { cycle: 0 }),
+            ..Default::default()
+        };
+        let faulted = run_sweep(&grid, &mut store, &opts).unwrap();
+        assert_eq!(faulted.stats.executed, 1, "only the faulted cell misses");
+        assert!(matches!(
+            faulted.records[0].status,
+            RecordStatus::Failed(CellFailure::Panic { .. })
+        ));
+        let healthy_again = run_sweep(&grid, &mut store, &SweepOptions::default()).unwrap();
+        assert_eq!(healthy_again.stats.executed, 0);
+        assert_eq!(healthy_again.records, healthy.records);
+    }
+
+    #[test]
+    fn preset_shutdown_interrupts_before_any_cell() {
+        let grid = canon_grid();
+        let flag = Arc::new(AtomicBool::new(true));
+        let opts = SweepOptions {
+            jobs: 2,
+            shutdown: Some(Arc::clone(&flag)),
+            ..Default::default()
+        };
+        let mut store = ResultStore::in_memory();
+        let out = run_sweep(&grid, &mut store, &opts).unwrap();
+        assert!(out.stats.interrupted);
+        assert_eq!(out.stats.executed, 0);
+        assert!(out.records.is_empty());
+        // Clearing the flag resumes to a complete sweep.
+        flag.store(false, Ordering::Relaxed);
+        let full = run_sweep(&grid, &mut store, &opts).unwrap();
+        assert!(!full.stats.interrupted);
+        assert_eq!(full.records.len(), grid.scenarios.len());
     }
 }

@@ -22,14 +22,22 @@
 //! * [`engine`] — a work-stealing thread-pool driver over `std` scoped
 //!   threads; output ordering is deterministic regardless of completion
 //!   order, so equal grids produce byte-identical result files at any
-//!   thread count;
+//!   thread count. Cells execute under `catch_unwind` with per-cell
+//!   wall-clock/cycle budgets and bounded transient retry, so panics,
+//!   deadlocks, and runaways become structured
+//!   [`CellFailure`](store::CellFailure) records instead of lost sweeps —
+//!   with a deterministic [`FaultPlan`](canon_core::FaultPlan) hook to
+//!   exercise every failure path on demand;
 //! * [`store`] — a JSONL result store (hand-rolled serializer, no external
 //!   deps) keyed by a content hash of (scenario, configuration,
-//!   code-version salt), giving re-runs cache hits instead of simulations,
-//!   with [`ResultStore::compact`] garbage-collection for records stranded
-//!   by salt/schema bumps;
+//!   code-version salt), giving re-runs cache hits instead of simulations.
+//!   The file doubles as a crash-safe journal (fsync'd appends, torn-tail
+//!   recovery on open, atomic tmp+rename rewrites), so an interrupted
+//!   sweep resumes from what it already paid for; [`ResultStore::compact`]
+//!   garbage-collects records stranded by salt/schema bumps;
 //! * [`report`] — cross-backend speedup and EDP comparison tables built on
-//!   [`report::format_matrix`].
+//!   [`report::format_matrix`], plus the [`report::quarantine_report`]
+//!   failure summary.
 //!
 //! # Example
 //!
@@ -60,6 +68,6 @@ pub mod store;
 
 pub use backend::{all_backends, backend_for, Backend, BackendError, CanonBackend, RunRecord};
 pub use engine::{run_sweep, SweepOptions, SweepOutcome, SweepStats};
-pub use report::{edp_table, format_matrix, speedup_table};
+pub use report::{edp_table, format_matrix, quarantine_report, speedup_table};
 pub use scenario::{GridBuilder, OpTemplate, Scenario, ScenarioGrid, WorkloadSpec};
-pub use store::{CompactStats, ResultStore, StoredRecord};
+pub use store::{CellFailure, CompactStats, RecoveryStats, ResultStore, StoredRecord};

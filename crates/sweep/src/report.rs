@@ -127,6 +127,43 @@ pub fn edp_table(records: &[StoredRecord]) -> String {
     )
 }
 
+/// The quarantine summary of a sweep: one line per cell the
+/// fault-tolerance layer isolated (panic, deadlock, timeout, exhausted
+/// transient retries), or `None` when every cell is healthy. The `repro`
+/// binary prints this at sweep end and exits nonzero when it is `Some`.
+pub fn quarantine_report(records: &[StoredRecord]) -> Option<String> {
+    use std::fmt::Write as _;
+    let failed: Vec<&StoredRecord> = records
+        .iter()
+        .filter(|r| matches!(r.status, RecordStatus::Failed(_)))
+        .collect();
+    if failed.is_empty() {
+        return None;
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "== Quarantined cells: {} ==", failed.len());
+    for rec in failed {
+        let RecordStatus::Failed(f) = &rec.status else {
+            continue;
+        };
+        let mut reason = f.reason().to_string();
+        if reason.len() > 72 {
+            reason.truncate(69);
+            reason.push_str("...");
+        }
+        let _ = writeln!(
+            out,
+            "  {:<28} {:<12} {:<9} at cycle {:<8} {}",
+            rec.cell_label(),
+            rec.arch,
+            f.kind(),
+            rec.cycles,
+            reason
+        );
+    }
+    Some(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +214,26 @@ mod tests {
         ];
         let t = edp_table(&records);
         assert!(t.contains('X'), "{t}");
+    }
+
+    #[test]
+    fn quarantine_report_lists_only_failures() {
+        use crate::store::CellFailure;
+        let healthy = vec![rec("W", "Canon", 100, 10.0, true)];
+        assert_eq!(quarantine_report(&healthy), None);
+        let mut bad = rec("W", "Systolic", 917, 0.0, true);
+        bad.status = RecordStatus::Failed(CellFailure::Panic {
+            message: "injected fault: forced panic at cycle 3".into(),
+        });
+        let records = vec![healthy[0].clone(), bad];
+        let report = quarantine_report(&records).expect("one quarantined cell");
+        assert!(report.contains("Quarantined cells: 1"), "{report}");
+        assert!(report.contains("panic"), "{report}");
+        assert!(report.contains("917"), "{report}");
+        assert!(
+            !report.contains("Canon "),
+            "healthy cells stay out: {report}"
+        );
     }
 
     #[test]

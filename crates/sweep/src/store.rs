@@ -22,7 +22,7 @@ use crate::scenario::Scenario;
 use canon_core::stats::{StallBreakdown, StallCause};
 use canon_core::CanonConfig;
 use std::collections::HashMap;
-use std::io::{self, Write as _};
+use std::io::{self, Seek as _, Write as _};
 use std::path::{Path, PathBuf};
 
 /// Bump when a simulator or energy-model change invalidates stored results.
@@ -49,9 +49,14 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 
 /// Stable fingerprint of the Canon configuration fields that affect results.
 /// The watchdog budget is included because a raised budget can turn a
-/// deadlock-aborted cell into a completed one — such cells must miss.
+/// deadlock-aborted cell into a completed one — such cells must miss. The
+/// harness budgets and injected fault join the fingerprint only when set,
+/// for the same reason (a raised ceiling can turn a timeout record into a
+/// completed one, and a faulted cell must never share a key with its
+/// healthy counterpart); unset they contribute nothing, so every
+/// pre-existing store keeps hitting byte-for-byte.
 pub fn cfg_fingerprint(cfg: &CanonConfig) -> String {
-    format!(
+    let mut fp = format!(
         "dmem={};spad={};pipe={};fifo={};msg={}x{};bw={};wd={}+{}",
         cfg.dmem_words,
         cfg.spad_entries,
@@ -62,7 +67,17 @@ pub fn cfg_fingerprint(cfg: &CanonConfig) -> String {
         cfg.offchip_bytes_per_cycle,
         cfg.watchdog_factor,
         cfg.watchdog_slack,
-    )
+    );
+    if let Some(m) = cfg.max_cycles {
+        fp.push_str(&format!(";maxcyc={m}"));
+    }
+    if let Some(ns) = cfg.wall_budget_ns {
+        fp.push_str(&format!(";wall={ns}ns"));
+    }
+    if let Some(f) = &cfg.fault {
+        fp.push_str(&format!(";fault={}", f.descriptor()));
+    }
+    fp
 }
 
 /// The cache key of one cell: scenario canonical form + configuration
@@ -70,6 +85,69 @@ pub fn cfg_fingerprint(cfg: &CanonConfig) -> String {
 pub fn cell_key(scenario: &Scenario, fingerprint: &str) -> String {
     let material = format!("{CODE_SALT};{fingerprint};{}", scenario.canonical());
     format!("{:016x}", fnv1a64(material.as_bytes()))
+}
+
+/// A quarantined cell failure — the structured record the sweep engine
+/// stores when a cell dies instead of producing metrics. The kind, not the
+/// free-form reason, drives retry policy and reporting:
+///
+/// | kind | source | retried? |
+/// |---|---|---|
+/// | `panic` | backend panicked (caught by `catch_unwind`) | no |
+/// | `deadlock` | the fabric watchdog fired (nothing can progress) | no |
+/// | `timeout` | a wall-clock/cycle budget expired (runaway cell) | no |
+/// | `transient` | a retryable fault exhausted its retry budget | yes |
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellFailure {
+    /// The backend panicked; `message` is the downcast panic payload.
+    Panic {
+        /// Panic payload (or a placeholder for non-string payloads).
+        message: String,
+    },
+    /// The deadlock watchdog fired ([`canon_core::SimError::Deadlock`]).
+    Deadlock {
+        /// What the fabric was waiting on.
+        detail: String,
+    },
+    /// A harness budget expired ([`canon_core::SimError::Timeout`]).
+    Timeout {
+        /// Which budget, from the simulator error.
+        detail: String,
+    },
+    /// A transient (retryable) failure survived every retry attempt.
+    Transient {
+        /// Description of the final failed attempt.
+        detail: String,
+    },
+}
+
+impl CellFailure {
+    /// Short machine-readable kind — also the record's `status` value.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CellFailure::Panic { .. } => "panic",
+            CellFailure::Deadlock { .. } => "deadlock",
+            CellFailure::Timeout { .. } => "timeout",
+            CellFailure::Transient { .. } => "transient",
+        }
+    }
+
+    /// Human-readable detail (panic payload, watchdog wait list, …).
+    pub fn reason(&self) -> &str {
+        match self {
+            CellFailure::Panic { message } => message,
+            CellFailure::Deadlock { detail }
+            | CellFailure::Timeout { detail }
+            | CellFailure::Transient { detail } => detail,
+        }
+    }
+
+    /// Whether the failure class is worth retrying. Panics, deadlocks, and
+    /// budget timeouts are deterministic — retrying re-simulates the same
+    /// outcome — so only transient failures qualify.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, CellFailure::Transient { .. })
+    }
 }
 
 /// Execution status of a stored cell.
@@ -81,6 +159,10 @@ pub enum RecordStatus {
     Unsupported,
     /// The simulator rejected the cell (mapping violation, protocol error).
     Error(String),
+    /// The cell was quarantined by the fault-tolerance layer; the record
+    /// caches the failure so warm re-runs do not re-simulate it. `cycles`
+    /// carries the abort cycle (partial progress) for deadlock/timeout.
+    Failed(CellFailure),
 }
 
 impl RecordStatus {
@@ -89,6 +171,7 @@ impl RecordStatus {
             RecordStatus::Ok => "ok",
             RecordStatus::Unsupported => "unsupported",
             RecordStatus::Error(_) => "error",
+            RecordStatus::Failed(f) => f.kind(),
         }
     }
 }
@@ -179,9 +262,16 @@ impl StoredRecord {
         field_str(&mut s, "op", &self.op);
         s.push(',');
         field_str(&mut s, "status", self.status.as_str());
-        if let RecordStatus::Error(reason) = &self.status {
-            s.push(',');
-            field_str(&mut s, "reason", reason);
+        match &self.status {
+            RecordStatus::Error(reason) => {
+                s.push(',');
+                field_str(&mut s, "reason", reason);
+            }
+            RecordStatus::Failed(failure) => {
+                s.push(',');
+                field_str(&mut s, "reason", failure.reason());
+            }
+            _ => {}
         }
         s.push_str(&format!(
             ",\"cycles\":{},\"energy_pj\":{},\"useful_macs\":{},\"utilization\":{}",
@@ -236,6 +326,18 @@ impl StoredRecord {
             "ok" => RecordStatus::Ok,
             "unsupported" => RecordStatus::Unsupported,
             "error" => RecordStatus::Error(get_str("reason").unwrap_or_default()),
+            "panic" => RecordStatus::Failed(CellFailure::Panic {
+                message: get_str("reason").unwrap_or_default(),
+            }),
+            "deadlock" => RecordStatus::Failed(CellFailure::Deadlock {
+                detail: get_str("reason").unwrap_or_default(),
+            }),
+            "timeout" => RecordStatus::Failed(CellFailure::Timeout {
+                detail: get_str("reason").unwrap_or_default(),
+            }),
+            "transient" => RecordStatus::Failed(CellFailure::Transient {
+                detail: get_str("reason").unwrap_or_default(),
+            }),
             _ => return None,
         };
         Some(StoredRecord {
@@ -382,6 +484,18 @@ fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<
 
 /// A JSONL result store: an on-disk cache of computed cells plus the sink
 /// the engine writes complete sweeps to.
+///
+/// The file doubles as a crash-safe journal: the engine appends each
+/// freshly computed record with an fsync'd write the moment it completes,
+/// so a SIGKILL mid-sweep loses at most the in-flight cells. [`open`]
+/// detects a torn tail (a final partial line from an interrupted write)
+/// and resumes from the last intact record; full-file rewrites
+/// ([`write_ordered`], [`compact`]) go through an atomic tmp+rename so no
+/// crash window ever exposes a half-written store.
+///
+/// [`open`]: ResultStore::open
+/// [`write_ordered`]: ResultStore::write_ordered
+/// [`compact`]: ResultStore::compact
 #[derive(Debug)]
 pub struct ResultStore {
     path: Option<PathBuf>,
@@ -390,13 +504,30 @@ pub struct ResultStore {
     /// schema older than [`STORE_SCHEMA`]) — still occupying file space
     /// until [`ResultStore::compact`] rewrites it.
     unreadable_lines: usize,
+    /// Records successfully loaded at open (the journal's survivors).
+    loaded: usize,
+    /// Byte length of the intact prefix of the backing file: every line up
+    /// to here is newline-terminated and either parsed or was counted
+    /// unreadable. Appends land here after truncating any torn tail.
+    good_len: u64,
+    /// Bytes past `good_len` — a torn final line left by an interrupted
+    /// write, dropped (via `set_len`) before the first append.
+    torn_tail_bytes: u64,
+    /// The final line parsed but lacked a trailing newline (a foreign
+    /// writer); the first append must supply the separator.
+    pending_newline: bool,
+    /// Lazily opened append handle; every append is fsync'd through it.
+    appender: Option<std::fs::File>,
 }
 
 impl ResultStore {
     /// Opens (and loads, if present) the store at `path`. Malformed or
     /// old-schema lines are skipped so a truncated or stale file degrades
     /// to extra cache misses, not a failed sweep; their count is reported
-    /// by [`ResultStore::unreadable_lines`].
+    /// by [`ResultStore::unreadable_lines`]. A torn final line (partial
+    /// write from a crash) is detected separately and truncated away
+    /// before the next append; [`ResultStore::recovery`] reports what was
+    /// found.
     ///
     /// # Errors
     ///
@@ -405,24 +536,63 @@ impl ResultStore {
         let path = path.as_ref().to_path_buf();
         let mut by_key = HashMap::new();
         let mut unreadable_lines = 0;
-        match std::fs::read_to_string(&path) {
-            Ok(content) => {
-                for line in content.lines().filter(|l| !l.trim().is_empty()) {
-                    match StoredRecord::parse(line) {
+        let mut good_len = 0u64;
+        let mut torn_tail_bytes = 0u64;
+        let mut pending_newline = false;
+        match std::fs::read(&path) {
+            Ok(bytes) => {
+                let content = String::from_utf8_lossy(&bytes);
+                for seg in content.split_inclusive('\n') {
+                    let has_newline = seg.ends_with('\n');
+                    let line = seg.trim_end_matches(['\n', '\r']);
+                    let parsed = if line.trim().is_empty() {
+                        None
+                    } else {
+                        StoredRecord::parse(line)
+                    };
+                    match parsed {
                         Some(rec) => {
                             by_key.insert(rec.key.clone(), rec);
+                            good_len += seg.len() as u64;
+                            // A parsed record without its newline: keep the
+                            // bytes, but the next append owes a separator.
+                            pending_newline = !has_newline;
                         }
-                        None => unreadable_lines += 1,
+                        None if line.trim().is_empty() || has_newline => {
+                            if !line.trim().is_empty() {
+                                unreadable_lines += 1;
+                            }
+                            if has_newline {
+                                good_len += seg.len() as u64;
+                            }
+                            // (an all-whitespace unterminated tail is
+                            // silently trimmed by the same set_len path)
+                        }
+                        None => {
+                            // Torn tail: a final, unterminated, unparseable
+                            // line — the classic interrupted-write residue.
+                            torn_tail_bytes = seg.len() as u64;
+                        }
                     }
+                }
+                // Whitespace tail without newline: drop it too.
+                if bytes.len() as u64 > good_len + torn_tail_bytes {
+                    torn_tail_bytes = bytes.len() as u64 - good_len;
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::NotFound => {}
             Err(e) => return Err(e),
         }
+        let loaded = by_key.len();
         Ok(ResultStore {
             path: Some(path),
             by_key,
             unreadable_lines,
+            loaded,
+            good_len,
+            torn_tail_bytes,
+            pending_newline,
+            appender: None,
         })
     }
 
@@ -432,6 +602,11 @@ impl ResultStore {
             path: None,
             by_key: HashMap::new(),
             unreadable_lines: 0,
+            loaded: 0,
+            good_len: 0,
+            torn_tail_bytes: 0,
+            pending_newline: false,
+            appender: None,
         }
     }
 
@@ -439,6 +614,17 @@ impl ResultStore {
     /// was opened (see [`ResultStore::open`]).
     pub fn unreadable_lines(&self) -> usize {
         self.unreadable_lines
+    }
+
+    /// What [`ResultStore::open`] found in the backing file — how many
+    /// records survived, how many lines were unreadable, and whether a
+    /// torn tail from an interrupted write was recovered.
+    pub fn recovery(&self) -> RecoveryStats {
+        RecoveryStats {
+            loaded: self.loaded,
+            unreadable_lines: self.unreadable_lines,
+            torn_tail_bytes: self.torn_tail_bytes,
+        }
     }
 
     /// The backing file, if any.
@@ -471,35 +657,117 @@ impl ResultStore {
         self.by_key.insert(rec.key.clone(), rec);
     }
 
-    /// Rewrites the backing file with `records` in the given order — the
-    /// engine calls this with the full sweep in scenario order, making the
-    /// file layout independent of completion order and thread count.
-    ///
-    /// # Errors
-    ///
-    /// Propagates file I/O errors; an in-memory store writes nothing.
-    pub fn write_ordered(&self, records: &[StoredRecord]) -> io::Result<()> {
-        let Some(path) = &self.path else {
-            return Ok(());
-        };
+    fn ensure_parent_dir(path: &Path) -> io::Result<()> {
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent)?;
             }
         }
-        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-        for rec in records {
-            f.write_all(rec.to_line().as_bytes())?;
-            f.write_all(b"\n")?;
+        Ok(())
+    }
+
+    /// Journals one record: inserts it into the in-memory cache and
+    /// appends its line to the backing file with an fsync, so the record
+    /// survives a SIGKILL the moment this returns. The first append
+    /// truncates any torn tail left by a previous crash (see
+    /// [`ResultStore::open`]), keeping the file a sequence of intact
+    /// lines at all times.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file I/O errors; an in-memory store only caches.
+    pub fn append(&mut self, rec: &StoredRecord) -> io::Result<()> {
+        self.insert(rec.clone());
+        let Some(path) = self.path.clone() else {
+            return Ok(());
+        };
+        if self.appender.is_none() {
+            Self::ensure_parent_dir(&path)?;
+            let f = std::fs::OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(false)
+                .open(&path)?;
+            // Crash recovery: drop the torn tail so the append lands right
+            // after the last intact line.
+            f.set_len(self.good_len)?;
+            self.appender = Some(f);
         }
-        f.flush()
+        let mut line = String::with_capacity(280);
+        if self.pending_newline {
+            line.push('\n');
+            self.pending_newline = false;
+        }
+        line.push_str(&rec.to_line());
+        line.push('\n');
+        let f = self.appender.as_mut().expect("appender just ensured");
+        f.seek(io::SeekFrom::Start(self.good_len))?;
+        f.write_all(line.as_bytes())?;
+        f.sync_data()?;
+        self.good_len += line.len() as u64;
+        Ok(())
+    }
+
+    /// Rewrites the backing file with `records` in the given order — the
+    /// engine calls this with the full sweep in scenario order, making the
+    /// file layout independent of completion order and thread count.
+    ///
+    /// The rewrite is atomic (write to a temp file in the same directory,
+    /// fsync, rename over the store, fsync the directory): a crash at any
+    /// point leaves either the previous journal or the complete new file,
+    /// never a torn hybrid.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file I/O errors; an in-memory store writes nothing.
+    pub fn write_ordered(&mut self, records: &[StoredRecord]) -> io::Result<()> {
+        let Some(path) = self.path.clone() else {
+            return Ok(());
+        };
+        Self::ensure_parent_dir(&path)?;
+        let mut file_name = path
+            .file_name()
+            .map(|n| n.to_os_string())
+            .unwrap_or_default();
+        file_name.push(format!(".tmp.{}", std::process::id()));
+        let tmp = path.with_file_name(file_name);
+        let mut total = 0u64;
+        {
+            let mut f = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+            for rec in records {
+                let line = rec.to_line();
+                f.write_all(line.as_bytes())?;
+                f.write_all(b"\n")?;
+                total += line.len() as u64 + 1;
+            }
+            f.flush()?;
+            f.get_ref().sync_data()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        // Make the rename itself durable; skipped silently where directory
+        // fsync is unsupported.
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                if let Ok(dir) = std::fs::File::open(parent) {
+                    let _ = dir.sync_all();
+                }
+            }
+        }
+        // The old append handle points at the unlinked inode; reopen lazily.
+        self.appender = None;
+        self.good_len = total;
+        self.torn_tail_bytes = 0;
+        self.pending_newline = false;
+        self.unreadable_lines = 0;
+        Ok(())
     }
 
     /// Garbage-collects the store: drops every record whose [`CODE_SALT`]
     /// generation is stale (its content key can never be probed again) and
     /// rewrites the backing file deterministically (records sorted by key),
-    /// which also sheds malformed and old-schema lines. The `repro store
-    /// gc` CLI target calls this.
+    /// which also sheds malformed and old-schema lines and any recovered
+    /// torn tail. The `repro store gc` CLI target calls this.
     ///
     /// # Errors
     ///
@@ -507,17 +775,39 @@ impl ResultStore {
     /// writing.
     pub fn compact(&mut self) -> io::Result<CompactStats> {
         let before = self.by_key.len();
+        let dropped_unreadable = self.unreadable_lines;
+        let recovered_torn_bytes = self.torn_tail_bytes;
         self.by_key.retain(|_, rec| rec.salt == CODE_SALT);
         let mut records: Vec<StoredRecord> = self.by_key.values().cloned().collect();
         records.sort_by(|a, b| a.key.cmp(&b.key));
         self.write_ordered(&records)?;
-        let stats = CompactStats {
+        Ok(CompactStats {
             kept: records.len(),
             dropped_stale: before - records.len(),
-            dropped_unreadable: self.unreadable_lines,
-        };
-        self.unreadable_lines = 0;
-        Ok(stats)
+            dropped_unreadable,
+            recovered_torn_bytes,
+        })
+    }
+}
+
+/// What [`ResultStore::open`] recovered from the backing file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Records loaded intact.
+    pub loaded: usize,
+    /// Newline-terminated lines that failed to parse (malformed or
+    /// old-schema) — kept on disk until the next rewrite.
+    pub unreadable_lines: usize,
+    /// Bytes of torn final line (interrupted write) scheduled for
+    /// truncation; `0` when the file ended cleanly.
+    pub torn_tail_bytes: u64,
+}
+
+impl RecoveryStats {
+    /// True when the file carried crash or corruption residue worth
+    /// surfacing to the user.
+    pub fn has_damage(&self) -> bool {
+        self.unreadable_lines > 0 || self.torn_tail_bytes > 0
     }
 }
 
@@ -530,6 +820,8 @@ pub struct CompactStats {
     pub dropped_stale: usize,
     /// File lines dropped because they were malformed or of an old schema.
     pub dropped_unreadable: usize,
+    /// Bytes of torn tail (crash residue) shed by the rewrite.
+    pub recovered_torn_bytes: u64,
 }
 
 #[cfg(test)]
@@ -666,6 +958,7 @@ mod tests {
                 kept: 1,
                 dropped_stale: 1,
                 dropped_unreadable: 2,
+                recovered_torn_bytes: 0,
             }
         );
         // The rewritten file holds exactly the fresh record.
@@ -693,7 +986,7 @@ mod tests {
         ] {
             let path = dir.join(format!("{run}.jsonl"));
             let ordered: Vec<StoredRecord> = order.iter().map(|&i| recs[i].clone()).collect();
-            let store = ResultStore::open(&path).unwrap();
+            let mut store = ResultStore::open(&path).unwrap();
             store.write_ordered(&ordered).unwrap();
             drop(store);
             let mut store = ResultStore::open(&path).unwrap();
@@ -708,12 +1001,186 @@ mod tests {
     }
 
     #[test]
+    fn roundtrip_failure_statuses() {
+        for failure in [
+            CellFailure::Panic {
+                message: "injected fault: forced panic at cycle 3".into(),
+            },
+            CellFailure::Deadlock {
+                detail: "row 0 (4 meta left)".into(),
+            },
+            CellFailure::Timeout {
+                detail: "wall-clock budget 5000000 ns".into(),
+            },
+            CellFailure::Transient {
+                detail: "injected transient fault".into(),
+            },
+        ] {
+            let kind = failure.kind();
+            let rec = StoredRecord {
+                cycles: 917,
+                ..sample_record(RecordStatus::Failed(failure))
+            };
+            let line = rec.to_line();
+            assert!(line.contains(&format!("\"status\":\"{kind}\"")));
+            let back = StoredRecord::parse(&line).expect("parses");
+            assert_eq!(back, rec);
+            assert_eq!(back.cycles, 917, "abort cycle is partial-stat payload");
+            assert_eq!(back.to_line(), line);
+        }
+        assert!(!CellFailure::Panic {
+            message: "x".into()
+        }
+        .is_transient());
+        assert!(!CellFailure::Deadlock { detail: "x".into() }.is_transient());
+        assert!(!CellFailure::Timeout { detail: "x".into() }.is_transient());
+        assert!(CellFailure::Transient { detail: "x".into() }.is_transient());
+    }
+
+    #[test]
+    fn append_journal_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("canon-sweep-journal-{}", std::process::id()));
+        let path = dir.join("j.jsonl");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::remove_file(&path).ok();
+        let recs: Vec<StoredRecord> = (0..3)
+            .map(|i| StoredRecord {
+                key: format!("{i:016x}"),
+                ..sample_record(RecordStatus::Ok)
+            })
+            .collect();
+        let mut store = ResultStore::open(&path).unwrap();
+        for r in &recs {
+            store.append(r).unwrap();
+        }
+        drop(store);
+        let store = ResultStore::open(&path).unwrap();
+        assert_eq!(store.len(), 3);
+        assert_eq!(
+            store.recovery(),
+            RecoveryStats {
+                loaded: 3,
+                unreadable_lines: 0,
+                torn_tail_bytes: 0,
+            }
+        );
+        for r in &recs {
+            assert_eq!(store.lookup(&r.key), Some(r));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_detected_truncated_and_healed() {
+        let dir = std::env::temp_dir().join(format!("canon-sweep-torn-{}", std::process::id()));
+        let path = dir.join("t.jsonl");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::remove_file(&path).ok();
+        let a = StoredRecord {
+            key: "aaaaaaaaaaaaaaaa".into(),
+            ..sample_record(RecordStatus::Ok)
+        };
+        let b = StoredRecord {
+            key: "bbbbbbbbbbbbbbbb".into(),
+            ..sample_record(RecordStatus::Ok)
+        };
+        {
+            let mut store = ResultStore::open(&path).unwrap();
+            store.append(&a).unwrap();
+            store.append(&b).unwrap();
+        }
+        // Simulate a crash mid-append: cut the file mid-way through b's line.
+        let intact = std::fs::read(&path).unwrap();
+        let cut = intact.len() - 25;
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(cut as u64).unwrap();
+        drop(f);
+
+        let mut store = ResultStore::open(&path).unwrap();
+        let rec = store.recovery();
+        assert_eq!(rec.loaded, 1, "only the intact record survives");
+        assert_eq!(
+            rec.unreadable_lines, 0,
+            "a torn tail is not an interior bad line"
+        );
+        assert!(rec.torn_tail_bytes > 0);
+        assert!(store.lookup(&a.key).is_some());
+        assert!(store.lookup(&b.key).is_none());
+
+        // Re-appending heals the journal in place: the torn bytes are
+        // truncated before the new line lands.
+        store.append(&b).unwrap();
+        drop(store);
+        let healed = std::fs::read(&path).unwrap();
+        assert_eq!(healed, intact, "healed journal is byte-identical");
+
+        // And compact round-trips byte-identically from either history.
+        let mut s1 = ResultStore::open(&path).unwrap();
+        let c = s1.compact().unwrap();
+        assert_eq!(c.kept, 2);
+        assert_eq!(c.recovered_torn_bytes, 0);
+        let compacted = std::fs::read(&path).unwrap();
+        let mut s2 = ResultStore::open(&path).unwrap();
+        s2.compact().unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), compacted);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_ordered_leaves_no_tmp_file() {
+        let dir = std::env::temp_dir().join(format!("canon-sweep-atomic-{}", std::process::id()));
+        let path = dir.join("a.jsonl");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut store = ResultStore::open(&path).unwrap();
+        store
+            .write_ordered(&[sample_record(RecordStatus::Ok)])
+            .unwrap();
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["a.jsonl".to_string()],
+            "tmp must be renamed away"
+        );
+        // Appends after an atomic rewrite land after the rewritten content.
+        let extra = StoredRecord {
+            key: "cccccccccccccccc".into(),
+            ..sample_record(RecordStatus::Ok)
+        };
+        store.append(&extra).unwrap();
+        let reread = ResultStore::open(&path).unwrap();
+        assert_eq!(reread.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_suffixes_only_when_set() {
+        let base = cfg_fingerprint(&CanonConfig::default());
+        assert!(!base.contains("maxcyc") && !base.contains("wall") && !base.contains("fault"));
+        let budgeted = cfg_fingerprint(&CanonConfig {
+            max_cycles: Some(100),
+            wall_budget_ns: Some(5_000),
+            fault: Some(canon_core::FaultAction::WithholdCredits),
+            ..CanonConfig::default()
+        });
+        assert!(
+            budgeted.starts_with(&base),
+            "suffixes extend, never reshape"
+        );
+        assert!(budgeted.contains(";maxcyc=100"));
+        assert!(budgeted.contains(";wall=5000ns"));
+        assert!(budgeted.contains(";fault=withhold-credits"));
+    }
+
+    #[test]
     fn store_roundtrip_on_disk() {
         let dir = std::env::temp_dir().join(format!("canon-sweep-store-{}", std::process::id()));
         let path = dir.join("t.jsonl");
         let rec = sample_record(RecordStatus::Ok);
         {
-            let store = ResultStore::open(&path).unwrap();
+            let mut store = ResultStore::open(&path).unwrap();
             assert!(store.is_empty());
             store.write_ordered(std::slice::from_ref(&rec)).unwrap();
         }

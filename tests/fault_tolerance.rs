@@ -1,0 +1,195 @@
+//! Fault-tolerance integration contract over the whole sweep stack:
+//! (a) a sweep carrying injected panic + deadlock + timeout faults
+//! completes, stores every healthy cell, quarantines exactly the faulted
+//! ones as structured failure records, and produces byte-identical stores
+//! at any worker count; (b) a sweep resumed from a partial (interrupted)
+//! journal converges to the byte-identical store of an uninterrupted run;
+//! (c) a torn journal tail — the residue of a mid-write crash — is
+//! detected on open and healed by the next sweep.
+
+use canon::arch::fault::{FaultAction, FaultPlan};
+use canon::sweep::engine::{run_sweep, SweepOptions};
+use canon::sweep::report::quarantine_report;
+use canon::sweep::scenario::{GridBuilder, OpTemplate, ScenarioGrid};
+use canon::sweep::store::{CellFailure, RecordStatus, ResultStore};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn test_grid() -> ScenarioGrid {
+    // Three workload families (SpMM expands into its sparsity bands)
+    // across all five architectures: 5 cells x 5 archs = 25 scenarios.
+    // Canon cells sit at scenario indices 4, 9, 14, ... (arch order puts
+    // Canon last within each cell).
+    GridBuilder::new()
+        .workload(
+            "GEMM",
+            OpTemplate::Gemm {
+                m: 64,
+                k: 64,
+                n: 32,
+            },
+        )
+        .workload(
+            "SpMM",
+            OpTemplate::Spmm {
+                m: 64,
+                k: 64,
+                n: 32,
+            },
+        )
+        .workload(
+            "Win",
+            OpTemplate::Window {
+                seq: 64,
+                window_div: 8,
+                head_dim: 32,
+            },
+        )
+        .build()
+}
+
+/// One injected fault of each deterministic kind, on three Canon cells:
+/// panic (GEMM), withheld credits → deadlock (SpMM-S1), slow cell under a
+/// wall budget → timeout (SpMM-S2). The wall budget is global, so it must
+/// leave the deadlock cell room to reach its (cycle-deterministic)
+/// watchdog and every healthy cell room to finish — yet sit far below one
+/// injected sleep, so the timeout fires at the first post-sleep check and
+/// its partial cycle count — hence the store bytes — stays deterministic
+/// despite depending on a wall clock.
+fn acceptance_plan() -> FaultPlan {
+    FaultPlan::new()
+        .with_fault(4, FaultAction::PanicAt { cycle: 50 })
+        .with_fault(9, FaultAction::WithholdCredits)
+        .with_fault(
+            14,
+            FaultAction::SlowCycle {
+                nanos: 5_000_000_000,
+            },
+        )
+}
+
+fn fault_options(jobs: usize) -> SweepOptions {
+    SweepOptions {
+        jobs,
+        fault_plan: acceptance_plan(),
+        cell_wall_budget: Some(Duration::from_secs(2)),
+        ..Default::default()
+    }
+}
+
+fn temp_store(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "canon-fault-tolerance-{}-{name}.jsonl",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn injected_fault_sweep_quarantines_and_is_jobs_invariant() {
+    let grid = test_grid();
+    let path1 = temp_store("jobs1");
+    let path4 = temp_store("jobs4");
+    for (path, jobs) in [(&path1, 1), (&path4, 4)] {
+        std::fs::remove_file(path).ok();
+        let mut store = ResultStore::open(path).expect("open store");
+        let out = run_sweep(&grid, &mut store, &fault_options(jobs)).expect("sweep runs");
+        // The sweep completes: every cell resolved, three quarantined.
+        assert!(!out.stats.interrupted);
+        assert_eq!(out.records.len(), grid.scenarios.len());
+        assert_eq!(out.stats.failed, 3, "jobs={jobs}: {:?}", out.stats);
+        let failure = |idx: usize| match &out.records[idx].status {
+            RecordStatus::Failed(f) => f.clone(),
+            other => panic!("cell {idx} should be quarantined, got {other:?}"),
+        };
+        assert!(matches!(failure(4), CellFailure::Panic { message }
+                if message.contains("injected fault")));
+        assert!(matches!(failure(9), CellFailure::Deadlock { .. }));
+        assert!(matches!(failure(14), CellFailure::Timeout { detail }
+                if detail.contains("wall-clock")));
+        // Every non-faulted cell resolved healthily (Ok or Unsupported —
+        // never an error or a lost record).
+        for (idx, rec) in out.records.iter().enumerate() {
+            if ![4, 9, 14].contains(&idx) {
+                assert!(
+                    matches!(rec.status, RecordStatus::Ok | RecordStatus::Unsupported),
+                    "cell {idx}: {:?}",
+                    rec.status
+                );
+            }
+        }
+        let report = quarantine_report(&out.records).expect("three quarantined cells");
+        assert!(report.contains("Quarantined cells: 3"), "{report}");
+    }
+    // Store bytes are identical whatever the worker count, failure
+    // records included.
+    let b1 = std::fs::read(&path1).expect("jobs1 store");
+    let b4 = std::fs::read(&path4).expect("jobs4 store");
+    assert!(!b1.is_empty());
+    assert_eq!(b1, b4, "faulted stores must be jobs-invariant");
+    std::fs::remove_file(&path1).ok();
+    std::fs::remove_file(&path4).ok();
+}
+
+#[test]
+fn resume_from_partial_journal_converges_to_cold_store() {
+    let grid = test_grid();
+    let cold_path = temp_store("resume-cold");
+    let partial_path = temp_store("resume-partial");
+    for p in [&cold_path, &partial_path] {
+        std::fs::remove_file(p).ok();
+    }
+    // Uninterrupted reference run.
+    let mut cold = ResultStore::open(&cold_path).expect("open cold");
+    run_sweep(&grid, &mut cold, &SweepOptions::default()).expect("cold sweep");
+    let cold_bytes = std::fs::read(&cold_path).expect("cold bytes");
+
+    // Simulate an interrupted run: keep only a prefix of the journal
+    // lines (what an early SIGKILL would have left behind).
+    let text = String::from_utf8(cold_bytes.clone()).expect("utf8 store");
+    let prefix: String = text.lines().take(6).map(|l| format!("{l}\n")).collect();
+    std::fs::write(&partial_path, prefix).expect("write partial journal");
+
+    // The resumed run satisfies the journaled cells from cache and
+    // executes only the missing ones; the rewritten store is
+    // byte-identical to the uninterrupted one.
+    let mut partial = ResultStore::open(&partial_path).expect("open partial");
+    let out = run_sweep(&grid, &mut partial, &SweepOptions::default()).expect("resume sweep");
+    assert!(out.stats.cache_hits > 0, "{:?}", out.stats);
+    assert!(out.stats.executed < grid.scenarios.len(), "{:?}", out.stats);
+    let resumed_bytes = std::fs::read(&partial_path).expect("resumed bytes");
+    assert_eq!(resumed_bytes, cold_bytes, "resume must converge");
+    std::fs::remove_file(&cold_path).ok();
+    std::fs::remove_file(&partial_path).ok();
+}
+
+#[test]
+fn torn_journal_tail_is_recovered_and_healed_by_next_sweep() {
+    let grid = test_grid();
+    let cold_path = temp_store("torn-cold");
+    let torn_path = temp_store("torn");
+    for p in [&cold_path, &torn_path] {
+        std::fs::remove_file(p).ok();
+    }
+    let mut cold = ResultStore::open(&cold_path).expect("open cold");
+    run_sweep(&grid, &mut cold, &SweepOptions::default()).expect("cold sweep");
+    let cold_bytes = std::fs::read(&cold_path).expect("cold bytes");
+
+    // Cut the file mid-record: a crash between `write` and the final
+    // newline leaves an unterminated, unparseable tail.
+    let cut = cold_bytes.len() - 40;
+    std::fs::write(&torn_path, &cold_bytes[..cut]).expect("write torn store");
+    let mut torn = ResultStore::open(&torn_path).expect("open survives torn tail");
+    let recovery = torn.recovery();
+    assert!(recovery.has_damage(), "{recovery:?}");
+    assert!(recovery.torn_tail_bytes > 0, "{recovery:?}");
+    assert_eq!(recovery.unreadable_lines, 0, "{recovery:?}");
+
+    // Re-sweeping heals: the torn record re-executes, the canonical
+    // rewrite restores the exact uninterrupted bytes.
+    let out = run_sweep(&grid, &mut torn, &SweepOptions::default()).expect("healing sweep");
+    assert!(out.stats.executed >= 1, "{:?}", out.stats);
+    let healed = std::fs::read(&torn_path).expect("healed bytes");
+    assert_eq!(healed, cold_bytes, "healed store must match cold store");
+    std::fs::remove_file(&cold_path).ok();
+    std::fs::remove_file(&torn_path).ok();
+}
