@@ -32,6 +32,7 @@
 use canon_bench::{ablations, bench, figures, Scale};
 use canon_core::fault::{FaultAction, FaultPlan};
 use canon_core::trace::{render_profile, write_chrome_trace, VecSink};
+use canon_core::CanonConfig;
 use canon_sweep::engine::{run_sweep, SweepOptions};
 use canon_sweep::report::{edp_table, quarantine_report, speedup_table};
 use canon_sweep::scenario::{standard_workloads, GridBuilder};
@@ -150,6 +151,9 @@ fn usage() -> ! {
            --geom LIST  sweep fabric geometries, e.g. 8x8,16x16 (default: 8x8,\n\
                         or 64x64,128x64 under --large); baselines are\n\
                         provisioned iso-MAC at each point\n\
+           --no-replay  (sweep) disable the steady-state replay engine and\n\
+                        cycle-step every cell; the result store must be\n\
+                        byte-identical either way (CI diffs the two)\n\
            --resume     (sweep) continue an interrupted sweep from the store\n\
                         journal: recovered records are reported instead of\n\
                         warned about; finished cells are cache hits\n\
@@ -274,6 +278,10 @@ struct SweepRunOpts {
     cell_wall_budget: Option<Duration>,
     cell_cycle_budget: Option<u64>,
     max_retries: u32,
+    /// Steady-state replay engine on (the default engine configuration).
+    /// `--no-replay` forces cycle-stepping so CI can byte-diff the two
+    /// paths' result stores.
+    replay: bool,
     shutdown: Arc<AtomicBool>,
 }
 
@@ -323,6 +331,10 @@ fn run_standard_sweep(
         &SweepOptions {
             jobs,
             progress,
+            base_cfg: CanonConfig {
+                replay: run.replay,
+                ..CanonConfig::default()
+            },
             cell_wall_budget: run.cell_wall_budget,
             cell_cycle_budget: run.cell_cycle_budget,
             max_retries: run.max_retries,
@@ -441,6 +453,12 @@ fn main() {
         true
     } else {
         false
+    };
+    let replay = if let Some(pos) = args.iter().position(|a| a == "--no-replay") {
+        args.remove(pos);
+        false
+    } else {
+        true
     };
     let fault_plan = take_value_flag(&mut args, "--faults")
         .map_or_else(FaultPlan::new, |raw| parse_faults(&raw));
@@ -644,6 +662,7 @@ fn main() {
         cell_wall_budget,
         cell_cycle_budget,
         max_retries,
+        replay,
         shutdown: install_sigint_flag(),
     };
     let mut exit_code = 0;

@@ -56,6 +56,19 @@ pub struct CanonConfig {
     /// identical (pinned by `tests/batch_column.rs`); disable only for
     /// differential testing or A/B throughput measurement.
     pub batching: bool,
+    /// Simulator-host knob (not an architectural parameter): enables the
+    /// steady-state replay engine, which detects stretches of cycles in
+    /// which every row issues the same uniform MAC shape and fast-forwards
+    /// them — the PE-array sweep is deferred and settled arithmetically
+    /// when the stretch ends (see `canon_core::replay`). Architecturally
+    /// invisible either way — cycle counts, stats (including the stall
+    /// breakdown), and collector streams are identical (pinned by
+    /// `tests/replay_differential.rs`); only the
+    /// `Stats::replayed_cycles`/`Stats::replay_stretches` diagnostics
+    /// differ. Automatically disengaged while a trace sink is attached or
+    /// the polling shadow engine is forced. Disable only for differential
+    /// testing or A/B throughput measurement.
+    pub replay: bool,
     /// Harness knob: hard ceiling on simulated cycles per `Fabric::run`
     /// call. `None` (the default) leaves only the deadlock watchdog;
     /// `Some(n)` aborts a still-live run after `n` cycles with
@@ -90,6 +103,7 @@ impl Default for CanonConfig {
             watchdog_factor: 64,
             watchdog_slack: 10_000,
             batching: true,
+            replay: true,
             max_cycles: None,
             wall_budget_ns: None,
             fault: None,

@@ -187,6 +187,17 @@ pub struct Stats {
     /// fraction of swept PE work the uniformity detector vectorized. The
     /// architectural counters are identical either way.
     pub batched_pe_cycles: u64,
+    /// Cycles fast-forwarded by the steady-state replay engine: the PE-array
+    /// sweep of these cycles was deferred and settled arithmetically at the
+    /// next stretch flush (see `crate::replay`). A scheduler diagnostic —
+    /// every architectural counter is identical with replay on or off;
+    /// `replayed_cycles / cycles` is the fraction of the run the engine
+    /// fast-forwarded.
+    pub replayed_cycles: u64,
+    /// Uniform-issue stretches the replay engine captured and flushed (each
+    /// contributed ≥ 1 to `replayed_cycles`). A scheduler diagnostic:
+    /// `replayed_cycles / replay_stretches` is the mean stretch length.
+    pub replay_stretches: u64,
 }
 
 impl Stats {
@@ -217,6 +228,8 @@ impl Stats {
         self.orch_polls_skipped += other.orch_polls_skipped;
         self.wake_events += other.wake_events;
         self.batched_pe_cycles += other.batched_pe_cycles;
+        self.replayed_cycles += other.replayed_cycles;
+        self.replay_stretches += other.replay_stretches;
     }
 
     /// Total scalar MAC operations performed (vector MACs × lanes).

@@ -27,10 +27,14 @@ use canon::sweep::store::fnv1a64;
 use proptest::prelude::*;
 
 /// Builds an SpMM-shaped fabric over a random problem sized for the
-/// geometry (the same construction `tests/event_wake.rs` uses), rows driven
-/// by the window FSM or the register-accumulation FSM. `band_words` is the
-/// K-band depth per fabric row in dmem words — it sets the MAC burst length
-/// per output row, and with it how often whole columns go uniform.
+/// geometry (the same construction `tests/event_wake.rs` uses). Rows
+/// `0..regacc_rows` run the register-accumulation FSM, the rest the window
+/// FSM — a mixed grid issues *different* MAC shapes per row group, which is
+/// exactly the skewed-issue pattern the partial-prefix batch detector has
+/// to handle (the all-or-nothing detector saw such columns as non-uniform).
+/// `band_words` is the K-band depth per fabric row in dmem words — it sets
+/// the MAC burst length per output row, and with it how often columns go
+/// uniform.
 fn spmm_fabric(
     rows: usize,
     cols: usize,
@@ -39,7 +43,7 @@ fn spmm_fabric(
     sparsity: f64,
     depth: usize,
     seed: u64,
-    regacc: bool,
+    regacc_rows: usize,
 ) -> Fabric {
     let cfg = CanonConfig {
         rows,
@@ -57,7 +61,7 @@ fn spmm_fabric(
     preload_b_tile(&mut fabric, &b, k / rows, 0).expect("tile fits");
     for (r, stream) in streams.into_iter().enumerate() {
         fabric.set_meta_stream(r, stream);
-        if regacc {
+        if r < regacc_rows {
             fabric.set_program(r, RegAccFsm::new(m));
         } else {
             fabric.set_program(r, SpmmFsm::new(depth, m));
@@ -97,9 +101,12 @@ fn assert_batch_invisible(batched: (&Fabric, RunReport), scalar: (&Fabric, RunRe
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
 
-    /// Random kernels and bands from 8×8 through 64×64: the batch detector
-    /// enabled vs force-disabled must produce identical reports, stall
-    /// breakdowns, collector sequences, and architectural trace streams.
+    /// Random kernels and bands from 8×8 through 64×64 — including mixed
+    /// grids whose leading rows run a different FSM (and so issue a
+    /// different MAC shape) than the rest, the skewed-issue pattern the
+    /// partial-prefix detector batches: the batch detector enabled vs
+    /// force-disabled must produce identical reports, stall breakdowns,
+    /// collector sequences, and architectural trace streams.
     #[test]
     fn batch_sweep_is_architecturally_invisible(
         seed in 0u64..10_000,
@@ -109,19 +116,20 @@ proptest! {
         band_sel in 0usize..3,
         sparsity in 0.0f64..0.95,
         depth in 1usize..5,
-        regacc_sel in 0u8..2,
+        regacc_sel in 0u8..4,
     ) {
-        let regacc = regacc_sel == 1;
         let dims = [8usize, 16, 32, 64];
         let (rows, cols) = (dims[rows_sel], dims[cols_sel]);
+        // All-window, all-regacc, and two skewed splits.
+        let regacc_rows = [0, rows, rows / 2, rows / 4][regacc_sel as usize];
         // Deep bands are what make columns go uniform, but cap the total MAC
         // volume so traced runs stay fast at the big geometries.
         let mut band = [4usize, 16, 64][band_sel];
         if rows * cols * m * band > 2_000_000 {
             band = 4;
         }
-        let mut batched = spmm_fabric(rows, cols, m, band, sparsity, depth, seed, regacc);
-        let mut scalar = spmm_fabric(rows, cols, m, band, sparsity, depth, seed, regacc);
+        let mut batched = spmm_fabric(rows, cols, m, band, sparsity, depth, seed, regacc_rows);
+        let mut scalar = spmm_fabric(rows, cols, m, band, sparsity, depth, seed, regacc_rows);
         scalar.set_batching(false);
         let (sink_b, sink_s) = (VecSink::default(), VecSink::default());
         batched.set_trace_sink(Box::new(sink_b.clone()));
@@ -149,7 +157,7 @@ proptest! {
 /// exactly the per-column uniformity the detector looks for.
 #[test]
 fn dense_regacc_exercises_the_batch_path() {
-    let mut fabric = spmm_fabric(8, 8, 16, 64, 0.0, 4, 7, true);
+    let mut fabric = spmm_fabric(8, 8, 16, 64, 0.0, 4, 7, 8);
     let report = fabric.run().expect("dense run drains");
     assert!(
         report.stats.batched_pe_cycles > 0,
@@ -158,6 +166,27 @@ fn dense_regacc_exercises_the_batch_path() {
     // Deep dense bands should batch a majority of the swept work, not just
     // a stray column — guard the fast path's reach, not only its existence.
     assert!(report.stats.batched_pe_cycles * 2 >= report.stats.active_pe_cycles);
+}
+
+/// A mixed grid — half the rows issuing `MacS → Reg`, half `MacS → Spad` —
+/// never goes fully uniform, so the all-or-nothing detector would batch
+/// nothing; the partial-prefix detector must still vectorize the uniform
+/// leading rows. (The proptest above pins that doing so changes nothing
+/// architectural.)
+#[test]
+fn mixed_grid_batches_the_uniform_prefix() {
+    let mut fabric = spmm_fabric(16, 8, 16, 64, 0.0, 4, 7, 8);
+    let report = fabric.run().expect("mixed run drains");
+    assert!(
+        report.stats.batched_pe_cycles > 0,
+        "prefix detector never fired on a half-uniform grid"
+    );
+    // The run must also never have been fully uniform — otherwise this test
+    // degenerates into the dense one above.
+    assert_eq!(
+        report.stats.replayed_cycles, 0,
+        "mixed grid went fully uniform"
+    );
 }
 
 /// FNV-1a over the little-endian result matrix — byte-identical outputs.
