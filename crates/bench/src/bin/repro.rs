@@ -28,17 +28,36 @@
 //! in-flight cells and exits 130, and `--faults` injects deterministic
 //! failures to exercise all of it. `store gc` compacts the store, dropping
 //! records stranded by `CODE_SALT`/schema bumps.
+//!
+//! The `serve` target runs the same per-cell stack as a resident daemon
+//! (`canon-serve`): a Unix-socket line-JSON protocol over warm fabric
+//! pools and the result store promoted to a serving tier. `submit` is the
+//! matching client (single cells or the whole standard grid), `ctl` sends
+//! control commands, and SIGTERM/SIGINT drain the daemon gracefully (exit
+//! 143/130). Store-touching targets (`sweep`, `store gc`, `serve`) take an
+//! exclusive flock on `<store>.lock`, so a concurrent sweep against a
+//! daemon-owned store fails fast instead of corrupting the journal.
+//!
+//! ```sh
+//! cargo run -p canon-bench --release --bin repro -- serve --socket canon.sock --out results.jsonl
+//! cargo run -p canon-bench --release --bin repro -- submit --socket canon.sock --smoke
+//! cargo run -p canon-bench --release --bin repro -- submit --socket canon.sock \
+//!     --workload SpMM --band S2 --arch Canon
+//! cargo run -p canon-bench --release --bin repro -- ctl status --socket canon.sock
+//! ```
 
 use canon_bench::{ablations, bench, figures, Scale};
 use canon_core::fault::{FaultAction, FaultPlan};
 use canon_core::trace::{render_profile, write_chrome_trace, VecSink};
 use canon_core::CanonConfig;
+use canon_serve::{Client, Request, ServeOptions, SubmitRequest};
 use canon_sweep::engine::{run_sweep, SweepOptions};
-use canon_sweep::report::{edp_table, quarantine_report, speedup_table};
-use canon_sweep::scenario::{standard_workloads, GridBuilder};
-use canon_sweep::store::ResultStore;
+use canon_sweep::report::{edp_table, quarantine_report_with, speedup_table};
+use canon_sweep::scenario::{standard_workloads, GridBuilder, ScenarioGrid};
+use canon_sweep::store::{ResultStore, StoreLock};
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicI32, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
@@ -128,6 +147,40 @@ fn install_sigint_flag() -> Arc<AtomicBool> {
     flag
 }
 
+/// The daemon's signal slot: SIGINT/SIGTERM handlers store the raw signal
+/// number here and the serve accept loop turns it into a graceful drain
+/// (exit 130/143).
+static SERVE_SIGNAL: OnceLock<Arc<AtomicI32>> = OnceLock::new();
+
+#[cfg(unix)]
+extern "C" fn on_serve_signal(signum: i32) {
+    // SAFETY/async-signal-safety: `OnceLock::get` and the atomic store are
+    // lock- and allocation-free.
+    if let Some(slot) = SERVE_SIGNAL.get() {
+        slot.store(signum, Ordering::Relaxed);
+    }
+    // A second signal kills immediately instead of re-requesting the drain.
+    unsafe {
+        signal(signum, 0); // SIG_DFL
+    }
+}
+
+/// Installs graceful SIGINT+SIGTERM handlers for `repro serve` and returns
+/// the slot to hand to [`ServeOptions::signal`].
+fn install_serve_signals() -> Arc<AtomicI32> {
+    let slot = SERVE_SIGNAL
+        .get_or_init(|| Arc::new(AtomicI32::new(0)))
+        .clone();
+    #[cfg(unix)]
+    // SAFETY: `on_serve_signal` is async-signal-safe and lives for the
+    // whole process.
+    unsafe {
+        signal(2, on_serve_signal as *const () as usize); // SIGINT
+        signal(15, on_serve_signal as *const () as usize); // SIGTERM
+    }
+    slot
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--smoke|--large] [--jobs N] [--out FILE] [--geom RxC[,RxC...]] <targets...>\n\
@@ -135,6 +188,15 @@ fn usage() -> ! {
                   ablation-async ablation-buffer-sizing ablation-lut sweep all\n\
                   store gc   compact the store; reports kept/stale-salt/\n\
                         unreadable record counts and recovered torn-tail bytes\n\
+                  serve   resident sweep daemon on --socket over the --out\n\
+                        store: warm fabric pools, request coalescing, bounded\n\
+                        queue with busy/retry-after backpressure; SIGTERM/\n\
+                        SIGINT drain gracefully (exit 143/130)\n\
+                  submit   client: submit the standard grid (default; --smoke\n\
+                        and --faults as in sweep) or one cell (--workload,\n\
+                        --band, --arch, --seed, --fault DESC); prints one\n\
+                        reply line per cell plus a summary\n\
+                  ctl status|drain|shutdown   control a running daemon\n\
                   bench [--baseline FILE] [--check] [--reps N]   (writes BENCH_sim.json)\n\
                   trace [--out FILE]   capture the golden SpMM scenario as a\n\
                         Perfetto-loadable Chrome trace (default: trace.json)\n\
@@ -167,8 +229,13 @@ fn usage() -> ! {
                         (defaults to 100 when --faults injects a timeout)\n\
            --cell-cycles N  (sweep) simulated-cycle ceiling per cell\n\
                         (deterministic timeout, independent of host speed)\n\
-           --retries N  (sweep) retry budget for transient failures\n\
+           --retries N  (sweep, serve) retry budget for transient failures\n\
                         (default 2); deterministic failures never retry\n\
+           --socket PATH  (serve, submit, ctl) daemon Unix socket\n\
+                        (default: canon-serve.sock)\n\
+           --queue N    (serve) bounded queue capacity; submits beyond it\n\
+                        get a busy reply with retry_after_ms (default 64)\n\
+           --connections N  (submit) parallel client connections (default 4)\n\
            --baseline FILE  (bench) previous BENCH_sim.json to embed and\n\
                         compute speedups against\n\
            --reps N     (bench) interleaved batch-off/on pairs per large-tier\n\
@@ -179,8 +246,9 @@ fn usage() -> ! {
                         baseline (--baseline FILE, else the committed\n\
                         BENCH_sim.json); a baseline without a large section\n\
                         skips that gate with a warning\n\
-         exit codes: 0 ok; 1 fatal error; 2 usage; 3 sweep completed with\n\
-                     quarantined cell failures; 130 interrupted (SIGINT)"
+         exit codes: 0 ok; 1 fatal error; 2 usage; 3 sweep/submit completed\n\
+                     with quarantined cell failures; 130 interrupted (SIGINT\n\
+                     drain); 143 serve drained by SIGTERM"
     );
     std::process::exit(2)
 }
@@ -285,15 +353,10 @@ struct SweepRunOpts {
     shutdown: Arc<AtomicBool>,
 }
 
-fn run_standard_sweep(
-    scale: Scale,
-    jobs: usize,
-    out: &str,
-    geometries: &[(usize, usize)],
-    progress: bool,
-    run: &SweepRunOpts,
-    exit_code: &mut i32,
-) -> String {
+/// The standard grid at the CLI's scale and geometry settings — shared by
+/// the batch `sweep` target and the `submit` client's grid mode, so both
+/// surfaces expand identical scenarios (and therefore identical store keys).
+fn standard_grid(scale: Scale, geometries: &[(usize, usize)]) -> ScenarioGrid {
     let mut builder = GridBuilder::new()
         .scales(&[match scale {
             Scale::Full | Scale::Large => 1,
@@ -303,7 +366,29 @@ fn run_standard_sweep(
     for w in standard_workloads() {
         builder = builder.workload(&w.name, w.template);
     }
-    let grid = builder.build();
+    builder.build()
+}
+
+/// Takes the store's exclusive advisory lock, failing fast (exit 1) when a
+/// daemon or concurrent sweep owns it.
+fn lock_store(out: &str) -> StoreLock {
+    StoreLock::acquire(Path::new(out)).unwrap_or_else(|e| {
+        eprintln!("cannot lock result store {out}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn run_standard_sweep(
+    scale: Scale,
+    jobs: usize,
+    out: &str,
+    geometries: &[(usize, usize)],
+    progress: bool,
+    run: &SweepRunOpts,
+    exit_code: &mut i32,
+) -> String {
+    let grid = standard_grid(scale, geometries);
+    let _lock = lock_store(out);
     let mut store = open_store(out);
     let recovery = store.recovery();
     if recovery.has_damage() {
@@ -368,7 +453,7 @@ fn run_standard_sweep(
     text.push_str(&speedup_table(&outcome.records));
     text.push('\n');
     text.push_str(&edp_table(&outcome.records));
-    if let Some(report) = quarantine_report(&outcome.records) {
+    if let Some(report) = quarantine_report_with(&outcome.records, Some(&s)) {
         text.push('\n');
         text.push_str(&report);
     }
@@ -475,6 +560,15 @@ fn main() {
     let cell_cycle_budget = parse_u64_flag(&mut args, "--cell-cycles");
     let max_retries =
         parse_u64_flag(&mut args, "--retries").map_or(2, |n| n.min(u32::MAX as u64) as u32);
+    let socket =
+        take_value_flag(&mut args, "--socket").unwrap_or_else(|| "canon-serve.sock".into());
+    let queue_capacity = parse_u64_flag(&mut args, "--queue").map_or(64, |n| n.max(1) as usize);
+    let connections = parse_u64_flag(&mut args, "--connections").map_or(4, |n| n.max(1) as usize);
+    let workload_flag = take_value_flag(&mut args, "--workload");
+    let band_flag = take_value_flag(&mut args, "--band");
+    let arch_flag = take_value_flag(&mut args, "--arch");
+    let seed_flag = parse_u64_flag(&mut args, "--seed");
+    let fault_flag = take_value_flag(&mut args, "--fault");
     if cell_wall_budget.is_none()
         && fault_plan
             .iter()
@@ -611,11 +705,158 @@ fn main() {
         }
         return;
     }
+    // `serve` hands the process to the resident daemon; the process exit
+    // code is the daemon's drain code (0 protocol, 130 SIGINT, 143 SIGTERM).
+    if args[0] == "serve" {
+        if args.len() != 1 {
+            usage();
+        }
+        let opts = ServeOptions {
+            socket: socket.clone().into(),
+            store: out.clone().into(),
+            workers: jobs,
+            queue_capacity,
+            base_cfg: CanonConfig {
+                replay,
+                wall_budget_ns: cell_wall_budget.map(|d| d.as_nanos() as u64),
+                max_cycles: cell_cycle_budget,
+                ..CanonConfig::default()
+            },
+            max_retries,
+            retry_backoff: Duration::from_millis(10),
+            signal: Some(install_serve_signals()),
+        };
+        eprintln!(
+            "serve: listening on {socket} over store {out} ({jobs} worker(s), queue {queue_capacity})"
+        );
+        match canon_serve::run_daemon(&opts) {
+            Ok(code) => {
+                eprintln!("serve: drained, exiting {code}");
+                std::process::exit(code);
+            }
+            Err(e) => {
+                eprintln!("serve failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    // `submit` is the daemon's client: the standard grid by default, or a
+    // single cell when --workload is given.
+    if args[0] == "submit" {
+        if args.len() != 1 {
+            usage();
+        }
+        let submits: Vec<SubmitRequest> = match &workload_flag {
+            Some(workload) => {
+                let mut req = SubmitRequest::new("cell-0", workload.as_str());
+                req.scale = match scale {
+                    Scale::Full | Scale::Large => 1,
+                    Scale::Smoke => 4,
+                };
+                req.geometry = geometries[0];
+                req.band = band_flag.as_deref().map(|label| {
+                    canon_serve::protocol::band_from_label(label).unwrap_or_else(|| {
+                        eprintln!("--band must be S1|S2|S3, got {label:?}");
+                        usage();
+                    })
+                });
+                if let Some(label) = &arch_flag {
+                    req.arch = canon_serve::protocol::arch_from_label(label).unwrap_or_else(|| {
+                        eprintln!("unknown --arch {label:?}");
+                        usage();
+                    });
+                }
+                req.seed = seed_flag;
+                req.max_cycles = cell_cycle_budget;
+                req.wall_budget_ns = cell_wall_budget.map(|d| d.as_nanos() as u64);
+                req.fault = fault_flag.as_deref().map(|desc| {
+                    FaultAction::from_descriptor(desc).unwrap_or_else(|| {
+                        eprintln!(
+                            "--fault must be a descriptor (panic@N, withhold-credits, \
+                             slow:Nns, transient:N), got {desc:?}"
+                        );
+                        usage();
+                    })
+                });
+                vec![req]
+            }
+            // Grid mode mirrors the batch sweep exactly — same expansion,
+            // same per-index --faults semantics, same budgets — so a served
+            // grid and a swept grid land on identical store keys.
+            None => standard_grid(scale, &geometries)
+                .scenarios
+                .iter()
+                .enumerate()
+                .map(|(i, s)| SubmitRequest {
+                    id: format!("cell-{i}"),
+                    workload: s.workload.clone(),
+                    band: s.band,
+                    scale: s.scale,
+                    geometry: s.geometry,
+                    arch: s.arch,
+                    seed: Some(s.seed),
+                    max_cycles: cell_cycle_budget,
+                    wall_budget_ns: cell_wall_budget.map(|d| d.as_nanos() as u64),
+                    fault: fault_plan.action_for(i),
+                })
+                .collect(),
+        };
+        let outcome = canon_serve::submit_batch(Path::new(&socket), &submits, connections, 20)
+            .unwrap_or_else(|e| {
+                eprintln!("cannot reach daemon on {socket}: {e}");
+                std::process::exit(1);
+            });
+        for reply in outcome.replies.iter().flatten() {
+            println!("{}", reply.to_line());
+        }
+        eprintln!(
+            "submit: {} cell(s): {} ok ({} cached, {} coalesced), {} unsupported, \
+             {} quarantined, {} error(s), {} refused",
+            submits.len(),
+            outcome.ok,
+            outcome.cached,
+            outcome.coalesced,
+            outcome.unsupported,
+            outcome.failed,
+            outcome.errors,
+            outcome.refused,
+        );
+        let code = if outcome.errors > 0 || outcome.refused > 0 {
+            1
+        } else if outcome.failed > 0 {
+            3
+        } else {
+            0
+        };
+        std::process::exit(code);
+    }
+    // `ctl` sends one control command to a running daemon.
+    if args[0] == "ctl" {
+        let request = match args.get(1).map(String::as_str) {
+            Some("status") if args.len() == 2 => Request::Status,
+            Some("drain") if args.len() == 2 => Request::Drain,
+            Some("shutdown") if args.len() == 2 => Request::Shutdown,
+            _ => usage(),
+        };
+        let mut client = Client::connect(&socket).unwrap_or_else(|e| {
+            eprintln!("cannot reach daemon on {socket}: {e}");
+            std::process::exit(1);
+        });
+        match client.request(&request) {
+            Ok(reply) => println!("{}", reply.to_line()),
+            Err(e) => {
+                eprintln!("ctl failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     // `store <subcommand>` maintains the result store instead of producing
     // figure output.
     if args[0] == "store" {
         match args.get(1).map(String::as_str) {
             Some("gc") if args.len() == 2 => {
+                let _lock = lock_store(&out);
                 let mut store = open_store(&out);
                 let stats = store.compact().unwrap_or_else(|e| {
                     eprintln!("store gc failed: {e}");

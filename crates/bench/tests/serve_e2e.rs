@@ -1,0 +1,212 @@
+//! Process-level serving tests: `repro serve` + `repro submit` + `repro
+//! ctl` as real processes over a real Unix socket, including the
+//! crash/kill/resume contract — a SIGKILLed daemon restarted over the same
+//! store converges, after `repro store gc`, to the byte-identical store of
+//! an uninterrupted daemon serving the same cells.
+#![cfg(unix)]
+
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+// Raw POSIX kill(2): the workspace carries no libc crate and the tests
+// need SIGTERM (graceful drain) alongside SIGKILL (Child::kill).
+extern "C" {
+    fn kill(pid: i32, sig: i32) -> i32;
+}
+
+const SIGTERM: i32 = 15;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("canon-serve-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Spawns `repro serve` and blocks until the socket accepts connections.
+///
+/// Every test path `wait()`s the child (after SIGTERM/SIGKILL), so no
+/// zombie survives the early return on a successful connect.
+#[allow(clippy::zombie_processes)]
+fn spawn_daemon(socket: &Path, store: &Path) -> Child {
+    let mut child = repro()
+        .args(["serve", "--jobs", "2"])
+        .arg("--socket")
+        .arg(socket)
+        .arg("--out")
+        .arg(store)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn repro serve");
+    for _ in 0..500 {
+        if UnixStream::connect(socket).is_ok() {
+            return child;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+    panic!("daemon never started listening on {}", socket.display());
+}
+
+/// Runs `repro submit` for one cell and returns (exit code, stdout).
+fn submit(socket: &Path, extra: &[&str]) -> (i32, String) {
+    let out = repro()
+        .args(["submit", "--smoke"])
+        .arg("--socket")
+        .arg(socket)
+        .args(extra)
+        .output()
+        .expect("run repro submit");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+/// The serving workload of these tests: three healthy cells across two
+/// architectures, one injected panic, and one deterministic cycle-ceiling
+/// timeout — every reply class the protocol quarantines.
+fn serve_cells(socket: &Path) -> Vec<(i32, String)> {
+    vec![
+        submit(socket, &["--workload", "GEMM"]),
+        submit(socket, &["--workload", "GEMM", "--arch", "Systolic"]),
+        submit(socket, &["--workload", "SpMM", "--band", "S2"]),
+        submit(socket, &["--workload", "GEMM", "--fault", "panic@3"]),
+        submit(
+            socket,
+            &[
+                "--workload",
+                "GEMM",
+                "--fault",
+                "slow:2000000ns",
+                "--cell-cycles",
+                "50",
+            ],
+        ),
+    ]
+}
+
+fn gc(store: &Path) {
+    let status = repro()
+        .args(["store", "gc", "--out"])
+        .arg(store)
+        .stdout(Stdio::null())
+        .status()
+        .expect("run repro store gc");
+    assert!(status.success(), "store gc failed for {}", store.display());
+}
+
+#[test]
+fn daemon_serves_faults_structured_and_kill_resume_converges() {
+    let dir = scratch("kill-resume");
+
+    // Reference: one uninterrupted daemon serves every cell, then drains
+    // cleanly via SIGTERM (exit 143).
+    let ref_store = dir.join("reference.jsonl");
+    let ref_socket = dir.join("reference.sock");
+    let mut daemon = spawn_daemon(&ref_socket, &ref_store);
+    let replies = serve_cells(&ref_socket);
+
+    // Healthy cells succeed; injected faults come back as structured
+    // result replies — the daemon process survives all of them.
+    assert_eq!(replies[0].0, 0, "healthy submit: {}", replies[0].1);
+    assert!(replies[0].1.contains("\"status\":\"ok\""));
+    assert_eq!(replies[3].0, 3, "faulted submit exits 3: {}", replies[3].1);
+    assert!(
+        replies[3].1.contains("\"status\":\"panic\"") && replies[3].1.contains("injected fault"),
+        "panic reply: {}",
+        replies[3].1
+    );
+    assert_eq!(replies[4].0, 3);
+    assert!(
+        replies[4].1.contains("\"status\":\"timeout\""),
+        "timeout reply: {}",
+        replies[4].1
+    );
+
+    unsafe {
+        kill(daemon.id() as i32, SIGTERM);
+    }
+    let status = daemon.wait().unwrap();
+    assert_eq!(status.code(), Some(143), "SIGTERM drain exit code");
+
+    // Crash path: a daemon over a second store is SIGKILLed mid-service —
+    // after the first two cells acknowledged — then restarted on the same
+    // store.
+    let crash_store = dir.join("crash.jsonl");
+    let crash_socket = dir.join("crash.sock");
+    let mut victim = spawn_daemon(&crash_socket, &crash_store);
+    let first = submit(&crash_socket, &["--workload", "GEMM"]);
+    assert_eq!(first.0, 0, "pre-kill submit: {}", first.1);
+    let second = submit(&crash_socket, &["--workload", "GEMM", "--arch", "Systolic"]);
+    assert_eq!(second.0, 0, "pre-kill submit: {}", second.1);
+    victim.kill().unwrap(); // SIGKILL: no drain, no unlink, no goodbye
+    victim.wait().unwrap();
+
+    // Restart over the same store (and the same socket path: the stale
+    // socket file must be reclaimed). Acknowledged cells are index hits.
+    let mut revived = spawn_daemon(&crash_socket, &crash_store);
+    let resumed = submit(&crash_socket, &["--workload", "GEMM"]);
+    assert_eq!(resumed.0, 0);
+    assert!(
+        resumed.1.contains("\"cached\":true"),
+        "acknowledged pre-kill work must be served from the store: {}",
+        resumed.1
+    );
+    // Serve the rest of the workload, then drain cleanly.
+    let replies = serve_cells(&crash_socket);
+    assert!(replies[3].1.contains("\"status\":\"panic\""));
+    unsafe {
+        kill(revived.id() as i32, SIGTERM);
+    }
+    assert_eq!(revived.wait().unwrap().code(), Some(143));
+
+    // The killed-and-resumed store converges byte-identically with the
+    // uninterrupted one after the deterministic key-sorted rewrite.
+    gc(&ref_store);
+    gc(&crash_store);
+    let reference = std::fs::read(&ref_store).unwrap();
+    let crashed = std::fs::read(&crash_store).unwrap();
+    assert!(!reference.is_empty());
+    assert_eq!(
+        reference, crashed,
+        "gc'd stores must be byte-identical after kill/resume"
+    );
+}
+
+#[test]
+fn concurrent_sweep_against_daemon_store_fails_fast() {
+    let dir = scratch("lock");
+    let store = dir.join("store.jsonl");
+    let socket = dir.join("serve.sock");
+    let mut daemon = spawn_daemon(&socket, &store);
+
+    // `store gc` (and `sweep`, same lock) against the daemon-owned store
+    // must fail fast with the addressable message, not corrupt the journal.
+    let out = repro()
+        .args(["store", "gc", "--out"])
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("locked by another process"),
+        "lock error must name the holder class: {stderr}"
+    );
+
+    unsafe {
+        kill(daemon.id() as i32, SIGTERM);
+    }
+    assert_eq!(daemon.wait().unwrap().code(), Some(143));
+    // Lock released with the daemon: maintenance works again.
+    gc(&store);
+}

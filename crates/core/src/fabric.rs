@@ -215,6 +215,29 @@ impl RowTable {
         self.programs.len()
     }
 
+    /// Returns the table to its post-construction state in place
+    /// ([`RowTable::new`] with the same row count), keeping the per-row
+    /// queue allocations (fabric reuse).
+    fn reset(&mut self, credits_for: impl Fn(usize) -> usize) {
+        for (r, p) in self.programs.iter_mut().enumerate() {
+            *p = None;
+            self.meta[r].clear();
+            self.meta_pos[r] = 0;
+            self.south_credits[r] = credits_for(r);
+            self.inbox[r].clear();
+            self.credit_returns[r].clear();
+        }
+        self.last_state.fill(NO_STATE);
+        self.orch_steps.fill(0);
+        self.transitions.fill(0);
+        self.messages_sent.fill(0);
+        self.stall_causes.fill(StallBreakdown::default());
+        self.meta_consumed.fill(0);
+        self.parked_at.fill(NEVER);
+        self.parked_stall.fill(None);
+        self.polls_skipped.fill(0);
+    }
+
     fn done(&self, r: usize) -> bool {
         self.programs[r].as_ref().is_none_or(|p| p.done())
     }
@@ -276,6 +299,12 @@ impl InjectQueue {
     fn is_clear(&self) -> bool {
         self.kind.iter().all(|&k| k == Inject::None)
     }
+
+    /// Empties every slot, keeping allocations (fabric reuse).
+    fn clear(&mut self) {
+        self.kind.fill(Inject::None);
+        self.handle.fill(InstrHandle::default());
+    }
 }
 
 /// One cell of the fabric's issue-uniformity window (see
@@ -319,6 +348,10 @@ const MIN_BATCH_PREFIX: u32 = 4;
 /// The simulated Canon fabric.
 pub struct Fabric {
     cfg: CanonConfig,
+    /// Whether the north edge was built as a token-stream feeder (SDDMM) or
+    /// a zero source (SpMM family). Recorded so the warm pool can key reuse
+    /// on it — the flag is otherwise only encoded in the grid's link kinds.
+    north_feeder: bool,
     pes: PeArray,
     grid: LinkGrid,
     rows: RowTable,
@@ -461,7 +494,193 @@ impl Fabric {
             wall_ns: 0,
             trace: None,
             cfg: cfg.clone(),
+            north_feeder: north_edge_feeder,
         }
+    }
+
+    /// Whether the north edge feeds tokens (see [`Fabric::new`]).
+    pub fn north_edge_feeder(&self) -> bool {
+        self.north_feeder
+    }
+
+    /// True when this fabric's allocations fit `cfg`: reuse via
+    /// [`Fabric::reset`] requires every allocation-shaping parameter
+    /// (geometry, memory capacities, link FIFO depth) and the north-edge
+    /// kind to match. Runtime-only parameters (budgets, fault injection,
+    /// batching/replay switches, watchdog factors) may differ — the reset
+    /// re-derives them from the new configuration.
+    pub fn reusable_for(&self, cfg: &CanonConfig, north_edge_feeder: bool) -> bool {
+        self.north_feeder == north_edge_feeder
+            && self.cfg.rows == cfg.rows
+            && self.cfg.cols == cfg.cols
+            && self.cfg.dmem_words == cfg.dmem_words
+            && self.cfg.spad_entries == cfg.spad_entries
+            && self.cfg.link_fifo_depth == cfg.link_fifo_depth
+            && self.cfg.pipe_depth == cfg.pipe_depth
+    }
+
+    /// Resets the fabric in place to the state `Fabric::new(cfg,
+    /// self.north_edge_feeder())` would produce, reusing every allocation
+    /// (the PE slabs, link rings, instruction ring, and scheduler bitsets
+    /// are zeroed, not rebuilt). This is the warm-pool reuse path: a
+    /// request-serving worker resets a drained (or failed — deadlocked and
+    /// timed-out fabrics carry mid-flight state, which this clears too)
+    /// fabric instead of paying construction for every request.
+    ///
+    /// Under `debug_assertions` the reset is followed by a full
+    /// [`Fabric::assert_pristine`] audit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cfg` is invalid or not [`Fabric::reusable_for`] this
+    /// fabric (allocation shapes must match; build a new fabric instead).
+    pub fn reset(&mut self, cfg: &CanonConfig) {
+        cfg.validate().expect("invalid CanonConfig");
+        assert!(
+            self.reusable_for(cfg, self.north_feeder),
+            "Fabric::reset with an incompatible configuration \
+             ({}x{} dmem={} spad={} fifo={} vs {}x{} dmem={} spad={} fifo={})",
+            self.cfg.rows,
+            self.cfg.cols,
+            self.cfg.dmem_words,
+            self.cfg.spad_entries,
+            self.cfg.link_fifo_depth,
+            cfg.rows,
+            cfg.cols,
+            cfg.dmem_words,
+            cfg.spad_entries,
+            cfg.link_fifo_depth,
+        );
+        let withhold = matches!(cfg.fault, Some(crate::fault::FaultAction::WithholdCredits));
+        let initial_credits = if withhold { 0 } else { cfg.link_fifo_depth - 2 };
+        let rows = cfg.rows;
+        self.rows.reset(|r| {
+            if r + 1 == rows {
+                usize::MAX / 2
+            } else {
+                initial_credits
+            }
+        });
+        self.pes.reset();
+        self.grid.clear_links();
+        self.sched.reset();
+        self.polling = false;
+        self.wake_events = 0;
+        self.ring.reset();
+        self.bubble_horizon = 0;
+        self.elided_bubbles = 0;
+        self.active.clear();
+        self.inject_now.clear();
+        self.inject_next.clear();
+        for f in &mut self.feeders {
+            f.clear();
+        }
+        self.feeders_pending = 0;
+        self.feeder_bytes_per_token = LANES as u64;
+        self.south_collected.clear();
+        self.east_collected.clear();
+        self.cycle = 0;
+        self.active_pe_cycles = 0;
+        self.batching = cfg.batching;
+        self.batched_pe_cycles = 0;
+        self.issue_window.fill(IssueCell::EMPTY);
+        self.col_batch.fill(None);
+        self.replay.reset(cfg.replay);
+        self.extra_offchip_read = 0;
+        self.extra_offchip_write = 0;
+        self.wall_ns = 0;
+        self.trace = None;
+        self.cfg = cfg.clone();
+        #[cfg(debug_assertions)]
+        self.assert_pristine();
+    }
+
+    /// Audits that the fabric carries no residual state from a previous
+    /// run: cycle zero, quiescent, scheduler and NoC empty, memories
+    /// zeroed, and every reported statistic zero. [`Fabric::reset`] runs
+    /// this automatically under `debug_assertions`; it is public so tests
+    /// (and the pool's own paranoia) can invoke it directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any residual state, naming the component.
+    pub fn assert_pristine(&self) {
+        assert_eq!(self.cycle, 0, "pristine fabric: cycle not zero");
+        assert!(self.quiescent(), "pristine fabric: not quiescent");
+        assert!(
+            self.active.is_empty(),
+            "pristine fabric: active set not empty"
+        );
+        assert!(
+            self.sched.all_asleep(),
+            "pristine fabric: orchestrator rows awake"
+        );
+        assert!(
+            self.inject_now.is_clear() && self.inject_next.is_clear(),
+            "pristine fabric: pending instruction injections"
+        );
+        assert_eq!(
+            self.grid.total_queued(),
+            0,
+            "pristine fabric: NoC links hold entries"
+        );
+        assert_eq!(
+            self.feeders_pending, 0,
+            "pristine fabric: feeder tokens pending"
+        );
+        assert!(
+            self.south_collected.is_empty() && self.east_collected.is_empty(),
+            "pristine fabric: collectors hold entries"
+        );
+        assert!(
+            (0..self.rows.len()).all(|r| self.rows.programs[r].is_none()),
+            "pristine fabric: orchestrator programs installed"
+        );
+        assert!(
+            !self.replay.active && self.replay.run_len == 0,
+            "pristine fabric: replay stretch in flight"
+        );
+        assert!(self.trace.is_none(), "pristine fabric: trace sink attached");
+        for r in 0..self.cfg.rows {
+            for c in 0..self.cfg.cols {
+                let pe = self.pes.pe(r * self.cfg.cols + c);
+                for w in 0..pe.dmem.len() {
+                    assert_eq!(
+                        pe.dmem.word(w),
+                        Vector::ZERO,
+                        "pristine fabric: dmem residue at PE ({r},{c}) word {w}"
+                    );
+                }
+                for w in 0..pe.spad.len() {
+                    assert_eq!(
+                        pe.spad.word(w),
+                        Vector::ZERO,
+                        "pristine fabric: spad residue at PE ({r},{c}) word {w}"
+                    );
+                }
+            }
+        }
+        let rep = self.report();
+        assert_eq!(rep.cycles, 0, "pristine fabric: reported cycles");
+        let s = &rep.stats;
+        assert!(
+            s.instrs_executed == 0
+                && s.mac_instrs == 0
+                && s.dmem_reads == 0
+                && s.dmem_writes == 0
+                && s.spad_reads == 0
+                && s.spad_writes == 0
+                && s.noc_hops == 0
+                && s.orch_steps == 0
+                && s.stall_cycles == 0
+                && s.meta_tokens == 0
+                && s.offchip_read_bytes == 0
+                && s.offchip_write_bytes == 0
+                && s.replayed_cycles == 0
+                && s.replay_stretches == 0
+                && s.wake_events == 0,
+            "pristine fabric: nonzero statistics in report: {s:?}"
+        );
     }
 
     /// The configuration this fabric was built with.

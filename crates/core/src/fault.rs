@@ -60,6 +60,35 @@ impl FaultAction {
             FaultAction::Transient { failures } => format!("transient:{failures}"),
         }
     }
+
+    /// Parses a [`FaultAction::descriptor`] back into the action — the
+    /// serve protocol's per-request fault field travels in descriptor form
+    /// so wire, fingerprint, and log spellings agree. Returns `None` for
+    /// anything that is not an exact descriptor.
+    pub fn from_descriptor(s: &str) -> Option<FaultAction> {
+        if s == "withhold-credits" {
+            return Some(FaultAction::WithholdCredits);
+        }
+        if let Some(cycle) = s.strip_prefix("panic@") {
+            return cycle
+                .parse()
+                .ok()
+                .map(|cycle| FaultAction::PanicAt { cycle });
+        }
+        if let Some(nanos) = s.strip_prefix("slow:").and_then(|r| r.strip_suffix("ns")) {
+            return nanos
+                .parse()
+                .ok()
+                .map(|nanos| FaultAction::SlowCycle { nanos });
+        }
+        if let Some(failures) = s.strip_prefix("transient:") {
+            return failures
+                .parse()
+                .ok()
+                .map(|failures| FaultAction::Transient { failures });
+        }
+        None
+    }
 }
 
 /// A deterministic schedule of injected faults, keyed by sweep-cell index.

@@ -624,6 +624,19 @@ impl InstrRing {
         self.buf.len()
     }
 
+    /// Returns the ring to its post-construction state, keeping the slot
+    /// allocation. Under `debug_assertions` the generation tags are
+    /// re-poisoned, so any [`InstrHandle`] issued before the reset panics on
+    /// resolve instead of silently aliasing a new run's records (the fabric
+    /// reuse audit depends on this).
+    pub fn reset(&mut self) {
+        self.buf.fill(Instruction::NOP);
+        self.plans.fill(Plan::Generic);
+        self.next = 0;
+        #[cfg(debug_assertions)]
+        self.tags.fill(u32::MAX);
+    }
+
     /// Interns one issued instruction, returning its handle. The slot being
     /// reused must no longer be referenced (guaranteed by sizing the ring to
     /// the issue-to-retire window; checked by [`InstrRing::get`] in debug).

@@ -26,7 +26,6 @@
 //!   behaviourally identical and noted in DESIGN.md).
 
 use crate::config::CanonConfig;
-use crate::fabric::Fabric;
 use crate::isa::{Addr, Direction, Instruction, Opcode, Vector, LANES};
 use crate::noc::TaggedVector;
 use crate::orchestrator::{MetaToken, OrchAction, OrchIo, OrchProgram};
@@ -373,7 +372,7 @@ pub fn run_sddmm_traced(
         ColPartition::Cyclic => hh * y + yy,
     };
 
-    let mut fabric = Fabric::new(cfg, true);
+    let mut fabric = crate::pool::acquire(cfg, true);
     // Stationary B tiles.
     for yy in 0..y {
         for xx in 0..x {

@@ -411,7 +411,7 @@ pub fn run_spmm(
     let mut total: Option<RunReport> = None;
     for t in 0..tiles {
         let tile_base = t * tile_n;
-        let mut fabric = Fabric::new(cfg, false);
+        let mut fabric = crate::pool::acquire(cfg, false);
         preload_b_tile(&mut fabric, b, h, tile_base)?;
         for r in 0..cfg.rows {
             fabric.set_meta_stream(r, streams[r].clone());

@@ -53,6 +53,7 @@ pub mod noc;
 pub mod offchip;
 pub mod orchestrator;
 pub mod pe;
+pub mod pool;
 pub(crate) mod replay;
 pub mod sched;
 pub mod stats;

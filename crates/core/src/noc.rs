@@ -364,6 +364,19 @@ impl Link {
             self.ring.reset();
         }
     }
+
+    /// Returns the link to its post-construction state for fabric reuse:
+    /// queued entries dropped and the push counter zeroed, on **every**
+    /// link flavour (unlike [`Link::reset`], which only shrinks unbounded
+    /// rings between runs of the same fabric). Bounded links keep their
+    /// credit-protocol-sized buffer; unbounded links keep their high-water
+    /// footprint — both architecturally invisible.
+    pub fn clear(&mut self) {
+        self.ring.head = 0;
+        self.ring.len = 0;
+        self.ring.high_water = 0;
+        self.pushes = 0;
+    }
 }
 
 /// The full link fabric for a `rows`×`cols` array.
@@ -557,6 +570,28 @@ impl LinkGrid {
         for l in &mut self.horizontal {
             l.reset();
         }
+    }
+
+    /// [`Link::clear`] applied to every link: drops any queued entries and
+    /// zeroes all push counters, returning the grid to its
+    /// post-construction state (fabric reuse across warm-pool requests).
+    pub fn clear_links(&mut self) {
+        for l in &mut self.vertical {
+            l.clear();
+        }
+        for l in &mut self.horizontal {
+            l.clear();
+        }
+    }
+
+    /// Total entries currently queued across all links (the reuse audit's
+    /// "NoC is empty" check).
+    pub fn total_queued(&self) -> usize {
+        self.vertical
+            .iter()
+            .chain(self.horizontal.iter())
+            .map(Link::len)
+            .sum()
     }
 }
 

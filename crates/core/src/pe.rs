@@ -401,6 +401,32 @@ impl PeArray {
         }
     }
 
+    /// Returns the array to its post-construction state in place, reusing
+    /// every allocation: memories and registers zeroed, pipeline slots
+    /// emptied, all counters cleared. After this call the array is
+    /// indistinguishable from `PeArray::new(n, dmem_words, spad_entries)`
+    /// (fabric reuse across warm-pool requests depends on that).
+    pub fn reset(&mut self) {
+        self.dmem.fill(Vector::ZERO);
+        self.spad.fill(Vector::ZERO);
+        self.mem_counts.fill(MemCounts::default());
+        for regs in &mut self.regs {
+            *regs = [Vector::ZERO; NUM_REGS];
+        }
+        for s in 0..3 {
+            self.state[s].fill(Slot::Empty);
+            self.handles[s].fill(InstrHandle::default());
+            self.results[s].fill(Vector::ZERO);
+            self.res_addr[s].fill(Addr::Null);
+            self.flush_addr[s].fill(Addr::Null);
+            self.routed[s].fill(TaggedVector::ZERO);
+        }
+        self.load_idx = 0;
+        self.counters.fill(PeCounters::default());
+        self.batch_pe = PeCounters::default();
+        self.batch_mem = MemCounts::default();
+    }
+
     /// Number of PEs.
     pub fn len(&self) -> usize {
         self.counters.len()

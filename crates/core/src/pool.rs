@@ -1,0 +1,270 @@
+//! Warm fabric pool: thread-local reuse of drained [`Fabric`]s.
+//!
+//! Constructing a fabric allocates the PE slabs, link rings, instruction
+//! ring, and scheduler bitsets — for a request-serving daemon (and the
+//! batch sweep's worker threads) that cost recurs per kernel tile of every
+//! request. The pool keeps a small number of drained fabrics per thread
+//! and hands them back out after an in-place [`Fabric::reset`], so the
+//! steady state re-zeroes slabs instead of reallocating them.
+//!
+//! # Usage
+//!
+//! ```
+//! use canon_core::{pool, CanonConfig, Fabric};
+//!
+//! let _guard = pool::install(2); // warm reuse on this thread while alive
+//! let cfg = CanonConfig::default();
+//! {
+//!     let fabric = pool::acquire(&cfg, false); // miss: constructs
+//!     assert_eq!(fabric.cycle(), 0);
+//! } // drop returns the fabric to the thread's pool
+//! let fabric = pool::acquire(&cfg, false); // hit: reset + reuse
+//! assert_eq!(fabric.cycle(), 0);
+//! assert_eq!(pool::stats().unwrap().hits, 1);
+//! ```
+//!
+//! Without an installed pool, [`acquire`] degrades to [`Fabric::new`] and
+//! the drop is a plain drop — kernel mappers call `acquire` unconditionally
+//! and single-run callers pay nothing.
+//!
+//! # Poisoning
+//!
+//! A fabric held across a panic is **poisoned**: its drop runs during
+//! unwinding (`std::thread::panicking()`), and the pool discards it rather
+//! than trusting a reset of state abandoned mid-mutation. The next acquire
+//! rebuilds from scratch. Deadlocked or timed-out runs are *not* poison —
+//! they return an error cleanly and [`Fabric::reset`] clears their
+//! mid-flight state (pinned by `assert_pristine` under debug assertions).
+
+use crate::config::CanonConfig;
+use crate::fabric::Fabric;
+use std::cell::RefCell;
+
+/// Reuse counters of one thread's pool (served through [`stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Acquires served by resetting a pooled fabric.
+    pub hits: u64,
+    /// Acquires that had to construct (empty pool or no compatible shape).
+    pub misses: u64,
+    /// Fabrics dropped instead of pooled: poisoned by a panic, or evicted
+    /// because the pool was full.
+    pub discarded: u64,
+    /// Fabrics currently parked in the pool.
+    pub warm: usize,
+}
+
+struct PoolInner {
+    slots: Vec<Fabric>,
+    max_warm: usize,
+    hits: u64,
+    misses: u64,
+    discarded: u64,
+}
+
+thread_local! {
+    static POOL: RefCell<Option<PoolInner>> = const { RefCell::new(None) };
+}
+
+/// Enables warm fabric reuse on the current thread while the returned guard
+/// lives, keeping at most `max_warm` drained fabrics parked. Nested
+/// installs stack: the inner guard's pool replaces the outer one and the
+/// outer is restored (with its parked fabrics) when the inner guard drops.
+pub fn install(max_warm: usize) -> PoolGuard {
+    let prev = POOL.with(|p| {
+        p.borrow_mut().replace(PoolInner {
+            slots: Vec::new(),
+            max_warm: max_warm.max(1),
+            hits: 0,
+            misses: 0,
+            discarded: 0,
+        })
+    });
+    PoolGuard { prev }
+}
+
+/// Reuse counters of the current thread's pool, or `None` when no pool is
+/// installed.
+pub fn stats() -> Option<PoolStats> {
+    POOL.with(|p| {
+        p.borrow().as_ref().map(|inner| PoolStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            discarded: inner.discarded,
+            warm: inner.slots.len(),
+        })
+    })
+}
+
+/// Uninstalls the current thread's pool on drop, dropping its parked
+/// fabrics and restoring any previously installed pool.
+pub struct PoolGuard {
+    prev: Option<PoolInner>,
+}
+
+impl Drop for PoolGuard {
+    fn drop(&mut self) {
+        POOL.with(|p| {
+            *p.borrow_mut() = self.prev.take();
+        });
+    }
+}
+
+/// A fabric checked out of (or constructed on behalf of) the thread's
+/// pool. Dereferences to [`Fabric`]; dropping it returns the fabric to the
+/// pool unless the thread is panicking (poisoned — see the module docs) or
+/// no pool is installed.
+pub struct PooledFabric {
+    fabric: Option<Fabric>,
+}
+
+impl std::ops::Deref for PooledFabric {
+    type Target = Fabric;
+    fn deref(&self) -> &Fabric {
+        self.fabric.as_ref().expect("fabric already released")
+    }
+}
+
+impl std::ops::DerefMut for PooledFabric {
+    fn deref_mut(&mut self) -> &mut Fabric {
+        self.fabric.as_mut().expect("fabric already released")
+    }
+}
+
+impl Drop for PooledFabric {
+    fn drop(&mut self) {
+        let Some(fabric) = self.fabric.take() else {
+            return;
+        };
+        if std::thread::panicking() {
+            // Poisoned: the panic may have unwound out of any fabric
+            // mutation. Count the discard if a pool is live (the borrow
+            // may itself be held if the panic unwound out of pool code —
+            // try_borrow keeps the drop panic-free either way).
+            POOL.with(|p| {
+                if let Ok(mut b) = p.try_borrow_mut() {
+                    if let Some(inner) = b.as_mut() {
+                        inner.discarded += 1;
+                    }
+                }
+            });
+            return;
+        }
+        POOL.with(|p| {
+            if let Some(inner) = p.borrow_mut().as_mut() {
+                if inner.slots.len() < inner.max_warm {
+                    inner.slots.push(fabric);
+                } else {
+                    inner.discarded += 1;
+                }
+            }
+        });
+    }
+}
+
+/// Checks a fabric out for `cfg`: a pooled fabric with matching allocation
+/// shape is [`Fabric::reset`] and returned (hit); otherwise a fresh fabric
+/// is constructed (miss — also the no-pool fallback, making this a drop-in
+/// replacement for [`Fabric::new`] in kernel mappers).
+///
+/// # Panics
+///
+/// Panics when `cfg` is invalid (as [`Fabric::new`] would).
+pub fn acquire(cfg: &CanonConfig, north_edge_feeder: bool) -> PooledFabric {
+    let reused = POOL.with(|p| {
+        let mut b = p.borrow_mut();
+        let inner = b.as_mut()?;
+        let at = inner
+            .slots
+            .iter()
+            .position(|f| f.reusable_for(cfg, north_edge_feeder));
+        match at {
+            Some(i) => {
+                inner.hits += 1;
+                Some(inner.slots.swap_remove(i))
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    });
+    let fabric = match reused {
+        Some(mut f) => {
+            f.reset(cfg);
+            f
+        }
+        None => Fabric::new(cfg, north_edge_feeder),
+    };
+    PooledFabric {
+        fabric: Some(fabric),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(rows: usize, cols: usize) -> CanonConfig {
+        CanonConfig::default().with_geometry(rows, cols)
+    }
+
+    #[test]
+    fn acquire_without_pool_constructs_fresh() {
+        let f = acquire(&cfg(2, 2), false);
+        assert_eq!(f.cycle(), 0);
+        drop(f);
+        assert!(stats().is_none());
+    }
+
+    #[test]
+    fn pool_reuses_matching_shape_and_rebuilds_mismatches() {
+        let _g = install(2);
+        drop(acquire(&cfg(2, 2), false));
+        assert_eq!(stats().unwrap().warm, 1);
+        drop(acquire(&cfg(2, 2), false));
+        let s = stats().unwrap();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        // Different geometry: no reuse, second warm slot.
+        drop(acquire(&cfg(2, 4), false));
+        let s = stats().unwrap();
+        assert_eq!((s.hits, s.misses, s.warm), (1, 2, 2));
+        // Feeder-kind mismatch is a miss even at equal geometry.
+        drop(acquire(&cfg(2, 2), true));
+        assert_eq!(stats().unwrap().misses, 3);
+    }
+
+    #[test]
+    fn pool_caps_parked_fabrics() {
+        let _g = install(1);
+        drop(acquire(&cfg(2, 2), false));
+        drop(acquire(&cfg(2, 4), false));
+        let s = stats().unwrap();
+        assert_eq!(s.warm, 1);
+        assert_eq!(s.discarded, 1);
+    }
+
+    #[test]
+    fn panicked_holder_poisons_the_fabric() {
+        let _g = install(2);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _f = acquire(&cfg(2, 2), false);
+            panic!("injected");
+        }));
+        assert!(r.is_err());
+        let s = stats().unwrap();
+        assert_eq!(s.warm, 0, "poisoned fabric must not be pooled");
+        assert_eq!(s.discarded, 1);
+    }
+
+    #[test]
+    fn guard_restores_outer_pool() {
+        let _outer = install(2);
+        drop(acquire(&cfg(2, 2), false));
+        {
+            let _inner = install(2);
+            assert_eq!(stats().unwrap().warm, 0);
+        }
+        assert_eq!(stats().unwrap().warm, 1);
+    }
+}

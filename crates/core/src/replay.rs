@@ -187,6 +187,25 @@ impl ReplayState {
         }
     }
 
+    /// Returns the engine to its post-construction state for fabric reuse,
+    /// keeping timeline allocations. `enabled` is taken from the new
+    /// configuration the fabric is being reset for.
+    pub(crate) fn reset(&mut self, enabled: bool) {
+        self.enabled = enabled;
+        self.run_len = 0;
+        self.active = false;
+        self.kind = PlanKind::Generic;
+        self.targets.fill(0);
+        self.absorbed = 0;
+        self.t_base = 0;
+        for t in &mut self.tl {
+            t.clear();
+        }
+        self.scratch.clear();
+        self.deferred_cycles = 0;
+        self.stretches = 0;
+    }
+
     /// Ends the current stretch's capture bookkeeping (the fabric has
     /// already settled the timeline into the PE array). Timeline capacity
     /// is retained for the next stretch.

@@ -44,6 +44,12 @@ impl ActiveSet {
         self.len
     }
 
+    /// Deactivates every id, keeping the backing words (fabric reuse).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.count = 0;
+    }
+
     /// Number of active ids.
     pub fn count(&self) -> usize {
         self.count
@@ -154,6 +160,14 @@ impl RowSched {
             timer: vec![u64::MAX; rows],
             next_due: u64::MAX,
         }
+    }
+
+    /// Returns the scheduler to its post-construction state (all rows
+    /// asleep, no timers armed), keeping allocations (fabric reuse).
+    pub fn reset(&mut self) {
+        self.wake.clear();
+        self.timer.fill(u64::MAX);
+        self.next_due = u64::MAX;
     }
 
     /// Wakes row `r` immediately. Returns `true` when the row was newly

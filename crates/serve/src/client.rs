@@ -1,0 +1,180 @@
+//! Blocking protocol client.
+//!
+//! One [`Client`] is one connection, and the protocol is strictly
+//! request-reply per connection, so parallel submission is expressed as
+//! parallel clients — which is exactly what [`submit_batch`] does for the
+//! `repro submit` verb: N connections draining one work list, honoring
+//! `busy` backpressure by sleeping the daemon-suggested delay and
+//! retrying.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::protocol::{Reply, Request, SubmitRequest};
+
+/// One connection to a serving daemon.
+pub struct Client {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl Client {
+    /// Connects to the daemon's socket.
+    pub fn connect(socket: impl AsRef<Path>) -> io::Result<Client> {
+        let stream = UnixStream::connect(socket)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Sends one request and blocks for its reply line.
+    pub fn request(&mut self, req: &Request) -> io::Result<Reply> {
+        let mut line = req.to_line();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        let mut reply = String::new();
+        if self.reader.read_line(&mut reply)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection before replying",
+            ));
+        }
+        Reply::parse(reply.trim()).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Submits one cell, sleeping out `busy` replies (the daemon's
+    /// suggested `retry_after_ms`) up to `max_busy_retries` times. The
+    /// final reply — including a `busy` that exhausted the retry budget —
+    /// is returned as-is.
+    pub fn submit_with_retry(
+        &mut self,
+        submit: &SubmitRequest,
+        max_busy_retries: u32,
+    ) -> io::Result<Reply> {
+        let mut attempts = 0;
+        loop {
+            let reply = self.request(&Request::Submit(submit.clone()))?;
+            match reply {
+                Reply::Busy { retry_after_ms, .. } if attempts < max_busy_retries => {
+                    attempts += 1;
+                    std::thread::sleep(Duration::from_millis(retry_after_ms));
+                }
+                other => return Ok(other),
+            }
+        }
+    }
+}
+
+/// Tally of one [`submit_batch`] run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchOutcome {
+    /// One reply per submit, in input order.
+    pub replies: Vec<Option<Reply>>,
+    /// Replies with `status == ok`.
+    pub ok: usize,
+    /// Replies with `status == unsupported` — the figures' `X` cells, an
+    /// expected grid outcome rather than a failure.
+    pub unsupported: usize,
+    /// Structured failure replies (panic/deadlock/timeout/transient).
+    pub failed: usize,
+    /// `error`-status results and protocol `error` replies.
+    pub errors: usize,
+    /// Submits still rejected after the busy-retry budget, or refused
+    /// because the daemon was draining.
+    pub refused: usize,
+    /// Replies served from the store index.
+    pub cached: usize,
+    /// Replies that rode another request's simulation.
+    pub coalesced: usize,
+}
+
+impl BatchOutcome {
+    fn absorb(&mut self, reply: &Reply) {
+        match reply {
+            Reply::Result(r) => {
+                if r.is_ok() {
+                    self.ok += 1;
+                } else if r.status == "unsupported" {
+                    self.unsupported += 1;
+                } else if r.is_failure() {
+                    self.failed += 1;
+                } else {
+                    self.errors += 1;
+                }
+                if r.cached {
+                    self.cached += 1;
+                }
+                if r.coalesced {
+                    self.coalesced += 1;
+                }
+            }
+            Reply::Busy { .. } | Reply::Draining { .. } | Reply::Cancelled { .. } => {
+                self.refused += 1;
+            }
+            _ => self.errors += 1,
+        }
+    }
+}
+
+/// Submits a batch over `connections` parallel clients, each with a
+/// `max_busy_retries` backpressure budget per cell.
+///
+/// # Errors
+///
+/// Fails only when no connection can be established at all; per-cell I/O
+/// errors surface as `error` replies in the outcome.
+pub fn submit_batch(
+    socket: &Path,
+    submits: &[SubmitRequest],
+    connections: usize,
+    max_busy_retries: u32,
+) -> io::Result<BatchOutcome> {
+    // Fail fast (and typically: daemon not running) before spawning.
+    drop(Client::connect(socket)?);
+    let next = AtomicUsize::new(0);
+    let replies: Vec<Mutex<Option<Reply>>> = submits.iter().map(|_| Mutex::new(None)).collect();
+    let workers = connections.clamp(1, submits.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let next = &next;
+            let replies = &replies;
+            scope.spawn(move || {
+                let mut client = match Client::connect(socket) {
+                    Ok(c) => c,
+                    Err(_) => return,
+                };
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= submits.len() {
+                        return;
+                    }
+                    let reply = match client.submit_with_retry(&submits[i], max_busy_retries) {
+                        Ok(r) => r,
+                        Err(e) => Reply::Error {
+                            id: submits[i].id.clone(),
+                            message: format!("client I/O error: {e}"),
+                        },
+                    };
+                    *replies[i].lock().unwrap() = Some(reply);
+                }
+            });
+        }
+    });
+    let mut outcome = BatchOutcome::default();
+    for slot in replies {
+        let reply = slot.into_inner().unwrap();
+        if let Some(r) = &reply {
+            outcome.absorb(r);
+        } else {
+            outcome.errors += 1;
+        }
+        outcome.replies.push(reply);
+    }
+    Ok(outcome)
+}

@@ -1,0 +1,42 @@
+//! `canon-serve` — the sweep engine stood up as a resident service.
+//!
+//! The batch sweep (`canon-sweep`) is one process, one grid, exit. This
+//! crate runs the same per-cell execution stack — `catch_unwind`
+//! isolation, deadlock/timeout budgets, transient retry, structured
+//! [`CellFailure`](canon_sweep::CellFailure) records — behind a
+//! long-running daemon on a Unix-domain socket, so scenario requests are
+//! served from warm state instead of paying process + fabric construction
+//! per grid:
+//!
+//! * [`protocol`] — the line-JSON wire format (`submit` / `status` /
+//!   `cancel` / `drain` / `shutdown`), sharing the result store's JSON
+//!   dialect ([`canon_sweep::store::parse_flat_object`]);
+//! * [`daemon`] — the resident server: a bounded request queue with
+//!   explicit backpressure, worker threads owning warm fabric pools
+//!   ([`canon_core::pool`]), in-flight deduplication so identical
+//!   scenarios simulate exactly once, the content-hashed
+//!   [`ResultStore`](canon_sweep::ResultStore) promoted to a serving tier
+//!   (in-memory index hit before simulate, fsync'd journal append before
+//!   acknowledge), and graceful drain on protocol command or signal;
+//! * [`client`] — a blocking protocol client plus the parallel batch
+//!   submitter the `repro submit` verb and the end-to-end tests drive.
+//!
+//! # Robustness contract
+//!
+//! A wedged request must never take down the daemon: every cell runs under
+//! `catch_unwind` with per-request cycle/wall budgets, and panics,
+//! deadlocks, and timeouts come back as structured `result` replies with
+//! the PR 8 failure taxonomy, not as connection drops. A killed daemon
+//! must never lose acknowledged work: a `result` reply is only written
+//! after the record's fsync'd journal append, so a SIGKILLed daemon
+//! restarted over the same store re-serves everything it acknowledged and
+//! converges (`repro store gc`) to the byte-identical store of an
+//! uninterrupted run.
+
+pub mod client;
+pub mod daemon;
+pub mod protocol;
+
+pub use client::{submit_batch, BatchOutcome, Client};
+pub use daemon::{run_daemon, ServeOptions, EXIT_DRAINED, EXIT_SIGINT, EXIT_SIGTERM};
+pub use protocol::{Reply, Request, ResultReply, StatusReply, SubmitRequest};

@@ -107,13 +107,13 @@ impl Default for SweepOptions {
 impl SweepOptions {
     /// True when any option alters cell configurations relative to
     /// `base_cfg` alone (budgets apply to every cell, faults per cell).
-    fn budgets_set(&self) -> bool {
+    pub fn budgets_set(&self) -> bool {
         self.cell_wall_budget.is_some() || self.cell_cycle_budget.is_some()
     }
 
     /// The effective Canon configuration of cell `idx`: base config plus
     /// the per-cell budgets and any injected fault.
-    fn cell_cfg(&self, idx: usize) -> CanonConfig {
+    pub fn cell_cfg(&self, idx: usize) -> CanonConfig {
         let mut cfg = self.base_cfg.clone();
         if let Some(d) = self.cell_wall_budget {
             cfg.wall_budget_ns = Some(d.as_nanos() as u64);
@@ -284,7 +284,17 @@ fn attempt_cell(
 
 /// Executes one cell to a final record, retrying transient failures with
 /// exponential backoff. Returns the record and the retries consumed.
-fn execute_cell(
+///
+/// This is the sweep engine's whole per-cell fault-isolation stack —
+/// `catch_unwind` around the backend, deadlock/timeout mapping into
+/// structured [`CellFailure`] records, transient retry — packaged for
+/// reuse: `run_sweep` calls it per grid cell, and the serving daemon
+/// (`canon-serve`) calls it per request so protocol replies carry exactly
+/// the taxonomy batch sweeps journal. Only [`SweepOptions::max_retries`]
+/// and [`SweepOptions::retry_backoff`] are consulted from `opts`; `cfg`
+/// must already be the cell's effective configuration (see
+/// [`SweepOptions::cell_cfg`]) for `key` to be honest.
+pub fn execute_cell(
     scenario: &Scenario,
     key: String,
     cfg: &CanonConfig,
@@ -450,6 +460,12 @@ pub fn run_sweep(
             let stop_requested = &stop_requested;
             let tx = tx.clone();
             scope.spawn(move || {
+                // Warm fabric reuse across this worker's cells: kernel
+                // mappers acquire fabrics from the thread's pool, so
+                // consecutive cells (and tiles within one cell) reset
+                // slabs in place instead of reallocating them. Capacity 2
+                // covers the two north-edge kinds at one geometry.
+                let _pool = canon_core::pool::install(2);
                 loop {
                     if stop_requested() {
                         break;

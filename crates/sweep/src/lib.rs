@@ -67,7 +67,9 @@ pub mod scenario;
 pub mod store;
 
 pub use backend::{all_backends, backend_for, Backend, BackendError, CanonBackend, RunRecord};
-pub use engine::{run_sweep, SweepOptions, SweepOutcome, SweepStats};
-pub use report::{edp_table, format_matrix, quarantine_report, speedup_table};
+pub use engine::{execute_cell, run_sweep, SweepOptions, SweepOutcome, SweepStats};
+pub use report::{
+    edp_table, format_matrix, quarantine_report, quarantine_report_with, speedup_table,
+};
 pub use scenario::{GridBuilder, OpTemplate, Scenario, ScenarioGrid, WorkloadSpec};
-pub use store::{CellFailure, CompactStats, RecoveryStats, ResultStore, StoredRecord};
+pub use store::{CellFailure, CompactStats, RecoveryStats, ResultStore, StoreLock, StoredRecord};

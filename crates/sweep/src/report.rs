@@ -131,7 +131,21 @@ pub fn edp_table(records: &[StoredRecord]) -> String {
 /// fault-tolerance layer isolated (panic, deadlock, timeout, exhausted
 /// transient retries), or `None` when every cell is healthy. The `repro`
 /// binary prints this at sweep end and exits nonzero when it is `Some`.
+///
+/// Equivalent to [`quarantine_report_with`] with no run context.
 pub fn quarantine_report(records: &[StoredRecord]) -> Option<String> {
+    quarantine_report_with(records, None)
+}
+
+/// [`quarantine_report`] with run context from the sweep's
+/// [`SweepStats`](crate::engine::SweepStats): when `stats` is given, the
+/// header carries the transient-retry count and whether the run was
+/// interrupted mid-sweep (records then cover only the cells that resolved
+/// — a resumed run may quarantine more).
+pub fn quarantine_report_with(
+    records: &[StoredRecord],
+    stats: Option<&crate::engine::SweepStats>,
+) -> Option<String> {
     use std::fmt::Write as _;
     let failed: Vec<&StoredRecord> = records
         .iter()
@@ -141,7 +155,22 @@ pub fn quarantine_report(records: &[StoredRecord]) -> Option<String> {
         return None;
     }
     let mut out = String::new();
-    let _ = writeln!(out, "== Quarantined cells: {} ==", failed.len());
+    let _ = write!(out, "== Quarantined cells: {} ==", failed.len());
+    if let Some(s) = stats {
+        if s.retries > 0 {
+            let _ = write!(out, " ({} transient retr{})", s.retries, {
+                if s.retries == 1 {
+                    "y"
+                } else {
+                    "ies"
+                }
+            });
+        }
+        if s.interrupted {
+            let _ = write!(out, " [run interrupted: partial coverage]");
+        }
+    }
+    let _ = writeln!(out);
     for rec in failed {
         let RecordStatus::Failed(f) = &rec.status else {
             continue;

@@ -390,7 +390,7 @@ impl GridBuilder {
             bands: SparsityBand::all().to_vec(),
             geometries: vec![(8, 8)],
             scales: vec![1],
-            base_seed: 0xCA50_0001,
+            base_seed: DEFAULT_BASE_SEED,
         }
     }
 
@@ -477,9 +477,15 @@ impl GridBuilder {
     }
 }
 
+/// The builder's default operand base seed — any surface that derives
+/// per-cell seeds outside a [`GridBuilder`] (the serve protocol's
+/// seed-omitted submits) must use the same base for keys to line up with
+/// batch-swept grids.
+pub const DEFAULT_BASE_SEED: u64 = 0xCA50_0001;
+
 /// Operand seed of one workload cell: identical across architectures and
 /// geometries so every backend sees the same inputs.
-fn cell_seed(base: u64, workload: &str, band: Option<SparsityBand>, scale: usize) -> u64 {
+pub fn cell_seed(base: u64, workload: &str, band: Option<SparsityBand>, scale: usize) -> u64 {
     let material = format!(
         "{base}:{workload}:{}:{scale}",
         band.map_or_else(|| "-".into(), |b| b.to_string())

@@ -217,7 +217,11 @@ pub struct StoredRecord {
     pub stalls: Option<StallBreakdown>,
 }
 
-fn escape_json(s: &str, out: &mut String) {
+/// Appends `s` to `out` with JSON string escaping (the inverse of what
+/// [`parse_flat_object`] unescapes). Public alongside the parser so other
+/// line-JSON surfaces in the workspace (the serve protocol) share one
+/// dialect instead of hand-rolling a second.
+pub fn escape_json(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -377,16 +381,66 @@ impl StoredRecord {
     }
 }
 
+/// One value of a flat JSON object (see [`parse_flat_object`]).
 #[derive(Debug, Clone, PartialEq)]
-enum JsonVal {
+pub enum JsonVal {
+    /// A string value, unescaped.
     Str(String),
+    /// A number, kept as its raw text (callers pick the width to parse at).
     Num(String),
+    /// `true` / `false`.
     Bool(bool),
+    /// `null`.
     Null,
 }
 
-/// Parses a flat (non-nested) JSON object into its fields.
-fn parse_flat_object(line: &str) -> Option<HashMap<String, JsonVal>> {
+impl JsonVal {
+    /// The string value, or `None` for non-strings.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonVal::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value parsed as `u64`, or `None`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonVal::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The numeric value parsed as `usize`, or `None`.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            JsonVal::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The numeric value parsed as `f64`, or `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonVal::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, or `None` for non-booleans.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonVal::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a flat (non-nested) JSON object into its fields. This is the
+/// store's record dialect — also the wire dialect of the `canon-serve`
+/// line-JSON protocol, which reuses this parser instead of growing a
+/// second one.
+pub fn parse_flat_object(line: &str) -> Option<HashMap<String, JsonVal>> {
     let mut chars = line.trim().chars().peekable();
     if chars.next()? != '{' {
         return None;
@@ -811,6 +865,93 @@ impl RecoveryStats {
     }
 }
 
+// Raw POSIX `flock(2)` binding: the workspace carries no libc crate (no
+// registry access), and one foreign function needs no abstraction. Same
+// pattern as the repro binary's `signal(2)` binding.
+#[cfg(unix)]
+extern "C" {
+    fn flock(fd: std::os::raw::c_int, operation: std::os::raw::c_int) -> std::os::raw::c_int;
+}
+
+#[cfg(unix)]
+const LOCK_EX: std::os::raw::c_int = 2;
+#[cfg(unix)]
+const LOCK_NB: std::os::raw::c_int = 4;
+
+/// An advisory exclusive lock on a result store, held on a `.lock` sibling
+/// of the store file for as long as the guard lives.
+///
+/// A store is an fsync'd append journal; two writers interleaving appends
+/// (a resident `repro serve` daemon plus a concurrent `repro sweep` or
+/// `repro store gc`) would corrupt the tail each believes it owns. Every
+/// store-writing entry point therefore takes this lock first and **fails
+/// fast** with a clear error when another process holds it, instead of
+/// discovering the interleave at the next torn-tail recovery.
+///
+/// The lock is `flock(2)`-based: advisory, per open file description,
+/// released automatically by the kernel when the holder exits (including
+/// SIGKILL — a crashed daemon never wedges the store). On non-Unix
+/// platforms acquisition always succeeds (no-op guard).
+#[derive(Debug)]
+pub struct StoreLock {
+    /// Keeps the locked descriptor open; dropping releases the lock.
+    _file: std::fs::File,
+    path: PathBuf,
+}
+
+impl StoreLock {
+    /// The `.lock` sibling path guarding `store_path`.
+    pub fn lock_path(store_path: &Path) -> PathBuf {
+        let mut os = store_path.as_os_str().to_os_string();
+        os.push(".lock");
+        PathBuf::from(os)
+    }
+
+    /// Acquires the exclusive store lock, without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::WouldBlock`] with a descriptive message when
+    /// another process holds the lock; other I/O errors if the lock file
+    /// cannot be created.
+    pub fn acquire(store_path: &Path) -> io::Result<StoreLock> {
+        let path = StoreLock::lock_path(store_path);
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(&path)?;
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd as _;
+            // SAFETY: fd is a valid open descriptor owned by `file`;
+            // flock has no memory-safety obligations beyond that.
+            let rc = unsafe { flock(file.as_raw_fd(), LOCK_EX | LOCK_NB) };
+            if rc != 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::WouldBlock {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WouldBlock,
+                        format!(
+                            "store '{}' is locked by another process (a resident \
+                             `repro serve` daemon or a concurrent sweep); stop it \
+                             or point --out at a different store",
+                            store_path.display()
+                        ),
+                    ));
+                }
+                return Err(err);
+            }
+        }
+        Ok(StoreLock { _file: file, path })
+    }
+
+    /// The lock file's own path (diagnostics).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
 /// Outcome counters of one [`ResultStore::compact`] pass.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CompactStats {
@@ -828,6 +969,25 @@ pub struct CompactStats {
 mod tests {
     use super::*;
     use crate::scenario::ScenarioGrid;
+
+    #[test]
+    #[cfg(unix)]
+    fn store_lock_excludes_second_holder_and_releases_on_drop() {
+        let dir = std::env::temp_dir().join(format!("canon-sweep-lock-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = dir.join("results.jsonl");
+        let first = StoreLock::acquire(&store).expect("first acquire");
+        let second = StoreLock::acquire(&store);
+        let err = second.expect_err("second holder must fail fast");
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        assert!(
+            err.to_string().contains("locked by another process"),
+            "error must explain the conflict: {err}"
+        );
+        drop(first);
+        StoreLock::acquire(&store).expect("lock released on drop");
+        std::fs::remove_dir_all(&dir).ok();
+    }
 
     fn sample_record(status: RecordStatus) -> StoredRecord {
         StoredRecord {
